@@ -1,0 +1,94 @@
+(* Benchmark harness: regenerates every table and figure of the
+   evaluation (experiments E1-E10 of DESIGN.md), then re-measures the
+   per-packet overhead table with Bechamel for rigorous statistics.
+
+   Usage:
+     dune exec bench/main.exe            # everything
+     dune exec bench/main.exe -- E3 E7   # selected experiments
+     dune exec bench/main.exe -- bechamel  # only the Bechamel table *)
+
+open Bechamel
+open Toolkit
+
+(* One steady-state enqueue+dequeue cycle on an n-class H-FSC instance:
+   backlog, tree sizes and clock all stay bounded. *)
+let cycle_test ~deep n =
+  let t, leaves = Experiments.E7_overhead.build ~n ~deep in
+  for i = 0 to n - 1 do
+    for s = 0 to 3 do
+      ignore
+        (Hfsc.enqueue t ~now:0. leaves.(i)
+           (Pkt.Packet.make ~flow:i ~size:1000 ~seq:s ~arrival:0.))
+    done
+  done;
+  let i = ref 0 in
+  let seq = ref 4 in
+  let now = ref 0. in
+  let tx = 1000. /. 12_500_000. in
+  Test.make
+    ~name:(Printf.sprintf "%s n=%d" (if deep then "deep" else "flat") n)
+    (Staged.stage (fun () ->
+         i := (!i + 1) mod n;
+         incr seq;
+         now := !now +. tx;
+         ignore
+           (Hfsc.enqueue t ~now:!now leaves.(!i)
+              (Pkt.Packet.make ~flow:!i ~size:1000 ~seq:!seq ~arrival:!now));
+         ignore (Hfsc.dequeue t ~now:!now)))
+
+let run_bechamel () =
+  Experiments.Common.section
+    "Bechamel: ns per enqueue+dequeue pair (the overhead table, redone)";
+  let tests =
+    Test.make_grouped ~name:"hfsc"
+      (List.map (cycle_test ~deep:false) [ 1; 10; 100; 1000 ]
+      @ List.map (cycle_test ~deep:true) [ 16; 256 ])
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name est ->
+      let ns =
+        match Analyze.OLS.estimates est with
+        | Some (e :: _) -> Printf.sprintf "%.0f ns" e
+        | _ -> "n/a"
+      in
+      let r2 =
+        match Analyze.OLS.r_square est with
+        | Some r -> Printf.sprintf "%.4f" r
+        | None -> "-"
+      in
+      rows := [ name; ns; r2 ] :: !rows)
+    results;
+  let rows = List.sort compare !rows in
+  Experiments.Common.table ~header:[ "benchmark"; "enq+deq"; "r^2" ] rows
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  match args with
+  | [] ->
+      Experiments.Suite.run_all ();
+      run_bechamel ()
+  | args ->
+      List.iter
+        (fun a ->
+          if String.lowercase_ascii a = "bechamel" then run_bechamel ()
+          else
+            match Experiments.Suite.find a with
+            | Some e -> e.Experiments.Suite.run_and_print ()
+            | None ->
+                Printf.eprintf "unknown experiment %S; known: %s, bechamel\n"
+                  a
+                  (String.concat ", "
+                     (List.map
+                        (fun e -> e.Experiments.Suite.id)
+                        Experiments.Suite.all)))
+        args

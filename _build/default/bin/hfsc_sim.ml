@@ -1,0 +1,223 @@
+(* hfsc_sim — command-line front end to the experiment suite and to
+   ad-hoc H-FSC simulations.
+
+     hfsc_sim list                 enumerate the reproduction experiments
+     hfsc_sim run E1 E3 ...        run selected experiments (or "all")
+     hfsc_sim demo                 a quick ad-hoc simulation with knobs
+*)
+
+open Cmdliner
+
+let list_cmd =
+  let doc = "List the paper-reproduction experiments." in
+  let run () =
+    List.iter
+      (fun e ->
+        Printf.printf "%-4s %s\n" e.Experiments.Suite.id
+          e.Experiments.Suite.title)
+      Experiments.Suite.all;
+    print_endline "\nE4 is produced together with E3. Run with: hfsc_sim run <id>...";
+    0
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+let run_cmd =
+  let doc = "Run experiments by id (e.g. E1 E3), or 'all'." in
+  let ids = Arg.(non_empty & pos_all string [] & info [] ~docv:"ID") in
+  let run ids =
+    if List.exists (fun i -> String.lowercase_ascii i = "all") ids then begin
+      Experiments.Suite.run_all ();
+      0
+    end
+    else begin
+      let ok = ref 0 in
+      List.iter
+        (fun id ->
+          match Experiments.Suite.find id with
+          | Some e -> e.Experiments.Suite.run_and_print ()
+          | None ->
+              incr ok;
+              Printf.eprintf "unknown experiment %S (try 'hfsc_sim list')\n"
+                id)
+        ids;
+      if !ok > 0 then 1 else 0
+    end
+  in
+  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ ids)
+
+let demo_cmd =
+  let doc =
+    "Ad-hoc demo: N greedy classes with equal shares plus one real-time \
+     CBR class; prints shares and the real-time class's delay."
+  in
+  let n =
+    Arg.(value & opt int 4 & info [ "n"; "classes" ] ~docv:"N"
+           ~doc:"Number of greedy classes.")
+  in
+  let mbits =
+    Arg.(value & opt float 10. & info [ "rate" ] ~docv:"MBITS"
+           ~doc:"Link rate in Mb/s.")
+  in
+  let dmax_ms =
+    Arg.(value & opt float 5. & info [ "dmax" ] ~docv:"MS"
+           ~doc:"Real-time delay guarantee in milliseconds.")
+  in
+  let seconds =
+    Arg.(value & opt float 5. & info [ "time" ] ~docv:"S"
+           ~doc:"Simulated seconds.")
+  in
+  let run n mbits dmax_ms seconds =
+    if n < 1 || mbits <= 0. || dmax_ms <= 0. || seconds <= 0. then begin
+      prerr_endline "demo: all parameters must be positive";
+      1
+    end
+    else begin
+      let link_rate = mbits *. 1e6 /. 8. in
+      let dmax = dmax_ms /. 1000. in
+      let t = Hfsc.create ~link_rate () in
+      let rt_rate = 8000. in
+      let rt_sc =
+        Curve.Service_curve.of_requirements ~umax:160. ~dmax ~rate:rt_rate
+      in
+      let rt =
+        Hfsc.add_class t ~parent:(Hfsc.root t) ~name:"realtime" ~rsc:rt_sc ()
+      in
+      let share = (link_rate -. rt_rate) /. float_of_int n in
+      let classes =
+        List.init n (fun i ->
+            ( 10 + i,
+              Hfsc.add_class t ~parent:(Hfsc.root t)
+                ~name:(Printf.sprintf "bulk%d" i)
+                ~fsc:(Curve.Service_curve.linear share)
+                () ))
+      in
+      let sched =
+        Netsim.Adapters.of_hfsc t ~flow_map:((1, rt) :: classes)
+      in
+      let sim = Netsim.Sim.create ~link_rate ~sched () in
+      Netsim.Sim.add_source sim
+        (Netsim.Source.cbr ~flow:1 ~rate:rt_rate ~pkt_size:160 ~stop:seconds ());
+      List.iteri
+        (fun i (flow, _) ->
+          Netsim.Sim.add_source sim
+            (Netsim.Source.poisson ~flow ~rate:(1.5 *. share) ~pkt_size:1000
+               ~seed:(100 + i) ~stop:seconds ()))
+        classes;
+      Netsim.Sim.run sim ~until:seconds;
+      Printf.printf "link %.1f Mb/s, %d greedy classes, %.1fs simulated\n\n"
+        mbits n seconds;
+      List.iter
+        (fun (_, cls) ->
+          Printf.printf "%-10s %10.2f Mb/s\n" (Hfsc.name cls)
+            (Hfsc.total_bytes cls /. seconds *. 8. /. 1e6))
+        classes;
+      (match Netsim.Sim.delay_of_flow sim 1 with
+      | Some d ->
+          Printf.printf
+            "\nrealtime class: mean %.3f ms, max %.3f ms (guarantee %.1f ms + Lmax/R)\n"
+            (Netsim.Stats.Delay.mean d *. 1000.)
+            (Netsim.Stats.Delay.max d *. 1000.)
+            dmax_ms
+      | None -> ());
+      Printf.printf "link utilization: %.1f%%\n"
+        (Netsim.Sim.utilization sim *. 100.);
+      0
+    end
+  in
+  Cmd.v (Cmd.info "demo" ~doc)
+    Term.(const run $ n $ mbits $ dmax_ms $ seconds)
+
+let simulate_cmd =
+  let doc =
+    "Run a simulation described by a configuration file (hierarchy + \
+     sources; see examples/fig1.hfsc and the Config module docs)."
+  in
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"CONFIG")
+  in
+  let seconds =
+    Arg.(value & opt float 10. & info [ "time" ] ~docv:"S"
+           ~doc:"Simulated seconds.")
+  in
+  let trace =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Write a per-packet CSV trace to $(docv).")
+  in
+  let debug =
+    Arg.(value & flag
+         & info [ "debug" ]
+             ~doc:"Print the scheduler's internal decisions (very verbose).")
+  in
+  let run file seconds trace debug =
+    if debug then begin
+      Logs.set_reporter (Logs.format_reporter ());
+      Logs.set_level (Some Logs.Debug)
+    end;
+    match Config.load file with
+    | Error e ->
+        Printf.eprintf "%s: %s\n" file e;
+        1
+    | Ok cfg ->
+        List.iter
+          (fun w -> Printf.eprintf "warning: %s\n" w)
+          (Config.validate cfg);
+        let sched =
+          Netsim.Adapters.of_hfsc cfg.Config.scheduler
+            ~flow_map:cfg.Config.flow_map
+        in
+        let sim =
+          Netsim.Sim.create ~link_rate:cfg.Config.link_rate ~sched ()
+        in
+        let recorder = Netsim.Recorder.create () in
+        (match trace with
+        | Some _ -> Netsim.Recorder.attach recorder sim
+        | None -> ());
+        List.iter (Netsim.Sim.add_source sim)
+          (cfg.Config.sources ~until:seconds);
+        Netsim.Sim.run sim ~until:seconds;
+        (match trace with
+        | Some path -> (
+            match Netsim.Recorder.save_csv recorder path with
+            | Ok () ->
+                Printf.printf "wrote %d packet records to %s\n"
+                  (Netsim.Recorder.length recorder)
+                  path
+            | Error e -> Printf.eprintf "trace: %s\n" e)
+        | None -> ());
+        Printf.printf "link %.2f Mb/s, %.1fs simulated, utilization %.1f%%\n\n"
+          (cfg.Config.link_rate *. 8. /. 1e6)
+          seconds
+          (Netsim.Sim.utilization sim *. 100.);
+        Printf.printf "%-12s %-12s %-12s %-12s %-12s %s\n" "class"
+          "rate" "rt-bytes" "mean delay" "max delay" "drops";
+        List.iter
+          (fun (flow, cls) ->
+            let rate =
+              Hfsc.total_bytes cls /. seconds *. 8. /. 1e6
+            in
+            let mean, mx =
+              match Netsim.Sim.delay_of_flow sim flow with
+              | Some d ->
+                  ( Printf.sprintf "%.3f ms" (Netsim.Stats.Delay.mean d *. 1e3),
+                    Printf.sprintf "%.3f ms" (Netsim.Stats.Delay.max d *. 1e3) )
+              | None -> ("-", "-")
+            in
+            Printf.printf "%-12s %-12s %-12.0f %-12s %-12s %d\n"
+              (Hfsc.name cls)
+              (Printf.sprintf "%.2f Mb/s" rate)
+              (Hfsc.realtime_bytes cls) mean mx (Hfsc.drops cls))
+          cfg.Config.flow_map;
+        0
+  in
+  Cmd.v (Cmd.info "simulate" ~doc)
+    Term.(const run $ file $ seconds $ trace $ debug)
+
+let () =
+  let doc =
+    "Reproduction of the H-FSC scheduler (Stoica, Zhang, Ng): experiments \
+     and ad-hoc simulations."
+  in
+  let info = Cmd.info "hfsc_sim" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval' (Cmd.group info [ list_cmd; run_cmd; demo_cmd; simulate_cmd ]))

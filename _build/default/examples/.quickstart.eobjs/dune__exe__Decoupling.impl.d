@@ -1,0 +1,1 @@
+examples/decoupling.ml: Analysis Curve Hfsc Netsim Printf Sched

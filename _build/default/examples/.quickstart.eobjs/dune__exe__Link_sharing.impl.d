@@ -1,0 +1,1 @@
+examples/link_sharing.ml: Curve Hfsc List Netsim Printf

@@ -1,0 +1,1 @@
+examples/multi_hop.ml: Analysis Curve Hfsc List Netsim Printf

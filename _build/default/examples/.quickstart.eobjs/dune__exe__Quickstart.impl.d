@@ -1,0 +1,1 @@
+examples/quickstart.ml: Curve Float Format Hfsc Pkt Printf

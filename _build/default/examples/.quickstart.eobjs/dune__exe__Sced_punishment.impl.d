@@ -1,0 +1,1 @@
+examples/sced_punishment.ml: Curve Hfsc List Netsim Printf Sched

@@ -1,0 +1,1 @@
+examples/sced_punishment.mli:

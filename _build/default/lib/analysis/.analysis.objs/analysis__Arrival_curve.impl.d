@@ -1,0 +1,1 @@
+lib/analysis/arrival_curve.ml: Curve

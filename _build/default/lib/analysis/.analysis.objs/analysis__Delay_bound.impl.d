@@ -1,0 +1,1 @@
+lib/analysis/delay_bound.ml: Curve Float

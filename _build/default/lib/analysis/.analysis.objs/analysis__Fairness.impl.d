@@ -1,0 +1,1 @@
+lib/analysis/fairness.ml: Array Float List

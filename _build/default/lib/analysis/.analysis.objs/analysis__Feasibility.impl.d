@@ -1,0 +1,1 @@
+lib/analysis/feasibility.ml: Curve Float List

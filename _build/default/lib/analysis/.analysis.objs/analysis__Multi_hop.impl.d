@@ -1,0 +1,1 @@
+lib/analysis/multi_hop.ml: Curve Float List

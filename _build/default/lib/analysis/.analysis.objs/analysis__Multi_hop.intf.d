@@ -1,0 +1,1 @@
+lib/analysis/multi_hop.mli: Curve

@@ -1,0 +1,21 @@
+module P = Curve.Piecewise
+
+let sum_curves curves =
+  List.fold_left
+    (fun acc sc -> P.sum acc (P.of_service_curve sc))
+    P.zero curves
+
+let excess ~link_rate curves =
+  if link_rate <= 0. then invalid_arg "Admission.excess: link_rate must be > 0";
+  P.vdev (sum_curves curves) (P.linear ~slope:link_rate)
+
+let admissible ~link_rate curves = excess ~link_rate curves <= 1e-6
+
+let rate_utilization ~link_rate curves =
+  if link_rate <= 0. then
+    invalid_arg "Admission.rate_utilization: link_rate must be > 0";
+  List.fold_left (fun acc sc -> acc +. Curve.Service_curve.rate sc) 0. curves
+  /. link_rate
+
+let hierarchy_consistent ~parent children =
+  P.vdev (sum_curves children) (P.of_service_curve parent) <= 1e-6

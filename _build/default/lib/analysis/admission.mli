@@ -1,0 +1,24 @@
+(** Admission control for service-curve schedulers (Section II): SCED —
+    and hence H-FSC's real-time criterion — can guarantee curves
+    [S_1..S_n] on a link with linear service curve [R·t] iff
+    [sum_i S_i(t) <= R·t] for all [t]. *)
+
+val admissible :
+  link_rate:float -> Curve.Service_curve.t list -> bool
+(** Exact test of the SCED schedulability condition. *)
+
+val excess : link_rate:float -> Curve.Service_curve.t list -> float
+(** Worst-case over-subscription in bytes:
+    [sup_t (sum_i S_i(t) - R t)]; 0 when admissible. *)
+
+val rate_utilization :
+  link_rate:float -> Curve.Service_curve.t list -> float
+(** [sum of asymptotic rates / link_rate] — the long-run load the
+    curves commit the link to. *)
+
+val hierarchy_consistent :
+  parent:Curve.Service_curve.t -> Curve.Service_curve.t list -> bool
+(** Do the children's fair service curves fit under the parent's
+    ([sum children <= parent] pointwise)? The configuration the
+    link-sharing examples of the paper assume (Fig. 3 sets each interior
+    curve to the sum of its children's). *)

@@ -1,0 +1,11 @@
+let token_bucket ~sigma ~rho = Curve.Piecewise.token_bucket ~sigma ~rho
+
+let of_cbr ~rate ~pkt_size =
+  token_bucket ~sigma:(float_of_int pkt_size) ~rho:rate
+
+let of_on_off ~peak_rate ~mean_rate ~burst =
+  if peak_rate < mean_rate then
+    invalid_arg "Arrival_curve.of_on_off: peak_rate < mean_rate";
+  Curve.Piecewise.min_curve
+    (Curve.Piecewise.linear ~slope:peak_rate)
+    (token_bucket ~sigma:burst ~rho:mean_rate)

@@ -1,0 +1,18 @@
+(** Deterministic arrival envelopes for the workloads used in the
+    experiments — the alpha of the delay-bound computation. *)
+
+val token_bucket : sigma:float -> rho:float -> Curve.Piecewise.t
+(** Burst [sigma] bytes, sustained rate [rho] bytes/s. *)
+
+val of_cbr : rate:float -> pkt_size:int -> Curve.Piecewise.t
+(** Envelope of a CBR packet source: one packet of burst plus the rate
+    ([token_bucket ~sigma:pkt_size ~rho:rate]). *)
+
+val of_on_off :
+  peak_rate:float -> mean_rate:float -> burst:float -> Curve.Piecewise.t
+(** Dual-slope envelope of a shaped on-off source: rate limited to
+    [peak_rate] over short intervals and to [mean_rate] with burst
+    allowance [burst] (bytes) over long ones — the minimum of the two
+    token buckets.
+
+    @raise Invalid_argument if [peak_rate < mean_rate]. *)

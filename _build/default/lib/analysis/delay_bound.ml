@@ -1,0 +1,32 @@
+let fluid ~alpha ~beta =
+  Curve.Piecewise.hdev alpha (Curve.Piecewise.of_service_curve beta)
+
+let hfsc ~alpha ~beta ~lmax ~link_rate =
+  if lmax <= 0 then invalid_arg "Delay_bound.hfsc: lmax must be > 0";
+  if link_rate <= 0. then invalid_arg "Delay_bound.hfsc: link_rate must be > 0";
+  fluid ~alpha ~beta +. (float_of_int lmax /. link_rate)
+
+(* Smallest rate r with hdev(alpha, linear r) <= target: hdev is
+   nonincreasing in r, so bisect. *)
+let coupled_linear_rate ~alpha ~target_delay =
+  if target_delay < 0. then
+    invalid_arg "Delay_bound.coupled_linear_rate: negative target";
+  let delay r =
+    Curve.Piecewise.hdev alpha (Curve.Piecewise.linear ~slope:r)
+  in
+  (* find an upper bracket *)
+  let rec grow r n =
+    if n = 0 then infinity
+    else if delay r <= target_delay then r
+    else grow (2. *. r) (n - 1)
+  in
+  let hi = grow 1. 64 in
+  if Float.is_finite hi then begin
+    let lo = ref (hi /. 2.) and hi = ref hi in
+    for _ = 1 to 60 do
+      let mid = (!lo +. !hi) /. 2. in
+      if delay mid <= target_delay then hi := mid else lo := mid
+    done;
+    !hi
+  end
+  else infinity

@@ -1,0 +1,27 @@
+(** Worst-case delay bounds from service curves — the analytic side of
+    the evaluation (Theorems 1 and 2).
+
+    A session guaranteed service curve [beta] whose arrivals respect
+    envelope [alpha] sees delay at most the horizontal deviation
+    [hdev alpha beta] in the fluid model; the H-FSC packet system adds
+    at most one maximum-size packet's transmission time (Theorem 2). *)
+
+val fluid : alpha:Curve.Piecewise.t -> beta:Curve.Service_curve.t -> float
+(** Fluid-model bound: [hdev alpha beta]. *)
+
+val hfsc :
+  alpha:Curve.Piecewise.t ->
+  beta:Curve.Service_curve.t ->
+  lmax:int ->
+  link_rate:float ->
+  float
+(** Packetized H-FSC bound: [fluid + lmax / link_rate] (Theorem 2). *)
+
+val coupled_linear_rate :
+  alpha:Curve.Piecewise.t -> target_delay:float -> float
+(** The smallest {e linear} service-curve rate under which a flow with
+    envelope [alpha] meets [target_delay] in the fluid model — what a
+    rate-proportional discipline (WFQ et al.) must reserve. Dividing by
+    the flow's sustained rate gives the over-reservation factor that
+    motivates decoupled (concave) curves (Section II). [infinity] when
+    no finite rate achieves the target (target 0 with bursty alpha). *)

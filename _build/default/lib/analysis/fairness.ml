@@ -1,0 +1,22 @@
+let normalized ~rate samples =
+  if rate <= 0. then invalid_arg "Fairness.normalized: rate must be > 0";
+  Array.map (fun v -> v /. rate) samples
+
+let max_gap a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Fairness.max_gap: length mismatch";
+  let m = ref 0. in
+  Array.iteri (fun i x -> m := Float.max !m (Float.abs (x -. b.(i)))) a;
+  !m
+
+let jain_index xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Fairness.jain_index: empty";
+  let s = Array.fold_left ( +. ) 0. xs in
+  let s2 = Array.fold_left (fun acc x -> acc +. (x *. x)) 0. xs in
+  if s2 = 0. then 1. else s *. s /. (float_of_int n *. s2)
+
+let throughput_shares xs =
+  let total = List.fold_left (fun acc (_, v) -> acc +. v) 0. xs in
+  if total <= 0. then List.map (fun (k, _) -> (k, 0.)) xs
+  else List.map (fun (k, v) -> (k, v /. total)) xs

@@ -1,0 +1,24 @@
+(** Fairness metrics over measured service — quantifying the property
+    Section III-B defines (excess distributed by the service curves, no
+    punishment). *)
+
+val normalized : rate:float -> float array -> float array
+(** Divide a cumulative-service sample array by the class's rate,
+    yielding virtual-time-like values comparable across classes. *)
+
+val max_gap : float array -> float array -> float
+(** Largest pointwise absolute difference of two equal-length arrays —
+    applied to two {!normalized} series over a joint backlog period it
+    is the (empirical) worst-case fairness gap.
+
+    @raise Invalid_argument on length mismatch. *)
+
+val jain_index : float array -> float
+(** Jain's fairness index [(sum x)^2 / (n sum x^2)] of per-class
+    throughputs: 1 = perfectly equal shares.
+
+    @raise Invalid_argument on an empty array. *)
+
+val throughput_shares : (string * float) list -> (string * float) list
+(** Normalize named byte counts to fractions of their total (0s when
+    the total is 0) — convenience for reporting link-sharing splits. *)

@@ -1,0 +1,50 @@
+module Sc = Curve.Service_curve
+module P = Curve.Piecewise
+
+let demand classes =
+  if classes = [] then invalid_arg "Feasibility.demand: no classes";
+  List.fold_left
+    (fun acc (sc, a) ->
+      if a < 0. then invalid_arg "Feasibility.demand: negative activation";
+      P.sum acc (P.shift_right (P.of_service_curve sc) a))
+    P.zero classes
+
+(* Infeasibility over some window (t0, t]:
+     D(t) - D(t0) > R (t - t0)
+   i.e. g(t) = D(t) - R t rises above its own running minimum. g is
+   piecewise linear with breakpoints exactly at D's, so it suffices to
+   walk those (plus a tail probe). *)
+let overload ~link_rate classes =
+  if link_rate <= 0. then invalid_arg "Feasibility.overload: bad link_rate";
+  let d = demand classes in
+  let xs = List.map (fun (x, _, _) -> x) (P.segments d) in
+  let probe = List.fold_left Float.max 0. xs +. 1. in
+  let xs = xs @ [ probe ] in
+  let g t = P.eval d t -. (link_rate *. t) in
+  let _, _, worst =
+    List.fold_left
+      (fun (min_g, min_t, worst) t ->
+        let gt = g t in
+        let excess = gt -. min_g in
+        let worst =
+          match worst with
+          | Some (_, _, _, w) when w >= excess -> worst
+          | _ when excess > 1e-6 ->
+              Some (t, P.eval d t -. P.eval d min_t, link_rate *. (t -. min_t), excess)
+          | _ -> worst
+        in
+        if gt < min_g then (gt, t, worst) else (min_g, min_t, worst))
+      (g 0., 0., None)
+      xs
+  in
+  if P.final_slope d > link_rate then begin
+    (* demand outruns the link forever: report the probe window *)
+    let t0 = 0. in
+    Some (probe, P.eval d probe -. P.eval d t0, link_rate *. (probe -. t0))
+  end
+  else
+    match worst with
+    | Some (t, dem, cap, _) -> Some (t, dem, cap)
+    | None -> None
+
+let feasible ~link_rate classes = overload ~link_rate classes = None

@@ -1,0 +1,35 @@
+(** The Section III-C feasibility computation: given classes with
+    service curves activated at given instants, when does their
+    aggregate future demand exceed the link — i.e. when is the ideal
+    FSC model impossible to realize?
+
+    This makes the Fig. 3 argument executable: the paper shows that
+    after an idle class reactivates, the sum of the service curves that
+    must be honoured (each measured from its own activation) can exceed
+    the server's curve over a window, so either some curve or perfect
+    fairness must yield. H-FSC resolves the conflict in favour of leaf
+    curves; {!overload} computes where the conflict lies. *)
+
+val demand : (Curve.Service_curve.t * float) list -> Curve.Piecewise.t
+(** [demand [(s1, a1); ...]] — the aggregate entitlement
+    [t -> sum_i S_i (t - a_i)], each class's curve anchored at its
+    activation time (absolute seconds, [>= 0]). *)
+
+val overload :
+  link_rate:float ->
+  (Curve.Service_curve.t * float) list ->
+  (float * float * float) option
+(** [overload ~link_rate classes] — the worst point of infeasibility:
+    [Some (t, demand, capacity)] where the aggregate entitlement's
+    {e increment rate} requirement first exceeds what the link can
+    deliver, measured as the maximum of
+    [demand(t) - demand(t0) - R (t - t0)] over activation-anchored
+    windows; [None] when every curve can be honoured (the SCED condition
+    generalized to staggered activations).
+
+    Precisely: infeasibility at [t] means there is a window [(t0, t]]
+    with [sum_i (S_i(t - a_i) - S_i(t0 - a_i)) > R (t - t0)]. *)
+
+val feasible :
+  link_rate:float -> (Curve.Service_curve.t * float) list -> bool
+(** [overload] is [None]. *)

@@ -1,0 +1,58 @@
+module Sc = Curve.Service_curve
+module P = Curve.Piecewise
+
+let convexify s =
+  if Sc.is_convex s then s else Sc.linear (Sc.rate s)
+
+let end_to_end_curve = function
+  | [] -> invalid_arg "Multi_hop.end_to_end_curve: no hops"
+  | curves ->
+      List.fold_left
+        (fun acc sc ->
+          P.convolve_convex acc (P.of_service_curve (convexify sc)))
+        (P.of_service_curve (convexify (List.hd curves)))
+        (List.tl curves)
+
+let check_hops hops lmax =
+  if hops = [] then invalid_arg "Multi_hop: no hops";
+  if lmax <= 0 then invalid_arg "Multi_hop: lmax must be positive";
+  List.iter
+    (fun (_, r) -> if r <= 0. then invalid_arg "Multi_hop: bad link rate")
+    hops
+
+let packetization hops lmax =
+  List.fold_left
+    (fun acc (_, r) -> acc +. (float_of_int lmax /. r))
+    0. hops
+
+let bound ~alpha ~hops ~lmax =
+  check_hops hops lmax;
+  let beta = end_to_end_curve (List.map fst hops) in
+  P.hdev alpha beta +. packetization hops lmax
+
+(* The output envelope of a server with delay bound d fed at envelope
+   a is a(t + d): the same curve slid left, its pre-0 part collapsed
+   into a bigger initial burst. *)
+let shift_left a d =
+  if d <= 0. then a
+  else begin
+    let tail = List.filter (fun (x, _, _) -> x > d) (P.segments a) in
+    let head = (0., P.eval a d, P.slope_at a d) in
+    P.make (head :: List.map (fun (x, y, s) -> (x -. d, y, s)) tail)
+  end
+
+(* Per-hop analysis: hop i sees the previous hop's output, whose
+   envelope is alpha shifted left by the delay bound already incurred
+   (the standard output-burstiness bound alpha*(t) = alpha (t + d_i)). *)
+let sum_of_per_hop_bounds ~alpha ~hops ~lmax =
+  check_hops hops lmax;
+  let _, total =
+    List.fold_left
+      (fun (a, acc) (sc, r) ->
+        let beta = P.of_service_curve (convexify sc) in
+        let d = P.hdev a beta in
+        if not (Float.is_finite d) then (a, infinity)
+        else (shift_left a d, acc +. d +. (float_of_int lmax /. r)))
+      (alpha, 0.) hops
+  in
+  total

@@ -1,0 +1,1 @@
+lib/classify/lpm.ml: List Prefix

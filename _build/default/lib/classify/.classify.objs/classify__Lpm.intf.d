@@ -1,0 +1,1 @@
+lib/classify/lpm.mli: Prefix

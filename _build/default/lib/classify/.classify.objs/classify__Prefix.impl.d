@@ -1,0 +1,1 @@
+lib/classify/prefix.ml: Format Int32 Pkt Printf String

@@ -1,0 +1,1 @@
+lib/classify/prefix.mli: Format

@@ -1,0 +1,1 @@
+lib/classify/rules.ml: Format List Pkt Prefix Printf

@@ -1,0 +1,1 @@
+lib/classify/rules.mli: Format Pkt

@@ -1,0 +1,39 @@
+(* A node holds the value of the prefix ending exactly there (if any)
+   plus children for the 0- and 1-branches of the next address bit. *)
+type 'a t = Node of (Prefix.t * 'a) option * 'a t option * 'a t option
+
+let empty = Node (None, None, None)
+
+let add t prefix v =
+  let rec go (Node (here, zero, one)) depth =
+    if depth = (prefix : Prefix.t).Prefix.len then
+      Node (Some (prefix, v), zero, one)
+    else if Prefix.bit prefix.Prefix.addr depth then
+      let child = match one with Some c -> c | None -> empty in
+      Node (here, zero, Some (go child (depth + 1)))
+    else
+      let child = match zero with Some c -> c | None -> empty in
+      Node (here, Some (go child (depth + 1)), one)
+  in
+  go t 0
+
+let of_list l = List.fold_left (fun t (p, v) -> add t p v) empty l
+
+let lookup_prefix t addr =
+  let rec go (Node (here, zero, one)) depth best =
+    let best = match here with Some _ -> here | None -> best in
+    if depth = 32 then best
+    else begin
+      let child = if Prefix.bit addr depth then one else zero in
+      match child with None -> best | Some c -> go c (depth + 1) best
+    end
+  in
+  go t 0 None
+
+let lookup t addr =
+  match lookup_prefix t addr with Some (_, v) -> Some v | None -> None
+
+let rec cardinal (Node (here, zero, one)) =
+  (match here with Some _ -> 1 | None -> 0)
+  + (match zero with Some c -> cardinal c | None -> 0)
+  + (match one with Some c -> cardinal c | None -> 0)

@@ -1,0 +1,20 @@
+(** Longest-prefix match over IPv4 prefixes: a binary trie, the routing
+    lookup structure. O(32) per lookup regardless of table size. *)
+
+type 'a t
+
+val empty : 'a t
+
+val add : 'a t -> Prefix.t -> 'a -> 'a t
+(** Later [add]s of the same prefix replace the earlier value. *)
+
+val of_list : (Prefix.t * 'a) list -> 'a t
+
+val lookup : 'a t -> int32 -> 'a option
+(** Value of the longest prefix containing the address. *)
+
+val lookup_prefix : 'a t -> int32 -> (Prefix.t * 'a) option
+(** Also report which prefix matched. *)
+
+val cardinal : 'a t -> int
+(** Number of stored prefixes. *)

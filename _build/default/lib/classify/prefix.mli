@@ -1,0 +1,27 @@
+(** IPv4 prefixes in CIDR notation. *)
+
+type t = private { addr : int32; len : int }
+
+val make : addr:int32 -> len:int -> t
+(** Host bits beyond [len] are cleared.
+
+    @raise Invalid_argument unless [0 <= len <= 32]. *)
+
+val of_string : string -> t
+(** [of_string "10.0.0.0/8"]; a bare address means /32.
+
+    @raise Invalid_argument on malformed input. *)
+
+val to_string : t -> string
+
+val matches : t -> int32 -> bool
+(** Does the address fall inside the prefix? *)
+
+val any : t
+(** 0.0.0.0/0 — matches everything. *)
+
+val bit : int32 -> int -> bool
+(** [bit a i] — the i-th most significant bit of [a] (i in 0..31);
+    exposed for the LPM trie. *)
+
+val pp : Format.formatter -> t -> unit

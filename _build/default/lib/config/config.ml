@@ -1,0 +1,389 @@
+type t = {
+  scheduler : Hfsc.t;
+  flow_map : (int * Hfsc.cls) list;
+  sources : until:float -> Netsim.Source.t list;
+  link_rate : float;
+}
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+(* --- token-level parsers -------------------------------------------- *)
+
+let strip_suffix s suffix =
+  if
+    String.length s > String.length suffix
+    && String.sub s (String.length s - String.length suffix) (String.length suffix)
+       = suffix
+  then Some (String.sub s 0 (String.length s - String.length suffix))
+  else None
+
+let float_of_token s =
+  match float_of_string_opt s with
+  | Some v when Float.is_finite v && v >= 0. -> v
+  | _ -> fail "expected a non-negative number, got %S" s
+
+(* Longest-suffix-first so "MBps" is not misread as "Bps". The value is
+   returned in bytes/second. *)
+let rate_units =
+  [
+    ("GBps", 1e9); ("MBps", 1e6); ("KBps", 1e3); ("Bps", 1.);
+    ("Gbit", 1e9 /. 8.); ("Mbit", 1e6 /. 8.); ("Kbit", 1e3 /. 8.);
+    ("bps", 1. /. 8.); ("bit", 1. /. 8.);
+  ]
+
+let parse_rate_exn s =
+  let rec try_units = function
+    | [] -> fail "rate %S needs a unit (e.g. 45Mbit, 100KBps)" s
+    | (u, mult) :: rest -> (
+        match strip_suffix s u with
+        | Some num -> float_of_token num *. mult
+        | None -> try_units rest)
+  in
+  try_units rate_units
+
+let time_units = [ ("ms", 1e-3); ("us", 1e-6); ("s", 1.) ]
+
+let parse_time_exn s =
+  let rec try_units = function
+    | [] -> fail "time %S needs a unit (e.g. 5ms, 2s)" s
+    | (u, mult) :: rest -> (
+        match strip_suffix s u with
+        | Some num -> float_of_token num *. mult
+        | None -> try_units rest)
+  in
+  try_units time_units
+
+let parse_rate s =
+  try Ok (parse_rate_exn s) with Parse_error e -> Error e
+
+let parse_time s =
+  try Ok (parse_time_exn s) with Parse_error e -> Error e
+
+let int_of_token s =
+  match int_of_string_opt s with
+  | Some v -> v
+  | None -> fail "expected an integer, got %S" s
+
+(* --- a tiny token stream --------------------------------------------- *)
+
+type stream = { mutable toks : string list }
+
+let next st =
+  match st.toks with
+  | [] -> fail "unexpected end of line"
+  | t :: rest ->
+      st.toks <- rest;
+      t
+
+let peek st = match st.toks with [] -> None | t :: _ -> Some t
+let expect st kw =
+  let t = next st in
+  if t <> kw then fail "expected %S, got %S" kw t
+
+(* A curve spec: "RATE", "m1 R d T m2 R" or (rsc only) "umax B dmax T
+   rate R". *)
+let parse_curve st =
+  match peek st with
+  | Some "m1" ->
+      expect st "m1";
+      let m1 = parse_rate_exn (next st) in
+      expect st "d";
+      let d = parse_time_exn (next st) in
+      expect st "m2";
+      let m2 = parse_rate_exn (next st) in
+      Curve.Service_curve.make ~m1 ~d ~m2
+  | Some "umax" ->
+      expect st "umax";
+      let umax = float_of_token (next st) in
+      expect st "dmax";
+      let dmax = parse_time_exn (next st) in
+      expect st "rate";
+      let rate = parse_rate_exn (next st) in
+      Curve.Service_curve.of_requirements ~umax ~dmax ~rate
+  | Some _ -> Curve.Service_curve.linear (parse_rate_exn (next st))
+  | None -> fail "expected a curve specification"
+
+(* --- statement parsing ------------------------------------------------ *)
+
+type class_spec = {
+  cname : string;
+  cparent : string;
+  cflow : int option;
+  crsc : Curve.Service_curve.t option;
+  cfsc : Curve.Service_curve.t option;
+  cusc : Curve.Service_curve.t option;
+  cqlimit : int option;
+}
+
+type source_spec = {
+  skind : string;
+  sflow : int;
+  srate : float;
+  spkt : int;
+  sseed : int option;
+  son : float option;
+  soff : float option;
+  scount : int option;
+  sat : float option;
+  sstart : float;
+  sstop : float option;
+}
+
+type stmt =
+  | Link of float
+  | Class of class_spec
+  | Source of source_spec
+
+let parse_class st =
+  let cname = next st in
+  expect st "parent";
+  let cparent = next st in
+  let flow = ref None in
+  let rsc = ref None and fsc = ref None and usc = ref None in
+  let qlimit = ref None in
+  let continue_ = ref true in
+  while !continue_ do
+    match peek st with
+    | None -> continue_ := false
+    | Some kw -> (
+        ignore (next st);
+        match kw with
+        | "flow" -> flow := Some (int_of_token (next st))
+        | "qlimit" -> qlimit := Some (int_of_token (next st))
+        | "rsc" -> rsc := Some (parse_curve st)
+        | "fsc" -> fsc := Some (parse_curve st)
+        | "ulimit" -> usc := Some (parse_curve st)
+        | other -> fail "unknown class attribute %S" other)
+  done;
+  Class
+    { cname; cparent; cflow = !flow; crsc = !rsc; cfsc = !fsc; cusc = !usc;
+      cqlimit = !qlimit }
+
+let parse_source st =
+  let skind = next st in
+  let flow = ref None and rate = ref None and pkt = ref None in
+  let seed = ref None and on = ref None and off = ref None in
+  let count = ref None and at = ref None in
+  let start = ref 0. and stop = ref None in
+  let continue_ = ref true in
+  while !continue_ do
+    match peek st with
+    | None -> continue_ := false
+    | Some kw -> (
+        ignore (next st);
+        match kw with
+        | "flow" -> flow := Some (int_of_token (next st))
+        | "rate" -> rate := Some (parse_rate_exn (next st))
+        | "pkt" -> pkt := Some (int_of_token (next st))
+        | "seed" -> seed := Some (int_of_token (next st))
+        | "on" -> on := Some (parse_time_exn (next st))
+        | "off" -> off := Some (parse_time_exn (next st))
+        | "count" -> count := Some (int_of_token (next st))
+        | "at" -> at := Some (parse_time_exn (next st))
+        | "start" -> start := parse_time_exn (next st)
+        | "stop" -> stop := Some (parse_time_exn (next st))
+        | other -> fail "unknown source attribute %S" other)
+  done;
+  let req name = function Some v -> v | None -> fail "source needs %s" name in
+  Source
+    {
+      skind;
+      sflow = req "flow" !flow;
+      srate = (match !rate with Some r -> r | None -> 0.);
+      spkt = (match !pkt with Some p -> p | None -> 0);
+      sseed = !seed;
+      son = !on;
+      soff = !off;
+      scount = !count;
+      sat = !at;
+      sstart = !start;
+      sstop = !stop;
+    }
+
+let parse_line line =
+  let line =
+    match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  let toks =
+    String.split_on_char ' ' line
+    |> List.concat_map (String.split_on_char '\t')
+    |> List.filter (fun s -> s <> "")
+  in
+  match toks with
+  | [] -> None
+  | kw :: rest -> (
+      let st = { toks = rest } in
+      match kw with
+      | "link" ->
+          expect st "rate";
+          let r = parse_rate_exn (next st) in
+          if peek st <> None then fail "trailing tokens after link rate";
+          Some (Link r)
+      | "class" -> Some (parse_class st)
+      | "source" -> Some (parse_source st)
+      | other -> fail "unknown statement %S" other)
+
+(* --- assembling the scheduler ---------------------------------------- *)
+
+let build stmts =
+  let link_rate =
+    match
+      List.filter_map (function Link r -> Some r | _ -> None) stmts
+    with
+    | [ r ] when r > 0. -> r
+    | [] -> fail "missing 'link rate ...' statement"
+    | [ _ ] -> fail "link rate must be positive"
+    | _ -> fail "duplicate 'link' statement"
+  in
+  let scheduler = Hfsc.create ~link_rate () in
+  let classes = Hashtbl.create 16 in
+  Hashtbl.replace classes "root" (Hfsc.root scheduler);
+  let flow_map = ref [] in
+  List.iter
+    (function
+      | Class c ->
+          if Hashtbl.mem classes c.cname then
+            fail "duplicate class %S" c.cname;
+          let parent =
+            match Hashtbl.find_opt classes c.cparent with
+            | Some p -> p
+            | None -> fail "class %S: unknown parent %S" c.cname c.cparent
+          in
+          let cls =
+            try
+              Hfsc.add_class scheduler ~parent ~name:c.cname ?rsc:c.crsc
+                ?fsc:c.cfsc ?usc:c.cusc ?qlimit:c.cqlimit ()
+            with Invalid_argument e -> fail "class %S: %s" c.cname e
+          in
+          Hashtbl.replace classes c.cname cls;
+          (match c.cflow with
+          | Some flow ->
+              if List.mem_assoc flow !flow_map then
+                fail "flow %d mapped twice" flow;
+              flow_map := (flow, cls) :: !flow_map
+          | None -> ())
+      | Link _ | Source _ -> ())
+    stmts;
+  let source_specs =
+    List.filter_map (function Source s -> Some s | _ -> None) stmts
+  in
+  (* validate sources now so errors surface at parse time *)
+  List.iter
+    (fun s ->
+      if not (List.mem_assoc s.sflow !flow_map) then
+        fail "source refers to unmapped flow %d" s.sflow;
+      match s.skind with
+      | "cbr" | "greedy" ->
+          if s.srate <= 0. || s.spkt <= 0 then
+            fail "%s source needs rate and pkt" s.skind
+      | "poisson" ->
+          if s.srate <= 0. || s.spkt <= 0 || s.sseed = None then
+            fail "poisson source needs rate, pkt and seed"
+      | "onoff" ->
+          if
+            s.srate <= 0. || s.spkt <= 0 || s.sseed = None || s.son = None
+            || s.soff = None
+          then fail "onoff source needs rate, pkt, on, off and seed"
+      | "burst" ->
+          if s.spkt <= 0 || s.scount = None then
+            fail "burst source needs pkt and count"
+      | other -> fail "unknown source kind %S" other)
+    source_specs;
+  let sources ~until =
+    List.map
+      (fun s ->
+        let stop = match s.sstop with Some v -> v | None -> until in
+        match s.skind with
+        | "cbr" | "greedy" ->
+            Netsim.Source.cbr ~flow:s.sflow ~rate:s.srate ~pkt_size:s.spkt
+              ~start:s.sstart ~stop ()
+        | "poisson" ->
+            Netsim.Source.poisson ~flow:s.sflow ~rate:s.srate
+              ~pkt_size:s.spkt
+              ~seed:(Option.get s.sseed)
+              ~start:s.sstart ~stop ()
+        | "onoff" ->
+            Netsim.Source.on_off_exp ~flow:s.sflow ~peak_rate:s.srate
+              ~pkt_size:s.spkt
+              ~mean_on:(Option.get s.son)
+              ~mean_off:(Option.get s.soff)
+              ~seed:(Option.get s.sseed)
+              ~start:s.sstart ~stop ()
+        | "burst" ->
+            Netsim.Source.burst ~flow:s.sflow ~pkt_size:s.spkt
+              ~count:(Option.get s.scount)
+              ~at:(match s.sat with Some v -> v | None -> s.sstart)
+        | _ -> assert false)
+      source_specs
+  in
+  { scheduler; flow_map = List.rev !flow_map; sources; link_rate }
+
+let validate t =
+  let warnings = ref [] in
+  let warn fmt = Printf.ksprintf (fun s -> warnings := s :: !warnings) fmt in
+  let classes = Hfsc.classes t.scheduler in
+  let leaf_rscs =
+    List.filter_map (fun c -> if Hfsc.is_leaf c then Hfsc.rsc c else None)
+      classes
+  in
+  if
+    leaf_rscs <> []
+    && not (Analysis.Admission.admissible ~link_rate:t.link_rate leaf_rscs)
+  then
+    warn
+      "real-time curves are not admissible on the link (oversubscribed by \
+       %.0f bytes worst-case): guarantees will not hold"
+      (Analysis.Admission.excess ~link_rate:t.link_rate leaf_rscs);
+  List.iter
+    (fun c ->
+      match (Hfsc.fsc c, Hfsc.children c) with
+      | Some parent_fsc, (_ :: _ as children) ->
+          let child_fscs = List.filter_map Hfsc.fsc children in
+          if
+            List.length child_fscs = List.length children
+            && not
+                 (Analysis.Admission.hierarchy_consistent ~parent:parent_fsc
+                    child_fscs)
+          then
+            warn "children of class %S outgrow its fair service curve"
+              (Hfsc.name c)
+      | _ -> ())
+    classes;
+  let sourced_flows =
+    List.map (fun s -> Netsim.Source.flow s) (t.sources ~until:1.)
+  in
+  List.iter
+    (fun (flow, cls) ->
+      if not (List.mem flow sourced_flows) then
+        warn "class %S (flow %d) has no traffic source" (Hfsc.name cls) flow)
+    t.flow_map;
+  List.rev !warnings
+
+let parse text =
+  try
+    let stmts =
+      String.split_on_char '\n' text
+      |> List.mapi (fun i line -> (i + 1, line))
+      |> List.filter_map (fun (n, line) ->
+             try Option.map (fun s -> (n, s)) (parse_line line)
+             with Parse_error e -> raise (Parse_error (Printf.sprintf "line %d: %s" n e)))
+    in
+    Ok (build (List.map snd stmts))
+  with Parse_error e -> Error e
+
+let load path =
+  match
+    try
+      let ic = open_in path in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      Ok s
+    with Sys_error e -> Error e
+  with
+  | Ok text -> parse text
+  | Error e -> Error e

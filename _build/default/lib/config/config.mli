@@ -1,0 +1,70 @@
+(** Text configuration for H-FSC hierarchies and workloads — the
+    moral equivalent of altq.conf, plus traffic sources so a whole
+    simulation is one file (see [bin/hfsc_sim.exe simulate]).
+
+    Line-oriented; [#] starts a comment; keywords and key/value pairs
+    are whitespace-separated. Rates accept [bps]/[Kbit]/[Mbit]/[Gbit]
+    (decimal multipliers, bits per second) or [Bps]/[KBps]/[MBps]
+    (bytes); times accept [s]/[ms]/[us]; sizes are bytes.
+
+    {v
+    # a 45 Mbit link shared by two departments
+    link rate 45Mbit
+
+    class cmu  parent root fsc 25Mbit
+    class pitt parent root fsc 20Mbit
+
+    # leaf with a real-time guarantee: 160-byte packets within 5 ms
+    class audio parent cmu flow 1 rsc umax 160 dmax 5ms rate 64Kbit
+    class video parent cmu flow 2 rsc umax 1000 dmax 10ms rate 2Mbit
+    class data  parent cmu flow 3 fsc 22.936Mbit qlimit 500
+    class pdata parent pitt flow 4 fsc 20Mbit ulimit 20Mbit
+
+    source cbr    flow 1 rate 64Kbit pkt 160
+    source cbr    flow 2 rate 2Mbit  pkt 1000
+    source poisson flow 3 rate 20Mbit pkt 1000 seed 42
+    source onoff  flow 4 rate 40Mbit pkt 1000 on 500ms off 500ms seed 7
+    v}
+
+    Class syntax: [class NAME parent PARENT (flow N)? CURVES... (qlimit N)?]
+    where each curve is one of
+    - [rsc umax BYTES dmax TIME rate RATE] — the Fig. 7 mapping;
+    - [rsc m1 RATE d TIME m2 RATE] — explicit two-piece curve;
+    - [fsc RATE] or [fsc m1 RATE d TIME m2 RATE] — link-sharing curve;
+    - [ulimit RATE] or [ulimit m1 RATE d TIME m2 RATE] — upper limit.
+    A class with a [flow] is a leaf fed by that flow id.
+
+    Source syntax: [source KIND flow N rate RATE pkt BYTES ...] with
+    KIND one of [cbr], [poisson] (needs [seed]), [onoff] (needs
+    [on]/[off]/[seed]), [greedy] (alias of cbr), [burst] (needs
+    [count] and [at]); all accept [start]/[stop]. *)
+
+type t = {
+  scheduler : Hfsc.t;
+  flow_map : (int * Hfsc.cls) list;
+  sources : until:float -> Netsim.Source.t list;
+      (** instantiate fresh sources, capping open-ended ones at
+          [until] *)
+  link_rate : float;  (** bytes/second *)
+}
+
+val parse : string -> (t, string) result
+(** Parse configuration text; errors carry a line number. *)
+
+val load : string -> (t, string) result
+(** [parse] the contents of a file. *)
+
+val validate : t -> string list
+(** Sanity warnings for a parsed configuration (empty = clean):
+    - the leaf real-time curves fail the SCED admission test on the
+      link (Section II: sum of curves must fit under [R t]);
+    - some interior class's children's fair curves exceed its own;
+    - a leaf class's flow has no source. Warnings, not errors — the
+      scheduler still runs, but guarantees may not hold. *)
+
+val parse_rate : string -> (float, string) result
+(** Parse a rate token to bytes/second (exposed for tests and the
+    CLI). *)
+
+val parse_time : string -> (float, string) result
+(** Parse a time token to seconds. *)

@@ -1,0 +1,1 @@
+lib/curve/piecewise.ml: Array Float Format List Service_curve

@@ -1,0 +1,1 @@
+lib/curve/piecewise.mli: Format Service_curve

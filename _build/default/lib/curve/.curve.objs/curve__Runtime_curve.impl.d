@@ -1,0 +1,1 @@
+lib/curve/runtime_curve.ml: Format Service_curve

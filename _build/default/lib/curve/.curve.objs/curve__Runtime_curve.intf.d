@@ -1,0 +1,1 @@
+lib/curve/runtime_curve.mli: Format Service_curve

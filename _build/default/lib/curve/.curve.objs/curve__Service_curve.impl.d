@@ -1,0 +1,1 @@
+lib/curve/service_curve.ml: Float Format Printf

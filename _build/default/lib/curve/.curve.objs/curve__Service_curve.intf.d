@@ -1,0 +1,1 @@
+lib/curve/service_curve.mli: Format

@@ -1,0 +1,55 @@
+type t = { m1 : float; d : float; m2 : float }
+
+let check_slope name v =
+  if not (Float.is_finite v) || v < 0. then
+    invalid_arg (Printf.sprintf "Service_curve: %s must be finite and >= 0" name)
+
+let make ~m1 ~d ~m2 =
+  check_slope "m1" m1;
+  check_slope "m2" m2;
+  check_slope "d" d;
+  { m1; d; m2 }
+
+let linear r = make ~m1:r ~d:0. ~m2:r
+
+let of_requirements ~umax ~dmax ~rate =
+  if umax <= 0. || dmax <= 0. || rate <= 0. then
+    invalid_arg "Service_curve.of_requirements: umax, dmax, rate must be > 0";
+  if umax /. dmax > rate then make ~m1:(umax /. dmax) ~d:dmax ~m2:rate
+  else make ~m1:0. ~d:(dmax -. (umax /. rate)) ~m2:rate
+
+let eval s t =
+  if t <= 0. then 0.
+  else if t <= s.d then s.m1 *. t
+  else (s.m1 *. s.d) +. (s.m2 *. (t -. s.d))
+
+let inverse s v =
+  if v <= 0. then 0.
+  else begin
+    let knee = s.m1 *. s.d in
+    if v <= knee then v /. s.m1 (* m1 > 0 here since knee >= v > 0 *)
+    else if s.m2 > 0. then s.d +. ((v -. knee) /. s.m2)
+    else infinity
+  end
+
+let is_concave s = s.m1 >= s.m2
+let is_convex s = s.m1 <= s.m2
+let is_linear s = s.m1 = s.m2
+let rate s = s.m2
+let burst s = Float.max 0. ((s.m1 -. s.m2) *. s.d)
+let zero = { m1 = 0.; d = 0.; m2 = 0. }
+
+let scale s k =
+  check_slope "scale factor" k;
+  { m1 = s.m1 *. k; d = s.d; m2 = s.m2 *. k }
+
+let sum a b =
+  if a.d = b.d then Some { m1 = a.m1 +. b.m1; d = a.d; m2 = a.m2 +. b.m2 }
+  else if a.m1 = a.m2 then Some { m1 = b.m1 +. a.m1; d = b.d; m2 = b.m2 +. a.m2 }
+  else if b.m1 = b.m2 then Some { m1 = a.m1 +. b.m1; d = a.d; m2 = a.m2 +. b.m2 }
+  else None
+
+let equal a b = a.m1 = b.m1 && a.d = b.d && a.m2 = b.m2
+
+let pp ppf s =
+  Format.fprintf ppf "{m1=%g B/s; d=%gs; m2=%g B/s}" s.m1 s.d s.m2

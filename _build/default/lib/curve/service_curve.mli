@@ -1,0 +1,78 @@
+(** Two-piece linear service curves (Sections II and V, Fig. 7).
+
+    A service curve [S] is a nondecreasing function of time giving the
+    minimum cumulative service (here: bytes) a class must have received
+    [t] seconds into any backlogged period. The paper restricts the
+    implementation to two-piece linear curves: slope [m1] for the first
+    [d] seconds, slope [m2] afterwards.
+
+    - [m1 > m2]: {e concave} — a burst/low-delay guarantee followed by a
+      sustained rate (real-time audio/video classes);
+    - [m1 < m2]: {e convex} — service deferred, then the sustained rate
+      (penalty-box style classes);
+    - [m1 = m2]: {e linear} — the classic rate guarantee; with these
+      only, H-FSC degenerates to a fair-queueing discipline and delay is
+      coupled to bandwidth.
+
+    Slopes are in bytes/second, [d] in seconds. *)
+
+type t = private { m1 : float; d : float; m2 : float }
+
+val make : m1:float -> d:float -> m2:float -> t
+(** Direct constructor.
+
+    @raise Invalid_argument if any slope is negative or not finite, or
+    [d] is negative or not finite. *)
+
+val linear : float -> t
+(** [linear r] is the one-slope curve of rate [r] (bytes/s). *)
+
+val of_requirements : umax:float -> dmax:float -> rate:float -> t
+(** The Fig. 7 mapping from a session's requirements — largest unit of
+    work [umax] (bytes) needing delay guarantee [dmax] (seconds), and
+    average rate [rate] (bytes/s) — to a two-piece curve:
+
+    - if [umax/dmax > rate] the curve is concave:
+      [m1 = umax/dmax, d = dmax, m2 = rate];
+    - otherwise it is convex with a flat first piece:
+      [m1 = 0, d = dmax - umax/rate, m2 = rate]
+      (so that [S dmax = umax] still holds).
+
+    @raise Invalid_argument on non-positive [umax], [dmax] or [rate]. *)
+
+val eval : t -> float -> float
+(** [eval s t] is [S(t)] for [t >= 0]; 0 for [t < 0]. *)
+
+val inverse : t -> float -> float
+(** [inverse s v] is the smallest [t >= 0] with [S(t) >= v]
+    ([infinity] if [S] never reaches [v]). *)
+
+val is_concave : t -> bool
+(** [m1 >= m2]. *)
+
+val is_convex : t -> bool
+(** [m1 <= m2]. *)
+
+val is_linear : t -> bool
+(** [m1 = m2]. *)
+
+val rate : t -> float
+(** Asymptotic (long-run) rate, i.e. [m2] — what admission control sums. *)
+
+val burst : t -> float
+(** Vertical offset of the asymptote: [max 0 ((m1 - m2) * d)]. Zero for
+    convex curves. *)
+
+val zero : t
+(** The all-zero curve (no guarantee). *)
+
+val scale : t -> float -> t
+(** [scale s k] multiplies both slopes by [k >= 0]. *)
+
+val sum : t -> t -> t option
+(** Exact sum when representable as a two-piece curve (equal [d], or
+    either curve linear); [None] otherwise. Used by admission control
+    and hierarchy-consistency checks. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

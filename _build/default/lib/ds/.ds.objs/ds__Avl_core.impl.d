@@ -1,0 +1,1 @@
+lib/ds/avl_core.ml:

@@ -1,0 +1,1 @@
+lib/ds/calendar_queue.ml: Array Float Int List

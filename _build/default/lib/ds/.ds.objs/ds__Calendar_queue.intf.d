@@ -1,0 +1,1 @@
+lib/ds/calendar_queue.mli:

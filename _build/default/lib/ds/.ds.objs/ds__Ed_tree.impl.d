@@ -1,0 +1,1 @@
+lib/ds/ed_tree.ml: Avl_core Float Int List

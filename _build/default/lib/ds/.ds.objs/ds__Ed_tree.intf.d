@@ -1,0 +1,1 @@
+lib/ds/ed_tree.mli:

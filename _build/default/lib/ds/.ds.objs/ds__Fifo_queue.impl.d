@@ -1,0 +1,1 @@
+lib/ds/fifo_queue.ml: Array Pkt

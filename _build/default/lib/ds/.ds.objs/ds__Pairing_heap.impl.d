@@ -1,0 +1,1 @@
+lib/ds/pairing_heap.ml: List

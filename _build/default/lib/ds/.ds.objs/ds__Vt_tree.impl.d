@@ -1,0 +1,1 @@
+lib/ds/vt_tree.ml: Avl_core Float Int List

@@ -1,0 +1,1 @@
+lib/ds/vt_tree.mli:

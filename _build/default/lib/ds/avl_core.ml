@@ -1,0 +1,127 @@
+(* Shared balanced-tree core for the two augmented search trees of
+   Section V (the eligible/deadline tree and the virtual-time tree).
+
+   A plain AVL tree over a strictly totally ordered element type, where
+   every node additionally caches an aggregate [agg] of its whole
+   subtree. The wrappers expose the representation so they can implement
+   their aggregate-pruned searches directly. *)
+
+module type SPEC = sig
+  type elt
+
+  val compare : elt -> elt -> int
+  (* Strict total order: [compare a b = 0] implies a and b are the same
+     logical element (wrappers break ties on a unique id). *)
+
+  type agg
+
+  val agg_of_elt : elt -> agg
+  val agg_join : agg -> agg -> agg
+end
+
+module Make (S : SPEC) = struct
+  type tree = Leaf | Node of node
+  and node = { l : tree; v : S.elt; r : tree; h : int; agg : S.agg }
+
+  let empty = Leaf
+  let height = function Leaf -> 0 | Node n -> n.h
+
+  let agg = function Leaf -> None | Node n -> Some n.agg
+
+  let join_opt a b =
+    match (a, b) with
+    | None, x | x, None -> x
+    | Some a, Some b -> Some (S.agg_join a b)
+
+  let mk l v r =
+    let agg =
+      match join_opt (agg l) (join_opt (Some (S.agg_of_elt v)) (agg r)) with
+      | Some a -> a
+      | None -> assert false
+    in
+    Node { l; v; r; h = 1 + max (height l) (height r); agg }
+
+  (* Standard AVL rebalancing: [bal l v r] assumes l and r are valid AVL
+     trees whose heights differ by at most 2. *)
+  let bal l v r =
+    let hl = height l and hr = height r in
+    if hl > hr + 1 then
+      match l with
+      | Leaf -> assert false
+      | Node { l = ll; v = lv; r = lr; _ } ->
+          if height ll >= height lr then mk ll lv (mk lr v r)
+          else begin
+            match lr with
+            | Leaf -> assert false
+            | Node { l = lrl; v = lrv; r = lrr; _ } ->
+                mk (mk ll lv lrl) lrv (mk lrr v r)
+          end
+    else if hr > hl + 1 then
+      match r with
+      | Leaf -> assert false
+      | Node { l = rl; v = rv; r = rr; _ } ->
+          if height rr >= height rl then mk (mk l v rl) rv rr
+          else begin
+            match rl with
+            | Leaf -> assert false
+            | Node { l = rll; v = rlv; r = rlr; _ } ->
+                mk (mk l v rll) rlv (mk rlr rv rr)
+          end
+    else mk l v r
+
+  let rec insert x = function
+    | Leaf -> mk Leaf x Leaf
+    | Node { l; v; r; _ } ->
+        let c = S.compare x v in
+        if c = 0 then mk l x r
+        else if c < 0 then bal (insert x l) v r
+        else bal l v (insert x r)
+
+  let rec min_elt = function
+    | Leaf -> None
+    | Node { l = Leaf; v; _ } -> Some v
+    | Node { l; _ } -> min_elt l
+
+  let rec max_elt = function
+    | Leaf -> None
+    | Node { r = Leaf; v; _ } -> Some v
+    | Node { r; _ } -> max_elt r
+
+  let rec remove_min = function
+    | Leaf -> assert false
+    | Node { l = Leaf; v; r; _ } -> (v, r)
+    | Node { l; v; r; _ } ->
+        let m, l' = remove_min l in
+        (m, bal l' v r)
+
+  let rec remove x = function
+    | Leaf -> Leaf
+    | Node { l; v; r; _ } ->
+        let c = S.compare x v in
+        if c < 0 then bal (remove x l) v r
+        else if c > 0 then bal l v (remove x r)
+        else begin
+          match r with
+          | Leaf -> l
+          | _ ->
+              let succ, r' = remove_min r in
+              bal l succ r'
+        end
+
+  let rec mem x = function
+    | Leaf -> false
+    | Node { l; v; r; _ } ->
+        let c = S.compare x v in
+        c = 0 || if c < 0 then mem x l else mem x r
+
+  let rec cardinal = function
+    | Leaf -> 0
+    | Node { l; r; _ } -> 1 + cardinal l + cardinal r
+
+  let rec fold f t acc =
+    match t with
+    | Leaf -> acc
+    | Node { l; v; r; _ } -> fold f r (f v (fold f l acc))
+
+  let is_empty = function Leaf -> true | Node _ -> false
+end

@@ -1,0 +1,82 @@
+module type ORDERED = sig
+  type t
+
+  val compare : t -> t -> int
+end
+
+module Make (E : ORDERED) = struct
+  type t = { mutable data : E.t array; mutable size : int }
+
+  let create ?(capacity = 16) () =
+    { data = Array.make (max capacity 1) (Obj.magic 0 : E.t); size = 0 }
+
+  (* The [Obj.magic] dummy above is never read: slots >= size are dead. *)
+
+  let length h = h.size
+  let is_empty h = h.size = 0
+
+  let grow h =
+    let n = Array.length h.data in
+    let data = Array.make (2 * n) h.data.(0) in
+    Array.blit h.data 0 data 0 h.size;
+    h.data <- data
+
+  let rec sift_up h i =
+    if i > 0 then begin
+      let parent = (i - 1) / 2 in
+      if E.compare h.data.(i) h.data.(parent) < 0 then begin
+        let tmp = h.data.(i) in
+        h.data.(i) <- h.data.(parent);
+        h.data.(parent) <- tmp;
+        sift_up h parent
+      end
+    end
+
+  let rec sift_down h i =
+    let l = (2 * i) + 1 and r = (2 * i) + 2 in
+    let smallest =
+      if l < h.size && E.compare h.data.(l) h.data.(i) < 0 then l else i
+    in
+    let smallest =
+      if r < h.size && E.compare h.data.(r) h.data.(smallest) < 0 then r
+      else smallest
+    in
+    if smallest <> i then begin
+      let tmp = h.data.(i) in
+      h.data.(i) <- h.data.(smallest);
+      h.data.(smallest) <- tmp;
+      sift_down h smallest
+    end
+
+  let add h x =
+    if h.size = Array.length h.data then grow h;
+    h.data.(h.size) <- x;
+    h.size <- h.size + 1;
+    sift_up h (h.size - 1)
+
+  let min_elt h = if h.size = 0 then None else Some h.data.(0)
+
+  let pop_min h =
+    if h.size = 0 then None
+    else begin
+      let top = h.data.(0) in
+      h.size <- h.size - 1;
+      if h.size > 0 then begin
+        h.data.(0) <- h.data.(h.size);
+        sift_down h 0
+      end;
+      Some top
+    end
+
+  let clear h = h.size <- 0
+
+  let iter f h =
+    for i = 0 to h.size - 1 do
+      f h.data.(i)
+    done
+
+  let to_sorted_list h =
+    let xs = Array.sub h.data 0 h.size in
+    Array.sort E.compare xs;
+    Array.to_list xs
+end

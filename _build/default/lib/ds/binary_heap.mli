@@ -1,0 +1,39 @@
+(** Array-based binary min-heap.
+
+    Imperative, amortized O(log n) insertion and extraction. Used as the
+    default backend of the simulator event queue and by several flat
+    schedulers. *)
+
+module type ORDERED = sig
+  type t
+
+  val compare : t -> t -> int
+end
+
+module Make (E : ORDERED) : sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  (** Fresh empty heap. [capacity] is the initial array size (grown on
+      demand); defaults to 16. *)
+
+  val length : t -> int
+  val is_empty : t -> bool
+
+  val add : t -> E.t -> unit
+  (** O(log n) amortized. *)
+
+  val min_elt : t -> E.t option
+  (** Smallest element without removing it. O(1). *)
+
+  val pop_min : t -> E.t option
+  (** Remove and return the smallest element. O(log n). *)
+
+  val clear : t -> unit
+
+  val iter : (E.t -> unit) -> t -> unit
+  (** Iterate in unspecified order. *)
+
+  val to_sorted_list : t -> E.t list
+  (** Non-destructive; O(n log n). *)
+end

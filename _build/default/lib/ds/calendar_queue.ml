@@ -1,0 +1,149 @@
+(* Each bucket holds its events sorted ascending by (key, seq); [seq] is
+   a global insertion counter making ties FIFO and the order of equal
+   keys deterministic. *)
+
+type 'a event = { key : float; seq : int; value : 'a }
+
+type 'a t = {
+  mutable buckets : 'a event list array;
+  mutable width : float;
+  mutable size : int;
+  mutable cur : int; (* bucket the year-scan starts from *)
+  mutable bucket_top : float; (* upper key bound of bucket [cur] *)
+  mutable last_key : float; (* key of the last popped event *)
+  mutable seq : int;
+  mutable resizing : bool;
+}
+
+let create ?(buckets = 4) ?(width = 1.0) () =
+  let buckets = max buckets 2 in
+  { buckets = Array.make buckets []; width; size = 0; cur = 0;
+    bucket_top = width; last_key = 0.; seq = 0; resizing = false }
+
+let length q = q.size
+let is_empty q = q.size = 0
+
+let bucket_of q key = int_of_float (key /. q.width) mod Array.length q.buckets
+
+let rec insert_sorted ev = function
+  | [] -> [ ev ]
+  | e :: rest as l ->
+      if ev.key < e.key || (ev.key = e.key && ev.seq < e.seq) then ev :: l
+      else e :: insert_sorted ev rest
+
+let raw_add q ev = q.buckets.(bucket_of q ev.key) <- insert_sorted ev q.buckets.(bucket_of q ev.key)
+
+(* Re-estimate the bucket width from the gaps between the first few
+   events in key order, then rebuild the calendar with [nbuckets]
+   buckets positioned at the current minimum key. *)
+let resize q nbuckets =
+  if not q.resizing then begin
+    q.resizing <- true;
+    let events =
+      Array.fold_left (fun acc l -> List.rev_append l acc) [] q.buckets
+    in
+    let events =
+      List.sort
+        (fun a b ->
+          let c = Float.compare a.key b.key in
+          if c <> 0 then c else Int.compare a.seq b.seq)
+        events
+    in
+    let width =
+      match events with
+      | [] | [ _ ] -> q.width
+      | first :: _ ->
+          let sample = List.filteri (fun i _ -> i < 25) events in
+          let last = List.nth sample (List.length sample - 1) in
+          let span = last.key -. first.key in
+          let gaps = float_of_int (List.length sample - 1) in
+          let avg = if gaps > 0. then span /. gaps else 0. in
+          if avg > 0. then 3. *. avg else q.width
+    in
+    q.buckets <- Array.make nbuckets [];
+    q.width <- width;
+    let base = match events with [] -> q.last_key | e :: _ -> e.key in
+    q.cur <- int_of_float (base /. width) mod nbuckets;
+    q.bucket_top <- (Float.of_int (int_of_float (base /. width)) +. 1.) *. width;
+    List.iter (raw_add q) events;
+    q.resizing <- false
+  end
+
+let add q key value =
+  if not (Float.is_finite key) then invalid_arg "Calendar_queue.add: key";
+  let ev = { key; seq = q.seq; value } in
+  q.seq <- q.seq + 1;
+  raw_add q ev;
+  q.size <- q.size + 1;
+  (* an event landing before the calendar's current position would be
+     invisible to the year scan: rewind the calendar to its epoch *)
+  let ev_top = (Float.of_int (int_of_float (key /. q.width)) +. 1.) *. q.width in
+  if ev_top < q.bucket_top then begin
+    q.cur <- bucket_of q key;
+    q.bucket_top <- ev_top
+  end;
+  if q.size > 2 * Array.length q.buckets then resize q (2 * Array.length q.buckets)
+
+(* Scan one "year": starting at [cur], a bucket's head event is due if
+   its key falls before the bucket's top boundary. If a whole year
+   passes without a due event the population is sparse relative to the
+   calendar, so jump directly to the globally smallest key. *)
+let find_min q =
+  if q.size = 0 then None
+  else begin
+    let n = Array.length q.buckets in
+    let rec year i cur top =
+      if i = n then
+        (* direct search for the global minimum *)
+        let best = ref None in
+        Array.iter
+          (fun l ->
+            match l with
+            | [] -> ()
+            | e :: _ -> (
+                match !best with
+                | None -> best := Some e
+                | Some b ->
+                    if
+                      e.key < b.key || (e.key = b.key && e.seq < b.seq)
+                    then best := Some e))
+          q.buckets;
+        (!best, cur, top)
+      else
+        match q.buckets.(cur) with
+        | e :: _ when e.key < top -> (Some e, cur, top)
+        | _ -> year (i + 1) ((cur + 1) mod n) (top +. q.width)
+    in
+    let found, cur, top = year 0 q.cur q.bucket_top in
+    (match found with
+    | Some e when not (e.key < top) ->
+        (* direct-search result: jump the calendar to its epoch *)
+        q.cur <- bucket_of q e.key;
+        q.bucket_top <-
+          (Float.of_int (int_of_float (e.key /. q.width)) +. 1.) *. q.width
+    | _ ->
+        q.cur <- cur;
+        q.bucket_top <- top);
+    found
+  end
+
+let min_elt q =
+  match find_min q with None -> None | Some e -> Some (e.key, e.value)
+
+let pop_min q =
+  match find_min q with
+  | None -> None
+  | Some e ->
+      let b = bucket_of q e.key in
+      (match q.buckets.(b) with
+      | hd :: rest when hd.seq = e.seq -> q.buckets.(b) <- rest
+      | _ -> assert false);
+      q.size <- q.size - 1;
+      q.last_key <- e.key;
+      if q.size < Array.length q.buckets / 2 && Array.length q.buckets > 4 then
+        resize q (Array.length q.buckets / 2);
+      Some (e.key, e.value)
+
+let clear q =
+  Array.fill q.buckets 0 (Array.length q.buckets) [];
+  q.size <- 0

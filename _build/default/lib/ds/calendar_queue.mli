@@ -1,0 +1,32 @@
+(** Calendar queue (Brown, 1988) — the alternative priority-queue
+    backend the paper cites ("[4]") for tracking eligible times.
+
+    A hashed, bucketed priority queue over float keys: O(1) expected
+    enqueue/dequeue when the key distribution is stable, maintained by
+    doubling/halving the calendar and re-estimating the bucket width
+    whenever the population drifts past thresholds. Property-tested
+    against {!Binary_heap}. *)
+
+type 'a t
+
+val create : ?buckets:int -> ?width:float -> unit -> 'a t
+(** [create ()] is an empty queue. [buckets] (power of two, default 4)
+    and [width] (default 1.0) are the initial calendar geometry; both
+    adapt automatically as items are added. *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val add : 'a t -> float -> 'a -> unit
+(** [add q key v] inserts [v] with priority [key].
+
+    @raise Invalid_argument if [key] is not finite. *)
+
+val min_elt : 'a t -> (float * 'a) option
+(** Smallest-keyed binding without removing it. *)
+
+val pop_min : 'a t -> (float * 'a) option
+(** Remove and return the smallest-keyed binding. Ties are broken in
+    insertion order (FIFO within a key). *)
+
+val clear : 'a t -> unit

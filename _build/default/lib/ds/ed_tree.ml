@@ -1,0 +1,69 @@
+module type CLASS = sig
+  type t
+
+  val id : t -> int
+  val eligible : t -> float
+  val deadline : t -> float
+end
+
+module Make (C : CLASS) = struct
+  module Core = Avl_core.Make (struct
+    type elt = C.t
+
+    let compare a b =
+      let c = Float.compare (C.eligible a) (C.eligible b) in
+      if c <> 0 then c else Int.compare (C.id a) (C.id b)
+
+    (* Aggregate: the subtree element of minimum (deadline, id). *)
+    type agg = C.t
+
+    let agg_of_elt e = e
+
+    let agg_join a b =
+      let c = Float.compare (C.deadline a) (C.deadline b) in
+      if c < 0 then a
+      else if c > 0 then b
+      else if C.id a <= C.id b then a
+      else b
+  end)
+
+  type t = Core.tree
+
+  let empty = Core.empty
+  let is_empty = Core.is_empty
+  let cardinal = Core.cardinal
+  let insert = Core.insert
+  let remove = Core.remove
+  let mem = Core.mem
+  let min_eligible = Core.min_elt
+  let to_list t = List.rev (Core.fold (fun v acc -> v :: acc) t [])
+
+  let better_deadline a b =
+    let c = Float.compare (C.deadline a) (C.deadline b) in
+    c < 0 || (c = 0 && C.id a < C.id b)
+
+  let consider cand best =
+    match best with
+    | None -> Some cand
+    | Some b -> if better_deadline cand b then Some cand else Some b
+
+  (* All elements in the left subtree of a node are ordered before it,
+     so if the node itself is eligible the whole left subtree is too and
+     its cached aggregate can be taken wholesale. *)
+  let min_deadline_eligible t ~now =
+    let rec go t best =
+      match t with
+      | Core.Leaf -> best
+      | Core.Node { l; v; r; _ } ->
+          if C.eligible v <= now then begin
+            let best =
+              match Core.agg l with
+              | None -> best
+              | Some a -> consider a best
+            in
+            go r (consider v best)
+          end
+          else go l best
+    in
+    go t None
+end

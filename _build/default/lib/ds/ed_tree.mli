@@ -1,0 +1,46 @@
+(** Eligible/deadline tree (Section V of the paper).
+
+    The real-time criterion of H-FSC must answer, per dequeue: "among
+    the active leaf classes whose eligible time [e] is no later than
+    now, which has the smallest deadline [d]?" — in O(log n). This is
+    the "augmented binary tree data structure as the one described in
+    [16]" the paper cites: a balanced tree ordered by eligible time,
+    where each node caches the minimum deadline of its subtree, so the
+    query prunes whole subtrees.
+
+    Elements are the caller's class records. The caller MUST remove an
+    element before mutating any field read by [id], [eligible] or
+    [deadline], and reinsert it afterwards; the tree does not observe
+    mutation. *)
+
+module type CLASS = sig
+  type t
+
+  val id : t -> int
+  (** Unique per element; ties in eligible time are broken on it. *)
+
+  val eligible : t -> float
+  val deadline : t -> float
+end
+
+module Make (C : CLASS) : sig
+  type t
+
+  val empty : t
+  val is_empty : t -> bool
+  val cardinal : t -> int
+  val insert : C.t -> t -> t
+  val remove : C.t -> t -> t
+  val mem : C.t -> t -> bool
+
+  val min_deadline_eligible : t -> now:float -> C.t option
+  (** The element with the smallest [(deadline, id)] among those with
+      [eligible <= now]; [None] if no element is eligible. O(log n). *)
+
+  val min_eligible : t -> C.t option
+  (** The element with the smallest [(eligible, id)] — i.e. the next
+      class to become eligible. O(log n). *)
+
+  val to_list : t -> C.t list
+  (** In increasing [(eligible, id)] order. *)
+end

@@ -1,0 +1,37 @@
+(** Per-class packet FIFO with byte accounting and drop-tail limit.
+
+    Every leaf class of every scheduler in this repository owns one of
+    these. Backed by a growable ring buffer; all operations O(1)
+    amortized. *)
+
+type t
+
+val create : ?limit_pkts:int -> unit -> t
+(** [create ?limit_pkts ()] is an empty queue. [limit_pkts] is the
+    drop-tail bound on the number of queued packets (default: 10_000,
+    mirroring a generous kernel qlimit). *)
+
+val length : t -> int
+(** Number of queued packets. *)
+
+val bytes : t -> int
+(** Sum of the sizes of queued packets. *)
+
+val is_empty : t -> bool
+
+val push : t -> Pkt.Packet.t -> bool
+(** [push q p] appends [p]; returns [false] (and drops [p]) iff the
+    queue is at its limit. *)
+
+val pop : t -> Pkt.Packet.t option
+(** Remove and return the head packet. *)
+
+val peek : t -> Pkt.Packet.t option
+(** Head packet without removing it; [None] iff empty. *)
+
+val clear : t -> unit
+val drops : t -> int
+(** Number of packets refused by [push] since creation. *)
+
+val iter : (Pkt.Packet.t -> unit) -> t -> unit
+(** Head-to-tail iteration. *)

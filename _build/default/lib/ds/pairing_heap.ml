@@ -1,0 +1,42 @@
+module type ORDERED = sig
+  type t
+
+  val compare : t -> t -> int
+end
+
+module Make (E : ORDERED) = struct
+  type t = Empty | Node of E.t * t list
+
+  let empty = Empty
+  let is_empty = function Empty -> true | Node _ -> false
+
+  let merge a b =
+    match (a, b) with
+    | Empty, h | h, Empty -> h
+    | Node (x, xs), Node (y, ys) ->
+        if E.compare x y <= 0 then Node (x, b :: xs) else Node (y, a :: ys)
+
+  let add x h = merge (Node (x, [])) h
+  let min_elt = function Empty -> None | Node (x, _) -> Some x
+
+  (* Two-pass pairing: merge children pairwise left to right, then fold
+     the results right to left. This is the variant with the proven
+     O(log n) amortized bound. *)
+  let rec merge_pairs = function
+    | [] -> Empty
+    | [ h ] -> h
+    | a :: b :: rest -> merge (merge a b) (merge_pairs rest)
+
+  let pop_min = function
+    | Empty -> None
+    | Node (x, children) -> Some (x, merge_pairs children)
+
+  let of_list xs = List.fold_left (fun h x -> add x h) empty xs
+
+  let rec to_sorted_list h =
+    match pop_min h with None -> [] | Some (x, h') -> x :: to_sorted_list h'
+
+  let rec length = function
+    | Empty -> 0
+    | Node (_, children) -> 1 + List.fold_left (fun n c -> n + length c) 0 children
+end

@@ -1,0 +1,37 @@
+(** Persistent pairing heap.
+
+    Purely functional min-heap with O(1) [merge] and [add] and amortized
+    O(log n) [pop_min]. Offered alongside {!Binary_heap} so callers that
+    need persistence (e.g. the fluid reference model's snapshots) or
+    cheap melding can use it; the two are property-tested against each
+    other. *)
+
+module type ORDERED = sig
+  type t
+
+  val compare : t -> t -> int
+end
+
+module Make (E : ORDERED) : sig
+  type t
+
+  val empty : t
+  val is_empty : t -> bool
+
+  val add : E.t -> t -> t
+  (** O(1). *)
+
+  val merge : t -> t -> t
+  (** O(1). *)
+
+  val min_elt : t -> E.t option
+  (** O(1). *)
+
+  val pop_min : t -> (E.t * t) option
+  (** Amortized O(log n). *)
+
+  val of_list : E.t list -> t
+  val to_sorted_list : t -> E.t list
+  val length : t -> int
+  (** O(n). *)
+end

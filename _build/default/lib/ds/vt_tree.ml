@@ -1,0 +1,51 @@
+module type CLASS = sig
+  type t
+
+  val id : t -> int
+  val vt : t -> float
+  val fit : t -> float
+end
+
+module Make (C : CLASS) = struct
+  module Core = Avl_core.Make (struct
+    type elt = C.t
+
+    let compare a b =
+      let c = Float.compare (C.vt a) (C.vt b) in
+      if c <> 0 then c else Int.compare (C.id a) (C.id b)
+
+    type agg = float (* minimum fit time of the subtree *)
+
+    let agg_of_elt = C.fit
+    let agg_join = Float.min
+  end)
+
+  type t = Core.tree
+
+  let empty = Core.empty
+  let is_empty = Core.is_empty
+  let cardinal = Core.cardinal
+  let insert = Core.insert
+  let remove = Core.remove
+  let mem = Core.mem
+  let min_vt = Core.min_elt
+  let max_vt = Core.max_elt
+  let to_list t = List.rev (Core.fold (fun v acc -> v :: acc) t [])
+
+  let min_fit t = match Core.agg t with None -> infinity | Some f -> f
+
+  (* Leftmost (smallest-vt) element with fit <= now. Descend preferring
+     the left subtree whenever its cached min-fit says it can contain a
+     servable element. *)
+  let first_fit t ~now =
+    let rec go t =
+      match t with
+      | Core.Leaf -> None
+      | Core.Node { l; v; r; _ } ->
+          if min_fit l <= now then go l
+          else if C.fit v <= now then Some v
+          else if min_fit r <= now then go r
+          else None
+    in
+    go t
+end

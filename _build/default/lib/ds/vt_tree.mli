@@ -1,0 +1,53 @@
+(** Virtual-time tree: the per-class active-children structure of the
+    link-sharing criterion.
+
+    Each interior class keeps its active children ordered by virtual
+    time. The link-sharing criterion selects the active child with the
+    smallest virtual time whose fit time allows service now ("first
+    fit" — with the upper-limit extension a class may be temporarily
+    unservable even though active; without upper limits every fit time
+    is 0 and [first_fit] degenerates to [min_vt]). Each node caches the
+    minimum fit time of its subtree so [first_fit] runs in O(log n).
+
+    Same mutation discipline as {!Ed_tree}: remove before mutating any
+    field read by [id], [vt] or [fit]; reinsert after. *)
+
+module type CLASS = sig
+  type t
+
+  val id : t -> int
+  val vt : t -> float
+  (** Virtual time — the sort key. *)
+
+  val fit : t -> float
+  (** Earliest wall-clock time this class may be served (the [f] of the
+      algorithm); 0 when the class has no upper-limit constraint. *)
+end
+
+module Make (C : CLASS) : sig
+  type t
+
+  val empty : t
+  val is_empty : t -> bool
+  val cardinal : t -> int
+  val insert : C.t -> t -> t
+  val remove : C.t -> t -> t
+  val mem : C.t -> t -> bool
+
+  val min_vt : t -> C.t option
+  (** Active child with smallest [(vt, id)]. O(log n). *)
+
+  val max_vt : t -> C.t option
+  (** Active child with largest [(vt, id)] — the [vmax] of the system
+      virtual time [(vmin + vmax) / 2] of Section IV-C. O(log n). *)
+
+  val first_fit : t -> now:float -> C.t option
+  (** Smallest-[vt] element with [fit <= now]. O(log n). *)
+
+  val min_fit : t -> float
+  (** Smallest fit time in the tree, [infinity] if empty — the earliest
+      instant at which [first_fit] can succeed. O(1). *)
+
+  val to_list : t -> C.t list
+  (** In increasing [(vt, id)] order. *)
+end

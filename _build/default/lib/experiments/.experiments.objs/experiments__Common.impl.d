@@ -1,0 +1,1 @@
+lib/experiments/common.ml: Curve Fluid Hfsc List Netsim Printf Sched String

@@ -1,0 +1,1 @@
+lib/experiments/e10_ulimit.ml: Common Curve Hashtbl Hfsc List Netsim Pkt Sched

@@ -1,0 +1,1 @@
+lib/experiments/e11_cbq.ml: Analysis Common Curve List Netsim Pkt Printf Sched

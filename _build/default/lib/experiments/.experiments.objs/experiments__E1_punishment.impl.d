@@ -1,0 +1,1 @@
+lib/experiments/e1_punishment.ml: Common Curve Hfsc List Netsim Pkt Printf Sched

@@ -1,0 +1,1 @@
+lib/experiments/e2_tradeoff.ml: Common Curve Fluid Hfsc List Netsim Pkt Printf Sched

@@ -1,0 +1,1 @@
+lib/experiments/e3_delay.ml: Analysis Common Curve Float Hashtbl List Netsim Pkt Printf Sched String

@@ -1,0 +1,1 @@
+lib/experiments/e5_link_sharing.ml: Common Curve Fluid Hfsc List Netsim Pkt Printf Sched

@@ -1,0 +1,1 @@
+lib/experiments/e6_decoupling.ml: Analysis Common Curve Hfsc List Netsim Printf Sched

@@ -1,0 +1,1 @@
+lib/experiments/e7_overhead.ml: Array Common Curve Hfsc List Pkt Printf Sys

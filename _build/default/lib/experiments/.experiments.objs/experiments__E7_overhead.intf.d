@@ -1,0 +1,1 @@
+lib/experiments/e7_overhead.mli: Hfsc

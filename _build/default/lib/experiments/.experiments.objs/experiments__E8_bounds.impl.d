@@ -1,0 +1,1 @@
+lib/experiments/e8_bounds.ml: Analysis Common Curve E6_decoupling List Netsim

@@ -1,0 +1,1 @@
+lib/experiments/suite.ml: E10_ulimit E11_cbq E12_tandem E13_adaptive E1_punishment E2_tradeoff E3_delay E5_link_sharing E6_decoupling E7_overhead E8_bounds E9_ablation List String

@@ -1,0 +1,19 @@
+(** E10 — extension: upper-limit service curves (the non-work-conserving
+    cap the BSD descendant of the paper's scheduler ships; "H-FSC can
+    potentially use other policies", Section IV-A).
+
+    A greedy class capped at 5 Mb/s on a 45 Mb/s link: its throughput
+    must pin to the cap while an uncapped sibling absorbs the rest, and
+    the link must go idle if only the capped class is backlogged. *)
+
+type result = {
+  capped_rate : float;  (** measured rate of the capped class *)
+  cap : float;
+  sibling_rate : float;
+  solo_rate : float;
+      (** measured rate when the capped class is alone on the link —
+          still the cap, proving non-work-conservation *)
+}
+
+val run : unit -> result
+val print : result -> unit

@@ -1,0 +1,24 @@
+(** E11 — related-work comparison (Section VIII): CBQ, the prior
+    link-sharing framework, against H-FSC on the Fig. 1 scenario.
+
+    CBQ polices classes with a rate estimator and shares by weighted
+    round-robin with borrowing. Section VIII's critique: its bandwidth
+    shares are approximate (estimator slack), and its delay for
+    low-rate real-time classes rests on ad-hoc priority bands rather
+    than guaranteed service curves. Measured here: audio delay (CBQ's
+    audio in its highest priority band — the deployment practice) and
+    the accuracy of the link-sharing split while CMU data idles. *)
+
+type result = {
+  cbq_audio_max : float;
+  hfsc_audio_max : float;
+  hfsc_audio_bound : float;
+  cbq_video_idle_rate : float;
+      (** video's rate while CMU data idles — ideally ~24.9 Mb/s *)
+  hfsc_video_idle_rate : float;
+  cbq_pitt_idle_rate : float;  (** ideally pinned at 20 Mb/s *)
+  hfsc_pitt_idle_rate : float;
+}
+
+val run : unit -> result
+val print : result -> unit

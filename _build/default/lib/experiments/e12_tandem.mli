@@ -1,0 +1,20 @@
+(** E12 — extension: end-to-end guarantees over a tandem of H-FSC links
+    (the multi-node setting the paper's per-link guarantees compose
+    over).
+
+    A CBR flow with the same convex-effective curve reserved at each of
+    three hops, congested by independent cross traffic per hop. Measured
+    end-to-end delay is checked against (a) the network-calculus
+    concatenation bound (pay bursts only once) and (b) the naive sum of
+    per-hop bounds — the former must hold and be visibly tighter. *)
+
+type result = {
+  measured_max : float;
+  e2e_bound : float;  (** convolution bound + per-hop packetization *)
+  per_hop_sum : float;  (** naive additive bound *)
+  hops : int;
+  delivered : float;
+}
+
+val run : ?duration:float -> unit -> result
+val print : result -> unit

@@ -1,0 +1,27 @@
+(** E13 — the Section III-B motivation made operational: an adaptive
+    (AIMD) application that uses spare bandwidth while a competitor
+    idles.
+
+    The paper argues fairness matters because adaptive applications
+    should be able to exploit excess service without being punished
+    later: under Virtual Clock (SCED's unfair degenerate), the adaptive
+    flow's opportunistic use of the idle link earns it a starvation
+    period — collapsing its rate and blowing up its delays — exactly
+    when the reserved competitor returns; under H-FSC it simply glides
+    back to its guaranteed share.
+
+    Measured: the adaptive flow's throughput and worst delay in the
+    window right after the competitor returns, under both schedulers. *)
+
+type result = {
+  vc_recovery_rate : float;
+      (** adaptive flow's rate (B/s) in the 2 s after contention starts,
+          under Virtual Clock *)
+  hfsc_recovery_rate : float;
+  vc_max_delay : float;  (** its worst packet delay in that window *)
+  hfsc_max_delay : float;
+  guaranteed_rate : float;  (** the share it reserved *)
+}
+
+val run : unit -> result
+val print : result -> unit

@@ -1,0 +1,21 @@
+(** E1 — the Fig. 2 worked example: SCED punishes a session for using
+    excess service; H-FSC (fair SCED) does not.
+
+    Session 1 has a convex curve and is alone on the link from t = 0;
+    session 2 (concave) wakes at [t1]. Under SCED session 1 is locked
+    out until session 2's deadlines catch up; under H-FSC both share
+    from the first instant. *)
+
+type result = {
+  sced_s1_window_bytes : float;
+      (** service to session 1 during (t1, t1 + window] under SCED *)
+  hfsc_s1_window_bytes : float;  (** ditto under H-FSC *)
+  sced_lockout : float;
+      (** time from t1 to session 1's first departure under SCED *)
+  hfsc_lockout : float;
+  t1 : float;
+  window : float;
+}
+
+val run : unit -> result
+val print : result -> unit

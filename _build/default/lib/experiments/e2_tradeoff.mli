@@ -1,0 +1,28 @@
+(** E2 — the Fig. 3 impossibility: guaranteeing a reactivating leaf's
+    service curve is incompatible with ideal link-sharing; H-FSC
+    sacrifices the interior classes, never the leaves.
+
+    Leaf s1 has a large concave {e real-time} curve but a small {e fair}
+    share, and wakes at [t1] into a fully loaded link. The real-time
+    criterion must hand it its burst — service the ideal (fluid,
+    link-sharing-only) model would never give it. We verify the leaf
+    guarantee held (Theorem 2) and measure the interior discrepancy
+    spike the paper proves unavoidable. *)
+
+type result = {
+  s1_window_bytes : float;
+      (** H-FSC service to s1 during (t1, t1+1]: its real-time burst *)
+  s1_fluid_window_bytes : float;
+      (** what the ideal link-sharing model would have given it *)
+  s1_max_delay : float;
+  s1_bound : float;  (** Theorem-2 bound for s1's curve *)
+  s2_window_bytes : float;
+      (** H-FSC service to sibling s2 in the window — who pays for the burst *)
+  s2_fluid_window_bytes : float;
+  disc_before : float;  (** max interior-A discrepancy in (0, t1] (bytes) *)
+  disc_during : float;  (** max interior-A discrepancy in (t1, t1+1] (bytes) *)
+  t1 : float;
+}
+
+val run : unit -> result
+val print : result -> unit

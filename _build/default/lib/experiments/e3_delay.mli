@@ -1,0 +1,31 @@
+(** E3/E4 — the headline evaluation figures: real-time packet delay of
+    the CMU audio (E3) and video (E4) leaves under H-FSC versus H-PFQ
+    on the Fig. 1 hierarchy, with both data classes saturated.
+
+    Paper shape: H-FSC bounds the audio delay by its concave curve's
+    dmax (+ one max packet), independent of depth; under H-PFQ the
+    delay is coupled to the leaf's (small) rate and grows with depth,
+    an order of magnitude larger. *)
+
+type delay_summary = {
+  count : int;
+  mean : float;
+  p99 : float;
+  max : float;
+}
+
+type result = {
+  hfsc_audio : delay_summary;
+  hpfq_audio : delay_summary;
+  hfsc_video : delay_summary;
+  hpfq_video : delay_summary;
+  audio_bound : float;  (** analytic H-FSC bound (Theorem 2) *)
+  video_bound : float;
+  hfsc_audio_series : (float * float) list;
+      (** (time-bin start, max delay in bin) — the delay-vs-time figure *)
+  hpfq_audio_series : (float * float) list;
+  duration : float;
+}
+
+val run : ?duration:float -> unit -> result
+val print : result -> unit

@@ -1,0 +1,158 @@
+type phase_rates = {
+  audio : float;
+  video : float;
+  cmu_data : float;
+  pitt_data : float;
+}
+
+type result = {
+  hfsc_busy : phase_rates;
+  hfsc_idle : phase_rates;
+  flat_idle : phase_rates;
+  cmu_interior_disc : float;
+  stop : float;
+  restart : float;
+}
+
+let stop = 10.0
+let restart = 20.0
+let until = 30.0
+let video_offered = Common.mbit 30.
+let pitt_offered = Common.mbit 45.
+
+(* E5 traffic: audio CBR; video *greedy* (so CMU can absorb its own
+   slack); CMU data greedy with an idle window; U.Pitt data greedy. *)
+let sources () =
+  let cmu_data_rate = Common.mbit 25. -. Common.audio_rate -. Common.video_rate in
+  [
+    Netsim.Source.cbr ~flow:Common.flow_audio ~rate:Common.audio_rate
+      ~pkt_size:Common.audio_pkt ~stop:until ();
+    Netsim.Source.saturating ~flow:Common.flow_video ~rate:video_offered
+      ~pkt_size:Common.video_pkt ~stop:until ();
+    Netsim.Source.saturating ~flow:Common.flow_cmu_data
+      ~rate:(1.05 *. cmu_data_rate) ~pkt_size:Common.data_pkt ~stop ();
+    Netsim.Source.saturating ~flow:Common.flow_cmu_data
+      ~rate:(1.05 *. cmu_data_rate) ~pkt_size:Common.data_pkt ~start:restart
+      ~stop:until ();
+    Netsim.Source.saturating ~flow:Common.flow_pitt_data ~rate:pitt_offered
+      ~pkt_size:Common.data_pkt ~stop:until ();
+  ]
+
+(* Average service rate of a flow inside (lo, hi], from departures. *)
+let window_rates records lo hi =
+  let sum flow =
+    List.fold_left
+      (fun acc (now, f, sz) ->
+        if f = flow && now > lo && now <= hi then acc +. float_of_int sz
+        else acc)
+      0. records
+    /. (hi -. lo)
+  in
+  {
+    audio = sum Common.flow_audio;
+    video = sum Common.flow_video;
+    cmu_data = sum Common.flow_cmu_data;
+    pitt_data = sum Common.flow_pitt_data;
+  }
+
+let run_records sched samples_cb =
+  let sim = Netsim.Sim.create ~link_rate:Common.link_rate ~sched () in
+  List.iter (Netsim.Sim.add_source sim) (sources ());
+  let records = ref [] in
+  Netsim.Sim.on_departure sim (fun ~now served ->
+      let p = served.Sched.Scheduler.pkt in
+      records := (now, p.Pkt.Packet.flow, p.Pkt.Packet.size) :: !records;
+      samples_cb now);
+  Netsim.Sim.run sim ~until;
+  !records
+
+let run () =
+  (* H-FSC on the Fig.1 hierarchy, sampling the CMU interior class *)
+  let fig = Common.fig1_hfsc () in
+  let t = match fig.hfsc with Some t -> t | None -> assert false in
+  let cmu = match Hfsc.find_class t "cmu" with Some c -> c | None -> assert false in
+  let samples = ref [] in
+  let next_sample = ref 0.5 in
+  let sample now =
+    while !next_sample <= now do
+      samples := (!next_sample, Hfsc.total_bytes cmu) :: !samples;
+      next_sample := !next_sample +. 0.5
+    done
+  in
+  let hfsc_records = run_records fig.sched sample in
+  sample (until +. 1e-9);
+  (* flat WF2Q+ with the same leaf rates: no hierarchy to protect CMU *)
+  let cmu_data_rate = Common.mbit 25. -. Common.audio_rate -. Common.video_rate in
+  let flat =
+    Sched.Wf2q.create ~link_rate:Common.link_rate
+      ~rates:
+        [
+          (Common.flow_audio, Common.audio_rate);
+          (Common.flow_video, Common.video_rate);
+          (Common.flow_cmu_data, cmu_data_rate);
+          (Common.flow_pitt_data, Common.mbit 20.);
+        ]
+      ()
+  in
+  let flat_records = run_records flat (fun _ -> ()) in
+  (* fluid ideal of the same hierarchy/arrivals for the discrepancy *)
+  let fluid_samples =
+    let f = Fluid.Fluid_fsc.create ~quantum:200 ~link_rate:Common.link_rate () in
+    let root = Fluid.Fluid_fsc.root f in
+    let sc = Curve.Service_curve.linear in
+    let fcmu = Fluid.Fluid_fsc.add_class f ~parent:root ~name:"cmu" ~fsc:(sc (Common.mbit 25.)) in
+    let fpitt = Fluid.Fluid_fsc.add_class f ~parent:root ~name:"pitt" ~fsc:(sc (Common.mbit 20.)) in
+    let faudio = Fluid.Fluid_fsc.add_class f ~parent:fcmu ~name:"audio" ~fsc:(sc Common.audio_rate) in
+    let fvideo = Fluid.Fluid_fsc.add_class f ~parent:fcmu ~name:"video" ~fsc:(sc Common.video_rate) in
+    let fdata = Fluid.Fluid_fsc.add_class f ~parent:fcmu ~name:"data" ~fsc:(sc cmu_data_rate) in
+    let fpittd = Fluid.Fluid_fsc.add_class f ~parent:fpitt ~name:"pittd" ~fsc:(sc (Common.mbit 20.)) in
+    let cls_of fl =
+      if fl = Common.flow_audio then faudio
+      else if fl = Common.flow_video then fvideo
+      else if fl = Common.flow_cmu_data then fdata
+      else fpittd
+    in
+    match
+      Common.fluid_replay ~fluid:f ~sources:(sources ()) ~cls_of
+        ~sample_every:0.5 ~sample_classes:[ fcmu ] ~until
+    with
+    | [ out ] -> out
+    | _ -> assert false
+  in
+  {
+    hfsc_busy = window_rates hfsc_records 2.0 stop;
+    hfsc_idle = window_rates hfsc_records (stop +. 1.) (restart -. 1.);
+    flat_idle = window_rates flat_records (stop +. 1.) (restart -. 1.);
+    cmu_interior_disc =
+      Fluid.Discrepancy.max_abs (List.rev !samples) fluid_samples;
+    stop;
+    restart;
+  }
+
+let rates_row name p =
+  [
+    name;
+    Common.pp_rate p.audio;
+    Common.pp_rate p.video;
+    Common.pp_rate p.cmu_data;
+    Common.pp_rate p.pitt_data;
+  ]
+
+let print r =
+  Common.section "E5: link-sharing when CMU data idles (Fig. 1 goals)";
+  Common.table
+    ~header:[ "phase/scheduler"; "audio"; "video"; "cmu-data"; "pitt-data" ]
+    [
+      rates_row "H-FSC, all busy" r.hfsc_busy;
+      rates_row
+        (Printf.sprintf "H-FSC, data idle [%g,%g)" r.stop r.restart)
+        r.hfsc_idle;
+      rates_row "flat WF2Q+, data idle" r.flat_idle;
+    ];
+  Printf.printf
+    "paper shape: under H-FSC the idle ~23 Mb/s goes to the CMU sibling \
+     (video), U.Pitt stays at 20 Mb/s; the flat scheduler leaks it \
+     mostly to U.Pitt. Interior CMU discrepancy vs fluid ideal: %.0f B \
+     (= %.2f ms of link time).\n"
+    r.cmu_interior_disc
+    (r.cmu_interior_disc /. Common.link_rate *. 1000.)

@@ -1,0 +1,28 @@
+(** E5 — link-sharing accuracy: when CMU's data class goes idle, its
+    bandwidth must flow to its CMU siblings, not across the hierarchy to
+    U.Pitt (goals 1–2 of Section I).
+
+    The Fig. 1 hierarchy with a greedy video class; CMU data idles
+    during [stop, restart). Compared against a flat WF²Q+ with the same
+    leaf rates, which leaks most of the idle bandwidth to U.Pitt, and
+    against the fluid ideal for the interior discrepancy. *)
+
+type phase_rates = {
+  audio : float;
+  video : float;
+  cmu_data : float;
+  pitt_data : float;
+}
+
+type result = {
+  hfsc_busy : phase_rates;  (** average rates, all classes active *)
+  hfsc_idle : phase_rates;  (** average rates while CMU data idles *)
+  flat_idle : phase_rates;  (** flat WF2Q+ during the same idle window *)
+  cmu_interior_disc : float;
+      (** max |H-FSC - fluid| for the CMU interior class, bytes *)
+  stop : float;
+  restart : float;
+}
+
+val run : unit -> result
+val print : result -> unit

@@ -1,0 +1,21 @@
+(** E6 — decoupled delay and bandwidth (goal 4 of Section I): two
+    real-time sessions whose rates differ by ~30x are both given the
+    same 10 ms delay guarantee via concave curves; a rate-proportional
+    discipline (WFQ) cannot deliver the small session's delay without
+    over-reserving. *)
+
+type result = {
+  hfsc_slow_max : float;  (** max delay of the 64 kb/s session, H-FSC *)
+  hfsc_fast_max : float;  (** max delay of the 2 Mb/s session, H-FSC *)
+  wfq_slow_max : float;
+  wfq_fast_max : float;
+  dmax : float;  (** the common delay target *)
+  bound : float;  (** H-FSC analytic bound (same for both) *)
+  wfq_required_rate : float;
+      (** linear rate the slow session would need under WFQ to meet
+          [dmax] — the over-reservation the paper warns about *)
+  slow_rate : float;
+}
+
+val run : ?duration:float -> unit -> result
+val print : result -> unit

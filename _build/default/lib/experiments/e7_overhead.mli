@@ -1,0 +1,27 @@
+(** E7 — the measurement experiment: per-packet enqueue/dequeue
+    overhead of H-FSC versus the number of classes (the overhead table
+    of Section VII; Section V predicts O(log n)).
+
+    This module does plain wall-clock loop timing for the printed
+    table; [bench/main.ml] additionally registers the same setups as
+    Bechamel microbenchmarks for rigorous statistics. *)
+
+type row = {
+  classes : int;
+  enqueue_ns : float;  (** mean ns per enqueue *)
+  dequeue_ns : float;  (** mean ns per dequeue *)
+}
+
+type result = { rows : row list; depth_rows : row list }
+(** [rows]: flat hierarchies of n leaves; [depth_rows]: binary
+    hierarchies of the same leaf count, to show depth-independence of
+    the per-packet cost. *)
+
+val build : n:int -> deep:bool -> Hfsc.t * Hfsc.cls array
+(** Build an n-leaf benchmark hierarchy (shared with bench/main.ml):
+    every leaf gets a linear rsc+fsc of [link/n]; [deep] arranges
+    leaves under a binary interior tree instead of directly under the
+    root. *)
+
+val run : ?sizes:int list -> unit -> result
+val print : result -> unit

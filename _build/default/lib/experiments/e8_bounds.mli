@@ -1,0 +1,16 @@
+(** E8 — analytic cross-check ("analyzes"): for every guaranteed leaf in
+    the E3 and E6 scenarios, the measured worst-case delay must not
+    exceed the Theorem 1+2 bound [hdev(alpha, S) + Lmax/R]. *)
+
+type row = {
+  label : string;
+  fluid_bound : float;
+  packet_bound : float;  (** fluid + Lmax/R *)
+  measured_max : float;
+  ok : bool;
+}
+
+type result = { rows : row list }
+
+val run : ?duration:float -> unit -> result
+val print : result -> unit

@@ -1,0 +1,31 @@
+(** E9 — ablations of the two design choices Sections IV-B/IV-C argue
+    for.
+
+    (a) {e Virtual-time initialization}: a class joining its siblings
+    gets [(vmin+vmax)/2] in the paper; [vmin]/[vmax] are the
+    alternatives Section IV-C says lead to discrepancy proportional to
+    fan-out. A churning sibling C joins repeatedly next to two greedy
+    siblings; we record how much service C extracts (join at vmin =
+    head-of-the-line advantage, at vmax = penalized) and the residual
+    A/B imbalance.
+
+    (b) {e Eligible-curve shape}: for convex curves the paper's eligible
+    curve pre-funds the future rate increase; the ablation
+    ([Eligible_deadline]) does not, and a deferred convex ramp colliding
+    with a concave reactivation burst violates a leaf's curve. *)
+
+type vt_row = {
+  policy : string;
+  c_bytes : float;  (** service the churning class obtained *)
+  ab_gap : float;  (** worst |W_A - W_B| / rate, in virtual seconds *)
+}
+
+type result = {
+  vt_rows : vt_row list;
+  eligible_violation_paper : float;
+      (** worst service-curve shortfall (bytes) under the paper rule *)
+  eligible_violation_ablation : float;  (** ... under [Eligible_deadline] *)
+}
+
+val run : unit -> result
+val print : result -> unit

@@ -1,0 +1,37 @@
+type entry = { id : string; title : string; run_and_print : unit -> unit }
+
+let all =
+  [
+    { id = "E1"; title = "SCED punishment vs H-FSC fairness (Fig. 2)";
+      run_and_print = (fun () -> E1_punishment.print (E1_punishment.run ())) };
+    { id = "E2"; title = "leaf guarantees vs ideal link-sharing (Fig. 3)";
+      run_and_print = (fun () -> E2_tradeoff.print (E2_tradeoff.run ())) };
+    { id = "E3"; title = "audio/video delay, H-FSC vs H-PFQ (evaluation figures)";
+      run_and_print = (fun () -> E3_delay.print (E3_delay.run ())) };
+    { id = "E5"; title = "link-sharing during sibling idleness";
+      run_and_print = (fun () -> E5_link_sharing.print (E5_link_sharing.run ())) };
+    { id = "E6"; title = "decoupled delay and bandwidth (priority service)";
+      run_and_print = (fun () -> E6_decoupling.print (E6_decoupling.run ())) };
+    { id = "E7"; title = "enqueue/dequeue overhead vs number of classes";
+      run_and_print = (fun () -> E7_overhead.print (E7_overhead.run ())) };
+    { id = "E8"; title = "measured delay vs analytic bounds (Theorems 1-2)";
+      run_and_print = (fun () -> E8_bounds.print (E8_bounds.run ())) };
+    { id = "E9"; title = "ablations: vt policy and eligible-curve shape";
+      run_and_print = (fun () -> E9_ablation.print (E9_ablation.run ())) };
+    { id = "E10"; title = "upper-limit curves (extension)";
+      run_and_print = (fun () -> E10_ulimit.print (E10_ulimit.run ())) };
+    { id = "E11"; title = "CBQ comparison (related work, Section VIII)";
+      run_and_print = (fun () -> E11_cbq.print (E11_cbq.run ())) };
+    { id = "E12"; title = "end-to-end tandem guarantees (extension)";
+      run_and_print = (fun () -> E12_tandem.print (E12_tandem.run ())) };
+    { id = "E13"; title = "adaptive application vs punishment (Section III-B)";
+      run_and_print = (fun () -> E13_adaptive.print (E13_adaptive.run ())) };
+  ]
+
+let find id =
+  let id = String.uppercase_ascii id in
+  (* E4 is produced together with E3 *)
+  let id = if id = "E4" then "E3" else id in
+  List.find_opt (fun e -> String.equal e.id id) all
+
+let run_all () = List.iter (fun e -> e.run_and_print ()) all

@@ -1,0 +1,15 @@
+(** The experiment registry: every table/figure reproduction of
+    DESIGN.md, addressable by id, runnable all at once (as
+    [bench/main.exe] does) or singly (as [bin/hfsc_sim.exe] does). *)
+
+type entry = {
+  id : string;  (** "E1" ... "E10" *)
+  title : string;
+  run_and_print : unit -> unit;
+}
+
+val all : entry list
+val find : string -> entry option
+(** Case-insensitive lookup by id. *)
+
+val run_all : unit -> unit

@@ -1,0 +1,1 @@
+lib/fluid/discrepancy.ml: Float List

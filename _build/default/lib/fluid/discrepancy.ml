@@ -1,0 +1,28 @@
+(* Step-function value of a time-ordered sample list at time t: the
+   last sample at or before t (0 before the first). *)
+let value_at samples t =
+  let rec go acc = function
+    | (ts, v) :: rest when ts <= t -> go v rest
+    | _ -> acc
+  in
+  go 0. samples
+
+let union_times a b =
+  let xs = List.map fst a @ List.map fst b in
+  List.sort_uniq Float.compare xs
+
+let max_abs a b =
+  List.fold_left
+    (fun acc t -> Float.max acc (Float.abs (value_at a t -. value_at b t)))
+    0. (union_times a b)
+
+let mean_abs a b =
+  match union_times a b with
+  | [] -> 0.
+  | ts ->
+      let sum =
+        List.fold_left
+          (fun acc t -> acc +. Float.abs (value_at a t -. value_at b t))
+          0. ts
+      in
+      sum /. float_of_int (List.length ts)

@@ -1,0 +1,11 @@
+(** Comparing a packet scheduler's cumulative service against the fluid
+    ideal — the link-sharing accuracy metric of experiments E5/E9. *)
+
+val max_abs : (float * float) list -> (float * float) list -> float
+(** [max_abs a b] — the largest absolute gap between two cumulative
+    service curves given as time-ordered samples [(time, bytes)], each
+    treated as a right-continuous step function, evaluated at the union
+    of the sample times. Empty series count as constantly 0. *)
+
+val mean_abs : (float * float) list -> (float * float) list -> float
+(** Same, averaged over the union of sample times (0 when both empty). *)

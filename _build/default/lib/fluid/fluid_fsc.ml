@@ -1,0 +1,70 @@
+type cls = { hcls : Hfsc.cls; mutable residual : float; mutable seq : int }
+
+type t = {
+  sched : Hfsc.t;
+  quantum : int;
+  link_rate : float;
+  mutable clock : float; (* fluid server's own transmission clock *)
+  mutable root_cls : cls;
+}
+
+let create ?(quantum = 64) ~link_rate () =
+  if quantum <= 0 then invalid_arg "Fluid_fsc.create: quantum must be > 0";
+  let sched = Hfsc.create ~link_rate () in
+  {
+    sched;
+    quantum;
+    link_rate;
+    clock = 0.;
+    root_cls = { hcls = Hfsc.root sched; residual = 0.; seq = 0 };
+  }
+
+let root t = t.root_cls
+
+let add_class t ~parent ~name ~fsc =
+  let hcls =
+    (* enormous qlimit: the fluid system never drops demand *)
+    Hfsc.add_class t.sched ~parent:parent.hcls ~name ~fsc ~qlimit:max_int ()
+  in
+  { hcls; residual = 0.; seq = 0 }
+
+(* One quantum of fluid = one quantum-sized pseudo-packet through the
+   link-sharing criterion. *)
+let advance t ~until =
+  let continue_ = ref true in
+  while !continue_ do
+    if t.clock >= until || Hfsc.backlog_pkts t.sched = 0 then continue_ := false
+    else begin
+      match Hfsc.dequeue t.sched ~now:t.clock with
+      | None -> continue_ := false
+      | Some (p, _, _) ->
+          t.clock <-
+            t.clock +. (float_of_int p.Pkt.Packet.size /. t.link_rate)
+    end
+  done;
+  if t.clock < until && Hfsc.backlog_pkts t.sched = 0 then t.clock <- until
+
+let add_demand t ~now cls ~bytes =
+  if not (Hfsc.is_leaf cls.hcls) then
+    invalid_arg "Fluid_fsc.add_demand: interior class";
+  if bytes < 0. then invalid_arg "Fluid_fsc.add_demand: negative demand";
+  advance t ~until:now;
+  cls.residual <- cls.residual +. bytes;
+  while cls.residual >= float_of_int t.quantum do
+    cls.residual <- cls.residual -. float_of_int t.quantum;
+    let p =
+      Pkt.Packet.make ~flow:0 ~size:t.quantum ~seq:cls.seq ~arrival:now
+    in
+    cls.seq <- cls.seq + 1;
+    ignore (Hfsc.enqueue t.sched ~now cls.hcls p)
+  done
+
+let service_of t cls =
+  ignore t;
+  Hfsc.total_bytes cls.hcls
+
+let backlog_of t cls =
+  ignore t;
+  float_of_int (Hfsc.queue_bytes cls.hcls) +. cls.residual
+
+let name cls = Hfsc.name cls.hcls

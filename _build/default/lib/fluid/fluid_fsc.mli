@@ -1,0 +1,42 @@
+(** The ideal Fair Service Curve link-sharing model of Section III,
+    realized as a fluid reference system.
+
+    The ideal model serves the hierarchy as a fluid: at every instant
+    capacity flows to the active class with the smallest virtual time at
+    each level, with no packet granularity and no real-time criterion.
+    We construct it as the limit the paper itself appeals to — H-FSC's
+    link-sharing criterion applied to vanishingly small work units: the
+    class hierarchy is instantiated with {e fair service curves only}
+    and drained in [quantum]-byte units (default 64 B, i.e. 1/24 of an
+    MTU; make it smaller for tighter reference curves).
+
+    Feed it the same per-class arrivals as a real packet scheduler and
+    compare cumulative services: the difference is the link-sharing
+    discrepancy H-FSC promises to keep small for interior classes
+    (experiments E5/E9). *)
+
+type t
+type cls
+
+val create : ?quantum:int -> link_rate:float -> unit -> t
+val root : t -> cls
+
+val add_class :
+  t -> parent:cls -> name:string -> fsc:Curve.Service_curve.t -> cls
+
+val add_demand : t -> now:float -> cls -> bytes:float -> unit
+(** Offer [bytes] of fluid demand at leaf [cls] at time [now]. Calls
+    must be in nondecreasing [now] order; the fluid system is advanced
+    to [now] first.
+
+    @raise Invalid_argument if [cls] is interior. *)
+
+val advance : t -> until:float -> unit
+(** Drain the fluid system up to time [until]. *)
+
+val service_of : t -> cls -> float
+(** Cumulative bytes served to the class (subtree total for interior
+    classes), exact to one quantum. *)
+
+val backlog_of : t -> cls -> float
+val name : cls -> string

@@ -1,0 +1,1 @@
+lib/netsim/adapters.ml: Hashtbl Hfsc List Pkt Sched

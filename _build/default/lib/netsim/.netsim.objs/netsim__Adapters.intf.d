@@ -1,0 +1,1 @@
+lib/netsim/adapters.mli: Hfsc Sched

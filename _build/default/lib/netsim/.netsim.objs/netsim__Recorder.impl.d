@@ -1,0 +1,1 @@
+lib/netsim/recorder.ml: Array List Pkt Printf Sched Sim Source String

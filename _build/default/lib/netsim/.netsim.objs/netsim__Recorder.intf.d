@@ -1,0 +1,1 @@
+lib/netsim/recorder.mli: Sched Sim Source

@@ -1,0 +1,1 @@
+lib/netsim/sim.ml: Event_queue Float Hashtbl List Pkt Sched Source Stats

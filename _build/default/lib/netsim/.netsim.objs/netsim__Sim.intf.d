@@ -1,0 +1,1 @@
+lib/netsim/sim.mli: Event_queue Sched Source Stats

@@ -1,0 +1,1 @@
+lib/netsim/tandem.ml: Array Event_queue Float Hashtbl List Pkt Sched Source Stats

@@ -1,0 +1,31 @@
+let of_hfsc t ~flow_map =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (flow, cls) ->
+      if not (Hfsc.is_leaf cls) then
+        invalid_arg "Adapters.of_hfsc: flow mapped to interior class";
+      Hashtbl.replace tbl flow cls)
+    flow_map;
+  {
+    Sched.Scheduler.name = "hfsc";
+    enqueue =
+      (fun ~now p ->
+        match Hashtbl.find_opt tbl p.Pkt.Packet.flow with
+        | None -> false
+        | Some cls -> Hfsc.enqueue t ~now cls p);
+    dequeue =
+      (fun ~now ->
+        match Hfsc.dequeue t ~now with
+        | None -> None
+        | Some (pkt, cls, crit) ->
+            Some
+              {
+                Sched.Scheduler.pkt;
+                cls = Hfsc.name cls;
+                criterion =
+                  (match crit with Hfsc.Realtime -> "rt" | Linkshare -> "ls");
+              });
+    next_ready = (fun ~now -> Hfsc.next_ready_time t ~now);
+    backlog_pkts = (fun () -> Hfsc.backlog_pkts t);
+    backlog_bytes = (fun () -> Hfsc.backlog_bytes t);
+  }

@@ -1,0 +1,8 @@
+(** Bridges concrete schedulers into the packed {!Sched.Scheduler.t}
+    interface the simulator drives. *)
+
+val of_hfsc : Hfsc.t -> flow_map:(int * Hfsc.cls) list -> Sched.Scheduler.t
+(** [of_hfsc t ~flow_map] drives an H-FSC instance: packets of each
+    listed flow are enqueued at the paired leaf class; packets of
+    unlisted flows are dropped. The [criterion] field of served packets
+    is ["rt"] or ["ls"]. *)

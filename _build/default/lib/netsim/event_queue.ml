@@ -1,0 +1,102 @@
+type backend = Heap | Calendar
+
+type 'a entry = { at : float; seq : int; ev : 'a }
+
+(* Small polymorphic binary min-heap over (at, seq); kept local because
+   {!Ds.Binary_heap} is a functor over a monomorphic element type. *)
+type 'a heap = { mutable data : 'a entry array; mutable size : int }
+
+let entry_lt a b = a.at < b.at || (a.at = b.at && a.seq < b.seq)
+
+let heap_add h e =
+  if h.size = Array.length h.data then begin
+    let data = Array.make (max 16 (2 * h.size)) e in
+    Array.blit h.data 0 data 0 h.size;
+    h.data <- data
+  end;
+  h.data.(h.size) <- e;
+  h.size <- h.size + 1;
+  let i = ref (h.size - 1) in
+  while
+    !i > 0
+    &&
+    let p = (!i - 1) / 2 in
+    entry_lt h.data.(!i) h.data.(p)
+  do
+    let p = (!i - 1) / 2 in
+    let tmp = h.data.(!i) in
+    h.data.(!i) <- h.data.(p);
+    h.data.(p) <- tmp;
+    i := p
+  done
+
+let heap_pop h =
+  if h.size = 0 then None
+  else begin
+    let top = h.data.(0) in
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      h.data.(0) <- h.data.(h.size);
+      let i = ref 0 in
+      let continue_ = ref true in
+      while !continue_ do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let m = ref !i in
+        if l < h.size && entry_lt h.data.(l) h.data.(!m) then m := l;
+        if r < h.size && entry_lt h.data.(r) h.data.(!m) then m := r;
+        if !m <> !i then begin
+          let tmp = h.data.(!i) in
+          h.data.(!i) <- h.data.(!m);
+          h.data.(!m) <- tmp;
+          i := !m
+        end
+        else continue_ := false
+      done
+    end;
+    Some top
+  end
+
+let heap_peek h = if h.size = 0 then None else Some h.data.(0)
+
+type 'a t = { mutable seq : int; impl : 'a impl }
+and 'a impl = Heap_q of 'a heap | Cal_q of 'a entry Ds.Calendar_queue.t
+
+let create ?(backend = Heap) () =
+  let impl =
+    match backend with
+    | Heap -> Heap_q { data = [||]; size = 0 }
+    | Calendar -> Cal_q (Ds.Calendar_queue.create ())
+  in
+  { seq = 0; impl }
+
+let add t at ev =
+  let e = { at; seq = t.seq; ev } in
+  t.seq <- t.seq + 1;
+  match t.impl with
+  | Heap_q h -> heap_add h e
+  | Cal_q c -> Ds.Calendar_queue.add c at e
+
+let pop t =
+  match t.impl with
+  | Heap_q h -> (
+      match heap_pop h with None -> None | Some e -> Some (e.at, e.ev))
+  | Cal_q c -> (
+      match Ds.Calendar_queue.pop_min c with
+      | None -> None
+      | Some (_, e) -> Some (e.at, e.ev))
+
+let peek t =
+  match t.impl with
+  | Heap_q h -> (
+      match heap_peek h with None -> None | Some e -> Some (e.at, e.ev))
+  | Cal_q c -> (
+      match Ds.Calendar_queue.min_elt c with
+      | None -> None
+      | Some (_, e) -> Some (e.at, e.ev))
+
+let length t =
+  match t.impl with
+  | Heap_q h -> h.size
+  | Cal_q c -> Ds.Calendar_queue.length c
+
+let is_empty t = length t = 0

@@ -1,0 +1,16 @@
+(** Simulator event queue: timestamped events, FIFO within a timestamp.
+
+    Two interchangeable backends — a binary heap (default) and the
+    calendar queue of {!Ds.Calendar_queue} — so the simulator itself
+    exercises both structures Section V proposes for tracking times. *)
+
+type 'a t
+
+type backend = Heap | Calendar
+
+val create : ?backend:backend -> unit -> 'a t
+val add : 'a t -> float -> 'a -> unit
+val pop : 'a t -> (float * 'a) option
+val peek : 'a t -> (float * 'a) option
+val length : 'a t -> int
+val is_empty : 'a t -> bool

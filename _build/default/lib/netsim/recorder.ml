@@ -1,0 +1,120 @@
+type record = {
+  time : float;
+  flow : int;
+  seq : int;
+  size : int;
+  cls : string;
+  criterion : string;
+  delay : float;
+}
+
+type t = { mutable data : record array; mutable used : int }
+
+let create ?(capacity = 1024) () =
+  {
+    data =
+      Array.make (max capacity 1)
+        { time = 0.; flow = 0; seq = 0; size = 0; cls = ""; criterion = "";
+          delay = 0. };
+    used = 0;
+  }
+
+let add t ~now (served : Sched.Scheduler.served) =
+  if t.used = Array.length t.data then begin
+    let data = Array.make (2 * t.used) t.data.(0) in
+    Array.blit t.data 0 data 0 t.used;
+    t.data <- data
+  end;
+  let p = served.Sched.Scheduler.pkt in
+  t.data.(t.used) <-
+    {
+      time = now;
+      flow = p.Pkt.Packet.flow;
+      seq = p.Pkt.Packet.seq;
+      size = p.Pkt.Packet.size;
+      cls = served.Sched.Scheduler.cls;
+      criterion = served.Sched.Scheduler.criterion;
+      delay = now -. p.Pkt.Packet.arrival;
+    };
+  t.used <- t.used + 1
+
+let attach t sim = Sim.on_departure sim (fun ~now served -> add t ~now served)
+let length t = t.used
+let records t = Array.to_list (Array.sub t.data 0 t.used)
+let filter t f = List.filter f (records t)
+
+let to_csv t oc =
+  output_string oc "time,flow,seq,size,class,criterion,delay\n";
+  for i = 0 to t.used - 1 do
+    let r = t.data.(i) in
+    Printf.fprintf oc "%.9f,%d,%d,%d,%s,%s,%.9f\n" r.time r.flow r.seq r.size
+      r.cls r.criterion r.delay
+  done
+
+let load_csv path =
+  let parse_line n line =
+    match String.split_on_char ',' line with
+    | [ time; flow; seq; size; cls; criterion; delay ] -> (
+        match
+          ( float_of_string_opt time,
+            int_of_string_opt flow,
+            int_of_string_opt seq,
+            int_of_string_opt size,
+            float_of_string_opt delay )
+        with
+        | Some time, Some flow, Some seq, Some size, Some delay ->
+            Ok { time; flow; seq; size; cls; criterion; delay }
+        | _ -> Error (Printf.sprintf "line %d: malformed fields" n))
+    | _ -> Error (Printf.sprintf "line %d: expected 7 columns" n)
+  in
+  try
+    let ic = open_in path in
+    let result =
+      try
+        let header = input_line ic in
+        if header <> "time,flow,seq,size,class,criterion,delay" then
+          Error "unrecognized header"
+        else begin
+          let out = ref [] in
+          let err = ref None in
+          let n = ref 1 in
+          (try
+             while !err = None do
+               incr n;
+               match parse_line !n (input_line ic) with
+               | Ok r -> out := r :: !out
+               | Error e -> err := Some e
+             done
+           with End_of_file -> ());
+          match !err with
+          | Some e -> Error e
+          | None -> Ok (List.rev !out)
+        end
+      with End_of_file -> Error "empty file"
+    in
+    close_in ic;
+    result
+  with Sys_error e -> Error e
+
+let save_csv t path =
+  try
+    let oc = open_out path in
+    to_csv t oc;
+    close_out oc;
+    Ok ()
+  with Sys_error e -> Error e
+
+let replay_source ~flow records =
+  let arrivals =
+    List.filter_map
+      (fun r ->
+        if r.flow = flow then Some (r.time -. r.delay, r.size) else None)
+      records
+  in
+  let rec sorted = function
+    | (t1, _) :: ((t2, _) :: _ as rest) -> t1 <= t2 && sorted rest
+    | _ -> true
+  in
+  if not (sorted arrivals) then
+    invalid_arg "Recorder.replay_source: arrivals not in order";
+  Source.script ~flow arrivals

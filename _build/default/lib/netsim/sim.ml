@@ -1,0 +1,137 @@
+type event =
+  | Arrival of Source.t * int (* source, size; time lives on the queue *)
+  | Tx_complete of Sched.Scheduler.served
+  | Poll
+
+type t = {
+  link_rate : float;
+  sched : Sched.Scheduler.t;
+  q : event Event_queue.t;
+  mutable now : float;
+  mutable busy : bool;
+  mutable poll_at : float; (* earliest pending poll; infinity if none *)
+  seqs : (int, int) Hashtbl.t;
+  mutable on_departure : (now:float -> Sched.Scheduler.served -> unit) list;
+  delays : (int, Stats.Delay.t) Hashtbl.t;
+  tput : Stats.Throughput.t;
+  mutable tx_bytes : float;
+  mutable busy_time : float;
+  mutable drops : int;
+}
+
+let create ?event_backend ?(tput_bin = 1.0) ~link_rate ~sched () =
+  if link_rate <= 0. then invalid_arg "Sim.create: link_rate must be > 0";
+  {
+    link_rate;
+    sched;
+    q = Event_queue.create ?backend:event_backend ();
+    now = 0.;
+    busy = false;
+    poll_at = infinity;
+    seqs = Hashtbl.create 16;
+    on_departure = [];
+    delays = Hashtbl.create 16;
+    tput = Stats.Throughput.create ~bin:tput_bin ();
+    tx_bytes = 0.;
+    busy_time = 0.;
+    drops = 0;
+  }
+
+let schedule_arrival t src =
+  match Source.next src with
+  | None -> ()
+  | Some (at, size) -> Event_queue.add t.q at (Arrival (src, size))
+
+let add_source t src = schedule_arrival t src
+let on_departure t f = t.on_departure <- f :: t.on_departure
+
+(* If the link is idle, pull the next packet; if the scheduler is
+   backlogged but rate-capped, arm a poll for its next-ready instant. *)
+let try_start t =
+  if not t.busy then begin
+    match t.sched.Sched.Scheduler.dequeue ~now:t.now with
+    | Some served ->
+        t.busy <- true;
+        let tx =
+          float_of_int served.Sched.Scheduler.pkt.Pkt.Packet.size
+          /. t.link_rate
+        in
+        t.busy_time <- t.busy_time +. tx;
+        Event_queue.add t.q (t.now +. tx) (Tx_complete served)
+    | None -> (
+        match t.sched.Sched.Scheduler.next_ready ~now:t.now with
+        | Some ts when ts > t.now ->
+            if ts < t.poll_at then begin
+              t.poll_at <- ts;
+              Event_queue.add t.q ts Poll
+            end
+        | _ -> ())
+  end
+
+let handle t = function
+  | Arrival (src, size) ->
+      let flow = Source.flow src in
+      let seq =
+        match Hashtbl.find_opt t.seqs flow with Some s -> s | None -> 0
+      in
+      Hashtbl.replace t.seqs flow (seq + 1);
+      let pkt = Pkt.Packet.make ~flow ~size ~seq ~arrival:t.now in
+      if not (t.sched.Sched.Scheduler.enqueue ~now:t.now pkt) then
+        t.drops <- t.drops + 1;
+      schedule_arrival t src;
+      try_start t
+  | Tx_complete served ->
+      t.busy <- false;
+      let pkt = served.Sched.Scheduler.pkt in
+      t.tx_bytes <- t.tx_bytes +. float_of_int pkt.Pkt.Packet.size;
+      let d =
+        match Hashtbl.find_opt t.delays pkt.Pkt.Packet.flow with
+        | Some d -> d
+        | None ->
+            let d = Stats.Delay.create () in
+            Hashtbl.replace t.delays pkt.Pkt.Packet.flow d;
+            d
+      in
+      Stats.Delay.add d (t.now -. pkt.Pkt.Packet.arrival);
+      Stats.Throughput.add t.tput ~cls:served.Sched.Scheduler.cls ~now:t.now
+        pkt.Pkt.Packet.size;
+      List.iter (fun f -> f ~now:t.now served) t.on_departure;
+      try_start t
+  | Poll ->
+      t.poll_at <- infinity;
+      try_start t
+
+let run t ~until =
+  let continue_ = ref true in
+  while !continue_ do
+    match Event_queue.peek t.q with
+    | Some (at, _) when at <= until ->
+        (match Event_queue.pop t.q with
+        | Some (at, ev) ->
+            t.now <- Float.max t.now at;
+            handle t ev
+        | None -> assert false)
+    | _ ->
+        continue_ := false;
+        if until > t.now then t.now <- until
+  done
+
+let run_until_idle t ~max_time =
+  let continue_ = ref true in
+  while !continue_ do
+    match Event_queue.peek t.q with
+    | Some (at, _) when at <= max_time ->
+        (match Event_queue.pop t.q with
+        | Some (at, ev) ->
+            t.now <- Float.max t.now at;
+            handle t ev
+        | None -> assert false)
+    | _ -> continue_ := false
+  done
+
+let now t = t.now
+let delay_of_flow t flow = Hashtbl.find_opt t.delays flow
+let throughput t = t.tput
+let transmitted_bytes t = t.tx_bytes
+let enqueue_drops t = t.drops
+let utilization t = if t.now <= 0. then 0. else t.busy_time /. t.now

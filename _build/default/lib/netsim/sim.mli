@@ -1,0 +1,53 @@
+(** The discrete-event engine: sources feed one scheduler feeding one
+    output link.
+
+    This is the substitute for the paper's simulator/testbed (see
+    DESIGN.md): the link transmits one packet at a time at [link_rate];
+    whenever it goes idle it asks the scheduler for the next packet —
+    precisely the enqueue/dequeue driver a kernel interface would be.
+    Departure time of a packet is when its last bit leaves (the
+    convention of Section VI), and the recorded delay of a packet is
+    departure minus arrival.
+
+    Non-work-conserving schedulers (H-FSC with upper-limit curves) are
+    supported through {!Sched.Scheduler.next_ready}: a poll event is
+    scheduled for the instant the scheduler says it can next emit. *)
+
+type t
+
+val create :
+  ?event_backend:Event_queue.backend ->
+  ?tput_bin:float ->
+  link_rate:float ->
+  sched:Sched.Scheduler.t ->
+  unit ->
+  t
+(** [tput_bin] is the throughput-series bin width in seconds
+    (default 1.0). *)
+
+val add_source : t -> Source.t -> unit
+(** Register a source; its first arrival is scheduled immediately. *)
+
+val on_departure : t -> (now:float -> Sched.Scheduler.served -> unit) -> unit
+(** Register a callback fired as each packet finishes transmission. *)
+
+val run : t -> until:float -> unit
+(** Process all events up to and including time [until]. May be called
+    repeatedly with increasing horizons. *)
+
+val run_until_idle : t -> max_time:float -> unit
+(** Run until no event is pending and the scheduler is idle, or
+    [max_time] is reached. *)
+
+val now : t -> float
+
+val delay_of_flow : t -> int -> Stats.Delay.t option
+(** Delay statistics of a flow; [None] if it never completed a packet. *)
+
+val throughput : t -> Stats.Throughput.t
+val transmitted_bytes : t -> float
+val enqueue_drops : t -> int
+(** Packets refused by the scheduler (queue limits). *)
+
+val utilization : t -> float
+(** Fraction of [0, now] the link spent transmitting. *)

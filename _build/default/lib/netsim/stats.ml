@@ -1,0 +1,79 @@
+module Delay = struct
+  type t = {
+    mutable data : float array;
+    mutable used : int;
+    mutable sum : float;
+    mutable mx : float;
+    mutable mn : float;
+  }
+
+  let create () =
+    { data = Array.make 64 0.; used = 0; sum = 0.; mx = neg_infinity;
+      mn = infinity }
+
+  let add t v =
+    if t.used = Array.length t.data then begin
+      let data = Array.make (2 * t.used) 0. in
+      Array.blit t.data 0 data 0 t.used;
+      t.data <- data
+    end;
+    t.data.(t.used) <- v;
+    t.used <- t.used + 1;
+    t.sum <- t.sum +. v;
+    if v > t.mx then t.mx <- v;
+    if v < t.mn then t.mn <- v
+
+  let count t = t.used
+  let mean t = if t.used = 0 then 0. else t.sum /. float_of_int t.used
+  let max t = t.mx
+  let min t = t.mn
+
+  let percentile t p =
+    if t.used = 0 then invalid_arg "Delay.percentile: no samples";
+    if p < 0. || p > 1. then invalid_arg "Delay.percentile: p outside [0,1]";
+    let sorted = Array.sub t.data 0 t.used in
+    Array.sort Float.compare sorted;
+    let rank =
+      Stdlib.min (t.used - 1)
+        (int_of_float (Float.round (p *. float_of_int (t.used - 1))))
+    in
+    sorted.(rank)
+
+  let samples t = Array.sub t.data 0 t.used
+end
+
+module Throughput = struct
+  type t = { bin : float; tbl : (string, (int, float) Hashtbl.t) Hashtbl.t }
+
+  let create ~bin () =
+    if bin <= 0. then invalid_arg "Throughput.create: bin must be > 0";
+    { bin; tbl = Hashtbl.create 16 }
+
+  let add t ~cls ~now bytes =
+    let bins =
+      match Hashtbl.find_opt t.tbl cls with
+      | Some b -> b
+      | None ->
+          let b = Hashtbl.create 64 in
+          Hashtbl.replace t.tbl cls b;
+          b
+    in
+    let i = int_of_float (now /. t.bin) in
+    let cur = match Hashtbl.find_opt bins i with Some v -> v | None -> 0. in
+    Hashtbl.replace bins i (cur +. float_of_int bytes)
+
+  let series t ~cls =
+    match Hashtbl.find_opt t.tbl cls with
+    | None -> []
+    | Some bins ->
+        let last = Hashtbl.fold (fun i _ acc -> Stdlib.max i acc) bins 0 in
+        List.init (last + 1) (fun i ->
+            let v =
+              match Hashtbl.find_opt bins i with Some v -> v | None -> 0.
+            in
+            (float_of_int i *. t.bin, v /. t.bin))
+
+  let classes t =
+    List.sort String.compare
+      (Hashtbl.fold (fun k _ acc -> k :: acc) t.tbl [])
+end

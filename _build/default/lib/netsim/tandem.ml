@@ -1,0 +1,168 @@
+type event =
+  | Arrival of int * Source.t * int (* hop, source, size *)
+  | Tx_complete of int * Sched.Scheduler.served (* hop index *)
+  | Poll of int
+
+type hop = {
+  rate : float;
+  sched : Sched.Scheduler.t;
+  mutable busy : bool;
+  mutable poll_at : float;
+}
+
+type t = {
+  hops : hop array;
+  q : event Event_queue.t;
+  mutable now : float;
+  seqs : (int, int) Hashtbl.t;
+  (* original arrival times of in-flight packets, keyed by (flow, seq):
+     per-hop schedulers restamp nothing, so the key identifies the
+     packet across hops *)
+  entered : (int * int, float) Hashtbl.t;
+  delays : (int, Stats.Delay.t) Hashtbl.t;
+  mutable callbacks : (hop:int -> now:float -> Sched.Scheduler.served -> unit) list;
+  mutable out_bytes : float;
+  mutable drop_count : int;
+}
+
+let create ~hops () =
+  if hops = [] then invalid_arg "Tandem.create: no hops";
+  List.iter
+    (fun (r, _) -> if r <= 0. then invalid_arg "Tandem.create: bad rate")
+    hops;
+  {
+    hops =
+      Array.of_list
+        (List.map
+           (fun (rate, sched) ->
+             { rate; sched; busy = false; poll_at = infinity })
+           hops);
+    q = Event_queue.create ();
+    now = 0.;
+    seqs = Hashtbl.create 16;
+    entered = Hashtbl.create 256;
+    delays = Hashtbl.create 16;
+    callbacks = [];
+    out_bytes = 0.;
+    drop_count = 0;
+  }
+
+let schedule_arrival t hop src =
+  match Source.next src with
+  | None -> ()
+  | Some (at, size) -> Event_queue.add t.q at (Arrival (hop, src, size))
+
+let add_source t src = schedule_arrival t 0 src
+
+let add_source_at t ~hop src =
+  if hop < 0 || hop >= Array.length t.hops then
+    invalid_arg "Tandem.add_source_at: hop out of range";
+  schedule_arrival t hop src
+let on_hop_departure t f = t.callbacks <- f :: t.callbacks
+
+let try_start t i =
+  let h = t.hops.(i) in
+  if not h.busy then begin
+    match h.sched.Sched.Scheduler.dequeue ~now:t.now with
+    | Some served ->
+        h.busy <- true;
+        let tx =
+          float_of_int served.Sched.Scheduler.pkt.Pkt.Packet.size /. h.rate
+        in
+        Event_queue.add t.q (t.now +. tx) (Tx_complete (i, served))
+    | None -> (
+        match h.sched.Sched.Scheduler.next_ready ~now:t.now with
+        | Some ts when ts > t.now ->
+            if ts < h.poll_at then begin
+              h.poll_at <- ts;
+              Event_queue.add t.q ts (Poll i)
+            end
+        | _ -> ())
+  end
+
+let feed t i pkt =
+  if not (t.hops.(i).sched.Sched.Scheduler.enqueue ~now:t.now pkt) then begin
+    t.drop_count <- t.drop_count + 1;
+    Hashtbl.remove t.entered
+      (pkt.Pkt.Packet.flow, pkt.Pkt.Packet.seq)
+  end;
+  try_start t i
+
+let handle t = function
+  | Arrival (hop, src, size) ->
+      let flow = Source.flow src in
+      let seq =
+        match Hashtbl.find_opt t.seqs flow with Some s -> s | None -> 0
+      in
+      Hashtbl.replace t.seqs flow (seq + 1);
+      if hop = 0 then Hashtbl.replace t.entered (flow, seq) t.now;
+      let pkt = Pkt.Packet.make ~flow ~size ~seq ~arrival:t.now in
+      schedule_arrival t hop src;
+      feed t hop pkt
+  | Tx_complete (i, served) ->
+      let h = t.hops.(i) in
+      h.busy <- false;
+      let pkt = served.Sched.Scheduler.pkt in
+      List.iter (fun f -> f ~hop:i ~now:t.now served) t.callbacks;
+      if i + 1 < Array.length t.hops then begin
+        (* restamp arrival for the next hop's local bookkeeping *)
+        let pkt' =
+          Pkt.Packet.make ~flow:pkt.Pkt.Packet.flow ~size:pkt.Pkt.Packet.size
+            ~seq:pkt.Pkt.Packet.seq ~arrival:t.now
+        in
+        feed t (i + 1) pkt'
+      end
+      else begin
+        t.out_bytes <- t.out_bytes +. float_of_int pkt.Pkt.Packet.size;
+        let key = (pkt.Pkt.Packet.flow, pkt.Pkt.Packet.seq) in
+        (match Hashtbl.find_opt t.entered key with
+        | Some t0 ->
+            Hashtbl.remove t.entered key;
+            let d =
+              match Hashtbl.find_opt t.delays pkt.Pkt.Packet.flow with
+              | Some d -> d
+              | None ->
+                  let d = Stats.Delay.create () in
+                  Hashtbl.replace t.delays pkt.Pkt.Packet.flow d;
+                  d
+            in
+            Stats.Delay.add d (t.now -. t0)
+        | None -> ())
+      end;
+      try_start t i
+  | Poll i ->
+      t.hops.(i).poll_at <- infinity;
+      try_start t i
+
+let run t ~until =
+  let continue_ = ref true in
+  while !continue_ do
+    match Event_queue.peek t.q with
+    | Some (at, _) when at <= until -> (
+        match Event_queue.pop t.q with
+        | Some (at, ev) ->
+            t.now <- Float.max t.now at;
+            handle t ev
+        | None -> assert false)
+    | _ ->
+        continue_ := false;
+        if until > t.now then t.now <- until
+  done
+
+let run_until_idle t ~max_time =
+  let continue_ = ref true in
+  while !continue_ do
+    match Event_queue.peek t.q with
+    | Some (at, _) when at <= max_time -> (
+        match Event_queue.pop t.q with
+        | Some (at, ev) ->
+            t.now <- Float.max t.now at;
+            handle t ev
+        | None -> assert false)
+    | _ -> continue_ := false
+  done
+
+let now t = t.now
+let end_to_end_delay t flow = Hashtbl.find_opt t.delays flow
+let delivered_bytes t = t.out_bytes
+let drops t = t.drop_count

@@ -1,0 +1,43 @@
+(** A tandem of links: each link has its own scheduler; packets leaving
+    link i immediately enter link i+1's scheduler. The multi-node
+    setting the paper's per-link guarantees compose over (see
+    {!Analysis.Multi_hop} for the matching end-to-end bounds,
+    demonstrated by experiment E12).
+
+    End-to-end delay of a packet = departure from the last link minus
+    its original arrival. Per-hop departures are also observable via
+    {!on_hop_departure}. *)
+
+type t
+
+val create : hops:(float * Sched.Scheduler.t) list -> unit -> t
+(** [create ~hops] — [(link_rate, scheduler)] per hop, first hop first.
+
+    @raise Invalid_argument on empty [hops] or non-positive rates. *)
+
+val add_source : t -> Source.t -> unit
+(** Sources feed the first hop. *)
+
+val add_source_at : t -> hop:int -> Source.t -> unit
+(** Cross traffic injected directly at a later hop; its packets do not
+    continue past that hop's own position unless the downstream
+    schedulers know their flow (end-to-end stats only cover packets that
+    entered at hop 0).
+
+    @raise Invalid_argument on an out-of-range hop. *)
+
+val on_hop_departure :
+  t -> (hop:int -> now:float -> Sched.Scheduler.served -> unit) -> unit
+
+val run : t -> until:float -> unit
+val run_until_idle : t -> max_time:float -> unit
+val now : t -> float
+
+val end_to_end_delay : t -> int -> Stats.Delay.t option
+(** Delay statistics of a flow across the whole tandem. *)
+
+val delivered_bytes : t -> float
+(** Bytes that left the last hop. *)
+
+val drops : t -> int
+(** Enqueue refusals summed over all hops. *)

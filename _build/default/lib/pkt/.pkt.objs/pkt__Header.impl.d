@@ -1,0 +1,1 @@
+lib/pkt/header.ml: Format Int32 Printf String

@@ -1,0 +1,31 @@
+(** Packets and flows.
+
+    The shared vocabulary of every scheduler and of the simulator. A
+    packet is immutable once created; schedulers queue packets, the
+    simulator stamps arrival and departure times through the
+    {!module:Recorder}-style sinks in [netsim]. *)
+
+type t = private {
+  flow : int;  (** flow (= leaf class) identifier *)
+  size : int;  (** length in bytes; strictly positive *)
+  seq : int;  (** per-flow sequence number, starting at 0 *)
+  arrival : float;  (** wall-clock arrival time in seconds *)
+}
+
+val make : flow:int -> size:int -> seq:int -> arrival:float -> t
+(** [make ~flow ~size ~seq ~arrival] builds a packet.
+
+    @raise Invalid_argument if [size <= 0], [seq < 0] or [arrival] is
+    not finite. *)
+
+val size_bits : t -> int
+(** [size_bits p] is [8 * p.size]. *)
+
+val compare : t -> t -> int
+(** Total order: by flow, then sequence number. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable one-line rendering, e.g. [flow=3 seq=17 size=1500
+    arr=0.042]. *)

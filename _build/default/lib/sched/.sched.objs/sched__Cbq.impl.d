@@ -1,0 +1,1 @@
+lib/sched/cbq.ml: Array Ds Float Hashtbl List Pkt Scheduler

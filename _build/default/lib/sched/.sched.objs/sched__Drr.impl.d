@@ -1,0 +1,1 @@
+lib/sched/drr.ml: Ds Hashtbl List Pkt Queue Scheduler

@@ -1,0 +1,1 @@
+lib/sched/fifo.ml: Ds Pkt Scheduler

@@ -1,0 +1,1 @@
+lib/sched/hpfq.ml: Ds Float Hashtbl List Pkt Scheduler

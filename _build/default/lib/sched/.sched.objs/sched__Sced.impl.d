@@ -1,0 +1,1 @@
+lib/sched/sced.ml: Curve Ds Hashtbl List Pkt Scheduler

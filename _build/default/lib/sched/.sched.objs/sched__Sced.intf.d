@@ -1,0 +1,1 @@
+lib/sched/sced.mli: Curve Scheduler

@@ -1,0 +1,1 @@
+lib/sched/sfq.ml: Ds Float Hashtbl Int List Pkt Scheduler

@@ -1,0 +1,1 @@
+lib/sched/virtual_clock.ml: Ds Float Hashtbl Int List Pkt Scheduler

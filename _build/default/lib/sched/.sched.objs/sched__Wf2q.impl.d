@@ -1,0 +1,1 @@
+lib/sched/wf2q.ml: Ds Float Hashtbl List Pkt Scheduler

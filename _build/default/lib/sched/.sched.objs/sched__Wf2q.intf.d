@@ -1,0 +1,1 @@
+lib/sched/wf2q.mli: Scheduler

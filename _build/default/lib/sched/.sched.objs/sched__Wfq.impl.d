@@ -1,0 +1,1 @@
+lib/sched/wfq.ml: Ds Float Hashtbl List Pkt Queue Scheduler

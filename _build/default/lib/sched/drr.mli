@@ -1,0 +1,12 @@
+(** Deficit Round Robin (Shreedhar & Varghese, 1995).
+
+    O(1) frame-based fair queueing: each backlogged flow accumulates a
+    quantum per round and sends while its deficit covers the head
+    packet. Long-term rates are proportional to quanta; short-term
+    fairness and delay are much weaker than the timestamp disciplines —
+    which is exactly why it serves as a contrast baseline here. *)
+
+val create :
+  ?qlimit:int -> quanta:(int * int) list -> unit -> Scheduler.t
+(** [quanta] maps flow id to its quantum in bytes (> 0). Packets of
+    unlisted flows are dropped. *)

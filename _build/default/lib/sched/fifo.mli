@@ -1,0 +1,4 @@
+(** Single shared FIFO — the null baseline: no isolation, no
+    guarantees; every experiment's "what you get without a scheduler". *)
+
+val create : ?qlimit:int -> unit -> Scheduler.t

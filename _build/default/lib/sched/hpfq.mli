@@ -1,0 +1,33 @@
+(** H-PFQ — Hierarchical Packet Fair Queueing (Bennett & Zhang, the
+    paper's [3]) with WF²Q+ at every node.
+
+    The paper's main comparator. Each interior node runs its own WF²Q+
+    server over its children; selecting a packet walks the hierarchy
+    top-down by SEFF at every level, and tag/virtual-time updates walk
+    it back bottom-up. Link-sharing is as accurate as the node
+    discipline is fair, but a leaf's delay bound {e grows with its depth
+    in the tree} — the limitation H-FSC's leaf-only real-time criterion
+    removes (Section IV-A), demonstrated by experiments E3/E4.
+
+    Build the tree with {!add_node} / {!add_leaf}, then drive it through
+    {!to_scheduler}. *)
+
+type t
+type node
+
+val create : link_rate:float -> unit -> t
+val root : t -> node
+
+val add_node : t -> parent:node -> name:string -> rate:float -> node
+(** Interior class with guaranteed [rate] bytes/s.
+
+    @raise Invalid_argument if [parent] already has a flow attached. *)
+
+val add_leaf :
+  t -> parent:node -> name:string -> rate:float -> flow:int -> ?qlimit:int ->
+  unit -> node
+(** Leaf session receiving the packets of [flow].
+
+    @raise Invalid_argument if [flow] is already attached. *)
+
+val to_scheduler : t -> Scheduler.t

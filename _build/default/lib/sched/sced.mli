@@ -1,0 +1,19 @@
+(** Service Curve Earliest Deadline first (Sariowan, Cruz, Polyzos —
+    the paper's [14]), without fairness.
+
+    Each session has a service curve; its deadline curve is updated by
+    the eq. (3) minimum whenever the session turns backlogged, and the
+    backlogged session with the earliest head-packet deadline is served.
+    SCED guarantees every admissible set of service curves — but it
+    {e punishes} sessions for using excess capacity (Section III-B,
+    Fig. 2): after an idle competitor returns, the previously greedy
+    session can be locked out entirely. Experiment E1 reproduces that
+    behaviour against H-FSC. *)
+
+val create :
+  ?qlimit:int ->
+  curves:(int * Curve.Service_curve.t) list ->
+  unit ->
+  Scheduler.t
+(** [curves] maps flow id to its service curve. Packets of unlisted
+    flows are dropped. *)

@@ -1,0 +1,13 @@
+type served = { pkt : Pkt.Packet.t; cls : string; criterion : string }
+
+type t = {
+  name : string;
+  enqueue : now:float -> Pkt.Packet.t -> bool;
+  dequeue : now:float -> served option;
+  next_ready : now:float -> float option;
+  backlog_pkts : unit -> int;
+  backlog_bytes : unit -> int;
+}
+
+let work_conserving_next_ready ~backlog ~now =
+  if backlog () > 0 then Some now else None

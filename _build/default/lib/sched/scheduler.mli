@@ -1,0 +1,32 @@
+(** Common packet-scheduler interface.
+
+    Every discipline in this repository — H-FSC itself and all the
+    baselines it is evaluated against — is packed into this one record
+    so the simulator, benches and experiments can drive them
+    interchangeably. Packets carry their flow id; how flows map to
+    internal sessions/classes is fixed when the concrete scheduler is
+    constructed. *)
+
+type served = {
+  pkt : Pkt.Packet.t;
+  cls : string;  (** name of the class/session that was served *)
+  criterion : string;  (** discipline-specific tag, e.g. ["rt"]/["ls"] *)
+}
+
+type t = {
+  name : string;
+  enqueue : now:float -> Pkt.Packet.t -> bool;
+      (** [false] = dropped (queue limit or unknown flow). *)
+  dequeue : now:float -> served option;
+  next_ready : now:float -> float option;
+      (** [None] iff idle; [Some ts] = earliest instant a dequeue can
+          succeed (equals [now] for work-conserving disciplines with
+          backlog). *)
+  backlog_pkts : unit -> int;
+  backlog_bytes : unit -> int;
+}
+
+val work_conserving_next_ready :
+  backlog:(unit -> int) -> now:float -> float option
+(** The [next_ready] of every work-conserving discipline: [Some now]
+    when backlogged, [None] otherwise. *)

@@ -1,0 +1,11 @@
+(** Start-time Fair Queueing (Goyal, Vin, Cheng, 1996).
+
+    Weighted fair queueing variant that sorts by start tags and uses the
+    in-service packet's start tag as the system virtual time — cheap and
+    fair, but with weaker delay bounds than WF²Q+ (delay grows with the
+    number of flows). One of the PFQ family Section VIII surveys. *)
+
+val create :
+  ?qlimit:int -> weights:(int * float) list -> unit -> Scheduler.t
+(** [weights] maps flow id to weight (any positive unit — only ratios
+    matter). Packets of unlisted flows are dropped. *)

@@ -1,0 +1,13 @@
+(** Virtual Clock (Zhang, 1990).
+
+    Each flow [i] has a reserved rate [r_i]; every arriving packet is
+    stamped [VC_i := max(now, VC_i) + L / r_i] and packets are sent in
+    stamp order. Guarantees each flow's rate — but, as Section III-B of
+    the paper notes, it is the [fair = false] end of the spectrum: a
+    flow that used idle capacity builds stamps far in the future and is
+    then starved. SCED with linear curves degenerates to this
+    discipline. *)
+
+val create : ?qlimit:int -> rates:(int * float) list -> unit -> Scheduler.t
+(** [rates] maps flow id to reserved rate in bytes/s. Packets of
+    unlisted flows are dropped. *)

@@ -1,0 +1,20 @@
+(** WF²Q+ (Bennett & Zhang, 1997) — worst-case-fair weighted fair
+    queueing, the per-node discipline of the H-PFQ comparator [3].
+
+    Sessions carry start/finish tags; the system virtual time advances
+    with the normalized work and is floored by the smallest start tag of
+    a backlogged session; selection is SEFF — smallest finish tag among
+    {e eligible} sessions (start tag no later than the virtual time).
+    This is the fairest known O(log n)-class PFQ and the paper's main
+    comparison point: H-FSC with linear curves behaves like it, and
+    H-FSC with concave curves beats its delay. *)
+
+val create :
+  ?qlimit:int ->
+  link_rate:float ->
+  rates:(int * float) list ->
+  unit ->
+  Scheduler.t
+(** [link_rate] in bytes/s; [rates] maps flow id to its guaranteed rate
+    (bytes/s, summing to at most [link_rate] for the guarantees to
+    hold). Packets of unlisted flows are dropped. *)

@@ -1,0 +1,19 @@
+(** Weighted Fair Queueing / PGPS (Demers–Keshav–Shenker; Parekh &
+    Gallager).
+
+    The classic timestamp discipline: a fluid GPS reference system is
+    tracked exactly — the virtual time advances at rate
+    [R / sum of GPS-backlogged weights], with session departures from
+    the fluid system handled event by event — and packets are sent in
+    order of their GPS finishing tags. Rate-proportional delay coupling
+    is exactly what nonlinear service curves were invented to escape;
+    this baseline exhibits the coupling in experiment E6. *)
+
+val create :
+  ?qlimit:int ->
+  link_rate:float ->
+  rates:(int * float) list ->
+  unit ->
+  Scheduler.t
+(** [rates] maps flow id to guaranteed rate (bytes/s). Packets of
+    unlisted flows are dropped. *)

@@ -1,0 +1,1 @@
+test/test_classify.ml: Alcotest Classify Curve Hfsc List Option Pkt QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_config.ml: Alcotest Config Curve Float Hfsc List Netsim Printf QCheck2 QCheck_alcotest String

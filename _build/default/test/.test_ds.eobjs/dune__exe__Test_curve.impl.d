@@ -1,0 +1,1 @@
+test/test_curve.ml: Alcotest Curve Float List Option Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_ds.ml: Alcotest Ds Float Int List Option Pkt QCheck2 QCheck_alcotest Queue

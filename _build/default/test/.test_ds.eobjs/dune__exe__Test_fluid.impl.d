@@ -1,0 +1,1 @@
+test/test_fluid.ml: Alcotest Curve Float Fluid Hfsc Pkt Printf

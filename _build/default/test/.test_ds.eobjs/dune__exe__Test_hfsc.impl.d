@@ -1,0 +1,1 @@
+test/test_hfsc.ml: Alcotest Curve Float Hfsc List Netsim Pkt Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_hfsc_random.ml: Alcotest Array Curve Float Hashtbl Hfsc List Netsim Pkt Printf QCheck2 QCheck_alcotest Sched

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Curve Experiments Float List Netsim Pkt Printf Sched

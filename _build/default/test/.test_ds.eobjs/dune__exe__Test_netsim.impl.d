@@ -1,0 +1,1 @@
+test/test_netsim.ml: Alcotest Array Curve Filename Float Hfsc Int List Netsim Printf QCheck2 QCheck_alcotest Sched String Sys

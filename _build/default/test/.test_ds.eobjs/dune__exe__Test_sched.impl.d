@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Curve Float Hashtbl List Netsim Pkt Printf QCheck2 QCheck_alcotest Sched

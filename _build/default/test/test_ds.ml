@@ -1,0 +1,483 @@
+(* Unit and property tests for the data-structure substrate (lib/ds):
+   heaps, packet FIFO, calendar queue and the two augmented trees of
+   Section V. Property tests check each structure against a brute-force
+   reference model. *)
+
+let qt ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+module IntHeap = Ds.Binary_heap.Make (Int)
+
+(* --- binary heap --------------------------------------------------- *)
+
+let test_heap_basic () =
+  let h = IntHeap.create () in
+  Alcotest.(check bool) "empty" true (IntHeap.is_empty h);
+  Alcotest.(check (option int)) "min none" None (IntHeap.min_elt h);
+  IntHeap.add h 5;
+  IntHeap.add h 3;
+  IntHeap.add h 8;
+  Alcotest.(check (option int)) "min" (Some 3) (IntHeap.min_elt h);
+  Alcotest.(check int) "len" 3 (IntHeap.length h);
+  Alcotest.(check (option int)) "pop1" (Some 3) (IntHeap.pop_min h);
+  Alcotest.(check (option int)) "pop2" (Some 5) (IntHeap.pop_min h);
+  Alcotest.(check (option int)) "pop3" (Some 8) (IntHeap.pop_min h);
+  Alcotest.(check (option int)) "pop empty" None (IntHeap.pop_min h)
+
+let test_heap_clear () =
+  let h = IntHeap.create ~capacity:2 () in
+  List.iter (IntHeap.add h) [ 9; 1; 4; 7 ];
+  IntHeap.clear h;
+  Alcotest.(check bool) "cleared" true (IntHeap.is_empty h);
+  IntHeap.add h 2;
+  Alcotest.(check (option int)) "usable after clear" (Some 2) (IntHeap.pop_min h)
+
+let heap_sorts =
+  qt "binary_heap: drain = sorted"
+    QCheck2.Gen.(list int)
+    (fun xs ->
+      let h = IntHeap.create () in
+      List.iter (IntHeap.add h) xs;
+      let rec drain acc =
+        match IntHeap.pop_min h with
+        | None -> List.rev acc
+        | Some x -> drain (x :: acc)
+      in
+      drain [] = List.sort Int.compare xs)
+
+let heap_to_sorted =
+  qt "binary_heap: to_sorted_list non-destructive"
+    QCheck2.Gen.(list int)
+    (fun xs ->
+      let h = IntHeap.create () in
+      List.iter (IntHeap.add h) xs;
+      let s = IntHeap.to_sorted_list h in
+      s = List.sort Int.compare xs && IntHeap.length h = List.length xs)
+
+let heap_interleaved =
+  (* random interleaving of adds and pops vs a sorted-list model *)
+  qt "binary_heap: interleaved ops match model"
+    QCheck2.Gen.(list (pair bool small_int))
+    (fun ops ->
+      let h = IntHeap.create () in
+      let model = ref [] in
+      List.for_all
+        (fun (is_add, x) ->
+          if is_add then begin
+            IntHeap.add h x;
+            model := List.sort Int.compare (x :: !model);
+            true
+          end
+          else begin
+            let got = IntHeap.pop_min h in
+            match !model with
+            | [] -> got = None
+            | m :: rest ->
+                model := rest;
+                got = Some m
+          end)
+        ops)
+
+(* --- pairing heap --------------------------------------------------- *)
+
+module IntPheap = Ds.Pairing_heap.Make (Int)
+
+let pheap_sorts =
+  qt "pairing_heap: to_sorted_list = sorted"
+    QCheck2.Gen.(list int)
+    (fun xs ->
+      IntPheap.to_sorted_list (IntPheap.of_list xs) = List.sort Int.compare xs)
+
+let pheap_merge =
+  qt "pairing_heap: merge = union"
+    QCheck2.Gen.(pair (list int) (list int))
+    (fun (a, b) ->
+      let m = IntPheap.merge (IntPheap.of_list a) (IntPheap.of_list b) in
+      IntPheap.to_sorted_list m = List.sort Int.compare (a @ b))
+
+let pheap_persistent =
+  qt "pairing_heap: pop does not mutate"
+    QCheck2.Gen.(list_size (int_range 1 20) int)
+    (fun xs ->
+      let h = IntPheap.of_list xs in
+      let before = IntPheap.to_sorted_list h in
+      ignore (IntPheap.pop_min h);
+      IntPheap.to_sorted_list h = before)
+
+let test_pheap_basics () =
+  Alcotest.(check bool) "empty" true (IntPheap.is_empty IntPheap.empty);
+  let h = IntPheap.of_list [ 3; 1; 2 ] in
+  Alcotest.(check (option int)) "min" (Some 1) (IntPheap.min_elt h);
+  Alcotest.(check int) "length" 3 (IntPheap.length h);
+  match IntPheap.pop_min h with
+  | Some (1, h') -> Alcotest.(check (option int)) "next" (Some 2) (IntPheap.min_elt h')
+  | _ -> Alcotest.fail "expected min 1"
+
+(* --- packet FIFO ---------------------------------------------------- *)
+
+let pkt ?(size = 100) seq = Pkt.Packet.make ~flow:1 ~size ~seq ~arrival:0.
+
+let test_fifo_order () =
+  let q = Ds.Fifo_queue.create () in
+  for i = 0 to 99 do
+    assert (Ds.Fifo_queue.push q (pkt i))
+  done;
+  for i = 0 to 99 do
+    match Ds.Fifo_queue.pop q with
+    | Some p -> Alcotest.(check int) "seq order" i p.Pkt.Packet.seq
+    | None -> Alcotest.fail "unexpected empty"
+  done;
+  Alcotest.(check bool) "drained" true (Ds.Fifo_queue.is_empty q)
+
+let test_fifo_bytes () =
+  let q = Ds.Fifo_queue.create () in
+  ignore (Ds.Fifo_queue.push q (pkt ~size:100 0));
+  ignore (Ds.Fifo_queue.push q (pkt ~size:250 1));
+  Alcotest.(check int) "bytes" 350 (Ds.Fifo_queue.bytes q);
+  ignore (Ds.Fifo_queue.pop q);
+  Alcotest.(check int) "bytes after pop" 250 (Ds.Fifo_queue.bytes q)
+
+let test_fifo_droptail () =
+  let q = Ds.Fifo_queue.create ~limit_pkts:3 () in
+  Alcotest.(check bool) "1" true (Ds.Fifo_queue.push q (pkt 0));
+  Alcotest.(check bool) "2" true (Ds.Fifo_queue.push q (pkt 1));
+  Alcotest.(check bool) "3" true (Ds.Fifo_queue.push q (pkt 2));
+  Alcotest.(check bool) "4 dropped" false (Ds.Fifo_queue.push q (pkt 3));
+  Alcotest.(check int) "drop count" 1 (Ds.Fifo_queue.drops q);
+  ignore (Ds.Fifo_queue.pop q);
+  Alcotest.(check bool) "room again" true (Ds.Fifo_queue.push q (pkt 4))
+
+let test_fifo_peek_clear () =
+  let q = Ds.Fifo_queue.create () in
+  Alcotest.(check (option reject)) "peek empty" None
+    (Option.map ignore (Ds.Fifo_queue.peek q));
+  ignore (Ds.Fifo_queue.push q (pkt 7));
+  (match Ds.Fifo_queue.peek q with
+  | Some p -> Alcotest.(check int) "peek head" 7 p.Pkt.Packet.seq
+  | None -> Alcotest.fail "expected head");
+  Alcotest.(check int) "peek keeps" 1 (Ds.Fifo_queue.length q);
+  Ds.Fifo_queue.clear q;
+  Alcotest.(check int) "cleared" 0 (Ds.Fifo_queue.length q);
+  Alcotest.(check int) "bytes cleared" 0 (Ds.Fifo_queue.bytes q)
+
+let fifo_vs_queue =
+  qt "fifo_queue: interleaved ops match Stdlib.Queue"
+    QCheck2.Gen.(list (pair bool (int_range 1 500)))
+    (fun ops ->
+      let q = Ds.Fifo_queue.create () in
+      let model = Queue.create () in
+      let seq = ref 0 in
+      List.for_all
+        (fun (is_push, size) ->
+          if is_push then begin
+            incr seq;
+            let p = pkt ~size !seq in
+            ignore (Ds.Fifo_queue.push q p);
+            Queue.push p model;
+            true
+          end
+          else begin
+            let got = Ds.Fifo_queue.pop q in
+            let want = Queue.take_opt model in
+            (match (got, want) with
+            | None, None -> true
+            | Some a, Some b -> Pkt.Packet.equal a b
+            | _ -> false)
+            && Ds.Fifo_queue.length q = Queue.length model
+          end)
+        ops)
+
+let test_fifo_iter () =
+  let q = Ds.Fifo_queue.create () in
+  (* force ring wraparound: initial capacity is 8 *)
+  for i = 0 to 5 do
+    ignore (Ds.Fifo_queue.push q (pkt i))
+  done;
+  for _ = 0 to 3 do
+    ignore (Ds.Fifo_queue.pop q)
+  done;
+  for i = 6 to 12 do
+    ignore (Ds.Fifo_queue.push q (pkt i))
+  done;
+  let seen = ref [] in
+  Ds.Fifo_queue.iter (fun p -> seen := p.Pkt.Packet.seq :: !seen) q;
+  Alcotest.(check (list int)) "iter head-to-tail"
+    [ 4; 5; 6; 7; 8; 9; 10; 11; 12 ]
+    (List.rev !seen)
+
+(* --- calendar queue ------------------------------------------------- *)
+
+let cq_vs_heap =
+  qt ~count:100 "calendar_queue: interleaved ops match heap"
+    QCheck2.Gen.(list (pair bool (float_bound_inclusive 1000.)))
+    (fun ops ->
+      let cq = Ds.Calendar_queue.create () in
+      let model = ref [] in
+      (* model: sorted assoc (key, insertion seq) *)
+      let seq = ref 0 in
+      List.for_all
+        (fun (is_add, key) ->
+          if is_add then begin
+            incr seq;
+            Ds.Calendar_queue.add cq key !seq;
+            model :=
+              List.sort
+                (fun (k1, s1) (k2, s2) ->
+                  let c = Float.compare k1 k2 in
+                  if c <> 0 then c else Int.compare s1 s2)
+                ((key, !seq) :: !model);
+            true
+          end
+          else begin
+            let got = Ds.Calendar_queue.pop_min cq in
+            match !model with
+            | [] -> got = None
+            | (k, s) :: rest ->
+                model := rest;
+                got = Some (k, s)
+          end)
+        ops)
+
+let test_cq_fifo_ties () =
+  let cq = Ds.Calendar_queue.create () in
+  Ds.Calendar_queue.add cq 1.0 "a";
+  Ds.Calendar_queue.add cq 1.0 "b";
+  Ds.Calendar_queue.add cq 1.0 "c";
+  let pop () =
+    match Ds.Calendar_queue.pop_min cq with
+    | Some (_, v) -> v
+    | None -> Alcotest.fail "unexpected empty"
+  in
+  Alcotest.(check string) "tie 1" "a" (pop ());
+  Alcotest.(check string) "tie 2" "b" (pop ());
+  Alcotest.(check string) "tie 3" "c" (pop ())
+
+let test_cq_sparse_and_resize () =
+  let cq = Ds.Calendar_queue.create () in
+  (* widely spread keys trigger the direct-search path and resizes *)
+  let keys = List.init 100 (fun i -> float_of_int (i * i * 13)) in
+  List.iter (fun k -> Ds.Calendar_queue.add cq k k) keys;
+  Alcotest.(check int) "length" 100 (Ds.Calendar_queue.length cq);
+  let rec drain acc =
+    match Ds.Calendar_queue.pop_min cq with
+    | None -> List.rev acc
+    | Some (k, _) -> drain (k :: acc)
+  in
+  Alcotest.(check (list (float 1e-9))) "sorted drain"
+    (List.sort Float.compare keys)
+    (drain [])
+
+let test_cq_rejects_nonfinite () =
+  let cq = Ds.Calendar_queue.create () in
+  Alcotest.check_raises "nan key" (Invalid_argument "Calendar_queue.add: key")
+    (fun () -> Ds.Calendar_queue.add cq Float.nan ())
+
+(* --- eligible/deadline tree ---------------------------------------- *)
+
+type edc = { eid : int; mutable el : float; mutable dl : float }
+
+module Ed = Ds.Ed_tree.Make (struct
+  type t = edc
+
+  let id c = c.eid
+  let eligible c = c.el
+  let deadline c = c.dl
+end)
+
+let brute_min_deadline cs ~now =
+  List.filter (fun c -> c.el <= now) cs
+  |> List.fold_left
+       (fun acc c ->
+         match acc with
+         | None -> Some c
+         | Some b ->
+             if c.dl < b.dl || (c.dl = b.dl && c.eid < b.eid) then Some c
+             else acc)
+       None
+
+let ed_gen =
+  QCheck2.Gen.(
+    list_size (int_range 0 40)
+      (pair (float_bound_inclusive 10.) (float_bound_inclusive 10.)))
+
+let ed_matches_brute =
+  qt "ed_tree: min_deadline_eligible = brute force" ed_gen (fun pairs ->
+      let cs = List.mapi (fun i (e, d) -> { eid = i; el = e; dl = d }) pairs in
+      let t = List.fold_left (fun t c -> Ed.insert c t) Ed.empty cs in
+      List.for_all
+        (fun now ->
+          let got = Ed.min_deadline_eligible t ~now in
+          let want = brute_min_deadline cs ~now in
+          match (got, want) with
+          | None, None -> true
+          | Some a, Some b -> a.eid = b.eid
+          | _ -> false)
+        [ 0.; 2.5; 5.; 7.5; 10.; 11. ])
+
+let ed_remove_works =
+  qt "ed_tree: remove really removes" ed_gen (fun pairs ->
+      let cs = List.mapi (fun i (e, d) -> { eid = i; el = e; dl = d }) pairs in
+      let t = List.fold_left (fun t c -> Ed.insert c t) Ed.empty cs in
+      List.for_all
+        (fun c ->
+          let t' = Ed.remove c t in
+          (not (Ed.mem c t')) && Ed.cardinal t' = Ed.cardinal t - 1)
+        cs)
+
+let test_ed_min_eligible () =
+  let a = { eid = 1; el = 3.; dl = 9. } in
+  let b = { eid = 2; el = 1.; dl = 5. } in
+  let c = { eid = 3; el = 2.; dl = 1. } in
+  let t = List.fold_left (fun t x -> Ed.insert x t) Ed.empty [ a; b; c ] in
+  (match Ed.min_eligible t with
+  | Some x -> Alcotest.(check int) "next eligible" 2 x.eid
+  | None -> Alcotest.fail "expected");
+  (* nothing eligible before t=1 *)
+  Alcotest.(check bool) "none eligible" true
+    (Ed.min_deadline_eligible t ~now:0.5 = None);
+  (* at t=2, b and c eligible; c has smaller deadline *)
+  match Ed.min_deadline_eligible t ~now:2.0 with
+  | Some x -> Alcotest.(check int) "min deadline among eligible" 3 x.eid
+  | None -> Alcotest.fail "expected eligible"
+
+let test_ed_to_list_sorted () =
+  let cs = List.init 20 (fun i -> { eid = i; el = float_of_int (20 - i); dl = 0. }) in
+  let t = List.fold_left (fun t c -> Ed.insert c t) Ed.empty cs in
+  let els = List.map (fun c -> c.el) (Ed.to_list t) in
+  Alcotest.(check (list (float 0.))) "sorted by eligible"
+    (List.sort Float.compare els) els
+
+(* --- virtual-time tree ---------------------------------------------- *)
+
+type vtc = { vid : int; mutable v : float; mutable ft : float }
+
+module Vt = Ds.Vt_tree.Make (struct
+  type t = vtc
+
+  let id c = c.vid
+  let vt c = c.v
+  let fit c = c.ft
+end)
+
+let brute_first_fit cs ~now =
+  List.filter (fun c -> c.ft <= now) cs
+  |> List.fold_left
+       (fun acc c ->
+         match acc with
+         | None -> Some c
+         | Some b ->
+             if c.v < b.v || (c.v = b.v && c.vid < b.vid) then Some c else acc)
+       None
+
+let vt_gen =
+  QCheck2.Gen.(
+    list_size (int_range 0 40)
+      (pair (float_bound_inclusive 10.) (float_bound_inclusive 10.)))
+
+let vt_matches_brute =
+  qt "vt_tree: first_fit = brute force" vt_gen (fun pairs ->
+      let cs = List.mapi (fun i (v, f) -> { vid = i; v; ft = f }) pairs in
+      let t = List.fold_left (fun t c -> Vt.insert c t) Vt.empty cs in
+      List.for_all
+        (fun now ->
+          let got = Vt.first_fit t ~now in
+          let want = brute_first_fit cs ~now in
+          match (got, want) with
+          | None, None -> true
+          | Some a, Some b -> a.vid = b.vid
+          | _ -> false)
+        [ 0.; 3.; 6.; 10. ])
+
+let vt_min_max =
+  qt "vt_tree: min_vt/max_vt/min_fit" vt_gen (fun pairs ->
+      let cs = List.mapi (fun i (v, f) -> { vid = i; v; ft = f }) pairs in
+      let t = List.fold_left (fun t c -> Vt.insert c t) Vt.empty cs in
+      let by_vt a b =
+        let c = Float.compare a.v b.v in
+        if c <> 0 then c else Int.compare a.vid b.vid
+      in
+      let sorted = List.sort by_vt cs in
+      let ok_min =
+        match (Vt.min_vt t, sorted) with
+        | None, [] -> true
+        | Some a, b :: _ -> a.vid = b.vid
+        | _ -> false
+      in
+      let ok_max =
+        match (Vt.max_vt t, List.rev sorted) with
+        | None, [] -> true
+        | Some a, b :: _ -> a.vid = b.vid
+        | _ -> false
+      in
+      let ok_fit =
+        let want =
+          List.fold_left (fun acc c -> Float.min acc c.ft) infinity cs
+        in
+        Vt.min_fit t = want
+      in
+      ok_min && ok_max && ok_fit)
+
+let test_vt_reposition_discipline () =
+  (* remove, mutate, reinsert — the usage pattern of the scheduler *)
+  let a = { vid = 1; v = 1.; ft = 0. } in
+  let b = { vid = 2; v = 2.; ft = 0. } in
+  let t = Vt.insert b (Vt.insert a Vt.empty) in
+  let t = Vt.remove a t in
+  a.v <- 3.;
+  let t = Vt.insert a t in
+  match Vt.min_vt t with
+  | Some x -> Alcotest.(check int) "b now first" 2 x.vid
+  | None -> Alcotest.fail "expected"
+
+let () =
+  Alcotest.run "ds"
+    [
+      ( "binary_heap",
+        [
+          Alcotest.test_case "basics" `Quick test_heap_basic;
+          Alcotest.test_case "clear" `Quick test_heap_clear;
+          heap_sorts;
+          heap_to_sorted;
+          heap_interleaved;
+        ] );
+      ( "pairing_heap",
+        [
+          Alcotest.test_case "basics" `Quick test_pheap_basics;
+          pheap_sorts;
+          pheap_merge;
+          pheap_persistent;
+        ] );
+      ( "fifo_queue",
+        [
+          Alcotest.test_case "order" `Quick test_fifo_order;
+          Alcotest.test_case "bytes" `Quick test_fifo_bytes;
+          Alcotest.test_case "droptail" `Quick test_fifo_droptail;
+          Alcotest.test_case "peek/clear" `Quick test_fifo_peek_clear;
+          Alcotest.test_case "iter wraparound" `Quick test_fifo_iter;
+          fifo_vs_queue;
+        ] );
+      ( "calendar_queue",
+        [
+          Alcotest.test_case "fifo ties" `Quick test_cq_fifo_ties;
+          Alcotest.test_case "sparse keys + resize" `Quick
+            test_cq_sparse_and_resize;
+          Alcotest.test_case "rejects non-finite" `Quick
+            test_cq_rejects_nonfinite;
+          cq_vs_heap;
+        ] );
+      ( "ed_tree",
+        [
+          Alcotest.test_case "min_eligible + boundary" `Quick
+            test_ed_min_eligible;
+          Alcotest.test_case "to_list sorted" `Quick test_ed_to_list_sorted;
+          ed_matches_brute;
+          ed_remove_works;
+        ] );
+      ( "vt_tree",
+        [
+          Alcotest.test_case "reposition discipline" `Quick
+            test_vt_reposition_discipline;
+          vt_matches_brute;
+          vt_min_max;
+        ] );
+    ]

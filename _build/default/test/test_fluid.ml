@@ -1,0 +1,156 @@
+(* Tests for the fluid ideal FSC reference (lib/fluid): fair splits,
+   hierarchical sibling priority, quantum accuracy, and the discrepancy
+   metric. *)
+
+module F = Fluid.Fluid_fsc
+module Sc = Curve.Service_curve
+
+let test_equal_split () =
+  let f = F.create ~quantum:100 ~link_rate:1e6 () in
+  let a = F.add_class f ~parent:(F.root f) ~name:"a" ~fsc:(Sc.linear 5e5) in
+  let b = F.add_class f ~parent:(F.root f) ~name:"b" ~fsc:(Sc.linear 5e5) in
+  F.add_demand f ~now:0. a ~bytes:1e6;
+  F.add_demand f ~now:0. b ~bytes:1e6;
+  F.advance f ~until:1.0;
+  (* one second of a 1 MB/s link, split evenly *)
+  Alcotest.(check bool) "a half"
+    true
+    (Float.abs (F.service_of f a -. 5e5) <= 200.);
+  Alcotest.(check bool) "b half"
+    true
+    (Float.abs (F.service_of f b -. 5e5) <= 200.)
+
+let test_weighted_split () =
+  let f = F.create ~quantum:100 ~link_rate:1e6 () in
+  let a = F.add_class f ~parent:(F.root f) ~name:"a" ~fsc:(Sc.linear 7.5e5) in
+  let b = F.add_class f ~parent:(F.root f) ~name:"b" ~fsc:(Sc.linear 2.5e5) in
+  F.add_demand f ~now:0. a ~bytes:2e6;
+  F.add_demand f ~now:0. b ~bytes:2e6;
+  F.advance f ~until:1.0;
+  Alcotest.(check bool) "3:1"
+    true
+    (Float.abs (F.service_of f a -. 7.5e5) <= 500.)
+
+let test_sibling_priority () =
+  (* classic hierarchy test: with a2 idle, a1 absorbs A's whole share *)
+  let f = F.create ~quantum:100 ~link_rate:1e6 () in
+  let a = F.add_class f ~parent:(F.root f) ~name:"A" ~fsc:(Sc.linear 5e5) in
+  let b = F.add_class f ~parent:(F.root f) ~name:"B" ~fsc:(Sc.linear 5e5) in
+  let a1 = F.add_class f ~parent:a ~name:"a1" ~fsc:(Sc.linear 2.5e5) in
+  let _a2 = F.add_class f ~parent:a ~name:"a2" ~fsc:(Sc.linear 2.5e5) in
+  let b1 = F.add_class f ~parent:b ~name:"b1" ~fsc:(Sc.linear 5e5) in
+  F.add_demand f ~now:0. a1 ~bytes:2e6;
+  F.add_demand f ~now:0. b1 ~bytes:2e6;
+  F.advance f ~until:1.0;
+  Alcotest.(check bool)
+    (Printf.sprintf "a1 got %.0f ~ 5e5" (F.service_of f a1))
+    true
+    (Float.abs (F.service_of f a1 -. 5e5) <= 500.);
+  Alcotest.(check bool) "interior A = a1" true
+    (F.service_of f a = F.service_of f a1)
+
+let test_demand_granularity () =
+  let f = F.create ~quantum:100 ~link_rate:1e6 () in
+  let a = F.add_class f ~parent:(F.root f) ~name:"a" ~fsc:(Sc.linear 1e6) in
+  (* 250 bytes = 2 quanta + 50 residual *)
+  F.add_demand f ~now:0. a ~bytes:250.;
+  F.advance f ~until:1.0;
+  Alcotest.(check (float 0.)) "whole quanta served" 200. (F.service_of f a);
+  Alcotest.(check (float 1e-9)) "residual retained" 50. (F.backlog_of f a);
+  (* topping up the residual releases another quantum *)
+  F.add_demand f ~now:1.0 a ~bytes:50.;
+  F.advance f ~until:2.0;
+  Alcotest.(check (float 0.)) "topped up" 300. (F.service_of f a)
+
+let test_validation () =
+  let f = F.create ~link_rate:1e6 () in
+  let a = F.add_class f ~parent:(F.root f) ~name:"a" ~fsc:(Sc.linear 1e6) in
+  ignore a;
+  Alcotest.(check bool) "interior demand rejected" true
+    (try
+       F.add_demand f ~now:0. (F.root f) ~bytes:1.;
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "negative demand rejected" true
+    (try
+       F.add_demand f ~now:0. a ~bytes:(-1.);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- discrepancy metric ------------------------------------------------- *)
+
+let test_discrepancy_basic () =
+  let a = [ (1., 100.); (2., 200.); (3., 300.) ] in
+  let b = [ (1., 100.); (2., 250.); (3., 300.) ] in
+  Alcotest.(check (float 1e-9)) "max" 50. (Fluid.Discrepancy.max_abs a b);
+  Alcotest.(check bool) "mean < max" true
+    (Fluid.Discrepancy.mean_abs a b < 50.);
+  Alcotest.(check (float 0.)) "identical" 0. (Fluid.Discrepancy.max_abs a a);
+  Alcotest.(check (float 0.)) "empty" 0. (Fluid.Discrepancy.max_abs [] [])
+
+let test_discrepancy_step_semantics () =
+  (* series with different sample times are compared as step functions *)
+  let a = [ (1., 100.) ] in
+  let b = [ (2., 100.) ] in
+  (* at t=1: a=100, b=0; at t=2: both 100 *)
+  Alcotest.(check (float 1e-9)) "union of times" 100.
+    (Fluid.Discrepancy.max_abs a b)
+
+let test_fluid_tracks_hfsc_packet_system () =
+  (* on a linear, always-backlogged configuration the packet scheduler
+     must stay within ~2 packets of the fluid ideal *)
+  let link = 1e6 in
+  let t = Hfsc.create ~link_rate:link () in
+  let ha = Hfsc.add_class t ~parent:(Hfsc.root t) ~name:"a" ~fsc:(Sc.linear 6e5) () in
+  let hb = Hfsc.add_class t ~parent:(Hfsc.root t) ~name:"b" ~fsc:(Sc.linear 4e5) () in
+  for i = 0 to 999 do
+    ignore
+      (Hfsc.enqueue t ~now:0. ha
+         (Pkt.Packet.make ~flow:1 ~size:1000 ~seq:i ~arrival:0.));
+    ignore
+      (Hfsc.enqueue t ~now:0. hb
+         (Pkt.Packet.make ~flow:2 ~size:1000 ~seq:i ~arrival:0.))
+  done;
+  let f = F.create ~quantum:100 ~link_rate:link () in
+  let fa = F.add_class f ~parent:(F.root f) ~name:"a" ~fsc:(Sc.linear 6e5) in
+  let fb = F.add_class f ~parent:(F.root f) ~name:"b" ~fsc:(Sc.linear 4e5) in
+  F.add_demand f ~now:0. fa ~bytes:1e6;
+  F.add_demand f ~now:0. fb ~bytes:1e6;
+  let now = ref 0. in
+  let max_gap = ref 0. in
+  let continue_ = ref true in
+  while !continue_ && !now < 1.0 do
+    match Hfsc.dequeue t ~now:!now with
+    | None -> continue_ := false
+    | Some (p, _, _) ->
+        now := !now +. (float_of_int p.Pkt.Packet.size /. link);
+        F.advance f ~until:!now;
+        max_gap :=
+          Float.max !max_gap
+            (Float.abs (Hfsc.total_bytes ha -. F.service_of f fa))
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "max gap %.0f <= 2 pkts" !max_gap)
+    true (!max_gap <= 2000.)
+
+let () =
+  Alcotest.run "fluid"
+    [
+      ( "fluid_fsc",
+        [
+          Alcotest.test_case "equal split" `Quick test_equal_split;
+          Alcotest.test_case "weighted split" `Quick test_weighted_split;
+          Alcotest.test_case "sibling priority" `Quick test_sibling_priority;
+          Alcotest.test_case "demand granularity" `Quick
+            test_demand_granularity;
+          Alcotest.test_case "validation" `Quick test_validation;
+        ] );
+      ( "discrepancy",
+        [
+          Alcotest.test_case "basics" `Quick test_discrepancy_basic;
+          Alcotest.test_case "step semantics" `Quick
+            test_discrepancy_step_semantics;
+          Alcotest.test_case "fluid tracks packet H-FSC" `Quick
+            test_fluid_tracks_hfsc_packet_system;
+        ] );
+    ]
