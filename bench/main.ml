@@ -1,75 +1,360 @@
 (* Benchmark harness: regenerates every table and figure of the
-   evaluation (experiments E1-E10 of DESIGN.md), then re-measures the
-   per-packet overhead table with Bechamel for rigorous statistics.
+   evaluation (experiments E1-E10 of DESIGN.md), re-measures the
+   per-packet overhead table with Bechamel, and maintains the
+   machine-readable baseline BENCH_hfsc.json comparing the intrusive
+   scheduler (Hfsc) against the frozen persistent-tree reference
+   (Hfsc_ref).
 
    Usage:
-     dune exec bench/main.exe            # everything
-     dune exec bench/main.exe -- E3 E7   # selected experiments
-     dune exec bench/main.exe -- bechamel  # only the Bechamel table *)
+     dune exec bench/main.exe              # all experiments + bechamel
+     dune exec bench/main.exe -- E3 E7     # selected experiments
+     dune exec bench/main.exe -- bechamel  # only the Bechamel table
+     dune exec bench/main.exe -- bench-json [out.json]
+                                           # intrusive-vs-persistent
+                                           # baseline, written as JSON
+     dune exec bench/main.exe -- smoke committed.json
+                                           # 0.1 s-quota run; validates
+                                           # the schema of its own
+                                           # output and of the
+                                           # committed file *)
 
 open Bechamel
 open Toolkit
 
-(* One steady-state enqueue+dequeue cycle on an n-class H-FSC instance:
-   backlog, tree sizes and clock all stay bounded. *)
-let cycle_test ~deep n =
-  let t, leaves = Experiments.E7_overhead.build ~n ~deep in
-  for i = 0 to n - 1 do
-    for s = 0 to 3 do
+module type SCHED = module type of Hfsc
+
+let link = 12_500_000. (* 100 Mb/s, as in the paper's testbed *)
+
+(* (deep, n) scenario space; the smoke target uses a reduced set. *)
+let scenarios_full =
+  [ (false, 1); (false, 10); (false, 100); (false, 1000); (true, 16);
+    (true, 256) ]
+
+let scenarios_smoke = [ (false, 1); (false, 100) ]
+let scen_name (deep, n) = Printf.sprintf "%s n=%d" (if deep then "deep" else "flat") n
+
+(* All measurement code is a functor over the scheduler module so the
+   optimized implementation and the reference are driven identically. *)
+module Meas (H : SCHED) = struct
+  let build ~n ~deep =
+    let t = H.create ~link_rate:link () in
+    let sc = Curve.Service_curve.linear (link /. float_of_int n) in
+    let leaves = Array.make n (H.root t) in
+    if not deep then
+      for i = 0 to n - 1 do
+        leaves.(i) <-
+          H.add_class t ~parent:(H.root t)
+            ~name:(Printf.sprintf "leaf%d" i)
+            ~rsc:sc ~fsc:sc ~qlimit:1_000_000 ()
+      done
+    else begin
+      let rec split parent lo hi depth =
+        if hi - lo = 1 then
+          leaves.(lo) <-
+            H.add_class t ~parent
+              ~name:(Printf.sprintf "leaf%d" lo)
+              ~rsc:sc ~fsc:sc ~qlimit:1_000_000 ()
+        else begin
+          let mid = (lo + hi) / 2 in
+          let mk part lo hi =
+            let rate = link *. float_of_int (hi - lo) /. float_of_int n in
+            H.add_class t ~parent
+              ~name:(Printf.sprintf "n%d-%d-%d" depth lo part)
+              ~fsc:(Curve.Service_curve.linear rate) ()
+          in
+          split (mk 0 lo mid) lo mid (depth + 1);
+          split (mk 1 mid hi) mid hi (depth + 1)
+        end
+      in
+      split (H.root t) 0 n 0
+    end;
+    (t, leaves)
+
+  (* One steady-state enqueue+dequeue cycle on an n-class instance:
+     backlog, tree sizes and clock all stay bounded. *)
+  let cycle_test (deep, n) =
+    let t, leaves = build ~n ~deep in
+    for i = 0 to n - 1 do
+      for s = 0 to 3 do
+        ignore
+          (H.enqueue t ~now:0. leaves.(i)
+             (Pkt.Packet.make ~flow:i ~size:1000 ~seq:s ~arrival:0.))
+      done
+    done;
+    let i = ref 0 in
+    let seq = ref 4 in
+    let now = ref 0. in
+    let tx = 1000. /. link in
+    Test.make
+      ~name:(scen_name (deep, n))
+      (Staged.stage (fun () ->
+           i := (!i + 1) mod n;
+           incr seq;
+           now := !now +. tx;
+           ignore
+             (H.enqueue t ~now:!now leaves.(!i)
+                (Pkt.Packet.make ~flow:!i ~size:1000 ~seq:!seq ~arrival:!now));
+           ignore (H.dequeue t ~now:!now)))
+
+  (* ns per enqueue+dequeue cycle for each scenario, via Bechamel OLS. *)
+  let ns_per_op ~quota scens =
+    let tests = Test.make_grouped ~name:"s" (List.map cycle_test scens) in
+    (* stabilize/compaction off: bechamel would otherwise run a GC
+       stabilization between samples, crediting the persistent
+       implementation with free garbage collection — the steady-state
+       cost this comparison is about. *)
+    let cfg =
+      Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~kde:None
+        ~stabilize:false ~compaction:false ()
+    in
+    let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+    in
+    let results = Analyze.all ols Instance.monotonic_clock raw in
+    let out = ref [] in
+    Hashtbl.iter
+      (fun name est ->
+        let short =
+          match String.index_opt name '/' with
+          | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+          | None -> name
+        in
+        match Analyze.OLS.estimates est with
+        | Some (e :: _) -> out := (short, e) :: !out
+        | _ -> ())
+      results;
+    !out
+
+  (* Minor words per enqueue+dequeue cycle (includes the fresh packet
+     and the returned option/tuple — the traffic itself). *)
+  let cycle_words (deep, n) =
+    let t, leaves = build ~n ~deep in
+    let i = ref 0 in
+    let seq = ref 0 in
+    let now = ref 0. in
+    let tx = 1000. /. link in
+    let step () =
+      i := (!i + 1) mod n;
+      incr seq;
+      now := !now +. tx;
       ignore
-        (Hfsc.enqueue t ~now:0. leaves.(i)
-           (Pkt.Packet.make ~flow:i ~size:1000 ~seq:s ~arrival:0.))
-    done
-  done;
-  let i = ref 0 in
-  let seq = ref 4 in
-  let now = ref 0. in
-  let tx = 1000. /. 12_500_000. in
-  Test.make
-    ~name:(Printf.sprintf "%s n=%d" (if deep then "deep" else "flat") n)
-    (Staged.stage (fun () ->
-         i := (!i + 1) mod n;
-         incr seq;
-         now := !now +. tx;
-         ignore
-           (Hfsc.enqueue t ~now:!now leaves.(!i)
-              (Pkt.Packet.make ~flow:!i ~size:1000 ~seq:!seq ~arrival:!now));
-         ignore (Hfsc.dequeue t ~now:!now)))
+        (H.enqueue t ~now:!now leaves.(!i)
+           (Pkt.Packet.make ~flow:!i ~size:1000 ~seq:!seq ~arrival:!now));
+      ignore (H.dequeue t ~now:!now)
+    in
+    for i = 0 to n - 1 do
+      for s = 0 to 3 do
+        ignore
+          (H.enqueue t ~now:0. leaves.(i)
+             (Pkt.Packet.make ~flow:i ~size:1000 ~seq:s ~arrival:0.))
+      done
+    done;
+    for _ = 1 to 1024 do step () done;
+    let w0 = Gc.minor_words () in
+    let k = 4096 in
+    for _ = 1 to k do step () done;
+    (Gc.minor_words () -. w0) /. float_of_int k
+
+  (* Minor words per dequeue in steady state, everything prefilled. The
+     clock is passed as an already-boxed float (fetched through an
+     opaque list cell) so the measurement charges the scheduler, not
+     the caller's boxing of a fresh float argument. For the intrusive
+     implementation this is exactly the 6 words of the returned
+     [Some (pkt, cls, criterion)]. *)
+  let dequeue_words (deep, n) =
+    let t, leaves = build ~n ~deep in
+    let k = 4096 in
+    let warm = 512 in
+    let per = ((k + warm) / n) + 2 in
+    for i = 0 to n - 1 do
+      for s = 0 to per - 1 do
+        ignore
+          (H.enqueue t ~now:0. leaves.(i)
+             (Pkt.Packet.make ~flow:i ~size:1000 ~seq:s ~arrival:0.))
+      done
+    done;
+    let tx = 1000. /. link in
+    let now = ref 0. in
+    for _ = 1 to warm do
+      now := !now +. tx;
+      ignore (H.dequeue t ~now:!now)
+    done;
+    match Sys.opaque_identity [ !now +. tx ] with
+    | [ boxed_now ] ->
+        let w0 = Gc.minor_words () in
+        for _ = 1 to k do
+          ignore (H.dequeue t ~now:boxed_now)
+        done;
+        (Gc.minor_words () -. w0) /. float_of_int k
+    | _ -> assert false
+end
+
+module M_intrusive = Meas (Hfsc)
+module M_persistent = Meas (Hfsc_ref)
+
+(* --- the machine-readable baseline --------------------------------- *)
+
+let measure_all ~quota scens =
+  let per_impl impl ns cw dw =
+    List.map
+      (fun scen ->
+        let name = scen_name scen in
+        Json_lite.Obj
+          [
+            ("scenario", Json_lite.Str name);
+            ("impl", Json_lite.Str impl);
+            ( "ns_per_op",
+              Json_lite.Num (try List.assoc name ns with Not_found -> -1.) );
+            ("cycle_minor_words_per_op", Json_lite.Num (cw scen));
+            ("dequeue_minor_words_per_op", Json_lite.Num (dw scen));
+          ])
+      scens
+  in
+  let ns_i = M_intrusive.ns_per_op ~quota scens in
+  let ns_p = M_persistent.ns_per_op ~quota scens in
+  per_impl "intrusive" ns_i M_intrusive.cycle_words M_intrusive.dequeue_words
+  @ per_impl "persistent" ns_p M_persistent.cycle_words
+      M_persistent.dequeue_words
+
+let bench_doc ~quota scens =
+  let results = measure_all ~quota scens in
+  Json_lite.Obj
+    [
+      ("schema", Json_lite.Str "hfsc-bench/1");
+      ("quota_s", Json_lite.Num quota);
+      ("link_rate_Bps", Json_lite.Num link);
+      ("dequeue_result_words", Json_lite.Num 6.);
+      ("results", Json_lite.List results);
+    ]
+
+(* Schema validation for hfsc-bench/1 — used by the smoke target on
+   both its own output and the committed baseline. *)
+let validate_bench (j : Json_lite.t) : (unit, string) result =
+  let ( let* ) = Result.bind in
+  let req_str obj k =
+    match Json_lite.(Option.bind (member k obj) to_str_opt) with
+    | Some s -> Ok s
+    | None -> Error (Printf.sprintf "missing string field %S" k)
+  in
+  let req_num obj k =
+    match Json_lite.(Option.bind (member k obj) to_num_opt) with
+    | Some f -> Ok f
+    | None -> Error (Printf.sprintf "missing numeric field %S" k)
+  in
+  let* schema = req_str j "schema" in
+  let* () =
+    if schema = "hfsc-bench/1" then Ok ()
+    else Error (Printf.sprintf "unknown schema %S" schema)
+  in
+  let* _ = req_num j "quota_s" in
+  let* _ = req_num j "dequeue_result_words" in
+  let* results =
+    match Json_lite.(Option.bind (member "results" j) to_list_opt) with
+    | Some (_ :: _ as l) -> Ok l
+    | Some [] -> Error "empty results"
+    | None -> Error "missing results array"
+  in
+  let* () =
+    List.fold_left
+      (fun acc r ->
+        let* () = acc in
+        let* _ = req_str r "scenario" in
+        let* impl = req_str r "impl" in
+        let* () =
+          if impl = "intrusive" || impl = "persistent" then Ok ()
+          else Error (Printf.sprintf "bad impl %S" impl)
+        in
+        let* ns = req_num r "ns_per_op" in
+        let* () = if ns > 0. then Ok () else Error "ns_per_op not positive" in
+        let* _ = req_num r "cycle_minor_words_per_op" in
+        let* dw = req_num r "dequeue_minor_words_per_op" in
+        let* () =
+          if dw >= 0. then Ok () else Error "negative dequeue words"
+        in
+        Ok ())
+      (Ok ()) results
+  in
+  Ok ()
+
+let write_file path s =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc s)
+
+let speedup_of doc =
+  (* persistent / intrusive ns on the largest flat scenario present *)
+  match Json_lite.(Option.bind (member "results" doc) to_list_opt) with
+  | None -> None
+  | Some rs ->
+      let ns impl =
+        List.filter_map
+          (fun r ->
+            match
+              ( Json_lite.(Option.bind (member "impl" r) to_str_opt),
+                Json_lite.(Option.bind (member "scenario" r) to_str_opt),
+                Json_lite.(Option.bind (member "ns_per_op" r) to_num_opt) )
+            with
+            | Some i, Some s, Some v
+              when i = impl && String.length s >= 4 && String.sub s 0 4 = "flat"
+              ->
+                Some (s, v)
+            | _ -> None)
+          rs
+        |> List.sort compare |> List.rev
+      in
+      (match (ns "persistent", ns "intrusive") with
+      | (s, p) :: _, (s', i) :: _ when s = s' -> Some (s, p /. i)
+      | _ -> None)
+
+let run_bench_json out =
+  Experiments.Common.section
+    "bench-json: intrusive vs persistent baseline (BENCH_hfsc.json)";
+  let doc = bench_doc ~quota:0.5 scenarios_full in
+  (match validate_bench doc with
+  | Ok () -> ()
+  | Error e ->
+      Printf.eprintf "internal error: generated JSON invalid: %s\n" e;
+      exit 1);
+  write_file out (Json_lite.to_string doc);
+  Printf.printf "wrote %s\n" out;
+  match speedup_of doc with
+  | Some (scen, s) -> Printf.printf "%s speedup persistent/intrusive: %.2fx\n" scen s
+  | None -> ()
+
+let run_smoke committed =
+  let doc = bench_doc ~quota:0.1 scenarios_smoke in
+  let own = Filename.temp_file "hfsc_bench_smoke" ".json" in
+  write_file own (Json_lite.to_string doc);
+  let check label path =
+    match validate_bench (Json_lite.of_file path) with
+    | Ok () -> Printf.printf "%s: schema ok (%s)\n" label path
+    | Error e ->
+        Printf.eprintf "%s: INVALID (%s): %s\n" label path e;
+        exit 1
+    | exception Json_lite.Parse_error e ->
+        Printf.eprintf "%s: PARSE ERROR (%s): %s\n" label path e;
+        exit 1
+  in
+  check "smoke output" own;
+  Sys.remove own;
+  check "committed baseline" committed
+
+(* --- the interactive Bechamel table -------------------------------- *)
 
 let run_bechamel () =
   Experiments.Common.section
     "Bechamel: ns per enqueue+dequeue pair (the overhead table, redone)";
-  let tests =
-    Test.make_grouped ~name:"hfsc"
-      (List.map (cycle_test ~deep:false) [ 1; 10; 100; 1000 ]
-      @ List.map (cycle_test ~deep:true) [ 16; 256 ])
+  let rows impl ns =
+    List.map (fun (name, e) -> [ impl; name; Printf.sprintf "%.0f ns" e ]) ns
   in
-  let instances = Instance.[ monotonic_clock ] in
-  let cfg =
-    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None ()
-  in
-  let raw = Benchmark.all cfg instances tests in
-  let ols =
-    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
-  in
-  let results = Analyze.all ols Instance.monotonic_clock raw in
-  let rows = ref [] in
-  Hashtbl.iter
-    (fun name est ->
-      let ns =
-        match Analyze.OLS.estimates est with
-        | Some (e :: _) -> Printf.sprintf "%.0f ns" e
-        | _ -> "n/a"
-      in
-      let r2 =
-        match Analyze.OLS.r_square est with
-        | Some r -> Printf.sprintf "%.4f" r
-        | None -> "-"
-      in
-      rows := [ name; ns; r2 ] :: !rows)
-    results;
-  let rows = List.sort compare !rows in
-  Experiments.Common.table ~header:[ "benchmark"; "enq+deq"; "r^2" ] rows
+  let ns_i = M_intrusive.ns_per_op ~quota:0.5 scenarios_full in
+  let ns_p = M_persistent.ns_per_op ~quota:0.5 scenarios_full in
+  Experiments.Common.table
+    ~header:[ "impl"; "benchmark"; "enq+deq" ]
+    (List.sort compare (rows "intrusive" ns_i)
+    @ List.sort compare (rows "persistent" ns_p))
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -77,6 +362,13 @@ let () =
   | [] ->
       Experiments.Suite.run_all ();
       run_bechamel ()
+  | "bench-json" :: rest ->
+      run_bench_json
+        (match rest with p :: _ -> p | [] -> "BENCH_hfsc.json")
+  | "smoke" :: committed :: _ -> run_smoke committed
+  | [ "smoke" ] ->
+      prerr_endline "usage: main.exe smoke <committed.json>";
+      exit 1
   | args ->
       List.iter
         (fun a ->

@@ -3,12 +3,15 @@ type t = { x : float; y : float; dx : float; dy : float; m1 : float; m2 : float 
 let of_service_curve (s : Service_curve.t) ~x ~y =
   { x; y; dx = s.d; dy = s.m1 *. s.d; m1 = s.m1; m2 = s.m2 }
 
-let eval c t =
+(* [eval] and [inverse] run per packet on the scheduler's hot path;
+   force-inline them so their float arguments and results stay unboxed
+   in classic (non-flambda) ocamlopt. *)
+let[@inline always] eval c t =
   if t <= c.x then c.y
   else if t <= c.x +. c.dx then c.y +. (c.m1 *. (t -. c.x))
   else c.y +. c.dy +. (c.m2 *. (t -. c.x -. c.dx))
 
-let inverse c v =
+let[@inline always] inverse c v =
   if v < c.y then c.x
   else if v <= c.y +. c.dy then
     if c.dy = 0. then c.x +. c.dx else c.x +. ((v -. c.y) /. c.m1)

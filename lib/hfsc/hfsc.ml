@@ -3,77 +3,462 @@ module Rc = Curve.Runtime_curve
 module Fq = Ds.Fifo_queue
 
 (* Debug tracing; enable with Logs.Src.set_level on the "hfsc" source.
-   All messages are closures, so disabled logging costs one level
-   check per site. *)
+   Message closures are only constructed when the level is enabled (the
+   [debug_on] guard), so disabled logging neither allocates nor costs
+   more than one load+compare per site. *)
 let log_src = Logs.Src.create "hfsc" ~doc:"H-FSC scheduler internals"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
+
+let debug_on () =
+  match Logs.Src.level log_src with Some Logs.Debug -> true | _ -> false
 
 type criterion = Realtime | Linkshare
 type vt_policy = Vt_mean | Vt_min | Vt_max
 type eligible_policy = Eligible_paper | Eligible_deadline
 
-(* Per-class state. Field names follow the paper and the kernel
-   implementations derived from it: [cumul] is the service received
-   under the real-time criterion (the c_i of eq. (7)); [total] the
-   service under either criterion (the t_i of eq. (12)); [vtadj] the
-   upward correction applied when a class was held at the sibling vt
-   floor; [cvtmin] the floor itself (smallest vt served in the parent's
-   current backlog period); [cvtoff] the high-water vt of children that
-   went passive, from which the next backlog period restarts — virtual
-   times within a parent only ever move forward, which is what makes
-   reactivation punishment-free; [myf]/[f] the upper-limit fit times. *)
-type cls = {
-  id : int;
-  cname : string;
-  cparent : cls option;
-  mutable cchildren : cls list;
-  mutable crsc : Sc.t option;
-  mutable cfsc : Sc.t option;
-  mutable cusc : Sc.t option;
-  queue : Fq.t;
-  (* real-time state (leaves with an rsc) *)
-  mutable deadline_c : Rc.t;
-  mutable eligible_c : Rc.t;
+(* All mutable per-class float state lives in this record. Every field
+   is a float, so OCaml gives it the flat (unboxed) float-record
+   representation: reads and writes on the per-packet path touch raw
+   doubles instead of allocating a box per store, which a mixed record
+   would (each mutable float field of [cls] itself would be a pointer
+   to a fresh 2-word box on every assignment).
+
+   Field names follow the paper and the kernel implementations derived
+   from it: [cumul] is the service received under the real-time
+   criterion (the c_i of eq. (7)); [total] the service under either
+   criterion (the t_i of eq. (12)); [vtadj] the upward correction
+   applied when a class was held at the sibling vt floor; [cvtmin] the
+   floor itself (smallest vt served in the parent's current backlog
+   period); [cvtoff] the high-water vt of children that went passive,
+   from which the next backlog period restarts — virtual times within a
+   parent only ever move forward, which is what makes reactivation
+   punishment-free; [myf]/[f] the upper-limit fit times. [vt_agg] is
+   the cached minimum fit time of this class's subtree *within its
+   parent's active-children tree* (the augmented-tree aggregate of
+   Section V, stored here so it is read and written unboxed). *)
+type cls_fs = {
+  (* The five tree keys lead so that every ED/VT descent step reads
+     them from the record's first cache line: e and d drive the
+     eligible/deadline tree, vt orders the active-children trees, f and
+     the subtree aggregate vt_agg drive the fit-time pruning. *)
   mutable e : float;
   mutable d : float;
-  mutable cumul : float;
-  mutable in_ed : bool;
-  (* link-sharing state *)
-  mutable virtual_c : Rc.t;
   mutable vt : float;
+  mutable f : float;
+  (* virtual-time tree aggregate: min fit over this node's vt-subtree *)
+  mutable vt_agg : float;
+  (* real-time state (leaves with an rsc) *)
+  mutable cumul : float;
+  (* link-sharing state *)
   mutable total : float;
   mutable vtadj : float;
   mutable cvtmin : float;
   mutable cvtoff : float;
+  (* upper-limit state *)
+  mutable myf : float;
+  mutable myfadj : float;
+}
+
+(* Per-class state. The eligible/deadline tree over the leaves and each
+   interior class's active-children virtual-time tree are *intrusive*
+   (Ds.Ed_itree / Ds.Vt_itree): their node fields — child links, cached
+   height, cached aggregate — are embedded right here in the class
+   record, and [actc_root] is the in-class root of this class's own
+   active-children tree. Tree restructuring therefore allocates nothing
+   and finding a class's tree costs a field load, not a Hashtbl probe
+   per level of the init_vf/update_vf walks. *)
+type cls = {
+  (* Field order is deliberate: a tree descent step reads id, fs and
+     the intrusive links, so those lead the record and land together in
+     its first cache line(s). The cold configuration fields follow. *)
+  id : int;
+  fs : cls_fs;
+  (* intrusive eligible/deadline-tree node state (leaves only) *)
+  mutable ed_l : cls;
+  mutable ed_r : cls;
+  mutable ed_agg : cls;
+  mutable ed_h : int;
+  (* intrusive virtual-time-tree node state (this class as a member of
+     its parent's active-children tree) *)
+  mutable vt_l : cls;
+  mutable vt_r : cls;
+  mutable vt_h : int;
+  (* root of this class's own active-children tree; [nil] when none *)
+  mutable actc_root : cls;
+  queue : Fq.t;
+  cname : string;
+  cparent : cls option;
+  mutable cchildren_rev : cls list; (* newest first; O(1) add_class *)
+  mutable crsc : Sc.t option;
+  mutable cfsc : Sc.t option;
+  mutable cusc : Sc.t option;
+  mutable deadline_c : Rc.t;
+  mutable eligible_c : Rc.t;
+  mutable in_ed : bool;
+  mutable virtual_c : Rc.t;
   mutable vtperiod : int;
   mutable parentperiod : int;
   mutable nactive : int;
   mutable in_actc : bool;
-  (* upper-limit state *)
   mutable ulimit_c : Rc.t;
-  mutable myf : float;
-  mutable myfadj : float;
-  mutable f : float;
   (* statistics *)
   mutable nperiods : int;
 }
 
-module EdT = Ds.Ed_tree.Make (struct
-  type t = cls
+let zero_rc = Rc.of_service_curve Sc.zero ~x:0. ~y:0.
 
-  let id c = c.id
-  let eligible c = c.e
-  let deadline c = c.d
-end)
+let make_fs () =
+  {
+    e = 0.;
+    d = 0.;
+    cumul = 0.;
+    vt = 0.;
+    total = 0.;
+    vtadj = 0.;
+    cvtmin = 0.;
+    cvtoff = 0.;
+    myf = 0.;
+    myfadj = 0.;
+    f = 0.;
+    vt_agg = infinity;
+  }
 
-module VtT = Ds.Vt_tree.Make (struct
-  type t = cls
+(* The "no node" sentinel of the intrusive trees. Never enqueued, never
+   inserted; recognized by physical equality only. *)
+let nil =
+  let q = Fq.create () in
+  let fs = make_fs () in
+  let rec c =
+    {
+      id = -1;
+      cname = "<nil>";
+      cparent = None;
+      cchildren_rev = [];
+      crsc = None;
+      cfsc = None;
+      cusc = None;
+      queue = q;
+      fs;
+      deadline_c = zero_rc;
+      eligible_c = zero_rc;
+      in_ed = false;
+      virtual_c = zero_rc;
+      vtperiod = 0;
+      parentperiod = 0;
+      nactive = 0;
+      in_actc = false;
+      ulimit_c = zero_rc;
+      nperiods = 0;
+      ed_l = c;
+      ed_r = c;
+      ed_h = 0;
+      ed_agg = c;
+      vt_l = c;
+      vt_r = c;
+      vt_h = 0;
+      actc_root = c;
+    }
+  in
+  c
 
-  let id c = c.id
-  let vt c = c.vt
-  let fit c = c.f
-end)
+(* --- specialized intrusive tree operations ------------------------- *)
+
+(* Same algorithms as {!Ds.Intrusive_tree} / {!Ds.Ed_itree} /
+   {!Ds.Vt_itree} — which remain the generic, differential-tested
+   reference — hand-specialized over the [cls] fields. Without flambda
+   a call through a functor argument is never inlined, so the generic
+   functor costs about a dozen indirect calls per tree level on the
+   per-packet path; the NetBSD implementation specializes its intrusive
+   trees with macros for the same reason. Here every accessor is a
+   direct field load and the small helpers inline within this unit.
+   Equivalence with the generic modules is enforced by the tree- and
+   scheduler-level differential tests (test_hfsc_diff). *)
+
+(* Eligible/deadline tree over the leaves: an AVL tree keyed by
+   (e, id), each node caching in [ed_agg] the subtree element of
+   minimum (deadline, id). *)
+
+let ed_cmp a b =
+  let c = Float.compare a.fs.e b.fs.e in
+  if c <> 0 then c else Int.compare a.id b.id
+
+let better_deadline a b = a.fs.d < b.fs.d || (a.fs.d = b.fs.d && a.id < b.id)
+let ed_height n = if n == nil then 0 else n.ed_h
+
+let ed_fixup n =
+  let hl = ed_height n.ed_l and hr = ed_height n.ed_r in
+  n.ed_h <- (1 + if hl > hr then hl else hr);
+  let best = n in
+  let l = n.ed_l in
+  let best =
+    if l != nil && better_deadline l.ed_agg best then l.ed_agg else best
+  in
+  let r = n.ed_r in
+  let best =
+    if r != nil && better_deadline r.ed_agg best then r.ed_agg else best
+  in
+  n.ed_agg <- best
+
+let ed_rot_right n =
+  let l = n.ed_l in
+  n.ed_l <- l.ed_r;
+  l.ed_r <- n;
+  ed_fixup n;
+  ed_fixup l;
+  l
+
+let ed_rot_left n =
+  let r = n.ed_r in
+  n.ed_r <- r.ed_l;
+  r.ed_l <- n;
+  ed_fixup n;
+  ed_fixup r;
+  r
+
+let ed_bal n =
+  let hl = ed_height n.ed_l and hr = ed_height n.ed_r in
+  if hl > hr + 1 then begin
+    let l = n.ed_l in
+    if ed_height l.ed_l >= ed_height l.ed_r then ed_rot_right n
+    else begin
+      n.ed_l <- ed_rot_left l;
+      ed_rot_right n
+    end
+  end
+  else if hr > hl + 1 then begin
+    let r = n.ed_r in
+    if ed_height r.ed_r >= ed_height r.ed_l then ed_rot_left n
+    else begin
+      n.ed_r <- ed_rot_right r;
+      ed_rot_left n
+    end
+  end
+  else begin
+    ed_fixup n;
+    n
+  end
+
+let rec ed_insert_node x root =
+  if root == nil then begin
+    x.ed_l <- nil;
+    x.ed_r <- nil;
+    x.ed_h <- 1;
+    x.ed_agg <- x;
+    x
+  end
+  else begin
+    let c = ed_cmp x root in
+    if c = 0 then invalid_arg "Hfsc: duplicate class in eligible tree";
+    if c < 0 then root.ed_l <- ed_insert_node x root.ed_l
+    else root.ed_r <- ed_insert_node x root.ed_r;
+    ed_bal root
+  end
+
+(* Out-parameter for the successor extraction in removal, so no result
+   pair is allocated on the per-packet path. *)
+let ed_removed_min = ref nil
+
+let rec ed_remove_min root =
+  if root.ed_l == nil then begin
+    ed_removed_min := root;
+    root.ed_r
+  end
+  else begin
+    root.ed_l <- ed_remove_min root.ed_l;
+    ed_bal root
+  end
+
+let rec ed_remove_node x root =
+  if root == nil then nil
+  else begin
+    let c = ed_cmp x root in
+    if c < 0 then begin
+      root.ed_l <- ed_remove_node x root.ed_l;
+      ed_bal root
+    end
+    else if c > 0 then begin
+      root.ed_r <- ed_remove_node x root.ed_r;
+      ed_bal root
+    end
+    else begin
+      let l = root.ed_l and r = root.ed_r in
+      root.ed_l <- nil;
+      root.ed_r <- nil;
+      root.ed_h <- 0;
+      if r == nil then l
+      else begin
+        let r' = ed_remove_min r in
+        let s = !ed_removed_min in
+        ed_removed_min := nil;
+        s.ed_l <- l;
+        s.ed_r <- r';
+        ed_bal s
+      end
+    end
+  end
+
+let rec ed_min_node root =
+  if root == nil then nil
+  else begin
+    let l = root.ed_l in
+    if l == nil then root else ed_min_node l
+  end
+
+(* Minimum-(deadline, id) among nodes with e <= now: if a node is
+   eligible its whole left subtree is too, so its left cache can be
+   taken wholesale before continuing right; otherwise descend left. *)
+let rec ed_go_mde now n best =
+  if n == nil then best
+  else if n.fs.e <= now then begin
+    let l = n.ed_l in
+    let best =
+      if l == nil then best
+      else begin
+        let a = l.ed_agg in
+        if best == nil || better_deadline a best then a else best
+      end
+    in
+    let best = if best == nil || better_deadline n best then n else best in
+    ed_go_mde now n.ed_r best
+  end
+  else ed_go_mde now n.ed_l best
+
+(* Virtual-time (active children) trees: AVL keyed by (vt, id), each
+   node caching the minimum fit time of its subtree in [fs.vt_agg]. *)
+
+let vt_cmp a b =
+  let c = Float.compare a.fs.vt b.fs.vt in
+  if c <> 0 then c else Int.compare a.id b.id
+
+let vt_height n = if n == nil then 0 else n.vt_h
+
+let vt_fixup n =
+  let hl = vt_height n.vt_l and hr = vt_height n.vt_r in
+  n.vt_h <- (1 + if hl > hr then hl else hr);
+  let m = n.fs.f in
+  let l = n.vt_l in
+  let m = if l != nil && l.fs.vt_agg < m then l.fs.vt_agg else m in
+  let r = n.vt_r in
+  let m = if r != nil && r.fs.vt_agg < m then r.fs.vt_agg else m in
+  n.fs.vt_agg <- m
+
+let vt_rot_right n =
+  let l = n.vt_l in
+  n.vt_l <- l.vt_r;
+  l.vt_r <- n;
+  vt_fixup n;
+  vt_fixup l;
+  l
+
+let vt_rot_left n =
+  let r = n.vt_r in
+  n.vt_r <- r.vt_l;
+  r.vt_l <- n;
+  vt_fixup n;
+  vt_fixup r;
+  r
+
+let vt_bal n =
+  let hl = vt_height n.vt_l and hr = vt_height n.vt_r in
+  if hl > hr + 1 then begin
+    let l = n.vt_l in
+    if vt_height l.vt_l >= vt_height l.vt_r then vt_rot_right n
+    else begin
+      n.vt_l <- vt_rot_left l;
+      vt_rot_right n
+    end
+  end
+  else if hr > hl + 1 then begin
+    let r = n.vt_r in
+    if vt_height r.vt_r >= vt_height r.vt_l then vt_rot_left n
+    else begin
+      n.vt_r <- vt_rot_right r;
+      vt_rot_left n
+    end
+  end
+  else begin
+    vt_fixup n;
+    n
+  end
+
+let rec vt_insert_node x root =
+  if root == nil then begin
+    x.vt_l <- nil;
+    x.vt_r <- nil;
+    x.vt_h <- 1;
+    x.fs.vt_agg <- x.fs.f;
+    x
+  end
+  else begin
+    let c = vt_cmp x root in
+    if c = 0 then invalid_arg "Hfsc: duplicate class in active-children tree";
+    if c < 0 then root.vt_l <- vt_insert_node x root.vt_l
+    else root.vt_r <- vt_insert_node x root.vt_r;
+    vt_bal root
+  end
+
+let vt_removed_min = ref nil
+
+let rec vt_remove_min root =
+  if root.vt_l == nil then begin
+    vt_removed_min := root;
+    root.vt_r
+  end
+  else begin
+    root.vt_l <- vt_remove_min root.vt_l;
+    vt_bal root
+  end
+
+let rec vt_remove_node x root =
+  if root == nil then nil
+  else begin
+    let c = vt_cmp x root in
+    if c < 0 then begin
+      root.vt_l <- vt_remove_node x root.vt_l;
+      vt_bal root
+    end
+    else if c > 0 then begin
+      root.vt_r <- vt_remove_node x root.vt_r;
+      vt_bal root
+    end
+    else begin
+      let l = root.vt_l and r = root.vt_r in
+      root.vt_l <- nil;
+      root.vt_r <- nil;
+      root.vt_h <- 0;
+      if r == nil then l
+      else begin
+        let r' = vt_remove_min r in
+        let s = !vt_removed_min in
+        vt_removed_min := nil;
+        s.vt_l <- l;
+        s.vt_r <- r';
+        vt_bal s
+      end
+    end
+  end
+
+let rec vt_max_node root =
+  if root == nil then nil
+  else begin
+    let r = root.vt_r in
+    if r == nil then root else vt_max_node r
+  end
+
+(* Leftmost (smallest-vt) element with fit <= now, pruning on the
+   cached subtree min-fit — the search of {!Ds.Vt_tree.first_fit}. *)
+let rec vt_go_ff now n =
+  if n == nil then nil
+  else begin
+    let l = n.vt_l in
+    if l != nil && l.fs.vt_agg <= now then vt_go_ff now l
+    else if n.fs.f <= now then n
+    else begin
+      let r = n.vt_r in
+      if r != nil && r.fs.vt_agg <= now then vt_go_ff now r else nil
+    end
+  end
 
 type t = {
   link_rate : float;
@@ -82,50 +467,46 @@ type t = {
   ulimit_slack : float;
   mutable next_id : int;
   mutable all_rev : cls list;
+  byname : (string, cls) Hashtbl.t; (* earliest class of each name *)
   troot : cls;
-  mutable eligible : EdT.t;
-  actc : (int, VtT.t) Hashtbl.t; (* interior class id -> active children *)
+  mutable eligible : cls; (* intrusive ED-tree root; [nil] when empty *)
   mutable bl_pkts : int;
   mutable bl_bytes : int;
 }
-
-let zero_rc = Rc.of_service_curve Sc.zero ~x:0. ~y:0.
 
 let make_cls ~id ~name ~parent ~rsc ~fsc ~usc ~qlimit =
   {
     id;
     cname = name;
     cparent = parent;
-    cchildren = [];
+    cchildren_rev = [];
     crsc = rsc;
     cfsc = fsc;
     cusc = usc;
     queue = Fq.create ?limit_pkts:qlimit ();
+    fs = make_fs ();
     deadline_c =
       (match rsc with Some s -> Rc.of_service_curve s ~x:0. ~y:0. | None -> zero_rc);
     eligible_c =
       (match rsc with Some s -> Rc.of_service_curve s ~x:0. ~y:0. | None -> zero_rc);
-    e = 0.;
-    d = 0.;
-    cumul = 0.;
     in_ed = false;
     virtual_c =
       (match fsc with Some s -> Rc.of_service_curve s ~x:0. ~y:0. | None -> zero_rc);
-    vt = 0.;
-    total = 0.;
-    vtadj = 0.;
-    cvtmin = 0.;
-    cvtoff = 0.;
     vtperiod = 0;
     parentperiod = 0;
     nactive = 0;
     in_actc = false;
     ulimit_c =
       (match usc with Some s -> Rc.of_service_curve s ~x:0. ~y:0. | None -> zero_rc);
-    myf = 0.;
-    myfadj = 0.;
-    f = 0.;
     nperiods = 0;
+    ed_l = nil;
+    ed_r = nil;
+    ed_h = 0;
+    ed_agg = nil;
+    vt_l = nil;
+    vt_r = nil;
+    vt_h = 0;
+    actc_root = nil;
   }
 
 let create ?(vt_policy = Vt_mean) ?(eligible_policy = Eligible_paper)
@@ -137,6 +518,8 @@ let create ?(vt_policy = Vt_mean) ?(eligible_policy = Eligible_paper)
     make_cls ~id:0 ~name:"root" ~parent:None ~rsc:None
       ~fsc:(Some (Sc.linear link_rate)) ~usc:None ~qlimit:None
   in
+  let byname = Hashtbl.create 64 in
+  Hashtbl.replace byname troot.cname troot;
   {
     link_rate;
     vt_policy;
@@ -144,21 +527,22 @@ let create ?(vt_policy = Vt_mean) ?(eligible_policy = Eligible_paper)
     ulimit_slack;
     next_id = 1;
     all_rev = [ troot ];
+    byname;
     troot;
-    eligible = EdT.empty;
-    actc = Hashtbl.create 64;
+    eligible = nil;
     bl_pkts = 0;
     bl_bytes = 0;
   }
 
 let root t = t.troot
+let is_leaf_cls c = match c.cchildren_rev with [] -> true | _ :: _ -> false
 
 let add_class t ~parent ~name ?rsc ?fsc ?usc ?qlimit () =
   if parent.crsc <> None then
     invalid_arg "Hfsc.add_class: parent has a real-time curve (leaf only)";
   if not (Fq.is_empty parent.queue) then
     invalid_arg "Hfsc.add_class: parent has queued packets";
-  if parent.cchildren = [] && parent.total > 0. then
+  if is_leaf_cls parent && parent.fs.total > 0. then
     invalid_arg "Hfsc.add_class: parent already served packets as a leaf";
   let fsc = match fsc with Some _ as f -> f | None -> rsc in
   if rsc = None && fsc = None then
@@ -167,30 +551,45 @@ let add_class t ~parent ~name ?rsc ?fsc ?usc ?qlimit () =
     make_cls ~id:t.next_id ~name ~parent:(Some parent) ~rsc ~fsc ~usc ~qlimit
   in
   t.next_id <- t.next_id + 1;
-  parent.cchildren <- parent.cchildren @ [ cl ];
+  parent.cchildren_rev <- cl :: parent.cchildren_rev;
   t.all_rev <- cl :: t.all_rev;
+  (* first class of a given name wins, preserving find_class's
+     "earliest in creation order" contract under duplicates *)
+  if not (Hashtbl.mem t.byname name) then Hashtbl.add t.byname name cl;
   cl
 
 let remove_class t cl =
   match cl.cparent with
   | None -> invalid_arg "Hfsc.remove_class: cannot remove the root"
   | Some parent ->
-      if cl.cchildren <> [] then
+      if not (is_leaf_cls cl) then
         invalid_arg "Hfsc.remove_class: class still has children";
       if not (Fq.is_empty cl.queue) then
         invalid_arg "Hfsc.remove_class: class has queued packets";
       if cl.nactive > 0 || cl.in_ed || cl.in_actc then
         invalid_arg "Hfsc.remove_class: class is active";
-      parent.cchildren <- List.filter (fun c -> c != cl) parent.cchildren;
+      parent.cchildren_rev <-
+        List.filter (fun c -> c != cl) parent.cchildren_rev;
       t.all_rev <- List.filter (fun c -> c != cl) t.all_rev;
-      Hashtbl.remove t.actc cl.id
+      (match Hashtbl.find_opt t.byname cl.cname with
+      | Some bound when bound == cl -> (
+          Hashtbl.remove t.byname cl.cname;
+          (* rebind the earliest surviving duplicate, if any *)
+          match
+            List.find_opt
+              (fun c -> String.equal c.cname cl.cname)
+              (List.rev t.all_rev)
+          with
+          | Some c2 -> Hashtbl.replace t.byname cl.cname c2
+          | None -> ())
+      | _ -> ())
 
 let set_curves t cl ?rsc ?fsc ?usc () =
   ignore t;
   if not (Fq.is_empty cl.queue) || cl.nactive > 0 || cl.in_ed || cl.in_actc
   then invalid_arg "Hfsc.set_curves: class is active";
   (match rsc with
-  | Some _ when cl.cchildren <> [] ->
+  | Some _ when not (is_leaf_cls cl) ->
       invalid_arg "Hfsc.set_curves: rsc on an interior class"
   | _ -> ());
   (* re-anchor the runtime curves at the accumulated service so the next
@@ -198,87 +597,106 @@ let set_curves t cl ?rsc ?fsc ?usc () =
   (match rsc with
   | Some s ->
       cl.crsc <- Some s;
-      cl.deadline_c <- Rc.of_service_curve s ~x:0. ~y:cl.cumul;
-      cl.eligible_c <- Rc.of_service_curve s ~x:0. ~y:cl.cumul
+      cl.deadline_c <- Rc.of_service_curve s ~x:0. ~y:cl.fs.cumul;
+      cl.eligible_c <- Rc.of_service_curve s ~x:0. ~y:cl.fs.cumul
   | None -> ());
   (match fsc with
   | Some s ->
       cl.cfsc <- Some s;
-      cl.virtual_c <- Rc.of_service_curve s ~x:0. ~y:cl.total
+      cl.virtual_c <- Rc.of_service_curve s ~x:0. ~y:cl.fs.total
   | None -> ());
   (match usc with
   | Some s ->
       cl.cusc <- Some s;
-      cl.ulimit_c <- Rc.of_service_curve s ~x:0. ~y:cl.total
+      cl.ulimit_c <- Rc.of_service_curve s ~x:0. ~y:cl.fs.total
   | None -> ());
   if cl.crsc = None && cl.cfsc = None then
     invalid_arg "Hfsc.set_curves: a class needs an rsc or an fsc"
+
+(* Same-unit copy of {!Rc.inverse}, and a branch-only float max. Dune's
+   dev profile compiles interfaces with -opaque, which turns off
+   cross-module inlining in classic (non-flambda) ocamlopt — so a call
+   to Rc.inverse or Float.max on the per-packet path would box its
+   float argument and result on every update. Rc.t is a *private*
+   (readable) record precisely so hot callers can keep the arithmetic
+   in-unit and unboxed. Keep in sync with Runtime_curve.inverse. *)
+let rc_inverse (c : Rc.t) v =
+  if v < c.y then c.x
+  else if v <= c.y +. c.dy then
+    if c.dy = 0. then c.x +. c.dx else c.x +. ((v -. c.y) /. c.m1)
+  else if c.m2 > 0. then c.x +. c.dx +. ((v -. c.y -. c.dy) /. c.m2)
+  else if v = c.y +. c.dy then c.x +. c.dx
+  else infinity
+
+(* Equal to Float.max on the non-NaN, nonzero-sign-irrelevant values
+   the scheduler feeds it (fit times and deadlines, possibly infinite,
+   never NaN). *)
+let fmax (a : float) (b : float) = if a > b then a else b
 
 (* --- eligible-tree bookkeeping ------------------------------------ *)
 
 let ed_insert t cl =
   assert (not cl.in_ed);
-  t.eligible <- EdT.insert cl t.eligible;
+  t.eligible <- ed_insert_node cl t.eligible;
   cl.in_ed <- true
 
 let ed_remove t cl =
   if cl.in_ed then begin
-    t.eligible <- EdT.remove cl t.eligible;
+    t.eligible <- ed_remove_node cl t.eligible;
     cl.in_ed <- false
   end
 
 (* --- active-children (virtual time) trees ------------------------- *)
 
-let get_actc t cl =
-  match Hashtbl.find_opt t.actc cl.id with Some tr -> tr | None -> VtT.empty
-
-let set_actc t cl tr = Hashtbl.replace t.actc cl.id tr
-
-let actc_insert t parent child =
+let actc_insert parent child =
   assert (not child.in_actc);
-  set_actc t parent (VtT.insert child (get_actc t parent));
+  parent.actc_root <- vt_insert_node child parent.actc_root;
   child.in_actc <- true
 
-let actc_remove t parent child =
+let actc_remove parent child =
   if child.in_actc then begin
-    set_actc t parent (VtT.remove child (get_actc t parent));
+    parent.actc_root <- vt_remove_node child parent.actc_root;
     child.in_actc <- false
   end
 
 (* Fit-time lower bound over [cl]'s active children: 0 when there are
    none (an interior class with no active child is itself inactive and
-   its f is never consulted). *)
-let cfmin t cl =
-  let tr = get_actc t cl in
-  if VtT.is_empty tr then 0. else VtT.min_fit tr
+   its f is never consulted). Reads the in-class cached aggregate — one
+   field load where the persistent version walked a Hashtbl. *)
+let cfmin cl =
+  let r = cl.actc_root in
+  if r == nil then 0. else r.fs.vt_agg
 
 (* --- real-time criterion state (Section IV-B) --------------------- *)
 
 (* Update the deadline and eligible curves when leaf [cl] becomes
    active at [now] (eq. (7) and (11)), then compute e and d for the
-   head packet and join the eligible set. *)
+   head packet and join the eligible set. [next_len] is in bytes (an
+   int so the call itself never boxes a float). *)
 let init_ed t cl now next_len =
   match cl.crsc with
   | None -> ()
   | Some s ->
-      cl.deadline_c <- Rc.min_with cl.deadline_c s ~x:now ~y:cl.cumul;
+      cl.deadline_c <- Rc.min_with cl.deadline_c s ~x:now ~y:cl.fs.cumul;
       (match t.eligible_policy with
       | Eligible_deadline -> cl.eligible_c <- cl.deadline_c
       | Eligible_paper ->
-          let ec = Rc.min_with cl.eligible_c s ~x:now ~y:cl.cumul in
+          let ec = Rc.min_with cl.eligible_c s ~x:now ~y:cl.fs.cumul in
           cl.eligible_c <- (if Sc.is_concave s then ec else Rc.flatten ec));
-      cl.e <- Rc.inverse cl.eligible_c cl.cumul;
-      cl.d <- Rc.inverse cl.deadline_c (cl.cumul +. next_len);
-      Log.debug (fun m ->
-          m "activate %s at %.6f: e=%.6f d=%.6f cumul=%.0f" cl.cname now cl.e
-            cl.d cl.cumul);
+      cl.fs.e <- rc_inverse cl.eligible_c cl.fs.cumul;
+      cl.fs.d <-
+        rc_inverse cl.deadline_c (cl.fs.cumul +. float_of_int next_len);
+      if debug_on () then
+        Log.debug (fun m ->
+            m "activate %s at %.6f: e=%.6f d=%.6f cumul=%.0f" cl.cname now
+              cl.fs.e cl.fs.d cl.fs.cumul);
       ed_insert t cl
 
 (* Recompute e and d after real-time service (cumul advanced). *)
 let update_ed t cl next_len =
   ed_remove t cl;
-  cl.e <- Rc.inverse cl.eligible_c cl.cumul;
-  cl.d <- Rc.inverse cl.deadline_c (cl.cumul +. next_len);
+  cl.fs.e <- rc_inverse cl.eligible_c cl.fs.cumul;
+  cl.fs.d <- rc_inverse cl.deadline_c (cl.fs.cumul +. float_of_int next_len);
   ed_insert t cl
 
 (* Recompute d only, after link-sharing service: cumul is untouched —
@@ -286,167 +704,158 @@ let update_ed t cl next_len =
    so the deadline must be refreshed for its length. *)
 let update_d t cl next_len =
   ed_remove t cl;
-  cl.d <- Rc.inverse cl.deadline_c (cl.cumul +. next_len);
+  cl.fs.d <- rc_inverse cl.deadline_c (cl.fs.cumul +. float_of_int next_len);
   ed_insert t cl
 
 (* --- link-sharing criterion state (Section IV-C) ------------------ *)
 
-(* Recompute [cl.f] from its own upper limit and its children's fit
+(* Recompute [cl.fs.f] from its own upper limit and its children's fit
    times, repositioning it in [parent]'s tree if the value changed. *)
-let refresh_f t parent cl =
-  let f = Float.max cl.myf (cfmin t cl) in
-  if f <> cl.f then
+let refresh_f parent cl =
+  let f = fmax cl.fs.myf (cfmin cl) in
+  if f <> cl.fs.f then
     if cl.in_actc then begin
-      actc_remove t parent cl;
-      cl.f <- f;
-      actc_insert t parent cl
+      actc_remove parent cl;
+      cl.fs.f <- f;
+      actc_insert parent cl
     end
-    else cl.f <- f
+    else cl.fs.f <- f
 
 (* Walk from a newly-active leaf towards the root, switching each
    newly-active ancestor's virtual time state into the current parent
    period (eq. (12) with the paper's (vmin+vmax)/2 initialization) and
-   propagating fit-time changes the rest of the way up. *)
-let init_vf t cl0 now =
-  let go_active = ref true in
-  let cl = ref cl0 in
-  let continue_walk = ref true in
-  while !continue_walk do
-    match (!cl).cparent with
-    | None ->
-        (* the walk's parent-side bookkeeping never runs for the root
-           (it has no iteration of its own), so close the books here:
-           count its newly-active child and open a fresh root backlog
-           period when the first one arrives *)
-        let r = !cl in
-        if !go_active then begin
-          let was = r.nactive in
-          r.nactive <- was + 1;
-          if was = 0 then begin
-            r.vtperiod <- r.vtperiod + 1;
-            r.nperiods <- r.nperiods + 1
-          end
+   propagating fit-time changes the rest of the way up. Tail-recursive
+   with the "did this level newly activate" flag as a plain argument
+   (no refs: a ref cell would be a heap allocation per walk). *)
+let rec init_vf t cl go_active now =
+  match cl.cparent with
+  | None ->
+      (* the walk's parent-side bookkeeping never runs for the root
+         (it has no iteration of its own), so close the books here:
+         count its newly-active child and open a fresh root backlog
+         period when the first one arrives *)
+      if go_active then begin
+        let was = cl.nactive in
+        cl.nactive <- was + 1;
+        if was = 0 then begin
+          cl.vtperiod <- cl.vtperiod + 1;
+          cl.nperiods <- cl.nperiods + 1
+        end
+      end
+  | Some parent ->
+      let newly =
+        if go_active then begin
+          let was = cl.nactive in
+          cl.nactive <- was + 1;
+          was = 0
+        end
+        else false
+      in
+      if newly then begin
+        cl.nperiods <- cl.nperiods + 1;
+        let vmax_cl = vt_max_node parent.actc_root in
+        if vmax_cl != nil then begin
+          let vmax = vmax_cl.fs.vt in
+          let vt0 =
+            match t.vt_policy with
+            | Vt_mean ->
+                if parent.fs.cvtmin <> 0. then (parent.fs.cvtmin +. vmax) /. 2.
+                else vmax
+            | Vt_min ->
+                if parent.fs.cvtmin <> 0. then parent.fs.cvtmin else vmax
+            | Vt_max -> vmax
+          in
+          (* joining an ongoing period never decreases vt; a fresh
+             parent period may place the class anywhere *)
+          if parent.vtperiod <> cl.parentperiod || vt0 > cl.fs.vt then
+            cl.fs.vt <- vt0
+        end
+        else begin
+          (* First child of a fresh parent backlog period: restart
+             at the highest vt any sibling reached before going
+             passive, so virtual time never flows backwards. *)
+          cl.fs.vt <- parent.fs.cvtoff;
+          parent.fs.cvtmin <- 0.
         end;
-        continue_walk := false
-    | Some parent ->
-        let c = !cl in
-        let newly =
-          if !go_active then begin
-            let was = c.nactive in
-            c.nactive <- was + 1;
-            was = 0
-          end
-          else false
-        in
-        go_active := newly;
-        if newly then begin
-          c.nperiods <- c.nperiods + 1;
-          (match VtT.max_vt (get_actc t parent) with
-          | Some max_cl ->
-              let vmax = max_cl.vt in
-              let vt0 =
-                match t.vt_policy with
-                | Vt_mean ->
-                    if parent.cvtmin <> 0. then (parent.cvtmin +. vmax) /. 2.
-                    else vmax
-                | Vt_min ->
-                    if parent.cvtmin <> 0. then parent.cvtmin else vmax
-                | Vt_max -> vmax
-              in
-              (* joining an ongoing period never decreases vt; a fresh
-                 parent period may place the class anywhere *)
-              if parent.vtperiod <> c.parentperiod || vt0 > c.vt then
-                c.vt <- vt0
-          | None ->
-              (* First child of a fresh parent backlog period: restart
-                 at the highest vt any sibling reached before going
-                 passive, so virtual time never flows backwards. *)
-              c.vt <- parent.cvtoff;
-              parent.cvtmin <- 0.);
-          (match c.cfsc with
-          | Some s ->
-              c.virtual_c <- Rc.min_with c.virtual_c s ~x:c.vt ~y:c.total
-          | None -> ());
-          c.vtadj <- 0.;
-          c.vtperiod <- c.vtperiod + 1;
-          c.parentperiod <-
-            (parent.vtperiod + if parent.nactive = 0 then 1 else 0);
-          c.f <- 0.;
-          (match c.cusc with
-          | Some s ->
-              c.ulimit_c <- Rc.min_with c.ulimit_c s ~x:now ~y:c.total;
-              c.myfadj <- 0.;
-              c.myf <- Rc.inverse c.ulimit_c c.total
-          | None -> ());
-          actc_insert t parent c
-        end;
-        refresh_f t parent c;
-        cl := parent
-  done
+        (match cl.cfsc with
+        | Some s ->
+            cl.virtual_c <- Rc.min_with cl.virtual_c s ~x:cl.fs.vt ~y:cl.fs.total
+        | None -> ());
+        cl.fs.vtadj <- 0.;
+        cl.vtperiod <- cl.vtperiod + 1;
+        cl.parentperiod <-
+          (parent.vtperiod + if parent.nactive = 0 then 1 else 0);
+        cl.fs.f <- 0.;
+        (match cl.cusc with
+        | Some s ->
+            cl.ulimit_c <- Rc.min_with cl.ulimit_c s ~x:now ~y:cl.fs.total;
+            cl.fs.myfadj <- 0.;
+            cl.fs.myf <- rc_inverse cl.ulimit_c cl.fs.total
+        | None -> ());
+        actc_insert parent cl
+      end;
+      refresh_f parent cl;
+      init_vf t parent newly now
 
 (* Walk from a just-served leaf towards the root, charging the packet
    to every class's total, advancing virtual times ([vt = V^-1(total)],
    eq. (12)) — including for classes that are just going passive, so a
    reactivation later resumes from the vt actually earned — and
-   detaching classes whose subtree went idle. *)
-let update_vf t cl0 len now =
-  let flen = float_of_int len in
-  let go_passive = ref (Fq.is_empty cl0.queue) in
-  let cl = ref cl0 in
-  let continue_walk = ref true in
-  while !continue_walk do
-    let c = !cl in
-    c.total <- c.total +. flen;
-    match c.cparent with
-    | None ->
-        (* root-side mirror of the nactive bookkeeping above *)
-        if !go_passive then c.nactive <- c.nactive - 1;
-        continue_walk := false
-    | Some parent ->
-        (if c.cfsc <> None && c.nactive > 0 then begin
-           let passive_now =
-             if !go_passive then begin
-               c.nactive <- c.nactive - 1;
-               c.nactive = 0
-             end
-             else false
-           in
-           go_passive := passive_now;
-           actc_remove t parent c;
-           c.vt <- Rc.inverse c.virtual_c c.total +. c.vtadj;
-           (* a class held below the sibling floor (skipped for
-              non-fit) is translated up and keeps the credit *)
-           if c.vt < parent.cvtmin then begin
-             c.vtadj <- c.vtadj +. (parent.cvtmin -. c.vt);
-             c.vt <- parent.cvtmin
-           end;
-           if passive_now then begin
-             (* going passive: remember the high-water vt so the next
-                backlog period of the parent resumes above it *)
-             if c.vt > parent.cvtoff then parent.cvtoff <- c.vt
-           end
-           else begin
-             (match c.cusc with
-             | Some _ ->
-                 c.myf <- Rc.inverse c.ulimit_c c.total +. c.myfadj;
-                 (* a rate-capped class that under-used its allowance
-                    forfeits it beyond [ulimit_slack] — no unbounded
-                    catch-up bursts *)
-                 if c.myf < now -. t.ulimit_slack then begin
-                   c.myfadj <- c.myfadj +. (now -. c.myf);
-                   c.myf <- now
-                 end
-             | None -> ());
-             c.f <- Float.max c.myf (cfmin t c);
-             actc_insert t parent c
-           end
-         end);
-        cl := parent
-  done
+   detaching classes whose subtree went idle. [len] stays an int across
+   the recursion so no float is boxed per level. *)
+let rec update_vf t cl go_passive len now =
+  cl.fs.total <- cl.fs.total +. float_of_int len;
+  match cl.cparent with
+  | None ->
+      (* root-side mirror of the nactive bookkeeping above *)
+      if go_passive then cl.nactive <- cl.nactive - 1
+  | Some parent ->
+      let go_passive =
+        match cl.cfsc with
+        | Some _ when cl.nactive > 0 ->
+            let passive_now =
+              if go_passive then begin
+                cl.nactive <- cl.nactive - 1;
+                cl.nactive = 0
+              end
+              else false
+            in
+            actc_remove parent cl;
+            cl.fs.vt <- rc_inverse cl.virtual_c cl.fs.total +. cl.fs.vtadj;
+            (* a class held below the sibling floor (skipped for
+               non-fit) is translated up and keeps the credit *)
+            if cl.fs.vt < parent.fs.cvtmin then begin
+              cl.fs.vtadj <- cl.fs.vtadj +. (parent.fs.cvtmin -. cl.fs.vt);
+              cl.fs.vt <- parent.fs.cvtmin
+            end;
+            if passive_now then begin
+              (* going passive: remember the high-water vt so the next
+                 backlog period of the parent resumes above it *)
+              if cl.fs.vt > parent.fs.cvtoff then
+                parent.fs.cvtoff <- cl.fs.vt
+            end
+            else begin
+              (match cl.cusc with
+              | Some _ ->
+                  cl.fs.myf <-
+                    rc_inverse cl.ulimit_c cl.fs.total +. cl.fs.myfadj;
+                  (* a rate-capped class that under-used its allowance
+                     forfeits it beyond [ulimit_slack] — no unbounded
+                     catch-up bursts *)
+                  if cl.fs.myf < now -. t.ulimit_slack then begin
+                    cl.fs.myfadj <- cl.fs.myfadj +. (now -. cl.fs.myf);
+                    cl.fs.myf <- now
+                  end
+              | None -> ());
+              cl.fs.f <- fmax cl.fs.myf (cfmin cl);
+              actc_insert parent cl
+            end;
+            passive_now
+        | _ -> go_passive
+      in
+      update_vf t parent go_passive len now
 
 (* --- the public datapath ------------------------------------------ *)
-
-let is_leaf_cls c = c.cchildren = []
 
 let enqueue t ~now cl pkt =
   if cl == t.troot || not (is_leaf_cls cl) then
@@ -456,84 +865,88 @@ let enqueue t ~now cl pkt =
     t.bl_pkts <- t.bl_pkts + 1;
     t.bl_bytes <- t.bl_bytes + pkt.Pkt.Packet.size;
     if was_empty then begin
-      init_ed t cl now (float_of_int pkt.Pkt.Packet.size);
-      if cl.cfsc <> None then init_vf t cl now
-      else if cl.crsc = None then assert false
+      init_ed t cl now pkt.Pkt.Packet.size;
+      match cl.cfsc with
+      | Some _ -> init_vf t cl true now
+      | None -> if cl.crsc = None then assert false
     end;
     true
   end
   else false
 
+(* link-sharing: descend by smallest virtual time that fits. Top-level
+   so no closure is built per dequeue. *)
+let rec descend_ls c now =
+  if is_leaf_cls c then c
+  else begin
+    let child = vt_go_ff now c.actc_root in
+    if child == nil then nil
+    else begin
+      if c.fs.cvtmin < child.fs.vt then c.fs.cvtmin <- child.fs.vt;
+      descend_ls child now
+    end
+  end
+
 let dequeue t ~now =
   if t.bl_pkts = 0 then None
   else begin
-    let selected =
-      match EdT.min_deadline_eligible t.eligible ~now with
-      | Some leaf -> Some (leaf, Realtime)
-      | None ->
-          (* link-sharing: descend by smallest virtual time that fits *)
-          let rec descend c =
-            if is_leaf_cls c then Some c
-            else
-              match VtT.first_fit (get_actc t c) ~now with
-              | None -> None
-              | Some child ->
-                  if c.cvtmin < child.vt then c.cvtmin <- child.vt;
-                  descend child
-          in
-          (match descend t.troot with
-          | Some leaf -> Some (leaf, Linkshare)
-          | None -> None)
-    in
-    match selected with
-    | None ->
-        Log.debug (fun m ->
-            m "dequeue at %.6f: backlogged but rate-capped" now);
-        None
-    | Some (leaf, crit) ->
+    let rt = ed_go_mde now t.eligible nil in
+    (* no intermediate (leaf, crit) tuple: classic-mode ocamlopt would
+       allocate it on every dequeue *)
+    let leaf = if rt != nil then rt else descend_ls t.troot now in
+    let crit = if rt != nil then Realtime else Linkshare in
+    if leaf == nil then begin
+      if debug_on () then
+        Log.debug (fun m -> m "dequeue at %.6f: backlogged but rate-capped" now);
+      None
+    end
+    else begin
+      if debug_on () then
         Log.debug (fun m ->
             m "dequeue at %.6f: %s via %s (vt=%.6f e=%.6f d=%.6f)" now
               leaf.cname
               (match crit with Realtime -> "realtime" | Linkshare -> "linkshare")
-              leaf.vt leaf.e leaf.d);
-        let pkt =
-          match Fq.pop leaf.queue with Some p -> p | None -> assert false
-        in
-        t.bl_pkts <- t.bl_pkts - 1;
-        t.bl_bytes <- t.bl_bytes - pkt.Pkt.Packet.size;
-        update_vf t leaf pkt.Pkt.Packet.size now;
-        if crit = Realtime then
-          leaf.cumul <- leaf.cumul +. float_of_int pkt.Pkt.Packet.size;
-        (match Fq.peek leaf.queue with
-        | Some next ->
-            if leaf.crsc <> None then begin
-              let next_len = float_of_int next.Pkt.Packet.size in
-              if crit = Realtime then update_ed t leaf next_len
-              else update_d t leaf next_len
-            end
-        | None -> ed_remove t leaf);
-        Some (pkt, leaf, crit)
+              leaf.fs.vt leaf.fs.e leaf.fs.d);
+      let pkt =
+        match Fq.pop leaf.queue with Some p -> p | None -> assert false
+      in
+      t.bl_pkts <- t.bl_pkts - 1;
+      t.bl_bytes <- t.bl_bytes - pkt.Pkt.Packet.size;
+      update_vf t leaf (Fq.is_empty leaf.queue) pkt.Pkt.Packet.size now;
+      (match crit with
+      | Realtime ->
+          leaf.fs.cumul <- leaf.fs.cumul +. float_of_int pkt.Pkt.Packet.size
+      | Linkshare -> ());
+      (match Fq.peek leaf.queue with
+      | Some next -> (
+          match leaf.crsc with
+          | Some _ -> (
+              match crit with
+              | Realtime -> update_ed t leaf next.Pkt.Packet.size
+              | Linkshare -> update_d t leaf next.Pkt.Packet.size)
+          | None -> ())
+      | None -> ed_remove t leaf);
+      Some (pkt, leaf, crit)
+    end
   end
 
 let next_ready_time t ~now =
   if t.bl_pkts = 0 then None
   else begin
-    let ls_tree = get_actc t t.troot in
-    let rt_now = EdT.min_deadline_eligible t.eligible ~now <> None in
-    let ls_now = (not (VtT.is_empty ls_tree)) && VtT.min_fit ls_tree <= now in
+    let ls_root = t.troot.actc_root in
+    let rt_now = ed_go_mde now t.eligible nil != nil in
+    let ls_now = ls_root != nil && ls_root.fs.vt_agg <= now in
     if rt_now || ls_now then Some now
     else begin
       let cand = infinity in
       let cand =
-        match EdT.min_eligible t.eligible with
-        | Some c -> Float.min cand c.e
-        | None -> cand
+        let m = ed_min_node t.eligible in
+        if m == nil then cand else Float.min cand m.fs.e
       in
       let cand =
-        if VtT.is_empty ls_tree then cand
-        else Float.min cand (VtT.min_fit ls_tree)
+        if ls_root == nil then cand else Float.min cand ls_root.fs.vt_agg
       in
-      Some (Float.max now cand)
+      Some (fmax now cand)
     end
   end
 
@@ -545,19 +958,16 @@ let backlog_bytes t = t.bl_bytes
 let name c = c.cname
 let is_leaf c = is_leaf_cls c
 let parent c = c.cparent
-let children c = c.cchildren
+let children c = List.rev c.cchildren_rev
 let classes t = List.rev t.all_rev
-
-let find_class t n =
-  List.find_opt (fun c -> String.equal c.cname n) (classes t)
-
+let find_class t n = Hashtbl.find_opt t.byname n
 let queue_length c = Fq.length c.queue
 let queue_bytes c = Fq.bytes c.queue
-let total_bytes c = c.total
-let realtime_bytes c = c.cumul
+let total_bytes c = c.fs.total
+let realtime_bytes c = c.fs.cumul
 let drops c = Fq.drops c.queue
 let periods c = c.nperiods
-let virtual_time c = c.vt
+let virtual_time c = c.fs.vt
 let rsc c = c.crsc
 let fsc c = c.cfsc
 let usc c = c.cusc
@@ -566,8 +976,8 @@ let debug_state c =
   Format.asprintf
     "%s vt=%.6f vtadj=%.6f total=%.0f V=%a e=%.6f d=%.6f \
      cvtmin=%.6f cvtoff=%.6f per=%d pper=%d nact=%d act=%b"
-    c.cname c.vt c.vtadj c.total Rc.pp c.virtual_c c.e c.d c.cvtmin
-    c.cvtoff c.vtperiod c.parentperiod c.nactive c.in_actc
+    c.cname c.fs.vt c.fs.vtadj c.fs.total Rc.pp c.virtual_c c.fs.e c.fs.d
+    c.fs.cvtmin c.fs.cvtoff c.vtperiod c.parentperiod c.nactive c.in_actc
 
 let pp_hierarchy ppf t =
   let rec go indent c =
@@ -581,8 +991,8 @@ let pp_hierarchy ppf t =
     (match c.cusc with
     | Some s -> Format.fprintf ppf " usc=%a" Sc.pp s
     | None -> ());
-    Format.fprintf ppf " total=%.0fB rt=%.0fB q=%d vt=%.6f@\n" c.total c.cumul
-      (Fq.length c.queue) c.vt;
-    List.iter (go (indent ^ "  ")) c.cchildren
+    Format.fprintf ppf " total=%.0fB rt=%.0fB q=%d vt=%.6f@\n" c.fs.total
+      c.fs.cumul (Fq.length c.queue) c.fs.vt;
+    List.iter (go (indent ^ "  ")) (children c)
   in
   go "" t.troot

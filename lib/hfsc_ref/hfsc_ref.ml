@@ -1,0 +1,601 @@
+(* Frozen reference implementation of the H-FSC scheduler over the
+   *persistent* augmented AVL trees (Ds.Ed_tree / Ds.Vt_tree) and a
+   per-scheduler Hashtbl of active-children trees. This is the
+   pre-intrusive implementation, kept verbatim so that
+
+   - the differential tests (test/test_hfsc_diff.ml) can drive it in
+     lockstep with the production Hfsc and assert identical scheduling
+     decisions, and
+   - the benchmark records the persistent-tree baseline in
+     BENCH_hfsc.json next to the intrusive numbers, PR after PR.
+
+   Do not optimize this module; it is the semantic oracle. *)
+
+module Sc = Curve.Service_curve
+module Rc = Curve.Runtime_curve
+module Fq = Ds.Fifo_queue
+
+(* Debug tracing; enable with Logs.Src.set_level on the "hfsc.ref"
+   source. All messages are closures, so disabled logging costs one
+   level check per site. *)
+let log_src = Logs.Src.create "hfsc.ref" ~doc:"H-FSC reference scheduler"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type criterion = Realtime | Linkshare
+type vt_policy = Vt_mean | Vt_min | Vt_max
+type eligible_policy = Eligible_paper | Eligible_deadline
+
+(* Per-class state. Field names follow the paper and the kernel
+   implementations derived from it: [cumul] is the service received
+   under the real-time criterion (the c_i of eq. (7)); [total] the
+   service under either criterion (the t_i of eq. (12)); [vtadj] the
+   upward correction applied when a class was held at the sibling vt
+   floor; [cvtmin] the floor itself (smallest vt served in the parent's
+   current backlog period); [cvtoff] the high-water vt of children that
+   went passive, from which the next backlog period restarts — virtual
+   times within a parent only ever move forward, which is what makes
+   reactivation punishment-free; [myf]/[f] the upper-limit fit times. *)
+type cls = {
+  id : int;
+  cname : string;
+  cparent : cls option;
+  mutable cchildren : cls list;
+  mutable crsc : Sc.t option;
+  mutable cfsc : Sc.t option;
+  mutable cusc : Sc.t option;
+  queue : Fq.t;
+  (* real-time state (leaves with an rsc) *)
+  mutable deadline_c : Rc.t;
+  mutable eligible_c : Rc.t;
+  mutable e : float;
+  mutable d : float;
+  mutable cumul : float;
+  mutable in_ed : bool;
+  (* link-sharing state *)
+  mutable virtual_c : Rc.t;
+  mutable vt : float;
+  mutable total : float;
+  mutable vtadj : float;
+  mutable cvtmin : float;
+  mutable cvtoff : float;
+  mutable vtperiod : int;
+  mutable parentperiod : int;
+  mutable nactive : int;
+  mutable in_actc : bool;
+  (* upper-limit state *)
+  mutable ulimit_c : Rc.t;
+  mutable myf : float;
+  mutable myfadj : float;
+  mutable f : float;
+  (* statistics *)
+  mutable nperiods : int;
+}
+
+module EdT = Ds.Ed_tree.Make (struct
+  type t = cls
+
+  let id c = c.id
+  let eligible c = c.e
+  let deadline c = c.d
+end)
+
+module VtT = Ds.Vt_tree.Make (struct
+  type t = cls
+
+  let id c = c.id
+  let vt c = c.vt
+  let fit c = c.f
+end)
+
+type t = {
+  link_rate : float;
+  vt_policy : vt_policy;
+  eligible_policy : eligible_policy;
+  ulimit_slack : float;
+  mutable next_id : int;
+  mutable all_rev : cls list;
+  troot : cls;
+  mutable eligible : EdT.t;
+  actc : (int, VtT.t) Hashtbl.t; (* interior class id -> active children *)
+  mutable bl_pkts : int;
+  mutable bl_bytes : int;
+}
+
+let zero_rc = Rc.of_service_curve Sc.zero ~x:0. ~y:0.
+
+let make_cls ~id ~name ~parent ~rsc ~fsc ~usc ~qlimit =
+  {
+    id;
+    cname = name;
+    cparent = parent;
+    cchildren = [];
+    crsc = rsc;
+    cfsc = fsc;
+    cusc = usc;
+    queue = Fq.create ?limit_pkts:qlimit ();
+    deadline_c =
+      (match rsc with Some s -> Rc.of_service_curve s ~x:0. ~y:0. | None -> zero_rc);
+    eligible_c =
+      (match rsc with Some s -> Rc.of_service_curve s ~x:0. ~y:0. | None -> zero_rc);
+    e = 0.;
+    d = 0.;
+    cumul = 0.;
+    in_ed = false;
+    virtual_c =
+      (match fsc with Some s -> Rc.of_service_curve s ~x:0. ~y:0. | None -> zero_rc);
+    vt = 0.;
+    total = 0.;
+    vtadj = 0.;
+    cvtmin = 0.;
+    cvtoff = 0.;
+    vtperiod = 0;
+    parentperiod = 0;
+    nactive = 0;
+    in_actc = false;
+    ulimit_c =
+      (match usc with Some s -> Rc.of_service_curve s ~x:0. ~y:0. | None -> zero_rc);
+    myf = 0.;
+    myfadj = 0.;
+    f = 0.;
+    nperiods = 0;
+  }
+
+let create ?(vt_policy = Vt_mean) ?(eligible_policy = Eligible_paper)
+    ?(ulimit_slack = 0.001) ~link_rate () =
+  if (not (Float.is_finite link_rate)) || link_rate <= 0. then
+    invalid_arg "Hfsc.create: link_rate must be finite and positive";
+  if ulimit_slack < 0. then invalid_arg "Hfsc.create: negative ulimit_slack";
+  let troot =
+    make_cls ~id:0 ~name:"root" ~parent:None ~rsc:None
+      ~fsc:(Some (Sc.linear link_rate)) ~usc:None ~qlimit:None
+  in
+  {
+    link_rate;
+    vt_policy;
+    eligible_policy;
+    ulimit_slack;
+    next_id = 1;
+    all_rev = [ troot ];
+    troot;
+    eligible = EdT.empty;
+    actc = Hashtbl.create 64;
+    bl_pkts = 0;
+    bl_bytes = 0;
+  }
+
+let root t = t.troot
+
+let add_class t ~parent ~name ?rsc ?fsc ?usc ?qlimit () =
+  if parent.crsc <> None then
+    invalid_arg "Hfsc.add_class: parent has a real-time curve (leaf only)";
+  if not (Fq.is_empty parent.queue) then
+    invalid_arg "Hfsc.add_class: parent has queued packets";
+  if parent.cchildren = [] && parent.total > 0. then
+    invalid_arg "Hfsc.add_class: parent already served packets as a leaf";
+  let fsc = match fsc with Some _ as f -> f | None -> rsc in
+  if rsc = None && fsc = None then
+    invalid_arg "Hfsc.add_class: a class needs an rsc or an fsc";
+  let cl =
+    make_cls ~id:t.next_id ~name ~parent:(Some parent) ~rsc ~fsc ~usc ~qlimit
+  in
+  t.next_id <- t.next_id + 1;
+  parent.cchildren <- parent.cchildren @ [ cl ];
+  t.all_rev <- cl :: t.all_rev;
+  cl
+
+let remove_class t cl =
+  match cl.cparent with
+  | None -> invalid_arg "Hfsc.remove_class: cannot remove the root"
+  | Some parent ->
+      if cl.cchildren <> [] then
+        invalid_arg "Hfsc.remove_class: class still has children";
+      if not (Fq.is_empty cl.queue) then
+        invalid_arg "Hfsc.remove_class: class has queued packets";
+      if cl.nactive > 0 || cl.in_ed || cl.in_actc then
+        invalid_arg "Hfsc.remove_class: class is active";
+      parent.cchildren <- List.filter (fun c -> c != cl) parent.cchildren;
+      t.all_rev <- List.filter (fun c -> c != cl) t.all_rev;
+      Hashtbl.remove t.actc cl.id
+
+let set_curves t cl ?rsc ?fsc ?usc () =
+  ignore t;
+  if not (Fq.is_empty cl.queue) || cl.nactive > 0 || cl.in_ed || cl.in_actc
+  then invalid_arg "Hfsc.set_curves: class is active";
+  (match rsc with
+  | Some _ when cl.cchildren <> [] ->
+      invalid_arg "Hfsc.set_curves: rsc on an interior class"
+  | _ -> ());
+  (* re-anchor the runtime curves at the accumulated service so the next
+     activation's min-update treats the new curve as the whole history *)
+  (match rsc with
+  | Some s ->
+      cl.crsc <- Some s;
+      cl.deadline_c <- Rc.of_service_curve s ~x:0. ~y:cl.cumul;
+      cl.eligible_c <- Rc.of_service_curve s ~x:0. ~y:cl.cumul
+  | None -> ());
+  (match fsc with
+  | Some s ->
+      cl.cfsc <- Some s;
+      cl.virtual_c <- Rc.of_service_curve s ~x:0. ~y:cl.total
+  | None -> ());
+  (match usc with
+  | Some s ->
+      cl.cusc <- Some s;
+      cl.ulimit_c <- Rc.of_service_curve s ~x:0. ~y:cl.total
+  | None -> ());
+  if cl.crsc = None && cl.cfsc = None then
+    invalid_arg "Hfsc.set_curves: a class needs an rsc or an fsc"
+
+(* --- eligible-tree bookkeeping ------------------------------------ *)
+
+let ed_insert t cl =
+  assert (not cl.in_ed);
+  t.eligible <- EdT.insert cl t.eligible;
+  cl.in_ed <- true
+
+let ed_remove t cl =
+  if cl.in_ed then begin
+    t.eligible <- EdT.remove cl t.eligible;
+    cl.in_ed <- false
+  end
+
+(* --- active-children (virtual time) trees ------------------------- *)
+
+let get_actc t cl =
+  match Hashtbl.find_opt t.actc cl.id with Some tr -> tr | None -> VtT.empty
+
+let set_actc t cl tr = Hashtbl.replace t.actc cl.id tr
+
+let actc_insert t parent child =
+  assert (not child.in_actc);
+  set_actc t parent (VtT.insert child (get_actc t parent));
+  child.in_actc <- true
+
+let actc_remove t parent child =
+  if child.in_actc then begin
+    set_actc t parent (VtT.remove child (get_actc t parent));
+    child.in_actc <- false
+  end
+
+(* Fit-time lower bound over [cl]'s active children: 0 when there are
+   none (an interior class with no active child is itself inactive and
+   its f is never consulted). *)
+let cfmin t cl =
+  let tr = get_actc t cl in
+  if VtT.is_empty tr then 0. else VtT.min_fit tr
+
+(* --- real-time criterion state (Section IV-B) --------------------- *)
+
+(* Update the deadline and eligible curves when leaf [cl] becomes
+   active at [now] (eq. (7) and (11)), then compute e and d for the
+   head packet and join the eligible set. *)
+let init_ed t cl now next_len =
+  match cl.crsc with
+  | None -> ()
+  | Some s ->
+      cl.deadline_c <- Rc.min_with cl.deadline_c s ~x:now ~y:cl.cumul;
+      (match t.eligible_policy with
+      | Eligible_deadline -> cl.eligible_c <- cl.deadline_c
+      | Eligible_paper ->
+          let ec = Rc.min_with cl.eligible_c s ~x:now ~y:cl.cumul in
+          cl.eligible_c <- (if Sc.is_concave s then ec else Rc.flatten ec));
+      cl.e <- Rc.inverse cl.eligible_c cl.cumul;
+      cl.d <- Rc.inverse cl.deadline_c (cl.cumul +. next_len);
+      Log.debug (fun m ->
+          m "activate %s at %.6f: e=%.6f d=%.6f cumul=%.0f" cl.cname now cl.e
+            cl.d cl.cumul);
+      ed_insert t cl
+
+(* Recompute e and d after real-time service (cumul advanced). *)
+let update_ed t cl next_len =
+  ed_remove t cl;
+  cl.e <- Rc.inverse cl.eligible_c cl.cumul;
+  cl.d <- Rc.inverse cl.deadline_c (cl.cumul +. next_len);
+  ed_insert t cl
+
+(* Recompute d only, after link-sharing service: cumul is untouched —
+   this is the non-punishment property — but the head packet changed
+   so the deadline must be refreshed for its length. *)
+let update_d t cl next_len =
+  ed_remove t cl;
+  cl.d <- Rc.inverse cl.deadline_c (cl.cumul +. next_len);
+  ed_insert t cl
+
+(* --- link-sharing criterion state (Section IV-C) ------------------ *)
+
+(* Recompute [cl.f] from its own upper limit and its children's fit
+   times, repositioning it in [parent]'s tree if the value changed. *)
+let refresh_f t parent cl =
+  let f = Float.max cl.myf (cfmin t cl) in
+  if f <> cl.f then
+    if cl.in_actc then begin
+      actc_remove t parent cl;
+      cl.f <- f;
+      actc_insert t parent cl
+    end
+    else cl.f <- f
+
+(* Walk from a newly-active leaf towards the root, switching each
+   newly-active ancestor's virtual time state into the current parent
+   period (eq. (12) with the paper's (vmin+vmax)/2 initialization) and
+   propagating fit-time changes the rest of the way up. *)
+let init_vf t cl0 now =
+  let go_active = ref true in
+  let cl = ref cl0 in
+  let continue_walk = ref true in
+  while !continue_walk do
+    match (!cl).cparent with
+    | None ->
+        (* the walk's parent-side bookkeeping never runs for the root
+           (it has no iteration of its own), so close the books here:
+           count its newly-active child and open a fresh root backlog
+           period when the first one arrives *)
+        let r = !cl in
+        if !go_active then begin
+          let was = r.nactive in
+          r.nactive <- was + 1;
+          if was = 0 then begin
+            r.vtperiod <- r.vtperiod + 1;
+            r.nperiods <- r.nperiods + 1
+          end
+        end;
+        continue_walk := false
+    | Some parent ->
+        let c = !cl in
+        let newly =
+          if !go_active then begin
+            let was = c.nactive in
+            c.nactive <- was + 1;
+            was = 0
+          end
+          else false
+        in
+        go_active := newly;
+        if newly then begin
+          c.nperiods <- c.nperiods + 1;
+          (match VtT.max_vt (get_actc t parent) with
+          | Some max_cl ->
+              let vmax = max_cl.vt in
+              let vt0 =
+                match t.vt_policy with
+                | Vt_mean ->
+                    if parent.cvtmin <> 0. then (parent.cvtmin +. vmax) /. 2.
+                    else vmax
+                | Vt_min ->
+                    if parent.cvtmin <> 0. then parent.cvtmin else vmax
+                | Vt_max -> vmax
+              in
+              (* joining an ongoing period never decreases vt; a fresh
+                 parent period may place the class anywhere *)
+              if parent.vtperiod <> c.parentperiod || vt0 > c.vt then
+                c.vt <- vt0
+          | None ->
+              (* First child of a fresh parent backlog period: restart
+                 at the highest vt any sibling reached before going
+                 passive, so virtual time never flows backwards. *)
+              c.vt <- parent.cvtoff;
+              parent.cvtmin <- 0.);
+          (match c.cfsc with
+          | Some s ->
+              c.virtual_c <- Rc.min_with c.virtual_c s ~x:c.vt ~y:c.total
+          | None -> ());
+          c.vtadj <- 0.;
+          c.vtperiod <- c.vtperiod + 1;
+          c.parentperiod <-
+            (parent.vtperiod + if parent.nactive = 0 then 1 else 0);
+          c.f <- 0.;
+          (match c.cusc with
+          | Some s ->
+              c.ulimit_c <- Rc.min_with c.ulimit_c s ~x:now ~y:c.total;
+              c.myfadj <- 0.;
+              c.myf <- Rc.inverse c.ulimit_c c.total
+          | None -> ());
+          actc_insert t parent c
+        end;
+        refresh_f t parent c;
+        cl := parent
+  done
+
+(* Walk from a just-served leaf towards the root, charging the packet
+   to every class's total, advancing virtual times ([vt = V^-1(total)],
+   eq. (12)) — including for classes that are just going passive, so a
+   reactivation later resumes from the vt actually earned — and
+   detaching classes whose subtree went idle. *)
+let update_vf t cl0 len now =
+  let flen = float_of_int len in
+  let go_passive = ref (Fq.is_empty cl0.queue) in
+  let cl = ref cl0 in
+  let continue_walk = ref true in
+  while !continue_walk do
+    let c = !cl in
+    c.total <- c.total +. flen;
+    match c.cparent with
+    | None ->
+        (* root-side mirror of the nactive bookkeeping above *)
+        if !go_passive then c.nactive <- c.nactive - 1;
+        continue_walk := false
+    | Some parent ->
+        (if c.cfsc <> None && c.nactive > 0 then begin
+           let passive_now =
+             if !go_passive then begin
+               c.nactive <- c.nactive - 1;
+               c.nactive = 0
+             end
+             else false
+           in
+           go_passive := passive_now;
+           actc_remove t parent c;
+           c.vt <- Rc.inverse c.virtual_c c.total +. c.vtadj;
+           (* a class held below the sibling floor (skipped for
+              non-fit) is translated up and keeps the credit *)
+           if c.vt < parent.cvtmin then begin
+             c.vtadj <- c.vtadj +. (parent.cvtmin -. c.vt);
+             c.vt <- parent.cvtmin
+           end;
+           if passive_now then begin
+             (* going passive: remember the high-water vt so the next
+                backlog period of the parent resumes above it *)
+             if c.vt > parent.cvtoff then parent.cvtoff <- c.vt
+           end
+           else begin
+             (match c.cusc with
+             | Some _ ->
+                 c.myf <- Rc.inverse c.ulimit_c c.total +. c.myfadj;
+                 (* a rate-capped class that under-used its allowance
+                    forfeits it beyond [ulimit_slack] — no unbounded
+                    catch-up bursts *)
+                 if c.myf < now -. t.ulimit_slack then begin
+                   c.myfadj <- c.myfadj +. (now -. c.myf);
+                   c.myf <- now
+                 end
+             | None -> ());
+             c.f <- Float.max c.myf (cfmin t c);
+             actc_insert t parent c
+           end
+         end);
+        cl := parent
+  done
+
+(* --- the public datapath ------------------------------------------ *)
+
+let is_leaf_cls c = c.cchildren = []
+
+let enqueue t ~now cl pkt =
+  if cl == t.troot || not (is_leaf_cls cl) then
+    invalid_arg "Hfsc.enqueue: class is not a leaf";
+  let was_empty = Fq.is_empty cl.queue in
+  if Fq.push cl.queue pkt then begin
+    t.bl_pkts <- t.bl_pkts + 1;
+    t.bl_bytes <- t.bl_bytes + pkt.Pkt.Packet.size;
+    if was_empty then begin
+      init_ed t cl now (float_of_int pkt.Pkt.Packet.size);
+      if cl.cfsc <> None then init_vf t cl now
+      else if cl.crsc = None then assert false
+    end;
+    true
+  end
+  else false
+
+let dequeue t ~now =
+  if t.bl_pkts = 0 then None
+  else begin
+    let selected =
+      match EdT.min_deadline_eligible t.eligible ~now with
+      | Some leaf -> Some (leaf, Realtime)
+      | None ->
+          (* link-sharing: descend by smallest virtual time that fits *)
+          let rec descend c =
+            if is_leaf_cls c then Some c
+            else
+              match VtT.first_fit (get_actc t c) ~now with
+              | None -> None
+              | Some child ->
+                  if c.cvtmin < child.vt then c.cvtmin <- child.vt;
+                  descend child
+          in
+          (match descend t.troot with
+          | Some leaf -> Some (leaf, Linkshare)
+          | None -> None)
+    in
+    match selected with
+    | None ->
+        Log.debug (fun m ->
+            m "dequeue at %.6f: backlogged but rate-capped" now);
+        None
+    | Some (leaf, crit) ->
+        Log.debug (fun m ->
+            m "dequeue at %.6f: %s via %s (vt=%.6f e=%.6f d=%.6f)" now
+              leaf.cname
+              (match crit with Realtime -> "realtime" | Linkshare -> "linkshare")
+              leaf.vt leaf.e leaf.d);
+        let pkt =
+          match Fq.pop leaf.queue with Some p -> p | None -> assert false
+        in
+        t.bl_pkts <- t.bl_pkts - 1;
+        t.bl_bytes <- t.bl_bytes - pkt.Pkt.Packet.size;
+        update_vf t leaf pkt.Pkt.Packet.size now;
+        if crit = Realtime then
+          leaf.cumul <- leaf.cumul +. float_of_int pkt.Pkt.Packet.size;
+        (match Fq.peek leaf.queue with
+        | Some next ->
+            if leaf.crsc <> None then begin
+              let next_len = float_of_int next.Pkt.Packet.size in
+              if crit = Realtime then update_ed t leaf next_len
+              else update_d t leaf next_len
+            end
+        | None -> ed_remove t leaf);
+        Some (pkt, leaf, crit)
+  end
+
+let next_ready_time t ~now =
+  if t.bl_pkts = 0 then None
+  else begin
+    let ls_tree = get_actc t t.troot in
+    let rt_now = EdT.min_deadline_eligible t.eligible ~now <> None in
+    let ls_now = (not (VtT.is_empty ls_tree)) && VtT.min_fit ls_tree <= now in
+    if rt_now || ls_now then Some now
+    else begin
+      let cand = infinity in
+      let cand =
+        match EdT.min_eligible t.eligible with
+        | Some c -> Float.min cand c.e
+        | None -> cand
+      in
+      let cand =
+        if VtT.is_empty ls_tree then cand
+        else Float.min cand (VtT.min_fit ls_tree)
+      in
+      Some (Float.max now cand)
+    end
+  end
+
+let backlog_pkts t = t.bl_pkts
+let backlog_bytes t = t.bl_bytes
+
+(* --- introspection ------------------------------------------------- *)
+
+let name c = c.cname
+let is_leaf c = is_leaf_cls c
+let parent c = c.cparent
+let children c = c.cchildren
+let classes t = List.rev t.all_rev
+
+let find_class t n =
+  List.find_opt (fun c -> String.equal c.cname n) (classes t)
+
+let queue_length c = Fq.length c.queue
+let queue_bytes c = Fq.bytes c.queue
+let total_bytes c = c.total
+let realtime_bytes c = c.cumul
+let drops c = Fq.drops c.queue
+let periods c = c.nperiods
+let virtual_time c = c.vt
+let rsc c = c.crsc
+let fsc c = c.cfsc
+let usc c = c.cusc
+
+let debug_state c =
+  Format.asprintf
+    "%s vt=%.6f vtadj=%.6f total=%.0f V=%a e=%.6f d=%.6f \
+     cvtmin=%.6f cvtoff=%.6f per=%d pper=%d nact=%d act=%b"
+    c.cname c.vt c.vtadj c.total Rc.pp c.virtual_c c.e c.d c.cvtmin
+    c.cvtoff c.vtperiod c.parentperiod c.nactive c.in_actc
+
+let pp_hierarchy ppf t =
+  let rec go indent c =
+    Format.fprintf ppf "%s%s" indent c.cname;
+    (match c.crsc with
+    | Some s -> Format.fprintf ppf " rsc=%a" Sc.pp s
+    | None -> ());
+    (match c.cfsc with
+    | Some s -> Format.fprintf ppf " fsc=%a" Sc.pp s
+    | None -> ());
+    (match c.cusc with
+    | Some s -> Format.fprintf ppf " usc=%a" Sc.pp s
+    | None -> ());
+    Format.fprintf ppf " total=%.0fB rt=%.0fB q=%d vt=%.6f@\n" c.total c.cumul
+      (Fq.length c.queue) c.vt;
+    List.iter (go (indent ^ "  ")) c.cchildren
+  in
+  go "" t.troot

@@ -1,0 +1,176 @@
+(** Frozen reference H-FSC scheduler over the persistent trees — the
+    semantic oracle for the differential tests and the benchmark's
+    persistent-tree baseline. Same API as {!Hfsc}; see that module (and
+    lib/hfsc_ref/hfsc_ref.ml's header) for why this copy exists.
+
+    The Hierarchical Fair Service Curve scheduler (Sections IV and V).
+
+    One [t] schedules one link. Classes form a tree rooted at {!root};
+    packets are enqueued at leaf classes and dequeued by the link. Two
+    criteria drive dequeueing:
+
+    - the {e real-time criterion} — among leaves whose eligible time has
+      arrived, serve the smallest deadline; it alone guarantees every
+      leaf's real-time service curve to within one maximum-size packet
+      (Theorems 1–2);
+    - the {e link-sharing criterion} — otherwise, descend from the root
+      picking the active child with the smallest virtual time; it
+      distributes all remaining capacity according to the fair service
+      curve model, without ever punishing a class for excess service it
+      received earlier (link-sharing service does not advance the
+      deadline curve).
+
+    The implementation mirrors the authors' BSD code: all curves are
+    two-piece linear with O(1) updates (Fig. 8); the eligible set is an
+    augmented tree giving O(log n) min-deadline-among-eligible; each
+    interior class keeps its active children in a virtual-time tree
+    giving O(log n) smallest-vt-that-fits.
+
+    Time is the caller's wall clock, passed to every operation as [~now]
+    in seconds and required to be nondecreasing across calls. *)
+
+type t
+type cls
+
+(** Which criterion served a packet — exposed for instrumentation. *)
+type criterion = Realtime | Linkshare
+
+type vt_policy =
+  | Vt_mean  (** joining class gets [(vmin + vmax) / 2] — the paper's
+                 choice (Section IV-C), giving bounded sibling
+                 discrepancy. Default. *)
+  | Vt_min  (** joining class gets [vmin] — ablation; spread grows with
+                the number of siblings. *)
+  | Vt_max  (** joining class gets [vmax] — ablation, ditto. *)
+
+type eligible_policy =
+  | Eligible_paper
+      (** Eligible curve = deadline curve for concave service curves;
+          its [m2]-slope envelope for convex ones (end of Section IV-B).
+          Default. *)
+  | Eligible_deadline
+      (** Ablation: eligible curve = deadline curve always. For convex
+          curves this under-provisions the real-time criterion — future
+          rate increases are not pre-funded — and leaf guarantees can be
+          violated; exercised by the E9 bench to show why the paper's
+          rule matters. *)
+
+val create :
+  ?vt_policy:vt_policy ->
+  ?eligible_policy:eligible_policy ->
+  ?ulimit_slack:float ->
+  link_rate:float ->
+  unit ->
+  t
+(** [create ~link_rate ()] builds a scheduler for a link of [link_rate]
+    bytes/second. The root class is created implicitly with a linear
+    fair service curve of that rate. [ulimit_slack] (seconds, default
+    1 ms) bounds how much unused upper-limit allowance a rate-capped
+    class may carry forward as a burst. *)
+
+val root : t -> cls
+
+val add_class :
+  t ->
+  parent:cls ->
+  name:string ->
+  ?rsc:Curve.Service_curve.t ->
+  ?fsc:Curve.Service_curve.t ->
+  ?usc:Curve.Service_curve.t ->
+  ?qlimit:int ->
+  unit ->
+  cls
+(** Adds a class under [parent]. [rsc] is the real-time service curve
+    (leaf classes only — adding a child to a class with an [rsc]
+    raises); [fsc] the fair (link-sharing) service curve, defaulting to
+    [rsc] (at least one of the two must be given); [usc] an optional
+    upper-limit curve making the class non-work-conserving; [qlimit]
+    the drop-tail packet limit of the leaf queue.
+
+    @raise Invalid_argument on a parent with an [rsc], a parent that
+    already received packets as a leaf, or a class with neither curve. *)
+
+val remove_class : t -> cls -> unit
+(** Remove a passive leaf (or childless interior) class from the
+    hierarchy, as kernel implementations allow between traffic.
+    A parent left childless becomes usable as a leaf again.
+
+    @raise Invalid_argument if the class is the root, still has
+    children, or has queued packets. *)
+
+val set_curves :
+  t ->
+  cls ->
+  ?rsc:Curve.Service_curve.t ->
+  ?fsc:Curve.Service_curve.t ->
+  ?usc:Curve.Service_curve.t ->
+  unit ->
+  unit
+(** Replace the class's curves (only the given ones change). The class
+    must be passive (no queued packets, not active in the hierarchy);
+    the new curves take effect from its next backlogged period.
+    Passing [rsc] to an interior class is rejected as in {!add_class}.
+
+    @raise Invalid_argument if the class is active, or the change is
+    structurally invalid. *)
+
+val enqueue : t -> now:float -> cls -> Pkt.Packet.t -> bool
+(** [enqueue t ~now cls p] queues [p] at leaf [cls]; [false] means the
+    packet was dropped by the class's qlimit.
+
+    @raise Invalid_argument if [cls] is not a leaf of [t]. *)
+
+val dequeue : t -> now:float -> (Pkt.Packet.t * cls * criterion) option
+(** Select and remove the next packet to transmit at time [now]. [None]
+    when the backlog is empty, or when every backlogged class is
+    rate-capped by an upper-limit curve until some later instant — see
+    {!next_ready_time}. *)
+
+val next_ready_time : t -> now:float -> float option
+(** [None] iff the backlog is empty; otherwise the earliest [t' >= now]
+    at which {!dequeue} can return a packet ([now] itself when one is
+    servable immediately). Only upper-limit curves can push this past
+    [now]. *)
+
+val backlog_pkts : t -> int
+val backlog_bytes : t -> int
+
+(** {2 Class introspection} *)
+
+val name : cls -> string
+val is_leaf : cls -> bool
+val parent : cls -> cls option
+val children : cls -> cls list
+val classes : t -> cls list
+(** All classes including the root, in creation order. *)
+
+val find_class : t -> string -> cls option
+val queue_length : cls -> int
+val queue_bytes : cls -> int
+
+val total_bytes : cls -> float
+(** Bytes of service received under either criterion (leaf: transmitted
+    bytes; interior: sum over subtree). *)
+
+val realtime_bytes : cls -> float
+(** Bytes of service the real-time criterion accounted to this leaf
+    (the [c] of the algorithm); 0 for interior classes. *)
+
+val drops : cls -> int
+val periods : cls -> int
+(** Number of active (backlogged) periods so far. *)
+
+val virtual_time : cls -> float
+(** Current virtual time — meaningful relative to siblings only. *)
+
+val rsc : cls -> Curve.Service_curve.t option
+val fsc : cls -> Curve.Service_curve.t option
+val usc : cls -> Curve.Service_curve.t option
+
+val pp_hierarchy : Format.formatter -> t -> unit
+(** Render the class tree with per-class curves and counters. *)
+
+val debug_state : cls -> string
+(** One-line dump of the class's internal scheduling state (virtual
+    time, offsets, curve origins) — for tests and debugging only; the
+    format is unspecified. *)

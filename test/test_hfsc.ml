@@ -487,6 +487,40 @@ let test_remove_class () =
   ignore (Hfsc.enqueue t ~now:1. b (pkt ~flow:2 ~size:100 ~seq:0 ~arrival:1.));
   Alcotest.(check bool) "b serves" true (Hfsc.dequeue t ~now:1. <> None)
 
+(* find_class is backed by a name index updated in add/remove_class;
+   check lookups across removals and duplicate names, and that
+   [children]/[classes] keep creation order. *)
+let test_find_class_index () =
+  let t = Hfsc.create ~link_rate:1e6 () in
+  let add name =
+    Hfsc.add_class t ~parent:(Hfsc.root t) ~name ~fsc:(Sc.linear 1e5) ()
+  in
+  let a = add "a" in
+  let b = add "b" in
+  let b2 = add "b" in
+  (* duplicate name *)
+  let c = add "c" in
+  Alcotest.(check bool) "finds a" true
+    (match Hfsc.find_class t "a" with Some x -> x == a | None -> false);
+  (* duplicate names resolve to the earliest in creation order *)
+  Alcotest.(check bool) "duplicate -> earliest" true
+    (match Hfsc.find_class t "b" with Some x -> x == b | None -> false);
+  Hfsc.remove_class t b;
+  (* after removing the earliest, the surviving duplicate is found *)
+  Alcotest.(check bool) "duplicate survivor found" true
+    (match Hfsc.find_class t "b" with Some x -> x == b2 | None -> false);
+  Hfsc.remove_class t b2;
+  Alcotest.(check bool) "b gone" true (Hfsc.find_class t "b" = None);
+  Alcotest.(check bool) "others unaffected" true
+    (match Hfsc.find_class t "c" with Some x -> x == c | None -> false);
+  Alcotest.(check bool) "missing name" true (Hfsc.find_class t "zzz" = None);
+  (* creation order is preserved by the child lists and classes *)
+  let names l = List.map Hfsc.name l in
+  Alcotest.(check (list string)) "children in creation order" [ "a"; "c" ]
+    (names (Hfsc.children (Hfsc.root t)));
+  Alcotest.(check (list string)) "classes in creation order"
+    [ "root"; "a"; "c" ] (names (Hfsc.classes t))
+
 let test_remove_class_parent_with_children () =
   let t = Hfsc.create ~link_rate:1e6 () in
   let a = Hfsc.add_class t ~parent:(Hfsc.root t) ~name:"a" ~fsc:(Sc.linear 5e5) () in
@@ -594,6 +628,7 @@ let () =
       ( "reconfiguration",
         [
           Alcotest.test_case "remove_class" `Quick test_remove_class;
+          Alcotest.test_case "find_class index" `Quick test_find_class_index;
           Alcotest.test_case "remove parent with children" `Quick
             test_remove_class_parent_with_children;
           Alcotest.test_case "set_curves reshapes sharing" `Quick

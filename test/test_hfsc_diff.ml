@@ -1,0 +1,351 @@
+(* Differential tests for the intrusive-tree rework: the mutable
+   intrusive ED/VT trees against the persistent originals on random
+   operation sequences, and the optimized scheduler (Hfsc) against the
+   frozen reference (Hfsc_ref) on random hierarchies and traffic —
+   asserting bit-identical dequeue decisions and float aggregates.
+
+   Between the deterministic big runs and the QCheck cases this drives
+   well over 10k operations through each pair. *)
+
+let qt ?(count = 30) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* --- ED trees: persistent vs intrusive ----------------------------- *)
+
+type ede = {
+  eid : int;
+  mutable el : float;
+  mutable dl : float;
+  mutable e_l : ede;
+  mutable e_r : ede;
+  mutable e_h : int;
+  mutable e_agg : ede;
+}
+
+let rec ed_nil =
+  { eid = -1; el = 0.; dl = 0.; e_l = ed_nil; e_r = ed_nil; e_h = 0;
+    e_agg = ed_nil }
+
+module EdP = Ds.Ed_tree.Make (struct
+  type t = ede
+
+  let id c = c.eid
+  let eligible c = c.el
+  let deadline c = c.dl
+end)
+
+module EdI = Ds.Ed_itree.Make (struct
+  type t = ede
+
+  let nil = ed_nil
+
+  let compare a b =
+    let c = Float.compare a.el b.el in
+    if c <> 0 then c else Int.compare a.eid b.eid
+
+  let eligible_le c now = c.el <= now
+  let better_deadline a b = a.dl < b.dl || (a.dl = b.dl && a.eid < b.eid)
+  let left c = c.e_l
+  let set_left c x = c.e_l <- x
+  let right c = c.e_r
+  let set_right c x = c.e_r <- x
+  let height c = c.e_h
+  let set_height c h = c.e_h <- h
+  let agg c = c.e_agg
+  let set_agg c x = c.e_agg <- x
+end)
+
+(* --- VT trees: persistent vs intrusive ----------------------------- *)
+
+type vte = {
+  vid : int;
+  mutable v : float;
+  mutable ft : float;
+  mutable v_l : vte;
+  mutable v_r : vte;
+  mutable v_h : int;
+  mutable v_agg : float; (* cached subtree min fit *)
+}
+
+let rec vt_nil =
+  { vid = -1; v = 0.; ft = 0.; v_l = vt_nil; v_r = vt_nil; v_h = 0;
+    v_agg = infinity }
+
+module VtP = Ds.Vt_tree.Make (struct
+  type t = vte
+
+  let id c = c.vid
+  let vt c = c.v
+  let fit c = c.ft
+end)
+
+module VtI = Ds.Vt_itree.Make (struct
+  type t = vte
+
+  let nil = vt_nil
+
+  let compare a b =
+    let c = Float.compare a.v b.v in
+    if c <> 0 then c else Int.compare a.vid b.vid
+
+  let fit_le c x = c.ft <= x
+  let agg_fit_le c x = c.v_agg <= x
+  let min_fit_value c = c.v_agg
+
+  let refresh_agg c =
+    let m = c.ft in
+    let l = c.v_l in
+    let m = if l != vt_nil && l.v_agg < m then l.v_agg else m in
+    let r = c.v_r in
+    let m = if r != vt_nil && r.v_agg < m then r.v_agg else m in
+    c.v_agg <- m
+
+  let left c = c.v_l
+  let set_left c x = c.v_l <- x
+  let right c = c.v_r
+  let set_right c x = c.v_r <- x
+  let height c = c.v_h
+  let set_height c h = c.v_h <- h
+end)
+
+(* Random op sequence over a (persistent, intrusive) pair, comparing
+   every query answer and the full in-order contents. Op mix: insert,
+   remove, reposition (remove + mutate key + reinsert — the scheduler's
+   usage pattern), query. *)
+let ed_diff_run ~seed ~nops =
+  let rng = Random.State.make [| seed |] in
+  let live = ref [] in
+  let nlive = ref 0 in
+  let pt = ref EdP.empty in
+  let it = ref EdI.empty in
+  let next_id = ref 0 in
+  let ok = ref true in
+  let pick () = List.nth !live (Random.State.int rng !nlive) in
+  let same a b =
+    match (a, b) with
+    | None, None -> true
+    | Some (x : ede), Some y -> x.eid = y.eid
+    | _ -> false
+  in
+  for _ = 1 to nops do
+    let r = Random.State.float rng 1. in
+    if r < 0.4 || !nlive = 0 then begin
+      incr next_id;
+      let x =
+        { eid = !next_id; el = Random.State.float rng 10.;
+          dl = Random.State.float rng 10.; e_l = ed_nil; e_r = ed_nil;
+          e_h = 0; e_agg = ed_nil }
+      in
+      pt := EdP.insert x !pt;
+      it := EdI.insert x !it;
+      live := x :: !live;
+      incr nlive
+    end
+    else if r < 0.6 then begin
+      let x = pick () in
+      live := List.filter (fun y -> y != x) !live;
+      decr nlive;
+      pt := EdP.remove x !pt;
+      it := EdI.remove x !it
+    end
+    else if r < 0.75 then begin
+      (* reposition: remove, mutate the key fields, reinsert *)
+      let x = pick () in
+      pt := EdP.remove x !pt;
+      it := EdI.remove x !it;
+      x.el <- Random.State.float rng 10.;
+      x.dl <- Random.State.float rng 10.;
+      pt := EdP.insert x !pt;
+      it := EdI.insert x !it
+    end
+    else begin
+      let now = Random.State.float rng 11. in
+      ok :=
+        !ok
+        && same (EdP.min_deadline_eligible !pt ~now)
+             (EdI.min_deadline_eligible !it ~now)
+        && same (EdP.min_eligible !pt) (EdI.min_eligible !it)
+        && EdP.cardinal !pt = EdI.cardinal !it
+    end
+  done;
+  EdI.validate !it;
+  ok :=
+    !ok
+    && List.map (fun (x : ede) -> x.eid) (EdP.to_list !pt)
+       = List.map (fun (x : ede) -> x.eid) (EdI.to_list !it);
+  !ok
+
+let vt_diff_run ~seed ~nops =
+  let rng = Random.State.make [| seed |] in
+  let live = ref [] in
+  let nlive = ref 0 in
+  let pt = ref VtP.empty in
+  let it = ref VtI.empty in
+  let next_id = ref 0 in
+  let ok = ref true in
+  let pick () = List.nth !live (Random.State.int rng !nlive) in
+  let same a b =
+    match (a, b) with
+    | None, None -> true
+    | Some (x : vte), Some y -> x.vid = y.vid
+    | _ -> false
+  in
+  for _ = 1 to nops do
+    let r = Random.State.float rng 1. in
+    if r < 0.4 || !nlive = 0 then begin
+      incr next_id;
+      let x =
+        { vid = !next_id; v = Random.State.float rng 10.;
+          ft = Random.State.float rng 10.; v_l = vt_nil; v_r = vt_nil;
+          v_h = 0; v_agg = infinity }
+      in
+      pt := VtP.insert x !pt;
+      it := VtI.insert x !it;
+      live := x :: !live;
+      incr nlive
+    end
+    else if r < 0.6 then begin
+      let x = pick () in
+      live := List.filter (fun y -> y != x) !live;
+      decr nlive;
+      pt := VtP.remove x !pt;
+      it := VtI.remove x !it
+    end
+    else if r < 0.75 then begin
+      let x = pick () in
+      pt := VtP.remove x !pt;
+      it := VtI.remove x !it;
+      x.v <- Random.State.float rng 10.;
+      x.ft <- Random.State.float rng 10.;
+      pt := VtP.insert x !pt;
+      it := VtI.insert x !it
+    end
+    else begin
+      let now = Random.State.float rng 11. in
+      ok :=
+        !ok
+        && same (VtP.first_fit !pt ~now) (VtI.first_fit !it ~now)
+        && same (VtP.min_vt !pt) (VtI.min_vt !it)
+        && same (VtP.max_vt !pt) (VtI.max_vt !it)
+        && VtP.min_fit !pt = VtI.min_fit !it
+        && VtP.cardinal !pt = VtI.cardinal !it
+    end
+  done;
+  VtI.validate !it;
+  ok :=
+    !ok
+    && List.map (fun (x : vte) -> x.vid) (VtP.to_list !pt)
+       = List.map (fun (x : vte) -> x.vid) (VtI.to_list !it);
+  !ok
+
+let test_ed_diff_big () =
+  Alcotest.(check bool) "ed trees agree over 6000 ops" true
+    (ed_diff_run ~seed:7 ~nops:6000)
+
+let test_vt_diff_big () =
+  Alcotest.(check bool) "vt trees agree over 6000 ops" true
+    (vt_diff_run ~seed:11 ~nops:6000)
+
+let ed_diff_random =
+  qt ~count:40 "ed trees: random op sequences agree"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed -> ed_diff_run ~seed ~nops:300)
+
+let vt_diff_random =
+  qt ~count:40 "vt trees: random op sequences agree"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed -> vt_diff_run ~seed ~nops:300)
+
+(* --- full schedulers: Hfsc vs Hfsc_ref ----------------------------- *)
+
+(* Drive a scheduler through a seeded enqueue/dequeue schedule and
+   render every decision and the final per-class aggregates into a
+   string; two implementations agree iff the strings are equal. Floats
+   are printed with %h, so agreement is bit-exact. *)
+module Trace (H : module type of Hfsc) = struct
+  module B = Hfsc_gen.Build (H)
+
+  let crit_int (c : H.criterion) =
+    match c with H.Realtime -> 0 | H.Linkshare -> 1
+
+  let run ~spec ~seed ~nops =
+    let link_rate = 1e6 in
+    let t, leaves = B.build_tree link_rate spec in
+    let leaves = Array.of_list leaves in
+    let nl = Array.length leaves in
+    let rng = Random.State.make [| seed |] in
+    let now = ref 0. in
+    let seqs = Array.make nl 0 in
+    let buf = Buffer.create (64 * nops) in
+    for _ = 1 to nops do
+      now := !now +. Random.State.float rng 0.002;
+      if Random.State.float rng 1. < 0.6 then begin
+        let i = Random.State.int rng nl in
+        let flow, cls, _ = leaves.(i) in
+        let size = 40 + Random.State.int rng 1460 in
+        let p = Pkt.Packet.make ~flow ~size ~seq:seqs.(i) ~arrival:!now in
+        seqs.(i) <- seqs.(i) + 1;
+        let accepted = H.enqueue t ~now:!now cls p in
+        Buffer.add_string buf
+          (Printf.sprintf "E%d:%d:%b;" flow p.Pkt.Packet.seq accepted)
+      end
+      else
+        match H.dequeue t ~now:!now with
+        | None -> Buffer.add_string buf "D-;"
+        | Some (p, c, crit) ->
+            Buffer.add_string buf
+              (Printf.sprintf "D%d:%d:%s:%d;" p.Pkt.Packet.flow
+                 p.Pkt.Packet.seq (H.name c) (crit_int crit))
+    done;
+    List.iter
+      (fun c ->
+        Buffer.add_string buf
+          (Printf.sprintf "C%s:%h:%h:%h:%d;" (H.name c) (H.total_bytes c)
+             (H.realtime_bytes c) (H.virtual_time c) (H.queue_length c)))
+      (H.classes t);
+    Buffer.contents buf
+end
+
+module TOpt = Trace (Hfsc)
+module TRef = Trace (Hfsc_ref)
+
+let det_spec =
+  let leaf k u =
+    Hfsc_gen.Leaf { rsc_kind = k; with_usc = u; share = 0.4; qlimit = 60 }
+  in
+  Hfsc_gen.Node
+    ( 0.9,
+      [
+        Hfsc_gen.Node (0.5, [ leaf 1 false; leaf 3 false; leaf 0 false ]);
+        Hfsc_gen.Node (0.5, [ leaf 2 false; leaf 1 true ]);
+        leaf 3 false;
+      ] )
+
+let test_sched_diff_big () =
+  let a = TOpt.run ~spec:det_spec ~seed:42 ~nops:12_000 in
+  let b = TRef.run ~spec:det_spec ~seed:42 ~nops:12_000 in
+  Alcotest.(check string) "identical 12k-op trace" b a
+
+let sched_diff_random =
+  qt ~count:25 "random hierarchy + schedule: Hfsc = Hfsc_ref"
+    QCheck2.Gen.(pair Hfsc_gen.tree_gen (int_range 0 100_000))
+    (fun (spec, seed) ->
+      TOpt.run ~spec ~seed ~nops:400 = TRef.run ~spec ~seed ~nops:400)
+
+let () =
+  Alcotest.run "hfsc-diff"
+    [
+      ( "trees",
+        [
+          Alcotest.test_case "ed big run" `Quick test_ed_diff_big;
+          Alcotest.test_case "vt big run" `Quick test_vt_diff_big;
+          ed_diff_random;
+          vt_diff_random;
+        ] );
+      ( "scheduler",
+        [
+          Alcotest.test_case "deterministic big run" `Quick
+            test_sched_diff_big;
+          sched_diff_random;
+        ] );
+    ]

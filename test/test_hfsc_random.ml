@@ -8,81 +8,14 @@ module Sc = Curve.Service_curve
 let qt ?(count = 60) name gen prop =
   QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
 
-type leaf_spec = {
-  rsc_kind : int; (* 0 none, 1 concave, 2 convex, 3 linear *)
-  with_usc : bool;
-  share : float;
-  qlimit : int;
-}
+(* Hierarchy/traffic generators and the builder live in Hfsc_gen, shared
+   with the differential tests (test_hfsc_diff.ml). *)
+let tree_gen = Hfsc_gen.tree_gen
+let traffic_gen = Hfsc_gen.traffic_gen
 
-type tree_spec = Leaf of leaf_spec | Node of float * tree_spec list
+module B = Hfsc_gen.Build (Hfsc)
 
-let leaf_gen =
-  QCheck2.Gen.(
-    let* rsc_kind = int_range 0 3 in
-    let* with_usc = frequency [ (5, return false); (1, return true) ] in
-    let* share = float_range 0.05 1. in
-    let* qlimit = int_range 5 200 in
-    return (Leaf { rsc_kind; with_usc; share; qlimit }))
-
-let tree_gen =
-  QCheck2.Gen.(
-    sized_size (int_range 2 8) @@ fix (fun self n ->
-        if n <= 1 then leaf_gen
-        else
-          let* fanout = int_range 2 3 in
-          let* share = float_range 0.1 1. in
-          let* children = list_size (return fanout) (self (n / fanout)) in
-          return (Node (share, children))))
-
-(* Build the generated tree; returns the leaves (flow, cls, has_usc). *)
-let build_tree link_rate spec =
-  let t = Hfsc.create ~link_rate () in
-  let flow = ref 0 in
-  let leaves = ref [] in
-  let rec go parent rate spec =
-    match spec with
-    | Leaf l ->
-        incr flow;
-        let my_rate = Float.max 1000. (rate *. l.share) in
-        let rsc =
-          match l.rsc_kind with
-          | 1 ->
-              Some
-                (Sc.make ~m1:(2. *. my_rate) ~d:0.01 ~m2:(my_rate /. 2.))
-          | 2 -> Some (Sc.make ~m1:0. ~d:0.01 ~m2:(my_rate /. 2.))
-          | 3 -> Some (Sc.linear (my_rate /. 2.))
-          | _ -> None
-        in
-        let usc =
-          if l.with_usc then Some (Sc.linear (Float.max 2000. my_rate))
-          else None
-        in
-        let cls =
-          Hfsc.add_class t ~parent
-            ~name:(Printf.sprintf "leaf%d" !flow)
-            ?rsc ~fsc:(Sc.linear my_rate) ?usc ~qlimit:l.qlimit ()
-        in
-        leaves := (!flow, cls, l.with_usc) :: !leaves
-    | Node (share, children) ->
-        let my_rate = Float.max 2000. (rate *. share) in
-        let node =
-          Hfsc.add_class t ~parent
-            ~name:(Printf.sprintf "node%d" (Hashtbl.hash spec land 0xffff))
-            ~fsc:(Sc.linear my_rate) ()
-        in
-        List.iter (go node my_rate) children
-  in
-  (match spec with
-  | Leaf _ -> go (Hfsc.root t) link_rate spec
-  | Node (_, children) -> List.iter (go (Hfsc.root t) link_rate) children);
-  (t, List.rev !leaves)
-
-let traffic_gen =
-  (* per-leaf: (kind, load factor, pkt size) *)
-  QCheck2.Gen.(
-    list_size (int_range 1 12)
-      (triple (int_range 0 2) (float_range 0.1 2.) (int_range 40 1500)))
+let build_tree = B.build_tree
 
 let run_random (spec, traffic, seed) =
   let link_rate = 1e6 in
