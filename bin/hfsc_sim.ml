@@ -30,17 +30,17 @@ let run_cmd =
       0
     end
     else begin
-      let ok = ref 0 in
+      let errors = ref 0 in
       List.iter
         (fun id ->
           match Experiments.Suite.find id with
           | Some e -> e.Experiments.Suite.run_and_print ()
           | None ->
-              incr ok;
+              incr errors;
               Printf.eprintf "unknown experiment %S (try 'hfsc_sim list')\n"
                 id)
         ids;
-      if !ok > 0 then 1 else 0
+      if !errors > 0 then 1 else 0
     end
   in
   Cmd.v (Cmd.info "run" ~doc) Term.(const run $ ids)
@@ -213,6 +213,121 @@ let simulate_cmd =
   Cmd.v (Cmd.info "simulate" ~doc)
     Term.(const run $ file $ seconds $ trace $ debug)
 
+let control_cmd =
+  let doc =
+    "Replay a timed command script against a live simulation: load a \
+     configuration file, start its sources, and at each scripted instant \
+     apply the command (add/modify/delete class, attach/detach filter, \
+     stats, trace) through the runtime control plane — admission control \
+     rejects over-committed curves with the violating breakpoint. See the \
+     Runtime.Command docs and examples/reconfigure.ctl."
+  in
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"CONFIG")
+  in
+  let script =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"SCRIPT")
+  in
+  let seconds =
+    Arg.(value & opt float 10. & info [ "time" ] ~docv:"S"
+           ~doc:"Simulated seconds.")
+  in
+  let stats_json =
+    Arg.(value & opt (some string) None
+         & info [ "stats-json" ] ~docv:"FILE"
+             ~doc:"Write final per-class stats (hfsc-runtime-stats/1) to \
+                   $(docv).")
+  in
+  let trace_dump =
+    Arg.(value & opt int 0 & info [ "trace-dump" ] ~docv:"N"
+           ~doc:"Print the last $(docv) telemetry trace events at the end.")
+  in
+  let read_file path =
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let run file script seconds stats_json trace_dump =
+    match Config.load file with
+    | Error e ->
+        Printf.eprintf "%s: %s\n" file e;
+        1
+    | Ok cfg -> (
+        List.iter
+          (fun w -> Printf.eprintf "warning: %s\n" w)
+          (Config.validate cfg);
+        match Runtime.Command.parse_script (read_file script) with
+        | Error { Runtime.Command.line; reason } ->
+            Printf.eprintf "%s:%d: %s\n" script line reason;
+            1
+        | Ok cmds ->
+            let eng = Runtime.Engine.of_config cfg in
+            let sim =
+              Netsim.Sim.create ~link_rate:cfg.Config.link_rate
+                ~sched:(Runtime.Engine.adapter eng) ()
+            in
+            List.iter
+              (fun (at, cmd) ->
+                Netsim.Sim.at sim at (fun ~now ->
+                    let cs = Format.asprintf "%a" Runtime.Command.pp cmd in
+                    match Runtime.Engine.exec eng ~now cmd with
+                    | Ok resp ->
+                        Printf.printf "[%8.3f] ok: %s\n%s" now cs
+                          (match cmd with
+                          | Runtime.Command.Stats _
+                          | Runtime.Command.Trace Runtime.Command.Trace_dump ->
+                              resp
+                          | _ -> "")
+                    | Error e ->
+                        Printf.printf "[%8.3f] rejected: %s\n           %s\n"
+                          now cs e))
+              cmds;
+            List.iter (Netsim.Sim.add_source sim)
+              (cfg.Config.sources ~until:seconds);
+            Netsim.Sim.run sim ~until:seconds;
+            Printf.printf
+              "\nlink %.2f Mb/s, %.1fs simulated, utilization %.1f%%\n\n"
+              (cfg.Config.link_rate *. 8. /. 1e6)
+              seconds
+              (Netsim.Sim.utilization sim *. 100.);
+            (match
+               Runtime.Engine.stats_text eng ()
+             with
+            | Ok s -> print_string s
+            | Error e -> Printf.eprintf "stats: %s\n" e);
+            (match stats_json with
+            | Some path ->
+                let oc = open_out_bin path in
+                Fun.protect
+                  ~finally:(fun () -> close_out_noerr oc)
+                  (fun () ->
+                    output_string oc
+                      (Json_lite.to_string (Runtime.Engine.stats_json eng)));
+                Printf.printf "\nwrote stats to %s\n" path
+            | None -> ());
+            (if trace_dump > 0 then
+               let evs =
+                 Runtime.Telemetry.events (Runtime.Engine.telemetry eng)
+               in
+               let n = List.length evs in
+               let tail =
+                 if n <= trace_dump then evs
+                 else List.filteri (fun i _ -> i >= n - trace_dump) evs
+               in
+               Printf.printf "\ntrace tail (%d of %d recorded):\n"
+                 (List.length tail)
+                 (Runtime.Telemetry.recorded_total
+                    (Runtime.Engine.telemetry eng));
+               List.iter
+                 (fun e ->
+                   print_endline (Runtime.Telemetry.event_to_string e))
+                 tail);
+            0)
+  in
+  Cmd.v (Cmd.info "control" ~doc)
+    Term.(const run $ file $ script $ seconds $ stats_json $ trace_dump)
+
 let () =
   let doc =
     "Reproduction of the H-FSC scheduler (Stoica, Zhang, Ng): experiments \
@@ -220,4 +335,6 @@ let () =
   in
   let info = Cmd.info "hfsc_sim" ~version:"1.0.0" ~doc in
   exit
-    (Cmd.eval' (Cmd.group info [ list_cmd; run_cmd; demo_cmd; simulate_cmd ]))
+    (Cmd.eval'
+       (Cmd.group info
+          [ list_cmd; run_cmd; demo_cmd; simulate_cmd; control_cmd ]))

@@ -1,0 +1,36 @@
+# A timed control script for the runtime control plane, written against
+# the examples/control.hfsc hierarchy (Fig. 1 with 5 Mbit of root
+# headroom). Run with:
+#
+#   dune exec bin/hfsc_sim.exe -- control examples/control.hfsc \
+#     examples/reconfigure.ctl --time 2
+#
+# Lines are `at TIME COMMAND`; TIME accepts the config units (500ms, 2s)
+# or bare seconds. Commands execute inside the running simulation, while
+# the data classes are backlogged.
+
+# Bring up a second voice class under the root, fed by flow 5, and route
+# UDP/5004-5005 traffic to it.
+at 0.2  add class voice2 parent root flow 5 rsc umax 160 dmax 5ms rate 64Kbit fsc 64Kbit
+at 0.3  attach filter flow 5 proto udp dport 5004 5005
+
+# Two over-commitments, both must be REJECTED with the violating
+# breakpoint: a real-time curve whose first slope exceeds the link, and
+# a link-sharing curve that doesn't fit under cmu's 20 Mbit fsc
+# (64 Kbit + 19.936 Mbit already fill it).
+at 0.5  add class burst parent root rsc m1 80Mbit d 20ms m2 1Mbit
+at 0.6  add class extra parent cmu fsc 1Mbit
+
+# Relax voice2's deadline (it is passive — flow 5 has no source — so
+# the scheduler accepts a live curve change), then look at it.
+at 0.8  modify class voice2 rsc umax 160 dmax 10ms rate 64Kbit
+at 1.0  stats voice2
+
+# Tear it back down mid-run.
+at 1.2  detach filter flow 5
+at 1.5  delete class voice2
+
+# Telemetry trace can be toggled while packets flow.
+at 1.6  trace off
+at 1.7  trace on
+at 1.9  stats

@@ -17,5 +17,28 @@ let rate_utilization ~link_rate curves =
   List.fold_left (fun acc sc -> acc +. Curve.Service_curve.rate sc) 0. curves
   /. link_rate
 
+let violating_breakpoint ~capacity curves =
+  let demand = sum_curves curves in
+  let xs =
+    List.sort_uniq Float.compare
+      (List.map (fun (x, _, _) -> x) (P.segments demand)
+      @ List.map (fun (x, _, _) -> x) (P.segments capacity))
+  in
+  let worst =
+    List.fold_left
+      (fun acc x ->
+        let d = P.eval demand x and c = P.eval capacity x in
+        match acc with
+        | Some (_, d0, c0) when d0 -. c0 >= d -. c -> acc
+        | _ when d -. c > 1e-6 -> Some (x, d, c)
+        | acc -> acc)
+      None xs
+  in
+  match worst with
+  | Some _ as v -> v
+  | None ->
+      let dr = P.final_slope demand and cr = P.final_slope capacity in
+      if dr > cr +. 1e-9 then Some (infinity, dr, cr) else None
+
 let hierarchy_consistent ~parent children =
   P.vdev (sum_curves children) (P.of_service_curve parent) <= 1e-6

@@ -16,6 +16,18 @@ val rate_utilization :
 (** [sum of asymptotic rates / link_rate] — the long-run load the
     curves commit the link to. *)
 
+val violating_breakpoint :
+  capacity:Curve.Piecewise.t ->
+  Curve.Service_curve.t list ->
+  (float * float * float) option
+(** Where (if anywhere) [sum curves] escapes [capacity]:
+    [Some (t, demand, capacity_at_t)] at the breakpoint of either side
+    with the largest excess, or [(infinity, demand_rate, capacity_rate)]
+    when the breakpoints all fit but the asymptotic rates do not; [None]
+    when admissible. Since both sides are piecewise linear, checking
+    breakpoints plus final slopes is exact — this is the report the
+    runtime control plane attaches to a rejected command. *)
+
 val hierarchy_consistent :
   parent:Curve.Service_curve.t -> Curve.Service_curve.t list -> bool
 (** Do the children's fair service curves fit under the parent's

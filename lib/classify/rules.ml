@@ -24,6 +24,8 @@ let rule ?src ?dst ?proto ?(sport = (0, 65535)) ?(dport = (0, 65535)) ~flow ()
     flow;
   }
 
+let flow_of r = r.flow
+
 type t = { rules : rule list; default : int option }
 
 let create ?default rules = { rules; default }

@@ -18,6 +18,10 @@ val rule :
     @raise Invalid_argument on malformed prefixes or empty/invalid port
     ranges. *)
 
+val flow_of : rule -> int
+(** The flow id a rule classifies to — lets a rule table be edited by
+    flow (the control plane's [detach filter flow N]). *)
+
 type t
 
 val create : ?default:int -> rule list -> t

@@ -105,6 +105,15 @@ let parse_curve st =
   | Some _ -> Curve.Service_curve.linear (parse_rate_exn (next st))
   | None -> fail "expected a curve specification"
 
+let parse_curve_tokens toks =
+  let st = { toks } in
+  try
+    let c = parse_curve st in
+    Ok (c, st.toks)
+  with
+  | Parse_error e -> Error e
+  | Invalid_argument e -> Error e
+
 (* --- statement parsing ------------------------------------------------ *)
 
 type class_spec = {

@@ -68,3 +68,11 @@ val parse_rate : string -> (float, string) result
 
 val parse_time : string -> (float, string) result
 (** Parse a time token to seconds. *)
+
+val parse_curve_tokens :
+  string list -> (Curve.Service_curve.t * string list, string) result
+(** Parse one curve specification from the front of a token list,
+    returning the curve and the remaining tokens. Accepts the same
+    three forms as class statements: a bare [RATE], [m1 R d T m2 R],
+    or [umax B dmax T rate R] (Fig. 7). Exposed so the runtime control
+    plane's command language shares this grammar. *)

@@ -956,6 +956,7 @@ let backlog_bytes t = t.bl_bytes
 (* --- introspection ------------------------------------------------- *)
 
 let name c = c.cname
+let id c = c.id
 let is_leaf c = is_leaf_cls c
 let parent c = c.cparent
 let children c = List.rev c.cchildren_rev

@@ -133,6 +133,12 @@ val backlog_bytes : t -> int
 (** {2 Class introspection} *)
 
 val name : cls -> string
+
+val id : cls -> int
+(** Small dense identifier: 0 for the root, then creation order. Ids of
+    removed classes are not reused, so an id indexes stably into
+    caller-side per-class arrays (the runtime telemetry does this). *)
+
 val is_leaf : cls -> bool
 val parent : cls -> cls option
 val children : cls -> cls list

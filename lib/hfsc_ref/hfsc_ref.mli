@@ -138,6 +138,12 @@ val backlog_bytes : t -> int
 (** {2 Class introspection} *)
 
 val name : cls -> string
+
+val id : cls -> int
+(** Small dense identifier: 0 for the root, then creation order (same
+    contract as {!Hfsc.id}, kept so the two modules stay
+    signature-compatible for the differential tests and benches). *)
+
 val is_leaf : cls -> bool
 val parent : cls -> cls option
 val children : cls -> cls list

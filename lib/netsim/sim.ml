@@ -2,6 +2,7 @@ type event =
   | Arrival of Source.t * int (* source, size; time lives on the queue *)
   | Tx_complete of Sched.Scheduler.served
   | Poll
+  | Callback of (now:float -> unit)
 
 type t = {
   link_rate : float;
@@ -44,6 +45,10 @@ let schedule_arrival t src =
 
 let add_source t src = schedule_arrival t src
 let on_departure t f = t.on_departure <- f :: t.on_departure
+
+let at t when_ f =
+  if when_ < t.now then invalid_arg "Sim.at: time is in the past";
+  Event_queue.add t.q when_ (Callback f)
 
 (* If the link is idle, pull the next packet; if the scheduler is
    backlogged but rate-capped, arm a poll for its next-ready instant. *)
@@ -99,6 +104,11 @@ let handle t = function
       try_start t
   | Poll ->
       t.poll_at <- infinity;
+      try_start t
+  | Callback f ->
+      f ~now:t.now;
+      (* the callback may have reconfigured the scheduler (classes
+         added/removed, curves changed): re-poll it *)
       try_start t
 
 let run t ~until =

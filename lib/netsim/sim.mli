@@ -31,6 +31,16 @@ val add_source : t -> Source.t -> unit
 val on_departure : t -> (now:float -> Sched.Scheduler.served -> unit) -> unit
 (** Register a callback fired as each packet finishes transmission. *)
 
+val at : t -> float -> (now:float -> unit) -> unit
+(** [at t when f] schedules [f] to run as an ordinary event at absolute
+    simulated time [when] — the mid-run reconfiguration hook: the
+    callback may mutate the scheduler (add/modify/delete classes through
+    the runtime control plane) between packets, and the simulator
+    re-polls the scheduler afterwards in case the change opened or
+    closed service.
+
+    @raise Invalid_argument if [when] is before the current time. *)
+
 val run : t -> until:float -> unit
 (** Process all events up to and including time [until]. May be called
     repeatedly with increasing horizons. *)

@@ -1,0 +1,217 @@
+type curve_updates = {
+  rsc : Curve.Service_curve.t option;
+  fsc : Curve.Service_curve.t option;
+  usc : Curve.Service_curve.t option;
+}
+
+type filter_spec = {
+  fflow : int;
+  fsrc : string option;
+  fdst : string option;
+  fproto : Pkt.Header.proto option;
+  fsport : (int * int) option;
+  fdport : (int * int) option;
+}
+
+type trace_op = Trace_on | Trace_off | Trace_dump
+
+type t =
+  | Add_class of {
+      name : string;
+      parent : string;
+      flow : int option;
+      curves : curve_updates;
+      qlimit : int option;
+    }
+  | Modify_class of { name : string; curves : curve_updates }
+  | Delete_class of string
+  | Attach_filter of filter_spec
+  | Detach_filter of int
+  | Stats of string option
+  | Trace of trace_op
+
+type error = { line : int; reason : string }
+
+exception Err of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Err s)) fmt
+
+let int_tok s =
+  match int_of_string_opt s with
+  | Some v -> v
+  | None -> fail "expected an integer, got %S" s
+
+let curve toks =
+  match Config.parse_curve_tokens toks with
+  | Ok (c, rest) -> (c, rest)
+  | Error e -> fail "%s" e
+
+let no_curves = { rsc = None; fsc = None; usc = None }
+
+(* Attribute loop shared by add/modify: [allow_struct] admits the
+   structural attributes (flow/qlimit) that only make sense at class
+   creation. *)
+let rec class_attrs ~allow_struct (curves, flow, qlimit) = function
+  | [] -> (curves, flow, qlimit)
+  | "rsc" :: rest ->
+      let c, rest = curve rest in
+      class_attrs ~allow_struct ({ curves with rsc = Some c }, flow, qlimit) rest
+  | "fsc" :: rest ->
+      let c, rest = curve rest in
+      class_attrs ~allow_struct ({ curves with fsc = Some c }, flow, qlimit) rest
+  | "ulimit" :: rest ->
+      let c, rest = curve rest in
+      class_attrs ~allow_struct ({ curves with usc = Some c }, flow, qlimit) rest
+  | "flow" :: n :: rest when allow_struct ->
+      class_attrs ~allow_struct (curves, Some (int_tok n), qlimit) rest
+  | "qlimit" :: n :: rest when allow_struct ->
+      class_attrs ~allow_struct (curves, flow, Some (int_tok n)) rest
+  | kw :: _ -> fail "unknown class attribute %S" kw
+
+let proto_tok = function
+  | "tcp" -> Pkt.Header.Tcp
+  | "udp" -> Pkt.Header.Udp
+  | "icmp" -> Pkt.Header.Icmp
+  | s -> Pkt.Header.Other (int_tok s)
+
+let rec filter_attrs f = function
+  | [] -> f
+  | "src" :: p :: rest -> filter_attrs { f with fsrc = Some p } rest
+  | "dst" :: p :: rest -> filter_attrs { f with fdst = Some p } rest
+  | "proto" :: p :: rest -> filter_attrs { f with fproto = Some (proto_tok p) } rest
+  | "sport" :: lo :: hi :: rest ->
+      filter_attrs { f with fsport = Some (int_tok lo, int_tok hi) } rest
+  | "dport" :: lo :: hi :: rest ->
+      filter_attrs { f with fdport = Some (int_tok lo, int_tok hi) } rest
+  | kw :: _ -> fail "unknown filter attribute %S" kw
+
+let parse_tokens = function
+  | "add" :: "class" :: name :: "parent" :: parent :: rest ->
+      let curves, flow, qlimit =
+        class_attrs ~allow_struct:true (no_curves, None, None) rest
+      in
+      if curves.rsc = None && curves.fsc = None then
+        fail "class %S needs an rsc or an fsc" name;
+      Add_class { name; parent; flow; curves; qlimit }
+  | "add" :: "class" :: _ -> fail "add class: expected NAME parent PARENT"
+  | "modify" :: "class" :: name :: rest ->
+      let curves, _, _ =
+        class_attrs ~allow_struct:false (no_curves, None, None) rest
+      in
+      if curves = no_curves then fail "modify class %S: nothing to change" name;
+      Modify_class { name; curves }
+  | [ "delete"; "class"; name ] -> Delete_class name
+  | "delete" :: "class" :: _ -> fail "delete class: expected exactly one NAME"
+  | "attach" :: "filter" :: "flow" :: n :: rest ->
+      Attach_filter
+        (filter_attrs
+           {
+             fflow = int_tok n;
+             fsrc = None;
+             fdst = None;
+             fproto = None;
+             fsport = None;
+             fdport = None;
+           }
+           rest)
+  | "attach" :: "filter" :: _ -> fail "attach filter: expected flow N first"
+  | [ "detach"; "filter"; "flow"; n ] -> Detach_filter (int_tok n)
+  | "detach" :: _ -> fail "detach: expected 'detach filter flow N'"
+  | [ "stats" ] -> Stats None
+  | [ "stats"; name ] -> Stats (Some name)
+  | "stats" :: _ -> fail "stats takes at most one class name"
+  | [ "trace"; "on" ] -> Trace Trace_on
+  | [ "trace"; "off" ] -> Trace Trace_off
+  | [ "trace"; "dump" ] -> Trace Trace_dump
+  | "trace" :: _ -> fail "trace takes one of: on, off, dump"
+  | kw :: _ -> fail "unknown command %S" kw
+  | [] -> fail "empty command"
+
+let tokenize line =
+  let line =
+    match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  String.split_on_char ' ' line
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun s -> s <> "")
+
+let parse s =
+  match tokenize s with
+  | [] -> Error "empty command"
+  | toks -> ( try Ok (parse_tokens toks) with Err e -> Error e)
+
+let time_tok s =
+  match Config.parse_time s with
+  | Ok v -> v
+  | Error _ -> (
+      (* also accept bare seconds, the convenient form in scripts *)
+      match float_of_string_opt s with
+      | Some v when Float.is_finite v && v >= 0. -> v
+      | _ -> fail "bad time %S (want e.g. 500ms, 2s or bare seconds)" s)
+
+let parse_script text =
+  let parse_line line =
+    match tokenize line with
+    | [] -> None
+    | toks -> (
+        let at, toks =
+          match toks with
+          | "at" :: ts :: rest -> (time_tok ts, rest)
+          | toks -> (0., toks)
+        in
+        match toks with
+        | [] -> fail "nothing after 'at %g'" at
+        | toks -> Some (at, parse_tokens toks))
+  in
+  let rec go n acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+        match parse_line line with
+        | None -> go (n + 1) acc rest
+        | Some cmd -> go (n + 1) (cmd :: acc) rest
+        | exception Err reason -> Error { line = n; reason })
+  in
+  go 1 [] (String.split_on_char '\n' text)
+
+let pp_curves ppf c =
+  let one tag = function
+    | Some s -> Format.fprintf ppf " %s %a" tag Curve.Service_curve.pp s
+    | None -> ()
+  in
+  one "rsc" c.rsc;
+  one "fsc" c.fsc;
+  one "ulimit" c.usc
+
+let pp ppf = function
+  | Add_class { name; parent; flow; curves; qlimit } ->
+      Format.fprintf ppf "add class %s parent %s" name parent;
+      (match flow with Some f -> Format.fprintf ppf " flow %d" f | None -> ());
+      pp_curves ppf curves;
+      (match qlimit with
+      | Some q -> Format.fprintf ppf " qlimit %d" q
+      | None -> ())
+  | Modify_class { name; curves } ->
+      Format.fprintf ppf "modify class %s" name;
+      pp_curves ppf curves
+  | Delete_class name -> Format.fprintf ppf "delete class %s" name
+  | Attach_filter f ->
+      Format.fprintf ppf "attach filter flow %d" f.fflow;
+      (match f.fsrc with Some p -> Format.fprintf ppf " src %s" p | None -> ());
+      (match f.fdst with Some p -> Format.fprintf ppf " dst %s" p | None -> ());
+      (match f.fproto with
+      | Some p -> Format.fprintf ppf " proto %d" (Pkt.Header.proto_number p)
+      | None -> ());
+      (match f.fsport with
+      | Some (lo, hi) -> Format.fprintf ppf " sport %d %d" lo hi
+      | None -> ());
+      (match f.fdport with
+      | Some (lo, hi) -> Format.fprintf ppf " dport %d %d" lo hi
+      | None -> ())
+  | Detach_filter flow -> Format.fprintf ppf "detach filter flow %d" flow
+  | Stats None -> Format.fprintf ppf "stats"
+  | Stats (Some n) -> Format.fprintf ppf "stats %s" n
+  | Trace Trace_on -> Format.fprintf ppf "trace on"
+  | Trace Trace_off -> Format.fprintf ppf "trace off"
+  | Trace Trace_dump -> Format.fprintf ppf "trace dump"

@@ -1,0 +1,67 @@
+(** The control plane's command language — the moral equivalent of
+    [tc class add/change/del] / altq's runtime interface, sharing
+    lib/config's rate, time and curve grammar.
+
+    One command per line; [#] starts a comment; tokens are
+    whitespace-separated. Curves use exactly the class-statement forms
+    of {!Config}: a bare [RATE], [m1 RATE d TIME m2 RATE], or
+    [umax BYTES dmax TIME rate RATE].
+
+    {v
+    add class NAME parent PARENT [flow N] [rsc CURVE] [fsc CURVE]
+                                 [ulimit CURVE] [qlimit N]
+    modify class NAME [rsc CURVE] [fsc CURVE] [ulimit CURVE]
+    delete class NAME
+    attach filter flow N [src CIDR] [dst CIDR] [proto tcp|udp|icmp|NUM]
+                         [sport LO HI] [dport LO HI]
+    detach filter flow N
+    stats [NAME]
+    trace on|off|dump
+    v}
+
+    A {e script} is a sequence of such lines, each optionally prefixed
+    with [at TIME] (absolute simulated time; bare seconds or a
+    unit-suffixed time token). Lines without a prefix run at 0. *)
+
+type curve_updates = {
+  rsc : Curve.Service_curve.t option;
+  fsc : Curve.Service_curve.t option;
+  usc : Curve.Service_curve.t option;
+}
+
+type filter_spec = {
+  fflow : int;
+  fsrc : string option;
+  fdst : string option;
+  fproto : Pkt.Header.proto option;
+  fsport : (int * int) option;
+  fdport : (int * int) option;
+}
+
+type trace_op = Trace_on | Trace_off | Trace_dump
+
+type t =
+  | Add_class of {
+      name : string;
+      parent : string;
+      flow : int option;
+      curves : curve_updates;
+      qlimit : int option;
+    }
+  | Modify_class of { name : string; curves : curve_updates }
+  | Delete_class of string
+  | Attach_filter of filter_spec
+  | Detach_filter of int  (** by flow id *)
+  | Stats of string option
+  | Trace of trace_op
+
+type error = { line : int; reason : string }
+
+val parse : string -> (t, string) result
+(** Parse a single command (no [at] prefix, no comment handling). *)
+
+val parse_script : string -> ((float * t) list, error) result
+(** Parse a whole script; commands are returned in file order with
+    their absolute times. Errors carry the 1-based line number. *)
+
+val pp : Format.formatter -> t -> unit

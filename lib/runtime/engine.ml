@@ -1,0 +1,410 @@
+module Sc = Curve.Service_curve
+module Pw = Curve.Piecewise
+
+type t = {
+  sched : Hfsc.t;
+  link_rate : float;
+  tele : Telemetry.t;
+  flows : (int, Hfsc.cls) Hashtbl.t;
+  mutable filters : Classify.Rules.rule list; (* in match order *)
+  mutable table : Classify.Rules.t;
+}
+
+let announce t cls =
+  Telemetry.ensure_class t.tele ~id:(Hfsc.id cls);
+  Telemetry.set_rsc t.tele ~id:(Hfsc.id cls) (Hfsc.rsc cls)
+
+let create ?trace_capacity ?tracing ~link_rate sched ~flow_map () =
+  let t =
+    {
+      sched;
+      link_rate;
+      tele = Telemetry.create ?trace_capacity ?tracing ();
+      flows = Hashtbl.create 16;
+      filters = [];
+      table = Classify.Rules.create [];
+    }
+  in
+  List.iter (announce t) (Hfsc.classes sched);
+  List.iter
+    (fun (flow, cls) ->
+      if not (Hfsc.is_leaf cls) then
+        invalid_arg "Engine.create: flow mapped to interior class";
+      if Hashtbl.mem t.flows flow then
+        invalid_arg "Engine.create: duplicate flow id";
+      Hashtbl.replace t.flows flow cls)
+    flow_map;
+  t
+
+let of_config ?trace_capacity ?tracing (cfg : Config.t) =
+  create ?trace_capacity ?tracing ~link_rate:cfg.Config.link_rate
+    cfg.Config.scheduler ~flow_map:cfg.Config.flow_map ()
+
+let scheduler t = t.sched
+let telemetry t = t.tele
+let flow_class t flow = Hashtbl.find_opt t.flows flow
+
+let classify t h =
+  match Classify.Rules.classify t.table h with
+  | None -> None
+  | Some flow -> Hashtbl.find_opt t.flows flow
+
+let filter_count t = List.length t.filters
+
+(* --- admission ----------------------------------------------------- *)
+
+let pp_violation ~what (at, demand, capacity) =
+  if Float.is_finite at then
+    Printf.sprintf
+      "%s infeasible at breakpoint t=%.6gs: demand %.0f B > capacity %.0f B"
+      what at demand capacity
+  else
+    Printf.sprintf
+      "%s infeasible asymptotically: demand rate %.0f B/s > capacity %.0f B/s"
+      what demand capacity
+
+(* Sum of all leaves' rsc with [replace] swapped in for [target] (or
+   appended when [target] is None) must fit under the link curve. *)
+let check_rsc t ~target ~replace =
+  let curves =
+    List.filter_map
+      (fun c ->
+        match target with
+        | Some tc when tc == c -> replace
+        | _ -> if Hfsc.is_leaf c then Hfsc.rsc c else None)
+      (Hfsc.classes t.sched)
+  in
+  let curves =
+    match target with None -> Option.to_list replace @ curves | Some _ -> curves
+  in
+  match
+    Analysis.Admission.violating_breakpoint
+      ~capacity:(Pw.linear ~slope:t.link_rate) curves
+  with
+  | None -> Ok ()
+  | Some v -> Error (pp_violation ~what:"real-time guarantees" v)
+
+(* Children's fsc under [parent] — with [replace] for [target], or
+   appended as a prospective new child — must fit under the parent's
+   own fsc. A parent with no fsc of its own constrains nothing. *)
+let check_fsc_under t ~parent ~target ~replace =
+  match Hfsc.fsc parent with
+  | None -> Ok ()
+  | Some pfsc -> (
+      let curves =
+        List.filter_map
+          (fun c ->
+            match target with
+            | Some tc when tc == c -> replace
+            | _ -> Hfsc.fsc c)
+          (Hfsc.children parent)
+      in
+      let curves =
+        match target with
+        | None -> Option.to_list replace @ curves
+        | Some _ -> curves
+      in
+      ignore t;
+      match
+        Analysis.Admission.violating_breakpoint
+          ~capacity:(Pw.of_service_curve pfsc) curves
+      with
+      | None -> Ok ()
+      | Some v ->
+          Error
+            (pp_violation
+               ~what:
+                 (Printf.sprintf "link-sharing under class %S"
+                    (Hfsc.name parent))
+               v))
+
+(* --- command execution --------------------------------------------- *)
+
+let ( let* ) = Result.bind
+
+let find t name =
+  match Hfsc.find_class t.sched name with
+  | Some c -> Ok c
+  | None -> Error (Printf.sprintf "unknown class %S" name)
+
+let exec_add t (a : Command.curve_updates) ~name ~parent ~flow ~qlimit =
+  let* () =
+    match Hfsc.find_class t.sched name with
+    | Some _ -> Error (Printf.sprintf "class %S already exists" name)
+    | None -> Ok ()
+  in
+  let* parent_cls = find t parent in
+  let* () =
+    match flow with
+    | Some f when Hashtbl.mem t.flows f ->
+        Error (Printf.sprintf "flow %d is already mapped" f)
+    | _ -> Ok ()
+  in
+  let* () =
+    match a.rsc with
+    | Some _ -> check_rsc t ~target:None ~replace:a.rsc
+    | None -> Ok ()
+  in
+  (* Hfsc.add_class defaults a missing fsc to the rsc; admission must
+     judge the same effective curve *)
+  let eff_fsc = match a.fsc with Some _ as f -> f | None -> a.rsc in
+  let* () = check_fsc_under t ~parent:parent_cls ~target:None ~replace:eff_fsc in
+  let* cls =
+    try
+      Ok
+        (Hfsc.add_class t.sched ~parent:parent_cls ~name ?rsc:a.rsc ?fsc:a.fsc
+           ?usc:a.usc ?qlimit ())
+    with Invalid_argument e -> Error e
+  in
+  announce t cls;
+  (match flow with Some f -> Hashtbl.replace t.flows f cls | None -> ());
+  Ok
+    (Printf.sprintf "added class %S (id %d) under %S%s" name (Hfsc.id cls)
+       parent
+       (match flow with
+       | Some f -> Printf.sprintf ", flow %d" f
+       | None -> ""))
+
+let exec_modify t (a : Command.curve_updates) ~name =
+  let* cls = find t name in
+  let* () =
+    match a.rsc with
+    | Some _ -> check_rsc t ~target:(Some cls) ~replace:a.rsc
+    | None -> Ok ()
+  in
+  let* () =
+    match (a.fsc, Hfsc.parent cls) with
+    | Some _, Some p -> check_fsc_under t ~parent:p ~target:(Some cls) ~replace:a.fsc
+    | _ -> Ok ()
+  in
+  (* an interior class's new fsc must still cover its own children *)
+  let* () =
+    match a.fsc with
+    | Some nfsc when not (Hfsc.is_leaf cls) -> (
+        match
+          Analysis.Admission.violating_breakpoint
+            ~capacity:(Pw.of_service_curve nfsc)
+            (List.filter_map Hfsc.fsc (Hfsc.children cls))
+        with
+        | None -> Ok ()
+        | Some v ->
+            Error
+              (pp_violation
+                 ~what:
+                   (Printf.sprintf "children of class %S against its new fsc"
+                      name)
+                 v))
+    | _ -> Ok ()
+  in
+  let* () =
+    try
+      Ok (Hfsc.set_curves t.sched cls ?rsc:a.rsc ?fsc:a.fsc ?usc:a.usc ())
+    with Invalid_argument e -> Error e
+  in
+  (match a.rsc with
+  | Some _ -> Telemetry.set_rsc t.tele ~id:(Hfsc.id cls) (Hfsc.rsc cls)
+  | None -> ());
+  Ok (Printf.sprintf "modified class %S" name)
+
+let exec_delete t ~name =
+  let* cls = find t name in
+  let* () =
+    try Ok (Hfsc.remove_class t.sched cls)
+    with Invalid_argument e -> Error e
+  in
+  let dead =
+    Hashtbl.fold (fun f c acc -> if c == cls then f :: acc else acc) t.flows []
+  in
+  List.iter (Hashtbl.remove t.flows) dead;
+  Ok
+    (Printf.sprintf "deleted class %S%s" name
+       (match dead with
+       | [] -> ""
+       | fs ->
+           Printf.sprintf " (unmapped flow%s %s)"
+             (if List.length fs > 1 then "s" else "")
+             (String.concat ", " (List.map string_of_int fs))))
+
+let rebuild_table t = t.table <- Classify.Rules.create t.filters
+
+let exec_attach t (f : Command.filter_spec) =
+  let* () =
+    if Hashtbl.mem t.flows f.fflow then Ok ()
+    else Error (Printf.sprintf "filter flow %d is not mapped to a class" f.fflow)
+  in
+  let* rule =
+    try
+      Ok
+        (Classify.Rules.rule ?src:f.fsrc ?dst:f.fdst ?proto:f.fproto
+           ?sport:f.fsport ?dport:f.fdport ~flow:f.fflow ())
+    with Invalid_argument e -> Error e
+  in
+  t.filters <- t.filters @ [ rule ];
+  rebuild_table t;
+  Ok
+    (Printf.sprintf "attached filter -> flow %d (%d filter%s)" f.fflow
+       (List.length t.filters)
+       (if List.length t.filters > 1 then "s" else ""))
+
+let exec_detach t flow =
+  let keep, dropped =
+    List.partition (fun r -> Classify.Rules.flow_of r <> flow) t.filters
+  in
+  match dropped with
+  | [] -> Error (Printf.sprintf "no filter attached to flow %d" flow)
+  | _ ->
+      t.filters <- keep;
+      rebuild_table t;
+      Ok
+        (Printf.sprintf "detached %d filter%s from flow %d"
+           (List.length dropped)
+           (if List.length dropped > 1 then "s" else "")
+           flow)
+
+(* --- stats --------------------------------------------------------- *)
+
+let curve_json = function
+  | None -> Json_lite.Null
+  | Some (s : Sc.t) ->
+      Json_lite.Obj
+        [
+          ("m1", Json_lite.Num s.Sc.m1);
+          ("d", Json_lite.Num s.Sc.d);
+          ("m2", Json_lite.Num s.Sc.m2);
+        ]
+
+let class_json t cls =
+  let c = Telemetry.counters t.tele ~id:(Hfsc.id cls) in
+  Json_lite.Obj
+    ([
+       ("name", Json_lite.Str (Hfsc.name cls));
+       ("id", Json_lite.Num (float_of_int (Hfsc.id cls)));
+       ( "parent",
+         match Hfsc.parent cls with
+         | Some p -> Json_lite.Str (Hfsc.name p)
+         | None -> Json_lite.Null );
+       ("leaf", Json_lite.Bool (Hfsc.is_leaf cls));
+       ("rsc", curve_json (Hfsc.rsc cls));
+       ("fsc", curve_json (Hfsc.fsc cls));
+       ("usc", curve_json (Hfsc.usc cls));
+       ("queue_pkts", Json_lite.Num (float_of_int (Hfsc.queue_length cls)));
+       ("queue_bytes", Json_lite.Num (float_of_int (Hfsc.queue_bytes cls)));
+     ]
+    @ Telemetry.counters_fields c)
+
+let stats_json t =
+  Json_lite.Obj
+    [
+      ("schema", Json_lite.Str "hfsc-runtime-stats/1");
+      ("link_rate_Bps", Json_lite.Num t.link_rate);
+      ( "classes",
+        Json_lite.List (List.map (class_json t) (Hfsc.classes t.sched)) );
+      ( "trace",
+        Json_lite.Obj
+          [
+            ( "capacity",
+              Json_lite.Num (float_of_int (Telemetry.trace_capacity t.tele)) );
+            ( "recorded",
+              Json_lite.Num (float_of_int (Telemetry.recorded_total t.tele)) );
+          ] );
+    ]
+
+let class_line b cls c =
+  Printf.bprintf b
+    "%-12s %5d/%-10d rt %7d/%-11d ls %7d/%-11d drop %-5d miss %-5d hiw %d/%d\n"
+    (Hfsc.name cls) c.Telemetry.enq_pkts c.Telemetry.enq_bytes
+    c.Telemetry.rt_pkts c.Telemetry.rt_bytes c.Telemetry.ls_pkts
+    c.Telemetry.ls_bytes c.Telemetry.drop_pkts c.Telemetry.deadline_misses
+    c.Telemetry.hiwater_pkts c.Telemetry.hiwater_bytes
+
+let stats_text t ?cls () =
+  let b = Buffer.create 256 in
+  Printf.bprintf b
+    "%-12s %-16s %-22s %-22s %-10s %-10s %s\n" "class" "enq p/B" "rt p/B"
+    "ls p/B" "drops" "misses" "hiwater p/B";
+  match cls with
+  | Some name ->
+      let* c = find t name in
+      class_line b c (Telemetry.counters t.tele ~id:(Hfsc.id c));
+      Ok (Buffer.contents b)
+  | None ->
+      List.iter
+        (fun c -> class_line b c (Telemetry.counters t.tele ~id:(Hfsc.id c)))
+        (Hfsc.classes t.sched);
+      Ok (Buffer.contents b)
+
+(* --- exec ---------------------------------------------------------- *)
+
+let exec t ~now cmd =
+  ignore now;
+  match (cmd : Command.t) with
+  | Add_class { name; parent; flow; curves; qlimit } ->
+      exec_add t curves ~name ~parent ~flow ~qlimit
+  | Modify_class { name; curves } -> exec_modify t curves ~name
+  | Delete_class name -> exec_delete t ~name
+  | Attach_filter f -> exec_attach t f
+  | Detach_filter flow -> exec_detach t flow
+  | Stats cls -> stats_text t ?cls ()
+  | Trace Trace_on ->
+      Telemetry.set_tracing t.tele true;
+      Ok "trace on"
+  | Trace Trace_off ->
+      Telemetry.set_tracing t.tele false;
+      Ok "trace off"
+  | Trace Trace_dump -> Ok (Telemetry.trace_text t.tele)
+
+let exec_script t cmds =
+  List.map (fun (at, cmd) -> (at, cmd, exec t ~now:at cmd)) cmds
+
+(* --- the data path -------------------------------------------------- *)
+
+let enqueue t ~now cls pkt =
+  let id = Hfsc.id cls in
+  if Hfsc.enqueue t.sched ~now cls pkt then begin
+    Telemetry.note_enqueue t.tele ~id ~now ~size:pkt.Pkt.Packet.size
+      ~flow:pkt.Pkt.Packet.flow ~seq:pkt.Pkt.Packet.seq
+      ~qlen:(Hfsc.queue_length cls) ~qbytes:(Hfsc.queue_bytes cls);
+    true
+  end
+  else begin
+    Telemetry.note_drop t.tele ~id ~now ~size:pkt.Pkt.Packet.size
+      ~flow:pkt.Pkt.Packet.flow ~seq:pkt.Pkt.Packet.seq;
+    false
+  end
+
+let enqueue_flow t ~now pkt =
+  match Hashtbl.find_opt t.flows pkt.Pkt.Packet.flow with
+  | None -> false
+  | Some cls -> enqueue t ~now cls pkt
+
+let dequeue t ~now =
+  let r = Hfsc.dequeue t.sched ~now in
+  (match r with
+  | Some (pkt, cls, crit) ->
+      Telemetry.note_dequeue t.tele ~id:(Hfsc.id cls) ~now
+        ~size:pkt.Pkt.Packet.size ~flow:pkt.Pkt.Packet.flow
+        ~seq:pkt.Pkt.Packet.seq ~arrival:pkt.Pkt.Packet.arrival
+        ~realtime:(match crit with Hfsc.Realtime -> true | Hfsc.Linkshare -> false)
+  | None -> ());
+  r
+
+let adapter t =
+  {
+    Sched.Scheduler.name = "hfsc-runtime";
+    enqueue = (fun ~now p -> enqueue_flow t ~now p);
+    dequeue =
+      (fun ~now ->
+        match dequeue t ~now with
+        | None -> None
+        | Some (pkt, cls, crit) ->
+            Some
+              {
+                Sched.Scheduler.pkt;
+                cls = Hfsc.name cls;
+                criterion =
+                  (match crit with Hfsc.Realtime -> "rt" | Linkshare -> "ls");
+              });
+    next_ready = (fun ~now -> Hfsc.next_ready_time t.sched ~now);
+    backlog_pkts = (fun () -> Hfsc.backlog_pkts t.sched);
+    backlog_bytes = (fun () -> Hfsc.backlog_bytes t.sched);
+  }

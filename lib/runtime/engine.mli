@@ -1,0 +1,93 @@
+(** The control-plane engine: executes {!Command}s against a {e live}
+    {!Hfsc.t} — one that may hold backlog while the hierarchy changes —
+    with admission control in front and {!Telemetry} behind.
+
+    {b Admission rule} (the fluid-flow SCED feasibility condition,
+    Section II, applied at every two-piece breakpoint): a command that
+    adds or changes curves is rejected unless
+
+    - the real-time curves of all leaves (with the change applied) sum
+      to at most the link's service curve [R·t], and
+    - under every interior class, the children's fair service curves
+      sum to at most the parent's own fair service curve.
+
+    Both sides are piecewise linear, so checking each breakpoint plus
+    the asymptotic rates is exact; a rejection reports the violating
+    breakpoint (time, demand, capacity). Commands that would violate
+    the scheduler's structural invariants (modifying an active class,
+    deleting a backlogged one) are rejected with the scheduler's own
+    reason — nothing is partially applied. *)
+
+type t
+
+val create :
+  ?trace_capacity:int ->
+  ?tracing:bool ->
+  link_rate:float ->
+  Hfsc.t ->
+  flow_map:(int * Hfsc.cls) list ->
+  unit ->
+  t
+(** Wrap an existing scheduler. [link_rate] is in bytes/second (the
+    admission capacity); [flow_map] seeds the flow-to-leaf routing that
+    [add class ... flow N] extends at runtime. *)
+
+val of_config : ?trace_capacity:int -> ?tracing:bool -> Config.t -> t
+
+val scheduler : t -> Hfsc.t
+val telemetry : t -> Telemetry.t
+
+val flow_class : t -> int -> Hfsc.cls option
+(** Current leaf for a flow id (changes as commands run). *)
+
+val classify : t -> Pkt.Header.t -> Hfsc.cls option
+(** Route a header through the attached filters (first match wins) to
+    its leaf class; [None] if no filter matches or the matched flow is
+    unmapped. *)
+
+val filter_count : t -> int
+
+val exec : t -> now:float -> Command.t -> (string, string) result
+(** Execute one command at time [now]. [Ok] carries a human-readable
+    response (stats tables, trace dumps, confirmations); [Error] the
+    structured reason — admission rejections include the violating
+    breakpoint. The scheduler is never left half-modified. *)
+
+val exec_script :
+  t ->
+  (float * Command.t) list ->
+  (float * Command.t * (string, string) result) list
+(** The offline form (no simulator): apply every command in script
+    order, each at its scripted time, returning each command's outcome
+    alongside it. Inside a simulation use {!Netsim.Sim.at} to interleave
+    {!exec} calls with traffic instead. *)
+
+(** {2 The data path} — thin allocation-free wrappers over {!Hfsc}
+    that keep telemetry. *)
+
+val enqueue : t -> now:float -> Hfsc.cls -> Pkt.Packet.t -> bool
+val enqueue_flow : t -> now:float -> Pkt.Packet.t -> bool
+(** Route by the packet's flow id; [false] if the flow is unmapped or
+    the class queue is full (counted as a drop when mapped). *)
+
+val dequeue :
+  t -> now:float -> (Pkt.Packet.t * Hfsc.cls * Hfsc.criterion) option
+(** Exactly {!Hfsc.dequeue} (the returned value is the scheduler's own,
+    not a copy) plus counter and trace updates — zero additional
+    allocation; the bench's telemetry-overhead comparison measures this
+    function against the bare scheduler. *)
+
+val adapter : t -> Sched.Scheduler.t
+(** Package the engine for {!Netsim.Sim}, replacing
+    [Netsim.Adapters.of_hfsc] when telemetry is wanted. *)
+
+(** {2 Exporters} *)
+
+val stats_json : t -> Json_lite.t
+(** Schema [hfsc-runtime-stats/1]: link rate, one record per class
+    (identity, curves, queue depth, all telemetry counters), and the
+    trace ring's occupancy. *)
+
+val stats_text : t -> ?cls:string -> unit -> (string, string) result
+(** The [stats] command body: a table over all classes, or one class's
+    counters; [Error] on an unknown class name. *)

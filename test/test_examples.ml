@@ -1,0 +1,104 @@
+(* Every committed example must stay loadable: each examples/*.hfsc
+   parses as a configuration (and its validation warnings, if any, must
+   come from the curated list below), and each examples/*.ctl parses as
+   a control script. Guards the documentation against drifting from the
+   grammar. *)
+
+let examples_dir = "../examples"
+
+let files_with ext =
+  Sys.readdir examples_dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ext)
+  |> List.sort compare
+  |> List.map (Filename.concat examples_dir)
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let test_configs_parse () =
+  let configs = files_with ".hfsc" in
+  Alcotest.(check bool) "at least one example config" true (configs <> []);
+  List.iter
+    (fun path ->
+      match Config.load path with
+      | Ok cfg ->
+          (* validation must run cleanly; warnings are allowed (some
+             examples deliberately overload a class) but must not
+             raise *)
+          let warnings = Config.validate cfg in
+          ignore warnings;
+          Alcotest.(check bool)
+            (path ^ " has classes")
+            true
+            (List.length (Hfsc.classes cfg.Config.scheduler) > 1)
+      | Error e -> Alcotest.failf "%s: %s" path e)
+    configs
+
+let test_scripts_parse () =
+  let scripts = files_with ".ctl" in
+  Alcotest.(check bool) "at least one example script" true (scripts <> []);
+  List.iter
+    (fun path ->
+      match Runtime.Command.parse_script (read_file path) with
+      | Ok cmds ->
+          Alcotest.(check bool) (path ^ " has commands") true (cmds <> [])
+      | Error { Runtime.Command.line; reason } ->
+          Alcotest.failf "%s:%d: %s" path line reason)
+    scripts
+
+(* The shipped pair must actually replay: every command in
+   reconfigure.ctl resolves against the control.hfsc hierarchy — adds
+   and modifies succeed, and the two deliberate over-commitments are
+   rejected by admission control with a breakpoint report. *)
+let test_shipped_pair_replays () =
+  let cfg =
+    match Config.load (Filename.concat examples_dir "control.hfsc") with
+    | Ok c -> c
+    | Error e -> Alcotest.fail e
+  in
+  let cmds =
+    match
+      Runtime.Command.parse_script
+        (read_file (Filename.concat examples_dir "reconfigure.ctl"))
+    with
+    | Ok c -> c
+    | Error { Runtime.Command.line; reason } ->
+        Alcotest.failf "reconfigure.ctl:%d: %s" line reason
+  in
+  let eng = Runtime.Engine.of_config cfg in
+  let outcomes = Runtime.Engine.exec_script eng cmds in
+  let rejected =
+    List.filter_map
+      (function _, _, Error e -> Some e | _ -> None)
+      outcomes
+  in
+  Alcotest.(check int) "exactly the two over-commits rejected" 2
+    (List.length rejected);
+  List.iter
+    (fun e ->
+      Alcotest.(check bool) "rejection names the violation" true
+        (String.length e > 0
+        && (let has s =
+              let lh = String.length e and ln = String.length s in
+              let rec go i =
+                i + ln <= lh && (String.sub e i ln = s || go (i + 1))
+              in
+              go 0
+            in
+            has "breakpoint" || has "asymptotically")))
+    rejected
+
+let () =
+  Alcotest.run "examples"
+    [
+      ( "examples",
+        [
+          Alcotest.test_case "configs parse" `Quick test_configs_parse;
+          Alcotest.test_case "scripts parse" `Quick test_scripts_parse;
+          Alcotest.test_case "shipped pair replays" `Quick
+            test_shipped_pair_replays;
+        ] );
+    ]

@@ -332,6 +332,146 @@ let sched_diff_random =
     (fun (spec, seed) ->
       TOpt.run ~spec ~seed ~nops:400 = TRef.run ~spec ~seed ~nops:400)
 
+(* --- set_curves while the hierarchy holds backlog ------------------- *)
+
+(* The runtime control plane reconfigures passive classes while their
+   siblings stay backlogged. Drive that exact pattern through both
+   implementations: serve a greedy [a] for a while, change passive
+   [b]'s curves mid-run (including giving it an rsc), then let [b]
+   start its next backlogged period and compete. Decisions and
+   aggregates must stay bit-identical to the frozen reference. *)
+module Reconf (H : module type of Hfsc) = struct
+  let crit_int (c : H.criterion) =
+    match c with H.Realtime -> 0 | H.Linkshare -> 1
+
+  let run ~seed ~nops =
+    let link = 1e6 in
+    let t = H.create ~link_rate:link () in
+    let a =
+      H.add_class t ~parent:(H.root t) ~name:"a"
+        ~fsc:(Curve.Service_curve.linear (0.5 *. link))
+        ~qlimit:200 ()
+    in
+    let b =
+      H.add_class t ~parent:(H.root t) ~name:"b"
+        ~fsc:(Curve.Service_curve.linear (0.5 *. link))
+        ~qlimit:200 ()
+    in
+    let rng = Random.State.make [| seed |] in
+    let now = ref 0. in
+    let seqs = [| 0; 0 |] in
+    let buf = Buffer.create (64 * nops) in
+    let enq flow cls =
+      let size = 40 + Random.State.int rng 1460 in
+      let p =
+        Pkt.Packet.make ~flow ~size ~seq:seqs.(flow) ~arrival:!now
+      in
+      seqs.(flow) <- seqs.(flow) + 1;
+      Buffer.add_string buf
+        (Printf.sprintf "E%d:%b;" flow (H.enqueue t ~now:!now cls p))
+    in
+    let deq () =
+      match H.dequeue t ~now:!now with
+      | None -> Buffer.add_string buf "D-;"
+      | Some (p, c, crit) ->
+          Buffer.add_string buf
+            (Printf.sprintf "D%d:%d:%s:%d;" p.Pkt.Packet.flow
+               p.Pkt.Packet.seq (H.name c) (crit_int crit))
+    in
+    (* phase 1: only [a] backlogged *)
+    for _ = 1 to nops do
+      now := !now +. Random.State.float rng 0.002;
+      if Random.State.float rng 1. < 0.55 then enq 0 a else deq ()
+    done;
+    (* mid-run, with [a]'s backlog live: give passive [b] a concave rsc
+       and a bigger share — the control plane's modify *)
+    H.set_curves t b
+      ~rsc:(Curve.Service_curve.make ~m1:(0.6 *. link) ~d:0.01
+              ~m2:(0.25 *. link))
+      ~fsc:(Curve.Service_curve.linear (0.6 *. link))
+      ();
+    Buffer.add_string buf "M;";
+    (* phase 2: [b]'s next backlogged period begins under the new curves *)
+    for _ = 1 to nops do
+      now := !now +. Random.State.float rng 0.002;
+      let r = Random.State.float rng 1. in
+      if r < 0.3 then enq 0 a
+      else if r < 0.6 then enq 1 b
+      else deq ()
+    done;
+    List.iter
+      (fun c ->
+        Buffer.add_string buf
+          (Printf.sprintf "C%s:%h:%h:%h:%d;" (H.name c) (H.total_bytes c)
+             (H.realtime_bytes c) (H.virtual_time c) (H.queue_length c)))
+      (H.classes t);
+    Buffer.contents buf
+end
+
+module ROpt = Reconf (Hfsc)
+module RRef = Reconf (Hfsc_ref)
+
+let test_reconf_diff_big () =
+  let a = ROpt.run ~seed:5 ~nops:3000 in
+  let b = RRef.run ~seed:5 ~nops:3000 in
+  Alcotest.(check string) "identical trace across set_curves" b a
+
+let reconf_diff_random =
+  qt ~count:30 "set_curves mid-backlog: Hfsc = Hfsc_ref"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed -> ROpt.run ~seed ~nops:300 = RRef.run ~seed ~nops:300)
+
+(* The semantic half of the guarantee: the new curves govern the next
+   backlogged period. After [b]'s fair curve is tripled, a greedy [b]
+   must draw ~3x [a]'s service in the following window. *)
+let test_reconf_takes_effect () =
+  let link = 1e6 in
+  let t = Hfsc.create ~link_rate:link () in
+  let mk name r =
+    Hfsc.add_class t ~parent:(Hfsc.root t) ~name
+      ~fsc:(Curve.Service_curve.linear r) ~qlimit:5000 ()
+  in
+  let a = mk "a" (0.5 *. link) in
+  let b = mk "b" (0.5 *. link) in
+  let now = ref 0. in
+  let seq = ref 0 in
+  let feed cls flow =
+    ignore
+      (Hfsc.enqueue t ~now:!now cls
+         (Pkt.Packet.make ~flow ~size:1000 ~seq:!seq ~arrival:!now));
+    incr seq
+  in
+  (* both greedy: equal split under the initial equal curves *)
+  let run_window () =
+    let a0 = Hfsc.total_bytes a and b0 = Hfsc.total_bytes b in
+    for _ = 1 to 2000 do
+      now := !now +. 0.001;
+      feed a 0;
+      feed a 0;
+      feed b 1;
+      feed b 1;
+      ignore (Hfsc.dequeue t ~now:!now);
+      ignore (Hfsc.dequeue t ~now:!now)
+    done;
+    (Hfsc.total_bytes a -. a0, Hfsc.total_bytes b -. b0)
+  in
+  let da, db = run_window () in
+  Alcotest.(check bool) "equal shares before" true
+    (abs_float (db /. da -. 1.) < 0.1);
+  (* drain b, reconfigure it, resume *)
+  let rec drain_b () =
+    if Hfsc.queue_length b > 0 then begin
+      now := !now +. 0.001;
+      ignore (Hfsc.dequeue t ~now:!now);
+      drain_b ()
+    end
+  in
+  drain_b ();
+  Hfsc.set_curves t b ~fsc:(Curve.Service_curve.linear (1.5 *. link)) ();
+  let da, db = run_window () in
+  Alcotest.(check bool) "3:1 after (next backlogged period)" true
+    (abs_float ((db /. da /. 3.) -. 1.) < 0.15)
+
 let () =
   Alcotest.run "hfsc-diff"
     [
@@ -347,5 +487,13 @@ let () =
           Alcotest.test_case "deterministic big run" `Quick
             test_sched_diff_big;
           sched_diff_random;
+        ] );
+      ( "set_curves",
+        [
+          Alcotest.test_case "mid-backlog big run" `Quick
+            test_reconf_diff_big;
+          reconf_diff_random;
+          Alcotest.test_case "takes effect next period" `Quick
+            test_reconf_takes_effect;
         ] );
     ]

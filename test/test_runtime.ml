@@ -1,0 +1,507 @@
+(* Tests for the runtime control plane (lib/runtime): the command
+   language, admission control with breakpoint reporting, live
+   reconfiguration of a scheduler holding backlog, telemetry counters
+   against the scheduler's own aggregates, the fixed-size trace ring,
+   classifier attach/detach, and the zero-allocation promise of the
+   traced dequeue path. *)
+
+module C = Runtime.Command
+module E = Runtime.Engine
+module T = Runtime.Telemetry
+module Sc = Curve.Service_curve
+
+let ok = function Ok v -> v | Error e -> Alcotest.fail e
+let err = function Ok _ -> Alcotest.fail "expected error" | Error e -> e
+
+let ok_script = function
+  | Ok v -> v
+  | Error { C.line; reason } -> Alcotest.failf "line %d: %s" line reason
+
+let contains hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+  ln = 0 || go 0
+
+let check_contains what hay needle =
+  if not (contains hay needle) then
+    Alcotest.failf "%s: %S does not mention %S" what hay needle
+
+(* --- the command language ------------------------------------------ *)
+
+let test_parse_add () =
+  match
+    C.parse
+      "add class voice parent root flow 7 rsc umax 160 dmax 5ms rate 64Kbit \
+       fsc 64Kbit qlimit 32"
+  with
+  | Ok (C.Add_class a) ->
+      Alcotest.(check string) "name" "voice" a.name;
+      Alcotest.(check string) "parent" "root" a.parent;
+      Alcotest.(check (option int)) "flow" (Some 7) a.flow;
+      Alcotest.(check (option int)) "qlimit" (Some 32) a.qlimit;
+      (match a.curves.C.rsc with
+      | Some r ->
+          Alcotest.(check (float 1e-9)) "rsc m1" 32_000. r.Sc.m1;
+          Alcotest.(check (float 1e-12)) "rsc d" 0.005 r.Sc.d;
+          Alcotest.(check (float 1e-9)) "rsc m2" 8_000. r.Sc.m2
+      | None -> Alcotest.fail "no rsc");
+      (match a.curves.C.fsc with
+      | Some f -> Alcotest.(check (float 1e-9)) "fsc" 8_000. f.Sc.m2
+      | None -> Alcotest.fail "no fsc");
+      Alcotest.(check bool) "no ulimit" true (a.curves.C.usc = None)
+  | Ok _ -> Alcotest.fail "parsed as a different command"
+  | Error e -> Alcotest.fail e
+
+let test_parse_others () =
+  (match C.parse "modify class x fsc m1 1Mbit d 10ms m2 2Mbit" with
+  | Ok (C.Modify_class { name = "x"; curves }) ->
+      (match curves.C.fsc with
+      | Some f ->
+          Alcotest.(check (float 1e-9)) "m1" 125_000. f.Sc.m1;
+          Alcotest.(check (float 1e-9)) "m2" 250_000. f.Sc.m2
+      | None -> Alcotest.fail "no fsc")
+  | _ -> Alcotest.fail "modify");
+  (match C.parse "delete class x" with
+  | Ok (C.Delete_class "x") -> ()
+  | _ -> Alcotest.fail "delete");
+  (match
+     C.parse "attach filter flow 3 src 10.0.0.0/8 proto udp dport 5004 5005"
+   with
+  | Ok (C.Attach_filter f) ->
+      Alcotest.(check int) "flow" 3 f.C.fflow;
+      Alcotest.(check (option string)) "src" (Some "10.0.0.0/8") f.C.fsrc;
+      Alcotest.(check bool) "proto" true (f.C.fproto = Some Pkt.Header.Udp);
+      Alcotest.(check bool) "dport" true (f.C.fdport = Some (5004, 5005))
+  | _ -> Alcotest.fail "attach");
+  (match C.parse "detach filter flow 3" with
+  | Ok (C.Detach_filter 3) -> ()
+  | _ -> Alcotest.fail "detach");
+  (match C.parse "stats" with Ok (C.Stats None) -> () | _ -> Alcotest.fail "stats");
+  (match C.parse "stats data" with
+  | Ok (C.Stats (Some "data")) -> ()
+  | _ -> Alcotest.fail "stats data");
+  match C.parse "trace dump" with
+  | Ok (C.Trace C.Trace_dump) -> ()
+  | _ -> Alcotest.fail "trace dump"
+
+let test_parse_errors () =
+  check_contains "missing parent" (err (C.parse "add class x")) "parent";
+  check_contains "no curves"
+    (err (C.parse "add class x parent root"))
+    "rsc or an fsc";
+  check_contains "unknown command" (err (C.parse "frobnicate x")) "unknown";
+  check_contains "empty modify"
+    (err (C.parse "modify class x"))
+    "nothing to change";
+  check_contains "bad trace op" (err (C.parse "trace maybe")) "trace";
+  check_contains "bad int"
+    (err (C.parse "add class x parent root flow seven fsc 1Mbit"))
+    "integer";
+  check_contains "bad curve"
+    (err (C.parse "add class x parent root fsc 1Mbi"))
+    "1Mbi"
+
+let test_script () =
+  let s =
+    "# comment\n\
+     \n\
+     add class a parent root fsc 1Mbit\n\
+     at 500ms modify class a fsc 2Mbit\n\
+     at 1.5 stats   # trailing comment\n"
+  in
+  let cmds = ok_script (C.parse_script s) in
+  Alcotest.(check int) "three commands" 3 (List.length cmds);
+  let times = List.map fst cmds in
+  Alcotest.(check (list (float 1e-12))) "times" [ 0.; 0.5; 1.5 ] times
+
+let test_script_error_line () =
+  let s = "stats\n\nat 1 trace dump\nadd class oops\nstats\n" in
+  match C.parse_script s with
+  | Ok _ -> Alcotest.fail "expected error"
+  | Error { C.line; reason } ->
+      Alcotest.(check int) "line number" 4 line;
+      check_contains "reason" reason "parent"
+
+(* --- engines for the remaining tests ------------------------------- *)
+
+(* 8 Mbit = 1e6 B/s link; two leaves at 2 Mbit each leave root headroom
+   for runtime additions, [b] has a real-time guarantee. *)
+let cfg_text =
+  {|
+link rate 8Mbit
+class a parent root flow 1 fsc 2Mbit
+class b parent root flow 2 fsc 2Mbit rsc 2Mbit
+class g parent root fsc 2Mbit
+class g1 parent g flow 3 fsc 1.5Mbit
+|}
+
+let make_engine ?trace_capacity () =
+  E.of_config ?trace_capacity (ok (Config.parse cfg_text))
+
+let exec1 eng ~now line = E.exec eng ~now (ok (C.parse line))
+
+let pkt ~flow ~seq ~now =
+  Pkt.Packet.make ~flow ~size:1000 ~seq ~arrival:now
+
+(* --- admission ----------------------------------------------------- *)
+
+let test_admission_rt_asymptotic () =
+  let eng = make_engine () in
+  (* existing rsc: 2 Mbit; 7 more Mbit exceed the 8 Mbit link *)
+  let e = err (exec1 eng ~now:0. "add class c parent root rsc 7Mbit") in
+  check_contains "what" e "real-time";
+  check_contains "asymptotic" e "asymptotically";
+  (* 5 Mbit of rt still fit (2 + 5 <= 8) *)
+  ignore
+    (ok (exec1 eng ~now:0. "add class c parent root rsc 5Mbit fsc 1Mbit"))
+
+let test_admission_rt_breakpoint () =
+  let eng = make_engine () in
+  (* first slope 16 Mbit for 100 ms: at t = 0.1 the demand (2e5 B from
+     this curve alone) exceeds the link's 1e5 B *)
+  let e =
+    err
+      (exec1 eng ~now:0.
+         "add class c parent root rsc m1 16Mbit d 100ms m2 8Kbit")
+  in
+  check_contains "breakpoint" e "breakpoint t=0.1";
+  check_contains "demand" e "demand"
+
+let test_admission_fsc_under_parent () =
+  let eng = make_engine () in
+  (* g's fsc is 2 Mbit; g1 already takes 1.5 *)
+  let e = err (exec1 eng ~now:0. "add class g2 parent g fsc 1Mbit") in
+  check_contains "names the parent" e "\"g\"";
+  check_contains "what" e "link-sharing";
+  ignore (ok (exec1 eng ~now:0. "add class g2 parent g fsc 0.5Mbit"));
+  (* modifying g1 upward must account for g2 *)
+  let e = err (exec1 eng ~now:0. "modify class g1 fsc 1.6Mbit") in
+  check_contains "modify over-commit" e "link-sharing";
+  (* and an interior class cannot shrink below its children *)
+  let e = err (exec1 eng ~now:0. "modify class g fsc 1Mbit") in
+  check_contains "children vs new fsc" e "children"
+
+(* --- live reconfiguration ------------------------------------------ *)
+
+let drain eng =
+  let now = ref 10. in
+  let rec go () =
+    now := !now +. 0.001;
+    match E.dequeue eng ~now:!now with Some _ -> go () | None -> ()
+  in
+  go ()
+
+let test_live_reconfigure () =
+  let eng = make_engine () in
+  let sched = E.scheduler eng in
+  (* backlog class a *)
+  for s = 0 to 9 do
+    Alcotest.(check bool) "enqueue accepted" true
+      (E.enqueue_flow eng ~now:0. (pkt ~flow:1 ~seq:s ~now:0.))
+  done;
+  Alcotest.(check int) "a backlogged" 10 (Hfsc.backlog_pkts sched);
+  (* serve a couple of packets so the hierarchy is mid-backlogged-period *)
+  ignore (E.dequeue eng ~now:0.001);
+  ignore (E.dequeue eng ~now:0.002);
+  (* adding, modifying and deleting other classes works right now *)
+  let r = ok (exec1 eng ~now:0.002 "add class c parent root flow 9 fsc 1Mbit") in
+  check_contains "add response" r "added class \"c\"";
+  ignore (ok (exec1 eng ~now:0.002 "modify class c fsc 2Mbit"));
+  (match Hfsc.find_class sched "c" with
+  | Some c ->
+      Alcotest.(check (float 1e-9)) "fsc applied" 250_000.
+        (match Hfsc.fsc c with Some f -> f.Sc.m2 | None -> nan)
+  | None -> Alcotest.fail "class c not in hierarchy");
+  (* ... but the backlogged class itself is protected *)
+  let e = err (exec1 eng ~now:0.002 "modify class a fsc 1Mbit") in
+  check_contains "active class" e "active";
+  (* the new class takes traffic immediately *)
+  Alcotest.(check bool) "flow 9 mapped" true
+    (E.enqueue_flow eng ~now:0.002 (pkt ~flow:9 ~seq:0 ~now:0.002));
+  (* a backlogged class cannot be deleted *)
+  let e = err (exec1 eng ~now:0.003 "delete class c") in
+  check_contains "delete backlogged" e "queued";
+  drain eng;
+  (* once passive: modify and delete succeed, the flow is unmapped *)
+  ignore (ok (exec1 eng ~now:20. "modify class a fsc 1Mbit"));
+  let r = ok (exec1 eng ~now:20. "delete class c") in
+  check_contains "unmaps flow" r "flow 9";
+  Alcotest.(check bool) "flow 9 gone" true (E.flow_class eng 9 = None);
+  Alcotest.(check bool) "class c gone" true
+    (Hfsc.find_class sched "c" = None)
+
+(* --- telemetry counters vs the scheduler --------------------------- *)
+
+let test_counters_match_service () =
+  let eng = make_engine () in
+  let sched = E.scheduler eng in
+  let now = ref 0. in
+  for s = 0 to 19 do
+    now := !now +. 0.004;
+    ignore (E.enqueue_flow eng ~now:!now (pkt ~flow:1 ~seq:s ~now:!now));
+    ignore (E.enqueue_flow eng ~now:!now (pkt ~flow:2 ~seq:s ~now:!now));
+    ignore (E.dequeue eng ~now:!now)
+  done;
+  drain eng;
+  let check_class flow name =
+    let cls = Option.get (Hfsc.find_class sched name) in
+    let c = T.counters (E.telemetry eng) ~id:(Hfsc.id cls) in
+    Alcotest.(check int) (name ^ " enq") 20 c.T.enq_pkts;
+    Alcotest.(check int) (name ^ " enq bytes") 20_000 c.T.enq_bytes;
+    (* everything drained: served = enqueued, split across criteria *)
+    Alcotest.(check int) (name ^ " served pkts") 20 (c.T.rt_pkts + c.T.ls_pkts);
+    Alcotest.(check (float 1e-9)) (name ^ " served bytes")
+      (Hfsc.total_bytes cls)
+      (float_of_int (c.T.rt_bytes + c.T.ls_bytes));
+    Alcotest.(check (float 1e-9)) (name ^ " rt bytes")
+      (Hfsc.realtime_bytes cls)
+      (float_of_int c.T.rt_bytes);
+    Alcotest.(check int) (name ^ " drops") 0 c.T.drop_pkts;
+    Alcotest.(check bool) (name ^ " hiwater sane") true (c.T.hiwater_pkts >= 1);
+    ignore flow
+  in
+  check_class 1 "a";
+  check_class 2 "b";
+  (* b has a real-time curve, so some of its service is rt *)
+  let b = Option.get (Hfsc.find_class sched "b") in
+  let cb = T.counters (E.telemetry eng) ~id:(Hfsc.id b) in
+  Alcotest.(check bool) "b served under rt" true (cb.T.rt_pkts > 0)
+
+let test_drops_counted () =
+  let eng = make_engine () in
+  ignore (ok (exec1 eng ~now:0. "add class d parent root flow 5 fsc 0.4Mbit qlimit 2"));
+  let accepted = ref 0 in
+  for s = 0 to 4 do
+    if E.enqueue_flow eng ~now:0. (pkt ~flow:5 ~seq:s ~now:0.) then
+      incr accepted
+  done;
+  Alcotest.(check int) "qlimit enforced" 2 !accepted;
+  let cls = Option.get (E.flow_class eng 5) in
+  let c = T.counters (E.telemetry eng) ~id:(Hfsc.id cls) in
+  Alcotest.(check int) "drops" 3 c.T.drop_pkts;
+  Alcotest.(check int) "enq" 2 c.T.enq_pkts;
+  Alcotest.(check int) "hiwater pkts" 2 c.T.hiwater_pkts;
+  Alcotest.(check int) "hiwater bytes" 2000 c.T.hiwater_bytes
+
+(* --- the trace ring ------------------------------------------------ *)
+
+let test_trace_ring_wrap () =
+  let t = T.create ~trace_capacity:8 () in
+  T.ensure_class t ~id:1;
+  for s = 0 to 19 do
+    T.note_enqueue t ~id:1 ~now:(float_of_int s) ~size:100 ~flow:4 ~seq:s
+      ~qlen:1 ~qbytes:100
+  done;
+  Alcotest.(check int) "total counts everything" 20 (T.recorded_total t);
+  let evs = T.events t in
+  Alcotest.(check int) "ring keeps capacity" 8 (List.length evs);
+  Alcotest.(check (list int)) "oldest surviving first"
+    [ 12; 13; 14; 15; 16; 17; 18; 19 ]
+    (List.map (fun (e : T.event) -> e.T.seq) evs);
+  List.iter
+    (fun (e : T.event) ->
+      Alcotest.(check bool) "kind" true (e.T.kind = T.Enq);
+      Alcotest.(check int) "cls" 1 e.T.cls_id;
+      Alcotest.(check int) "flow" 4 e.T.flow;
+      Alcotest.(check (float 0.)) "ts" (float_of_int e.T.seq) e.T.ts)
+    evs;
+  (* text export: one line per surviving event *)
+  let lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' (T.trace_text t))
+  in
+  Alcotest.(check int) "trace_text lines" 8 (List.length lines);
+  check_contains "line format" (List.hd lines) "enq"
+
+let test_trace_kinds_and_toggle () =
+  let t = T.create ~trace_capacity:16 () in
+  T.ensure_class t ~id:0;
+  T.note_enqueue t ~id:0 ~now:0. ~size:1 ~flow:0 ~seq:0 ~qlen:1 ~qbytes:1;
+  T.note_dequeue t ~id:0 ~now:0. ~size:1 ~flow:0 ~seq:0 ~arrival:0.
+    ~realtime:true;
+  T.note_dequeue t ~id:0 ~now:0. ~size:1 ~flow:0 ~seq:1 ~arrival:0.
+    ~realtime:false;
+  T.note_drop t ~id:0 ~now:0. ~size:1 ~flow:0 ~seq:2;
+  T.set_tracing t false;
+  T.note_drop t ~id:0 ~now:0. ~size:1 ~flow:0 ~seq:3;
+  Alcotest.(check int) "tracing off stops recording" 4 (T.recorded_total t);
+  Alcotest.(check (list bool)) "kinds decode" [ true; true; true; true ]
+    (List.map2
+       (fun (e : T.event) k -> e.T.kind = k)
+       (T.events t)
+       [ T.Enq; T.Deq_rt; T.Deq_ls; T.Drop ]);
+  (* counters still accumulate with tracing off *)
+  Alcotest.(check int) "drop counter" 2 (T.counters t ~id:0).T.drop_pkts
+
+let test_deadline_miss () =
+  let t = T.create () in
+  T.ensure_class t ~id:0;
+  T.set_rsc t ~id:0 (Some (Sc.linear 1000.));
+  (* S^-1(1000 B) = 1 s: a 0.5 s sojourn is fine, 1.5 s is a miss *)
+  T.note_dequeue t ~id:0 ~now:0.5 ~size:1000 ~flow:0 ~seq:0 ~arrival:0.
+    ~realtime:true;
+  Alcotest.(check int) "within bound" 0 (T.counters t ~id:0).T.deadline_misses;
+  T.note_dequeue t ~id:0 ~now:1.5 ~size:1000 ~flow:0 ~seq:1 ~arrival:0.
+    ~realtime:true;
+  Alcotest.(check int) "miss counted" 1 (T.counters t ~id:0).T.deadline_misses;
+  (* link-sharing service is never judged against the rsc *)
+  T.note_dequeue t ~id:0 ~now:9. ~size:1000 ~flow:0 ~seq:2 ~arrival:0.
+    ~realtime:false;
+  Alcotest.(check int) "ls not judged" 1 (T.counters t ~id:0).T.deadline_misses;
+  (* two-piece inverse: m1 2000 for 0.25 s (500 B), then 1000 *)
+  T.set_rsc t ~id:0 (Some (Sc.make ~m1:2000. ~d:0.25 ~m2:1000.));
+  (* S^-1(1000) = 0.25 + 500/1000 = 0.75 s *)
+  T.note_dequeue t ~id:0 ~now:0.7 ~size:1000 ~flow:0 ~seq:3 ~arrival:0.
+    ~realtime:true;
+  Alcotest.(check int) "concave within" 1 (T.counters t ~id:0).T.deadline_misses;
+  T.note_dequeue t ~id:0 ~now:0.8 ~size:1000 ~flow:0 ~seq:4 ~arrival:0.
+    ~realtime:true;
+  Alcotest.(check int) "concave miss" 2 (T.counters t ~id:0).T.deadline_misses
+
+(* --- classifier attach/detach -------------------------------------- *)
+
+let test_attach_detach () =
+  let eng = make_engine () in
+  let h ?(proto = Pkt.Header.Udp) ?(dport = 5004) () =
+    Pkt.Header.make ~src:"10.1.2.3" ~dst:"192.168.0.1" ~proto ~sport:9
+      ~dport ()
+  in
+  Alcotest.(check bool) "no filters yet" true (E.classify eng (h ()) = None);
+  ignore
+    (ok
+       (exec1 eng ~now:0.
+          "attach filter flow 1 src 10.0.0.0/8 proto udp dport 5004 5005"));
+  Alcotest.(check int) "one filter" 1 (E.filter_count eng);
+  (match E.classify eng (h ()) with
+  | Some cls -> Alcotest.(check string) "routed to a" "a" (Hfsc.name cls)
+  | None -> Alcotest.fail "udp/5004 should match");
+  Alcotest.(check bool) "tcp does not match" true
+    (E.classify eng (h ~proto:Pkt.Header.Tcp ()) = None);
+  Alcotest.(check bool) "port outside range" true
+    (E.classify eng (h ~dport:6000 ()) = None);
+  (* unmapped flows are rejected at attach time *)
+  check_contains "unmapped flow"
+    (err (exec1 eng ~now:0. "attach filter flow 77 proto udp"))
+    "not mapped";
+  ignore (ok (exec1 eng ~now:0. "detach filter flow 1"));
+  Alcotest.(check bool) "detached" true (E.classify eng (h ()) = None);
+  check_contains "double detach"
+    (err (exec1 eng ~now:0. "detach filter flow 1"))
+    "no filter"
+
+(* --- the zero-allocation promise ----------------------------------- *)
+
+(* Minor words per dequeue through [deq], with the clock pre-boxed so
+   the caller's float boxing is not charged to the scheduler (the
+   bench's measurement, reduced). *)
+let words_per_dequeue ~prefill ~deq =
+  let k = 2048 in
+  prefill (k + 64);
+  let now = ref 0. in
+  for _ = 1 to 64 do
+    now := !now +. 1e-4;
+    ignore (deq ~now:!now)
+  done;
+  match Sys.opaque_identity [ !now +. 1e-4 ] with
+  | [ boxed_now ] ->
+      let w0 = Gc.minor_words () in
+      for _ = 1 to k do
+        ignore (deq ~now:boxed_now)
+      done;
+      (Gc.minor_words () -. w0) /. float_of_int k
+  | _ -> assert false
+
+let test_traced_dequeue_allocates_nothing_extra () =
+  let bare =
+    let t = Hfsc.create ~link_rate:1e6 () in
+    let leaf =
+      Hfsc.add_class t ~parent:(Hfsc.root t) ~name:"l"
+        ~fsc:(Sc.linear 1e6) ~qlimit:1_000_000 ()
+    in
+    words_per_dequeue
+      ~prefill:(fun n ->
+        for s = 0 to n - 1 do
+          ignore (Hfsc.enqueue t ~now:0. leaf (pkt ~flow:1 ~seq:s ~now:0.))
+        done)
+      ~deq:(fun ~now -> Hfsc.dequeue t ~now)
+  in
+  let traced =
+    let t = Hfsc.create ~link_rate:1e6 () in
+    let leaf =
+      Hfsc.add_class t ~parent:(Hfsc.root t) ~name:"l"
+        ~fsc:(Sc.linear 1e6) ~qlimit:1_000_000 ()
+    in
+    let eng =
+      E.create ~link_rate:1e6 t ~flow_map:[ (1, leaf) ] ~tracing:true ()
+    in
+    words_per_dequeue
+      ~prefill:(fun n ->
+        for s = 0 to n - 1 do
+          ignore (E.enqueue eng ~now:0. leaf (pkt ~flow:1 ~seq:s ~now:0.))
+        done)
+      ~deq:(fun ~now -> E.dequeue eng ~now)
+  in
+  (* same per-op footprint: the telemetry hooks allocate nothing *)
+  Alcotest.(check (float 0.)) "extra minor words per traced dequeue" bare
+    traced;
+  (* and the footprint is the returned option/tuple, nothing more *)
+  Alcotest.(check bool) "bare footprint is the result value" true (bare <= 6.)
+
+(* --- exec_script ---------------------------------------------------- *)
+
+let test_exec_script () =
+  let eng = make_engine () in
+  let script =
+    "add class c parent root flow 9 fsc 1Mbit\n\
+     at 1 add class c parent root fsc 1Mbit\n\
+     at 2 delete class c\n"
+  in
+  let outcomes = E.exec_script eng (ok_script (C.parse_script script)) in
+  (match outcomes with
+  | [ (0., _, Ok _); (1., _, Error dup); (2., _, Ok _) ] ->
+      check_contains "duplicate name" dup "already exists"
+  | _ -> Alcotest.fail "unexpected outcome shape");
+  Alcotest.(check bool) "c deleted again" true
+    (Hfsc.find_class (E.scheduler eng) "c" = None)
+
+let () =
+  Alcotest.run "runtime"
+    [
+      ( "command",
+        [
+          Alcotest.test_case "parse add" `Quick test_parse_add;
+          Alcotest.test_case "parse others" `Quick test_parse_others;
+          Alcotest.test_case "parse errors" `Quick test_parse_errors;
+          Alcotest.test_case "script" `Quick test_script;
+          Alcotest.test_case "script error line" `Quick
+            test_script_error_line;
+        ] );
+      ( "admission",
+        [
+          Alcotest.test_case "rt asymptotic" `Quick
+            test_admission_rt_asymptotic;
+          Alcotest.test_case "rt breakpoint" `Quick
+            test_admission_rt_breakpoint;
+          Alcotest.test_case "fsc under parent" `Quick
+            test_admission_fsc_under_parent;
+        ] );
+      ( "reconfigure",
+        [
+          Alcotest.test_case "live add/modify/delete" `Quick
+            test_live_reconfigure;
+          Alcotest.test_case "exec_script" `Quick test_exec_script;
+        ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "counters match service" `Quick
+            test_counters_match_service;
+          Alcotest.test_case "drops counted" `Quick test_drops_counted;
+          Alcotest.test_case "trace ring wrap" `Quick test_trace_ring_wrap;
+          Alcotest.test_case "trace kinds + toggle" `Quick
+            test_trace_kinds_and_toggle;
+          Alcotest.test_case "deadline misses" `Quick test_deadline_miss;
+          Alcotest.test_case "traced dequeue allocation" `Quick
+            test_traced_dequeue_allocates_nothing_extra;
+        ] );
+      ( "classify",
+        [ Alcotest.test_case "attach/detach" `Quick test_attach_detach ] );
+    ]
