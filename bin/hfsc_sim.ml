@@ -280,8 +280,12 @@ let control_cmd =
                               resp
                           | _ -> "")
                     | Error e ->
-                        Printf.printf "[%8.3f] rejected: %s\n           %s\n"
-                          now cs e))
+                        Printf.printf "[%8.3f] rejected (%s): %s\n           %s\n"
+                          now
+                          (Runtime.Engine.error_code_name
+                             (Runtime.Engine.error_code e))
+                          cs
+                          (Runtime.Engine.error_message e)))
               cmds;
             List.iter (Netsim.Sim.add_source sim)
               (cfg.Config.sources ~until:seconds);
@@ -295,7 +299,8 @@ let control_cmd =
                Runtime.Engine.stats_text eng ()
              with
             | Ok s -> print_string s
-            | Error e -> Printf.eprintf "stats: %s\n" e);
+            | Error e ->
+                Printf.eprintf "stats: %s\n" (Runtime.Engine.error_message e));
             (match stats_json with
             | Some path ->
                 let oc = open_out_bin path in

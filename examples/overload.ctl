@@ -1,0 +1,27 @@
+# Live limit control against the overloaded examples/overload.hfsc
+# hierarchy. Tightens the bounds while every bulk queue is saturated,
+# flips the drop policy, and throws one hostile line at the engine —
+# which must be rejected without disturbing the scheduler. Run with:
+#
+#   dune exec bin/hfsc_sim.exe -- control examples/overload.hfsc \
+#     examples/overload.ctl --time 3
+
+# Halve the aggregate bound mid-overload; the backlog shrinks to the
+# new ceiling by refusing/evicting arrivals, never by losing packets
+# already promised service.
+at 0.5  limit pkts 60 policy longest
+
+# Per-class bound tightened live on a backlogged leaf: allowed, the
+# excess drains by attrition (new arrivals are refused, the queue is
+# never truncated).
+at 1.0  modify class web qlimit 25
+
+# Switch the overflow policy: refuse the arriving packet instead of
+# evicting from the longest queue.
+at 1.5  limit policy tail
+
+# Hostile control line (queue limits only exist on leaves): the engine
+# must reject it and leave the scheduler bit-identical.
+at 2.0  modify class root qlimit -3
+
+at 2.5  stats

@@ -42,3 +42,8 @@ let violating_breakpoint ~capacity curves =
 
 let hierarchy_consistent ~parent children =
   P.vdev (sum_curves children) (P.of_service_curve parent) <= 1e-6
+
+let usc_violating_breakpoint ~rsc ~usc =
+  violating_breakpoint ~capacity:(P.of_service_curve usc) [ rsc ]
+
+let usc_feasible ~rsc ~usc = usc_violating_breakpoint ~rsc ~usc = None

@@ -34,3 +34,30 @@ val hierarchy_consistent :
     ([sum children <= parent] pointwise)? The configuration the
     link-sharing examples of the paper assume (Fig. 3 sets each interior
     curve to the sum of its children's). *)
+
+(** {2 Upper-limit feasibility}
+
+    An upper-limit curve caps the {e total} service a class may
+    receive, while the real-time curve is a floor on the service it
+    {e must} receive — so a configuration is feasible only when
+    [rsc(t) <= usc(t)] for all [t]. A usc that dips below the rsc makes
+    the guarantee unkeepable: once the cap binds, the class's deadlines
+    pass while it is ineligible for service, and the real-time
+    criterion's per-leaf bound (Theorem 1) no longer holds. Both curves
+    are two-piece linear, so checking every breakpoint of either curve
+    plus the asymptotic slopes is an exact test (same argument as
+    {!violating_breakpoint}). Classes without one of the two curves are
+    trivially feasible. *)
+
+val usc_violating_breakpoint :
+  rsc:Curve.Service_curve.t ->
+  usc:Curve.Service_curve.t ->
+  (float * float * float) option
+(** Where (if anywhere) [rsc] escapes above [usc]:
+    [Some (t, rsc_at_t, usc_at_t)] at the worst breakpoint,
+    [(infinity, rsc_rate, usc_rate)] when only the asymptotic rates
+    conflict, [None] when the pair is feasible. *)
+
+val usc_feasible :
+  rsc:Curve.Service_curve.t -> usc:Curve.Service_curve.t -> bool
+(** [usc_violating_breakpoint ~rsc ~usc = None]. *)

@@ -124,6 +124,13 @@ type class_spec = {
   cfsc : Curve.Service_curve.t option;
   cusc : Curve.Service_curve.t option;
   cqlimit : int option;
+  cqbytes : int option;
+}
+
+type limit_spec = {
+  lpkts : int option;
+  lbytes : int option;
+  lpolicy : Hfsc.drop_policy option;
 }
 
 type source_spec = {
@@ -144,6 +151,7 @@ type stmt =
   | Link of float
   | Class of class_spec
   | Source of source_spec
+  | Limit of limit_spec
 
 let parse_class st =
   let cname = next st in
@@ -151,7 +159,7 @@ let parse_class st =
   let cparent = next st in
   let flow = ref None in
   let rsc = ref None and fsc = ref None and usc = ref None in
-  let qlimit = ref None in
+  let qlimit = ref None and qbytes = ref None in
   let continue_ = ref true in
   while !continue_ do
     match peek st with
@@ -161,6 +169,7 @@ let parse_class st =
         match kw with
         | "flow" -> flow := Some (int_of_token (next st))
         | "qlimit" -> qlimit := Some (int_of_token (next st))
+        | "qbytes" -> qbytes := Some (int_of_token (next st))
         | "rsc" -> rsc := Some (parse_curve st)
         | "fsc" -> fsc := Some (parse_curve st)
         | "ulimit" -> usc := Some (parse_curve st)
@@ -168,7 +177,38 @@ let parse_class st =
   done;
   Class
     { cname; cparent; cflow = !flow; crsc = !rsc; cfsc = !fsc; cusc = !usc;
-      cqlimit = !qlimit }
+      cqlimit = !qlimit; cqbytes = !qbytes }
+
+(* "limit [pkts N|none] [bytes N|none] [policy tail|longest]" — the
+   scheduler-wide backlog bound and overflow policy. *)
+let parse_limit st =
+  let bound tok =
+    if tok = "none" then max_int
+    else
+      let n = int_of_token tok in
+      if n <= 0 then fail "limit must be positive, got %d" n;
+      n
+  in
+  let pkts = ref None and bytes = ref None and policy = ref None in
+  let continue_ = ref true in
+  while !continue_ do
+    match peek st with
+    | None -> continue_ := false
+    | Some kw -> (
+        ignore (next st);
+        match kw with
+        | "pkts" -> pkts := Some (bound (next st))
+        | "bytes" -> bytes := Some (bound (next st))
+        | "policy" -> (
+            match next st with
+            | "tail" -> policy := Some Hfsc.Tail_drop
+            | "longest" -> policy := Some Hfsc.Drop_longest
+            | other -> fail "unknown drop policy %S (tail|longest)" other)
+        | other -> fail "unknown limit attribute %S" other)
+  done;
+  if !pkts = None && !bytes = None && !policy = None then
+    fail "limit: expected at least one of pkts/bytes/policy";
+  Limit { lpkts = !pkts; lbytes = !bytes; lpolicy = !policy }
 
 let parse_source st =
   let skind = next st in
@@ -234,6 +274,7 @@ let parse_line line =
           Some (Link r)
       | "class" -> Some (parse_class st)
       | "source" -> Some (parse_source st)
+      | "limit" -> Some (parse_limit st)
       | other -> fail "unknown statement %S" other)
 
 (* --- assembling the scheduler ---------------------------------------- *)
@@ -248,7 +289,18 @@ let build stmts =
     | [ _ ] -> fail "link rate must be positive"
     | _ -> fail "duplicate 'link' statement"
   in
-  let scheduler = Hfsc.create ~link_rate () in
+  let limit =
+    match
+      List.filter_map (function Limit l -> Some l | _ -> None) stmts
+    with
+    | [] -> { lpkts = None; lbytes = None; lpolicy = None }
+    | [ l ] -> l
+    | _ -> fail "duplicate 'limit' statement"
+  in
+  let scheduler =
+    Hfsc.create ~link_rate ?agg_limit_pkts:limit.lpkts
+      ?agg_limit_bytes:limit.lbytes ?drop_policy:limit.lpolicy ()
+  in
   let classes = Hashtbl.create 16 in
   Hashtbl.replace classes "root" (Hfsc.root scheduler);
   let flow_map = ref [] in
@@ -265,7 +317,8 @@ let build stmts =
           let cls =
             try
               Hfsc.add_class scheduler ~parent ~name:c.cname ?rsc:c.crsc
-                ?fsc:c.cfsc ?usc:c.cusc ?qlimit:c.cqlimit ()
+                ?fsc:c.cfsc ?usc:c.cusc ?qlimit:c.cqlimit
+                ?qlimit_bytes:c.cqbytes ()
             with Invalid_argument e -> fail "class %S: %s" c.cname e
           in
           Hashtbl.replace classes c.cname cls;
@@ -275,7 +328,7 @@ let build stmts =
                 fail "flow %d mapped twice" flow;
               flow_map := (flow, cls) :: !flow_map
           | None -> ())
-      | Link _ | Source _ -> ())
+      | Link _ | Source _ | Limit _ -> ())
     stmts;
   let source_specs =
     List.filter_map (function Source s -> Some s | _ -> None) stmts

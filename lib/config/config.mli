@@ -20,14 +20,18 @@
     class data  parent cmu flow 3 fsc 22.936Mbit qlimit 500
     class pdata parent pitt flow 4 fsc 20Mbit ulimit 20Mbit
 
+    # bound the total backlog; evict from the longest queue on overflow
+    limit pkts 1000 bytes 1500000 policy longest
+
     source cbr    flow 1 rate 64Kbit pkt 160
     source cbr    flow 2 rate 2Mbit  pkt 1000
     source poisson flow 3 rate 20Mbit pkt 1000 seed 42
     source onoff  flow 4 rate 40Mbit pkt 1000 on 500ms off 500ms seed 7
     v}
 
-    Class syntax: [class NAME parent PARENT (flow N)? CURVES... (qlimit N)?]
-    where each curve is one of
+    Class syntax: [class NAME parent PARENT (flow N)? CURVES...
+    (qlimit N)? (qbytes N)?] — [qlimit]/[qbytes] bound the leaf's queue
+    in packets/bytes — where each curve is one of
     - [rsc umax BYTES dmax TIME rate RATE] — the Fig. 7 mapping;
     - [rsc m1 RATE d TIME m2 RATE] — explicit two-piece curve;
     - [fsc RATE] or [fsc m1 RATE d TIME m2 RATE] — link-sharing curve;
@@ -37,7 +41,13 @@
     Source syntax: [source KIND flow N rate RATE pkt BYTES ...] with
     KIND one of [cbr], [poisson] (needs [seed]), [onoff] (needs
     [on]/[off]/[seed]), [greedy] (alias of cbr), [burst] (needs
-    [count] and [at]); all accept [start]/[stop]. *)
+    [count] and [at]); all accept [start]/[stop].
+
+    Limit syntax (at most one statement):
+    [limit (pkts N|none)? (bytes N|none)? (policy tail|longest)?] —
+    the scheduler-wide backlog bound and the drop policy applied when
+    an arrival would exceed it ([tail] refuses the arrival, [longest]
+    evicts from the longest leaf queue). *)
 
 type t = {
   scheduler : Hfsc.t;

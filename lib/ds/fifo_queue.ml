@@ -4,17 +4,40 @@ type t = {
   mutable size : int;
   mutable byte_count : int;
   mutable drop_count : int;
-  limit : int;
+  mutable limit : int;
+  mutable limit_bytes : int;
 }
 
-let create ?(limit_pkts = 10_000) () =
+let create ?(limit_pkts = 10_000) ?(limit_bytes = max_int) () =
   if limit_pkts <= 0 then invalid_arg "Fifo_queue.create: limit must be positive";
+  if limit_bytes <= 0 then
+    invalid_arg "Fifo_queue.create: byte limit must be positive";
   { data = Array.make 8 None; head = 0; size = 0; byte_count = 0;
-    drop_count = 0; limit = limit_pkts }
+    drop_count = 0; limit = limit_pkts; limit_bytes }
 
 let length q = q.size
 let bytes q = q.byte_count
 let is_empty q = q.size = 0
+let limit_pkts q = q.limit
+let limit_bytes q = q.limit_bytes
+
+let set_limits ?pkts ?bytes q =
+  (match pkts with
+  | Some n ->
+      if n <= 0 then invalid_arg "Fifo_queue.set_limits: limit must be positive";
+      q.limit <- n
+  | None -> ());
+  match bytes with
+  | Some n ->
+      if n <= 0 then
+        invalid_arg "Fifo_queue.set_limits: byte limit must be positive";
+      q.limit_bytes <- n
+  | None -> ()
+
+let can_accept q sz =
+  q.size < q.limit && q.byte_count + sz <= q.limit_bytes
+
+let count_drop q = q.drop_count <- q.drop_count + 1
 
 let grow q =
   let n = Array.length q.data in
@@ -26,7 +49,7 @@ let grow q =
   q.head <- 0
 
 let push q p =
-  if q.size >= q.limit then begin
+  if not (can_accept q p.Pkt.Packet.size) then begin
     q.drop_count <- q.drop_count + 1;
     false
   end
@@ -48,6 +71,20 @@ let pop q =
     (match p with
     | Some pkt -> q.byte_count <- q.byte_count - pkt.Pkt.Packet.size
     | None -> assert false);
+    p
+  end
+
+let drop_tail q =
+  if q.size = 0 then None
+  else begin
+    let i = (q.head + q.size - 1) mod Array.length q.data in
+    let p = q.data.(i) in
+    q.data.(i) <- None;
+    q.size <- q.size - 1;
+    (match p with
+    | Some pkt -> q.byte_count <- q.byte_count - pkt.Pkt.Packet.size
+    | None -> assert false);
+    q.drop_count <- q.drop_count + 1;
     p
   end
 

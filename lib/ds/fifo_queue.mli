@@ -1,15 +1,16 @@
-(** Per-class packet FIFO with byte accounting and drop-tail limit.
+(** Per-class packet FIFO with byte accounting and drop-tail limits.
 
     Every leaf class of every scheduler in this repository owns one of
     these. Backed by a growable ring buffer; all operations O(1)
-    amortized. *)
+    amortized except [drop_tail] which is O(1) exactly. *)
 
 type t
 
-val create : ?limit_pkts:int -> unit -> t
-(** [create ?limit_pkts ()] is an empty queue. [limit_pkts] is the
-    drop-tail bound on the number of queued packets (default: 10_000,
-    mirroring a generous kernel qlimit). *)
+val create : ?limit_pkts:int -> ?limit_bytes:int -> unit -> t
+(** [create ?limit_pkts ?limit_bytes ()] is an empty queue.
+    [limit_pkts] is the drop-tail bound on the number of queued packets
+    (default: 10_000, mirroring a generous kernel qlimit);
+    [limit_bytes] bounds the queued byte total (default: unlimited). *)
 
 val length : t -> int
 (** Number of queued packets. *)
@@ -19,19 +20,40 @@ val bytes : t -> int
 
 val is_empty : t -> bool
 
+val limit_pkts : t -> int
+val limit_bytes : t -> int
+
+val set_limits : ?pkts:int -> ?bytes:int -> t -> unit
+(** Update the drop bounds in place. Existing backlog is never dropped
+    by this call; the new bounds apply to subsequent [push]es.
+    @raise Invalid_argument on a non-positive limit. *)
+
+val can_accept : t -> int -> bool
+(** [can_accept q size] is [true] iff a packet of [size] bytes would be
+    admitted by [push] right now. Does not count a drop. *)
+
+val count_drop : t -> unit
+(** Charge one drop to this queue without touching its contents (used
+    when the scheduler refuses a packet before it reaches [push]). *)
+
 val push : t -> Pkt.Packet.t -> bool
 (** [push q p] appends [p]; returns [false] (and drops [p]) iff the
-    queue is at its limit. *)
+    queue is at its packet or byte limit. *)
 
 val pop : t -> Pkt.Packet.t option
 (** Remove and return the head packet. *)
+
+val drop_tail : t -> Pkt.Packet.t option
+(** Remove and return the *newest* packet, counting it as a drop;
+    [None] iff empty. The head packet is never touched. *)
 
 val peek : t -> Pkt.Packet.t option
 (** Head packet without removing it; [None] iff empty. *)
 
 val clear : t -> unit
 val drops : t -> int
-(** Number of packets refused by [push] since creation. *)
+(** Number of packets dropped ([push] refusals, [drop_tail] evictions
+    and [count_drop] charges) since creation. *)
 
 val iter : (Pkt.Packet.t -> unit) -> t -> unit
 (** Head-to-tail iteration. *)

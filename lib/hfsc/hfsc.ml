@@ -16,6 +16,7 @@ let debug_on () =
 type criterion = Realtime | Linkshare
 type vt_policy = Vt_mean | Vt_min | Vt_max
 type eligible_policy = Eligible_paper | Eligible_deadline
+type drop_policy = Tail_drop | Drop_longest
 
 (* All mutable per-class float state lives in this record. Every field
    is a float, so OCaml gives it the flat (unboxed) float-record
@@ -472,9 +473,18 @@ type t = {
   mutable eligible : cls; (* intrusive ED-tree root; [nil] when empty *)
   mutable bl_pkts : int;
   mutable bl_bytes : int;
+  (* aggregate backlog bounds across all leaf queues; [max_int] means
+     unlimited. Checked on every enqueue before the per-class limit. *)
+  mutable agg_pkts : int;
+  mutable agg_bytes : int;
+  mutable policy : drop_policy;
+  (* called once per dropped packet: (now, owning class, packet). For
+     an arriving packet refused admission the class is the destination
+     leaf; under {!Drop_longest} eviction it is the victim. *)
+  mutable on_drop : float -> cls -> Pkt.Packet.t -> unit;
 }
 
-let make_cls ~id ~name ~parent ~rsc ~fsc ~usc ~qlimit =
+let make_cls ~id ~name ~parent ~rsc ~fsc ~usc ~qlimit ~qbytes =
   {
     id;
     cname = name;
@@ -483,7 +493,7 @@ let make_cls ~id ~name ~parent ~rsc ~fsc ~usc ~qlimit =
     crsc = rsc;
     cfsc = fsc;
     cusc = usc;
-    queue = Fq.create ?limit_pkts:qlimit ();
+    queue = Fq.create ?limit_pkts:qlimit ?limit_bytes:qbytes ();
     fs = make_fs ();
     deadline_c =
       (match rsc with Some s -> Rc.of_service_curve s ~x:0. ~y:0. | None -> zero_rc);
@@ -509,14 +519,21 @@ let make_cls ~id ~name ~parent ~rsc ~fsc ~usc ~qlimit =
     actc_root = nil;
   }
 
+let no_drop_hook : float -> cls -> Pkt.Packet.t -> unit = fun _ _ _ -> ()
+
 let create ?(vt_policy = Vt_mean) ?(eligible_policy = Eligible_paper)
-    ?(ulimit_slack = 0.001) ~link_rate () =
+    ?(ulimit_slack = 0.001) ?(agg_limit_pkts = max_int)
+    ?(agg_limit_bytes = max_int) ?(drop_policy = Tail_drop) ~link_rate () =
   if (not (Float.is_finite link_rate)) || link_rate <= 0. then
     invalid_arg "Hfsc.create: link_rate must be finite and positive";
   if ulimit_slack < 0. then invalid_arg "Hfsc.create: negative ulimit_slack";
+  if agg_limit_pkts <= 0 then
+    invalid_arg "Hfsc.create: aggregate packet limit must be positive";
+  if agg_limit_bytes <= 0 then
+    invalid_arg "Hfsc.create: aggregate byte limit must be positive";
   let troot =
     make_cls ~id:0 ~name:"root" ~parent:None ~rsc:None
-      ~fsc:(Some (Sc.linear link_rate)) ~usc:None ~qlimit:None
+      ~fsc:(Some (Sc.linear link_rate)) ~usc:None ~qlimit:None ~qbytes:None
   in
   let byname = Hashtbl.create 64 in
   Hashtbl.replace byname troot.cname troot;
@@ -532,12 +549,16 @@ let create ?(vt_policy = Vt_mean) ?(eligible_policy = Eligible_paper)
     eligible = nil;
     bl_pkts = 0;
     bl_bytes = 0;
+    agg_pkts = agg_limit_pkts;
+    agg_bytes = agg_limit_bytes;
+    policy = drop_policy;
+    on_drop = no_drop_hook;
   }
 
 let root t = t.troot
 let is_leaf_cls c = match c.cchildren_rev with [] -> true | _ :: _ -> false
 
-let add_class t ~parent ~name ?rsc ?fsc ?usc ?qlimit () =
+let add_class t ~parent ~name ?rsc ?fsc ?usc ?qlimit ?qlimit_bytes () =
   if parent.crsc <> None then
     invalid_arg "Hfsc.add_class: parent has a real-time curve (leaf only)";
   if not (Fq.is_empty parent.queue) then
@@ -549,6 +570,7 @@ let add_class t ~parent ~name ?rsc ?fsc ?usc ?qlimit () =
     invalid_arg "Hfsc.add_class: a class needs an rsc or an fsc";
   let cl =
     make_cls ~id:t.next_id ~name ~parent:(Some parent) ~rsc ~fsc ~usc ~qlimit
+      ~qbytes:qlimit_bytes
   in
   t.next_id <- t.next_id + 1;
   parent.cchildren_rev <- cl :: parent.cchildren_rev;
@@ -612,6 +634,85 @@ let set_curves t cl ?rsc ?fsc ?usc () =
   | None -> ());
   if cl.crsc = None && cl.cfsc = None then
     invalid_arg "Hfsc.set_curves: a class needs an rsc or an fsc"
+
+(* --- bounds, drop policy and transactional support ----------------- *)
+
+let set_class_limits t cl ?pkts ?bytes () =
+  if cl == t.troot || not (is_leaf_cls cl) then
+    invalid_arg "Hfsc.set_class_limits: class is not a leaf";
+  (match pkts with
+  | Some n when n <= 0 ->
+      invalid_arg "Hfsc.set_class_limits: limit must be positive"
+  | _ -> ());
+  (match bytes with
+  | Some n when n <= 0 ->
+      invalid_arg "Hfsc.set_class_limits: byte limit must be positive"
+  | _ -> ());
+  Fq.set_limits ?pkts ?bytes cl.queue
+
+let queue_limit_pkts c = Fq.limit_pkts c.queue
+let queue_limit_bytes c = Fq.limit_bytes c.queue
+
+let set_aggregate_limit t ?pkts ?bytes () =
+  (match pkts with
+  | Some n ->
+      if n <= 0 then
+        invalid_arg "Hfsc.set_aggregate_limit: limit must be positive";
+      t.agg_pkts <- n
+  | None -> ());
+  match bytes with
+  | Some n ->
+      if n <= 0 then
+        invalid_arg "Hfsc.set_aggregate_limit: byte limit must be positive";
+      t.agg_bytes <- n
+  | None -> ()
+
+let aggregate_limit_pkts t = t.agg_pkts
+let aggregate_limit_bytes t = t.agg_bytes
+let set_drop_policy t p = t.policy <- p
+let drop_policy t = t.policy
+let set_drop_hook t f = t.on_drop <- f
+
+(* Everything an Engine command may mutate on a class, so a failed
+   multi-step command can roll back to a bit-identical configuration.
+   Runtime-curve values ([Rc.t]) are immutable records, so capturing
+   the references captures the state. Scheduling state (fs, trees) is
+   only mutated by the datapath, never by configuration commands, and
+   is deliberately not part of the snapshot. *)
+type class_snapshot = {
+  s_rsc : Sc.t option;
+  s_fsc : Sc.t option;
+  s_usc : Sc.t option;
+  s_deadline : Rc.t;
+  s_eligible : Rc.t;
+  s_virtual : Rc.t;
+  s_ulimit : Rc.t;
+  s_qlim_pkts : int;
+  s_qlim_bytes : int;
+}
+
+let snapshot_class cl =
+  {
+    s_rsc = cl.crsc;
+    s_fsc = cl.cfsc;
+    s_usc = cl.cusc;
+    s_deadline = cl.deadline_c;
+    s_eligible = cl.eligible_c;
+    s_virtual = cl.virtual_c;
+    s_ulimit = cl.ulimit_c;
+    s_qlim_pkts = Fq.limit_pkts cl.queue;
+    s_qlim_bytes = Fq.limit_bytes cl.queue;
+  }
+
+let restore_class cl s =
+  cl.crsc <- s.s_rsc;
+  cl.cfsc <- s.s_fsc;
+  cl.cusc <- s.s_usc;
+  cl.deadline_c <- s.s_deadline;
+  cl.eligible_c <- s.s_eligible;
+  cl.virtual_c <- s.s_virtual;
+  cl.ulimit_c <- s.s_ulimit;
+  Fq.set_limits ~pkts:s.s_qlim_pkts ~bytes:s.s_qlim_bytes cl.queue
 
 (* Same-unit copy of {!Rc.inverse}, and a branch-only float max. Dune's
    dev profile compiles interfaces with -opaque, which turns off
@@ -857,22 +958,81 @@ let rec update_vf t cl go_passive len now =
 
 (* --- the public datapath ------------------------------------------ *)
 
+(* Drop-from-longest victim: the leaf with the largest queued byte
+   count among leaves holding at least two packets, ties to the
+   smallest id (deterministic, and mirrored bit-exactly in Hfsc_ref).
+   Requiring >= 2 packets means eviction removes a *tail* packet of a
+   queue that stays nonempty with an unchanged head — so no ED/VT
+   state needs recomputation: deadlines track the head packet and
+   activity tracks emptiness, and neither changes. *)
+let find_victim t =
+  let best = ref nil in
+  List.iter
+    (fun c ->
+      if is_leaf_cls c && Fq.length c.queue >= 2 then begin
+        let b = !best in
+        if b == nil then best := c
+        else begin
+          let qb = Fq.bytes c.queue and bb = Fq.bytes b.queue in
+          if qb > bb || (qb = bb && c.id < b.id) then best := c
+        end
+      end)
+    t.all_rev;
+  !best
+
+(* Evict until an arriving packet of [size] bytes fits under the
+   aggregate bounds; [false] if it cannot be made to fit. Terminates:
+   every iteration removes a packet from a >=2-packet queue. *)
+let rec make_room t ~now size =
+  if t.bl_pkts < t.agg_pkts && t.bl_bytes + size <= t.agg_bytes then true
+  else begin
+    let v = find_victim t in
+    if v == nil then false
+    else begin
+      (match Fq.drop_tail v.queue with
+      | Some dropped ->
+          t.bl_pkts <- t.bl_pkts - 1;
+          t.bl_bytes <- t.bl_bytes - dropped.Pkt.Packet.size;
+          if debug_on () then
+            Log.debug (fun m ->
+                m "evict %s at %.6f: seq=%d size=%d (aggregate limit)"
+                  v.cname now dropped.Pkt.Packet.seq dropped.Pkt.Packet.size);
+          t.on_drop now v dropped
+      | None -> assert false);
+      make_room t ~now size
+    end
+  end
+
 let enqueue t ~now cl pkt =
   if cl == t.troot || not (is_leaf_cls cl) then
     invalid_arg "Hfsc.enqueue: class is not a leaf";
-  let was_empty = Fq.is_empty cl.queue in
-  if Fq.push cl.queue pkt then begin
+  let size = pkt.Pkt.Packet.size in
+  let admitted =
+    Fq.can_accept cl.queue size
+    && (t.bl_pkts < t.agg_pkts && t.bl_bytes + size <= t.agg_bytes
+       ||
+       match t.policy with
+       | Tail_drop -> false
+       | Drop_longest -> make_room t ~now size)
+  in
+  if not admitted then begin
+    Fq.count_drop cl.queue;
+    t.on_drop now cl pkt;
+    false
+  end
+  else begin
+    let was_empty = Fq.is_empty cl.queue in
+    if not (Fq.push cl.queue pkt) then assert false;
     t.bl_pkts <- t.bl_pkts + 1;
-    t.bl_bytes <- t.bl_bytes + pkt.Pkt.Packet.size;
+    t.bl_bytes <- t.bl_bytes + size;
     if was_empty then begin
-      init_ed t cl now pkt.Pkt.Packet.size;
+      init_ed t cl now size;
       match cl.cfsc with
       | Some _ -> init_vf t cl true now
       | None -> if cl.crsc = None then assert false
     end;
     true
   end
-  else false
 
 (* link-sharing: descend by smallest virtual time that fits. Top-level
    so no closure is built per dequeue. *)
@@ -979,6 +1139,168 @@ let debug_state c =
      cvtmin=%.6f cvtoff=%.6f per=%d pper=%d nact=%d act=%b"
     c.cname c.fs.vt c.fs.vtadj c.fs.total Rc.pp c.virtual_c c.fs.e c.fs.d
     c.fs.cvtmin c.fs.cvtoff c.vtperiod c.parentperiod c.nactive c.in_actc
+
+(* --- invariant auditor --------------------------------------------- *)
+
+(* Validates every structural invariant the zero-allocation datapath
+   depends on. Called between operations (never mid-update), so every
+   cached aggregate and membership flag must be exact. Float aggregates
+   are compared with [=]: fixup only ever copies one of its inputs, so
+   a correct cache is bit-identical, not merely close. *)
+let audit t =
+  let errs = ref [] in
+  let err fmt = Format.kasprintf (fun s -> errs := s :: !errs) fmt in
+  let nan x = x <> x in
+  (* eligible/deadline tree *)
+  let ed_members = Hashtbl.create 16 in
+  let rec chk_ed n =
+    if n == nil then (0, nil)
+    else begin
+      if Hashtbl.mem ed_members n.id then
+        err "ED: class %s (id %d) appears twice" n.cname n.id
+      else Hashtbl.add ed_members n.id n;
+      if n.ed_l != nil && ed_cmp n.ed_l n >= 0 then
+        err "ED: order violated at %s (left child %s)" n.cname n.ed_l.cname;
+      if n.ed_r != nil && ed_cmp n n.ed_r >= 0 then
+        err "ED: order violated at %s (right child %s)" n.cname n.ed_r.cname;
+      let hl, bl = chk_ed n.ed_l in
+      let hr, br = chk_ed n.ed_r in
+      if abs (hl - hr) > 1 then
+        err "ED: AVL balance violated at %s (%d vs %d)" n.cname hl hr;
+      let h = 1 + if hl > hr then hl else hr in
+      if n.ed_h <> h then
+        err "ED: cached height at %s is %d, expected %d" n.cname n.ed_h h;
+      let best = n in
+      let best = if bl != nil && better_deadline bl best then bl else best in
+      let best = if br != nil && better_deadline br best then br else best in
+      if n.ed_agg != best then
+        err "ED: cached min-deadline at %s is %s, expected %s" n.cname
+          n.ed_agg.cname best.cname;
+      (h, best)
+    end
+  in
+  ignore (chk_ed t.eligible);
+  (* per-class checks, leaves and interior alike *)
+  let sum_pkts = ref 0 and sum_bytes = ref 0 in
+  let check_cls c =
+    let leaf = is_leaf_cls c in
+    let fsn = c.fs in
+    if
+      nan fsn.e || nan fsn.d || nan fsn.vt || nan fsn.f || nan fsn.cumul
+      || nan fsn.total || nan fsn.vtadj || nan fsn.cvtmin || nan fsn.cvtoff
+      || nan fsn.myf || nan fsn.myfadj
+    then err "class %s: NaN in scheduling state" c.cname;
+    if leaf && c != t.troot then begin
+      sum_pkts := !sum_pkts + Fq.length c.queue;
+      sum_bytes := !sum_bytes + Fq.bytes c.queue;
+      let backlogged = not (Fq.is_empty c.queue) in
+      let should_ed = backlogged && c.crsc <> None in
+      if c.in_ed && not should_ed then
+        err "ED: %s is in the eligible set but %s" c.cname
+          (if backlogged then "has no rsc" else "is empty");
+      if should_ed && not c.in_ed then
+        err "ED: backlogged rt leaf %s missing from the eligible set" c.cname;
+      if c.in_ed && not (Hashtbl.mem ed_members c.id) then
+        err "ED: %s flagged in_ed but not reachable from the root" c.cname;
+      if c.in_ed && fsn.e > fsn.d +. 1e-6 then
+        err "ED: %s eligible after deadline (e=%.9f > d=%.9f)" c.cname fsn.e
+          fsn.d;
+      if c.nactive <> (if backlogged then 1 else 0) then
+        err "class %s: leaf nactive=%d with %s queue" c.cname c.nactive
+          (if backlogged then "a nonempty" else "an empty")
+    end
+    else begin
+      if not (Fq.is_empty c.queue) then
+        err "class %s: interior class with queued packets" c.cname;
+      let active_children =
+        List.fold_left
+          (fun acc ch -> if ch.nactive > 0 then acc + 1 else acc)
+          0 c.cchildren_rev
+      in
+      if c.nactive <> active_children then
+        err "class %s: nactive=%d but %d children are active" c.cname
+          c.nactive active_children
+    end;
+    if c != t.troot && c.in_actc <> (c.nactive > 0) then
+      err "class %s: in_actc=%b with nactive=%d" c.cname c.in_actc c.nactive;
+    if c == t.troot && c.in_actc then err "root flagged in_actc";
+    if c.in_actc && fsn.f <> fmax fsn.myf (cfmin c) then
+      err "class %s: cached fit %.9f, expected max(myf=%.9f, cfmin=%.9f)"
+        c.cname fsn.f fsn.myf (cfmin c);
+    if fsn.total < fsn.cumul then
+      err "class %s: total=%.0f below realtime cumul=%.0f" c.cname fsn.total
+        fsn.cumul;
+    (* this class's active-children tree *)
+    let vt_members = Hashtbl.create 8 in
+    let rec chk_vt n =
+      if n == nil then (0, infinity)
+      else begin
+        if Hashtbl.mem vt_members n.id then
+          err "VT(%s): class %s appears twice" c.cname n.cname
+        else Hashtbl.add vt_members n.id n;
+        if n.vt_l != nil && vt_cmp n.vt_l n >= 0 then
+          err "VT(%s): order violated at %s" c.cname n.cname;
+        if n.vt_r != nil && vt_cmp n n.vt_r >= 0 then
+          err "VT(%s): order violated at %s" c.cname n.cname;
+        let hl, ml = chk_vt n.vt_l in
+        let hr, mr = chk_vt n.vt_r in
+        if abs (hl - hr) > 1 then
+          err "VT(%s): AVL balance violated at %s" c.cname n.cname;
+        let h = 1 + if hl > hr then hl else hr in
+        if n.vt_h <> h then
+          err "VT(%s): cached height at %s is %d, expected %d" c.cname
+            n.cname n.vt_h h;
+        let m = n.fs.f in
+        let m = if ml < m then ml else m in
+        let m = if mr < m then mr else m in
+        if n.fs.vt_agg <> m then
+          err "VT(%s): cached min-fit at %s is %.9f, expected %.9f" c.cname
+            n.cname n.fs.vt_agg m;
+        (h, m)
+      end
+    in
+    ignore (chk_vt c.actc_root);
+    List.iter
+      (fun ch ->
+        if ch.in_actc && not (Hashtbl.mem vt_members ch.id) then
+          err "VT(%s): active child %s missing from the tree" c.cname
+            ch.cname;
+        if (not ch.in_actc) && Hashtbl.mem vt_members ch.id then
+          err "VT(%s): passive child %s still in the tree" c.cname ch.cname)
+      c.cchildren_rev;
+    Hashtbl.iter
+      (fun _ n ->
+        if not (List.exists (fun ch -> ch == n) c.cchildren_rev) then
+          err "VT(%s): tree member %s is not a child" c.cname n.cname)
+      vt_members
+  in
+  List.iter check_cls t.all_rev;
+  (* every ED member must be a known in_ed leaf *)
+  Hashtbl.iter
+    (fun _ n ->
+      if not n.in_ed then err "ED: tree member %s not flagged in_ed" n.cname;
+      if not (List.exists (fun c -> c == n) t.all_rev) then
+        err "ED: tree member %s is not a class of this scheduler" n.cname)
+    ed_members;
+  if t.bl_pkts <> !sum_pkts then
+    err "backlog: bl_pkts=%d but leaf queues hold %d" t.bl_pkts !sum_pkts;
+  if t.bl_bytes <> !sum_bytes then
+    err "backlog: bl_bytes=%d but leaf queues hold %d" t.bl_bytes !sum_bytes;
+  (* find_class must resolve to the earliest class of each name *)
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun c ->
+      if not (Hashtbl.mem seen c.cname) then begin
+        Hashtbl.add seen c.cname ();
+        match Hashtbl.find_opt t.byname c.cname with
+        | Some bound when bound == c -> ()
+        | Some bound ->
+            err "byname: %S resolves to id %d, expected earliest id %d"
+              c.cname bound.id c.id
+        | None -> err "byname: %S unbound" c.cname
+      end)
+    (List.rev t.all_rev);
+  List.rev !errs
 
 let pp_hierarchy ppf t =
   let rec go indent c =

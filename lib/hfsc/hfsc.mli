@@ -50,10 +50,24 @@ type eligible_policy =
           violated; exercised by the E9 bench to show why the paper's
           rule matters. *)
 
+(** What happens when an arriving packet would exceed the *aggregate*
+    backlog bounds (per-class limits always tail-drop the arrival). *)
+type drop_policy =
+  | Tail_drop  (** the arriving packet is dropped. Default. *)
+  | Drop_longest
+      (** tail packets of the leaf with the most queued bytes are
+          evicted until the arrival fits (ties to the smallest class
+          id); the arrival is dropped only if no queue holds two or
+          more packets. Queue heads are never evicted, so scheduling
+          state needs no repair and rt deadlines are unaffected. *)
+
 val create :
   ?vt_policy:vt_policy ->
   ?eligible_policy:eligible_policy ->
   ?ulimit_slack:float ->
+  ?agg_limit_pkts:int ->
+  ?agg_limit_bytes:int ->
+  ?drop_policy:drop_policy ->
   link_rate:float ->
   unit ->
   t
@@ -61,7 +75,10 @@ val create :
     bytes/second. The root class is created implicitly with a linear
     fair service curve of that rate. [ulimit_slack] (seconds, default
     1 ms) bounds how much unused upper-limit allowance a rate-capped
-    class may carry forward as a burst. *)
+    class may carry forward as a burst. [agg_limit_pkts] /
+    [agg_limit_bytes] bound the total backlog across all leaf queues
+    (default: unlimited) with [drop_policy] deciding who pays when the
+    bound is hit. *)
 
 val root : t -> cls
 
@@ -73,6 +90,7 @@ val add_class :
   ?fsc:Curve.Service_curve.t ->
   ?usc:Curve.Service_curve.t ->
   ?qlimit:int ->
+  ?qlimit_bytes:int ->
   unit ->
   cls
 (** Adds a class under [parent]. [rsc] is the real-time service curve
@@ -80,7 +98,8 @@ val add_class :
     raises); [fsc] the fair (link-sharing) service curve, defaulting to
     [rsc] (at least one of the two must be given); [usc] an optional
     upper-limit curve making the class non-work-conserving; [qlimit]
-    the drop-tail packet limit of the leaf queue.
+    ([qlimit_bytes]) the drop-tail packet (byte) limit of the leaf
+    queue.
 
     @raise Invalid_argument on a parent with an [rsc], a parent that
     already received packets as a leaf, or a class with neither curve. *)
@@ -109,9 +128,57 @@ val set_curves :
     @raise Invalid_argument if the class is active, or the change is
     structurally invalid. *)
 
+(** {2 Queue bounds and drop accounting} *)
+
+val set_class_limits : t -> cls -> ?pkts:int -> ?bytes:int -> unit -> unit
+(** Update a leaf's queue limits in place (only the given bounds
+    change). Existing backlog is never dropped; the new bounds apply
+    to subsequent arrivals, so this is safe on a live class.
+
+    @raise Invalid_argument on a non-leaf class or non-positive bound. *)
+
+val queue_limit_pkts : cls -> int
+val queue_limit_bytes : cls -> int
+
+val set_aggregate_limit : t -> ?pkts:int -> ?bytes:int -> unit -> unit
+(** Update the scheduler-wide backlog bounds (only the given bounds
+    change); [max_int] means unlimited. Existing backlog is never
+    dropped.
+
+    @raise Invalid_argument on a non-positive bound. *)
+
+val aggregate_limit_pkts : t -> int
+val aggregate_limit_bytes : t -> int
+val set_drop_policy : t -> drop_policy -> unit
+val drop_policy : t -> drop_policy
+
+val set_drop_hook : t -> (float -> cls -> Pkt.Packet.t -> unit) -> unit
+(** [set_drop_hook t f] arranges for [f now cls pkt] to be called once
+    per dropped packet: for a refused arrival [cls] is the destination
+    leaf, for a {!Drop_longest} eviction the victim. One hook per
+    scheduler; setting replaces. The default hook does nothing. *)
+
+(** {2 Transactional support} *)
+
+type class_snapshot
+(** The configuration state of one class — curves, their runtime
+    anchors, and queue limits — as captured by {!snapshot_class}. *)
+
+val snapshot_class : cls -> class_snapshot
+
+val restore_class : cls -> class_snapshot -> unit
+(** Restore a class's configuration to a prior snapshot, bit-exactly.
+    Only configuration is covered: packet-driven scheduling state
+    (virtual times, trees, counters) is never mutated by configuration
+    commands and so never needs rollback. *)
+
 val enqueue : t -> now:float -> cls -> Pkt.Packet.t -> bool
 (** [enqueue t ~now cls p] queues [p] at leaf [cls]; [false] means the
-    packet was dropped by the class's qlimit.
+    packet was dropped — by the class's queue limits, or by the
+    aggregate limit under {!Tail_drop} (under {!Drop_longest} other
+    classes' tail packets may be evicted instead). Every drop is
+    reported to the {!set_drop_hook} hook and counted against the
+    queue that lost the packet.
 
     @raise Invalid_argument if [cls] is not a leaf of [t]. *)
 
@@ -167,6 +234,16 @@ val virtual_time : cls -> float
 val rsc : cls -> Curve.Service_curve.t option
 val fsc : cls -> Curve.Service_curve.t option
 val usc : cls -> Curve.Service_curve.t option
+
+val audit : t -> string list
+(** Validate every internal invariant the datapath depends on: ED-tree
+    ordering, balance and cached min-deadline aggregates; eligible
+    time never past the deadline; per-class VT-tree ordering and
+    cached min-fit aggregates; active-children membership against the
+    [nactive] counters; backlog counters against the leaf queues; no
+    NaNs; name-resolution bindings. Returns one human-readable line
+    per violation — [[]] means the scheduler is consistent. O(n log n);
+    call it between operations, not from inside the drop hook. *)
 
 val pp_hierarchy : Format.formatter -> t -> unit
 (** Render the class tree with per-class curves and counters. *)

@@ -25,6 +25,7 @@ module Log = (val Logs.src_log log_src : Logs.LOG)
 type criterion = Realtime | Linkshare
 type vt_policy = Vt_mean | Vt_min | Vt_max
 type eligible_policy = Eligible_paper | Eligible_deadline
+type drop_policy = Tail_drop | Drop_longest
 
 (* Per-class state. Field names follow the paper and the kernel
    implementations derived from it: [cumul] is the service received
@@ -100,11 +101,15 @@ type t = {
   actc : (int, VtT.t) Hashtbl.t; (* interior class id -> active children *)
   mutable bl_pkts : int;
   mutable bl_bytes : int;
+  mutable agg_pkts : int;
+  mutable agg_bytes : int;
+  mutable policy : drop_policy;
+  mutable on_drop : float -> cls -> Pkt.Packet.t -> unit;
 }
 
 let zero_rc = Rc.of_service_curve Sc.zero ~x:0. ~y:0.
 
-let make_cls ~id ~name ~parent ~rsc ~fsc ~usc ~qlimit =
+let make_cls ~id ~name ~parent ~rsc ~fsc ~usc ~qlimit ~qbytes =
   {
     id;
     cname = name;
@@ -113,7 +118,7 @@ let make_cls ~id ~name ~parent ~rsc ~fsc ~usc ~qlimit =
     crsc = rsc;
     cfsc = fsc;
     cusc = usc;
-    queue = Fq.create ?limit_pkts:qlimit ();
+    queue = Fq.create ?limit_pkts:qlimit ?limit_bytes:qbytes ();
     deadline_c =
       (match rsc with Some s -> Rc.of_service_curve s ~x:0. ~y:0. | None -> zero_rc);
     eligible_c =
@@ -142,13 +147,18 @@ let make_cls ~id ~name ~parent ~rsc ~fsc ~usc ~qlimit =
   }
 
 let create ?(vt_policy = Vt_mean) ?(eligible_policy = Eligible_paper)
-    ?(ulimit_slack = 0.001) ~link_rate () =
+    ?(ulimit_slack = 0.001) ?(agg_limit_pkts = max_int)
+    ?(agg_limit_bytes = max_int) ?(drop_policy = Tail_drop) ~link_rate () =
   if (not (Float.is_finite link_rate)) || link_rate <= 0. then
     invalid_arg "Hfsc.create: link_rate must be finite and positive";
   if ulimit_slack < 0. then invalid_arg "Hfsc.create: negative ulimit_slack";
+  if agg_limit_pkts <= 0 then
+    invalid_arg "Hfsc.create: aggregate packet limit must be positive";
+  if agg_limit_bytes <= 0 then
+    invalid_arg "Hfsc.create: aggregate byte limit must be positive";
   let troot =
     make_cls ~id:0 ~name:"root" ~parent:None ~rsc:None
-      ~fsc:(Some (Sc.linear link_rate)) ~usc:None ~qlimit:None
+      ~fsc:(Some (Sc.linear link_rate)) ~usc:None ~qlimit:None ~qbytes:None
   in
   {
     link_rate;
@@ -162,11 +172,15 @@ let create ?(vt_policy = Vt_mean) ?(eligible_policy = Eligible_paper)
     actc = Hashtbl.create 64;
     bl_pkts = 0;
     bl_bytes = 0;
+    agg_pkts = agg_limit_pkts;
+    agg_bytes = agg_limit_bytes;
+    policy = drop_policy;
+    on_drop = (fun _ _ _ -> ());
   }
 
 let root t = t.troot
 
-let add_class t ~parent ~name ?rsc ?fsc ?usc ?qlimit () =
+let add_class t ~parent ~name ?rsc ?fsc ?usc ?qlimit ?qlimit_bytes () =
   if parent.crsc <> None then
     invalid_arg "Hfsc.add_class: parent has a real-time curve (leaf only)";
   if not (Fq.is_empty parent.queue) then
@@ -178,6 +192,7 @@ let add_class t ~parent ~name ?rsc ?fsc ?usc ?qlimit () =
     invalid_arg "Hfsc.add_class: a class needs an rsc or an fsc";
   let cl =
     make_cls ~id:t.next_id ~name ~parent:(Some parent) ~rsc ~fsc ~usc ~qlimit
+      ~qbytes:qlimit_bytes
   in
   t.next_id <- t.next_id + 1;
   parent.cchildren <- parent.cchildren @ [ cl ];
@@ -226,6 +241,79 @@ let set_curves t cl ?rsc ?fsc ?usc () =
   | None -> ());
   if cl.crsc = None && cl.cfsc = None then
     invalid_arg "Hfsc.set_curves: a class needs an rsc or an fsc"
+
+(* --- bounds, drop policy and transactional support ----------------- *)
+
+let set_class_limits t cl ?pkts ?bytes () =
+  if cl == t.troot || cl.cchildren <> [] then
+    invalid_arg "Hfsc.set_class_limits: class is not a leaf";
+  (match pkts with
+  | Some n when n <= 0 ->
+      invalid_arg "Hfsc.set_class_limits: limit must be positive"
+  | _ -> ());
+  (match bytes with
+  | Some n when n <= 0 ->
+      invalid_arg "Hfsc.set_class_limits: byte limit must be positive"
+  | _ -> ());
+  Fq.set_limits ?pkts ?bytes cl.queue
+
+let queue_limit_pkts c = Fq.limit_pkts c.queue
+let queue_limit_bytes c = Fq.limit_bytes c.queue
+
+let set_aggregate_limit t ?pkts ?bytes () =
+  (match pkts with
+  | Some n ->
+      if n <= 0 then
+        invalid_arg "Hfsc.set_aggregate_limit: limit must be positive";
+      t.agg_pkts <- n
+  | None -> ());
+  match bytes with
+  | Some n ->
+      if n <= 0 then
+        invalid_arg "Hfsc.set_aggregate_limit: byte limit must be positive";
+      t.agg_bytes <- n
+  | None -> ()
+
+let aggregate_limit_pkts t = t.agg_pkts
+let aggregate_limit_bytes t = t.agg_bytes
+let set_drop_policy t p = t.policy <- p
+let drop_policy t = t.policy
+let set_drop_hook t f = t.on_drop <- f
+
+type class_snapshot = {
+  s_rsc : Sc.t option;
+  s_fsc : Sc.t option;
+  s_usc : Sc.t option;
+  s_deadline : Rc.t;
+  s_eligible : Rc.t;
+  s_virtual : Rc.t;
+  s_ulimit : Rc.t;
+  s_qlim_pkts : int;
+  s_qlim_bytes : int;
+}
+
+let snapshot_class cl =
+  {
+    s_rsc = cl.crsc;
+    s_fsc = cl.cfsc;
+    s_usc = cl.cusc;
+    s_deadline = cl.deadline_c;
+    s_eligible = cl.eligible_c;
+    s_virtual = cl.virtual_c;
+    s_ulimit = cl.ulimit_c;
+    s_qlim_pkts = Fq.limit_pkts cl.queue;
+    s_qlim_bytes = Fq.limit_bytes cl.queue;
+  }
+
+let restore_class cl s =
+  cl.crsc <- s.s_rsc;
+  cl.cfsc <- s.s_fsc;
+  cl.cusc <- s.s_usc;
+  cl.deadline_c <- s.s_deadline;
+  cl.eligible_c <- s.s_eligible;
+  cl.virtual_c <- s.s_virtual;
+  cl.ulimit_c <- s.s_ulimit;
+  Fq.set_limits ~pkts:s.s_qlim_pkts ~bytes:s.s_qlim_bytes cl.queue
 
 (* --- eligible-tree bookkeeping ------------------------------------ *)
 
@@ -461,21 +549,64 @@ let update_vf t cl0 len now =
 
 let is_leaf_cls c = c.cchildren = []
 
+(* Drop-from-longest victim selection and eviction: must make the
+   exact same decisions as the production Hfsc (largest queued bytes
+   among >=2-packet leaves, ties to the smallest id). *)
+let find_victim t =
+  List.fold_left
+    (fun best c ->
+      if is_leaf_cls c && Fq.length c.queue >= 2 then
+        match best with
+        | None -> Some c
+        | Some b ->
+            let qb = Fq.bytes c.queue and bb = Fq.bytes b.queue in
+            if qb > bb || (qb = bb && c.id < b.id) then Some c else best
+      else best)
+    None t.all_rev
+
+let rec make_room t ~now size =
+  if t.bl_pkts < t.agg_pkts && t.bl_bytes + size <= t.agg_bytes then true
+  else
+    match find_victim t with
+    | None -> false
+    | Some v ->
+        (match Fq.drop_tail v.queue with
+        | Some dropped ->
+            t.bl_pkts <- t.bl_pkts - 1;
+            t.bl_bytes <- t.bl_bytes - dropped.Pkt.Packet.size;
+            t.on_drop now v dropped
+        | None -> assert false);
+        make_room t ~now size
+
 let enqueue t ~now cl pkt =
   if cl == t.troot || not (is_leaf_cls cl) then
     invalid_arg "Hfsc.enqueue: class is not a leaf";
-  let was_empty = Fq.is_empty cl.queue in
-  if Fq.push cl.queue pkt then begin
+  let size = pkt.Pkt.Packet.size in
+  let admitted =
+    Fq.can_accept cl.queue size
+    && (t.bl_pkts < t.agg_pkts && t.bl_bytes + size <= t.agg_bytes
+       ||
+       match t.policy with
+       | Tail_drop -> false
+       | Drop_longest -> make_room t ~now size)
+  in
+  if not admitted then begin
+    Fq.count_drop cl.queue;
+    t.on_drop now cl pkt;
+    false
+  end
+  else begin
+    let was_empty = Fq.is_empty cl.queue in
+    if not (Fq.push cl.queue pkt) then assert false;
     t.bl_pkts <- t.bl_pkts + 1;
-    t.bl_bytes <- t.bl_bytes + pkt.Pkt.Packet.size;
+    t.bl_bytes <- t.bl_bytes + size;
     if was_empty then begin
-      init_ed t cl now (float_of_int pkt.Pkt.Packet.size);
+      init_ed t cl now (float_of_int size);
       if cl.cfsc <> None then init_vf t cl now
       else if cl.crsc = None then assert false
     end;
     true
   end
-  else false
 
 let dequeue t ~now =
   if t.bl_pkts = 0 then None
@@ -582,6 +713,61 @@ let debug_state c =
      cvtmin=%.6f cvtoff=%.6f per=%d pper=%d nact=%d act=%b"
     c.cname c.vt c.vtadj c.total Rc.pp c.virtual_c c.e c.d c.cvtmin
     c.cvtoff c.vtperiod c.parentperiod c.nactive c.in_actc
+
+(* Semantic-level auditor: the persistent trees (Ds.Ed_tree /
+   Ds.Vt_tree) carry their own structural tests, so the oracle checks
+   the scheduler-level invariants only — membership flags against
+   queue/activity state, counter sums, deadline ordering, NaN
+   absence. *)
+let audit t =
+  let errs = ref [] in
+  let err fmt = Format.kasprintf (fun s -> errs := s :: !errs) fmt in
+  let nan x = x <> x in
+  let sum_pkts = ref 0 and sum_bytes = ref 0 in
+  let check_cls c =
+    if
+      nan c.e || nan c.d || nan c.vt || nan c.f || nan c.cumul || nan c.total
+      || nan c.vtadj || nan c.cvtmin || nan c.cvtoff || nan c.myf
+      || nan c.myfadj
+    then err "class %s: NaN in scheduling state" c.cname;
+    if is_leaf_cls c && c != t.troot then begin
+      sum_pkts := !sum_pkts + Fq.length c.queue;
+      sum_bytes := !sum_bytes + Fq.bytes c.queue;
+      let backlogged = not (Fq.is_empty c.queue) in
+      let should_ed = backlogged && c.crsc <> None in
+      if c.in_ed <> should_ed then
+        err "ED: %s in_ed=%b, expected %b" c.cname c.in_ed should_ed;
+      if c.in_ed && c.e > c.d +. 1e-6 then
+        err "ED: %s eligible after deadline (e=%.9f > d=%.9f)" c.cname c.e c.d;
+      if c.nactive <> (if backlogged then 1 else 0) then
+        err "class %s: leaf nactive=%d with %s queue" c.cname c.nactive
+          (if backlogged then "a nonempty" else "an empty")
+    end
+    else begin
+      if not (Fq.is_empty c.queue) then
+        err "class %s: interior class with queued packets" c.cname;
+      let active_children =
+        List.fold_left
+          (fun acc ch -> if ch.nactive > 0 then acc + 1 else acc)
+          0 c.cchildren
+      in
+      if c.nactive <> active_children then
+        err "class %s: nactive=%d but %d children are active" c.cname
+          c.nactive active_children
+    end;
+    if c != t.troot && c.in_actc <> (c.nactive > 0) then
+      err "class %s: in_actc=%b with nactive=%d" c.cname c.in_actc c.nactive;
+    if c == t.troot && c.in_actc then err "root flagged in_actc";
+    if c.total < c.cumul then
+      err "class %s: total=%.0f below realtime cumul=%.0f" c.cname c.total
+        c.cumul
+  in
+  List.iter check_cls t.all_rev;
+  if t.bl_pkts <> !sum_pkts then
+    err "backlog: bl_pkts=%d but leaf queues hold %d" t.bl_pkts !sum_pkts;
+  if t.bl_bytes <> !sum_bytes then
+    err "backlog: bl_bytes=%d but leaf queues hold %d" t.bl_bytes !sum_bytes;
+  List.rev !errs
 
 let pp_hierarchy ppf t =
   let rec go indent c =

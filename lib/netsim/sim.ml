@@ -5,11 +5,12 @@ type event =
   | Callback of (now:float -> unit)
 
 type t = {
-  link_rate : float;
+  mutable link_rate : float;
   sched : Sched.Scheduler.t;
   q : event Event_queue.t;
   mutable now : float;
   mutable busy : bool;
+  mutable up : bool; (* link outages park the dequeue loop *)
   mutable poll_at : float; (* earliest pending poll; infinity if none *)
   seqs : (int, int) Hashtbl.t;
   mutable on_departure : (now:float -> Sched.Scheduler.served -> unit) list;
@@ -28,6 +29,7 @@ let create ?event_backend ?(tput_bin = 1.0) ~link_rate ~sched () =
     q = Event_queue.create ?backend:event_backend ();
     now = 0.;
     busy = false;
+    up = true;
     poll_at = infinity;
     seqs = Hashtbl.create 16;
     on_departure = [];
@@ -50,10 +52,11 @@ let at t when_ f =
   if when_ < t.now then invalid_arg "Sim.at: time is in the past";
   Event_queue.add t.q when_ (Callback f)
 
-(* If the link is idle, pull the next packet; if the scheduler is
-   backlogged but rate-capped, arm a poll for its next-ready instant. *)
+(* If the link is idle and up, pull the next packet; if the scheduler
+   is backlogged but rate-capped, arm a poll for its next-ready
+   instant. *)
 let try_start t =
-  if not t.busy then begin
+  if (not t.busy) && t.up then begin
     match t.sched.Sched.Scheduler.dequeue ~now:t.now with
     | Some served ->
         t.busy <- true;
@@ -139,6 +142,18 @@ let run_until_idle t ~max_time =
     | _ -> continue_ := false
   done
 
+let set_link_rate t r =
+  if (not (Float.is_finite r)) || r <= 0. then
+    invalid_arg "Sim.set_link_rate: rate must be finite and positive";
+  t.link_rate <- r
+
+let set_link_up t up =
+  let was = t.up in
+  t.up <- up;
+  if up && not was then try_start t
+
+let link_rate t = t.link_rate
+let link_up t = t.up
 let now t = t.now
 let delay_of_flow t flow = Hashtbl.find_opt t.delays flow
 let throughput t = t.tput

@@ -49,6 +49,30 @@ val run_until_idle : t -> max_time:float -> unit
 (** Run until no event is pending and the scheduler is idle, or
     [max_time] is reached. *)
 
+(** {2 Link faults}
+
+    Both setters model a link-layer change at the current simulated
+    time; call them from an {!at} callback to schedule one. A packet
+    already on the wire is unaffected — it completes at the departure
+    time computed when its transmission started (the rate change or
+    outage applies from the next packet on), which keeps replays
+    deterministic. *)
+
+val set_link_rate : t -> float -> unit
+(** Change the transmission rate (bytes/second) for subsequent packets.
+    The scheduler's own notion of capacity (its fair-curve root) is not
+    touched: a lowered link rate models exactly the overload a
+    misconfigured or degraded link produces.
+
+    @raise Invalid_argument unless finite and positive. *)
+
+val set_link_up : t -> bool -> unit
+(** Take the link down ([false]: nothing more is dequeued) or back up
+    ([true]: dequeueing resumes immediately). Idempotent. *)
+
+val link_rate : t -> float
+val link_up : t -> bool
+
 val now : t -> float
 
 val delay_of_flow : t -> int -> Stats.Delay.t option

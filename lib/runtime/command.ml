@@ -14,6 +14,8 @@ type filter_spec = {
 }
 
 type trace_op = Trace_on | Trace_off | Trace_dump
+type limit_val = Unlimited | At of int
+type limit_policy = Policy_tail | Policy_longest
 
 type t =
   | Add_class of {
@@ -22,13 +24,24 @@ type t =
       flow : int option;
       curves : curve_updates;
       qlimit : int option;
+      qbytes : int option;
     }
-  | Modify_class of { name : string; curves : curve_updates }
+  | Modify_class of {
+      name : string;
+      curves : curve_updates;
+      qlimit : int option;
+      qbytes : int option;
+    }
   | Delete_class of string
   | Attach_filter of filter_spec
   | Detach_filter of int
   | Stats of string option
   | Trace of trace_op
+  | Set_limit of {
+      lpkts : limit_val option;
+      lbytes : limit_val option;
+      lpolicy : limit_policy option;
+    }
 
 type error = { line : int; reason : string }
 
@@ -48,25 +61,49 @@ let curve toks =
 
 let no_curves = { rsc = None; fsc = None; usc = None }
 
-(* Attribute loop shared by add/modify: [allow_struct] admits the
-   structural attributes (flow/qlimit) that only make sense at class
-   creation. *)
-let rec class_attrs ~allow_struct (curves, flow, qlimit) = function
-  | [] -> (curves, flow, qlimit)
+(* Attribute loop shared by add/modify: [allow_flow] admits the flow
+   mapping, which only makes sense at class creation; queue limits
+   (qlimit/qbytes) are live-settable and allowed in both. *)
+let rec class_attrs ~allow_flow (curves, flow, qlimit, qbytes) = function
+  | [] -> (curves, flow, qlimit, qbytes)
   | "rsc" :: rest ->
       let c, rest = curve rest in
-      class_attrs ~allow_struct ({ curves with rsc = Some c }, flow, qlimit) rest
+      class_attrs ~allow_flow
+        ({ curves with rsc = Some c }, flow, qlimit, qbytes)
+        rest
   | "fsc" :: rest ->
       let c, rest = curve rest in
-      class_attrs ~allow_struct ({ curves with fsc = Some c }, flow, qlimit) rest
+      class_attrs ~allow_flow
+        ({ curves with fsc = Some c }, flow, qlimit, qbytes)
+        rest
   | "ulimit" :: rest ->
       let c, rest = curve rest in
-      class_attrs ~allow_struct ({ curves with usc = Some c }, flow, qlimit) rest
-  | "flow" :: n :: rest when allow_struct ->
-      class_attrs ~allow_struct (curves, Some (int_tok n), qlimit) rest
-  | "qlimit" :: n :: rest when allow_struct ->
-      class_attrs ~allow_struct (curves, flow, Some (int_tok n)) rest
+      class_attrs ~allow_flow
+        ({ curves with usc = Some c }, flow, qlimit, qbytes)
+        rest
+  | "flow" :: n :: rest when allow_flow ->
+      class_attrs ~allow_flow (curves, Some (int_tok n), qlimit, qbytes) rest
+  | "qlimit" :: n :: rest ->
+      class_attrs ~allow_flow (curves, flow, Some (int_tok n), qbytes) rest
+  | "qbytes" :: n :: rest ->
+      class_attrs ~allow_flow (curves, flow, qlimit, Some (int_tok n)) rest
   | kw :: _ -> fail "unknown class attribute %S" kw
+
+let limit_tok = function
+  | "none" -> Unlimited
+  | s ->
+      let n = int_tok s in
+      if n <= 0 then fail "limit must be positive, got %d" n;
+      At n
+
+let rec limit_attrs (p, b, pol) = function
+  | [] -> (p, b, pol)
+  | "pkts" :: v :: rest -> limit_attrs (Some (limit_tok v), b, pol) rest
+  | "bytes" :: v :: rest -> limit_attrs (p, Some (limit_tok v), pol) rest
+  | "policy" :: "tail" :: rest -> limit_attrs (p, b, Some Policy_tail) rest
+  | "policy" :: "longest" :: rest -> limit_attrs (p, b, Some Policy_longest) rest
+  | "policy" :: kw :: _ -> fail "unknown drop policy %S (tail|longest)" kw
+  | kw :: _ -> fail "unknown limit attribute %S" kw
 
 let proto_tok = function
   | "tcp" -> Pkt.Header.Tcp
@@ -87,19 +124,20 @@ let rec filter_attrs f = function
 
 let parse_tokens = function
   | "add" :: "class" :: name :: "parent" :: parent :: rest ->
-      let curves, flow, qlimit =
-        class_attrs ~allow_struct:true (no_curves, None, None) rest
+      let curves, flow, qlimit, qbytes =
+        class_attrs ~allow_flow:true (no_curves, None, None, None) rest
       in
       if curves.rsc = None && curves.fsc = None then
         fail "class %S needs an rsc or an fsc" name;
-      Add_class { name; parent; flow; curves; qlimit }
+      Add_class { name; parent; flow; curves; qlimit; qbytes }
   | "add" :: "class" :: _ -> fail "add class: expected NAME parent PARENT"
   | "modify" :: "class" :: name :: rest ->
-      let curves, _, _ =
-        class_attrs ~allow_struct:false (no_curves, None, None) rest
+      let curves, _, qlimit, qbytes =
+        class_attrs ~allow_flow:false (no_curves, None, None, None) rest
       in
-      if curves = no_curves then fail "modify class %S: nothing to change" name;
-      Modify_class { name; curves }
+      if curves = no_curves && qlimit = None && qbytes = None then
+        fail "modify class %S: nothing to change" name;
+      Modify_class { name; curves; qlimit; qbytes }
   | [ "delete"; "class"; name ] -> Delete_class name
   | "delete" :: "class" :: _ -> fail "delete class: expected exactly one NAME"
   | "attach" :: "filter" :: "flow" :: n :: rest ->
@@ -124,6 +162,11 @@ let parse_tokens = function
   | [ "trace"; "off" ] -> Trace Trace_off
   | [ "trace"; "dump" ] -> Trace Trace_dump
   | "trace" :: _ -> fail "trace takes one of: on, off, dump"
+  | "limit" :: rest ->
+      let lpkts, lbytes, lpolicy = limit_attrs (None, None, None) rest in
+      if lpkts = None && lbytes = None && lpolicy = None then
+        fail "limit: expected at least one of pkts/bytes/policy";
+      Set_limit { lpkts; lbytes; lpolicy }
   | kw :: _ -> fail "unknown command %S" kw
   | [] -> fail "empty command"
 
@@ -184,17 +227,28 @@ let pp_curves ppf c =
   one "fsc" c.fsc;
   one "ulimit" c.usc
 
+let pp_qlimits ppf (qlimit, qbytes) =
+  (match qlimit with
+  | Some q -> Format.fprintf ppf " qlimit %d" q
+  | None -> ());
+  match qbytes with
+  | Some q -> Format.fprintf ppf " qbytes %d" q
+  | None -> ()
+
+let pp_limit_val ppf = function
+  | Unlimited -> Format.pp_print_string ppf "none"
+  | At n -> Format.pp_print_int ppf n
+
 let pp ppf = function
-  | Add_class { name; parent; flow; curves; qlimit } ->
+  | Add_class { name; parent; flow; curves; qlimit; qbytes } ->
       Format.fprintf ppf "add class %s parent %s" name parent;
       (match flow with Some f -> Format.fprintf ppf " flow %d" f | None -> ());
       pp_curves ppf curves;
-      (match qlimit with
-      | Some q -> Format.fprintf ppf " qlimit %d" q
-      | None -> ())
-  | Modify_class { name; curves } ->
+      pp_qlimits ppf (qlimit, qbytes)
+  | Modify_class { name; curves; qlimit; qbytes } ->
       Format.fprintf ppf "modify class %s" name;
-      pp_curves ppf curves
+      pp_curves ppf curves;
+      pp_qlimits ppf (qlimit, qbytes)
   | Delete_class name -> Format.fprintf ppf "delete class %s" name
   | Attach_filter f ->
       Format.fprintf ppf "attach filter flow %d" f.fflow;
@@ -215,3 +269,15 @@ let pp ppf = function
   | Trace Trace_on -> Format.fprintf ppf "trace on"
   | Trace Trace_off -> Format.fprintf ppf "trace off"
   | Trace Trace_dump -> Format.fprintf ppf "trace dump"
+  | Set_limit { lpkts; lbytes; lpolicy } ->
+      Format.fprintf ppf "limit";
+      (match lpkts with
+      | Some v -> Format.fprintf ppf " pkts %a" pp_limit_val v
+      | None -> ());
+      (match lbytes with
+      | Some v -> Format.fprintf ppf " bytes %a" pp_limit_val v
+      | None -> ());
+      (match lpolicy with
+      | Some Policy_tail -> Format.fprintf ppf " policy tail"
+      | Some Policy_longest -> Format.fprintf ppf " policy longest"
+      | None -> ())

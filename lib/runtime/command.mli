@@ -9,15 +9,22 @@
 
     {v
     add class NAME parent PARENT [flow N] [rsc CURVE] [fsc CURVE]
-                                 [ulimit CURVE] [qlimit N]
+                                 [ulimit CURVE] [qlimit N] [qbytes N]
     modify class NAME [rsc CURVE] [fsc CURVE] [ulimit CURVE]
+                      [qlimit N] [qbytes N]
     delete class NAME
     attach filter flow N [src CIDR] [dst CIDR] [proto tcp|udp|icmp|NUM]
                          [sport LO HI] [dport LO HI]
     detach filter flow N
     stats [NAME]
     trace on|off|dump
+    limit [pkts N|none] [bytes N|none] [policy tail|longest]
     v}
+
+    [qlimit]/[qbytes] bound a leaf's queue in packets/bytes; [limit]
+    sets the aggregate (scheduler-wide) backlog bound and the drop
+    policy used when it is hit ([tail] refuses the arriving packet,
+    [longest] evicts from the longest leaf queue to make room).
 
     A {e script} is a sequence of such lines, each optionally prefixed
     with [at TIME] (absolute simulated time; bare seconds or a
@@ -40,6 +47,11 @@ type filter_spec = {
 
 type trace_op = Trace_on | Trace_off | Trace_dump
 
+type limit_val = Unlimited | At of int
+(** An aggregate bound: [Unlimited] lifts it, [At n] caps at [n]. *)
+
+type limit_policy = Policy_tail | Policy_longest
+
 type t =
   | Add_class of {
       name : string;
@@ -47,13 +59,24 @@ type t =
       flow : int option;
       curves : curve_updates;
       qlimit : int option;
+      qbytes : int option;
     }
-  | Modify_class of { name : string; curves : curve_updates }
+  | Modify_class of {
+      name : string;
+      curves : curve_updates;
+      qlimit : int option;
+      qbytes : int option;
+    }
   | Delete_class of string
   | Attach_filter of filter_spec
   | Detach_filter of int  (** by flow id *)
   | Stats of string option
   | Trace of trace_op
+  | Set_limit of {
+      lpkts : limit_val option;
+      lbytes : limit_val option;
+      lpolicy : limit_policy option;
+    }
 
 type error = { line : int; reason : string }
 

@@ -1,6 +1,59 @@
 module Sc = Curve.Service_curve
 module Pw = Curve.Piecewise
 
+type error_code =
+  | Parse_error
+  | Unknown_class
+  | Duplicate_class
+  | Unknown_flow
+  | Duplicate_flow
+  | Admission_realtime
+  | Admission_linkshare
+  | Admission_ulimit
+  | Class_active
+  | Structural
+  | Bad_value
+
+type error = { code : error_code; message : string }
+
+let error_code e = e.code
+let error_message e = e.message
+
+let error_code_name = function
+  | Parse_error -> "parse-error"
+  | Unknown_class -> "unknown-class"
+  | Duplicate_class -> "duplicate-class"
+  | Unknown_flow -> "unknown-flow"
+  | Duplicate_flow -> "duplicate-flow"
+  | Admission_realtime -> "admission-realtime"
+  | Admission_linkshare -> "admission-linkshare"
+  | Admission_ulimit -> "admission-ulimit"
+  | Class_active -> "class-active"
+  | Structural -> "structural"
+  | Bad_value -> "bad-value"
+
+let parse_error message = { code = Parse_error; message }
+let errf code fmt = Printf.ksprintf (fun message -> Error { code; message }) fmt
+
+let contains s sub =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+(* Classify an [Invalid_argument] raised by the scheduler: refusals
+   about live/backlogged classes are transient (retry once the class
+   drains), bad numeric arguments are the caller's fault, the rest are
+   structural (wrong place in the hierarchy). *)
+let of_invalid message =
+  let code =
+    if contains message "active" || contains message "queued" then Class_active
+    else if contains message "positive" then Bad_value
+    else Structural
+  in
+  Error { code; message }
+
+exception Audit_failure of string list
+
 type t = {
   sched : Hfsc.t;
   link_rate : float;
@@ -8,13 +61,16 @@ type t = {
   flows : (int, Hfsc.cls) Hashtbl.t;
   mutable filters : Classify.Rules.rule list; (* in match order *)
   mutable table : Classify.Rules.t;
+  audit_every : int; (* <= 0 disables the periodic invariant audit *)
+  mutable ops : int; (* ops since the last audit *)
 }
 
 let announce t cls =
   Telemetry.ensure_class t.tele ~id:(Hfsc.id cls);
   Telemetry.set_rsc t.tele ~id:(Hfsc.id cls) (Hfsc.rsc cls)
 
-let create ?trace_capacity ?tracing ~link_rate sched ~flow_map () =
+let create ?trace_capacity ?tracing ?(audit_every = 0) ~link_rate sched
+    ~flow_map () =
   let t =
     {
       sched;
@@ -23,6 +79,8 @@ let create ?trace_capacity ?tracing ~link_rate sched ~flow_map () =
       flows = Hashtbl.create 16;
       filters = [];
       table = Classify.Rules.create [];
+      audit_every;
+      ops = 0;
     }
   in
   List.iter (announce t) (Hfsc.classes sched);
@@ -34,10 +92,17 @@ let create ?trace_capacity ?tracing ~link_rate sched ~flow_map () =
         invalid_arg "Engine.create: duplicate flow id";
       Hashtbl.replace t.flows flow cls)
     flow_map;
+  (* every drop — refused arrival or eviction — lands in telemetry,
+     charged to the queue that lost the packet *)
+  Hfsc.set_drop_hook sched (fun now cls pkt ->
+      Telemetry.ensure_class t.tele ~id:(Hfsc.id cls);
+      Telemetry.note_drop t.tele ~id:(Hfsc.id cls) ~now
+        ~size:pkt.Pkt.Packet.size ~flow:pkt.Pkt.Packet.flow
+        ~seq:pkt.Pkt.Packet.seq);
   t
 
-let of_config ?trace_capacity ?tracing (cfg : Config.t) =
-  create ?trace_capacity ?tracing ~link_rate:cfg.Config.link_rate
+let of_config ?trace_capacity ?tracing ?audit_every (cfg : Config.t) =
+  create ?trace_capacity ?tracing ?audit_every ~link_rate:cfg.Config.link_rate
     cfg.Config.scheduler ~flow_map:cfg.Config.flow_map ()
 
 let scheduler t = t.sched
@@ -50,6 +115,35 @@ let classify t h =
   | Some flow -> Hashtbl.find_opt t.flows flow
 
 let filter_count t = List.length t.filters
+
+(* --- invariant auditor --------------------------------------------- *)
+
+let audit t =
+  let errs = ref [] in
+  let live = Hfsc.classes t.sched in
+  Hashtbl.iter
+    (fun flow cls ->
+      if not (List.memq cls live) then
+        errs :=
+          Printf.sprintf "flow %d maps to removed class %S" flow
+            (Hfsc.name cls)
+          :: !errs
+      else if not (Hfsc.is_leaf cls) then
+        errs :=
+          Printf.sprintf "flow %d maps to interior class %S" flow
+            (Hfsc.name cls)
+          :: !errs)
+    t.flows;
+  Hfsc.audit t.sched @ List.rev !errs
+
+let maybe_audit t =
+  if t.audit_every > 0 then begin
+    t.ops <- t.ops + 1;
+    if t.ops >= t.audit_every then begin
+      t.ops <- 0;
+      match audit t with [] -> () | errs -> raise (Audit_failure errs)
+    end
+  end
 
 (* --- admission ----------------------------------------------------- *)
 
@@ -82,7 +176,9 @@ let check_rsc t ~target ~replace =
       ~capacity:(Pw.linear ~slope:t.link_rate) curves
   with
   | None -> Ok ()
-  | Some v -> Error (pp_violation ~what:"real-time guarantees" v)
+  | Some v ->
+      errf Admission_realtime "%s"
+        (pp_violation ~what:"real-time guarantees" v)
 
 (* Children's fsc under [parent] — with [replace] for [target], or
    appended as a prospective new child — must fit under the parent's
@@ -111,12 +207,28 @@ let check_fsc_under t ~parent ~target ~replace =
       with
       | None -> Ok ()
       | Some v ->
-          Error
+          errf Admission_linkshare "%s"
             (pp_violation
                ~what:
                  (Printf.sprintf "link-sharing under class %S"
                     (Hfsc.name parent))
                v))
+
+(* An upper-limit curve below the class's own rsc would let the
+   real-time criterion promise service the ulimit then forbids. *)
+let check_usc ~name ~rsc ~usc =
+  match (rsc, usc) with
+  | Some rsc, Some usc -> (
+      match Analysis.Admission.usc_violating_breakpoint ~rsc ~usc with
+      | None -> Ok ()
+      | Some v ->
+          errf Admission_ulimit "%s"
+            (pp_violation
+               ~what:
+                 (Printf.sprintf "upper limit of class %S against its rsc"
+                    name)
+               v))
+  | _ -> Ok ()
 
 (* --- command execution --------------------------------------------- *)
 
@@ -125,19 +237,20 @@ let ( let* ) = Result.bind
 let find t name =
   match Hfsc.find_class t.sched name with
   | Some c -> Ok c
-  | None -> Error (Printf.sprintf "unknown class %S" name)
+  | None -> errf Unknown_class "unknown class %S" name
 
-let exec_add t (a : Command.curve_updates) ~name ~parent ~flow ~qlimit =
+let exec_add t (a : Command.curve_updates) ~name ~parent ~flow ~qlimit ~qbytes
+    =
   let* () =
     match Hfsc.find_class t.sched name with
-    | Some _ -> Error (Printf.sprintf "class %S already exists" name)
+    | Some _ -> errf Duplicate_class "class %S already exists" name
     | None -> Ok ()
   in
   let* parent_cls = find t parent in
   let* () =
     match flow with
     | Some f when Hashtbl.mem t.flows f ->
-        Error (Printf.sprintf "flow %d is already mapped" f)
+        errf Duplicate_flow "flow %d is already mapped" f
     | _ -> Ok ()
   in
   let* () =
@@ -149,12 +262,13 @@ let exec_add t (a : Command.curve_updates) ~name ~parent ~flow ~qlimit =
      judge the same effective curve *)
   let eff_fsc = match a.fsc with Some _ as f -> f | None -> a.rsc in
   let* () = check_fsc_under t ~parent:parent_cls ~target:None ~replace:eff_fsc in
+  let* () = check_usc ~name ~rsc:a.rsc ~usc:a.usc in
   let* cls =
     try
       Ok
         (Hfsc.add_class t.sched ~parent:parent_cls ~name ?rsc:a.rsc ?fsc:a.fsc
-           ?usc:a.usc ?qlimit ())
-    with Invalid_argument e -> Error e
+           ?usc:a.usc ?qlimit ?qlimit_bytes:qbytes ())
+    with Invalid_argument e -> of_invalid e
   in
   announce t cls;
   (match flow with Some f -> Hashtbl.replace t.flows f cls | None -> ());
@@ -165,7 +279,7 @@ let exec_add t (a : Command.curve_updates) ~name ~parent ~flow ~qlimit =
        | Some f -> Printf.sprintf ", flow %d" f
        | None -> ""))
 
-let exec_modify t (a : Command.curve_updates) ~name =
+let exec_modify t (a : Command.curve_updates) ~name ~qlimit ~qbytes =
   let* cls = find t name in
   let* () =
     match a.rsc with
@@ -188,7 +302,7 @@ let exec_modify t (a : Command.curve_updates) ~name =
         with
         | None -> Ok ()
         | Some v ->
-            Error
+            errf Admission_linkshare "%s"
               (pp_violation
                  ~what:
                    (Printf.sprintf "children of class %S against its new fsc"
@@ -196,21 +310,32 @@ let exec_modify t (a : Command.curve_updates) ~name =
                  v))
     | _ -> Ok ()
   in
-  let* () =
-    try
-      Ok (Hfsc.set_curves t.sched cls ?rsc:a.rsc ?fsc:a.fsc ?usc:a.usc ())
-    with Invalid_argument e -> Error e
-  in
-  (match a.rsc with
-  | Some _ -> Telemetry.set_rsc t.tele ~id:(Hfsc.id cls) (Hfsc.rsc cls)
-  | None -> ());
-  Ok (Printf.sprintf "modified class %S" name)
+  let eff_rsc = match a.rsc with Some _ as r -> r | None -> Hfsc.rsc cls in
+  let eff_usc = match a.usc with Some _ as u -> u | None -> Hfsc.usc cls in
+  let* () = check_usc ~name ~rsc:eff_rsc ~usc:eff_usc in
+  (* apply transactionally: set_curves validates part-way through its
+     mutations (e.g. the class going curveless), so roll the class back
+     to the snapshot on any refusal *)
+  let snap = Hfsc.snapshot_class cls in
+  try
+    if a.rsc <> None || a.fsc <> None || a.usc <> None then
+      Hfsc.set_curves t.sched cls ?rsc:a.rsc ?fsc:a.fsc ?usc:a.usc ();
+    (match (qlimit, qbytes) with
+    | None, None -> ()
+    | _ -> Hfsc.set_class_limits t.sched cls ?pkts:qlimit ?bytes:qbytes ());
+    (match a.rsc with
+    | Some _ -> Telemetry.set_rsc t.tele ~id:(Hfsc.id cls) (Hfsc.rsc cls)
+    | None -> ());
+    Ok (Printf.sprintf "modified class %S" name)
+  with Invalid_argument e ->
+    Hfsc.restore_class cls snap;
+    of_invalid e
 
 let exec_delete t ~name =
   let* cls = find t name in
   let* () =
     try Ok (Hfsc.remove_class t.sched cls)
-    with Invalid_argument e -> Error e
+    with Invalid_argument e -> of_invalid e
   in
   let dead =
     Hashtbl.fold (fun f c acc -> if c == cls then f :: acc else acc) t.flows []
@@ -230,14 +355,14 @@ let rebuild_table t = t.table <- Classify.Rules.create t.filters
 let exec_attach t (f : Command.filter_spec) =
   let* () =
     if Hashtbl.mem t.flows f.fflow then Ok ()
-    else Error (Printf.sprintf "filter flow %d is not mapped to a class" f.fflow)
+    else errf Unknown_flow "filter flow %d is not mapped to a class" f.fflow
   in
   let* rule =
     try
       Ok
         (Classify.Rules.rule ?src:f.fsrc ?dst:f.fdst ?proto:f.fproto
            ?sport:f.fsport ?dport:f.fdport ~flow:f.fflow ())
-    with Invalid_argument e -> Error e
+    with Invalid_argument e -> Error { code = Bad_value; message = e }
   in
   t.filters <- t.filters @ [ rule ];
   rebuild_table t;
@@ -251,7 +376,7 @@ let exec_detach t flow =
     List.partition (fun r -> Classify.Rules.flow_of r <> flow) t.filters
   in
   match dropped with
-  | [] -> Error (Printf.sprintf "no filter attached to flow %d" flow)
+  | [] -> errf Unknown_flow "no filter attached to flow %d" flow
   | _ ->
       t.filters <- keep;
       rebuild_table t;
@@ -260,6 +385,33 @@ let exec_detach t flow =
            (List.length dropped)
            (if List.length dropped > 1 then "s" else "")
            flow)
+
+let exec_limit t ~lpkts ~lbytes ~lpolicy =
+  let conv = function
+    | Some Command.Unlimited -> Ok (Some max_int)
+    | Some (Command.At n) ->
+        if n <= 0 then errf Bad_value "limit must be positive, got %d" n
+        else Ok (Some n)
+    | None -> Ok None
+  in
+  (* validate both bounds before touching the scheduler so the command
+     applies atomically or not at all *)
+  let* pkts = conv lpkts in
+  let* bytes = conv lbytes in
+  Hfsc.set_aggregate_limit t.sched ?pkts ?bytes ();
+  (match lpolicy with
+  | Some Command.Policy_tail -> Hfsc.set_drop_policy t.sched Hfsc.Tail_drop
+  | Some Command.Policy_longest ->
+      Hfsc.set_drop_policy t.sched Hfsc.Drop_longest
+  | None -> ());
+  let show n = if n = max_int then "none" else string_of_int n in
+  Ok
+    (Printf.sprintf "limit pkts=%s bytes=%s policy=%s"
+       (show (Hfsc.aggregate_limit_pkts t.sched))
+       (show (Hfsc.aggregate_limit_bytes t.sched))
+       (match Hfsc.drop_policy t.sched with
+       | Hfsc.Tail_drop -> "tail"
+       | Hfsc.Drop_longest -> "longest"))
 
 (* --- stats --------------------------------------------------------- *)
 
@@ -306,6 +458,8 @@ let stats_json t =
               Json_lite.Num (float_of_int (Telemetry.trace_capacity t.tele)) );
             ( "recorded",
               Json_lite.Num (float_of_int (Telemetry.recorded_total t.tele)) );
+            ( "dropped_events",
+              Json_lite.Num (float_of_int (Telemetry.dropped_events t.tele)) );
           ] );
     ]
 
@@ -337,40 +491,54 @@ let stats_text t ?cls () =
 
 let exec t ~now cmd =
   ignore now;
-  match (cmd : Command.t) with
-  | Add_class { name; parent; flow; curves; qlimit } ->
-      exec_add t curves ~name ~parent ~flow ~qlimit
-  | Modify_class { name; curves } -> exec_modify t curves ~name
-  | Delete_class name -> exec_delete t ~name
-  | Attach_filter f -> exec_attach t f
-  | Detach_filter flow -> exec_detach t flow
-  | Stats cls -> stats_text t ?cls ()
-  | Trace Trace_on ->
-      Telemetry.set_tracing t.tele true;
-      Ok "trace on"
-  | Trace Trace_off ->
-      Telemetry.set_tracing t.tele false;
-      Ok "trace off"
-  | Trace Trace_dump -> Ok (Telemetry.trace_text t.tele)
+  let r =
+    match (cmd : Command.t) with
+    | Add_class { name; parent; flow; curves; qlimit; qbytes } ->
+        exec_add t curves ~name ~parent ~flow ~qlimit ~qbytes
+    | Modify_class { name; curves; qlimit; qbytes } ->
+        exec_modify t curves ~name ~qlimit ~qbytes
+    | Delete_class name -> exec_delete t ~name
+    | Attach_filter f -> exec_attach t f
+    | Detach_filter flow -> exec_detach t flow
+    | Stats cls -> stats_text t ?cls ()
+    | Trace Trace_on ->
+        Telemetry.set_tracing t.tele true;
+        Ok "trace on"
+    | Trace Trace_off ->
+        Telemetry.set_tracing t.tele false;
+        Ok "trace off"
+    | Trace Trace_dump -> Ok (Telemetry.trace_text t.tele)
+    | Set_limit { lpkts; lbytes; lpolicy } ->
+        exec_limit t ~lpkts ~lbytes ~lpolicy
+  in
+  maybe_audit t;
+  r
 
-let exec_script t cmds =
-  List.map (fun (at, cmd) -> (at, cmd, exec t ~now:at cmd)) cmds
+let exec_script ?(lenient = false) t cmds =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | (at, cmd) :: rest -> (
+        let r = exec t ~now:at cmd in
+        let acc = (at, cmd, r) :: acc in
+        match r with
+        | Error _ when not lenient -> List.rev acc
+        | _ -> go acc rest)
+  in
+  go [] cmds
 
 (* --- the data path -------------------------------------------------- *)
 
 let enqueue t ~now cls pkt =
-  let id = Hfsc.id cls in
-  if Hfsc.enqueue t.sched ~now cls pkt then begin
-    Telemetry.note_enqueue t.tele ~id ~now ~size:pkt.Pkt.Packet.size
-      ~flow:pkt.Pkt.Packet.flow ~seq:pkt.Pkt.Packet.seq
-      ~qlen:(Hfsc.queue_length cls) ~qbytes:(Hfsc.queue_bytes cls);
-    true
-  end
-  else begin
-    Telemetry.note_drop t.tele ~id ~now ~size:pkt.Pkt.Packet.size
-      ~flow:pkt.Pkt.Packet.flow ~seq:pkt.Pkt.Packet.seq;
-    false
-  end
+  let admitted = Hfsc.enqueue t.sched ~now cls pkt in
+  (* drops (refusals and evictions alike) reach telemetry through the
+     scheduler's drop hook, charged to the queue that lost the packet *)
+  if admitted then
+    Telemetry.note_enqueue t.tele ~id:(Hfsc.id cls) ~now
+      ~size:pkt.Pkt.Packet.size ~flow:pkt.Pkt.Packet.flow
+      ~seq:pkt.Pkt.Packet.seq ~qlen:(Hfsc.queue_length cls)
+      ~qbytes:(Hfsc.queue_bytes cls);
+  maybe_audit t;
+  admitted
 
 let enqueue_flow t ~now pkt =
   match Hashtbl.find_opt t.flows pkt.Pkt.Packet.flow with
@@ -386,6 +554,7 @@ let dequeue t ~now =
         ~seq:pkt.Pkt.Packet.seq ~arrival:pkt.Pkt.Packet.arrival
         ~realtime:(match crit with Hfsc.Realtime -> true | Hfsc.Linkshare -> false)
   | None -> ());
+  maybe_audit t;
   r
 
 let adapter t =

@@ -13,16 +13,53 @@
 
     Both sides are piecewise linear, so checking each breakpoint plus
     the asymptotic rates is exact; a rejection reports the violating
-    breakpoint (time, demand, capacity). Commands that would violate
-    the scheduler's structural invariants (modifying an active class,
-    deleting a backlogged one) are rejected with the scheduler's own
-    reason — nothing is partially applied. *)
+    breakpoint (time, demand, capacity). A third rule guards upper
+    limits: a class's ulimit curve must dominate its own rsc, else the
+    real-time criterion would promise service the ulimit forbids.
+
+    Commands that would violate the scheduler's structural invariants
+    (modifying an active class, deleting a backlogged one) are rejected
+    with the scheduler's own reason. {b Every command is transactional}:
+    it either applies in full or leaves the scheduler bit-identical to
+    before — partial [set_curves] failures are rolled back from a
+    snapshot. *)
 
 type t
+
+(** Rejections are typed so scripts and tests can distinguish operator
+    error from admission pressure from structural refusals. *)
+type error_code =
+  | Parse_error  (** the line never reached the engine *)
+  | Unknown_class
+  | Duplicate_class
+  | Unknown_flow
+  | Duplicate_flow
+  | Admission_realtime  (** leaves' rsc sum exceeds the link *)
+  | Admission_linkshare  (** children's fsc sum exceeds the parent *)
+  | Admission_ulimit  (** a class's ulimit dips below its rsc *)
+  | Class_active  (** refused because the class holds state right now *)
+  | Structural  (** wrong place in the hierarchy (root, interior, ...) *)
+  | Bad_value  (** a numeric argument out of range *)
+
+type error = { code : error_code; message : string }
+
+val error_code : error -> error_code
+val error_message : error -> string
+
+val error_code_name : error_code -> string
+(** Stable kebab-case name, for logs and JSON. *)
+
+val parse_error : string -> error
+(** Wrap a {!Command.parse} failure in the same error type. *)
+
+exception Audit_failure of string list
+(** Raised by the periodic debug audit (see [audit_every]) — each
+    string is one violated invariant. *)
 
 val create :
   ?trace_capacity:int ->
   ?tracing:bool ->
+  ?audit_every:int ->
   link_rate:float ->
   Hfsc.t ->
   flow_map:(int * Hfsc.cls) list ->
@@ -30,9 +67,15 @@ val create :
   t
 (** Wrap an existing scheduler. [link_rate] is in bytes/second (the
     admission capacity); [flow_map] seeds the flow-to-leaf routing that
-    [add class ... flow N] extends at runtime. *)
+    [add class ... flow N] extends at runtime. [audit_every n] (with
+    [n > 0]) runs {!audit} after every [n]-th operation — command,
+    enqueue or dequeue — raising {!Audit_failure} on the first
+    violation; the default [0] disables it and costs one branch per
+    operation. Installs the scheduler's drop hook, so every drop is
+    counted in {!Telemetry} against the class that lost the packet. *)
 
-val of_config : ?trace_capacity:int -> ?tracing:bool -> Config.t -> t
+val of_config :
+  ?trace_capacity:int -> ?tracing:bool -> ?audit_every:int -> Config.t -> t
 
 val scheduler : t -> Hfsc.t
 val telemetry : t -> Telemetry.t
@@ -47,20 +90,32 @@ val classify : t -> Pkt.Header.t -> Hfsc.cls option
 
 val filter_count : t -> int
 
-val exec : t -> now:float -> Command.t -> (string, string) result
+val exec : t -> now:float -> Command.t -> (string, error) result
 (** Execute one command at time [now]. [Ok] carries a human-readable
     response (stats tables, trace dumps, confirmations); [Error] the
-    structured reason — admission rejections include the violating
-    breakpoint. The scheduler is never left half-modified. *)
+    typed reason — admission rejections include the violating
+    breakpoint in the message. The scheduler is never left
+    half-modified. *)
 
 val exec_script :
+  ?lenient:bool ->
   t ->
   (float * Command.t) list ->
-  (float * Command.t * (string, string) result) list
-(** The offline form (no simulator): apply every command in script
-    order, each at its scripted time, returning each command's outcome
-    alongside it. Inside a simulation use {!Netsim.Sim.at} to interleave
-    {!exec} calls with traffic instead. *)
+  (float * Command.t * (string, error) result) list
+(** The offline form (no simulator): apply commands in script order,
+    each at its scripted time, returning each command's outcome
+    alongside it. By default execution is {e strict} — it stops at the
+    first error (which is included as the last outcome), the posture
+    for configuration scripts where later lines assume earlier ones
+    held. [~lenient:true] replays every line regardless, the posture
+    for operator logs and fault-injection runs. Inside a simulation use
+    {!Netsim.Sim.at} to interleave {!exec} calls with traffic
+    instead. *)
+
+val audit : t -> string list
+(** {!Hfsc.audit} on the wrapped scheduler plus the engine's own
+    invariants (every mapped flow points at a live leaf). Empty means
+    healthy. *)
 
 (** {2 The data path} — thin allocation-free wrappers over {!Hfsc}
     that keep telemetry. *)
@@ -88,6 +143,6 @@ val stats_json : t -> Json_lite.t
     (identity, curves, queue depth, all telemetry counters), and the
     trace ring's occupancy. *)
 
-val stats_text : t -> ?cls:string -> unit -> (string, string) result
+val stats_text : t -> ?cls:string -> unit -> (string, error) result
 (** The [stats] command body: a table over all classes, or one class's
     counters; [Error] on an unknown class name. *)

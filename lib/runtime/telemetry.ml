@@ -200,6 +200,9 @@ let note_dequeue t ~id ~now ~size ~flow ~seq ~arrival ~realtime =
 let trace_capacity t = t.trace.cap
 let recorded_total t = t.trace.total
 
+(* Events that fell off the ring: recorded but no longer replayable. *)
+let dropped_events t = t.trace.total - min t.trace.total t.trace.cap
+
 let kind_of_int = function
   | 0 -> Enq
   | 1 -> Deq_rt
@@ -271,17 +274,22 @@ let trace_json t =
            :: acc)
          [])
   in
-  let kept = min t.trace.total t.trace.cap in
   Json_lite.Obj
     [
       ("capacity", Json_lite.Num (float_of_int t.trace.cap));
       ("recorded", Json_lite.Num (float_of_int t.trace.total));
-      ("lost", Json_lite.Num (float_of_int (t.trace.total - kept)));
+      ("dropped_events", Json_lite.Num (float_of_int (dropped_events t)));
       ("events", Json_lite.List evs);
     ]
 
 let trace_text t =
   let b = Buffer.create 1024 in
+  let dropped = dropped_events t in
+  if dropped > 0 then
+    Buffer.add_string b
+      (Printf.sprintf "# %d event%s dropped (ring capacity %d)\n" dropped
+         (if dropped = 1 then "" else "s")
+         t.trace.cap);
   ignore
     (fold_events t
        (fun () e ->

@@ -110,6 +110,10 @@ val trace_capacity : t -> int
 val recorded_total : t -> int
 (** Events ever recorded, including ones the ring has overwritten. *)
 
+val dropped_events : t -> int
+(** Events the ring has overwritten — [recorded_total] minus what the
+    decoder can still replay. Zero until the ring wraps. *)
+
 val events : t -> event list
 (** Decode the ring, oldest surviving event first. *)
 
@@ -120,7 +124,8 @@ val counters_fields : counters -> (string * Json_lite.t) list
     names). *)
 
 val trace_json : t -> Json_lite.t
-(** [{ "capacity"; "recorded"; "lost"; "events": [...] }]. *)
+(** [{ "capacity"; "recorded"; "dropped_events"; "events": [...] }]. *)
 
 val trace_text : t -> string
-(** One line per surviving event, oldest first. *)
+(** One line per surviving event, oldest first, preceded by a [#]
+    comment line counting dropped events when the ring has wrapped. *)

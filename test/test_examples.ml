@@ -69,10 +69,13 @@ let test_shipped_pair_replays () =
         Alcotest.failf "reconfigure.ctl:%d: %s" line reason
   in
   let eng = Runtime.Engine.of_config cfg in
-  let outcomes = Runtime.Engine.exec_script eng cmds in
+  (* the script deliberately includes over-commits that must be
+     rejected without stopping the replay: lenient mode *)
+  let outcomes = Runtime.Engine.exec_script ~lenient:true eng cmds in
   let rejected =
     List.filter_map
-      (function _, _, Error e -> Some e | _ -> None)
+      (function
+        | _, _, Error e -> Some (Runtime.Engine.error_message e) | _ -> None)
       outcomes
   in
   Alcotest.(check int) "exactly the two over-commits rejected" 2
@@ -91,6 +94,89 @@ let test_shipped_pair_replays () =
             has "breakpoint" || has "asymptotically")))
     rejected
 
+(* The overload pair must actually degrade gracefully: driving the
+   shipped 4x-overload workload through the engine while overload.ctl
+   tightens the limits live must leave the backlog bounded by the
+   tightened limits, with the excess showing up as counted drops in
+   telemetry, the one hostile line rejected, and the auditor clean. *)
+let test_overload_degrades () =
+  let cfg =
+    match Config.load (Filename.concat examples_dir "overload.hfsc") with
+    | Ok c -> c
+    | Error e -> Alcotest.fail e
+  in
+  let cmds =
+    match
+      Runtime.Command.parse_script
+        (read_file (Filename.concat examples_dir "overload.ctl"))
+    with
+    | Ok c -> c
+    | Error { Runtime.Command.line; reason } ->
+        Alcotest.failf "overload.ctl:%d: %s" line reason
+  in
+  let eng = Runtime.Engine.of_config ~audit_every:256 cfg in
+  let sched = Runtime.Engine.scheduler eng in
+  let sim =
+    Netsim.Sim.create ~link_rate:cfg.Config.link_rate
+      ~sched:(Runtime.Engine.adapter eng) ()
+  in
+  List.iter (Netsim.Sim.add_source sim) (cfg.Config.sources ~until:3.0);
+  let rejected = ref [] in
+  List.iter
+    (fun (at, cmd) ->
+      Netsim.Sim.at sim at (fun ~now ->
+          match Runtime.Engine.exec eng ~now cmd with
+          | Ok _ -> ()
+          | Error e -> rejected := e :: !rejected))
+    cmds;
+  Netsim.Sim.run sim ~until:3.0;
+  (* backlog bounded by the limits the script tightened to *)
+  Alcotest.(check bool)
+    (Printf.sprintf "backlog %d pkts within the aggregate bound"
+       (Hfsc.backlog_pkts sched))
+    true
+    (Hfsc.backlog_pkts sched <= 60);
+  Alcotest.(check bool) "backlog within the aggregate byte bound" true
+    (Hfsc.backlog_bytes sched <= 120_000);
+  (match Runtime.Engine.flow_class eng 2 with
+  | Some web ->
+      Alcotest.(check bool) "web within its tightened qlimit" true
+        (Hfsc.queue_length web <= 25)
+  | None -> Alcotest.fail "flow 2 unmapped");
+  (* the shed load is visible as telemetry drops *)
+  let tele = Runtime.Engine.telemetry eng in
+  let drops =
+    List.fold_left
+      (fun acc c ->
+        if Hfsc.is_leaf c then
+          acc
+          + (Runtime.Telemetry.counters tele ~id:(Hfsc.id c))
+              .Runtime.Telemetry.drop_pkts
+        else acc)
+      0 (Hfsc.classes sched)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "%d drops counted" drops)
+    true (drops > 0);
+  (* exactly the hostile line is rejected, as a structural refusal *)
+  (match !rejected with
+  | [ e ] ->
+      Alcotest.(check string) "structural rejection" "structural"
+        (Runtime.Engine.error_code_name (Runtime.Engine.error_code e))
+  | l -> Alcotest.failf "expected 1 rejection, got %d" (List.length l));
+  (* the link kept moving and the real-time class kept its guarantee *)
+  Alcotest.(check bool) "link transmitted" true
+    (Netsim.Sim.transmitted_bytes sim > 0.);
+  (match Netsim.Sim.delay_of_flow sim 1 with
+  | Some d ->
+      Alcotest.(check bool)
+        (Printf.sprintf "voice max delay %.4fs under overload"
+           (Netsim.Stats.Delay.max d))
+        true
+        (Netsim.Stats.Delay.max d < 0.05)
+  | None -> Alcotest.fail "voice never completed a packet");
+  Alcotest.(check (list string)) "auditor clean" [] (Runtime.Engine.audit eng)
+
 let () =
   Alcotest.run "examples"
     [
@@ -100,5 +186,7 @@ let () =
           Alcotest.test_case "scripts parse" `Quick test_scripts_parse;
           Alcotest.test_case "shipped pair replays" `Quick
             test_shipped_pair_replays;
+          Alcotest.test_case "overload degrades gracefully" `Quick
+            test_overload_degrades;
         ] );
     ]

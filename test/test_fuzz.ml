@@ -1,0 +1,278 @@
+(* Fuzz harness for the hardened data path (robustness): random
+   command+packet interleavings with the invariant auditor on.
+
+   Two layers:
+
+   - scheduler differential fuzz: the same generated hierarchy and the
+     same op stream (enqueue/dequeue/queue-limit/aggregate-limit/policy
+     changes) driven through [Hfsc] and the frozen [Hfsc_ref], with
+     [audit] run every 64 ops on both; decisions and final per-class
+     aggregates must be bit-identical (floats rendered with %h);
+
+   - engine fuzz: a live [Runtime.Engine] with [audit_every:64] fed a
+     mix of traffic and control lines, including the malformed pool
+     from [Netsim.Faults]; every rejected command must leave the
+     observable engine state byte-identical.
+
+   Plain executable so op counts scale: [test_fuzz.exe [OPS] [SEEDS]],
+   defaulting to 1000 1 — the short deterministic run wired into
+   [dune runtest]. The [@fuzz] alias runs 50k ops over 8 seeds. *)
+
+let fail fmt =
+  Printf.ksprintf
+    (fun s ->
+      prerr_endline ("fuzz: " ^ s);
+      exit 1)
+    fmt
+
+let audit_every = 64
+
+(* --- scheduler-level differential fuzz ------------------------------ *)
+
+type act =
+  | Enq of int * int (* leaf index, packet size *)
+  | Deq
+  | Class_limits of int * int * int (* leaf index, pkts, bytes *)
+  | Agg_limit of int * int
+  | Policy of bool (* true = drop-from-longest *)
+
+type op = { dt : float; act : act }
+
+let gen_ops ~rng ~nleaves ~nops =
+  List.init nops (fun _ ->
+      let dt = Random.State.float rng 0.002 in
+      let act =
+        match Random.State.int rng 100 with
+        | n when n < 45 ->
+            Enq (Random.State.int rng nleaves, 40 + Random.State.int rng 1460)
+        | n when n < 85 -> Deq
+        | n when n < 92 ->
+            Class_limits
+              ( Random.State.int rng nleaves,
+                1 + Random.State.int rng 50,
+                64 + Random.State.int rng 100_000 )
+        | n when n < 97 ->
+            Agg_limit
+              (1 + Random.State.int rng 300, 1_000 + Random.State.int rng 500_000)
+        | _ -> Policy (Random.State.bool rng)
+      in
+      { dt; act })
+
+let rec count_leaves = function
+  | Hfsc_gen.Leaf _ -> 1
+  | Hfsc_gen.Node (_, cs) ->
+      List.fold_left (fun a c -> a + count_leaves c) 0 cs
+
+module Drive (H : module type of Hfsc) = struct
+  module B = Hfsc_gen.Build (H)
+
+  let crit_int (c : H.criterion) =
+    match c with H.Realtime -> 0 | H.Linkshare -> 1
+
+  let run ~what ~spec ~ops =
+    let t, leaves = B.build_tree 1e6 spec in
+    let leaves = Array.of_list leaves in
+    let nl = Array.length leaves in
+    let seqs = Array.make nl 0 in
+    let now = ref 0. in
+    let nth = ref 0 in
+    let buf = Buffer.create 4096 in
+    List.iter
+      (fun { dt; act } ->
+        incr nth;
+        now := !now +. dt;
+        (match act with
+        | Enq (i, size) ->
+            let flow, cls, _ = leaves.(i mod nl) in
+            let p =
+              Pkt.Packet.make ~flow ~size ~seq:seqs.(i mod nl) ~arrival:!now
+            in
+            seqs.(i mod nl) <- seqs.(i mod nl) + 1;
+            Buffer.add_string buf
+              (Printf.sprintf "E%d:%d:%b;" flow p.Pkt.Packet.seq
+                 (H.enqueue t ~now:!now cls p))
+        | Deq -> (
+            match H.dequeue t ~now:!now with
+            | None -> Buffer.add_string buf "D-;"
+            | Some (p, c, crit) ->
+                Buffer.add_string buf
+                  (Printf.sprintf "D%d:%d:%s:%d;" p.Pkt.Packet.flow
+                     p.Pkt.Packet.seq (H.name c) (crit_int crit)))
+        | Class_limits (i, pkts, bytes) ->
+            let _, cls, _ = leaves.(i mod nl) in
+            H.set_class_limits t cls ~pkts ~bytes ()
+        | Agg_limit (pkts, bytes) -> H.set_aggregate_limit t ~pkts ~bytes ()
+        | Policy longest ->
+            H.set_drop_policy t
+              (if longest then H.Drop_longest else H.Tail_drop));
+        if !nth mod audit_every = 0 then
+          match H.audit t with
+          | [] -> ()
+          | errs ->
+              fail "%s audit failed at op %d:\n  %s" what !nth
+                (String.concat "\n  " errs))
+      ops;
+    (match H.audit t with
+    | [] -> ()
+    | errs -> fail "%s final audit:\n  %s" what (String.concat "\n  " errs));
+    List.iter
+      (fun c ->
+        Buffer.add_string buf
+          (Printf.sprintf "C%s:%h:%h:%h:%d:%d;" (H.name c) (H.total_bytes c)
+             (H.realtime_bytes c) (H.virtual_time c) (H.queue_length c)
+             (H.queue_bytes c)))
+      (H.classes t);
+    Buffer.contents buf
+end
+
+module DOpt = Drive (Hfsc)
+module DRef = Drive (Hfsc_ref)
+
+let sched_fuzz ~seed ~nops =
+  let rng = Random.State.make [| 0x5eed; seed |] in
+  let spec = QCheck2.Gen.generate1 ~rand:rng Hfsc_gen.tree_gen in
+  let ops = gen_ops ~rng ~nleaves:(count_leaves spec) ~nops in
+  let a = DOpt.run ~what:"Hfsc" ~spec ~ops in
+  let b = DRef.run ~what:"Hfsc_ref" ~spec ~ops in
+  if a <> b then begin
+    (* find the first divergence for the report *)
+    let n = min (String.length a) (String.length b) in
+    let i = ref 0 in
+    while !i < n && a.[!i] = b.[!i] do
+      incr i
+    done;
+    let ctx s =
+      String.sub s (max 0 (!i - 40)) (min 80 (String.length s - max 0 (!i - 40)))
+    in
+    fail "seed %d: Hfsc and Hfsc_ref diverge at byte %d:\n  opt: %s\n  ref: %s"
+      seed !i (ctx a) (ctx b)
+  end
+
+(* --- engine-level fuzz ---------------------------------------------- *)
+
+let cfg_text =
+  {|
+link rate 8Mbit
+class a parent root flow 1 fsc 2Mbit qlimit 64
+class b parent root flow 2 fsc 2Mbit rsc 2Mbit
+class g parent root fsc 2Mbit
+class g1 parent g flow 3 fsc 1.5Mbit qbytes 65536
+limit pkts 500 policy longest
+|}
+
+(* Control lines thrown at the engine: live-reconfiguration commands
+   that mostly succeed, plus the malformed pool the fault injector
+   uses. Parse failures never reach the engine; engine rejections must
+   not change state. *)
+let command_pool =
+  Array.append
+    [|
+      "add class tmp parent root flow 9 fsc 0.5Mbit qlimit 16";
+      "delete class tmp";
+      "modify class g1 qlimit 10 qbytes 32768";
+      "modify class a fsc 2Mbit";
+      "modify class b rsc 1Mbit";
+      "limit pkts 200 policy tail";
+      "limit pkts none policy longest";
+      "limit bytes 300000";
+      "attach filter flow 1 proto udp";
+      "detach filter flow 1";
+      "stats";
+      "stats g1";
+      "trace dump";
+    |]
+    Netsim.Faults.bad_commands
+
+module E = Runtime.Engine
+
+let fingerprint eng =
+  let sched = E.scheduler eng in
+  let b = Buffer.create 512 in
+  Buffer.add_string b (Format.asprintf "%a" Hfsc.pp_hierarchy sched);
+  List.iter
+    (fun c ->
+      Buffer.add_string b (Hfsc.debug_state c);
+      if Hfsc.is_leaf c then
+        Buffer.add_string b
+          (Printf.sprintf "|%d/%d" (Hfsc.queue_limit_pkts c)
+             (Hfsc.queue_limit_bytes c)))
+    (Hfsc.classes sched);
+  Buffer.add_string b
+    (Printf.sprintf "|%d/%d/%b/%d/%d/%d"
+       (Hfsc.aggregate_limit_pkts sched)
+       (Hfsc.aggregate_limit_bytes sched)
+       (Hfsc.drop_policy sched = Hfsc.Drop_longest)
+       (Hfsc.backlog_pkts sched) (Hfsc.backlog_bytes sched)
+       (E.filter_count eng));
+  Buffer.contents b
+
+let engine_fuzz ~seed ~nops =
+  let cfg =
+    match Config.parse cfg_text with Ok c -> c | Error e -> fail "cfg: %s" e
+  in
+  let eng = E.of_config ~audit_every ~trace_capacity:256 cfg in
+  let rng = Random.State.make [| 0x5eed; seed; 1 |] in
+  let now = ref 0. in
+  let seq = ref 0 in
+  let flows = [| 1; 2; 3; 9 |] in
+  let rejected = ref 0 and applied = ref 0 in
+  (try
+     for _ = 1 to nops do
+       now := !now +. Random.State.float rng 0.002;
+       match Random.State.int rng 10 with
+       | 0 | 1 -> (
+           let line =
+             command_pool.(Random.State.int rng (Array.length command_pool))
+           in
+           match Runtime.Command.parse line with
+           | Error _ -> () (* garbage stops at the parser *)
+           | Ok cmd -> (
+               let before = fingerprint eng in
+               match E.exec eng ~now:!now cmd with
+               | Ok _ -> incr applied
+               | Error _ ->
+                   incr rejected;
+                   if fingerprint eng <> before then
+                     fail "seed %d: rejected command mutated state: %s" seed
+                       line))
+       | 2 | 3 | 4 | 5 | 6 ->
+           let flow = flows.(Random.State.int rng (Array.length flows)) in
+           incr seq;
+           ignore
+             (E.enqueue_flow eng ~now:!now
+                (Pkt.Packet.make ~flow
+                   ~size:(40 + Random.State.int rng 1460)
+                   ~seq:!seq ~arrival:!now))
+       | _ -> ignore (E.dequeue eng ~now:!now)
+     done
+   with E.Audit_failure errs ->
+     fail "seed %d: engine audit failed:\n  %s" seed
+       (String.concat "\n  " errs));
+  (match E.audit eng with
+  | [] -> ()
+  | errs ->
+      fail "seed %d: final engine audit:\n  %s" seed
+        (String.concat "\n  " errs));
+  (!applied, !rejected)
+
+(* --- main ----------------------------------------------------------- *)
+
+let () =
+  let arg i d =
+    if Array.length Sys.argv > i then int_of_string Sys.argv.(i) else d
+  in
+  let nops = arg 1 1000 in
+  let seeds = arg 2 1 in
+  let applied = ref 0 and rejected = ref 0 in
+  for seed = 0 to seeds - 1 do
+    sched_fuzz ~seed ~nops;
+    let a, r = engine_fuzz ~seed ~nops in
+    applied := !applied + a;
+    rejected := !rejected + r
+  done;
+  Printf.printf
+    "fuzz ok: %d seed%s x %d ops: scheduler matches reference under audit; \
+     engine applied %d and rejected %d commands with state intact\n"
+    seeds
+    (if seeds = 1 then "" else "s")
+    nops !applied !rejected

@@ -431,6 +431,102 @@ let test_sim_event_backends_agree () =
   Alcotest.(check (float 1e-9)) "end time equal" n1 n2;
   Alcotest.(check (float 1e-9)) "mean delay equal" m1 m2
 
+(* --- faults --------------------------------------------------------------- *)
+
+let test_faults_rate_flap () =
+  (* 1000 B/s link; rate drops to 100 B/s at t=0.5. The packet already
+     gone is unaffected; the one arriving at t=1 transmits at the
+     degraded rate. *)
+  let sched = Sched.Fifo.create () in
+  let sim = Netsim.Sim.create ~link_rate:1000. ~sched () in
+  Netsim.Sim.add_source sim
+    (Netsim.Source.script ~flow:1 [ (0., 100); (1., 100) ]);
+  Netsim.Faults.schedule sim [ (0.5, Netsim.Faults.Set_rate 100.) ];
+  Netsim.Sim.run_until_idle sim ~max_time:10.;
+  Alcotest.(check (float 1e-9)) "rate applied" 100. (Netsim.Sim.link_rate sim);
+  (match Netsim.Sim.delay_of_flow sim 1 with
+  | Some d ->
+      let s = Netsim.Stats.Delay.samples d in
+      Alcotest.(check (float 1e-9)) "pre-flap tx at 1000 B/s" 0.1 s.(0);
+      Alcotest.(check (float 1e-9)) "post-flap tx at 100 B/s" 1.0 s.(1)
+  | None -> Alcotest.fail "no delays");
+  Alcotest.(check (float 1e-9)) "ends at slow departure" 2.0
+    (Netsim.Sim.now sim)
+
+let test_faults_outage () =
+  (* link down over [0.5, 1.5): a packet arriving mid-outage waits for
+     the up edge, then transmits normally *)
+  let sched = Sched.Fifo.create () in
+  let sim = Netsim.Sim.create ~link_rate:1000. ~sched () in
+  Netsim.Sim.add_source sim (Netsim.Source.script ~flow:1 [ (1., 100) ]);
+  Netsim.Faults.schedule sim [ (0.5, Netsim.Faults.Outage 1.0) ];
+  let seen_down = ref true in
+  Netsim.Sim.at sim 1.2 (fun ~now:_ -> seen_down := Netsim.Sim.link_up sim);
+  Netsim.Sim.run_until_idle sim ~max_time:10.;
+  Alcotest.(check bool) "down mid-outage" false !seen_down;
+  Alcotest.(check bool) "up after" true (Netsim.Sim.link_up sim);
+  match Netsim.Sim.delay_of_flow sim 1 with
+  | Some d ->
+      Alcotest.(check (float 1e-9)) "waited for the up edge" 0.6
+        (Netsim.Stats.Delay.samples d).(0)
+  | None -> Alcotest.fail "packet never departed"
+
+let test_faults_burst_and_commands () =
+  (* Burst events become ordinary sources; Command events reach the
+     callback with their scheduled time, and are dropped silently when
+     no callback is given *)
+  let sched = Sched.Fifo.create () in
+  let sim = Netsim.Sim.create ~link_rate:1e6 ~sched () in
+  let timeline =
+    [
+      (0.1, Netsim.Faults.Burst { flow = 7; pkt_size = 500; count = 4 });
+      (0.2, Netsim.Faults.Command "limit pkts 0");
+      (0.3, Netsim.Faults.Command "frobnicate the scheduler");
+    ]
+  in
+  let got = ref [] in
+  Netsim.Faults.schedule sim timeline ~on_command:(fun ~now line ->
+      got := (now, line) :: !got);
+  (* the same timeline without a callback must not raise *)
+  let sim2 = Netsim.Sim.create ~link_rate:1e6 ~sched:(Sched.Fifo.create ()) () in
+  Netsim.Faults.schedule sim2 timeline;
+  Netsim.Sim.run_until_idle sim ~max_time:10.;
+  Netsim.Sim.run_until_idle sim2 ~max_time:10.;
+  Alcotest.(check (float 1e-9)) "burst transmitted" 2000.
+    (Netsim.Sim.transmitted_bytes sim);
+  Alcotest.(check (list (pair (float 1e-9) string)))
+    "commands dispatched in order"
+    [ (0.2, "limit pkts 0"); (0.3, "frobnicate the scheduler") ]
+    (List.rev !got)
+
+let test_faults_random_timeline_deterministic () =
+  let mk seed =
+    Netsim.Faults.random_timeline ~seed ~horizon:10. ~link_rate:1e6
+      ~flows:[ 1; 2 ]
+  in
+  Alcotest.(check bool) "same seed, same timeline" true (mk 3 = mk 3);
+  Alcotest.(check bool) "different seeds differ" true (mk 3 <> mk 4);
+  let tl = mk 3 in
+  Alcotest.(check bool) "non-trivial" true (List.length tl >= 4);
+  Alcotest.(check bool) "time-sorted" true
+    (List.for_all2
+       (fun (a, _) (b, _) -> a <= b)
+       (List.filteri (fun i _ -> i < List.length tl - 1) tl)
+       (List.tl tl));
+  (* a random timeline is schedulable as-is, commands included *)
+  let sim = Netsim.Sim.create ~link_rate:1e6 ~sched:(Sched.Fifo.create ()) () in
+  Netsim.Faults.schedule sim tl;
+  Netsim.Sim.run_until_idle sim ~max_time:20.;
+  Alcotest.(check bool) "link back up at the end" true
+    (Netsim.Sim.link_up sim);
+  Alcotest.(check bool) "validates horizon" true
+    (try
+       ignore
+         (Netsim.Faults.random_timeline ~seed:0 ~horizon:0. ~link_rate:1e6
+            ~flows:[]);
+       false
+     with Invalid_argument _ -> true)
+
 (* --- tandem -------------------------------------------------------------- *)
 
 let test_tandem_passthrough () =
@@ -549,6 +645,15 @@ let () =
             test_sim_nonworkconserving_poll;
           Alcotest.test_case "event backends agree" `Quick
             test_sim_event_backends_agree;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "rate flap" `Quick test_faults_rate_flap;
+          Alcotest.test_case "outage" `Quick test_faults_outage;
+          Alcotest.test_case "burst + commands" `Quick
+            test_faults_burst_and_commands;
+          Alcotest.test_case "random timeline deterministic" `Quick
+            test_faults_random_timeline_deterministic;
         ] );
       ( "tandem",
         [

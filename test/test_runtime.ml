@@ -13,6 +13,25 @@ module Sc = Curve.Service_curve
 let ok = function Ok v -> v | Error e -> Alcotest.fail e
 let err = function Ok _ -> Alcotest.fail "expected error" | Error e -> e
 
+(* engine results carry a typed error; tests mostly match on the text *)
+let ok_exec = function
+  | Ok v -> v
+  | Error e -> Alcotest.fail (E.error_message e)
+
+let err_exec = function
+  | Ok _ -> Alcotest.fail "expected error"
+  | Error e -> E.error_message e
+
+let err_code = function
+  | Ok _ -> Alcotest.fail "expected error"
+  | Error e -> E.error_code e
+
+let check_code what expected r =
+  Alcotest.(check string)
+    what
+    (E.error_code_name expected)
+    (E.error_code_name (err_code r))
+
 let ok_script = function
   | Ok v -> v
   | Error { C.line; reason } -> Alcotest.failf "line %d: %s" line reason
@@ -54,7 +73,7 @@ let test_parse_add () =
 
 let test_parse_others () =
   (match C.parse "modify class x fsc m1 1Mbit d 10ms m2 2Mbit" with
-  | Ok (C.Modify_class { name = "x"; curves }) ->
+  | Ok (C.Modify_class { name = "x"; curves; _ }) ->
       (match curves.C.fsc with
       | Some f ->
           Alcotest.(check (float 1e-9)) "m1" 125_000. f.Sc.m1;
@@ -100,6 +119,27 @@ let test_parse_errors () =
   check_contains "bad curve"
     (err (C.parse "add class x parent root fsc 1Mbi"))
     "1Mbi"
+
+let test_parse_limit () =
+  (match C.parse "limit pkts 100 bytes none policy longest" with
+  | Ok
+      (C.Set_limit
+        {
+          lpkts = Some (C.At 100);
+          lbytes = Some C.Unlimited;
+          lpolicy = Some C.Policy_longest;
+        }) ->
+      ()
+  | _ -> Alcotest.fail "limit parse");
+  check_contains "empty limit" (err (C.parse "limit")) "at least one";
+  check_contains "bad policy" (err (C.parse "limit policy random")) "policy";
+  check_contains "zero bound" (err (C.parse "limit pkts 0")) "positive";
+  (match C.parse "modify class x qlimit 10 qbytes 20000" with
+  | Ok (C.Modify_class { qlimit = Some 10; qbytes = Some 20000; _ }) -> ()
+  | _ -> Alcotest.fail "modify qlimit/qbytes");
+  match C.parse "add class x parent root fsc 1Mbit qbytes 64000" with
+  | Ok (C.Add_class { qbytes = Some 64000; _ }) -> ()
+  | _ -> Alcotest.fail "add qbytes"
 
 let test_script () =
   let s =
@@ -148,19 +188,19 @@ let pkt ~flow ~seq ~now =
 let test_admission_rt_asymptotic () =
   let eng = make_engine () in
   (* existing rsc: 2 Mbit; 7 more Mbit exceed the 8 Mbit link *)
-  let e = err (exec1 eng ~now:0. "add class c parent root rsc 7Mbit") in
+  let e = err_exec (exec1 eng ~now:0. "add class c parent root rsc 7Mbit") in
   check_contains "what" e "real-time";
   check_contains "asymptotic" e "asymptotically";
   (* 5 Mbit of rt still fit (2 + 5 <= 8) *)
   ignore
-    (ok (exec1 eng ~now:0. "add class c parent root rsc 5Mbit fsc 1Mbit"))
+    (ok_exec (exec1 eng ~now:0. "add class c parent root rsc 5Mbit fsc 1Mbit"))
 
 let test_admission_rt_breakpoint () =
   let eng = make_engine () in
   (* first slope 16 Mbit for 100 ms: at t = 0.1 the demand (2e5 B from
      this curve alone) exceeds the link's 1e5 B *)
   let e =
-    err
+    err_exec
       (exec1 eng ~now:0.
          "add class c parent root rsc m1 16Mbit d 100ms m2 8Kbit")
   in
@@ -170,15 +210,15 @@ let test_admission_rt_breakpoint () =
 let test_admission_fsc_under_parent () =
   let eng = make_engine () in
   (* g's fsc is 2 Mbit; g1 already takes 1.5 *)
-  let e = err (exec1 eng ~now:0. "add class g2 parent g fsc 1Mbit") in
+  let e = err_exec (exec1 eng ~now:0. "add class g2 parent g fsc 1Mbit") in
   check_contains "names the parent" e "\"g\"";
   check_contains "what" e "link-sharing";
-  ignore (ok (exec1 eng ~now:0. "add class g2 parent g fsc 0.5Mbit"));
+  ignore (ok_exec (exec1 eng ~now:0. "add class g2 parent g fsc 0.5Mbit"));
   (* modifying g1 upward must account for g2 *)
-  let e = err (exec1 eng ~now:0. "modify class g1 fsc 1.6Mbit") in
+  let e = err_exec (exec1 eng ~now:0. "modify class g1 fsc 1.6Mbit") in
   check_contains "modify over-commit" e "link-sharing";
   (* and an interior class cannot shrink below its children *)
-  let e = err (exec1 eng ~now:0. "modify class g fsc 1Mbit") in
+  let e = err_exec (exec1 eng ~now:0. "modify class g fsc 1Mbit") in
   check_contains "children vs new fsc" e "children"
 
 (* --- live reconfiguration ------------------------------------------ *)
@@ -204,27 +244,27 @@ let test_live_reconfigure () =
   ignore (E.dequeue eng ~now:0.001);
   ignore (E.dequeue eng ~now:0.002);
   (* adding, modifying and deleting other classes works right now *)
-  let r = ok (exec1 eng ~now:0.002 "add class c parent root flow 9 fsc 1Mbit") in
+  let r = ok_exec (exec1 eng ~now:0.002 "add class c parent root flow 9 fsc 1Mbit") in
   check_contains "add response" r "added class \"c\"";
-  ignore (ok (exec1 eng ~now:0.002 "modify class c fsc 2Mbit"));
+  ignore (ok_exec (exec1 eng ~now:0.002 "modify class c fsc 2Mbit"));
   (match Hfsc.find_class sched "c" with
   | Some c ->
       Alcotest.(check (float 1e-9)) "fsc applied" 250_000.
         (match Hfsc.fsc c with Some f -> f.Sc.m2 | None -> nan)
   | None -> Alcotest.fail "class c not in hierarchy");
   (* ... but the backlogged class itself is protected *)
-  let e = err (exec1 eng ~now:0.002 "modify class a fsc 1Mbit") in
+  let e = err_exec (exec1 eng ~now:0.002 "modify class a fsc 1Mbit") in
   check_contains "active class" e "active";
   (* the new class takes traffic immediately *)
   Alcotest.(check bool) "flow 9 mapped" true
     (E.enqueue_flow eng ~now:0.002 (pkt ~flow:9 ~seq:0 ~now:0.002));
   (* a backlogged class cannot be deleted *)
-  let e = err (exec1 eng ~now:0.003 "delete class c") in
+  let e = err_exec (exec1 eng ~now:0.003 "delete class c") in
   check_contains "delete backlogged" e "queued";
   drain eng;
   (* once passive: modify and delete succeed, the flow is unmapped *)
-  ignore (ok (exec1 eng ~now:20. "modify class a fsc 1Mbit"));
-  let r = ok (exec1 eng ~now:20. "delete class c") in
+  ignore (ok_exec (exec1 eng ~now:20. "modify class a fsc 1Mbit"));
+  let r = ok_exec (exec1 eng ~now:20. "delete class c") in
   check_contains "unmaps flow" r "flow 9";
   Alcotest.(check bool) "flow 9 gone" true (E.flow_class eng 9 = None);
   Alcotest.(check bool) "class c gone" true
@@ -269,7 +309,7 @@ let test_counters_match_service () =
 
 let test_drops_counted () =
   let eng = make_engine () in
-  ignore (ok (exec1 eng ~now:0. "add class d parent root flow 5 fsc 0.4Mbit qlimit 2"));
+  ignore (ok_exec (exec1 eng ~now:0. "add class d parent root flow 5 fsc 0.4Mbit qlimit 2"));
   let accepted = ref 0 in
   for s = 0 to 4 do
     if E.enqueue_flow eng ~now:0. (pkt ~flow:5 ~seq:s ~now:0.) then
@@ -305,9 +345,17 @@ let test_trace_ring_wrap () =
       Alcotest.(check int) "flow" 4 e.T.flow;
       Alcotest.(check (float 0.)) "ts" (float_of_int e.T.seq) e.T.ts)
     evs;
-  (* text export: one line per surviving event *)
-  let lines =
+  Alcotest.(check int) "dropped_events" 12 (T.dropped_events t);
+  (* text export: a '#' header counting drops, one line per survivor *)
+  let all_lines =
     List.filter (fun l -> l <> "") (String.split_on_char '\n' (T.trace_text t))
+  in
+  (match all_lines with
+  | hd :: _ when String.length hd > 0 && hd.[0] = '#' ->
+      check_contains "header counts drops" hd "12"
+  | _ -> Alcotest.fail "expected a # header when the ring wrapped");
+  let lines =
+    List.filter (fun l -> String.length l = 0 || l.[0] <> '#') all_lines
   in
   Alcotest.(check int) "trace_text lines" 8 (List.length lines);
   check_contains "line format" (List.hd lines) "enq"
@@ -367,7 +415,7 @@ let test_attach_detach () =
   in
   Alcotest.(check bool) "no filters yet" true (E.classify eng (h ()) = None);
   ignore
-    (ok
+    (ok_exec
        (exec1 eng ~now:0.
           "attach filter flow 1 src 10.0.0.0/8 proto udp dport 5004 5005"));
   Alcotest.(check int) "one filter" 1 (E.filter_count eng);
@@ -380,12 +428,12 @@ let test_attach_detach () =
     (E.classify eng (h ~dport:6000 ()) = None);
   (* unmapped flows are rejected at attach time *)
   check_contains "unmapped flow"
-    (err (exec1 eng ~now:0. "attach filter flow 77 proto udp"))
+    (err_exec (exec1 eng ~now:0. "attach filter flow 77 proto udp"))
     "not mapped";
-  ignore (ok (exec1 eng ~now:0. "detach filter flow 1"));
+  ignore (ok_exec (exec1 eng ~now:0. "detach filter flow 1"));
   Alcotest.(check bool) "detached" true (E.classify eng (h ()) = None);
   check_contains "double detach"
-    (err (exec1 eng ~now:0. "detach filter flow 1"))
+    (err_exec (exec1 eng ~now:0. "detach filter flow 1"))
     "no filter"
 
 (* --- the zero-allocation promise ----------------------------------- *)
@@ -446,9 +494,196 @@ let test_traced_dequeue_allocates_nothing_extra () =
   (* and the footprint is the returned option/tuple, nothing more *)
   Alcotest.(check bool) "bare footprint is the result value" true (bare <= 6.)
 
+(* --- transactional execution and typed errors ---------------------- *)
+
+(* A configuration-and-scheduling-state fingerprint: if a rejected
+   command changed anything an operator or the datapath can observe,
+   two fingerprints differ. *)
+let fingerprint eng =
+  let sched = E.scheduler eng in
+  let b = Buffer.create 512 in
+  Buffer.add_string b (Format.asprintf "%a" Hfsc.pp_hierarchy sched);
+  List.iter
+    (fun c ->
+      Buffer.add_string b (Hfsc.name c);
+      Buffer.add_char b ' ';
+      Buffer.add_string b (Hfsc.debug_state c);
+      if Hfsc.is_leaf c then
+        Buffer.add_string b
+          (Printf.sprintf " ql=%d qb=%d\n" (Hfsc.queue_limit_pkts c)
+             (Hfsc.queue_limit_bytes c)))
+    (Hfsc.classes sched);
+  Buffer.add_string b
+    (Printf.sprintf "agg=%d/%d pol=%s bl=%d/%d nfilters=%d"
+       (Hfsc.aggregate_limit_pkts sched)
+       (Hfsc.aggregate_limit_bytes sched)
+       (match Hfsc.drop_policy sched with
+       | Hfsc.Tail_drop -> "tail"
+       | Hfsc.Drop_longest -> "longest")
+       (Hfsc.backlog_pkts sched) (Hfsc.backlog_bytes sched)
+       (E.filter_count eng));
+  Buffer.contents b
+
+(* Every command variant with a failing input: the typed code is right
+   and the engine state is bit-identical afterwards. *)
+let test_error_paths_leave_state () =
+  let eng = make_engine () in
+  (* live backlog so rejections happen against a non-trivial state *)
+  for s = 0 to 4 do
+    ignore (E.enqueue_flow eng ~now:0. (pkt ~flow:1 ~seq:s ~now:0.))
+  done;
+  ignore (E.dequeue eng ~now:0.001);
+  let cases =
+    [
+      ("add duplicate", "add class a parent root fsc 1Mbit",
+       E.Duplicate_class);
+      ("add unknown parent", "add class z parent nowhere fsc 1Mbit",
+       E.Unknown_class);
+      ("add duplicate flow", "add class z parent root flow 1 fsc 1Mbit",
+       E.Duplicate_flow);
+      ("add rt overload", "add class z parent root rsc 9Mbit",
+       E.Admission_realtime);
+      ("add ls overload", "add class z parent g fsc 1Mbit",
+       E.Admission_linkshare);
+      ("add ulimit below rsc",
+       "add class z parent root rsc 1Mbit ulimit 0.5Mbit",
+       E.Admission_ulimit);
+      ("modify unknown", "modify class nowhere fsc 1Mbit", E.Unknown_class);
+      ("modify active", "modify class a fsc 1Mbit", E.Class_active);
+      ("modify bad qlimit", "modify class b qlimit -3", E.Bad_value);
+      ("modify interior qlimit", "modify class g qlimit 5", E.Structural);
+      ("delete unknown", "delete class nowhere", E.Unknown_class);
+      ("delete backlogged", "delete class a", E.Class_active);
+      ("delete root", "delete class root", E.Structural);
+      ("attach unmapped", "attach filter flow 77 proto udp", E.Unknown_flow);
+      ("detach none", "detach filter flow 1", E.Unknown_flow);
+      ("stats unknown", "stats nowhere", E.Unknown_class);
+    ]
+  in
+  List.iter
+    (fun (what, line, code) ->
+      let before = fingerprint eng in
+      let r = exec1 eng ~now:0.002 line in
+      check_code what code r;
+      Alcotest.(check string) (what ^ ": state unchanged") before
+        (fingerprint eng))
+    cases;
+  Alcotest.(check (list string)) "still audits clean" [] (E.audit eng)
+
+(* set_curves applies curve by curve, so a modify that fails on its
+   queue limits after the curves landed must roll the class back. *)
+let test_modify_rollback () =
+  let eng = make_engine () in
+  let sched = E.scheduler eng in
+  let b = Option.get (Hfsc.find_class sched "b") in
+  let state_before = Hfsc.debug_state b in
+  let fsc_before = Hfsc.fsc b in
+  let r = exec1 eng ~now:0. "modify class b fsc 1Mbit qlimit -3" in
+  check_code "bad qlimit fails the whole command" E.Bad_value r;
+  Alcotest.(check bool) "fsc rolled back" true (Hfsc.fsc b = fsc_before);
+  Alcotest.(check string) "internal state bit-identical" state_before
+    (Hfsc.debug_state b);
+  (* the same command without the poison pill applies both parts *)
+  ignore (ok_exec (exec1 eng ~now:0. "modify class b fsc 1Mbit qlimit 7"));
+  Alcotest.(check int) "qlimit applied" 7 (Hfsc.queue_limit_pkts b);
+  Alcotest.(check bool) "fsc applied" true
+    (match Hfsc.fsc b with Some f -> f.Sc.m2 = 125_000. | None -> false)
+
+let test_limit_command () =
+  let eng = make_engine () in
+  let sched = E.scheduler eng in
+  let r = ok_exec (exec1 eng ~now:0. "limit pkts 3 policy longest") in
+  check_contains "response" r "pkts=3";
+  Alcotest.(check int) "agg pkts" 3 (Hfsc.aggregate_limit_pkts sched);
+  for s = 0 to 2 do
+    ignore (E.enqueue_flow eng ~now:0. (pkt ~flow:1 ~seq:s ~now:0.))
+  done;
+  (* 4th packet exceeds the aggregate: the longest queue loses its tail *)
+  Alcotest.(check bool) "eviction admits the arrival" true
+    (E.enqueue_flow eng ~now:0. (pkt ~flow:2 ~seq:0 ~now:0.));
+  Alcotest.(check int) "aggregate bound holds" 3 (Hfsc.backlog_pkts sched);
+  let a = Option.get (Hfsc.find_class sched "a") in
+  Alcotest.(check int) "victim shortened" 2 (Hfsc.queue_length a);
+  (* the eviction is charged to the victim class, via the drop hook *)
+  let ca = T.counters (E.telemetry eng) ~id:(Hfsc.id a) in
+  Alcotest.(check int) "victim drop counted" 1 ca.T.drop_pkts;
+  (* tail policy refuses the arrival instead *)
+  ignore (ok_exec (exec1 eng ~now:0. "limit policy tail"));
+  Alcotest.(check bool) "tail refuses" false
+    (E.enqueue_flow eng ~now:0. (pkt ~flow:2 ~seq:1 ~now:0.));
+  let cb =
+    T.counters (E.telemetry eng)
+      ~id:(Hfsc.id (Option.get (Hfsc.find_class sched "b")))
+  in
+  Alcotest.(check int) "refusal counted against the destination" 1
+    cb.T.drop_pkts;
+  (* lifting the bound re-admits *)
+  ignore (ok_exec (exec1 eng ~now:0. "limit pkts none"));
+  Alcotest.(check bool) "unlimited again" true
+    (E.enqueue_flow eng ~now:0. (pkt ~flow:2 ~seq:2 ~now:0.));
+  Alcotest.(check (list string)) "audits clean" [] (E.audit eng)
+
+let test_usc_admission () =
+  let eng = make_engine () in
+  (* ulimit dominating the rsc: accepted *)
+  ignore
+    (ok_exec
+       (exec1 eng ~now:0.
+          "add class u parent root flow 8 rsc 1Mbit ulimit 2Mbit"));
+  (* ulimit dipping below the rsc's burst: rejected, breakpoint named *)
+  let r =
+    exec1 eng ~now:0.
+      "add class v parent root rsc m1 2Mbit d 10ms m2 0.1Mbit fsc 0.1Mbit \
+       ulimit m1 1Mbit d 10ms m2 0.2Mbit"
+  in
+  check_code "code" E.Admission_ulimit r;
+  check_contains "breakpoint named" (err_exec r) "breakpoint t=0.01";
+  (* a modify that adds only the offending ulimit is also caught *)
+  let r2 = exec1 eng ~now:0. "modify class u ulimit 0.5Mbit" in
+  check_code "modify caught" E.Admission_ulimit r2
+
+let test_audit_runs_clean () =
+  let eng = E.of_config ~audit_every:1 (ok (Config.parse cfg_text)) in
+  Alcotest.(check (list string)) "fresh engine" [] (E.audit eng);
+  (* audit_every:1 re-validates after every op — any violation raises *)
+  for s = 0 to 9 do
+    ignore (E.enqueue_flow eng ~now:0. (pkt ~flow:1 ~seq:s ~now:0.));
+    ignore (E.enqueue_flow eng ~now:0. (pkt ~flow:2 ~seq:s ~now:0.))
+  done;
+  ignore (ok_exec (exec1 eng ~now:0. "add class c parent root fsc 1Mbit"));
+  let now = ref 0.001 in
+  let rec go () =
+    match E.dequeue eng ~now:!now with
+    | Some _ ->
+        now := !now +. 0.001;
+        go ()
+    | None -> ()
+  in
+  go ();
+  Alcotest.(check (list string)) "after drain" [] (E.audit eng)
+
 (* --- exec_script ---------------------------------------------------- *)
 
-let test_exec_script () =
+let test_exec_script_lenient () =
+  let eng = make_engine () in
+  let script =
+    "add class c parent root flow 9 fsc 1Mbit\n\
+     at 1 add class c parent root fsc 1Mbit\n\
+     at 2 delete class c\n"
+  in
+  let outcomes =
+    E.exec_script ~lenient:true eng (ok_script (C.parse_script script))
+  in
+  (match outcomes with
+  | [ (0., _, Ok _); (1., _, Error dup); (2., _, Ok _) ] ->
+      check_contains "duplicate name" (E.error_message dup) "already exists";
+      Alcotest.(check string) "duplicate code" "duplicate-class"
+        (E.error_code_name (E.error_code dup))
+  | _ -> Alcotest.fail "unexpected outcome shape");
+  Alcotest.(check bool) "c deleted again" true
+    (Hfsc.find_class (E.scheduler eng) "c" = None)
+
+let test_exec_script_strict () =
   let eng = make_engine () in
   let script =
     "add class c parent root flow 9 fsc 1Mbit\n\
@@ -456,12 +691,12 @@ let test_exec_script () =
      at 2 delete class c\n"
   in
   let outcomes = E.exec_script eng (ok_script (C.parse_script script)) in
+  (* strict mode stops at the failing line, which is the last outcome *)
   (match outcomes with
-  | [ (0., _, Ok _); (1., _, Error dup); (2., _, Ok _) ] ->
-      check_contains "duplicate name" dup "already exists"
-  | _ -> Alcotest.fail "unexpected outcome shape");
-  Alcotest.(check bool) "c deleted again" true
-    (Hfsc.find_class (E.scheduler eng) "c" = None)
+  | [ (0., _, Ok _); (1., _, Error _) ] -> ()
+  | _ -> Alcotest.fail "strict replay should stop at the error");
+  Alcotest.(check bool) "delete never ran" true
+    (Hfsc.find_class (E.scheduler eng) "c" <> None)
 
 let () =
   Alcotest.run "runtime"
@@ -471,6 +706,8 @@ let () =
           Alcotest.test_case "parse add" `Quick test_parse_add;
           Alcotest.test_case "parse others" `Quick test_parse_others;
           Alcotest.test_case "parse errors" `Quick test_parse_errors;
+          Alcotest.test_case "parse limit + queue bounds" `Quick
+            test_parse_limit;
           Alcotest.test_case "script" `Quick test_script;
           Alcotest.test_case "script error line" `Quick
             test_script_error_line;
@@ -483,12 +720,24 @@ let () =
             test_admission_rt_breakpoint;
           Alcotest.test_case "fsc under parent" `Quick
             test_admission_fsc_under_parent;
+          Alcotest.test_case "ulimit vs rsc" `Quick test_usc_admission;
+        ] );
+      ( "transactional",
+        [
+          Alcotest.test_case "error paths leave state" `Quick
+            test_error_paths_leave_state;
+          Alcotest.test_case "modify rollback" `Quick test_modify_rollback;
+          Alcotest.test_case "limit command" `Quick test_limit_command;
+          Alcotest.test_case "audit runs clean" `Quick test_audit_runs_clean;
         ] );
       ( "reconfigure",
         [
           Alcotest.test_case "live add/modify/delete" `Quick
             test_live_reconfigure;
-          Alcotest.test_case "exec_script" `Quick test_exec_script;
+          Alcotest.test_case "exec_script lenient" `Quick
+            test_exec_script_lenient;
+          Alcotest.test_case "exec_script strict" `Quick
+            test_exec_script_strict;
         ] );
       ( "telemetry",
         [
