@@ -291,6 +291,157 @@ module Tele = struct
       ]
 end
 
+(* --- router scaling ------------------------------------------------- *)
+
+(* The multi-link promise: a router is N independent engines behind a
+   flow directory, so the per-packet cost of an enqueue+dequeue cycle
+   through the router (directory lookup + owning engine) stays within
+   a few percent of the bare single-engine cost, and the dequeue path
+   allocates not one extra minor word. Four links, flat n=100 each,
+   every class created through the control plane ([link NAME add
+   class ...]) as a router deployment would. *)
+module RouterBench = struct
+  let n_links = 4
+  let n = Tele.n
+  let flow_of j i = (j * 1000) + i
+
+  let router () =
+    let r = Runtime.Router.create ~tracing:true () in
+    for j = 0 to n_links - 1 do
+      (match
+         Runtime.Router.add_link r
+           ~name:(Printf.sprintf "l%d" j)
+           ~link_rate:link
+       with
+      | Ok _ -> ()
+      | Error e -> failwith (Runtime.Engine.error_message e));
+      for i = 0 to n - 1 do
+        let line =
+          Printf.sprintf
+            "link l%d add class c%d_%d parent root flow %d rsc 1Mbit fsc \
+             1Mbit qlimit 1000000"
+            j j i (flow_of j i)
+        in
+        match Runtime.Command.parse line with
+        | Error e -> failwith e
+        | Ok cmd -> (
+            match Runtime.Router.exec r ~now:0. cmd with
+            | Ok _ -> ()
+            | Error e -> failwith (Runtime.Engine.error_message e))
+      done
+    done;
+    r
+
+  let prefill_router r ~per =
+    for j = 0 to n_links - 1 do
+      for i = 0 to n - 1 do
+        for s = 0 to per - 1 do
+          ignore
+            (Runtime.Router.enqueue_flow r ~now:0.
+               (Pkt.Packet.make ~flow:(flow_of j i) ~size:1000 ~seq:s
+                  ~arrival:0.))
+        done
+      done
+    done
+
+  (* Single-engine baseline: the same flat n=100 hierarchy, driven
+     through [Engine.enqueue_flow] so both sides pay their own flow
+     lookup. *)
+  let single_cycle_test () =
+    let eng, _ = Tele.engine () in
+    for i = 0 to n - 1 do
+      for s = 0 to 3 do
+        ignore
+          (Runtime.Engine.enqueue_flow eng ~now:0.
+             (Pkt.Packet.make ~flow:i ~size:1000 ~seq:s ~arrival:0.))
+      done
+    done;
+    let i = ref 0 in
+    let seq = ref 4 in
+    let now = ref 0. in
+    let tx = 1000. /. link in
+    Test.make ~name:"single"
+      (Staged.stage (fun () ->
+           i := (!i + 1) mod n;
+           incr seq;
+           now := !now +. tx;
+           ignore
+             (Runtime.Engine.enqueue_flow eng ~now:!now
+                (Pkt.Packet.make ~flow:!i ~size:1000 ~seq:!seq ~arrival:!now));
+           ignore (Runtime.Engine.dequeue eng ~now:!now)))
+
+  (* One cycle through the router: round-robin across links (each has
+     its own transmitter, so dequeue goes straight to the engine). *)
+  let router_cycle_test () =
+    let r = router () in
+    prefill_router r ~per:4;
+    let engines =
+      Array.of_list (List.map snd (Runtime.Router.links r))
+    in
+    let j = ref 0 in
+    let i = ref 0 in
+    let seq = ref 4 in
+    let now = ref 0. in
+    let tx = 1000. /. link in
+    Test.make ~name:"router"
+      (Staged.stage (fun () ->
+           j := (!j + 1) mod n_links;
+           if !j = 0 then i := (!i + 1) mod n;
+           incr seq;
+           now := !now +. tx;
+           ignore
+             (Runtime.Router.enqueue_flow r ~now:!now
+                (Pkt.Packet.make ~flow:(flow_of !j !i) ~size:1000 ~seq:!seq
+                   ~arrival:!now));
+           ignore (Runtime.Engine.dequeue engines.(!j) ~now:!now)))
+
+  (* Minor words per dequeue through the router's engines, mirroring
+     Tele.dequeue_words: prefill, warm-up, boxed clock, round-robin
+     across the four links. *)
+  let dequeue_words () =
+    let r = router () in
+    let k = 4096 in
+    let warm = 512 in
+    let per = ((k + warm) / (n_links * n)) + 2 in
+    prefill_router r ~per;
+    let engines = Array.of_list (List.map snd (Runtime.Router.links r)) in
+    let tx = 1000. /. link in
+    let now = ref 0. in
+    for w = 1 to warm do
+      now := !now +. tx;
+      ignore (Runtime.Engine.dequeue engines.(w mod n_links) ~now:!now)
+    done;
+    match Sys.opaque_identity [ !now +. tx ] with
+    | [ boxed_now ] ->
+        let w0 = Gc.minor_words () in
+        for w = 1 to k do
+          ignore (Runtime.Engine.dequeue engines.(w mod n_links) ~now:boxed_now)
+        done;
+        (Gc.minor_words () -. w0) /. float_of_int k
+    | _ -> assert false
+
+  let json ~quota =
+    let ns = ols_ns ~quota [ single_cycle_test (); router_cycle_test () ] in
+    let find k = try List.assoc k ns with Not_found -> -1. in
+    let single_ns = find "single" in
+    let router_ns = find "router" in
+    let single_dw = Tele.dequeue_words () in
+    let router_dw = dequeue_words () in
+    Json_lite.Obj
+      [
+        ("links", Json_lite.Num (float_of_int n_links));
+        ("classes_per_link", Json_lite.Num (float_of_int n));
+        ("single_ns_per_op", Json_lite.Num single_ns);
+        ("router_ns_per_op", Json_lite.Num router_ns);
+        ( "per_link_overhead_pct",
+          Json_lite.Num ((router_ns -. single_ns) /. single_ns *. 100.) );
+        ("single_dequeue_minor_words_per_op", Json_lite.Num single_dw);
+        ("router_dequeue_minor_words_per_op", Json_lite.Num router_dw);
+        ( "extra_dequeue_minor_words_per_op",
+          Json_lite.Num (router_dw -. single_dw) );
+      ]
+end
+
 (* --- the machine-readable baseline --------------------------------- *)
 
 let measure_all ~quota scens =
@@ -319,15 +470,16 @@ let bench_doc ~quota scens =
   let results = measure_all ~quota scens in
   Json_lite.Obj
     [
-      ("schema", Json_lite.Str "hfsc-bench/2");
+      ("schema", Json_lite.Str "hfsc-bench/3");
       ("quota_s", Json_lite.Num quota);
       ("link_rate_Bps", Json_lite.Num link);
       ("dequeue_result_words", Json_lite.Num 6.);
       ("results", Json_lite.List results);
       ("telemetry", Tele.json ~quota);
+      ("router", RouterBench.json ~quota);
     ]
 
-(* Schema validation for hfsc-bench/2 — used by the smoke target on
+(* Schema validation for hfsc-bench/3 — used by the smoke target on
    both its own output and the committed baseline. *)
 let validate_bench (j : Json_lite.t) : (unit, string) result =
   let ( let* ) = Result.bind in
@@ -343,7 +495,7 @@ let validate_bench (j : Json_lite.t) : (unit, string) result =
   in
   let* schema = req_str j "schema" in
   let* () =
-    if schema = "hfsc-bench/2" then Ok ()
+    if schema = "hfsc-bench/3" then Ok ()
     else Error (Printf.sprintf "unknown schema %S" schema)
   in
   let* _ = req_num j "quota_s" in
@@ -406,6 +558,38 @@ let validate_bench (j : Json_lite.t) : (unit, string) result =
         (Printf.sprintf "traced dequeue allocates %g extra minor words/op"
            extra)
   in
+  (* the hfsc-bench/3 router-scaling block *)
+  let* router =
+    match Json_lite.member "router" j with
+    | Some (Json_lite.Obj _ as o) -> Ok o
+    | _ -> Error "missing router object"
+  in
+  let* n_links = req_num router "links" in
+  let* () = if n_links >= 2. then Ok () else Error "router needs >= 2 links" in
+  let* _ = req_num router "classes_per_link" in
+  let* single = req_num router "single_ns_per_op" in
+  let* routed = req_num router "router_ns_per_op" in
+  let* () =
+    if single > 0. && routed > 0. then Ok ()
+    else Error "router ns_per_op not positive"
+  in
+  let* pct = req_num router "per_link_overhead_pct" in
+  let* () =
+    if Float.is_finite pct then Ok ()
+    else Error "router per_link_overhead_pct not finite"
+  in
+  let* _ = req_num router "single_dequeue_minor_words_per_op" in
+  let* _ = req_num router "router_dequeue_minor_words_per_op" in
+  let* extra = req_num router "extra_dequeue_minor_words_per_op" in
+  let* () =
+    (* same hard promise as telemetry: fanning dequeue out over N
+       engines adds zero allocation per packet *)
+    if extra = 0. then Ok ()
+    else
+      Error
+        (Printf.sprintf "router dequeue allocates %g extra minor words/op"
+           extra)
+  in
   Ok ()
 
 let write_file path s =
@@ -464,7 +648,22 @@ let run_bench_json out =
         "telemetry: traced cycle %.0f ns vs bare %.0f ns (%+.1f%%), \
          %+g minor words/dequeue\n"
         (num "traced_ns_per_op") (num "bare_ns_per_op") (num "overhead_pct")
-        (num "extra_dequeue_minor_words_per_op")
+        (num "extra_dequeue_minor_words_per_op");
+      (match Json_lite.member "router" doc with
+      | Some router ->
+          let num k =
+            match Json_lite.(Option.bind (member k router) to_num_opt) with
+            | Some v -> v
+            | None -> nan
+          in
+          Printf.printf
+            "router: %.0f links x %.0f classes, %.0f ns/op vs single %.0f ns \
+             (%+.1f%%), %+g minor words/dequeue\n"
+            (num "links") (num "classes_per_link") (num "router_ns_per_op")
+            (num "single_ns_per_op")
+            (num "per_link_overhead_pct")
+            (num "extra_dequeue_minor_words_per_op")
+      | None -> ())
   | None -> ()
 
 let run_smoke committed =

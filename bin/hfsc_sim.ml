@@ -242,12 +242,6 @@ let control_cmd =
     Arg.(value & opt int 0 & info [ "trace-dump" ] ~docv:"N"
            ~doc:"Print the last $(docv) telemetry trace events at the end.")
   in
-  let read_file path =
-    let ic = open_in path in
-    Fun.protect
-      ~finally:(fun () -> close_in_noerr ic)
-      (fun () -> really_input_string ic (in_channel_length ic))
-  in
   let run file script seconds stats_json trace_dump =
     match Config.load file with
     | Error e ->
@@ -257,7 +251,7 @@ let control_cmd =
         List.iter
           (fun w -> Printf.eprintf "warning: %s\n" w)
           (Config.validate cfg);
-        match Runtime.Command.parse_script (read_file script) with
+        match Runtime.Command.parse_script_file script with
         | Error { Runtime.Command.line; reason } ->
             Printf.eprintf "%s:%d: %s\n" script line reason;
             1
@@ -274,7 +268,7 @@ let control_cmd =
                     match Runtime.Engine.exec eng ~now cmd with
                     | Ok resp ->
                         Printf.printf "[%8.3f] ok: %s\n%s" now cs
-                          (match cmd with
+                          (match cmd.Runtime.Command.op with
                           | Runtime.Command.Stats _
                           | Runtime.Command.Trace Runtime.Command.Trace_dump ->
                               resp
@@ -312,9 +306,8 @@ let control_cmd =
                 Printf.printf "\nwrote stats to %s\n" path
             | None -> ());
             (if trace_dump > 0 then
-               let evs =
-                 Runtime.Telemetry.events (Runtime.Engine.telemetry eng)
-               in
+               let snap = Runtime.Engine.snapshot eng in
+               let evs = snap.Runtime.Telemetry.snap_events in
                let n = List.length evs in
                let tail =
                  if n <= trace_dump then evs
@@ -322,8 +315,7 @@ let control_cmd =
                in
                Printf.printf "\ntrace tail (%d of %d recorded):\n"
                  (List.length tail)
-                 (Runtime.Telemetry.recorded_total
-                    (Runtime.Engine.telemetry eng));
+                 snap.Runtime.Telemetry.snap_recorded;
                List.iter
                  (fun e ->
                    print_endline (Runtime.Telemetry.event_to_string e))
@@ -332,6 +324,135 @@ let control_cmd =
   in
   Cmd.v (Cmd.info "control" ~doc)
     Term.(const run $ file $ script $ seconds $ stats_json $ trace_dump)
+
+let router_cmd =
+  let doc =
+    "Multi-link router simulation: load a configuration with several link \
+     statements (one H-FSC engine per link, strict per-link ownership), \
+     drive all links concurrently, and optionally replay a timed command \
+     script against the router control plane — link-scoped commands, \
+     device-wide stats, and the link add/delete/list verbs. A link created \
+     mid-run by 'link add' accepts classes and filters but has no \
+     transmitter in this simulation (it drains only if commands dequeue \
+     it); configure links in the file to give them wires. See \
+     examples/router.hfsc and examples/router.ctl."
+  in
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"CONFIG")
+  in
+  let script =
+    Arg.(value & pos 1 (some file) None & info [] ~docv:"SCRIPT")
+  in
+  let seconds =
+    Arg.(value & opt float 10. & info [ "time" ] ~docv:"S"
+           ~doc:"Simulated seconds.")
+  in
+  let stats_json =
+    Arg.(value & opt (some string) None
+         & info [ "stats-json" ] ~docv:"FILE"
+             ~doc:"Write final per-link stats (hfsc-router-stats/1) to \
+                   $(docv).")
+  in
+  let run file script seconds stats_json =
+    match Config.load file with
+    | Error e ->
+        Printf.eprintf "%s: %s\n" file e;
+        1
+    | Ok cfg -> (
+        List.iter
+          (fun w -> Printf.eprintf "warning: %s\n" w)
+          (Config.validate cfg);
+        let cmds =
+          match script with
+          | None -> Ok []
+          | Some path -> (
+              match Runtime.Command.parse_script_file path with
+              | Ok cmds -> Ok cmds
+              | Error { Runtime.Command.line; reason } ->
+                  Printf.eprintf "%s:%d: %s\n" path line reason;
+                  Error ())
+        in
+        match cmds with
+        | Error () -> 1
+        | Ok cmds ->
+            let router = Runtime.Router.of_config cfg in
+            (* wire every configured link to its own transmitter; the
+               route consults the router's live flow directory, so
+               flows added or deleted mid-run re-route immediately *)
+            let links = Runtime.Router.links router in
+            let index = Hashtbl.create 8 in
+            List.iteri
+              (fun i (name, _) -> Hashtbl.replace index name i)
+              links;
+            let sim =
+              Netsim.Sim.create_multi
+                ~links:
+                  (List.map
+                     (fun (name, eng) ->
+                       ( name,
+                         Runtime.Engine.link_rate eng,
+                         Runtime.Engine.adapter eng ))
+                     links)
+                ~route:(fun pkt ->
+                  match
+                    Runtime.Router.link_of_flow router pkt.Pkt.Packet.flow
+                  with
+                  | Some name -> Hashtbl.find_opt index name
+                  | None -> None)
+                ()
+            in
+            List.iter
+              (fun (at, cmd) ->
+                Netsim.Sim.at sim at (fun ~now ->
+                    let cs = Format.asprintf "%a" Runtime.Command.pp cmd in
+                    match Runtime.Router.exec router ~now cmd with
+                    | Ok resp ->
+                        Printf.printf "[%8.3f] ok: %s\n%s" now cs
+                          (match cmd.Runtime.Command.op with
+                          | Runtime.Command.Stats _
+                          | Runtime.Command.Trace Runtime.Command.Trace_dump
+                          | Runtime.Command.Link_list ->
+                              resp ^ "\n"
+                          | _ -> "")
+                    | Error e ->
+                        Printf.printf
+                          "[%8.3f] rejected (%s): %s\n           %s\n" now
+                          (Runtime.Engine.error_code_name
+                             (Runtime.Engine.error_code e))
+                          cs
+                          (Runtime.Engine.error_message e)))
+              cmds;
+            List.iter (Netsim.Sim.add_source sim)
+              (cfg.Config.sources ~until:seconds);
+            Netsim.Sim.run sim ~until:seconds;
+            Printf.printf "\n%.1fs simulated, %d links\n" seconds
+              (Netsim.Sim.n_links sim);
+            List.iteri
+              (fun i (name, _) ->
+                Printf.printf
+                  "  %-12s %8.2f Mb/s wire, utilization %5.1f%%, %.0f bytes \
+                   sent\n"
+                  name
+                  (Netsim.Sim.link_rate ~link:i sim *. 8. /. 1e6)
+                  (Netsim.Sim.link_utilization sim i *. 100.)
+                  (Netsim.Sim.link_transmitted_bytes sim i))
+              links;
+            print_newline ();
+            print_string (Runtime.Router.stats_text router);
+            (match stats_json with
+            | Some path ->
+                let oc = open_out_bin path in
+                Fun.protect
+                  ~finally:(fun () -> close_out_noerr oc)
+                  (fun () ->
+                    output_string oc
+                      (Json_lite.to_string (Runtime.Router.stats_json router)));
+                Printf.printf "\nwrote stats to %s\n" path
+            | None -> ());
+            0)
+  in
+  Cmd.v (Cmd.info "router" ~doc)
+    Term.(const run $ file $ script $ seconds $ stats_json)
 
 let () =
   let doc =
@@ -342,4 +463,4 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ list_cmd; run_cmd; demo_cmd; simulate_cmd; control_cmd ]))
+          [ list_cmd; run_cmd; demo_cmd; simulate_cmd; control_cmd; router_cmd ]))

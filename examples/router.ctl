@@ -1,0 +1,32 @@
+# A timed script for the ROUTER control plane, written against the
+# two-link examples/router.hfsc. Run with:
+#
+#   dune exec bin/hfsc_sim.exe -- router examples/router.hfsc \
+#     examples/router.ctl --time 2
+#
+# `link NAME CMD` scopes a command to one link; `link add/delete/list`
+# manage the link set itself; an unscoped command aggregates (stats,
+# trace) or routes by flow ownership (attach/detach filter).
+
+# Grow west's hierarchy mid-run: 0.064 + 20 + 4 <= cmu's 25 Mbit.
+at 0.2  link west add class bulk parent cmu flow 4 fsc 4Mbit
+
+# REJECTED (cross-link-filter): flow 2 lives on west, not east — a
+# filter must be attached on the link that owns its flow.
+at 0.4  link east attach filter flow 2 proto udp
+
+# Unscoped attach routes by flow ownership: flow 3 is east's.
+at 0.5  attach filter flow 3 dst 10.2.0.0/16
+
+# Links themselves are runtime objects.
+at 0.6  link add north rate 5Mbit
+at 0.7  link north add class n1 parent root flow 9 fsc 4Mbit
+
+# REJECTED (admission-linkshare): 0.064 + 20 + 5 outgrows cmu's 25 Mbit.
+at 0.8  link west modify class bulk fsc 5Mbit
+
+# Device-wide stats: one table per link.
+at 1.0  stats
+
+at 1.2  link delete north
+at 1.4  link list

@@ -1,0 +1,18 @@
+type 'a t = ('a * Rules.t) array
+
+let create shards = Array.of_list shards
+
+let classify t h =
+  let n = Array.length t in
+  let rec go i =
+    if i >= n then None
+    else
+      let tag, rules = t.(i) in
+      match Rules.classify rules h with
+      | Some flow -> Some (tag, flow)
+      | None -> go (i + 1)
+  in
+  go 0
+
+let shards t = Array.to_list t
+let length t = Array.fold_left (fun acc (_, r) -> acc + Rules.length r) 0 t

@@ -1,0 +1,25 @@
+(** A sharded classifier: one {!Rules.t} rule table per shard (in a
+    multi-link router, one per output link), searched in shard order.
+    This is the device-wide classification layer in front of N per-link
+    schedulers: a header resolves to a (shard, flow) pair, naming both
+    the link that owns the packet and the flow id its leaf class is
+    keyed by. First matching rule across the ordered shards wins, so
+    per-shard tables keep the exact first-match-wins semantics of
+    {!Rules} while ownership of every rule stays with one shard. *)
+
+type 'a t
+(** ['a] is the shard tag — whatever identifies a shard to the caller
+    (a link name, an index, an engine handle). *)
+
+val create : ('a * Rules.t) list -> 'a t
+(** Shards are searched in list order. *)
+
+val classify : 'a t -> Pkt.Header.t -> ('a * int) option
+(** First match across shards in order: the owning shard's tag and the
+    matched flow id. [None] when no shard's table matches. *)
+
+val shards : 'a t -> ('a * Rules.t) list
+(** The shards in search order. *)
+
+val length : 'a t -> int
+(** Total rules across all shards. *)

@@ -1,8 +1,16 @@
+type link = {
+  lname : string;
+  lrate : float;
+  lscheduler : Hfsc.t;
+  lflow_map : (int * Hfsc.cls) list;
+}
+
 type t = {
   scheduler : Hfsc.t;
   flow_map : (int * Hfsc.cls) list;
   sources : until:float -> Netsim.Source.t list;
   link_rate : float;
+  links : link list;
 }
 
 exception Parse_error of string
@@ -148,7 +156,7 @@ type source_spec = {
 }
 
 type stmt =
-  | Link of float
+  | Link of string option * float (* optional name; None = sole link *)
   | Class of class_spec
   | Source of source_spec
   | Limit of limit_spec
@@ -268,10 +276,18 @@ let parse_line line =
       let st = { toks = rest } in
       match kw with
       | "link" ->
+          let name =
+            match peek st with
+            | Some "rate" -> None
+            | Some n ->
+                ignore (next st);
+                Some n
+            | None -> fail "link: expected [NAME] rate RATE"
+          in
           expect st "rate";
           let r = parse_rate_exn (next st) in
           if peek st <> None then fail "trailing tokens after link rate";
-          Some (Link r)
+          Some (Link (name, r))
       | "class" -> Some (parse_class st)
       | "source" -> Some (parse_source st)
       | "limit" -> Some (parse_limit st)
@@ -279,64 +295,134 @@ let parse_line line =
 
 (* --- assembling the scheduler ---------------------------------------- *)
 
+(* One link under construction. Schedulers are created bare and limits
+   applied through the setters so the one-link and N-link paths share
+   the same code. *)
+type builder = {
+  bname : string;
+  brate : float;
+  bsched : Hfsc.t;
+  bclasses : (string, Hfsc.cls) Hashtbl.t;
+  mutable bflow : (int * Hfsc.cls) list; (* reversed *)
+  mutable blimit : bool;
+}
+
+let reserved_link_names = [ "add"; "delete"; "list" ]
+
+let new_builder ~name ~rate =
+  if rate <= 0. then fail "link rate must be positive";
+  if List.mem name reserved_link_names then
+    fail "link name %S is reserved (a control-command verb)" name;
+  let bsched = Hfsc.create ~link_rate:rate () in
+  let bclasses = Hashtbl.create 16 in
+  Hashtbl.replace bclasses "root" (Hfsc.root bsched);
+  { bname = name; brate = rate; bsched; bclasses; bflow = []; blimit = false }
+
+(* [flows_global]: flow ids are device-wide, one leaf anywhere. *)
+let apply_class b ~flows_global (c : class_spec) =
+  if Hashtbl.mem b.bclasses c.cname then fail "duplicate class %S" c.cname;
+  let parent =
+    match Hashtbl.find_opt b.bclasses c.cparent with
+    | Some p -> p
+    | None -> fail "class %S: unknown parent %S" c.cname c.cparent
+  in
+  let cls =
+    try
+      Hfsc.add_class b.bsched ~parent ~name:c.cname ?rsc:c.crsc ?fsc:c.cfsc
+        ?usc:c.cusc ?qlimit:c.cqlimit ?qlimit_bytes:c.cqbytes ()
+    with Invalid_argument e -> fail "class %S: %s" c.cname e
+  in
+  Hashtbl.replace b.bclasses c.cname cls;
+  match c.cflow with
+  | Some flow ->
+      if Hashtbl.mem flows_global flow then fail "flow %d mapped twice" flow;
+      Hashtbl.replace flows_global flow ();
+      b.bflow <- (flow, cls) :: b.bflow
+  | None -> ()
+
+let apply_limit b (l : limit_spec) =
+  if b.blimit then fail "duplicate 'limit' statement";
+  b.blimit <- true;
+  Hfsc.set_aggregate_limit b.bsched ?pkts:l.lpkts ?bytes:l.lbytes ();
+  match l.lpolicy with
+  | Some p -> Hfsc.set_drop_policy b.bsched p
+  | None -> ()
+
 let build stmts =
-  let link_rate =
-    match
-      List.filter_map (function Link r -> Some r | _ -> None) stmts
-    with
-    | [ r ] when r > 0. -> r
-    | [] -> fail "missing 'link rate ...' statement"
-    | [ _ ] -> fail "link rate must be positive"
-    | _ -> fail "duplicate 'link' statement"
+  let n_links =
+    List.length (List.filter (function Link _ -> true | _ -> false) stmts)
   in
-  let limit =
-    match
-      List.filter_map (function Limit l -> Some l | _ -> None) stmts
-    with
-    | [] -> { lpkts = None; lbytes = None; lpolicy = None }
-    | [ l ] -> l
-    | _ -> fail "duplicate 'limit' statement"
+  let flows_global = Hashtbl.create 16 in
+  let builders =
+    if n_links = 0 then fail "missing 'link rate ...' statement"
+    else if n_links = 1 then begin
+      (* sole link: keep the historical order-insensitive semantics —
+         classes may precede the link statement *)
+      let name, rate =
+        match
+          List.filter_map (function Link (n, r) -> Some (n, r) | _ -> None)
+            stmts
+        with
+        | [ (n, r) ] -> (Option.value n ~default:"link0", r)
+        | _ -> assert false
+      in
+      let b = new_builder ~name ~rate in
+      List.iter
+        (function
+          | Class c -> apply_class b ~flows_global c
+          | Limit l -> apply_limit b l
+          | Link _ | Source _ -> ())
+        stmts;
+      [ b ]
+    end
+    else begin
+      (* several links: sections — class and limit statements bind to
+         the most recent link statement *)
+      let names = Hashtbl.create 4 in
+      let current = ref None and acc = ref [] in
+      List.iter
+        (function
+          | Link (name, rate) ->
+              let name =
+                match name with
+                | Some n -> n
+                | None ->
+                    if !current = None then "link0"
+                    else
+                      fail
+                        "duplicate 'link' statement: every link after the \
+                         first needs a name"
+              in
+              if Hashtbl.mem names name then
+                fail "duplicate link name %S" name;
+              Hashtbl.replace names name ();
+              let b = new_builder ~name ~rate in
+              current := Some b;
+              acc := b :: !acc
+          | Class c -> (
+              match !current with
+              | Some b -> apply_class b ~flows_global c
+              | None -> fail "class %S before any 'link' statement" c.cname)
+          | Limit l -> (
+              match !current with
+              | Some b -> apply_limit b l
+              | None -> fail "'limit' before any 'link' statement")
+          | Source _ -> ())
+        stmts;
+      List.rev !acc
+    end
   in
-  let scheduler =
-    Hfsc.create ~link_rate ?agg_limit_pkts:limit.lpkts
-      ?agg_limit_bytes:limit.lbytes ?drop_policy:limit.lpolicy ()
+  let union_flow_map =
+    List.concat_map (fun b -> List.rev b.bflow) builders
   in
-  let classes = Hashtbl.create 16 in
-  Hashtbl.replace classes "root" (Hfsc.root scheduler);
-  let flow_map = ref [] in
-  List.iter
-    (function
-      | Class c ->
-          if Hashtbl.mem classes c.cname then
-            fail "duplicate class %S" c.cname;
-          let parent =
-            match Hashtbl.find_opt classes c.cparent with
-            | Some p -> p
-            | None -> fail "class %S: unknown parent %S" c.cname c.cparent
-          in
-          let cls =
-            try
-              Hfsc.add_class scheduler ~parent ~name:c.cname ?rsc:c.crsc
-                ?fsc:c.cfsc ?usc:c.cusc ?qlimit:c.cqlimit
-                ?qlimit_bytes:c.cqbytes ()
-            with Invalid_argument e -> fail "class %S: %s" c.cname e
-          in
-          Hashtbl.replace classes c.cname cls;
-          (match c.cflow with
-          | Some flow ->
-              if List.mem_assoc flow !flow_map then
-                fail "flow %d mapped twice" flow;
-              flow_map := (flow, cls) :: !flow_map
-          | None -> ())
-      | Link _ | Source _ | Limit _ -> ())
-    stmts;
   let source_specs =
     List.filter_map (function Source s -> Some s | _ -> None) stmts
   in
-  (* validate sources now so errors surface at parse time *)
+  (* validate sources now so errors surface at parse time; sources are
+     device-wide and may feed a flow on any link *)
   List.iter
     (fun s ->
-      if not (List.mem_assoc s.sflow !flow_map) then
+      if not (List.mem_assoc s.sflow union_flow_map) then
         fail "source refers to unmapped flow %d" s.sflow;
       match s.skind with
       | "cbr" | "greedy" ->
@@ -382,47 +468,84 @@ let build stmts =
         | _ -> assert false)
       source_specs
   in
-  { scheduler; flow_map = List.rev !flow_map; sources; link_rate }
+  let links =
+    List.map
+      (fun b ->
+        {
+          lname = b.bname;
+          lrate = b.brate;
+          lscheduler = b.bsched;
+          lflow_map = List.rev b.bflow;
+        })
+      builders
+  in
+  let first = List.hd links in
+  {
+    scheduler = first.lscheduler;
+    flow_map = first.lflow_map;
+    sources;
+    link_rate = first.lrate;
+    links;
+  }
 
 let validate t =
   let warnings = ref [] in
-  let warn fmt = Printf.ksprintf (fun s -> warnings := s :: !warnings) fmt in
-  let classes = Hfsc.classes t.scheduler in
-  let leaf_rscs =
-    List.filter_map (fun c -> if Hfsc.is_leaf c then Hfsc.rsc c else None)
-      classes
-  in
-  if
-    leaf_rscs <> []
-    && not (Analysis.Admission.admissible ~link_rate:t.link_rate leaf_rscs)
-  then
-    warn
-      "real-time curves are not admissible on the link (oversubscribed by \
-       %.0f bytes worst-case): guarantees will not hold"
-      (Analysis.Admission.excess ~link_rate:t.link_rate leaf_rscs);
+  let multi = List.length t.links > 1 in
   List.iter
-    (fun c ->
-      match (Hfsc.fsc c, Hfsc.children c) with
-      | Some parent_fsc, (_ :: _ as children) ->
-          let child_fscs = List.filter_map Hfsc.fsc children in
-          if
-            List.length child_fscs = List.length children
-            && not
-                 (Analysis.Admission.hierarchy_consistent ~parent:parent_fsc
-                    child_fscs)
-          then
-            warn "children of class %S outgrow its fair service curve"
-              (Hfsc.name c)
-      | _ -> ())
-    classes;
+    (fun l ->
+      let warn fmt =
+        Printf.ksprintf
+          (fun s ->
+            warnings :=
+              (if multi then Printf.sprintf "link %S: %s" l.lname s else s)
+              :: !warnings)
+          fmt
+      in
+      let classes = Hfsc.classes l.lscheduler in
+      let leaf_rscs =
+        List.filter_map
+          (fun c -> if Hfsc.is_leaf c then Hfsc.rsc c else None)
+          classes
+      in
+      if
+        leaf_rscs <> []
+        && not (Analysis.Admission.admissible ~link_rate:l.lrate leaf_rscs)
+      then
+        warn
+          "real-time curves are not admissible on the link (oversubscribed \
+           by %.0f bytes worst-case): guarantees will not hold"
+          (Analysis.Admission.excess ~link_rate:l.lrate leaf_rscs);
+      List.iter
+        (fun c ->
+          match (Hfsc.fsc c, Hfsc.children c) with
+          | Some parent_fsc, (_ :: _ as children) ->
+              let child_fscs = List.filter_map Hfsc.fsc children in
+              if
+                List.length child_fscs = List.length children
+                && not
+                     (Analysis.Admission.hierarchy_consistent
+                        ~parent:parent_fsc child_fscs)
+              then
+                warn "children of class %S outgrow its fair service curve"
+                  (Hfsc.name c)
+          | _ -> ())
+        classes)
+    t.links;
   let sourced_flows =
     List.map (fun s -> Netsim.Source.flow s) (t.sources ~until:1.)
   in
   List.iter
-    (fun (flow, cls) ->
-      if not (List.mem flow sourced_flows) then
-        warn "class %S (flow %d) has no traffic source" (Hfsc.name cls) flow)
-    t.flow_map;
+    (fun l ->
+      List.iter
+        (fun (flow, cls) ->
+          if not (List.mem flow sourced_flows) then
+            warnings :=
+              Printf.sprintf "%sclass %S (flow %d) has no traffic source"
+                (if multi then Printf.sprintf "link %S: " l.lname else "")
+                (Hfsc.name cls) flow
+              :: !warnings)
+        l.lflow_map)
+    t.links;
   List.rev !warnings
 
 let parse text =

@@ -49,14 +49,36 @@
     an arrival would exceed it ([tail] refuses the arrival, [longest]
     evicts from the longest leaf queue). *)
 
+type link = {
+  lname : string;  (** "link0" when the sole link is anonymous *)
+  lrate : float;  (** bytes/second *)
+  lscheduler : Hfsc.t;
+  lflow_map : (int * Hfsc.cls) list;
+}
+(** One configured link: its own scheduler, its own flow map.
+
+    {b Multi-link files} ([Runtime.Router.of_config]): each link gets
+    its own [link NAME rate RATE] statement, and the class and limit
+    statements that follow bind to the most recent link — the file
+    reads as sections. The first link may stay anonymous (it is named
+    ["link0"]); every later one needs a name, and [add]/[delete]/[list]
+    are reserved. Flow ids are device-wide: each may map to a leaf on
+    at most one link. Sources are device-wide too and may feed any
+    link's flows. A file with a single link keeps the historical
+    order-insensitive semantics (classes may precede the link
+    statement). *)
+
 type t = {
-  scheduler : Hfsc.t;
-  flow_map : (int * Hfsc.cls) list;
+  scheduler : Hfsc.t;  (** the first link's scheduler *)
+  flow_map : (int * Hfsc.cls) list;  (** the first link's flow map *)
   sources : until:float -> Netsim.Source.t list;
       (** instantiate fresh sources, capping open-ended ones at
           [until] *)
-  link_rate : float;  (** bytes/second *)
+  link_rate : float;  (** the first link's rate, bytes/second *)
+  links : link list;  (** all links, in file order *)
 }
+(** [scheduler]/[flow_map]/[link_rate] mirror [List.hd links] so every
+    single-link consumer keeps working unchanged. *)
 
 val parse : string -> (t, string) result
 (** Parse configuration text; errors carry a line number. *)

@@ -13,16 +13,17 @@ let pp_event ppf = function
       Format.fprintf ppf "burst flow=%d %dx%dB" flow count pkt_size
   | Command s -> Format.fprintf ppf "command %S" s
 
-let schedule ?on_command sim timeline =
+let schedule ?on_command ?(link = 0) sim timeline =
   List.iter
     (fun (at, ev) ->
       match ev with
-      | Set_rate r -> Sim.at sim at (fun ~now:_ -> Sim.set_link_rate sim r)
+      | Set_rate r ->
+          Sim.at sim at (fun ~now:_ -> Sim.set_link_rate ~link sim r)
       | Outage d ->
           (* both edges scheduled up front, so a timeline is replayable
              without the callback rescheduling anything *)
-          Sim.at sim at (fun ~now:_ -> Sim.set_link_up sim false);
-          Sim.at sim (at +. d) (fun ~now:_ -> Sim.set_link_up sim true)
+          Sim.at sim at (fun ~now:_ -> Sim.set_link_up ~link sim false);
+          Sim.at sim (at +. d) (fun ~now:_ -> Sim.set_link_up ~link sim true)
       | Burst { flow; pkt_size; count } ->
           Sim.add_source sim (Source.burst ~flow ~pkt_size ~count ~at)
       | Command s -> (

@@ -24,12 +24,19 @@ type timeline = (float * event) list
     event queue serializes them. *)
 
 val schedule :
-  ?on_command:(now:float -> string -> unit) -> Sim.t -> timeline -> unit
+  ?on_command:(now:float -> string -> unit) ->
+  ?link:int ->
+  Sim.t ->
+  timeline ->
+  unit
 (** Install every event of the timeline into the simulator's event
     queue up front. [Outage] schedules both the down and the up edge.
     [Command] events are dispatched to [on_command] (dropped silently
     when it is not given — a scheduler-only simulation has no control
-    plane). *)
+    plane). [link] (default 0) is the link index the rate flaps and
+    outages apply to — in a multi-link simulation a timeline faults
+    exactly one link, leaving the others' wire state untouched;
+    bursts and commands are device-wide. *)
 
 val random_timeline :
   seed:int ->

@@ -1,44 +1,67 @@
 type event =
   | Arrival of Source.t * int (* source, size; time lives on the queue *)
-  | Tx_complete of Sched.Scheduler.served
-  | Poll
+  | Tx_complete of int * Sched.Scheduler.served (* link index *)
+  | Poll of int (* link index *)
   | Callback of (now:float -> unit)
 
+(* Everything one output link owns: its scheduler, its wire state and
+   its share of the accounting. Index in [t.links] is the link id. *)
+type link_state = {
+  lname : string;
+  mutable rate : float;
+  lsched : Sched.Scheduler.t;
+  mutable busy : bool;
+  mutable up : bool; (* link outages park this link's dequeue loop *)
+  mutable poll_at : float; (* earliest pending poll; infinity if none *)
+  mutable busy_time : float;
+  mutable tx_bytes : float;
+}
+
 type t = {
-  mutable link_rate : float;
-  sched : Sched.Scheduler.t;
+  links : link_state array;
+  route : Pkt.Packet.t -> int option;
   q : event Event_queue.t;
   mutable now : float;
-  mutable busy : bool;
-  mutable up : bool; (* link outages park the dequeue loop *)
-  mutable poll_at : float; (* earliest pending poll; infinity if none *)
   seqs : (int, int) Hashtbl.t;
   mutable on_departure : (now:float -> Sched.Scheduler.served -> unit) list;
   delays : (int, Stats.Delay.t) Hashtbl.t;
   tput : Stats.Throughput.t;
-  mutable tx_bytes : float;
-  mutable busy_time : float;
   mutable drops : int;
 }
 
-let create ?event_backend ?(tput_bin = 1.0) ~link_rate ~sched () =
-  if link_rate <= 0. then invalid_arg "Sim.create: link_rate must be > 0";
+let create_multi ?event_backend ?(tput_bin = 1.0) ~links ~route () =
+  if links = [] then invalid_arg "Sim.create_multi: need at least one link";
+  let mk (lname, rate, lsched) =
+    if rate <= 0. then invalid_arg "Sim.create_multi: link rate must be > 0";
+    {
+      lname;
+      rate;
+      lsched;
+      busy = false;
+      up = true;
+      poll_at = infinity;
+      busy_time = 0.;
+      tx_bytes = 0.;
+    }
+  in
   {
-    link_rate;
-    sched;
+    links = Array.of_list (List.map mk links);
+    route;
     q = Event_queue.create ?backend:event_backend ();
     now = 0.;
-    busy = false;
-    up = true;
-    poll_at = infinity;
     seqs = Hashtbl.create 16;
     on_departure = [];
     delays = Hashtbl.create 16;
     tput = Stats.Throughput.create ~bin:tput_bin ();
-    tx_bytes = 0.;
-    busy_time = 0.;
     drops = 0;
   }
+
+let create ?event_backend ?tput_bin ~link_rate ~sched () =
+  if link_rate <= 0. then invalid_arg "Sim.create: link_rate must be > 0";
+  create_multi ?event_backend ?tput_bin
+    ~links:[ ("link0", link_rate, sched) ]
+    ~route:(fun _ -> Some 0)
+    ()
 
 let schedule_arrival t src =
   match Source.next src with
@@ -52,29 +75,34 @@ let at t when_ f =
   if when_ < t.now then invalid_arg "Sim.at: time is in the past";
   Event_queue.add t.q when_ (Callback f)
 
-(* If the link is idle and up, pull the next packet; if the scheduler
+(* If link [i] is idle and up, pull its next packet; if its scheduler
    is backlogged but rate-capped, arm a poll for its next-ready
    instant. *)
-let try_start t =
-  if (not t.busy) && t.up then begin
-    match t.sched.Sched.Scheduler.dequeue ~now:t.now with
+let try_start t i =
+  let l = t.links.(i) in
+  if (not l.busy) && l.up then begin
+    match l.lsched.Sched.Scheduler.dequeue ~now:t.now with
     | Some served ->
-        t.busy <- true;
+        l.busy <- true;
         let tx =
-          float_of_int served.Sched.Scheduler.pkt.Pkt.Packet.size
-          /. t.link_rate
+          float_of_int served.Sched.Scheduler.pkt.Pkt.Packet.size /. l.rate
         in
-        t.busy_time <- t.busy_time +. tx;
-        Event_queue.add t.q (t.now +. tx) (Tx_complete served)
+        l.busy_time <- l.busy_time +. tx;
+        Event_queue.add t.q (t.now +. tx) (Tx_complete (i, served))
     | None -> (
-        match t.sched.Sched.Scheduler.next_ready ~now:t.now with
+        match l.lsched.Sched.Scheduler.next_ready ~now:t.now with
         | Some ts when ts > t.now ->
-            if ts < t.poll_at then begin
-              t.poll_at <- ts;
-              Event_queue.add t.q ts Poll
+            if ts < l.poll_at then begin
+              l.poll_at <- ts;
+              Event_queue.add t.q ts (Poll i)
             end
         | _ -> ())
   end
+
+let try_start_all t =
+  for i = 0 to Array.length t.links - 1 do
+    try_start t i
+  done
 
 let handle t = function
   | Arrival (src, size) ->
@@ -84,14 +112,21 @@ let handle t = function
       in
       Hashtbl.replace t.seqs flow (seq + 1);
       let pkt = Pkt.Packet.make ~flow ~size ~seq ~arrival:t.now in
-      if not (t.sched.Sched.Scheduler.enqueue ~now:t.now pkt) then
-        t.drops <- t.drops + 1;
-      schedule_arrival t src;
-      try_start t
-  | Tx_complete served ->
-      t.busy <- false;
+      (match t.route pkt with
+      | Some i when i >= 0 && i < Array.length t.links ->
+          if not (t.links.(i).lsched.Sched.Scheduler.enqueue ~now:t.now pkt)
+          then t.drops <- t.drops + 1;
+          schedule_arrival t src;
+          try_start t i
+      | _ ->
+          (* unroutable: no link owns this flow *)
+          t.drops <- t.drops + 1;
+          schedule_arrival t src)
+  | Tx_complete (i, served) ->
+      let l = t.links.(i) in
+      l.busy <- false;
       let pkt = served.Sched.Scheduler.pkt in
-      t.tx_bytes <- t.tx_bytes +. float_of_int pkt.Pkt.Packet.size;
+      l.tx_bytes <- l.tx_bytes +. float_of_int pkt.Pkt.Packet.size;
       let d =
         match Hashtbl.find_opt t.delays pkt.Pkt.Packet.flow with
         | Some d -> d
@@ -104,15 +139,15 @@ let handle t = function
       Stats.Throughput.add t.tput ~cls:served.Sched.Scheduler.cls ~now:t.now
         pkt.Pkt.Packet.size;
       List.iter (fun f -> f ~now:t.now served) t.on_departure;
-      try_start t
-  | Poll ->
-      t.poll_at <- infinity;
-      try_start t
+      try_start t i
+  | Poll i ->
+      t.links.(i).poll_at <- infinity;
+      try_start t i
   | Callback f ->
       f ~now:t.now;
-      (* the callback may have reconfigured the scheduler (classes
-         added/removed, curves changed): re-poll it *)
-      try_start t
+      (* the callback may have reconfigured any scheduler (classes
+         added/removed, curves changed): re-poll them all *)
+      try_start_all t
 
 let run t ~until =
   let continue_ = ref true in
@@ -142,21 +177,54 @@ let run_until_idle t ~max_time =
     | _ -> continue_ := false
   done
 
-let set_link_rate t r =
+let get_link name t i =
+  if i < 0 || i >= Array.length t.links then
+    invalid_arg (Printf.sprintf "Sim.%s: no link %d" name i);
+  t.links.(i)
+
+let set_link_rate ?(link = 0) t r =
   if (not (Float.is_finite r)) || r <= 0. then
     invalid_arg "Sim.set_link_rate: rate must be finite and positive";
-  t.link_rate <- r
+  (get_link "set_link_rate" t link).rate <- r
 
-let set_link_up t up =
-  let was = t.up in
-  t.up <- up;
-  if up && not was then try_start t
+let set_link_up ?(link = 0) t up =
+  let l = get_link "set_link_up" t link in
+  let was = l.up in
+  l.up <- up;
+  if up && not was then try_start t link
 
-let link_rate t = t.link_rate
-let link_up t = t.up
+let link_rate ?(link = 0) t = (get_link "link_rate" t link).rate
+let link_up ?(link = 0) t = (get_link "link_up" t link).up
+let n_links t = Array.length t.links
+
+let link_index t name =
+  let rec go i =
+    if i >= Array.length t.links then None
+    else if t.links.(i).lname = name then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let link_name t i = (get_link "link_name" t i).lname
+
+let link_utilization t i =
+  let l = get_link "link_utilization" t i in
+  if t.now <= 0. then 0. else l.busy_time /. t.now
+
+let link_transmitted_bytes t i =
+  (get_link "link_transmitted_bytes" t i).tx_bytes
+
 let now t = t.now
 let delay_of_flow t flow = Hashtbl.find_opt t.delays flow
 let throughput t = t.tput
-let transmitted_bytes t = t.tx_bytes
+
+let transmitted_bytes t =
+  Array.fold_left (fun acc l -> acc +. l.tx_bytes) 0. t.links
+
 let enqueue_drops t = t.drops
-let utilization t = if t.now <= 0. then 0. else t.busy_time /. t.now
+
+let utilization t =
+  if t.now <= 0. then 0.
+  else
+    Array.fold_left (fun acc l -> acc +. l.busy_time) 0. t.links
+    /. (t.now *. float_of_int (Array.length t.links))

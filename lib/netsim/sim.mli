@@ -1,17 +1,25 @@
-(** The discrete-event engine: sources feed one scheduler feeding one
-    output link.
+(** The discrete-event engine: sources feed one or more schedulers,
+    each feeding its own output link.
 
     This is the substitute for the paper's simulator/testbed (see
-    DESIGN.md): the link transmits one packet at a time at [link_rate];
-    whenever it goes idle it asks the scheduler for the next packet —
-    precisely the enqueue/dequeue driver a kernel interface would be.
-    Departure time of a packet is when its last bit leaves (the
-    convention of Section VI), and the recorded delay of a packet is
-    departure minus arrival.
+    DESIGN.md): each link transmits one packet at a time at its own
+    rate; whenever a link goes idle it asks {e its} scheduler for the
+    next packet — precisely the enqueue/dequeue driver a kernel
+    interface would be, replicated per interface. Departure time of a
+    packet is when its last bit leaves (the convention of Section VI),
+    and the recorded delay of a packet is departure minus arrival.
+
+    The classic single-link form ({!create}) is a one-link router with
+    the identity route; every accessor below defaults to link 0, so
+    single-link code reads exactly as before. Multi-link simulations
+    ({!create_multi}) supply a [route] function mapping each arriving
+    packet to the index of the link that owns it — typically
+    [Runtime.Router.link_of_flow] composed with {!link_index}.
 
     Non-work-conserving schedulers (H-FSC with upper-limit curves) are
     supported through {!Sched.Scheduler.next_ready}: a poll event is
-    scheduled for the instant the scheduler says it can next emit. *)
+    scheduled per link for the instant its scheduler says it can next
+    emit. *)
 
 type t
 
@@ -22,22 +30,37 @@ val create :
   sched:Sched.Scheduler.t ->
   unit ->
   t
-(** [tput_bin] is the throughput-series bin width in seconds
-    (default 1.0). *)
+(** One link named ["link0"], every packet routed to it. [tput_bin] is
+    the throughput-series bin width in seconds (default 1.0). *)
+
+val create_multi :
+  ?event_backend:Event_queue.backend ->
+  ?tput_bin:float ->
+  links:(string * float * Sched.Scheduler.t) list ->
+  route:(Pkt.Packet.t -> int option) ->
+  unit ->
+  t
+(** [(name, rate, sched)] per link; link indices follow list order.
+    [route] is consulted once per arrival; [None] (or an out-of-range
+    index) counts the packet as an enqueue drop — no link owns it.
+
+    @raise Invalid_argument on an empty link list or a non-positive
+    rate. *)
 
 val add_source : t -> Source.t -> unit
 (** Register a source; its first arrival is scheduled immediately. *)
 
 val on_departure : t -> (now:float -> Sched.Scheduler.served -> unit) -> unit
-(** Register a callback fired as each packet finishes transmission. *)
+(** Register a callback fired as each packet finishes transmission on
+    any link. *)
 
 val at : t -> float -> (now:float -> unit) -> unit
 (** [at t when f] schedules [f] to run as an ordinary event at absolute
     simulated time [when] — the mid-run reconfiguration hook: the
-    callback may mutate the scheduler (add/modify/delete classes through
-    the runtime control plane) between packets, and the simulator
-    re-polls the scheduler afterwards in case the change opened or
-    closed service.
+    callback may mutate any scheduler (add/modify/delete classes
+    through the runtime control plane) between packets, and the
+    simulator re-polls every link afterwards in case the change opened
+    or closed service.
 
     @raise Invalid_argument if [when] is before the current time. *)
 
@@ -46,32 +69,50 @@ val run : t -> until:float -> unit
     repeatedly with increasing horizons. *)
 
 val run_until_idle : t -> max_time:float -> unit
-(** Run until no event is pending and the scheduler is idle, or
+(** Run until no event is pending and every scheduler is idle, or
     [max_time] is reached. *)
 
 (** {2 Link faults}
 
     Both setters model a link-layer change at the current simulated
-    time; call them from an {!at} callback to schedule one. A packet
-    already on the wire is unaffected — it completes at the departure
-    time computed when its transmission started (the rate change or
-    outage applies from the next packet on), which keeps replays
-    deterministic. *)
+    time; call them from an {!at} callback to schedule one. [link] is
+    the link index (default 0, the sole link of a classic {!create}
+    simulation). A packet already on the wire is unaffected — it
+    completes at the departure time computed when its transmission
+    started (the rate change or outage applies from the next packet
+    on), which keeps replays deterministic. Faulting one link never
+    touches another: each link's dequeue loop, poll state and
+    accounting are its own. *)
 
-val set_link_rate : t -> float -> unit
-(** Change the transmission rate (bytes/second) for subsequent packets.
-    The scheduler's own notion of capacity (its fair-curve root) is not
-    touched: a lowered link rate models exactly the overload a
-    misconfigured or degraded link produces.
+val set_link_rate : ?link:int -> t -> float -> unit
+(** Change a link's transmission rate (bytes/second) for subsequent
+    packets. The scheduler's own notion of capacity (its fair-curve
+    root) is not touched: a lowered link rate models exactly the
+    overload a misconfigured or degraded link produces.
 
-    @raise Invalid_argument unless finite and positive. *)
+    @raise Invalid_argument unless finite and positive, or on an
+    unknown link index. *)
 
-val set_link_up : t -> bool -> unit
-(** Take the link down ([false]: nothing more is dequeued) or back up
-    ([true]: dequeueing resumes immediately). Idempotent. *)
+val set_link_up : ?link:int -> t -> bool -> unit
+(** Take a link down ([false]: nothing more is dequeued from it) or
+    back up ([true]: its dequeueing resumes immediately). Idempotent. *)
 
-val link_rate : t -> float
-val link_up : t -> bool
+val link_rate : ?link:int -> t -> float
+val link_up : ?link:int -> t -> bool
+
+(** {2 Link directory and per-link accounting} *)
+
+val n_links : t -> int
+
+val link_index : t -> string -> int option
+(** Index of the link created under [name]. *)
+
+val link_name : t -> int -> string
+
+val link_utilization : t -> int -> float
+(** Fraction of [0, now] link [i] spent transmitting. *)
+
+val link_transmitted_bytes : t -> int -> float
 
 val now : t -> float
 
@@ -80,8 +121,11 @@ val delay_of_flow : t -> int -> Stats.Delay.t option
 
 val throughput : t -> Stats.Throughput.t
 val transmitted_bytes : t -> float
+(** Total across all links. *)
+
 val enqueue_drops : t -> int
-(** Packets refused by the scheduler (queue limits). *)
+(** Packets refused by a scheduler (queue limits) or unroutable. *)
 
 val utilization : t -> float
-(** Fraction of [0, now] the link spent transmitting. *)
+(** Mean over links of the fraction of [0, now] spent transmitting —
+    equals the single link's utilization in a classic simulation. *)

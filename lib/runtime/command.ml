@@ -16,8 +16,9 @@ type filter_spec = {
 type trace_op = Trace_on | Trace_off | Trace_dump
 type limit_val = Unlimited | At of int
 type limit_policy = Policy_tail | Policy_longest
+type target = Default_link | On_link of string
 
-type t =
+type op =
   | Add_class of {
       name : string;
       parent : string;
@@ -42,7 +43,11 @@ type t =
       lbytes : limit_val option;
       lpolicy : limit_policy option;
     }
+  | Link_add of { link : string; rate : float }
+  | Link_delete of string
+  | Link_list
 
+type t = { target : target; op : op }
 type error = { line : int; reason : string }
 
 exception Err of string
@@ -53,6 +58,9 @@ let int_tok s =
   match int_of_string_opt s with
   | Some v -> v
   | None -> fail "expected an integer, got %S" s
+
+let rate_tok s =
+  match Config.parse_rate s with Ok v -> v | Error e -> fail "%s" e
 
 let curve toks =
   match Config.parse_curve_tokens toks with
@@ -122,7 +130,8 @@ let rec filter_attrs f = function
       filter_attrs { f with fdport = Some (int_tok lo, int_tok hi) } rest
   | kw :: _ -> fail "unknown filter attribute %S" kw
 
-let parse_tokens = function
+(* An operation with no [link ...] addressing in front of it. *)
+let parse_op_tokens = function
   | "add" :: "class" :: name :: "parent" :: parent :: rest ->
       let curves, flow, qlimit, qbytes =
         class_attrs ~allow_flow:true (no_curves, None, None, None) rest
@@ -167,8 +176,34 @@ let parse_tokens = function
       if lpkts = None && lbytes = None && lpolicy = None then
         fail "limit: expected at least one of pkts/bytes/policy";
       Set_limit { lpkts; lbytes; lpolicy }
+  | "link" :: _ -> fail "a 'link' scope cannot nest"
   | kw :: _ -> fail "unknown command %S" kw
   | [] -> fail "empty command"
+
+(* Top level: the router verbs ([link add/delete/list]) first — those
+   words are reserved and cannot name a link — then the [link NAME]
+   scope, then the classic unscoped grammar. *)
+let parse_tokens = function
+  | "link" :: "add" :: rest -> (
+      match rest with
+      | [ name; "rate"; r ] ->
+          { target = Default_link; op = Link_add { link = name; rate = rate_tok r } }
+      | _ -> fail "link add: expected NAME rate RATE")
+  | "link" :: "delete" :: rest -> (
+      match rest with
+      | [ name ] -> { target = Default_link; op = Link_delete name }
+      | _ -> fail "link delete: expected exactly one NAME")
+  | "link" :: "list" :: rest -> (
+      match rest with
+      | [] -> { target = Default_link; op = Link_list }
+      | _ -> fail "link list takes no arguments")
+  | "link" :: name :: (_ :: _ as rest) ->
+      { target = On_link name; op = parse_op_tokens rest }
+  | [ "link" ] | [ "link"; _ ] ->
+      fail
+        "link: expected 'link NAME COMMAND', 'link add NAME rate RATE', \
+         'link delete NAME' or 'link list'"
+  | toks -> { target = Default_link; op = parse_op_tokens toks }
 
 let tokenize line =
   let line =
@@ -218,9 +253,38 @@ let parse_script text =
   in
   go 1 [] (String.split_on_char '\n' text)
 
+let parse_script_file path =
+  match
+    try
+      let ic = open_in path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> Ok (really_input_string ic (in_channel_length ic)))
+    with Sys_error e -> Error { line = 0; reason = e }
+  with
+  | Ok text -> parse_script text
+  | Error e -> Error e
+
+(* [pp] prints in the command grammar itself (so an echoed command can
+   be pasted back at the control plane), with enough digits that the
+   floats survive the round trip *)
+let pp_float ppf v =
+  let s = Printf.sprintf "%.12g" v in
+  if float_of_string s = v then Format.pp_print_string ppf s
+  else Format.fprintf ppf "%.17g" v
+
+let pp_rate ppf r = Format.fprintf ppf "%aBps" pp_float r
+let pp_time ppf d = Format.fprintf ppf "%as" pp_float d
+
 let pp_curves ppf c =
   let one tag = function
-    | Some s -> Format.fprintf ppf " %s %a" tag Curve.Service_curve.pp s
+    | Some (s : Curve.Service_curve.t) ->
+        if s.Curve.Service_curve.d = 0. then
+          Format.fprintf ppf " %s %a" tag pp_rate s.Curve.Service_curve.m2
+        else
+          Format.fprintf ppf " %s m1 %a d %a m2 %a" tag pp_rate
+            s.Curve.Service_curve.m1 pp_time s.Curve.Service_curve.d pp_rate
+            s.Curve.Service_curve.m2
     | None -> ()
   in
   one "rsc" c.rsc;
@@ -239,7 +303,7 @@ let pp_limit_val ppf = function
   | Unlimited -> Format.pp_print_string ppf "none"
   | At n -> Format.pp_print_int ppf n
 
-let pp ppf = function
+let pp_op ppf = function
   | Add_class { name; parent; flow; curves; qlimit; qbytes } ->
       Format.fprintf ppf "add class %s parent %s" name parent;
       (match flow with Some f -> Format.fprintf ppf " flow %d" f | None -> ());
@@ -255,7 +319,10 @@ let pp ppf = function
       (match f.fsrc with Some p -> Format.fprintf ppf " src %s" p | None -> ());
       (match f.fdst with Some p -> Format.fprintf ppf " dst %s" p | None -> ());
       (match f.fproto with
-      | Some p -> Format.fprintf ppf " proto %d" (Pkt.Header.proto_number p)
+      | Some Pkt.Header.Tcp -> Format.fprintf ppf " proto tcp"
+      | Some Pkt.Header.Udp -> Format.fprintf ppf " proto udp"
+      | Some Pkt.Header.Icmp -> Format.fprintf ppf " proto icmp"
+      | Some (Pkt.Header.Other n) -> Format.fprintf ppf " proto %d" n
       | None -> ());
       (match f.fsport with
       | Some (lo, hi) -> Format.fprintf ppf " sport %d %d" lo hi
@@ -281,3 +348,13 @@ let pp ppf = function
       | Some Policy_tail -> Format.fprintf ppf " policy tail"
       | Some Policy_longest -> Format.fprintf ppf " policy longest"
       | None -> ())
+  | Link_add { link; rate } ->
+      Format.fprintf ppf "link add %s rate %a" link pp_rate rate
+  | Link_delete name -> Format.fprintf ppf "link delete %s" name
+  | Link_list -> Format.fprintf ppf "link list"
+
+let pp ppf { target; op } =
+  (match target with
+  | Default_link -> ()
+  | On_link name -> Format.fprintf ppf "link %s " name);
+  pp_op ppf op

@@ -7,23 +7,40 @@
     of {!Config}: a bare [RATE], [m1 RATE d TIME m2 RATE], or
     [umax BYTES dmax TIME rate RATE].
 
+    {b Addressing.} Every command is a {!t}: an operation {!op} plus a
+    {!target} naming the link it applies to. A command with no [link]
+    prefix targets {!Default_link} — on a single-link engine (or a
+    one-link router) that is the sole link, which keeps every script
+    written for the pre-router grammar parsing and behaving exactly as
+    before. On a multi-link router, [link NAME] scopes a command to one
+    link, and three router-wide verbs manage the link set itself:
+
     {v
-    add class NAME parent PARENT [flow N] [rsc CURVE] [fsc CURVE]
-                                 [ulimit CURVE] [qlimit N] [qbytes N]
-    modify class NAME [rsc CURVE] [fsc CURVE] [ulimit CURVE]
-                      [qlimit N] [qbytes N]
-    delete class NAME
-    attach filter flow N [src CIDR] [dst CIDR] [proto tcp|udp|icmp|NUM]
-                         [sport LO HI] [dport LO HI]
-    detach filter flow N
-    stats [NAME]
-    trace on|off|dump
-    limit [pkts N|none] [bytes N|none] [policy tail|longest]
+    [link NAME] add class NAME parent PARENT [flow N] [rsc CURVE]
+                          [fsc CURVE] [ulimit CURVE] [qlimit N] [qbytes N]
+    [link NAME] modify class NAME [rsc CURVE] [fsc CURVE] [ulimit CURVE]
+                          [qlimit N] [qbytes N]
+    [link NAME] delete class NAME
+    [link NAME] attach filter flow N [src CIDR] [dst CIDR]
+                          [proto tcp|udp|icmp|NUM] [sport LO HI] [dport LO HI]
+    [link NAME] detach filter flow N
+    [link NAME] stats [NAME]
+    [link NAME] trace on|off|dump
+    [link NAME] limit [pkts N|none] [bytes N|none] [policy tail|longest]
+
+    link add NAME rate RATE       # create a link (RATE as in config files)
+    link delete NAME              # remove a link and its whole hierarchy
+    link list                     # one line per link
     v}
 
+    The words [add], [delete] and [list] are reserved as the router
+    verbs and therefore cannot name a link in a scoped command; pick
+    other link names. A [link NAME] scope cannot nest and cannot prefix
+    the [link add/delete/list] verbs.
+
     [qlimit]/[qbytes] bound a leaf's queue in packets/bytes; [limit]
-    sets the aggregate (scheduler-wide) backlog bound and the drop
-    policy used when it is hit ([tail] refuses the arriving packet,
+    sets the aggregate (per-link scheduler-wide) backlog bound and the
+    drop policy used when it is hit ([tail] refuses the arriving packet,
     [longest] evicts from the longest leaf queue to make room).
 
     A {e script} is a sequence of such lines, each optionally prefixed
@@ -52,7 +69,11 @@ type limit_val = Unlimited | At of int
 
 type limit_policy = Policy_tail | Policy_longest
 
-type t =
+type target =
+  | Default_link  (** no [link] prefix: the sole link, where one exists *)
+  | On_link of string  (** [link NAME ...]: scoped to that link *)
+
+type op =
   | Add_class of {
       name : string;
       parent : string;
@@ -77,6 +98,15 @@ type t =
       lbytes : limit_val option;
       lpolicy : limit_policy option;
     }
+  | Link_add of { link : string; rate : float }
+      (** [link add NAME rate RATE]; [rate] in bytes/second *)
+  | Link_delete of string  (** [link delete NAME] *)
+  | Link_list  (** [link list] *)
+
+type t = { target : target; op : op }
+(** A parsed command: what to do and which link to do it to. The
+    [link add/delete/list] verbs always parse with [Default_link] —
+    they address the router, not a link. *)
 
 type error = { line : int; reason : string }
 
@@ -87,4 +117,12 @@ val parse_script : string -> ((float * t) list, error) result
 (** Parse a whole script; commands are returned in file order with
     their absolute times. Errors carry the 1-based line number. *)
 
+val parse_script_file : string -> ((float * t) list, error) result
+(** {!parse_script} on the contents of a file, so every consumer of
+    script files shares one loader — and therefore one attribution:
+    the [error]'s line number is always a line of {e this} file. A
+    read failure is reported as [line = 0]. *)
+
 val pp : Format.formatter -> t -> unit
+(** Prints the command in its own grammar ([link NAME] prefix
+    included), so a pretty-printed command re-parses to itself. *)

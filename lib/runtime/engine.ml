@@ -13,6 +13,9 @@ type error_code =
   | Class_active
   | Structural
   | Bad_value
+  | Unknown_link
+  | Duplicate_link
+  | Cross_link_filter
 
 type error = { code : error_code; message : string }
 
@@ -31,6 +34,9 @@ let error_code_name = function
   | Class_active -> "class-active"
   | Structural -> "structural"
   | Bad_value -> "bad-value"
+  | Unknown_link -> "unknown-link"
+  | Duplicate_link -> "duplicate-link"
+  | Cross_link_filter -> "cross-link-filter"
 
 let parse_error message = { code = Parse_error; message }
 let errf code fmt = Printf.ksprintf (fun message -> Error { code; message }) fmt
@@ -106,8 +112,17 @@ let of_config ?trace_capacity ?tracing ?audit_every (cfg : Config.t) =
     cfg.Config.scheduler ~flow_map:cfg.Config.flow_map ()
 
 let scheduler t = t.sched
-let telemetry t = t.tele
+let snapshot t = Telemetry.snapshot t.tele
+let link_rate t = t.link_rate
 let flow_class t flow = Hashtbl.find_opt t.flows flow
+
+let flows t =
+  Hashtbl.fold (fun f _ acc -> f :: acc) t.flows [] |> List.sort compare
+
+let rules t = t.table
+
+let has_filter t flow =
+  List.exists (fun r -> Classify.Rules.flow_of r = flow) t.filters
 
 let classify t h =
   match Classify.Rules.classify t.table h with
@@ -489,10 +504,10 @@ let stats_text t ?cls () =
 
 (* --- exec ---------------------------------------------------------- *)
 
-let exec t ~now cmd =
+let exec_op t ~now op =
   ignore now;
   let r =
-    match (cmd : Command.t) with
+    match (op : Command.op) with
     | Add_class { name; parent; flow; curves; qlimit; qbytes } ->
         exec_add t curves ~name ~parent ~flow ~qlimit ~qbytes
     | Modify_class { name; curves; qlimit; qbytes } ->
@@ -510,9 +525,22 @@ let exec t ~now cmd =
     | Trace Trace_dump -> Ok (Telemetry.trace_text t.tele)
     | Set_limit { lpkts; lbytes; lpolicy } ->
         exec_limit t ~lpkts ~lbytes ~lpolicy
+    | Link_add _ | Link_delete _ | Link_list ->
+        errf Structural
+          "link management needs a router control plane (this is a \
+           single-link engine)"
   in
   maybe_audit t;
   r
+
+let exec t ~now { Command.target; op } =
+  match target with
+  | Command.Default_link -> exec_op t ~now op
+  | Command.On_link name ->
+      errf Unknown_link
+        "unknown link %S (single-link engine; 'link NAME' scopes need a \
+         router)"
+        name
 
 let exec_script ?(lenient = false) t cmds =
   let rec go acc = function
@@ -540,10 +568,12 @@ let enqueue t ~now cls pkt =
   maybe_audit t;
   admitted
 
+(* [Hashtbl.find], not [find_opt]: the hit path of the per-packet
+   flow lookup must not allocate an option *)
 let enqueue_flow t ~now pkt =
-  match Hashtbl.find_opt t.flows pkt.Pkt.Packet.flow with
-  | None -> false
-  | Some cls -> enqueue t ~now cls pkt
+  match Hashtbl.find t.flows pkt.Pkt.Packet.flow with
+  | cls -> enqueue t ~now cls pkt
+  | exception Not_found -> false
 
 let dequeue t ~now =
   let r = Hfsc.dequeue t.sched ~now in

@@ -40,6 +40,10 @@ type error_code =
   | Class_active  (** refused because the class holds state right now *)
   | Structural  (** wrong place in the hierarchy (root, interior, ...) *)
   | Bad_value  (** a numeric argument out of range *)
+  | Unknown_link  (** a [link NAME] scope names no known link *)
+  | Duplicate_link  (** [link add] of a name already in use *)
+  | Cross_link_filter
+      (** a filter scoped to one link targets a flow owned by another *)
 
 type error = { code : error_code; message : string }
 
@@ -78,10 +82,28 @@ val of_config :
   ?trace_capacity:int -> ?tracing:bool -> ?audit_every:int -> Config.t -> t
 
 val scheduler : t -> Hfsc.t
-val telemetry : t -> Telemetry.t
+
+val snapshot : t -> Telemetry.snapshot
+(** An immutable copy of everything telemetry knows right now —
+    per-class counters, trace-ring occupancy, decoded events. This is
+    the engine's {e only} read surface for counters and traces; the
+    live {!Telemetry.t} stays private so the hot path owns it alone. *)
+
+val link_rate : t -> float
+(** The admission capacity this engine was created with (bytes/s). *)
 
 val flow_class : t -> int -> Hfsc.cls option
 (** Current leaf for a flow id (changes as commands run). *)
+
+val flows : t -> int list
+(** All currently mapped flow ids, ascending. *)
+
+val rules : t -> Classify.Rules.t
+(** The compiled filter table, rebuilt after every attach/detach — a
+    router shards over these per-link tables (see {!Classify.Shard}). *)
+
+val has_filter : t -> int -> bool
+(** Whether any attached filter targets flow [flow]. *)
 
 val classify : t -> Pkt.Header.t -> Hfsc.cls option
 (** Route a header through the attached filters (first match wins) to
@@ -90,12 +112,19 @@ val classify : t -> Pkt.Header.t -> Hfsc.cls option
 
 val filter_count : t -> int
 
+val exec_op : t -> now:float -> Command.op -> (string, error) result
+(** Execute one operation at time [now], ignoring link addressing —
+    the engine {e is} the link. [Ok] carries a human-readable response
+    (stats tables, trace dumps, confirmations); [Error] the typed
+    reason — admission rejections include the violating breakpoint in
+    the message. The scheduler is never left half-modified. The router
+    verbs ([Link_add]/[Link_delete]/[Link_list]) are rejected with
+    {!Structural}: link management belongs to {!Router}. *)
+
 val exec : t -> now:float -> Command.t -> (string, error) result
-(** Execute one command at time [now]. [Ok] carries a human-readable
-    response (stats tables, trace dumps, confirmations); [Error] the
-    typed reason — admission rejections include the violating
-    breakpoint in the message. The scheduler is never left
-    half-modified. *)
+(** {!exec_op} on the command's operation when its target is
+    [Default_link]; a [link NAME] scope is rejected with
+    {!Unknown_link} — a bare engine has no link namespace. *)
 
 val exec_script :
   ?lenient:bool ->

@@ -282,6 +282,41 @@ let trace_json t =
       ("events", Json_lite.List evs);
     ]
 
+type snapshot = {
+  per_class : (int * counters) list;
+  snap_tracing : bool;
+  snap_capacity : int;
+  snap_recorded : int;
+  snap_dropped : int;
+  snap_events : event list;
+}
+
+let copy_counters c =
+  {
+    enq_pkts = c.enq_pkts;
+    enq_bytes = c.enq_bytes;
+    rt_pkts = c.rt_pkts;
+    rt_bytes = c.rt_bytes;
+    ls_pkts = c.ls_pkts;
+    ls_bytes = c.ls_bytes;
+    drop_pkts = c.drop_pkts;
+    deadline_misses = c.deadline_misses;
+    hiwater_pkts = c.hiwater_pkts;
+    hiwater_bytes = c.hiwater_bytes;
+  }
+
+let snapshot t =
+  {
+    per_class = List.init t.known (fun id -> (id, copy_counters t.tbl.(id)));
+    snap_tracing = t.tracing;
+    snap_capacity = t.trace.cap;
+    snap_recorded = t.trace.total;
+    snap_dropped = dropped_events t;
+    snap_events = events t;
+  }
+
+let snapshot_counters s ~id = List.assoc_opt id s.per_class
+
 let trace_text t =
   let b = Buffer.create 1024 in
   let dropped = dropped_events t in

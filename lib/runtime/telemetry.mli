@@ -129,3 +129,27 @@ val trace_json : t -> Json_lite.t
 val trace_text : t -> string
 (** One line per surviving event, oldest first, preceded by a [#]
     comment line counting dropped events when the ring has wrapped. *)
+
+(** {2 Snapshots}
+
+    A consistent, immutable copy of everything the telemetry knows at
+    one instant — per-class counters, ring occupancy and the decoded
+    trace. This is the one read surface the control plane exposes
+    (see {!Runtime.Engine.snapshot}): callers get a value they can
+    inspect at leisure while the hot path keeps mutating the live
+    records underneath. *)
+
+type snapshot = {
+  per_class : (int * counters) list;
+      (** class id and a {e copy} of its counters, ascending id *)
+  snap_tracing : bool;
+  snap_capacity : int;
+  snap_recorded : int;  (** {!recorded_total} at snapshot time *)
+  snap_dropped : int;  (** {!dropped_events} at snapshot time *)
+  snap_events : event list;  (** decoded ring, oldest surviving first *)
+}
+
+val snapshot : t -> snapshot
+
+val snapshot_counters : snapshot -> id:int -> counters option
+(** Lookup by class id; [None] when the id was never announced. *)

@@ -162,6 +162,89 @@ let test_sources_fresh () =
   let b = take (cfg.Config.sources ~until:1.) in
   Alcotest.(check (list (float 0.))) "identical fresh streams" a b
 
+(* --- multi-link (sectioned) configurations ------------------------- *)
+
+let multi_text =
+  {|
+link west rate 8Mbit
+class a parent root flow 1 fsc 4Mbit
+class g parent root fsc 2Mbit
+class g1 parent g flow 2 fsc 1Mbit
+limit pkts 100
+
+link east rate 4Mbit
+class b parent root flow 3 fsc 2Mbit
+
+source cbr flow 1 rate 1Mbit pkt 500
+source cbr flow 3 rate 1Mbit pkt 500
+|}
+
+let test_multi_link_sections () =
+  let cfg = ok (Config.parse multi_text) in
+  Alcotest.(check int) "two links" 2 (List.length cfg.Config.links);
+  let west = List.nth cfg.Config.links 0 in
+  let east = List.nth cfg.Config.links 1 in
+  Alcotest.(check string) "names in file order" "west" west.Config.lname;
+  Alcotest.(check string) "second name" "east" east.Config.lname;
+  Alcotest.(check (float 1e-9)) "west rate" 1e6 west.Config.lrate;
+  Alcotest.(check (float 1e-9)) "east rate" 5e5 east.Config.lrate;
+  (* classes bind to the section they follow *)
+  Alcotest.(check int) "west classes (incl. root)" 4
+    (List.length (Hfsc.classes west.Config.lscheduler));
+  Alcotest.(check int) "east classes (incl. root)" 2
+    (List.length (Hfsc.classes east.Config.lscheduler));
+  (* limit binds to its section too *)
+  Alcotest.(check int) "west aggregate limit" 100
+    (Hfsc.aggregate_limit_pkts west.Config.lscheduler);
+  (* flow maps are per link, flow ids device-wide unique *)
+  Alcotest.(check (list int)) "west flows" [ 1; 2 ]
+    (List.sort compare (List.map fst west.Config.lflow_map));
+  Alcotest.(check (list int)) "east flows" [ 3 ]
+    (List.map fst east.Config.lflow_map);
+  (* the single-link mirror fields point at the first link *)
+  Alcotest.(check bool) "scheduler mirrors head link" true
+    (cfg.Config.scheduler == west.Config.lscheduler);
+  (* validation prefixes per-link warnings with the link name *)
+  let sourceless =
+    ok
+      (Config.parse
+         "link west rate 1Mbit\nclass a parent root flow 1 fsc 1Mbit\n\
+          link east rate 1Mbit\nclass b parent root flow 2 fsc 1Mbit\n\
+          source cbr flow 1 rate 1Kbit pkt 100\n")
+  in
+  Alcotest.(check bool) "warning names the link" true
+    (List.exists
+       (fun w -> contains w "link \"east\"" && contains w "no traffic source")
+       (Config.validate sourceless))
+
+let test_multi_link_errors () =
+  (* every link after the first needs a name *)
+  expect_error "link west rate 1Mbit\nlink rate 2Mbit" "needs a name";
+  expect_error
+    "link a rate 1Mbit\nclass x parent root fsc 1Mbit\n\
+     link a rate 2Mbit\nclass y parent root fsc 1Mbit"
+    "duplicate link name";
+  (* control-command verbs cannot name a link *)
+  expect_error "link add rate 1Mbit" "reserved";
+  expect_error "link list rate 1Mbit" "reserved";
+  (* with several links, every class must fall inside a section (a
+     single-link file keeps the historical order-insensitive reading) *)
+  expect_error
+    "class a parent root fsc 1Mbit\nlink west rate 1Mbit\n\
+     link east rate 1Mbit\nclass b parent root fsc 1Mbit"
+    "before any 'link'";
+  (* flow ids are device-wide unique across links *)
+  expect_error
+    "link a rate 1Mbit\nclass x parent root flow 1 fsc 1Mbit\n\
+     link b rate 1Mbit\nclass y parent root flow 1 fsc 1Mbit"
+    "mapped twice";
+  (* sources resolve against the union flow map *)
+  expect_error
+    "link a rate 1Mbit\nclass x parent root flow 1 fsc 1Mbit\n\
+     link b rate 1Mbit\nclass y parent root flow 2 fsc 1Mbit\n\
+     source cbr flow 9 rate 1Kbit pkt 100"
+    "unmapped flow"
+
 let test_validate () =
   (* clean config: no warnings *)
   let clean = ok (Config.parse minimal) in
@@ -244,5 +327,8 @@ let () =
             test_end_to_end_sim;
           Alcotest.test_case "sources are fresh" `Quick test_sources_fresh;
           Alcotest.test_case "validate" `Quick test_validate;
+          Alcotest.test_case "multi-link sections" `Quick
+            test_multi_link_sections;
+          Alcotest.test_case "multi-link errors" `Quick test_multi_link_errors;
         ] );
     ]

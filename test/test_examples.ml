@@ -144,14 +144,14 @@ let test_overload_degrades () =
         (Hfsc.queue_length web <= 25)
   | None -> Alcotest.fail "flow 2 unmapped");
   (* the shed load is visible as telemetry drops *)
-  let tele = Runtime.Engine.telemetry eng in
+  let snap = Runtime.Engine.snapshot eng in
   let drops =
     List.fold_left
       (fun acc c ->
         if Hfsc.is_leaf c then
-          acc
-          + (Runtime.Telemetry.counters tele ~id:(Hfsc.id c))
-              .Runtime.Telemetry.drop_pkts
+          match Runtime.Telemetry.snapshot_counters snap ~id:(Hfsc.id c) with
+          | Some cnt -> acc + cnt.Runtime.Telemetry.drop_pkts
+          | None -> acc
         else acc)
       0 (Hfsc.classes sched)
   in
@@ -177,6 +177,66 @@ let test_overload_degrades () =
   | None -> Alcotest.fail "voice never completed a packet");
   Alcotest.(check (list string)) "auditor clean" [] (Runtime.Engine.audit eng)
 
+(* The shipped router pair must actually replay: router.hfsc builds a
+   two-link device, and router.ctl's scoped commands resolve against it
+   with exactly the two deliberate violations rejected — one cross-link
+   filter, one link-share over-commitment — each with its typed code. *)
+let test_router_pair_replays () =
+  let cfg =
+    match Config.load (Filename.concat examples_dir "router.hfsc") with
+    | Ok c -> c
+    | Error e -> Alcotest.fail e
+  in
+  Alcotest.(check int) "two links configured" 2 (List.length cfg.Config.links);
+  let cmds =
+    match
+      Runtime.Command.parse_script_file
+        (Filename.concat examples_dir "router.ctl")
+    with
+    | Ok c -> c
+    | Error { Runtime.Command.line; reason } ->
+        Alcotest.failf "router.ctl:%d: %s" line reason
+  in
+  let router = Runtime.Router.of_config ~audit_every:16 cfg in
+  let outcomes = Runtime.Router.exec_script ~lenient:true router cmds in
+  let rejected =
+    List.filter_map
+      (function
+        | _, _, Error e ->
+            Some
+              (Runtime.Engine.error_code_name (Runtime.Engine.error_code e))
+        | _ -> None)
+      outcomes
+  in
+  Alcotest.(check (list string))
+    "exactly the two designed rejections, in script order"
+    [ "cross-link-filter"; "admission-linkshare" ]
+    rejected;
+  Alcotest.(check (list string)) "auditor clean" []
+    (Runtime.Router.audit router)
+
+(* Script errors must attribute to the script file and its line, not to
+   the caller's context: parse_script_file carries the 1-based line of
+   the offending statement, and an unreadable path reports line 0. *)
+let test_script_file_attribution () =
+  let path = Filename.temp_file "hfsc_bad_script" ".ctl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let oc = open_out path in
+      output_string oc "stats\n\nat 0.5 trace dump\nadd class oops\n";
+      close_out oc;
+      match Runtime.Command.parse_script_file path with
+      | Ok _ -> Alcotest.fail "expected a parse error"
+      | Error { Runtime.Command.line; reason } ->
+          Alcotest.(check int) "error names the script file line" 4 line;
+          Alcotest.(check bool) "reason mentions the parse failure" true
+            (String.length reason > 0));
+  match Runtime.Command.parse_script_file "/nonexistent/no_such.ctl" with
+  | Ok _ -> Alcotest.fail "expected a load error"
+  | Error { Runtime.Command.line; _ } ->
+      Alcotest.(check int) "unreadable file reports line 0" 0 line
+
 let () =
   Alcotest.run "examples"
     [
@@ -188,5 +248,9 @@ let () =
             test_shipped_pair_replays;
           Alcotest.test_case "overload degrades gracefully" `Quick
             test_overload_degrades;
+          Alcotest.test_case "router pair replays" `Quick
+            test_router_pair_replays;
+          Alcotest.test_case "script file attribution" `Quick
+            test_script_file_attribution;
         ] );
     ]

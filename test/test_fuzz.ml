@@ -255,6 +255,131 @@ let engine_fuzz ~seed ~nops =
         (String.concat "\n  " errs));
   (!applied, !rejected)
 
+(* --- router-level fuzz ----------------------------------------------- *)
+
+module R = Runtime.Router
+
+(* Device-wide observable state: every link's engine fingerprint plus
+   the flow directory — a rejected router command must change none of
+   it. *)
+let router_fingerprint r =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun (name, eng) ->
+      Buffer.add_string b name;
+      Buffer.add_char b '=';
+      Buffer.add_string b (fingerprint eng);
+      Buffer.add_char b '\n')
+    (R.links r);
+  for flow = 0 to 30 do
+    match R.link_of_flow r flow with
+    | Some l -> Buffer.add_string b (Printf.sprintf "f%d->%s;" flow l)
+    | None -> ()
+  done;
+  Buffer.contents b
+
+(* Scoped reconfiguration, link add/delete churn, deliberate
+   cross-link violations, ambiguous unscoped ops, and the hostile pool
+   — the router must apply or reject each without corrupting any
+   link. *)
+let router_command_pool =
+  Array.append
+    [|
+      "link l0 add class tmp parent root flow 10 fsc 0.5Mbit qlimit 16";
+      "link l0 delete class tmp";
+      "link l1 modify class b qlimit 20 qbytes 32768";
+      "link l1 attach filter flow 2 proto udp";
+      "link l1 detach filter flow 2";
+      "link l2 stats";
+      "link l2 limit pkts 100 policy longest";
+      "stats";
+      "stats c";
+      "trace on";
+      "trace dump";
+      "link add extra rate 2Mbit";
+      "link extra add class x parent root flow 20 fsc 1Mbit";
+      "link delete extra";
+      "link list";
+      "link nowhere stats";
+      "link l0 add class dup parent root flow 2 fsc 0.1Mbit";
+      "link l2 attach filter flow 1 proto tcp";
+      "add class amb parent root fsc 1Mbit";
+      "link add l0 rate 1Mbit";
+      "attach filter flow 3 dst 10.9.0.0/16";
+      "detach filter flow 3";
+    |]
+    Netsim.Faults.bad_commands
+
+let router_fuzz ~seed ~nops =
+  let r = R.create ~audit_every ~trace_capacity:256 () in
+  let ok_r what = function
+    | Ok _ -> ()
+    | Error e -> fail "router setup %s: %s" what (E.error_message e)
+  in
+  List.iter
+    (fun name -> ok_r name (R.add_link r ~name ~link_rate:1e6))
+    [ "l0"; "l1"; "l2" ];
+  let setup line =
+    match Runtime.Command.parse line with
+    | Ok cmd -> ok_r line (R.exec r ~now:0. cmd)
+    | Error e -> fail "router setup parse %S: %s" line e
+  in
+  setup "link l0 add class a parent root flow 1 fsc 2Mbit qlimit 64";
+  setup "link l1 add class b parent root flow 2 fsc 2Mbit rsc 1Mbit";
+  setup "link l2 add class c parent root flow 3 fsc 2Mbit qbytes 65536";
+  let rng = Random.State.make [| 0x5eed; seed; 2 |] in
+  let now = ref 0. in
+  let seq = ref 0 in
+  let flows = [| 1; 2; 3; 10; 20; 77 |] in
+  let rejected = ref 0 and applied = ref 0 in
+  (try
+     for _ = 1 to nops do
+       now := !now +. Random.State.float rng 0.002;
+       match Random.State.int rng 10 with
+       | 0 | 1 -> (
+           let line =
+             router_command_pool.(Random.State.int rng
+                                    (Array.length router_command_pool))
+           in
+           match Runtime.Command.parse line with
+           | Error _ -> ()
+           | Ok cmd -> (
+               let before = router_fingerprint r in
+               match R.exec r ~now:!now cmd with
+               | Ok _ -> incr applied
+               | Error _ ->
+                   incr rejected;
+                   if router_fingerprint r <> before then
+                     fail "seed %d: rejected router command mutated state: %s"
+                       seed line))
+       | 2 | 3 | 4 | 5 | 6 ->
+           let flow = flows.(Random.State.int rng (Array.length flows)) in
+           incr seq;
+           ignore
+             (R.enqueue_flow r ~now:!now
+                (Pkt.Packet.make ~flow
+                   ~size:(40 + Random.State.int rng 1460)
+                   ~seq:!seq ~arrival:!now))
+       | _ -> (
+           (* each link drains independently: pick one *)
+           match R.links r with
+           | [] -> ()
+           | links ->
+               let _, eng =
+                 List.nth links (Random.State.int rng (List.length links))
+               in
+               ignore (E.dequeue eng ~now:!now))
+     done
+   with E.Audit_failure errs ->
+     fail "seed %d: router engine audit failed:\n  %s" seed
+       (String.concat "\n  " errs));
+  (match R.audit r with
+  | [] -> ()
+  | errs ->
+      fail "seed %d: final router audit:\n  %s" seed
+        (String.concat "\n  " errs));
+  (!applied, !rejected)
+
 (* --- main ----------------------------------------------------------- *)
 
 let () =
@@ -264,15 +389,20 @@ let () =
   let nops = arg 1 1000 in
   let seeds = arg 2 1 in
   let applied = ref 0 and rejected = ref 0 in
+  let r_applied = ref 0 and r_rejected = ref 0 in
   for seed = 0 to seeds - 1 do
     sched_fuzz ~seed ~nops;
     let a, r = engine_fuzz ~seed ~nops in
     applied := !applied + a;
-    rejected := !rejected + r
+    rejected := !rejected + r;
+    let a, r = router_fuzz ~seed ~nops in
+    r_applied := !r_applied + a;
+    r_rejected := !r_rejected + r
   done;
   Printf.printf
     "fuzz ok: %d seed%s x %d ops: scheduler matches reference under audit; \
-     engine applied %d and rejected %d commands with state intact\n"
+     engine applied %d and rejected %d commands with state intact; router \
+     (3 links + churn) applied %d and rejected %d\n"
     seeds
     (if seeds = 1 then "" else "s")
-    nops !applied !rejected
+    nops !applied !rejected !r_applied !r_rejected

@@ -363,6 +363,49 @@ let test_sim_utilization () =
   Netsim.Sim.run sim ~until:1.0;
   Alcotest.(check (float 1e-9)) "50% busy" 0.5 (Netsim.Sim.utilization sim)
 
+let test_sim_multi_link () =
+  (* two independent wires behind one event queue: per-flow routing,
+     per-link accounting, and per-link fault targeting *)
+  let fast = Sched.Fifo.create () and slow = Sched.Fifo.create () in
+  let route p =
+    match p.Pkt.Packet.flow with 1 -> Some 0 | 2 -> Some 1 | _ -> None
+  in
+  let sim =
+    Netsim.Sim.create_multi
+      ~links:[ ("fast", 1000., fast); ("slow", 100., slow) ]
+      ~route ()
+  in
+  Alcotest.(check int) "two links" 2 (Netsim.Sim.n_links sim);
+  Alcotest.(check (option int)) "index by name" (Some 1)
+    (Netsim.Sim.link_index sim "slow");
+  Alcotest.(check string) "name by index" "fast" (Netsim.Sim.link_name sim 0);
+  Netsim.Sim.add_source sim (Netsim.Source.script ~flow:1 [ (0., 500) ]);
+  Netsim.Sim.add_source sim (Netsim.Source.script ~flow:2 [ (0., 50) ]);
+  (* flow 9 routes nowhere: counted as an enqueue drop *)
+  Netsim.Sim.add_source sim (Netsim.Source.script ~flow:9 [ (0., 10) ]);
+  Netsim.Sim.run sim ~until:1.0;
+  Alcotest.(check (float 1e-9)) "fast link bytes" 500.
+    (Netsim.Sim.link_transmitted_bytes sim 0);
+  Alcotest.(check (float 1e-9)) "slow link bytes" 50.
+    (Netsim.Sim.link_transmitted_bytes sim 1);
+  Alcotest.(check (float 1e-9)) "device total" 550.
+    (Netsim.Sim.transmitted_bytes sim);
+  (* both wires were busy exactly half the second *)
+  Alcotest.(check (float 1e-9)) "fast utilization" 0.5
+    (Netsim.Sim.link_utilization sim 0);
+  Alcotest.(check (float 1e-9)) "slow utilization" 0.5
+    (Netsim.Sim.link_utilization sim 1);
+  Alcotest.(check int) "unroutable dropped" 1 (Netsim.Sim.enqueue_drops sim);
+  (* faulting one link leaves the other's wire state alone *)
+  Netsim.Sim.set_link_rate ~link:1 sim 25.;
+  Alcotest.(check (float 1e-9)) "slow reconfigured" 25.
+    (Netsim.Sim.link_rate ~link:1 sim);
+  Alcotest.(check (float 1e-9)) "fast untouched" 1000.
+    (Netsim.Sim.link_rate ~link:0 sim);
+  Netsim.Sim.set_link_up ~link:0 sim false;
+  Alcotest.(check bool) "fast down" false (Netsim.Sim.link_up ~link:0 sim);
+  Alcotest.(check bool) "slow still up" true (Netsim.Sim.link_up ~link:1 sim)
+
 let test_sim_drops_counted () =
   let sched = Sched.Fifo.create ~qlimit:2 () in
   let sim = Netsim.Sim.create ~link_rate:1. ~sched () in
@@ -639,6 +682,7 @@ let () =
           Alcotest.test_case "delay accounting" `Quick
             test_sim_delay_accounting;
           Alcotest.test_case "utilization" `Quick test_sim_utilization;
+          Alcotest.test_case "multi-link" `Quick test_sim_multi_link;
           Alcotest.test_case "drops counted" `Quick test_sim_drops_counted;
           Alcotest.test_case "run_until_idle" `Quick test_sim_run_until_idle;
           Alcotest.test_case "non-work-conserving poll" `Quick

@@ -13,6 +13,20 @@ module Sc = Curve.Service_curve
 let ok = function Ok v -> v | Error e -> Alcotest.fail e
 let err = function Ok _ -> Alcotest.fail "expected error" | Error e -> e
 
+(* unwrap an unscoped command to its op — most grammar tests target the
+   op; the target field has its own tests below *)
+let op_of = function
+  | Ok { C.target = C.Default_link; op } -> Ok op
+  | Ok { C.target = C.On_link l; _ } ->
+      Error (Printf.sprintf "unexpected link scope %S" l)
+  | Error e -> Error e
+
+(* counters of one class from the engine's snapshot surface *)
+let counters eng ~id =
+  match T.snapshot_counters (E.snapshot eng) ~id with
+  | Some c -> c
+  | None -> Alcotest.failf "no counters for class id %d" id
+
 (* engine results carry a typed error; tests mostly match on the text *)
 let ok_exec = function
   | Ok v -> v
@@ -49,9 +63,10 @@ let check_contains what hay needle =
 
 let test_parse_add () =
   match
-    C.parse
-      "add class voice parent root flow 7 rsc umax 160 dmax 5ms rate 64Kbit \
-       fsc 64Kbit qlimit 32"
+    op_of
+      (C.parse
+         "add class voice parent root flow 7 rsc umax 160 dmax 5ms rate \
+          64Kbit fsc 64Kbit qlimit 32")
   with
   | Ok (C.Add_class a) ->
       Alcotest.(check string) "name" "voice" a.name;
@@ -72,7 +87,7 @@ let test_parse_add () =
   | Error e -> Alcotest.fail e
 
 let test_parse_others () =
-  (match C.parse "modify class x fsc m1 1Mbit d 10ms m2 2Mbit" with
+  (match op_of (C.parse "modify class x fsc m1 1Mbit d 10ms m2 2Mbit") with
   | Ok (C.Modify_class { name = "x"; curves; _ }) ->
       (match curves.C.fsc with
       | Some f ->
@@ -80,11 +95,12 @@ let test_parse_others () =
           Alcotest.(check (float 1e-9)) "m2" 250_000. f.Sc.m2
       | None -> Alcotest.fail "no fsc")
   | _ -> Alcotest.fail "modify");
-  (match C.parse "delete class x" with
+  (match op_of (C.parse "delete class x") with
   | Ok (C.Delete_class "x") -> ()
   | _ -> Alcotest.fail "delete");
   (match
-     C.parse "attach filter flow 3 src 10.0.0.0/8 proto udp dport 5004 5005"
+     op_of
+       (C.parse "attach filter flow 3 src 10.0.0.0/8 proto udp dport 5004 5005")
    with
   | Ok (C.Attach_filter f) ->
       Alcotest.(check int) "flow" 3 f.C.fflow;
@@ -92,16 +108,70 @@ let test_parse_others () =
       Alcotest.(check bool) "proto" true (f.C.fproto = Some Pkt.Header.Udp);
       Alcotest.(check bool) "dport" true (f.C.fdport = Some (5004, 5005))
   | _ -> Alcotest.fail "attach");
-  (match C.parse "detach filter flow 3" with
+  (match op_of (C.parse "detach filter flow 3") with
   | Ok (C.Detach_filter 3) -> ()
   | _ -> Alcotest.fail "detach");
-  (match C.parse "stats" with Ok (C.Stats None) -> () | _ -> Alcotest.fail "stats");
-  (match C.parse "stats data" with
+  (match op_of (C.parse "stats") with
+  | Ok (C.Stats None) -> ()
+  | _ -> Alcotest.fail "stats");
+  (match op_of (C.parse "stats data") with
   | Ok (C.Stats (Some "data")) -> ()
   | _ -> Alcotest.fail "stats data");
-  match C.parse "trace dump" with
+  match op_of (C.parse "trace dump") with
   | Ok (C.Trace C.Trace_dump) -> ()
   | _ -> Alcotest.fail "trace dump"
+
+(* the link-addressing layer of the grammar: scopes, router verbs,
+   reserved words, round-tripping through pp *)
+let test_parse_link_grammar () =
+  (match C.parse "link west add class x parent root fsc 1Mbit" with
+  | Ok { C.target = C.On_link "west"; op = C.Add_class { name = "x"; _ } } ->
+      ()
+  | _ -> Alcotest.fail "scoped add");
+  (match C.parse "link east stats" with
+  | Ok { C.target = C.On_link "east"; op = C.Stats None } -> ()
+  | _ -> Alcotest.fail "scoped stats");
+  (match C.parse "link add north rate 5Mbit" with
+  | Ok { C.target = C.Default_link; op = C.Link_add { link = "north"; rate } }
+    ->
+      Alcotest.(check (float 1e-9)) "rate in B/s" 625_000. rate
+  | _ -> Alcotest.fail "link add");
+  (match C.parse "link delete north" with
+  | Ok { C.target = C.Default_link; op = C.Link_delete "north" } -> ()
+  | _ -> Alcotest.fail "link delete");
+  (match C.parse "link list" with
+  | Ok { C.target = C.Default_link; op = C.Link_list } -> ()
+  | _ -> Alcotest.fail "link list");
+  check_contains "no nesting"
+    (err (C.parse "link a link b stats"))
+    "cannot nest";
+  check_contains "bare link" (err (C.parse "link")) "link";
+  check_contains "link add arity"
+    (err (C.parse "link add north"))
+    "link add";
+  check_contains "link delete arity"
+    (err (C.parse "link delete a b"))
+    "link delete";
+  check_contains "link list arity" (err (C.parse "link list x")) "link list";
+  (* pretty-printed commands re-parse to themselves, scope included *)
+  List.iter
+    (fun line ->
+      let cmd = ok (C.parse line) in
+      let printed = Format.asprintf "%a" C.pp cmd in
+      let reparsed = ok (C.parse printed) in
+      Alcotest.(check bool)
+        (Printf.sprintf "pp round-trip %S" line)
+        true
+        (Format.asprintf "%a" C.pp reparsed = printed))
+    [
+      "link west add class x parent root flow 4 fsc 1Mbit qlimit 9";
+      "link east detach filter flow 3";
+      "link add north rate 5Mbit";
+      "link delete north";
+      "link list";
+      "link west trace dump";
+      "stats data";
+    ]
 
 let test_parse_errors () =
   check_contains "missing parent" (err (C.parse "add class x")) "parent";
@@ -121,7 +191,7 @@ let test_parse_errors () =
     "1Mbi"
 
 let test_parse_limit () =
-  (match C.parse "limit pkts 100 bytes none policy longest" with
+  (match op_of (C.parse "limit pkts 100 bytes none policy longest") with
   | Ok
       (C.Set_limit
         {
@@ -134,10 +204,10 @@ let test_parse_limit () =
   check_contains "empty limit" (err (C.parse "limit")) "at least one";
   check_contains "bad policy" (err (C.parse "limit policy random")) "policy";
   check_contains "zero bound" (err (C.parse "limit pkts 0")) "positive";
-  (match C.parse "modify class x qlimit 10 qbytes 20000" with
+  (match op_of (C.parse "modify class x qlimit 10 qbytes 20000") with
   | Ok (C.Modify_class { qlimit = Some 10; qbytes = Some 20000; _ }) -> ()
   | _ -> Alcotest.fail "modify qlimit/qbytes");
-  match C.parse "add class x parent root fsc 1Mbit qbytes 64000" with
+  match op_of (C.parse "add class x parent root fsc 1Mbit qbytes 64000") with
   | Ok (C.Add_class { qbytes = Some 64000; _ }) -> ()
   | _ -> Alcotest.fail "add qbytes"
 
@@ -285,7 +355,7 @@ let test_counters_match_service () =
   drain eng;
   let check_class flow name =
     let cls = Option.get (Hfsc.find_class sched name) in
-    let c = T.counters (E.telemetry eng) ~id:(Hfsc.id cls) in
+    let c = counters eng ~id:(Hfsc.id cls) in
     Alcotest.(check int) (name ^ " enq") 20 c.T.enq_pkts;
     Alcotest.(check int) (name ^ " enq bytes") 20_000 c.T.enq_bytes;
     (* everything drained: served = enqueued, split across criteria *)
@@ -304,7 +374,7 @@ let test_counters_match_service () =
   check_class 2 "b";
   (* b has a real-time curve, so some of its service is rt *)
   let b = Option.get (Hfsc.find_class sched "b") in
-  let cb = T.counters (E.telemetry eng) ~id:(Hfsc.id b) in
+  let cb = counters eng ~id:(Hfsc.id b) in
   Alcotest.(check bool) "b served under rt" true (cb.T.rt_pkts > 0)
 
 let test_drops_counted () =
@@ -317,7 +387,7 @@ let test_drops_counted () =
   done;
   Alcotest.(check int) "qlimit enforced" 2 !accepted;
   let cls = Option.get (E.flow_class eng 5) in
-  let c = T.counters (E.telemetry eng) ~id:(Hfsc.id cls) in
+  let c = counters eng ~id:(Hfsc.id cls) in
   Alcotest.(check int) "drops" 3 c.T.drop_pkts;
   Alcotest.(check int) "enq" 2 c.T.enq_pkts;
   Alcotest.(check int) "hiwater pkts" 2 c.T.hiwater_pkts;
@@ -605,15 +675,14 @@ let test_limit_command () =
   let a = Option.get (Hfsc.find_class sched "a") in
   Alcotest.(check int) "victim shortened" 2 (Hfsc.queue_length a);
   (* the eviction is charged to the victim class, via the drop hook *)
-  let ca = T.counters (E.telemetry eng) ~id:(Hfsc.id a) in
+  let ca = counters eng ~id:(Hfsc.id a) in
   Alcotest.(check int) "victim drop counted" 1 ca.T.drop_pkts;
   (* tail policy refuses the arrival instead *)
   ignore (ok_exec (exec1 eng ~now:0. "limit policy tail"));
   Alcotest.(check bool) "tail refuses" false
     (E.enqueue_flow eng ~now:0. (pkt ~flow:2 ~seq:1 ~now:0.));
   let cb =
-    T.counters (E.telemetry eng)
-      ~id:(Hfsc.id (Option.get (Hfsc.find_class sched "b")))
+    counters eng ~id:(Hfsc.id (Option.get (Hfsc.find_class sched "b")))
   in
   Alcotest.(check int) "refusal counted against the destination" 1
     cb.T.drop_pkts;
@@ -706,6 +775,8 @@ let () =
           Alcotest.test_case "parse add" `Quick test_parse_add;
           Alcotest.test_case "parse others" `Quick test_parse_others;
           Alcotest.test_case "parse errors" `Quick test_parse_errors;
+          Alcotest.test_case "parse link grammar" `Quick
+            test_parse_link_grammar;
           Alcotest.test_case "parse limit + queue bounds" `Quick
             test_parse_limit;
           Alcotest.test_case "script" `Quick test_script;
