@@ -33,6 +33,11 @@ let scenarios_full =
 let scenarios_smoke = [ (false, 1); (false, 100) ]
 let scen_name (deep, n) = Printf.sprintf "%s n=%d" (if deep then "deep" else "flat") n
 
+(* Every scenario string a valid baseline may carry. The validator
+   checks membership so a typo'd or stale scenario name fails the
+   smoke target instead of passing silently. *)
+let known_scenarios = List.map scen_name scenarios_full
+
 (* ns per iteration for a list of Bechamel tests, via OLS. stabilize/
    compaction off: bechamel would otherwise run a GC stabilization
    between samples, crediting allocating implementations with free
@@ -442,6 +447,124 @@ module RouterBench = struct
       ]
 end
 
+(* --- batched entry points ------------------------------------------- *)
+
+(* The NIC-ring batch promise: a burst drained through
+   [enqueue_batch]/[dequeue_batch] pays the per-call bookkeeping (clock
+   conversion, bounds checks, the option/tuple of a singles dequeue)
+   once per burst instead of once per packet, and the batched dequeue
+   path allocates nothing at all — results land in the batch's
+   preallocated slots. Measured head-to-head against the same burst
+   shape driven through the singles entry points, on the largest flat
+   scenario. *)
+module BatchBench = struct
+  let burst = 32
+  let scen = (false, 1000)
+
+  let prefill t leaves n ~per =
+    for i = 0 to n - 1 do
+      for s = 0 to per - 1 do
+        ignore
+          (Hfsc.enqueue t ~now:0. leaves.(i)
+             (Pkt.Packet.make ~flow:i ~size:1000 ~seq:s ~arrival:0.))
+      done
+    done
+
+  (* Both tests run [burst] enqueues then [burst] dequeues per staged
+     iteration, so OLS estimates divide by [burst] to ns per packet and
+     the only difference between the two is the entry point. *)
+  let unbatched_test () =
+    let deep, n = scen in
+    let t, leaves = M_intrusive.build ~n ~deep in
+    prefill t leaves n ~per:4;
+    let i = ref 0 in
+    let seq = ref 4 in
+    let now = ref 0. in
+    let tx = 1000. /. link in
+    Test.make ~name:"unbatched"
+      (Staged.stage (fun () ->
+           now := !now +. (tx *. float_of_int burst);
+           for _ = 1 to burst do
+             i := (!i + 1) mod n;
+             incr seq;
+             ignore
+               (Hfsc.enqueue t ~now:!now leaves.(!i)
+                  (Pkt.Packet.make ~flow:!i ~size:1000 ~seq:!seq ~arrival:!now))
+           done;
+           for _ = 1 to burst do
+             ignore (Hfsc.dequeue t ~now:!now)
+           done))
+
+  let batched_test () =
+    let deep, n = scen in
+    let t, leaves = M_intrusive.build ~n ~deep in
+    prefill t leaves n ~per:4;
+    let b = Hfsc.batch ~capacity:burst () in
+    let cls = Array.make burst leaves.(0) in
+    let pkts =
+      Array.make burst (Pkt.Packet.make ~flow:0 ~size:1000 ~seq:0 ~arrival:0.)
+    in
+    let i = ref 0 in
+    let seq = ref 4 in
+    let now = ref 0. in
+    let tx = 1000. /. link in
+    Test.make ~name:"batched"
+      (Staged.stage (fun () ->
+           now := !now +. (tx *. float_of_int burst);
+           for k = 0 to burst - 1 do
+             i := (!i + 1) mod n;
+             incr seq;
+             cls.(k) <- leaves.(!i);
+             pkts.(k) <-
+               Pkt.Packet.make ~flow:!i ~size:1000 ~seq:!seq ~arrival:!now
+           done;
+           ignore (Hfsc.enqueue_batch t ~now:!now cls pkts);
+           ignore (Hfsc.dequeue_batch t ~now:!now b)))
+
+  (* Minor words per packet through [dequeue_batch], mirroring
+     Meas.dequeue_words (prefill, warm-up, boxed clock). Exactly 0 for
+     the batched path: the slots are preallocated. *)
+  let dequeue_words () =
+    let deep, n = scen in
+    let t, leaves = M_intrusive.build ~n ~deep in
+    let k = 128 in
+    let warm = 8 in
+    let per = (((k + warm) * burst) / n) + 2 in
+    prefill t leaves n ~per;
+    let b = Hfsc.batch ~capacity:burst () in
+    let tx = 1000. /. link in
+    let now = ref 0. in
+    for _ = 1 to warm do
+      now := !now +. (tx *. float_of_int burst);
+      ignore (Hfsc.dequeue_batch t ~now:!now b)
+    done;
+    match Sys.opaque_identity [ !now +. tx ] with
+    | [ boxed_now ] ->
+        let w0 = Gc.minor_words () in
+        for _ = 1 to k do
+          ignore (Hfsc.dequeue_batch t ~now:boxed_now b)
+        done;
+        (Gc.minor_words () -. w0) /. float_of_int (k * burst)
+    | _ -> assert false
+
+  let json ~quota =
+    let ns = ols_ns ~quota [ unbatched_test (); batched_test () ] in
+    let find k = try List.assoc k ns with Not_found -> -1. in
+    let per_op v = v /. float_of_int burst in
+    let unb = per_op (find "unbatched") in
+    let bat = per_op (find "batched") in
+    let dw = dequeue_words () in
+    Json_lite.Obj
+      [
+        ("scenario", Json_lite.Str (scen_name scen));
+        ("burst", Json_lite.Num (float_of_int burst));
+        ("unbatched_ns_per_op", Json_lite.Num unb);
+        ("batched_ns_per_op", Json_lite.Num bat);
+        ("batch_speedup", Json_lite.Num (unb /. bat));
+        ("batched_dequeue_minor_words_per_op", Json_lite.Num dw);
+      ]
+end
+
 (* --- the machine-readable baseline --------------------------------- *)
 
 let measure_all ~quota scens =
@@ -470,16 +593,17 @@ let bench_doc ~quota scens =
   let results = measure_all ~quota scens in
   Json_lite.Obj
     [
-      ("schema", Json_lite.Str "hfsc-bench/3");
+      ("schema", Json_lite.Str "hfsc-bench/4");
       ("quota_s", Json_lite.Num quota);
       ("link_rate_Bps", Json_lite.Num link);
       ("dequeue_result_words", Json_lite.Num 6.);
       ("results", Json_lite.List results);
       ("telemetry", Tele.json ~quota);
       ("router", RouterBench.json ~quota);
+      ("batch", BatchBench.json ~quota);
     ]
 
-(* Schema validation for hfsc-bench/3 — used by the smoke target on
+(* Schema validation for hfsc-bench/4 — used by the smoke target on
    both its own output and the committed baseline. *)
 let validate_bench (j : Json_lite.t) : (unit, string) result =
   let ( let* ) = Result.bind in
@@ -493,9 +617,14 @@ let validate_bench (j : Json_lite.t) : (unit, string) result =
     | Some f -> Ok f
     | None -> Error (Printf.sprintf "missing numeric field %S" k)
   in
+  let req_scen obj =
+    let* s = req_str obj "scenario" in
+    if List.mem s known_scenarios then Ok s
+    else Error (Printf.sprintf "unknown scenario %S" s)
+  in
   let* schema = req_str j "schema" in
   let* () =
-    if schema = "hfsc-bench/3" then Ok ()
+    if schema = "hfsc-bench/4" then Ok ()
     else Error (Printf.sprintf "unknown schema %S" schema)
   in
   let* _ = req_num j "quota_s" in
@@ -510,7 +639,7 @@ let validate_bench (j : Json_lite.t) : (unit, string) result =
     List.fold_left
       (fun acc r ->
         let* () = acc in
-        let* _ = req_str r "scenario" in
+        let* _ = req_scen r in
         let* impl = req_str r "impl" in
         let* () =
           if impl = "intrusive" || impl = "persistent" then Ok ()
@@ -532,7 +661,7 @@ let validate_bench (j : Json_lite.t) : (unit, string) result =
     | Some (Json_lite.Obj _ as o) -> Ok o
     | _ -> Error "missing telemetry object"
   in
-  let* _ = req_str tele "scenario" in
+  let* _ = req_scen tele in
   let* bare = req_num tele "bare_ns_per_op" in
   let* traced = req_num tele "traced_ns_per_op" in
   let* () =
@@ -589,6 +718,35 @@ let validate_bench (j : Json_lite.t) : (unit, string) result =
       Error
         (Printf.sprintf "router dequeue allocates %g extra minor words/op"
            extra)
+  in
+  (* the hfsc-bench/4 batched-entry-points block *)
+  let* batch =
+    match Json_lite.member "batch" j with
+    | Some (Json_lite.Obj _ as o) -> Ok o
+    | _ -> Error "missing batch object"
+  in
+  let* _ = req_scen batch in
+  let* b = req_num batch "burst" in
+  let* () = if b >= 2. then Ok () else Error "batch burst must be >= 2" in
+  let* unb = req_num batch "unbatched_ns_per_op" in
+  let* bat = req_num batch "batched_ns_per_op" in
+  let* () =
+    if unb > 0. && bat > 0. then Ok ()
+    else Error "batch ns_per_op not positive"
+  in
+  let* s = req_num batch "batch_speedup" in
+  let* () =
+    if Float.is_finite s then Ok () else Error "batch_speedup not finite"
+  in
+  let* dw = req_num batch "batched_dequeue_minor_words_per_op" in
+  let* () =
+    (* the batch's slots are preallocated; a batched dequeue allocates
+       not one minor word. Like the telemetry/router gates this is a
+       hard allocation promise, never a timing ratio. *)
+    if dw = 0. then Ok ()
+    else
+      Error
+        (Printf.sprintf "batched dequeue allocates %g minor words/op" dw)
   in
   Ok ()
 
@@ -663,6 +821,27 @@ let run_bench_json out =
             (num "single_ns_per_op")
             (num "per_link_overhead_pct")
             (num "extra_dequeue_minor_words_per_op")
+      | None -> ());
+      (match Json_lite.member "batch" doc with
+      | Some batch ->
+          let num k =
+            match Json_lite.(Option.bind (member k batch) to_num_opt) with
+            | Some v -> v
+            | None -> nan
+          in
+          Printf.printf
+            "batch: burst %.0f on %s, %.0f ns/op vs %.0f ns unbatched \
+             (%.2fx), %g minor words/batched dequeue\n"
+            (num "burst")
+            (match
+               Json_lite.(Option.bind (member "scenario" batch) to_str_opt)
+             with
+            | Some s -> s
+            | None -> "?")
+            (num "batched_ns_per_op")
+            (num "unbatched_ns_per_op")
+            (num "batch_speedup")
+            (num "batched_dequeue_minor_words_per_op")
       | None -> ())
   | None -> ()
 

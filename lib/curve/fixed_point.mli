@@ -1,0 +1,139 @@
+(** Shifted-integer ("fixed-point") two-piece curve arithmetic — the
+    kernel idiom of production H-FSC implementations (ALTQ, Linux
+    [sch_hfsc]), specialized here for {!Runtime_curve}'s role on the
+    scheduler hot path.
+
+    Wall-clock seconds are mapped to integer {e ticks} at [2^30] ticks
+    per second (a power of two, so the seconds-to-ticks scaling of any
+    dyadic rational is exact). Slopes are kept in two precomputed
+    shifted forms so curve evaluation and inversion are
+    multiply-and-shift, never a division:
+
+    - [sm], bytes per tick scaled by [2^sm_shift] — with
+      [sm_shift = tick_shift] this is simply bytes/second rounded to
+      the nearest integer (quantum 1 B/s);
+    - [ism], ticks per byte scaled by [2^ism_shift] (the inverse
+      slope), with [ht_infinity] standing in for the inverse of a zero
+      slope.
+
+    {b Proven error bounds} (asserted by [test/test_fixedpoint.ml],
+    documented in DESIGN.md §12) for a slope [m] in B/s:
+
+    - forward: [|seg_x2y x (m2sm m) - x·m/tick_hz| <= x/tick_hz/2 + 1]
+      bytes — half a byte per elapsed second of slope quantization
+      plus under one byte of split-multiply floor;
+    - inverse: [|seg_y2x y (m2ism m) - y·tick_hz/m| <= y/2^(ism_shift+1) + 1]
+      ticks — under a nanosecond per [2^(ism_shift+1)] bytes.
+
+    The arithmetic never overflows provided every
+    [elapsed-ticks × sm] and [byte-delta × ism] product stays below
+    [2^62]; with the shifts below that holds for rates up to 2 GB/s
+    sustained over a backlog period, and for curves of rate ≥ 1 KB/s
+    over byte deltas up to [2^36] (≈ 64 GB) — far beyond anything the
+    simulator or benches produce. All quantities are nonnegative.
+
+    Both [Hfsc] and the frozen reference [Hfsc_ref] perform {e all}
+    time/service arithmetic through this module (or verbatim in-unit
+    copies of its hot functions), which is what keeps their
+    differential tests bit-exact; the float {!Runtime_curve} remains
+    the exactness oracle that the property tests compare against. *)
+
+val tick_shift : int
+(** [30]: ticks per second is [2^tick_shift]. *)
+
+val tick_hz : float
+(** [2. ** 30.], ticks per second as a float. *)
+
+val sm_shift : int
+(** [30]: scaling of the forward slope [sm]. *)
+
+val ism_shift : int
+(** [12]: scaling of the inverse slope [ism]. *)
+
+val ht_infinity : int
+(** [max_int] — "never": the inverse of a zero slope, unreachable
+    service targets. *)
+
+(** {2 Scalar conversions} *)
+
+val ticks_of_seconds : float -> int
+(** Floor; for nonnegative times. Floor (rather than rounding) keeps
+    the eligibility test conservative: a leaf is reported eligible at
+    wall-clock [t] only if its eligible tick has truly arrived. *)
+
+val seconds_of_ticks : int -> float
+(** Exact for all reachable tick values (they sit far below [2^53]);
+    [ht_infinity] maps to [infinity]. *)
+
+val m2sm : float -> int
+(** Slope (B/s) to shifted forward slope, round-to-nearest. *)
+
+val m2ism : float -> int
+(** Slope (B/s) to shifted inverse slope, round-to-nearest;
+    [ht_infinity] when the slope is zero (or so small the inverse
+    would not fit). *)
+
+val seg_x2y : int -> int -> int
+(** [seg_x2y dt sm] = service earned over [dt] ticks at slope [sm],
+    as the overflow-avoiding split multiply
+    [(dt asr s)·sm + ((dt land mask)·sm) asr s]. Exactly
+    [floor (dt·sm / 2^sm_shift)] for nonnegative inputs. *)
+
+val seg_y2x : int -> int -> int
+(** [seg_y2x dy ism] = ticks to earn [dy] bytes at inverse slope
+    [ism]; the mirror split multiply, [ht_infinity] if [ism] is. *)
+
+(** {2 Internal service curves} *)
+
+type isc = {
+  sm1 : int;
+  ism1 : int;
+  dx : int;  (** ticks of the first segment *)
+  dy : int;  (** [seg_x2y dx sm1] — quantization-consistent rise *)
+  sm2 : int;
+  ism2 : int;
+}
+(** A {!Service_curve.t} with both slopes pre-shifted and the
+    breakpoint in ticks — computed once per configuration change,
+    read on every activation. *)
+
+val isc_of_sc : Service_curve.t -> isc
+
+val isc_concave : isc -> bool
+(** Concavity of the {e quantized} curve ([sm1 > sm2]) — the branch
+    the runtime minimum must take to stay internally consistent. *)
+
+(** {2 Runtime two-piece curves}
+
+    The integer mirror of {!Runtime_curve}: origin [(x, y)] in
+    (ticks, bytes), first segment of [dx] ticks rising [dy] bytes at
+    [sm1], then slope [sm2] forever. *)
+
+type t = {
+  x : int;
+  y : int;
+  dx : int;
+  dy : int;
+  sm1 : int;
+  ism1 : int;
+  sm2 : int;
+  ism2 : int;
+}
+
+val of_isc : isc -> x:int -> y:int -> t
+
+val x2y : t -> int -> int
+(** Mirror of {!Runtime_curve.eval}. *)
+
+val y2x : t -> int -> int
+(** Mirror of {!Runtime_curve.inverse}; [ht_infinity] where the float
+    version returns [infinity]. *)
+
+val min_with : t -> isc -> x:int -> y:int -> t
+(** Mirror of {!Runtime_curve.min_with} (Fig. 8 / [rtsc_min]),
+    branch-for-branch, on the quantized slopes. The same precondition
+    applies: [c] and the fresh curve share their generator. *)
+
+val translate_x : t -> int -> t
+val flatten : t -> t
+val pp : Format.formatter -> t -> unit

@@ -1,5 +1,5 @@
 module Sc = Curve.Service_curve
-module Rc = Curve.Runtime_curve
+module Fp = Curve.Fixed_point
 module Fq = Ds.Fifo_queue
 
 (* Debug tracing; enable with Logs.Src.set_level on the "hfsc" source.
@@ -18,12 +18,15 @@ type vt_policy = Vt_mean | Vt_min | Vt_max
 type eligible_policy = Eligible_paper | Eligible_deadline
 type drop_policy = Tail_drop | Drop_longest
 
-(* All mutable per-class float state lives in this record. Every field
-   is a float, so OCaml gives it the flat (unboxed) float-record
-   representation: reads and writes on the per-packet path touch raw
-   doubles instead of allocating a box per store, which a mixed record
-   would (each mutable float field of [cls] itself would be a pointer
-   to a fresh 2-word box on every assignment).
+let ht_infinity = Fp.ht_infinity
+
+(* All mutable per-class scheduling state lives in this record. Every
+   field is an integer — wall-clock and virtual times in 2^-30-second
+   ticks, service in bytes (see Curve.Fixed_point) — so every store is
+   an immediate write and every tree comparison a plain integer
+   compare; the float predecessor of this record needed OCaml's flat
+   float-record representation to avoid boxing, which integers get for
+   free.
 
    Field names follow the paper and the kernel implementations derived
    from it: [cumul] is the service received under the real-time
@@ -37,28 +40,28 @@ type drop_policy = Tail_drop | Drop_longest
    punishment-free; [myf]/[f] the upper-limit fit times. [vt_agg] is
    the cached minimum fit time of this class's subtree *within its
    parent's active-children tree* (the augmented-tree aggregate of
-   Section V, stored here so it is read and written unboxed). *)
+   Section V). *)
 type cls_fs = {
   (* The five tree keys lead so that every ED/VT descent step reads
      them from the record's first cache line: e and d drive the
      eligible/deadline tree, vt orders the active-children trees, f and
      the subtree aggregate vt_agg drive the fit-time pruning. *)
-  mutable e : float;
-  mutable d : float;
-  mutable vt : float;
-  mutable f : float;
+  mutable e : int;
+  mutable d : int;
+  mutable vt : int;
+  mutable f : int;
   (* virtual-time tree aggregate: min fit over this node's vt-subtree *)
-  mutable vt_agg : float;
+  mutable vt_agg : int;
   (* real-time state (leaves with an rsc) *)
-  mutable cumul : float;
+  mutable cumul : int;
   (* link-sharing state *)
-  mutable total : float;
-  mutable vtadj : float;
-  mutable cvtmin : float;
-  mutable cvtoff : float;
+  mutable total : int;
+  mutable vtadj : int;
+  mutable cvtmin : int;
+  mutable cvtoff : int;
   (* upper-limit state *)
-  mutable myf : float;
-  mutable myfadj : float;
+  mutable myf : int;
+  mutable myfadj : int;
 }
 
 (* Per-class state. The eligible/deadline tree over the leaves and each
@@ -94,35 +97,42 @@ type cls = {
   mutable crsc : Sc.t option;
   mutable cfsc : Sc.t option;
   mutable cusc : Sc.t option;
-  mutable deadline_c : Rc.t;
-  mutable eligible_c : Rc.t;
+  (* shifted-integer forms of the three curves, converted once per
+     configuration change and read on every activation; meaningful
+     only when the matching [c?sc] is [Some _] *)
+  mutable risc : Fp.isc;
+  mutable fisc : Fp.isc;
+  mutable uisc : Fp.isc;
+  mutable deadline_c : Fp.t;
+  mutable eligible_c : Fp.t;
   mutable in_ed : bool;
-  mutable virtual_c : Rc.t;
+  mutable virtual_c : Fp.t;
   mutable vtperiod : int;
   mutable parentperiod : int;
   mutable nactive : int;
   mutable in_actc : bool;
-  mutable ulimit_c : Rc.t;
+  mutable ulimit_c : Fp.t;
   (* statistics *)
   mutable nperiods : int;
 }
 
-let zero_rc = Rc.of_service_curve Sc.zero ~x:0. ~y:0.
+let zero_isc = Fp.isc_of_sc Sc.zero
+let zero_rc = Fp.of_isc zero_isc ~x:0 ~y:0
 
 let make_fs () =
   {
-    e = 0.;
-    d = 0.;
-    cumul = 0.;
-    vt = 0.;
-    total = 0.;
-    vtadj = 0.;
-    cvtmin = 0.;
-    cvtoff = 0.;
-    myf = 0.;
-    myfadj = 0.;
-    f = 0.;
-    vt_agg = infinity;
+    e = 0;
+    d = 0;
+    cumul = 0;
+    vt = 0;
+    total = 0;
+    vtadj = 0;
+    cvtmin = 0;
+    cvtoff = 0;
+    myf = 0;
+    myfadj = 0;
+    f = 0;
+    vt_agg = ht_infinity;
   }
 
 (* The "no node" sentinel of the intrusive trees. Never enqueued, never
@@ -139,6 +149,9 @@ let nil =
       crsc = None;
       cfsc = None;
       cusc = None;
+      risc = zero_isc;
+      fisc = zero_isc;
+      uisc = zero_isc;
       queue = q;
       fs;
       deadline_c = zero_rc;
@@ -181,7 +194,7 @@ let nil =
    minimum (deadline, id). *)
 
 let ed_cmp a b =
-  let c = Float.compare a.fs.e b.fs.e in
+  let c = Int.compare a.fs.e b.fs.e in
   if c <> 0 then c else Int.compare a.id b.id
 
 let better_deadline a b = a.fs.d < b.fs.d || (a.fs.d = b.fs.d && a.id < b.id)
@@ -329,7 +342,7 @@ let rec ed_go_mde now n best =
    node caching the minimum fit time of its subtree in [fs.vt_agg]. *)
 
 let vt_cmp a b =
-  let c = Float.compare a.fs.vt b.fs.vt in
+  let c = Int.compare a.fs.vt b.fs.vt in
   if c <> 0 then c else Int.compare a.id b.id
 
 let vt_height n = if n == nil then 0 else n.vt_h
@@ -465,7 +478,7 @@ type t = {
   link_rate : float;
   vt_policy : vt_policy;
   eligible_policy : eligible_policy;
-  ulimit_slack : float;
+  ulimit_slack : int; (* ticks *)
   mutable next_id : int;
   mutable all_rev : cls list;
   byname : (string, cls) Hashtbl.t; (* earliest class of each name *)
@@ -484,7 +497,10 @@ type t = {
   mutable on_drop : float -> cls -> Pkt.Packet.t -> unit;
 }
 
+let isc_opt = function Some s -> Fp.isc_of_sc s | None -> zero_isc
+
 let make_cls ~id ~name ~parent ~rsc ~fsc ~usc ~qlimit ~qbytes =
+  let risc = isc_opt rsc and fisc = isc_opt fsc and uisc = isc_opt usc in
   {
     id;
     cname = name;
@@ -493,21 +509,24 @@ let make_cls ~id ~name ~parent ~rsc ~fsc ~usc ~qlimit ~qbytes =
     crsc = rsc;
     cfsc = fsc;
     cusc = usc;
+    risc;
+    fisc;
+    uisc;
     queue = Fq.create ?limit_pkts:qlimit ?limit_bytes:qbytes ();
     fs = make_fs ();
     deadline_c =
-      (match rsc with Some s -> Rc.of_service_curve s ~x:0. ~y:0. | None -> zero_rc);
+      (match rsc with Some _ -> Fp.of_isc risc ~x:0 ~y:0 | None -> zero_rc);
     eligible_c =
-      (match rsc with Some s -> Rc.of_service_curve s ~x:0. ~y:0. | None -> zero_rc);
+      (match rsc with Some _ -> Fp.of_isc risc ~x:0 ~y:0 | None -> zero_rc);
     in_ed = false;
     virtual_c =
-      (match fsc with Some s -> Rc.of_service_curve s ~x:0. ~y:0. | None -> zero_rc);
+      (match fsc with Some _ -> Fp.of_isc fisc ~x:0 ~y:0 | None -> zero_rc);
     vtperiod = 0;
     parentperiod = 0;
     nactive = 0;
     in_actc = false;
     ulimit_c =
-      (match usc with Some s -> Rc.of_service_curve s ~x:0. ~y:0. | None -> zero_rc);
+      (match usc with Some _ -> Fp.of_isc uisc ~x:0 ~y:0 | None -> zero_rc);
     nperiods = 0;
     ed_l = nil;
     ed_r = nil;
@@ -541,7 +560,7 @@ let create ?(vt_policy = Vt_mean) ?(eligible_policy = Eligible_paper)
     link_rate;
     vt_policy;
     eligible_policy;
-    ulimit_slack;
+    ulimit_slack = Fp.ticks_of_seconds ulimit_slack;
     next_id = 1;
     all_rev = [ troot ];
     byname;
@@ -563,7 +582,7 @@ let add_class t ~parent ~name ?rsc ?fsc ?usc ?qlimit ?qlimit_bytes () =
     invalid_arg "Hfsc.add_class: parent has a real-time curve (leaf only)";
   if not (Fq.is_empty parent.queue) then
     invalid_arg "Hfsc.add_class: parent has queued packets";
-  if is_leaf_cls parent && parent.fs.total > 0. then
+  if is_leaf_cls parent && parent.fs.total > 0 then
     invalid_arg "Hfsc.add_class: parent already served packets as a leaf";
   let fsc = match fsc with Some _ as f -> f | None -> rsc in
   if rsc = None && fsc = None then
@@ -619,18 +638,21 @@ let set_curves t cl ?rsc ?fsc ?usc () =
   (match rsc with
   | Some s ->
       cl.crsc <- Some s;
-      cl.deadline_c <- Rc.of_service_curve s ~x:0. ~y:cl.fs.cumul;
-      cl.eligible_c <- Rc.of_service_curve s ~x:0. ~y:cl.fs.cumul
+      cl.risc <- Fp.isc_of_sc s;
+      cl.deadline_c <- Fp.of_isc cl.risc ~x:0 ~y:cl.fs.cumul;
+      cl.eligible_c <- Fp.of_isc cl.risc ~x:0 ~y:cl.fs.cumul
   | None -> ());
   (match fsc with
   | Some s ->
       cl.cfsc <- Some s;
-      cl.virtual_c <- Rc.of_service_curve s ~x:0. ~y:cl.fs.total
+      cl.fisc <- Fp.isc_of_sc s;
+      cl.virtual_c <- Fp.of_isc cl.fisc ~x:0 ~y:cl.fs.total
   | None -> ());
   (match usc with
   | Some s ->
       cl.cusc <- Some s;
-      cl.ulimit_c <- Rc.of_service_curve s ~x:0. ~y:cl.fs.total
+      cl.uisc <- Fp.isc_of_sc s;
+      cl.ulimit_c <- Fp.of_isc cl.uisc ~x:0 ~y:cl.fs.total
   | None -> ());
   if cl.crsc = None && cl.cfsc = None then
     invalid_arg "Hfsc.set_curves: a class needs an rsc or an fsc"
@@ -675,18 +697,22 @@ let set_drop_hook t f = t.on_drop <- f
 
 (* Everything an Engine command may mutate on a class, so a failed
    multi-step command can roll back to a bit-identical configuration.
-   Runtime-curve values ([Rc.t]) are immutable records, so capturing
-   the references captures the state. Scheduling state (fs, trees) is
-   only mutated by the datapath, never by configuration commands, and
-   is deliberately not part of the snapshot. *)
+   Runtime-curve values ([Fp.t]) and shifted curves ([Fp.isc]) are
+   immutable records, so capturing the references captures the state.
+   Scheduling state (fs, trees) is only mutated by the datapath, never
+   by configuration commands, and is deliberately not part of the
+   snapshot. *)
 type class_snapshot = {
   s_rsc : Sc.t option;
   s_fsc : Sc.t option;
   s_usc : Sc.t option;
-  s_deadline : Rc.t;
-  s_eligible : Rc.t;
-  s_virtual : Rc.t;
-  s_ulimit : Rc.t;
+  s_risc : Fp.isc;
+  s_fisc : Fp.isc;
+  s_uisc : Fp.isc;
+  s_deadline : Fp.t;
+  s_eligible : Fp.t;
+  s_virtual : Fp.t;
+  s_ulimit : Fp.t;
   s_qlim_pkts : int;
   s_qlim_bytes : int;
 }
@@ -696,6 +722,9 @@ let snapshot_class cl =
     s_rsc = cl.crsc;
     s_fsc = cl.cfsc;
     s_usc = cl.cusc;
+    s_risc = cl.risc;
+    s_fisc = cl.fisc;
+    s_uisc = cl.uisc;
     s_deadline = cl.deadline_c;
     s_eligible = cl.eligible_c;
     s_virtual = cl.virtual_c;
@@ -708,31 +737,42 @@ let restore_class cl s =
   cl.crsc <- s.s_rsc;
   cl.cfsc <- s.s_fsc;
   cl.cusc <- s.s_usc;
+  cl.risc <- s.s_risc;
+  cl.fisc <- s.s_fisc;
+  cl.uisc <- s.s_uisc;
   cl.deadline_c <- s.s_deadline;
   cl.eligible_c <- s.s_eligible;
   cl.virtual_c <- s.s_virtual;
   cl.ulimit_c <- s.s_ulimit;
   Fq.set_limits ~pkts:s.s_qlim_pkts ~bytes:s.s_qlim_bytes cl.queue
 
-(* Same-unit copy of {!Rc.inverse}, and a branch-only float max. Dune's
-   dev profile compiles interfaces with -opaque, which turns off
-   cross-module inlining in classic (non-flambda) ocamlopt — so a call
-   to Rc.inverse or Float.max on the per-packet path would box its
-   float argument and result on every update. Rc.t is a *private*
-   (readable) record precisely so hot callers can keep the arithmetic
-   in-unit and unboxed. Keep in sync with Runtime_curve.inverse. *)
-let rc_inverse (c : Rc.t) v =
-  if v < c.y then c.x
-  else if v <= c.y +. c.dy then
-    if c.dy = 0. then c.x +. c.dx else c.x +. ((v -. c.y) /. c.m1)
-  else if c.m2 > 0. then c.x +. c.dx +. ((v -. c.y -. c.dy) /. c.m2)
-  else if v = c.y +. c.dy then c.x +. c.dx
-  else infinity
+(* Same-unit copies of the Curve.Fixed_point hot functions. Dune's dev
+   profile compiles interfaces with -opaque, which turns off
+   cross-module inlining in classic (non-flambda) ocamlopt — so the
+   curve inversions a dequeue performs would each pay a call. Integer
+   arguments never box, but the call itself is the cost being shaved
+   here; keep these in sync with Curve.Fixed_point (the scheduler
+   differential suite pins both sides to the reference, which calls
+   the module). Only the inverse direction is copied: the forward
+   evaluation and min-updates run on the activation path and call the
+   module. *)
+let ism_shift = Fp.ism_shift
+let ism_mask = (1 lsl ism_shift) - 1
 
-(* Equal to Float.max on the non-NaN, nonzero-sign-irrelevant values
-   the scheduler feeds it (fit times and deadlines, possibly infinite,
-   never NaN). *)
-let fmax (a : float) (b : float) = if a > b then a else b
+let[@inline always] seg_y2x y ism =
+  if ism >= ht_infinity then ht_infinity
+  else ((y asr ism_shift) * ism) + (((y land ism_mask) * ism) asr ism_shift)
+
+let[@inline always] rc_inverse (c : Fp.t) v =
+  if v < c.y then c.x
+  else if v <= c.y + c.dy then
+    if c.dy = 0 then c.x + c.dx else c.x + seg_y2x (v - c.y) c.ism1
+  else if c.sm2 > 0 then c.x + c.dx + seg_y2x (v - c.y - c.dy) c.ism2
+  else if v = c.y + c.dy then c.x + c.dx
+  else ht_infinity
+
+let imax (a : int) (b : int) = if a > b then a else b
+let imin (a : int) (b : int) = if a < b then a else b
 
 (* --- eligible-tree bookkeeping ------------------------------------ *)
 
@@ -766,30 +806,30 @@ let actc_remove parent child =
    field load where the persistent version walked a Hashtbl. *)
 let cfmin cl =
   let r = cl.actc_root in
-  if r == nil then 0. else r.fs.vt_agg
+  if r == nil then 0 else r.fs.vt_agg
 
 (* --- real-time criterion state (Section IV-B) --------------------- *)
 
 (* Update the deadline and eligible curves when leaf [cl] becomes
    active at [now] (eq. (7) and (11)), then compute e and d for the
-   head packet and join the eligible set. [next_len] is in bytes (an
-   int so the call itself never boxes a float). *)
+   head packet and join the eligible set. [now] is in ticks;
+   [next_len] in bytes. *)
 let init_ed t cl now next_len =
   match cl.crsc with
   | None -> ()
-  | Some s ->
-      cl.deadline_c <- Rc.min_with cl.deadline_c s ~x:now ~y:cl.fs.cumul;
+  | Some _ ->
+      let s = cl.risc in
+      cl.deadline_c <- Fp.min_with cl.deadline_c s ~x:now ~y:cl.fs.cumul;
       (match t.eligible_policy with
       | Eligible_deadline -> cl.eligible_c <- cl.deadline_c
       | Eligible_paper ->
-          let ec = Rc.min_with cl.eligible_c s ~x:now ~y:cl.fs.cumul in
-          cl.eligible_c <- (if Sc.is_concave s then ec else Rc.flatten ec));
+          let ec = Fp.min_with cl.eligible_c s ~x:now ~y:cl.fs.cumul in
+          cl.eligible_c <- (if Fp.isc_concave s then ec else Fp.flatten ec));
       cl.fs.e <- rc_inverse cl.eligible_c cl.fs.cumul;
-      cl.fs.d <-
-        rc_inverse cl.deadline_c (cl.fs.cumul +. float_of_int next_len);
+      cl.fs.d <- rc_inverse cl.deadline_c (cl.fs.cumul + next_len);
       if debug_on () then
         Log.debug (fun m ->
-            m "activate %s at %.6f: e=%.6f d=%.6f cumul=%.0f" cl.cname now
+            m "activate %s at tick %d: e=%d d=%d cumul=%d" cl.cname now
               cl.fs.e cl.fs.d cl.fs.cumul);
       ed_insert t cl
 
@@ -797,7 +837,7 @@ let init_ed t cl now next_len =
 let update_ed t cl next_len =
   ed_remove t cl;
   cl.fs.e <- rc_inverse cl.eligible_c cl.fs.cumul;
-  cl.fs.d <- rc_inverse cl.deadline_c (cl.fs.cumul +. float_of_int next_len);
+  cl.fs.d <- rc_inverse cl.deadline_c (cl.fs.cumul + next_len);
   ed_insert t cl
 
 (* Recompute d only, after link-sharing service: cumul is untouched —
@@ -805,7 +845,7 @@ let update_ed t cl next_len =
    so the deadline must be refreshed for its length. *)
 let update_d t cl next_len =
   ed_remove t cl;
-  cl.fs.d <- rc_inverse cl.deadline_c (cl.fs.cumul +. float_of_int next_len);
+  cl.fs.d <- rc_inverse cl.deadline_c (cl.fs.cumul + next_len);
   ed_insert t cl
 
 (* --- link-sharing criterion state (Section IV-C) ------------------ *)
@@ -813,7 +853,7 @@ let update_d t cl next_len =
 (* Recompute [cl.fs.f] from its own upper limit and its children's fit
    times, repositioning it in [parent]'s tree if the value changed. *)
 let refresh_f parent cl =
-  let f = fmax cl.fs.myf (cfmin cl) in
+  let f = imax cl.fs.myf (cfmin cl) in
   if f <> cl.fs.f then
     if cl.in_actc then begin
       actc_remove parent cl;
@@ -860,10 +900,10 @@ let rec init_vf t cl go_active now =
           let vt0 =
             match t.vt_policy with
             | Vt_mean ->
-                if parent.fs.cvtmin <> 0. then (parent.fs.cvtmin +. vmax) /. 2.
+                if parent.fs.cvtmin <> 0 then (parent.fs.cvtmin + vmax) / 2
                 else vmax
             | Vt_min ->
-                if parent.fs.cvtmin <> 0. then parent.fs.cvtmin else vmax
+                if parent.fs.cvtmin <> 0 then parent.fs.cvtmin else vmax
             | Vt_max -> vmax
           in
           (* joining an ongoing period never decreases vt; a fresh
@@ -876,21 +916,22 @@ let rec init_vf t cl go_active now =
              at the highest vt any sibling reached before going
              passive, so virtual time never flows backwards. *)
           cl.fs.vt <- parent.fs.cvtoff;
-          parent.fs.cvtmin <- 0.
+          parent.fs.cvtmin <- 0
         end;
         (match cl.cfsc with
-        | Some s ->
-            cl.virtual_c <- Rc.min_with cl.virtual_c s ~x:cl.fs.vt ~y:cl.fs.total
+        | Some _ ->
+            cl.virtual_c <-
+              Fp.min_with cl.virtual_c cl.fisc ~x:cl.fs.vt ~y:cl.fs.total
         | None -> ());
-        cl.fs.vtadj <- 0.;
+        cl.fs.vtadj <- 0;
         cl.vtperiod <- cl.vtperiod + 1;
         cl.parentperiod <-
           (parent.vtperiod + if parent.nactive = 0 then 1 else 0);
-        cl.fs.f <- 0.;
+        cl.fs.f <- 0;
         (match cl.cusc with
-        | Some s ->
-            cl.ulimit_c <- Rc.min_with cl.ulimit_c s ~x:now ~y:cl.fs.total;
-            cl.fs.myfadj <- 0.;
+        | Some _ ->
+            cl.ulimit_c <- Fp.min_with cl.ulimit_c cl.uisc ~x:now ~y:cl.fs.total;
+            cl.fs.myfadj <- 0;
             cl.fs.myf <- rc_inverse cl.ulimit_c cl.fs.total
         | None -> ());
         actc_insert parent cl
@@ -902,10 +943,9 @@ let rec init_vf t cl go_active now =
    to every class's total, advancing virtual times ([vt = V^-1(total)],
    eq. (12)) — including for classes that are just going passive, so a
    reactivation later resumes from the vt actually earned — and
-   detaching classes whose subtree went idle. [len] stays an int across
-   the recursion so no float is boxed per level. *)
+   detaching classes whose subtree went idle. [now] is in ticks. *)
 let rec update_vf t cl go_passive len now =
-  cl.fs.total <- cl.fs.total +. float_of_int len;
+  cl.fs.total <- cl.fs.total + len;
   match cl.cparent with
   | None ->
       (* root-side mirror of the nactive bookkeeping above *)
@@ -922,11 +962,11 @@ let rec update_vf t cl go_passive len now =
               else false
             in
             actc_remove parent cl;
-            cl.fs.vt <- rc_inverse cl.virtual_c cl.fs.total +. cl.fs.vtadj;
+            cl.fs.vt <- rc_inverse cl.virtual_c cl.fs.total + cl.fs.vtadj;
             (* a class held below the sibling floor (skipped for
                non-fit) is translated up and keeps the credit *)
             if cl.fs.vt < parent.fs.cvtmin then begin
-              cl.fs.vtadj <- cl.fs.vtadj +. (parent.fs.cvtmin -. cl.fs.vt);
+              cl.fs.vtadj <- cl.fs.vtadj + (parent.fs.cvtmin - cl.fs.vt);
               cl.fs.vt <- parent.fs.cvtmin
             end;
             if passive_now then begin
@@ -938,17 +978,16 @@ let rec update_vf t cl go_passive len now =
             else begin
               (match cl.cusc with
               | Some _ ->
-                  cl.fs.myf <-
-                    rc_inverse cl.ulimit_c cl.fs.total +. cl.fs.myfadj;
+                  cl.fs.myf <- rc_inverse cl.ulimit_c cl.fs.total + cl.fs.myfadj;
                   (* a rate-capped class that under-used its allowance
                      forfeits it beyond [ulimit_slack] — no unbounded
                      catch-up bursts *)
-                  if cl.fs.myf < now -. t.ulimit_slack then begin
-                    cl.fs.myfadj <- cl.fs.myfadj +. (now -. cl.fs.myf);
+                  if cl.fs.myf < now - t.ulimit_slack then begin
+                    cl.fs.myfadj <- cl.fs.myfadj + (now - cl.fs.myf);
                     cl.fs.myf <- now
                   end
               | None -> ());
-              cl.fs.f <- fmax cl.fs.myf (cfmin cl);
+              cl.fs.f <- imax cl.fs.myf (cfmin cl);
               actc_insert parent cl
             end;
             passive_now
@@ -1026,9 +1065,12 @@ let enqueue t ~now cl pkt =
     t.bl_pkts <- t.bl_pkts + 1;
     t.bl_bytes <- t.bl_bytes + size;
     if was_empty then begin
-      init_ed t cl now size;
+      (* ticks are needed only on the activation path; the backlogged
+         fast path stays conversion-free *)
+      let nowt = Fp.ticks_of_seconds now in
+      init_ed t cl nowt size;
       match cl.cfsc with
-      | Some _ -> init_vf t cl true now
+      | Some _ -> init_vf t cl true nowt
       | None -> if cl.crsc = None then assert false
     end;
     true
@@ -1047,24 +1089,34 @@ let rec descend_ls c now =
     end
   end
 
-let dequeue t ~now =
-  if t.bl_pkts = 0 then None
+(* Out-parameters of [dequeue_core]: what was served, valid when the
+   returned leaf is not [nil]. Refs at the module top so the core and
+   both public entry points (single and batched) stay allocation-free;
+   same idiom as [ed_removed_min]. *)
+let dummy_pkt = Pkt.Packet.make ~flow:0 ~size:1 ~seq:0 ~arrival:0.
+let deq_pkt = ref dummy_pkt
+let deq_crit = ref Realtime
+
+(* One dequeue decision at tick [now]: returns the served leaf ([nil]
+   for "nothing servable") and leaves the packet and criterion in the
+   out-params. Both [dequeue] and [dequeue_batch] are thin wrappers, so
+   a batch is bit-identical to the equivalent sequence of singles by
+   construction. *)
+let dequeue_core t now =
+  if t.bl_pkts = 0 then nil
   else begin
     let rt = ed_go_mde now t.eligible nil in
-    (* no intermediate (leaf, crit) tuple: classic-mode ocamlopt would
-       allocate it on every dequeue *)
     let leaf = if rt != nil then rt else descend_ls t.troot now in
     let crit = if rt != nil then Realtime else Linkshare in
     if leaf == nil then begin
       if debug_on () then
-        Log.debug (fun m -> m "dequeue at %.6f: backlogged but rate-capped" now);
-      None
+        Log.debug (fun m -> m "dequeue at tick %d: backlogged but rate-capped" now);
+      nil
     end
     else begin
       if debug_on () then
         Log.debug (fun m ->
-            m "dequeue at %.6f: %s via %s (vt=%.6f e=%.6f d=%.6f)" now
-              leaf.cname
+            m "dequeue at tick %d: %s via %s (vt=%d e=%d d=%d)" now leaf.cname
               (match crit with Realtime -> "realtime" | Linkshare -> "linkshare")
               leaf.fs.vt leaf.fs.e leaf.fs.d);
       let pkt =
@@ -1074,8 +1126,7 @@ let dequeue t ~now =
       t.bl_bytes <- t.bl_bytes - pkt.Pkt.Packet.size;
       update_vf t leaf (Fq.is_empty leaf.queue) pkt.Pkt.Packet.size now;
       (match crit with
-      | Realtime ->
-          leaf.fs.cumul <- leaf.fs.cumul +. float_of_int pkt.Pkt.Packet.size
+      | Realtime -> leaf.fs.cumul <- leaf.fs.cumul + pkt.Pkt.Packet.size
       | Linkshare -> ());
       (match Fq.peek leaf.queue with
       | Some next -> (
@@ -1086,27 +1137,111 @@ let dequeue t ~now =
               | Linkshare -> update_d t leaf next.Pkt.Packet.size)
           | None -> ())
       | None -> ed_remove t leaf);
-      Some (pkt, leaf, crit)
+      deq_pkt := pkt;
+      deq_crit := crit;
+      leaf
     end
   end
+
+let dequeue t ~now =
+  let leaf = dequeue_core t (Fp.ticks_of_seconds now) in
+  if leaf == nil then None else Some (!deq_pkt, leaf, !deq_crit)
+
+(* --- batched entry points ------------------------------------------ *)
+
+(* A NIC-ring-style result buffer: parallel arrays filled in place, so
+   a drained packet costs zero words of allocation (the single-packet
+   [dequeue] pays 6 for its [Some (pkt, cls, crit)]). *)
+type batch = {
+  bpkts : Pkt.Packet.t array;
+  bcls : cls array;
+  bcrit : criterion array;
+  mutable bcount : int;
+}
+
+let batch ?(capacity = 64) () =
+  if capacity <= 0 then invalid_arg "Hfsc.batch: capacity must be positive";
+  {
+    bpkts = Array.make capacity dummy_pkt;
+    bcls = Array.make capacity nil;
+    bcrit = Array.make capacity Realtime;
+    bcount = 0;
+  }
+
+let batch_capacity b = Array.length b.bpkts
+let batch_count b = b.bcount
+
+let[@inline] batch_check b i =
+  if i < 0 || i >= b.bcount then invalid_arg "Hfsc.batch: index out of bounds"
+
+let batch_pkt b i =
+  batch_check b i;
+  b.bpkts.(i)
+
+let batch_cls b i =
+  batch_check b i;
+  b.bcls.(i)
+
+let batch_crit b i =
+  batch_check b i;
+  b.bcrit.(i)
+
+let rec deq_batch_loop t now b i cap =
+  if i >= cap then i
+  else begin
+    let leaf = dequeue_core t now in
+    if leaf == nil then i
+    else begin
+      (* [i < cap = Array.length b.bpkts] and all three arrays share
+         that length by construction *)
+      Array.unsafe_set b.bpkts i !deq_pkt;
+      Array.unsafe_set b.bcls i leaf;
+      Array.unsafe_set b.bcrit i !deq_crit;
+      deq_batch_loop t now b (i + 1) cap
+    end
+  end
+
+let dequeue_batch t ~now b =
+  let n = deq_batch_loop t (Fp.ticks_of_seconds now) b 0 (Array.length b.bpkts) in
+  b.bcount <- n;
+  n
+
+let rec enq_batch_loop t now cls pkts i n acc =
+  if i >= n then acc
+  else
+    (* [i < n] and both arrays were length-checked against [n] *)
+    let ok =
+      enqueue t ~now (Array.unsafe_get cls i) (Array.unsafe_get pkts i)
+    in
+    enq_batch_loop t now cls pkts (i + 1) n (if ok then acc + 1 else acc)
+
+let enqueue_batch t ~now cls pkts =
+  let n = Array.length pkts in
+  if Array.length cls <> n then
+    invalid_arg "Hfsc.enqueue_batch: class and packet arrays differ in length";
+  enq_batch_loop t now cls pkts 0 n 0
 
 let next_ready_time t ~now =
   if t.bl_pkts = 0 then None
   else begin
+    let nowt = Fp.ticks_of_seconds now in
     let ls_root = t.troot.actc_root in
-    let rt_now = ed_go_mde now t.eligible nil != nil in
-    let ls_now = ls_root != nil && ls_root.fs.vt_agg <= now in
+    let rt_now = ed_go_mde nowt t.eligible nil != nil in
+    let ls_now = ls_root != nil && ls_root.fs.vt_agg <= nowt in
     if rt_now || ls_now then Some now
     else begin
-      let cand = infinity in
+      let cand = ht_infinity in
       let cand =
         let m = ed_min_node t.eligible in
-        if m == nil then cand else Float.min cand m.fs.e
+        if m == nil then cand else imin cand m.fs.e
       in
       let cand =
-        if ls_root == nil then cand else Float.min cand ls_root.fs.vt_agg
+        if ls_root == nil then cand else imin cand ls_root.fs.vt_agg
       in
-      Some (fmax now cand)
+      (* a tick value converts to an exact float, so a caller polling at
+         the returned instant converts back to the same tick and the
+         candidate really is servable then *)
+      Some (Float.max now (Fp.seconds_of_ticks cand))
     end
   end
 
@@ -1124,33 +1259,46 @@ let classes t = List.rev t.all_rev
 let find_class t n = Hashtbl.find_opt t.byname n
 let queue_length c = Fq.length c.queue
 let queue_bytes c = Fq.bytes c.queue
-let total_bytes c = c.fs.total
-let realtime_bytes c = c.fs.cumul
+
+(* Service counters are integers (bytes) internally; the float views
+   below are exact — every reachable value sits far below 2^53. *)
+let total_bytes c = float_of_int c.fs.total
+let realtime_bytes c = float_of_int c.fs.cumul
 let drops c = Fq.drops c.queue
 let periods c = c.nperiods
-let virtual_time c = c.fs.vt
+let virtual_time c = Fp.seconds_of_ticks c.fs.vt
 let rsc c = c.crsc
 let fsc c = c.cfsc
 let usc c = c.cusc
 
 let debug_state c =
   Format.asprintf
-    "%s vt=%.6f vtadj=%.6f total=%.0f V=%a e=%.6f d=%.6f \
-     cvtmin=%.6f cvtoff=%.6f per=%d pper=%d nact=%d act=%b"
-    c.cname c.fs.vt c.fs.vtadj c.fs.total Rc.pp c.virtual_c c.fs.e c.fs.d
+    "%s vt=%d vtadj=%d total=%d V=%a e=%d d=%d cvtmin=%d cvtoff=%d per=%d \
+     pper=%d nact=%d act=%b"
+    c.cname c.fs.vt c.fs.vtadj c.fs.total Fp.pp c.virtual_c c.fs.e c.fs.d
     c.fs.cvtmin c.fs.cvtoff c.vtperiod c.parentperiod c.nactive c.in_actc
 
 (* --- invariant auditor --------------------------------------------- *)
 
+(* Tolerance for the eligible-before-deadline check: the eligible and
+   deadline values of a convex-rsc leaf come from independently
+   quantized curves (the eligible one flattened), so they can disagree
+   by a few ticks where the exact values would tie; one microsecond of
+   slack mirrors the float auditor's 1e-6. *)
+let e_d_slack = Fp.ticks_of_seconds 1e-6 + 1
+
 (* Validates every structural invariant the zero-allocation datapath
    depends on. Called between operations (never mid-update), so every
-   cached aggregate and membership flag must be exact. Float aggregates
-   are compared with [=]: fixup only ever copies one of its inputs, so
-   a correct cache is bit-identical, not merely close. *)
+   cached aggregate and membership flag must be exact: integer
+   aggregates are compared with [=] — fixup only ever copies one of
+   its inputs, so a correct cache is identical, not merely close.
+   Negative time or service values can only come from arithmetic
+   overflow (all inputs are nonnegative), so they are flagged the way
+   the float auditor flagged NaNs. *)
 let audit t =
   let errs = ref [] in
   let err fmt = Format.kasprintf (fun s -> errs := s :: !errs) fmt in
-  let nan x = x <> x in
+  let neg x = x < 0 in
   (* eligible/deadline tree *)
   let ed_members = Hashtbl.create 16 in
   let rec chk_ed n =
@@ -1186,10 +1334,10 @@ let audit t =
     let leaf = is_leaf_cls c in
     let fsn = c.fs in
     if
-      nan fsn.e || nan fsn.d || nan fsn.vt || nan fsn.f || nan fsn.cumul
-      || nan fsn.total || nan fsn.vtadj || nan fsn.cvtmin || nan fsn.cvtoff
-      || nan fsn.myf || nan fsn.myfadj
-    then err "class %s: NaN in scheduling state" c.cname;
+      neg fsn.e || neg fsn.d || neg fsn.vt || neg fsn.f || neg fsn.cumul
+      || neg fsn.total || neg fsn.vtadj || neg fsn.cvtmin || neg fsn.cvtoff
+      || neg fsn.myf || neg fsn.myfadj
+    then err "class %s: negative (overflowed?) scheduling state" c.cname;
     if leaf && c != t.troot then begin
       sum_pkts := !sum_pkts + Fq.length c.queue;
       sum_bytes := !sum_bytes + Fq.bytes c.queue;
@@ -1202,9 +1350,8 @@ let audit t =
         err "ED: backlogged rt leaf %s missing from the eligible set" c.cname;
       if c.in_ed && not (Hashtbl.mem ed_members c.id) then
         err "ED: %s flagged in_ed but not reachable from the root" c.cname;
-      if c.in_ed && fsn.e > fsn.d +. 1e-6 then
-        err "ED: %s eligible after deadline (e=%.9f > d=%.9f)" c.cname fsn.e
-          fsn.d;
+      if c.in_ed && fsn.e > fsn.d + e_d_slack then
+        err "ED: %s eligible after deadline (e=%d > d=%d)" c.cname fsn.e fsn.d;
       if c.nactive <> (if backlogged then 1 else 0) then
         err "class %s: leaf nactive=%d with %s queue" c.cname c.nactive
           (if backlogged then "a nonempty" else "an empty")
@@ -1224,16 +1371,16 @@ let audit t =
     if c != t.troot && c.in_actc <> (c.nactive > 0) then
       err "class %s: in_actc=%b with nactive=%d" c.cname c.in_actc c.nactive;
     if c == t.troot && c.in_actc then err "root flagged in_actc";
-    if c.in_actc && fsn.f <> fmax fsn.myf (cfmin c) then
-      err "class %s: cached fit %.9f, expected max(myf=%.9f, cfmin=%.9f)"
-        c.cname fsn.f fsn.myf (cfmin c);
+    if c.in_actc && fsn.f <> imax fsn.myf (cfmin c) then
+      err "class %s: cached fit %d, expected max(myf=%d, cfmin=%d)" c.cname
+        fsn.f fsn.myf (cfmin c);
     if fsn.total < fsn.cumul then
-      err "class %s: total=%.0f below realtime cumul=%.0f" c.cname fsn.total
+      err "class %s: total=%d below realtime cumul=%d" c.cname fsn.total
         fsn.cumul;
     (* this class's active-children tree *)
     let vt_members = Hashtbl.create 8 in
     let rec chk_vt n =
-      if n == nil then (0, infinity)
+      if n == nil then (0, ht_infinity)
       else begin
         if Hashtbl.mem vt_members n.id then
           err "VT(%s): class %s appears twice" c.cname n.cname
@@ -1254,7 +1401,7 @@ let audit t =
         let m = if ml < m then ml else m in
         let m = if mr < m then mr else m in
         if n.fs.vt_agg <> m then
-          err "VT(%s): cached min-fit at %s is %.9f, expected %.9f" c.cname
+          err "VT(%s): cached min-fit at %s is %d, expected %d" c.cname
             n.cname n.fs.vt_agg m;
         (h, m)
       end
@@ -1314,8 +1461,8 @@ let pp_hierarchy ppf t =
     (match c.cusc with
     | Some s -> Format.fprintf ppf " usc=%a" Sc.pp s
     | None -> ());
-    Format.fprintf ppf " total=%.0fB rt=%.0fB q=%d vt=%.6f@\n" c.fs.total
-      c.fs.cumul (Fq.length c.queue) c.fs.vt;
+    Format.fprintf ppf " total=%dB rt=%dB q=%d vt=%.6f@\n" c.fs.total
+      c.fs.cumul (Fq.length c.queue) (Fp.seconds_of_ticks c.fs.vt);
     List.iter (go (indent ^ "  ")) (children c)
   in
   go "" t.troot

@@ -1,7 +1,7 @@
 (* Frozen reference implementation of the H-FSC scheduler over the
    *persistent* augmented AVL trees (Ds.Ed_tree / Ds.Vt_tree) and a
    per-scheduler Hashtbl of active-children trees. This is the
-   pre-intrusive implementation, kept verbatim so that
+   pre-intrusive implementation, kept so that
 
    - the differential tests (test/test_hfsc_diff.ml) can drive it in
      lockstep with the production Hfsc and assert identical scheduling
@@ -9,10 +9,18 @@
    - the benchmark records the persistent-tree baseline in
      BENCH_hfsc.json next to the intrusive numbers, PR after PR.
 
+   All time/service arithmetic goes through Curve.Fixed_point — the
+   same shifted-integer functions the production scheduler uses (it
+   carries in-unit copies of the hot ones) — which is what makes the
+   two implementations bit-identical and keeps this module the oracle
+   for the integer fast path. The persistent tree functors take float
+   keys; [float_of_int] is order-exact here because every reachable
+   tick/fit value is either far below 2^53 or exactly [ht_infinity].
+
    Do not optimize this module; it is the semantic oracle. *)
 
 module Sc = Curve.Service_curve
-module Rc = Curve.Runtime_curve
+module Fp = Curve.Fixed_point
 module Fq = Ds.Fifo_queue
 
 (* Debug tracing; enable with Logs.Src.set_level on the "hfsc.ref"
@@ -27,6 +35,8 @@ type vt_policy = Vt_mean | Vt_min | Vt_max
 type eligible_policy = Eligible_paper | Eligible_deadline
 type drop_policy = Tail_drop | Drop_longest
 
+let ht_infinity = Fp.ht_infinity
+
 (* Per-class state. Field names follow the paper and the kernel
    implementations derived from it: [cumul] is the service received
    under the real-time criterion (the c_i of eq. (7)); [total] the
@@ -36,7 +46,8 @@ type drop_policy = Tail_drop | Drop_longest
    current backlog period); [cvtoff] the high-water vt of children that
    went passive, from which the next backlog period restarts — virtual
    times within a parent only ever move forward, which is what makes
-   reactivation punishment-free; [myf]/[f] the upper-limit fit times. *)
+   reactivation punishment-free; [myf]/[f] the upper-limit fit times.
+   Times are in 2^-30-second ticks, service in bytes (integers). *)
 type cls = {
   id : int;
   cname : string;
@@ -47,28 +58,28 @@ type cls = {
   mutable cusc : Sc.t option;
   queue : Fq.t;
   (* real-time state (leaves with an rsc) *)
-  mutable deadline_c : Rc.t;
-  mutable eligible_c : Rc.t;
-  mutable e : float;
-  mutable d : float;
-  mutable cumul : float;
+  mutable deadline_c : Fp.t;
+  mutable eligible_c : Fp.t;
+  mutable e : int;
+  mutable d : int;
+  mutable cumul : int;
   mutable in_ed : bool;
   (* link-sharing state *)
-  mutable virtual_c : Rc.t;
-  mutable vt : float;
-  mutable total : float;
-  mutable vtadj : float;
-  mutable cvtmin : float;
-  mutable cvtoff : float;
+  mutable virtual_c : Fp.t;
+  mutable vt : int;
+  mutable total : int;
+  mutable vtadj : int;
+  mutable cvtmin : int;
+  mutable cvtoff : int;
   mutable vtperiod : int;
   mutable parentperiod : int;
   mutable nactive : int;
   mutable in_actc : bool;
   (* upper-limit state *)
-  mutable ulimit_c : Rc.t;
-  mutable myf : float;
-  mutable myfadj : float;
-  mutable f : float;
+  mutable ulimit_c : Fp.t;
+  mutable myf : int;
+  mutable myfadj : int;
+  mutable f : int;
   (* statistics *)
   mutable nperiods : int;
 }
@@ -77,23 +88,23 @@ module EdT = Ds.Ed_tree.Make (struct
   type t = cls
 
   let id c = c.id
-  let eligible c = c.e
-  let deadline c = c.d
+  let eligible c = float_of_int c.e
+  let deadline c = float_of_int c.d
 end)
 
 module VtT = Ds.Vt_tree.Make (struct
   type t = cls
 
   let id c = c.id
-  let vt c = c.vt
-  let fit c = c.f
+  let vt c = float_of_int c.vt
+  let fit c = float_of_int c.f
 end)
 
 type t = {
   link_rate : float;
   vt_policy : vt_policy;
   eligible_policy : eligible_policy;
-  ulimit_slack : float;
+  ulimit_slack : int; (* ticks *)
   mutable next_id : int;
   mutable all_rev : cls list;
   troot : cls;
@@ -107,7 +118,8 @@ type t = {
   mutable on_drop : float -> cls -> Pkt.Packet.t -> unit;
 }
 
-let zero_rc = Rc.of_service_curve Sc.zero ~x:0. ~y:0.
+let zero_rc = Fp.of_isc (Fp.isc_of_sc Sc.zero) ~x:0 ~y:0
+let rc_of sc ~y = Fp.of_isc (Fp.isc_of_sc sc) ~x:0 ~y
 
 let make_cls ~id ~name ~parent ~rsc ~fsc ~usc ~qlimit ~qbytes =
   {
@@ -119,30 +131,26 @@ let make_cls ~id ~name ~parent ~rsc ~fsc ~usc ~qlimit ~qbytes =
     cfsc = fsc;
     cusc = usc;
     queue = Fq.create ?limit_pkts:qlimit ?limit_bytes:qbytes ();
-    deadline_c =
-      (match rsc with Some s -> Rc.of_service_curve s ~x:0. ~y:0. | None -> zero_rc);
-    eligible_c =
-      (match rsc with Some s -> Rc.of_service_curve s ~x:0. ~y:0. | None -> zero_rc);
-    e = 0.;
-    d = 0.;
-    cumul = 0.;
+    deadline_c = (match rsc with Some s -> rc_of s ~y:0 | None -> zero_rc);
+    eligible_c = (match rsc with Some s -> rc_of s ~y:0 | None -> zero_rc);
+    e = 0;
+    d = 0;
+    cumul = 0;
     in_ed = false;
-    virtual_c =
-      (match fsc with Some s -> Rc.of_service_curve s ~x:0. ~y:0. | None -> zero_rc);
-    vt = 0.;
-    total = 0.;
-    vtadj = 0.;
-    cvtmin = 0.;
-    cvtoff = 0.;
+    virtual_c = (match fsc with Some s -> rc_of s ~y:0 | None -> zero_rc);
+    vt = 0;
+    total = 0;
+    vtadj = 0;
+    cvtmin = 0;
+    cvtoff = 0;
     vtperiod = 0;
     parentperiod = 0;
     nactive = 0;
     in_actc = false;
-    ulimit_c =
-      (match usc with Some s -> Rc.of_service_curve s ~x:0. ~y:0. | None -> zero_rc);
-    myf = 0.;
-    myfadj = 0.;
-    f = 0.;
+    ulimit_c = (match usc with Some s -> rc_of s ~y:0 | None -> zero_rc);
+    myf = 0;
+    myfadj = 0;
+    f = 0;
     nperiods = 0;
   }
 
@@ -164,7 +172,7 @@ let create ?(vt_policy = Vt_mean) ?(eligible_policy = Eligible_paper)
     link_rate;
     vt_policy;
     eligible_policy;
-    ulimit_slack;
+    ulimit_slack = Fp.ticks_of_seconds ulimit_slack;
     next_id = 1;
     all_rev = [ troot ];
     troot;
@@ -185,7 +193,7 @@ let add_class t ~parent ~name ?rsc ?fsc ?usc ?qlimit ?qlimit_bytes () =
     invalid_arg "Hfsc.add_class: parent has a real-time curve (leaf only)";
   if not (Fq.is_empty parent.queue) then
     invalid_arg "Hfsc.add_class: parent has queued packets";
-  if parent.cchildren = [] && parent.total > 0. then
+  if parent.cchildren = [] && parent.total > 0 then
     invalid_arg "Hfsc.add_class: parent already served packets as a leaf";
   let fsc = match fsc with Some _ as f -> f | None -> rsc in
   if rsc = None && fsc = None then
@@ -226,18 +234,18 @@ let set_curves t cl ?rsc ?fsc ?usc () =
   (match rsc with
   | Some s ->
       cl.crsc <- Some s;
-      cl.deadline_c <- Rc.of_service_curve s ~x:0. ~y:cl.cumul;
-      cl.eligible_c <- Rc.of_service_curve s ~x:0. ~y:cl.cumul
+      cl.deadline_c <- rc_of s ~y:cl.cumul;
+      cl.eligible_c <- rc_of s ~y:cl.cumul
   | None -> ());
   (match fsc with
   | Some s ->
       cl.cfsc <- Some s;
-      cl.virtual_c <- Rc.of_service_curve s ~x:0. ~y:cl.total
+      cl.virtual_c <- rc_of s ~y:cl.total
   | None -> ());
   (match usc with
   | Some s ->
       cl.cusc <- Some s;
-      cl.ulimit_c <- Rc.of_service_curve s ~x:0. ~y:cl.total
+      cl.ulimit_c <- rc_of s ~y:cl.total
   | None -> ());
   if cl.crsc = None && cl.cfsc = None then
     invalid_arg "Hfsc.set_curves: a class needs an rsc or an fsc"
@@ -284,10 +292,10 @@ type class_snapshot = {
   s_rsc : Sc.t option;
   s_fsc : Sc.t option;
   s_usc : Sc.t option;
-  s_deadline : Rc.t;
-  s_eligible : Rc.t;
-  s_virtual : Rc.t;
-  s_ulimit : Rc.t;
+  s_deadline : Fp.t;
+  s_eligible : Fp.t;
+  s_virtual : Fp.t;
+  s_ulimit : Fp.t;
   s_qlim_pkts : int;
   s_qlim_bytes : int;
 }
@@ -348,38 +356,40 @@ let actc_remove t parent child =
 
 (* Fit-time lower bound over [cl]'s active children: 0 when there are
    none (an interior class with no active child is itself inactive and
-   its f is never consulted). *)
+   its f is never consulted). The tree aggregates float images of the
+   integer fit times; [int_of_float] recovers the integer exactly. *)
 let cfmin t cl =
   let tr = get_actc t cl in
-  if VtT.is_empty tr then 0. else VtT.min_fit tr
+  if VtT.is_empty tr then 0 else int_of_float (VtT.min_fit tr)
 
 (* --- real-time criterion state (Section IV-B) --------------------- *)
 
 (* Update the deadline and eligible curves when leaf [cl] becomes
    active at [now] (eq. (7) and (11)), then compute e and d for the
-   head packet and join the eligible set. *)
+   head packet and join the eligible set. [now] is in ticks. *)
 let init_ed t cl now next_len =
   match cl.crsc with
   | None -> ()
   | Some s ->
-      cl.deadline_c <- Rc.min_with cl.deadline_c s ~x:now ~y:cl.cumul;
+      let isc = Fp.isc_of_sc s in
+      cl.deadline_c <- Fp.min_with cl.deadline_c isc ~x:now ~y:cl.cumul;
       (match t.eligible_policy with
       | Eligible_deadline -> cl.eligible_c <- cl.deadline_c
       | Eligible_paper ->
-          let ec = Rc.min_with cl.eligible_c s ~x:now ~y:cl.cumul in
-          cl.eligible_c <- (if Sc.is_concave s then ec else Rc.flatten ec));
-      cl.e <- Rc.inverse cl.eligible_c cl.cumul;
-      cl.d <- Rc.inverse cl.deadline_c (cl.cumul +. next_len);
+          let ec = Fp.min_with cl.eligible_c isc ~x:now ~y:cl.cumul in
+          cl.eligible_c <- (if Fp.isc_concave isc then ec else Fp.flatten ec));
+      cl.e <- Fp.y2x cl.eligible_c cl.cumul;
+      cl.d <- Fp.y2x cl.deadline_c (cl.cumul + next_len);
       Log.debug (fun m ->
-          m "activate %s at %.6f: e=%.6f d=%.6f cumul=%.0f" cl.cname now cl.e
+          m "activate %s at tick %d: e=%d d=%d cumul=%d" cl.cname now cl.e
             cl.d cl.cumul);
       ed_insert t cl
 
 (* Recompute e and d after real-time service (cumul advanced). *)
 let update_ed t cl next_len =
   ed_remove t cl;
-  cl.e <- Rc.inverse cl.eligible_c cl.cumul;
-  cl.d <- Rc.inverse cl.deadline_c (cl.cumul +. next_len);
+  cl.e <- Fp.y2x cl.eligible_c cl.cumul;
+  cl.d <- Fp.y2x cl.deadline_c (cl.cumul + next_len);
   ed_insert t cl
 
 (* Recompute d only, after link-sharing service: cumul is untouched —
@@ -387,7 +397,7 @@ let update_ed t cl next_len =
    so the deadline must be refreshed for its length. *)
 let update_d t cl next_len =
   ed_remove t cl;
-  cl.d <- Rc.inverse cl.deadline_c (cl.cumul +. next_len);
+  cl.d <- Fp.y2x cl.deadline_c (cl.cumul + next_len);
   ed_insert t cl
 
 (* --- link-sharing criterion state (Section IV-C) ------------------ *)
@@ -395,7 +405,7 @@ let update_d t cl next_len =
 (* Recompute [cl.f] from its own upper limit and its children's fit
    times, repositioning it in [parent]'s tree if the value changed. *)
 let refresh_f t parent cl =
-  let f = Float.max cl.myf (cfmin t cl) in
+  let f = max cl.myf (cfmin t cl) in
   if f <> cl.f then
     if cl.in_actc then begin
       actc_remove t parent cl;
@@ -407,7 +417,8 @@ let refresh_f t parent cl =
 (* Walk from a newly-active leaf towards the root, switching each
    newly-active ancestor's virtual time state into the current parent
    period (eq. (12) with the paper's (vmin+vmax)/2 initialization) and
-   propagating fit-time changes the rest of the way up. *)
+   propagating fit-time changes the rest of the way up. [now] is in
+   ticks. *)
 let init_vf t cl0 now =
   let go_active = ref true in
   let cl = ref cl0 in
@@ -448,10 +459,10 @@ let init_vf t cl0 now =
               let vt0 =
                 match t.vt_policy with
                 | Vt_mean ->
-                    if parent.cvtmin <> 0. then (parent.cvtmin +. vmax) /. 2.
+                    if parent.cvtmin <> 0 then (parent.cvtmin + vmax) / 2
                     else vmax
                 | Vt_min ->
-                    if parent.cvtmin <> 0. then parent.cvtmin else vmax
+                    if parent.cvtmin <> 0 then parent.cvtmin else vmax
                 | Vt_max -> vmax
               in
               (* joining an ongoing period never decreases vt; a fresh
@@ -463,21 +474,23 @@ let init_vf t cl0 now =
                  at the highest vt any sibling reached before going
                  passive, so virtual time never flows backwards. *)
               c.vt <- parent.cvtoff;
-              parent.cvtmin <- 0.);
+              parent.cvtmin <- 0);
           (match c.cfsc with
           | Some s ->
-              c.virtual_c <- Rc.min_with c.virtual_c s ~x:c.vt ~y:c.total
+              c.virtual_c <-
+                Fp.min_with c.virtual_c (Fp.isc_of_sc s) ~x:c.vt ~y:c.total
           | None -> ());
-          c.vtadj <- 0.;
+          c.vtadj <- 0;
           c.vtperiod <- c.vtperiod + 1;
           c.parentperiod <-
             (parent.vtperiod + if parent.nactive = 0 then 1 else 0);
-          c.f <- 0.;
+          c.f <- 0;
           (match c.cusc with
           | Some s ->
-              c.ulimit_c <- Rc.min_with c.ulimit_c s ~x:now ~y:c.total;
-              c.myfadj <- 0.;
-              c.myf <- Rc.inverse c.ulimit_c c.total
+              c.ulimit_c <-
+                Fp.min_with c.ulimit_c (Fp.isc_of_sc s) ~x:now ~y:c.total;
+              c.myfadj <- 0;
+              c.myf <- Fp.y2x c.ulimit_c c.total
           | None -> ());
           actc_insert t parent c
         end;
@@ -489,15 +502,14 @@ let init_vf t cl0 now =
    to every class's total, advancing virtual times ([vt = V^-1(total)],
    eq. (12)) — including for classes that are just going passive, so a
    reactivation later resumes from the vt actually earned — and
-   detaching classes whose subtree went idle. *)
+   detaching classes whose subtree went idle. [now] is in ticks. *)
 let update_vf t cl0 len now =
-  let flen = float_of_int len in
   let go_passive = ref (Fq.is_empty cl0.queue) in
   let cl = ref cl0 in
   let continue_walk = ref true in
   while !continue_walk do
     let c = !cl in
-    c.total <- c.total +. flen;
+    c.total <- c.total + len;
     match c.cparent with
     | None ->
         (* root-side mirror of the nactive bookkeeping above *)
@@ -514,11 +526,11 @@ let update_vf t cl0 len now =
            in
            go_passive := passive_now;
            actc_remove t parent c;
-           c.vt <- Rc.inverse c.virtual_c c.total +. c.vtadj;
+           c.vt <- Fp.y2x c.virtual_c c.total + c.vtadj;
            (* a class held below the sibling floor (skipped for
               non-fit) is translated up and keeps the credit *)
            if c.vt < parent.cvtmin then begin
-             c.vtadj <- c.vtadj +. (parent.cvtmin -. c.vt);
+             c.vtadj <- c.vtadj + (parent.cvtmin - c.vt);
              c.vt <- parent.cvtmin
            end;
            if passive_now then begin
@@ -529,16 +541,16 @@ let update_vf t cl0 len now =
            else begin
              (match c.cusc with
              | Some _ ->
-                 c.myf <- Rc.inverse c.ulimit_c c.total +. c.myfadj;
+                 c.myf <- Fp.y2x c.ulimit_c c.total + c.myfadj;
                  (* a rate-capped class that under-used its allowance
                     forfeits it beyond [ulimit_slack] — no unbounded
                     catch-up bursts *)
-                 if c.myf < now -. t.ulimit_slack then begin
-                   c.myfadj <- c.myfadj +. (now -. c.myf);
+                 if c.myf < now - t.ulimit_slack then begin
+                   c.myfadj <- c.myfadj + (now - c.myf);
                    c.myf <- now
                  end
              | None -> ());
-             c.f <- Float.max c.myf (cfmin t c);
+             c.f <- max c.myf (cfmin t c);
              actc_insert t parent c
            end
          end);
@@ -601,8 +613,9 @@ let enqueue t ~now cl pkt =
     t.bl_pkts <- t.bl_pkts + 1;
     t.bl_bytes <- t.bl_bytes + size;
     if was_empty then begin
-      init_ed t cl now (float_of_int size);
-      if cl.cfsc <> None then init_vf t cl now
+      let nowt = Fp.ticks_of_seconds now in
+      init_ed t cl nowt size;
+      if cl.cfsc <> None then init_vf t cl nowt
       else if cl.crsc = None then assert false
     end;
     true
@@ -611,15 +624,17 @@ let enqueue t ~now cl pkt =
 let dequeue t ~now =
   if t.bl_pkts = 0 then None
   else begin
+    let nowt = Fp.ticks_of_seconds now in
+    let nowf = float_of_int nowt in
     let selected =
-      match EdT.min_deadline_eligible t.eligible ~now with
+      match EdT.min_deadline_eligible t.eligible ~now:nowf with
       | Some leaf -> Some (leaf, Realtime)
       | None ->
           (* link-sharing: descend by smallest virtual time that fits *)
           let rec descend c =
             if is_leaf_cls c then Some c
             else
-              match VtT.first_fit (get_actc t c) ~now with
+              match VtT.first_fit (get_actc t c) ~now:nowf with
               | None -> None
               | Some child ->
                   if c.cvtmin < child.vt then c.cvtmin <- child.vt;
@@ -632,11 +647,11 @@ let dequeue t ~now =
     match selected with
     | None ->
         Log.debug (fun m ->
-            m "dequeue at %.6f: backlogged but rate-capped" now);
+            m "dequeue at tick %d: backlogged but rate-capped" nowt);
         None
     | Some (leaf, crit) ->
         Log.debug (fun m ->
-            m "dequeue at %.6f: %s via %s (vt=%.6f e=%.6f d=%.6f)" now
+            m "dequeue at tick %d: %s via %s (vt=%d e=%d d=%d)" nowt
               leaf.cname
               (match crit with Realtime -> "realtime" | Linkshare -> "linkshare")
               leaf.vt leaf.e leaf.d);
@@ -645,13 +660,13 @@ let dequeue t ~now =
         in
         t.bl_pkts <- t.bl_pkts - 1;
         t.bl_bytes <- t.bl_bytes - pkt.Pkt.Packet.size;
-        update_vf t leaf pkt.Pkt.Packet.size now;
+        update_vf t leaf pkt.Pkt.Packet.size nowt;
         if crit = Realtime then
-          leaf.cumul <- leaf.cumul +. float_of_int pkt.Pkt.Packet.size;
+          leaf.cumul <- leaf.cumul + pkt.Pkt.Packet.size;
         (match Fq.peek leaf.queue with
         | Some next ->
             if leaf.crsc <> None then begin
-              let next_len = float_of_int next.Pkt.Packet.size in
+              let next_len = next.Pkt.Packet.size in
               if crit = Realtime then update_ed t leaf next_len
               else update_d t leaf next_len
             end
@@ -659,25 +674,108 @@ let dequeue t ~now =
         Some (pkt, leaf, crit)
   end
 
+(* --- batched entry points ------------------------------------------ *)
+
+(* The reference keeps the batch API trivially correct: plain loops
+   over the single-packet entry points, which *defines* the semantics
+   the optimized scheduler's batch path must be bit-identical to. *)
+
+type batch = {
+  bpkts : Pkt.Packet.t array;
+  bcls : cls array;
+  bcrit : criterion array;
+  mutable bcount : int;
+}
+
+let dummy_pkt = Pkt.Packet.make ~flow:0 ~size:1 ~seq:0 ~arrival:0.
+
+let dummy_cls =
+  make_cls ~id:(-1) ~name:"<batch>" ~parent:None ~rsc:None ~fsc:None
+    ~usc:None ~qlimit:None ~qbytes:None
+
+let batch ?(capacity = 64) () =
+  if capacity <= 0 then invalid_arg "Hfsc.batch: capacity must be positive";
+  {
+    bpkts = Array.make capacity dummy_pkt;
+    bcls = Array.make capacity dummy_cls;
+    bcrit = Array.make capacity Realtime;
+    bcount = 0;
+  }
+
+let batch_capacity b = Array.length b.bpkts
+let batch_count b = b.bcount
+
+let batch_check b i =
+  if i < 0 || i >= b.bcount then invalid_arg "Hfsc.batch: index out of bounds"
+
+let batch_pkt b i =
+  batch_check b i;
+  b.bpkts.(i)
+
+let batch_cls b i =
+  batch_check b i;
+  b.bcls.(i)
+
+let batch_crit b i =
+  batch_check b i;
+  b.bcrit.(i)
+
+let dequeue_batch t ~now b =
+  let cap = Array.length b.bpkts in
+  let n = ref 0 in
+  let continue = ref true in
+  while !continue && !n < cap do
+    match dequeue t ~now with
+    | None -> continue := false
+    | Some (pkt, cls, crit) ->
+        b.bpkts.(!n) <- pkt;
+        b.bcls.(!n) <- cls;
+        b.bcrit.(!n) <- crit;
+        incr n
+  done;
+  b.bcount <- !n;
+  !n
+
+let enqueue_batch t ~now cls pkts =
+  let n = Array.length pkts in
+  if Array.length cls <> n then
+    invalid_arg "Hfsc.enqueue_batch: class and packet arrays differ in length";
+  let acc = ref 0 in
+  for i = 0 to n - 1 do
+    if enqueue t ~now cls.(i) pkts.(i) then incr acc
+  done;
+  !acc
+
 let next_ready_time t ~now =
   if t.bl_pkts = 0 then None
   else begin
+    let nowt = Fp.ticks_of_seconds now in
+    let nowf = float_of_int nowt in
     let ls_tree = get_actc t t.troot in
-    let rt_now = EdT.min_deadline_eligible t.eligible ~now <> None in
-    let ls_now = (not (VtT.is_empty ls_tree)) && VtT.min_fit ls_tree <= now in
+    let rt_now = EdT.min_deadline_eligible t.eligible ~now:nowf <> None in
+    let ls_now =
+      (not (VtT.is_empty ls_tree)) && VtT.min_fit ls_tree <= nowf
+    in
     if rt_now || ls_now then Some now
     else begin
-      let cand = infinity in
+      (* candidate ticks as their exact float images — a fit of
+         [ht_infinity] exceeds [int_of_float] range, so the min runs
+         in float space and the final conversion mirrors
+         [Fp.seconds_of_ticks] *)
+      let inf_f = float_of_int ht_infinity in
+      let cand = inf_f in
       let cand =
         match EdT.min_eligible t.eligible with
-        | Some c -> Float.min cand c.e
+        | Some c -> Float.min cand (float_of_int c.e)
         | None -> cand
       in
       let cand =
         if VtT.is_empty ls_tree then cand
         else Float.min cand (VtT.min_fit ls_tree)
       in
-      Some (Float.max now cand)
+      Some
+        (Float.max now
+           (if cand >= inf_f then infinity else cand /. Fp.tick_hz))
     end
   end
 
@@ -698,38 +796,43 @@ let find_class t n =
 
 let queue_length c = Fq.length c.queue
 let queue_bytes c = Fq.bytes c.queue
-let total_bytes c = c.total
-let realtime_bytes c = c.cumul
+let total_bytes c = float_of_int c.total
+let realtime_bytes c = float_of_int c.cumul
 let drops c = Fq.drops c.queue
 let periods c = c.nperiods
-let virtual_time c = c.vt
+let virtual_time c = Fp.seconds_of_ticks c.vt
 let rsc c = c.crsc
 let fsc c = c.cfsc
 let usc c = c.cusc
 
 let debug_state c =
   Format.asprintf
-    "%s vt=%.6f vtadj=%.6f total=%.0f V=%a e=%.6f d=%.6f \
-     cvtmin=%.6f cvtoff=%.6f per=%d pper=%d nact=%d act=%b"
-    c.cname c.vt c.vtadj c.total Rc.pp c.virtual_c c.e c.d c.cvtmin
-    c.cvtoff c.vtperiod c.parentperiod c.nactive c.in_actc
+    "%s vt=%d vtadj=%d total=%d V=%a e=%d d=%d cvtmin=%d cvtoff=%d per=%d \
+     pper=%d nact=%d act=%b"
+    c.cname c.vt c.vtadj c.total Fp.pp c.virtual_c c.e c.d c.cvtmin c.cvtoff
+    c.vtperiod c.parentperiod c.nactive c.in_actc
+
+(* Tolerance for the eligible-before-deadline check, matching the
+   production auditor: independently quantized eligible and deadline
+   curves can disagree by a few ticks where the exact values would tie. *)
+let e_d_slack = Fp.ticks_of_seconds 1e-6 + 1
 
 (* Semantic-level auditor: the persistent trees (Ds.Ed_tree /
    Ds.Vt_tree) carry their own structural tests, so the oracle checks
    the scheduler-level invariants only — membership flags against
-   queue/activity state, counter sums, deadline ordering, NaN
-   absence. *)
+   queue/activity state, counter sums, deadline ordering, and absence
+   of negative (overflowed) time or service values. *)
 let audit t =
   let errs = ref [] in
   let err fmt = Format.kasprintf (fun s -> errs := s :: !errs) fmt in
-  let nan x = x <> x in
+  let neg x = x < 0 in
   let sum_pkts = ref 0 and sum_bytes = ref 0 in
   let check_cls c =
     if
-      nan c.e || nan c.d || nan c.vt || nan c.f || nan c.cumul || nan c.total
-      || nan c.vtadj || nan c.cvtmin || nan c.cvtoff || nan c.myf
-      || nan c.myfadj
-    then err "class %s: NaN in scheduling state" c.cname;
+      neg c.e || neg c.d || neg c.vt || neg c.f || neg c.cumul || neg c.total
+      || neg c.vtadj || neg c.cvtmin || neg c.cvtoff || neg c.myf
+      || neg c.myfadj
+    then err "class %s: negative (overflowed?) scheduling state" c.cname;
     if is_leaf_cls c && c != t.troot then begin
       sum_pkts := !sum_pkts + Fq.length c.queue;
       sum_bytes := !sum_bytes + Fq.bytes c.queue;
@@ -737,8 +840,8 @@ let audit t =
       let should_ed = backlogged && c.crsc <> None in
       if c.in_ed <> should_ed then
         err "ED: %s in_ed=%b, expected %b" c.cname c.in_ed should_ed;
-      if c.in_ed && c.e > c.d +. 1e-6 then
-        err "ED: %s eligible after deadline (e=%.9f > d=%.9f)" c.cname c.e c.d;
+      if c.in_ed && c.e > c.d + e_d_slack then
+        err "ED: %s eligible after deadline (e=%d > d=%d)" c.cname c.e c.d;
       if c.nactive <> (if backlogged then 1 else 0) then
         err "class %s: leaf nactive=%d with %s queue" c.cname c.nactive
           (if backlogged then "a nonempty" else "an empty")
@@ -759,8 +862,7 @@ let audit t =
       err "class %s: in_actc=%b with nactive=%d" c.cname c.in_actc c.nactive;
     if c == t.troot && c.in_actc then err "root flagged in_actc";
     if c.total < c.cumul then
-      err "class %s: total=%.0f below realtime cumul=%.0f" c.cname c.total
-        c.cumul
+      err "class %s: total=%d below realtime cumul=%d" c.cname c.total c.cumul
   in
   List.iter check_cls t.all_rev;
   if t.bl_pkts <> !sum_pkts then
@@ -781,8 +883,8 @@ let pp_hierarchy ppf t =
     (match c.cusc with
     | Some s -> Format.fprintf ppf " usc=%a" Sc.pp s
     | None -> ());
-    Format.fprintf ppf " total=%.0fB rt=%.0fB q=%d vt=%.6f@\n" c.total c.cumul
-      (Fq.length c.queue) c.vt;
+    Format.fprintf ppf " total=%dB rt=%dB q=%d vt=%.6f@\n" c.total c.cumul
+      (Fq.length c.queue) (Fp.seconds_of_ticks c.vt);
     List.iter (go (indent ^ "  ")) c.cchildren
   in
   go "" t.troot

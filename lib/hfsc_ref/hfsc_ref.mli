@@ -193,6 +193,24 @@ val dequeue : t -> now:float -> (Pkt.Packet.t * cls * criterion) option
     rate-capped by an upper-limit curve until some later instant — see
     {!next_ready_time}. *)
 
+(** {2 Batched entry points}
+
+    Reference semantics for {!Hfsc}'s batch API: implemented as plain
+    loops over the single-packet entry points, which {e defines} the
+    batch-equals-singles outcome the optimized scheduler must be
+    bit-identical to. *)
+
+type batch
+
+val batch : ?capacity:int -> unit -> batch
+val batch_capacity : batch -> int
+val batch_count : batch -> int
+val batch_pkt : batch -> int -> Pkt.Packet.t
+val batch_cls : batch -> int -> cls
+val batch_crit : batch -> int -> criterion
+val dequeue_batch : t -> now:float -> batch -> int
+val enqueue_batch : t -> now:float -> cls array -> Pkt.Packet.t array -> int
+
 val next_ready_time : t -> now:float -> float option
 (** [None] iff the backlog is empty; otherwise the earliest [t' >= now]
     at which {!dequeue} can return a packet ([now] itself when one is
@@ -246,7 +264,8 @@ val audit : t -> string list
     time never past the deadline; per-class VT-tree ordering and
     cached min-fit aggregates; active-children membership against the
     [nactive] counters; backlog counters against the leaf queues; no
-    NaNs; name-resolution bindings. Returns one human-readable line
+    negative (overflowed) time or service values; name-resolution
+    bindings. Returns one human-readable line
     per violation — [[]] means the scheduler is consistent. O(n log n);
     call it between operations, not from inside the drop hook. *)
 

@@ -10,7 +10,8 @@ type link_state = {
   lname : string;
   mutable rate : float;
   lsched : Sched.Scheduler.t;
-  mutable busy : bool;
+  mutable inflight : int; (* packets dequeued but not yet departed *)
+  mutable wire_free : float; (* when the last scheduled bit leaves *)
   mutable up : bool; (* link outages park this link's dequeue loop *)
   mutable poll_at : float; (* earliest pending poll; infinity if none *)
   mutable busy_time : float;
@@ -19,6 +20,7 @@ type link_state = {
 
 type t = {
   links : link_state array;
+  tx_burst : int;
   route : Pkt.Packet.t -> int option;
   q : event Event_queue.t;
   mutable now : float;
@@ -29,15 +31,18 @@ type t = {
   mutable drops : int;
 }
 
-let create_multi ?event_backend ?(tput_bin = 1.0) ~links ~route () =
+let create_multi ?event_backend ?(tput_bin = 1.0) ?(tx_burst = 1) ~links
+    ~route () =
   if links = [] then invalid_arg "Sim.create_multi: need at least one link";
+  if tx_burst < 1 then invalid_arg "Sim.create_multi: tx_burst must be >= 1";
   let mk (lname, rate, lsched) =
     if rate <= 0. then invalid_arg "Sim.create_multi: link rate must be > 0";
     {
       lname;
       rate;
       lsched;
-      busy = false;
+      inflight = 0;
+      wire_free = 0.;
       up = true;
       poll_at = infinity;
       busy_time = 0.;
@@ -46,6 +51,7 @@ let create_multi ?event_backend ?(tput_bin = 1.0) ~links ~route () =
   in
   {
     links = Array.of_list (List.map mk links);
+    tx_burst;
     route;
     q = Event_queue.create ?backend:event_backend ();
     now = 0.;
@@ -56,9 +62,9 @@ let create_multi ?event_backend ?(tput_bin = 1.0) ~links ~route () =
     drops = 0;
   }
 
-let create ?event_backend ?tput_bin ~link_rate ~sched () =
+let create ?event_backend ?tput_bin ?tx_burst ~link_rate ~sched () =
   if link_rate <= 0. then invalid_arg "Sim.create: link_rate must be > 0";
-  create_multi ?event_backend ?tput_bin
+  create_multi ?event_backend ?tput_bin ?tx_burst
     ~links:[ ("link0", link_rate, sched) ]
     ~route:(fun _ -> Some 0)
     ()
@@ -75,28 +81,40 @@ let at t when_ f =
   if when_ < t.now then invalid_arg "Sim.at: time is in the past";
   Event_queue.add t.q when_ (Callback f)
 
-(* If link [i] is idle and up, pull its next packet; if its scheduler
-   is backlogged but rate-capped, arm a poll for its next-ready
-   instant. *)
+(* If link [i] has ring slots free and is up, pull its next packet(s) —
+   up to [tx_burst] outstanding, all polled at the same instant, their
+   departures serialized back to back on the wire; if its scheduler is
+   backlogged but rate-capped, arm a poll for its next-ready instant.
+   With [tx_burst = 1] this is the classic one-packet-at-a-time loop. *)
 let try_start t i =
   let l = t.links.(i) in
-  if (not l.busy) && l.up then begin
-    match l.lsched.Sched.Scheduler.dequeue ~now:t.now with
-    | Some served ->
-        l.busy <- true;
-        let tx =
-          float_of_int served.Sched.Scheduler.pkt.Pkt.Packet.size /. l.rate
-        in
-        l.busy_time <- l.busy_time +. tx;
-        Event_queue.add t.q (t.now +. tx) (Tx_complete (i, served))
-    | None -> (
-        match l.lsched.Sched.Scheduler.next_ready ~now:t.now with
-        | Some ts when ts > t.now ->
-            if ts < l.poll_at then begin
-              l.poll_at <- ts;
-              Event_queue.add t.q ts (Poll i)
-            end
-        | _ -> ())
+  if l.inflight < t.tx_burst && l.up then begin
+    match
+      Sched.Scheduler.dequeue_burst l.lsched ~now:t.now
+        ~max:(t.tx_burst - l.inflight)
+    with
+    | [] -> (
+        if l.inflight = 0 then
+          match l.lsched.Sched.Scheduler.next_ready ~now:t.now with
+          | Some ts when ts > t.now ->
+              if ts < l.poll_at then begin
+                l.poll_at <- ts;
+                Event_queue.add t.q ts (Poll i)
+              end
+          | _ -> ())
+    | burst ->
+        List.iter
+          (fun (served : Sched.Scheduler.served) ->
+            l.inflight <- l.inflight + 1;
+            let start = Float.max t.now l.wire_free in
+            let tx =
+              float_of_int served.Sched.Scheduler.pkt.Pkt.Packet.size
+              /. l.rate
+            in
+            l.busy_time <- l.busy_time +. tx;
+            l.wire_free <- start +. tx;
+            Event_queue.add t.q l.wire_free (Tx_complete (i, served)))
+          burst
   end
 
 let try_start_all t =
@@ -124,7 +142,7 @@ let handle t = function
           schedule_arrival t src)
   | Tx_complete (i, served) ->
       let l = t.links.(i) in
-      l.busy <- false;
+      l.inflight <- l.inflight - 1;
       let pkt = served.Sched.Scheduler.pkt in
       l.tx_bytes <- l.tx_bytes +. float_of_int pkt.Pkt.Packet.size;
       let d =

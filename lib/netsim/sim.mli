@@ -26,16 +26,29 @@ type t
 val create :
   ?event_backend:Event_queue.backend ->
   ?tput_bin:float ->
+  ?tx_burst:int ->
   link_rate:float ->
   sched:Sched.Scheduler.t ->
   unit ->
   t
 (** One link named ["link0"], every packet routed to it. [tput_bin] is
-    the throughput-series bin width in seconds (default 1.0). *)
+    the throughput-series bin width in seconds (default 1.0).
+
+    [tx_burst] (default 1) models a NIC transmit ring of that depth:
+    each time a link can take work it polls its scheduler for up to
+    [tx_burst] packets {e at the same instant} (a batched dequeue) and
+    keeps that many in flight, their departures serialized back to back
+    at the link rate. Departure times, delays and utilization are
+    unchanged for [tx_burst = 1] — the classic one-packet-at-a-time
+    driver; larger rings trade scheduling timeliness (later packets of
+    a burst were chosen with the earlier instant's information) for
+    fewer scheduler polls, which is exactly the trade-off the batched
+    dequeue exists to measure. *)
 
 val create_multi :
   ?event_backend:Event_queue.backend ->
   ?tput_bin:float ->
+  ?tx_burst:int ->
   links:(string * float * Sched.Scheduler.t) list ->
   route:(Pkt.Packet.t -> int option) ->
   unit ->
@@ -43,9 +56,10 @@ val create_multi :
 (** [(name, rate, sched)] per link; link indices follow list order.
     [route] is consulted once per arrival; [None] (or an out-of-range
     index) counts the packet as an enqueue drop — no link owns it.
+    [tx_burst] as in {!create}, applied to every link.
 
-    @raise Invalid_argument on an empty link list or a non-positive
-    rate. *)
+    @raise Invalid_argument on an empty link list, a non-positive
+    rate, or [tx_burst < 1]. *)
 
 val add_source : t -> Source.t -> unit
 (** Register a source; its first arrival is scheduled immediately. *)

@@ -587,6 +587,35 @@ let dequeue t ~now =
   maybe_audit t;
   r
 
+(* The enqueue side stays a plain loop over the single-packet path:
+   admission is a per-packet outcome (telemetry needs to know which
+   arrivals were accepted and the queue depth after each), so there is
+   nothing to amortize. The dequeue side is the native batch: one time
+   conversion and one audit tick for the whole ring fill. *)
+let enqueue_flow_batch t ~now pkts =
+  let n = Array.length pkts in
+  let accepted = ref 0 in
+  for i = 0 to n - 1 do
+    if enqueue_flow t ~now pkts.(i) then incr accepted
+  done;
+  !accepted
+
+let dequeue_batch t ~now b =
+  let n = Hfsc.dequeue_batch t.sched ~now b in
+  for i = 0 to n - 1 do
+    let pkt = Hfsc.batch_pkt b i in
+    let cls = Hfsc.batch_cls b i in
+    Telemetry.note_dequeue t.tele ~id:(Hfsc.id cls) ~now
+      ~size:pkt.Pkt.Packet.size ~flow:pkt.Pkt.Packet.flow
+      ~seq:pkt.Pkt.Packet.seq ~arrival:pkt.Pkt.Packet.arrival
+      ~realtime:
+        (match Hfsc.batch_crit b i with
+        | Hfsc.Realtime -> true
+        | Hfsc.Linkshare -> false)
+  done;
+  maybe_audit t;
+  n
+
 let adapter t =
   {
     Sched.Scheduler.name = "hfsc-runtime";

@@ -161,6 +161,18 @@ val dequeue :
     allocation; the bench's telemetry-overhead comparison measures this
     function against the bare scheduler. *)
 
+val enqueue_flow_batch : t -> now:float -> Pkt.Packet.t array -> int
+(** Route and enqueue each packet in order, exactly as repeated
+    {!enqueue_flow} calls (the enqueue side has per-packet admission
+    outcomes, so there is nothing to amortize); returns how many were
+    accepted. *)
+
+val dequeue_batch : t -> now:float -> Hfsc.batch -> int
+(** The native batched poll: {!Hfsc.dequeue_batch} — bit-identical in
+    scheduling outcome to that many single {!dequeue} calls — plus
+    per-packet telemetry, at the cost of one time conversion and one
+    periodic-audit tick for the whole batch. Returns the fill count. *)
+
 val adapter : t -> Sched.Scheduler.t
 (** Package the engine for {!Netsim.Sim}, replacing
     [Netsim.Adapters.of_hfsc] when telemetry is wanted. *)

@@ -112,6 +112,13 @@ let enqueue_flow t ~now pkt =
   | _, eng -> Engine.enqueue_flow eng ~now pkt
   | exception Not_found -> false
 
+let enqueue_flow_batch t ~now pkts =
+  let accepted = ref 0 in
+  for i = 0 to Array.length pkts - 1 do
+    if enqueue_flow t ~now pkts.(i) then incr accepted
+  done;
+  !accepted
+
 (* --- command routing ------------------------------------------------ *)
 
 let delete_link t name =

@@ -95,7 +95,13 @@ val enqueue_flow : t -> now:float -> Pkt.Packet.t -> bool
     the owning link's engine; [false] if the flow is unmapped anywhere
     or the class queue refuses it. Dequeue has no router-level
     counterpart by design: each link drains independently (its own
-    transmitter), via its engine handle from {!links}. *)
+    transmitter), via its engine handle from {!links} — batched, with
+    {!Engine.dequeue_batch}, when the link models a transmit ring. *)
+
+val enqueue_flow_batch : t -> now:float -> Pkt.Packet.t array -> int
+(** {!enqueue_flow} on each packet in order (a device may deliver a
+    whole receive ring at once); returns how many were accepted —
+    per-packet routing and admission outcomes are preserved exactly. *)
 
 (** {2 Exporters} *)
 

@@ -11,3 +11,13 @@ type t = {
 
 let work_conserving_next_ready ~backlog ~now =
   if backlog () > 0 then Some now else None
+
+let dequeue_burst t ~now ~max =
+  let rec go i acc =
+    if i >= max then List.rev acc
+    else
+      match t.dequeue ~now with
+      | None -> List.rev acc
+      | Some s -> go (i + 1) (s :: acc)
+  in
+  go 0 []

@@ -30,3 +30,11 @@ val work_conserving_next_ready :
   backlog:(unit -> int) -> now:float -> float option
 (** The [next_ready] of every work-conserving discipline: [Some now]
     when backlogged, [None] otherwise. *)
+
+val dequeue_burst : t -> now:float -> max:int -> served list
+(** Up to [max] consecutive dequeues at the same [now], in service
+    order, stopping early at the first [None] — the generic form of the
+    NIC-ring batched poll (see {!Hfsc.dequeue_batch} for the native
+    zero-allocation one). Because a batch is defined to equal the same
+    sequence of single dequeues, this wrapper is semantically exact for
+    every discipline. *)

@@ -4,15 +4,22 @@
    Two layers:
 
    - scheduler differential fuzz: the same generated hierarchy and the
-     same op stream (enqueue/dequeue/queue-limit/aggregate-limit/policy
-     changes) driven through [Hfsc] and the frozen [Hfsc_ref], with
-     [audit] run every 64 ops on both; decisions and final per-class
-     aggregates must be bit-identical (floats rendered with %h);
+     same op stream (enqueue/dequeue — single and batched —
+     queue-limit/aggregate-limit/policy changes) driven through [Hfsc]
+     and the frozen [Hfsc_ref], each in both burst modes, with [audit]
+     run every 64 ops; all four traces must be bit-identical (floats
+     rendered with %h) — pinning both the optimized-vs-reference
+     differential and the batch-equals-singles identity;
 
    - engine fuzz: a live [Runtime.Engine] with [audit_every:64] fed a
      mix of traffic and control lines, including the malformed pool
      from [Netsim.Faults]; every rejected command must leave the
      observable engine state byte-identical.
+
+   Every failure report ends with a replayable dump of the exact op
+   stream (OCaml literals for the scheduler layer, one line per op for
+   the engine/router layers), so a failing seed reproduces as a
+   deterministic test without rerunning the fuzzer.
 
    Plain executable so op counts scale: [test_fuzz.exe [OPS] [SEEDS]],
    defaulting to 1000 1 — the short deterministic run wired into
@@ -29,124 +36,60 @@ let audit_every = 64
 
 (* --- scheduler-level differential fuzz ------------------------------ *)
 
-type act =
-  | Enq of int * int (* leaf index, packet size *)
-  | Deq
-  | Class_limits of int * int * int (* leaf index, pkts, bytes *)
-  | Agg_limit of int * int
-  | Policy of bool (* true = drop-from-longest *)
-
-type op = { dt : float; act : act }
-
-let gen_ops ~rng ~nleaves ~nops =
-  List.init nops (fun _ ->
-      let dt = Random.State.float rng 0.002 in
-      let act =
-        match Random.State.int rng 100 with
-        | n when n < 45 ->
-            Enq (Random.State.int rng nleaves, 40 + Random.State.int rng 1460)
-        | n when n < 85 -> Deq
-        | n when n < 92 ->
-            Class_limits
-              ( Random.State.int rng nleaves,
-                1 + Random.State.int rng 50,
-                64 + Random.State.int rng 100_000 )
-        | n when n < 97 ->
-            Agg_limit
-              (1 + Random.State.int rng 300, 1_000 + Random.State.int rng 500_000)
-        | _ -> Policy (Random.State.bool rng)
-      in
-      { dt; act })
-
-let rec count_leaves = function
-  | Hfsc_gen.Leaf _ -> 1
-  | Hfsc_gen.Node (_, cs) ->
-      List.fold_left (fun a c -> a + count_leaves c) 0 cs
-
-module Drive (H : module type of Hfsc) = struct
-  module B = Hfsc_gen.Build (H)
-
-  let crit_int (c : H.criterion) =
-    match c with H.Realtime -> 0 | H.Linkshare -> 1
-
-  let run ~what ~spec ~ops =
-    let t, leaves = B.build_tree 1e6 spec in
-    let leaves = Array.of_list leaves in
-    let nl = Array.length leaves in
-    let seqs = Array.make nl 0 in
-    let now = ref 0. in
-    let nth = ref 0 in
-    let buf = Buffer.create 4096 in
-    List.iter
-      (fun { dt; act } ->
-        incr nth;
-        now := !now +. dt;
-        (match act with
-        | Enq (i, size) ->
-            let flow, cls, _ = leaves.(i mod nl) in
-            let p =
-              Pkt.Packet.make ~flow ~size ~seq:seqs.(i mod nl) ~arrival:!now
-            in
-            seqs.(i mod nl) <- seqs.(i mod nl) + 1;
-            Buffer.add_string buf
-              (Printf.sprintf "E%d:%d:%b;" flow p.Pkt.Packet.seq
-                 (H.enqueue t ~now:!now cls p))
-        | Deq -> (
-            match H.dequeue t ~now:!now with
-            | None -> Buffer.add_string buf "D-;"
-            | Some (p, c, crit) ->
-                Buffer.add_string buf
-                  (Printf.sprintf "D%d:%d:%s:%d;" p.Pkt.Packet.flow
-                     p.Pkt.Packet.seq (H.name c) (crit_int crit)))
-        | Class_limits (i, pkts, bytes) ->
-            let _, cls, _ = leaves.(i mod nl) in
-            H.set_class_limits t cls ~pkts ~bytes ()
-        | Agg_limit (pkts, bytes) -> H.set_aggregate_limit t ~pkts ~bytes ()
-        | Policy longest ->
-            H.set_drop_policy t
-              (if longest then H.Drop_longest else H.Tail_drop));
-        if !nth mod audit_every = 0 then
-          match H.audit t with
-          | [] -> ()
-          | errs ->
-              fail "%s audit failed at op %d:\n  %s" what !nth
-                (String.concat "\n  " errs))
-      ops;
-    (match H.audit t with
-    | [] -> ()
-    | errs -> fail "%s final audit:\n  %s" what (String.concat "\n  " errs));
-    List.iter
-      (fun c ->
-        Buffer.add_string buf
-          (Printf.sprintf "C%s:%h:%h:%h:%d:%d;" (H.name c) (H.total_bytes c)
-             (H.realtime_bytes c) (H.virtual_time c) (H.queue_length c)
-             (H.queue_bytes c)))
-      (H.classes t);
-    Buffer.contents buf
-end
-
-module DOpt = Drive (Hfsc)
-module DRef = Drive (Hfsc_ref)
+module DOpt = Hfsc_gen.Drive (Hfsc)
+module DRef = Hfsc_gen.Drive (Hfsc_ref)
 
 let sched_fuzz ~seed ~nops =
   let rng = Random.State.make [| 0x5eed; seed |] in
   let spec = QCheck2.Gen.generate1 ~rand:rng Hfsc_gen.tree_gen in
-  let ops = gen_ops ~rng ~nleaves:(count_leaves spec) ~nops in
-  let a = DOpt.run ~what:"Hfsc" ~spec ~ops in
-  let b = DRef.run ~what:"Hfsc_ref" ~spec ~ops in
-  if a <> b then begin
-    (* find the first divergence for the report *)
-    let n = min (String.length a) (String.length b) in
-    let i = ref 0 in
-    while !i < n && a.[!i] = b.[!i] do
-      incr i
-    done;
-    let ctx s =
-      String.sub s (max 0 (!i - 40)) (min 80 (String.length s - max 0 (!i - 40)))
-    in
-    fail "seed %d: Hfsc and Hfsc_ref diverge at byte %d:\n  opt: %s\n  ref: %s"
-      seed !i (ctx a) (ctx b)
-  end
+  let ops =
+    Hfsc_gen.gen_ops ~rng ~nleaves:(Hfsc_gen.leaves_of_spec spec) ~nops
+  in
+  let dump = lazy (Hfsc_gen.dump ~seed ~spec ~ops) in
+  let guard f =
+    try f ()
+    with Failure msg -> fail "seed %d: %s\n%s" seed msg (Lazy.force dump)
+  in
+  let traces =
+    [
+      ( "Hfsc/batched",
+        guard (fun () ->
+            DOpt.run ~audit_every ~what:"Hfsc/batched" ~expand_bursts:false
+              ~spec ~ops ()) );
+      ( "Hfsc/singles",
+        guard (fun () ->
+            DOpt.run ~audit_every ~what:"Hfsc/singles" ~expand_bursts:true
+              ~spec ~ops ()) );
+      ( "Hfsc_ref/batched",
+        guard (fun () ->
+            DRef.run ~audit_every ~what:"Hfsc_ref/batched"
+              ~expand_bursts:false ~spec ~ops ()) );
+      ( "Hfsc_ref/singles",
+        guard (fun () ->
+            DRef.run ~audit_every ~what:"Hfsc_ref/singles" ~expand_bursts:true
+              ~spec ~ops ()) );
+    ]
+  in
+  let base_name, base = List.hd traces in
+  List.iter
+    (fun (name, tr) ->
+      if tr <> base then begin
+        (* find the first divergence for the report *)
+        let n = min (String.length base) (String.length tr) in
+        let i = ref 0 in
+        while !i < n && base.[!i] = tr.[!i] do
+          incr i
+        done;
+        let ctx s =
+          String.sub s
+            (max 0 (!i - 40))
+            (min 80 (String.length s - max 0 (!i - 40)))
+        in
+        fail "seed %d: %s and %s diverge at byte %d:\n  %s: %s\n  %s: %s\n%s"
+          seed base_name name !i base_name (ctx base) name (ctx tr)
+          (Lazy.force dump)
+      end)
+    (List.tl traces)
 
 (* --- engine-level fuzz ---------------------------------------------- *)
 
@@ -183,6 +126,40 @@ let command_pool =
     |]
     Netsim.Faults.bad_commands
 
+(* Engine/router op streams are materialized before the run so any
+   failure can print them; [arg] values are resolved mod the live
+   target count at replay time (pool size, flow table, link count). *)
+type eng_act = Cmd of string | Pkt of int * int (* flow, size *) | Drain of int
+
+type eng_op = { edt : float; eact : eng_act }
+
+let gen_eng_ops ~rng ~pool ~flows ~nops =
+  List.init nops (fun _ ->
+      let edt = Random.State.float rng 0.002 in
+      let eact =
+        match Random.State.int rng 10 with
+        | 0 | 1 -> Cmd pool.(Random.State.int rng (Array.length pool))
+        | 2 | 3 | 4 | 5 | 6 ->
+            Pkt
+              ( flows.(Random.State.int rng (Array.length flows)),
+                40 + Random.State.int rng 1460 )
+        | _ -> Drain (Random.State.int rng 1000)
+      in
+      { edt; eact })
+
+let eng_dump ~what ~seed ops =
+  let b = Buffer.create 4096 in
+  Printf.bprintf b "%s seed %d op stream (dt act):\n" what seed;
+  List.iter
+    (fun { edt; eact } ->
+      match eact with
+      | Cmd line -> Printf.bprintf b "  %h cmd %s\n" edt line
+      | Pkt (flow, size) ->
+          Printf.bprintf b "  %h enq flow=%d size=%d\n" edt flow size
+      | Drain r -> Printf.bprintf b "  %h deq %d\n" edt r)
+    ops;
+  Buffer.contents b
+
 module E = Runtime.Engine
 
 let fingerprint eng =
@@ -212,47 +189,47 @@ let engine_fuzz ~seed ~nops =
   in
   let eng = E.of_config ~audit_every ~trace_capacity:256 cfg in
   let rng = Random.State.make [| 0x5eed; seed; 1 |] in
+  let ops =
+    gen_eng_ops ~rng ~pool:command_pool ~flows:[| 1; 2; 3; 9 |] ~nops
+  in
+  let dump = lazy (eng_dump ~what:"engine" ~seed ops) in
   let now = ref 0. in
   let seq = ref 0 in
-  let flows = [| 1; 2; 3; 9 |] in
   let rejected = ref 0 and applied = ref 0 in
   (try
-     for _ = 1 to nops do
-       now := !now +. Random.State.float rng 0.002;
-       match Random.State.int rng 10 with
-       | 0 | 1 -> (
-           let line =
-             command_pool.(Random.State.int rng (Array.length command_pool))
-           in
-           match Runtime.Command.parse line with
-           | Error _ -> () (* garbage stops at the parser *)
-           | Ok cmd -> (
-               let before = fingerprint eng in
-               match E.exec eng ~now:!now cmd with
-               | Ok _ -> incr applied
-               | Error _ ->
-                   incr rejected;
-                   if fingerprint eng <> before then
-                     fail "seed %d: rejected command mutated state: %s" seed
-                       line))
-       | 2 | 3 | 4 | 5 | 6 ->
-           let flow = flows.(Random.State.int rng (Array.length flows)) in
-           incr seq;
-           ignore
-             (E.enqueue_flow eng ~now:!now
-                (Pkt.Packet.make ~flow
-                   ~size:(40 + Random.State.int rng 1460)
-                   ~seq:!seq ~arrival:!now))
-       | _ -> ignore (E.dequeue eng ~now:!now)
-     done
+     List.iter
+       (fun { edt; eact } ->
+         now := !now +. edt;
+         match eact with
+         | Cmd line -> (
+             match Runtime.Command.parse line with
+             | Error _ -> () (* garbage stops at the parser *)
+             | Ok cmd -> (
+                 let before = fingerprint eng in
+                 match E.exec eng ~now:!now cmd with
+                 | Ok _ -> incr applied
+                 | Error _ ->
+                     incr rejected;
+                     if fingerprint eng <> before then
+                       fail "seed %d: rejected command mutated state: %s\n%s"
+                         seed line (Lazy.force dump)))
+         | Pkt (flow, size) ->
+             incr seq;
+             ignore
+               (E.enqueue_flow eng ~now:!now
+                  (Pkt.Packet.make ~flow ~size ~seq:!seq ~arrival:!now))
+         | Drain _ -> ignore (E.dequeue eng ~now:!now))
+       ops
    with E.Audit_failure errs ->
-     fail "seed %d: engine audit failed:\n  %s" seed
-       (String.concat "\n  " errs));
+     fail "seed %d: engine audit failed:\n  %s\n%s" seed
+       (String.concat "\n  " errs)
+       (Lazy.force dump));
   (match E.audit eng with
   | [] -> ()
   | errs ->
-      fail "seed %d: final engine audit:\n  %s" seed
-        (String.concat "\n  " errs));
+      fail "seed %d: final engine audit:\n  %s\n%s" seed
+        (String.concat "\n  " errs)
+        (Lazy.force dump));
   (!applied, !rejected)
 
 (* --- router-level fuzz ----------------------------------------------- *)
@@ -328,56 +305,59 @@ let router_fuzz ~seed ~nops =
   setup "link l1 add class b parent root flow 2 fsc 2Mbit rsc 1Mbit";
   setup "link l2 add class c parent root flow 3 fsc 2Mbit qbytes 65536";
   let rng = Random.State.make [| 0x5eed; seed; 2 |] in
+  let ops =
+    gen_eng_ops ~rng ~pool:router_command_pool
+      ~flows:[| 1; 2; 3; 10; 20; 77 |] ~nops
+  in
+  let dump = lazy (eng_dump ~what:"router" ~seed ops) in
   let now = ref 0. in
   let seq = ref 0 in
-  let flows = [| 1; 2; 3; 10; 20; 77 |] in
   let rejected = ref 0 and applied = ref 0 in
   (try
-     for _ = 1 to nops do
-       now := !now +. Random.State.float rng 0.002;
-       match Random.State.int rng 10 with
-       | 0 | 1 -> (
-           let line =
-             router_command_pool.(Random.State.int rng
-                                    (Array.length router_command_pool))
-           in
-           match Runtime.Command.parse line with
-           | Error _ -> ()
-           | Ok cmd -> (
-               let before = router_fingerprint r in
-               match R.exec r ~now:!now cmd with
-               | Ok _ -> incr applied
-               | Error _ ->
-                   incr rejected;
-                   if router_fingerprint r <> before then
-                     fail "seed %d: rejected router command mutated state: %s"
-                       seed line))
-       | 2 | 3 | 4 | 5 | 6 ->
-           let flow = flows.(Random.State.int rng (Array.length flows)) in
-           incr seq;
-           ignore
-             (R.enqueue_flow r ~now:!now
-                (Pkt.Packet.make ~flow
-                   ~size:(40 + Random.State.int rng 1460)
-                   ~seq:!seq ~arrival:!now))
-       | _ -> (
-           (* each link drains independently: pick one *)
-           match R.links r with
-           | [] -> ()
-           | links ->
-               let _, eng =
-                 List.nth links (Random.State.int rng (List.length links))
-               in
-               ignore (E.dequeue eng ~now:!now))
-     done
+     List.iter
+       (fun { edt; eact } ->
+         now := !now +. edt;
+         match eact with
+         | Cmd line -> (
+             match Runtime.Command.parse line with
+             | Error _ -> ()
+             | Ok cmd -> (
+                 let before = router_fingerprint r in
+                 match R.exec r ~now:!now cmd with
+                 | Ok _ -> incr applied
+                 | Error _ ->
+                     incr rejected;
+                     if router_fingerprint r <> before then
+                       fail
+                         "seed %d: rejected router command mutated state: \
+                          %s\n%s"
+                         seed line (Lazy.force dump)))
+         | Pkt (flow, size) ->
+             incr seq;
+             ignore
+               (R.enqueue_flow r ~now:!now
+                  (Pkt.Packet.make ~flow ~size ~seq:!seq ~arrival:!now))
+         | Drain pick -> (
+             (* each link drains independently: pick one (mod the live
+                link count — churn changes it) *)
+             match R.links r with
+             | [] -> ()
+             | links ->
+                 let _, eng =
+                   List.nth links (pick mod List.length links)
+                 in
+                 ignore (E.dequeue eng ~now:!now)))
+       ops
    with E.Audit_failure errs ->
-     fail "seed %d: router engine audit failed:\n  %s" seed
-       (String.concat "\n  " errs));
+     fail "seed %d: router engine audit failed:\n  %s\n%s" seed
+       (String.concat "\n  " errs)
+       (Lazy.force dump));
   (match R.audit r with
   | [] -> ()
   | errs ->
-      fail "seed %d: final router audit:\n  %s" seed
-        (String.concat "\n  " errs));
+      fail "seed %d: final router audit:\n  %s\n%s" seed
+        (String.concat "\n  " errs)
+        (Lazy.force dump));
   (!applied, !rejected)
 
 (* --- main ----------------------------------------------------------- *)
@@ -400,9 +380,9 @@ let () =
     r_rejected := !r_rejected + r
   done;
   Printf.printf
-    "fuzz ok: %d seed%s x %d ops: scheduler matches reference under audit; \
-     engine applied %d and rejected %d commands with state intact; router \
-     (3 links + churn) applied %d and rejected %d\n"
+    "fuzz ok: %d seed%s x %d ops: scheduler and batched paths match the \
+     reference under audit; engine applied %d and rejected %d commands with \
+     state intact; router (3 links + churn) applied %d and rejected %d\n"
     seeds
     (if seeds = 1 then "" else "s")
     nops !applied !rejected !r_applied !r_rejected

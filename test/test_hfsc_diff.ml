@@ -332,6 +332,31 @@ let sched_diff_random =
     (fun (spec, seed) ->
       TOpt.run ~spec ~seed ~nops:400 = TRef.run ~spec ~seed ~nops:400)
 
+(* --- batched entry points vs singles -------------------------------- *)
+
+(* The batch API's contract is bit-identity with the equivalent single
+   calls. Drive the shared op stream (which includes Enq_burst and
+   Deq_burst ops) through the optimized scheduler in both modes and
+   through the reference, and require one trace — the short default
+   form of the @fuzz four-way differential. *)
+module BOpt = Hfsc_gen.Drive (Hfsc)
+module BRef = Hfsc_gen.Drive (Hfsc_ref)
+
+let batch_identity =
+  qt ~count:25 "batched = singles = reference over random op streams"
+    QCheck2.Gen.(pair Hfsc_gen.tree_gen (int_range 0 100_000))
+    (fun (spec, seed) ->
+      let rng = Random.State.make [| 0xba7c4; seed |] in
+      let ops =
+        Hfsc_gen.gen_ops ~rng
+          ~nleaves:(Hfsc_gen.leaves_of_spec spec)
+          ~nops:400
+      in
+      let batched = BOpt.run ~expand_bursts:false ~spec ~ops () in
+      let singles = BOpt.run ~expand_bursts:true ~spec ~ops () in
+      let ref_b = BRef.run ~expand_bursts:false ~spec ~ops () in
+      batched = singles && batched = ref_b)
+
 (* --- set_curves while the hierarchy holds backlog ------------------- *)
 
 (* The runtime control plane reconfigures passive classes while their
@@ -488,6 +513,7 @@ let () =
             test_sched_diff_big;
           sched_diff_random;
         ] );
+      ("batch", [ batch_identity ]);
       ( "set_curves",
         [
           Alcotest.test_case "mid-backlog big run" `Quick

@@ -767,6 +767,212 @@ let test_exec_script_strict () =
   Alcotest.(check bool) "delete never ran" true
     (Hfsc.find_class (E.scheduler eng) "c" <> None)
 
+(* --- full-grammar pp/parse round-trip properties ------------------- *)
+
+(* Every [Command.t] the grammar can express must satisfy
+   [parse (pp cmd) = Ok cmd], link scope included. Floats survive
+   exactly: pp_float falls back to %.17g and the Bps/s units multiply
+   by 1.0. Generated [On_link] names avoid the reserved router verbs
+   (add/delete/list) — the grammar cannot address links so named,
+   which is asserted separately below. *)
+
+module G = QCheck2.Gen
+
+let qt ?(count = 250) name gen print prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name ~print gen prop)
+
+let name_gen = G.string_size ~gen:(G.char_range 'a' 'z') (G.int_range 1 8)
+
+let link_name_gen =
+  G.map
+    (function ("add" | "delete" | "list") as n -> n ^ "x" | n -> n)
+    name_gen
+
+let rate_gen = G.float_range 0.25 2.5e9
+
+(* Bare-rate curves print as a single RATE token, so only [Sc.linear]
+   shapes round-trip when d = 0; two-piece shapes need d > 0 or pp
+   would drop a (semantically dead) m1. *)
+let curve_gen =
+  G.(
+    oneof
+      [
+        map Sc.linear rate_gen;
+        map3
+          (fun m1 d m2 -> Sc.make ~m1 ~d ~m2)
+          (oneof [ return 0.; rate_gen ])
+          (float_range 1e-6 4.) rate_gen;
+      ])
+
+(* [ensure] forces the rsc-or-fsc requirement of [add class]. *)
+let curves_gen ~ensure =
+  G.(
+    opt curve_gen >>= fun rsc ->
+    opt curve_gen >>= fun fsc ->
+    opt curve_gen >>= fun usc ->
+    if ensure && rsc = None && fsc = None then
+      map (fun c -> { C.rsc = None; fsc = Some c; usc }) curve_gen
+    else return { C.rsc; fsc; usc })
+
+let limit_val_gen =
+  G.(oneof [ return C.Unlimited; map (fun n -> C.At n) (int_range 1 100_000) ])
+
+let port_gen = G.int_range 0 65535
+
+let filter_gen =
+  G.(
+    int_range 0 999 >>= fun fflow ->
+    opt (map (Printf.sprintf "10.%d.0.0/16") (int_range 0 255)) >>= fun fsrc ->
+    opt (map (Printf.sprintf "192.168.%d.0/24") (int_range 0 255))
+    >>= fun fdst ->
+    opt
+      (oneof
+         [
+           return Pkt.Header.Tcp;
+           return Pkt.Header.Udp;
+           return Pkt.Header.Icmp;
+           map (fun n -> Pkt.Header.Other n) (int_range 0 255);
+         ])
+    >>= fun fproto ->
+    opt (pair port_gen port_gen) >>= fun fsport ->
+    opt (pair port_gen port_gen) >>= fun fdport ->
+    return { C.fflow; fsrc; fdst; fproto; fsport; fdport })
+
+let op_gen =
+  G.(
+    frequency
+      [
+        ( 3,
+          name_gen >>= fun name ->
+          name_gen >>= fun parent ->
+          opt (int_range 0 999) >>= fun flow ->
+          curves_gen ~ensure:true >>= fun curves ->
+          opt (int_range 1 500) >>= fun qlimit ->
+          opt (int_range 1 2_000_000) >>= fun qbytes ->
+          return (C.Add_class { name; parent; flow; curves; qlimit; qbytes })
+        );
+        ( 3,
+          name_gen >>= fun name ->
+          curves_gen ~ensure:false >>= fun curves ->
+          opt (int_range 1 500) >>= fun qlimit ->
+          opt (int_range 1 2_000_000) >>= fun qbytes ->
+          (* the parser rejects a modify with nothing to change *)
+          if
+            curves = { C.rsc = None; fsc = None; usc = None }
+            && qlimit = None && qbytes = None
+          then
+            map
+              (fun q ->
+                C.Modify_class { name; curves; qlimit = Some q; qbytes })
+              (int_range 1 500)
+          else return (C.Modify_class { name; curves; qlimit; qbytes }) );
+        (2, map (fun n -> C.Delete_class n) name_gen);
+        (3, map (fun f -> C.Attach_filter f) filter_gen);
+        (1, map (fun n -> C.Detach_filter n) (int_range 0 999));
+        (1, map (fun n -> C.Stats n) (opt name_gen));
+        ( 1,
+          map
+            (fun t -> C.Trace t)
+            (oneofl [ C.Trace_on; C.Trace_off; C.Trace_dump ]) );
+        ( 2,
+          opt limit_val_gen >>= fun lpkts ->
+          opt limit_val_gen >>= fun lbytes ->
+          opt (oneofl [ C.Policy_tail; C.Policy_longest ]) >>= fun lpolicy ->
+          (* likewise, [limit] needs at least one field *)
+          if lpkts = None && lbytes = None && lpolicy = None then
+            map
+              (fun v -> C.Set_limit { lpkts = Some v; lbytes; lpolicy })
+              limit_val_gen
+          else return (C.Set_limit { lpkts; lbytes; lpolicy }) );
+        ( 1,
+          map2
+            (fun link rate -> C.Link_add { link; rate })
+            link_name_gen rate_gen );
+        (1, map (fun l -> C.Link_delete l) link_name_gen);
+        (1, return C.Link_list);
+      ])
+
+let cmd_gen =
+  G.(
+    op_gen >>= fun op ->
+    match op with
+    | C.Link_add _ | C.Link_delete _ | C.Link_list ->
+        (* the router verbs always parse as Default_link *)
+        return { C.target = C.Default_link; op }
+    | _ ->
+        oneof
+          [ return C.Default_link; map (fun n -> C.On_link n) link_name_gen ]
+        >>= fun target -> return { C.target; op })
+
+let pp_cmd cmd = Format.asprintf "%a" C.pp cmd
+
+let roundtrip_cmd =
+  qt "parse (pp cmd) = Ok cmd over the full grammar" cmd_gen pp_cmd (fun cmd ->
+      C.parse (pp_cmd cmd) = Ok cmd)
+
+let script_roundtrip =
+  let gen =
+    G.(list_size (int_range 1 12) (pair (float_range 0. 100.) cmd_gen))
+  in
+  let print entries =
+    String.concat "\n"
+      (List.map
+         (fun (t, c) -> Printf.sprintf "at %.17g %s" t (pp_cmd c))
+         entries)
+  in
+  qt ~count:100 "parse_script (pp script) recovers every command and time" gen
+    print (fun entries ->
+      let buf = Buffer.create 256 in
+      Buffer.add_string buf "# generated script\n";
+      List.iteri
+        (fun i (t, c) ->
+          (* blank lines and trailing comments must not shift anything *)
+          if i mod 3 = 2 then Buffer.add_char buf '\n';
+          Buffer.add_string buf
+            (Printf.sprintf "at %.17g %s # c%d\n" t (pp_cmd c) i))
+        entries;
+      match C.parse_script (Buffer.contents buf) with
+      | Error _ -> false
+      | Ok got -> got = entries)
+
+let script_attribution =
+  let gen = G.(pair (int_range 0 6) (list_size (int_range 0 6) cmd_gen)) in
+  let print (k, cmds) =
+    Printf.sprintf "bad line after %d of [%s]" k
+      (String.concat "; " (List.map pp_cmd cmds))
+  in
+  qt ~count:100 "script errors carry the physical 1-based line" gen print
+    (fun (k, cmds) ->
+      let k = min k (List.length cmds) in
+      let lines = List.map pp_cmd cmds in
+      let before = List.filteri (fun i _ -> i < k) lines in
+      let after = List.filteri (fun i _ -> i >= k) lines in
+      let cat ls = String.concat "" (List.map (fun l -> l ^ "\n") ls) in
+      let body = "# header\n" ^ cat before ^ "frobnicate now\n" ^ cat after in
+      match C.parse_script body with
+      | Ok _ -> false
+      | Error { C.line; _ } -> line = k + 2)
+
+let test_reserved_link_names () =
+  (* the router verbs win: this is [link delete] of "stats", never a
+     scope on a link named "delete" *)
+  (match C.parse "link delete stats" with
+  | Ok { C.target = C.Default_link; op = C.Link_delete "stats" } -> ()
+  | _ -> Alcotest.fail "link delete wins over scope");
+  (* a command addressed to a reserved-named link cannot be expressed:
+     its own pp does not survive a round trip *)
+  List.iter
+    (fun n ->
+      let cmd = { C.target = C.On_link n; op = C.Stats None } in
+      match C.parse (pp_cmd cmd) with
+      | Ok c when c = cmd -> Alcotest.failf "reserved name %S round-tripped" n
+      | _ -> ())
+    [ "add"; "delete"; "list" ];
+  (* read failures attribute to line 0, never a line of some other file *)
+  match C.parse_script_file "/nonexistent/no_such_script.ctl" with
+  | Ok _ -> Alcotest.fail "expected read failure"
+  | Error { C.line; _ } -> Alcotest.(check int) "line 0" 0 line
+
 let () =
   Alcotest.run "runtime"
     [
@@ -824,4 +1030,12 @@ let () =
         ] );
       ( "classify",
         [ Alcotest.test_case "attach/detach" `Quick test_attach_detach ] );
+      ( "grammar",
+        [
+          roundtrip_cmd;
+          script_roundtrip;
+          script_attribution;
+          Alcotest.test_case "reserved link names + attribution" `Quick
+            test_reserved_link_names;
+        ] );
     ]
