@@ -565,6 +565,162 @@ module BatchBench = struct
       ]
 end
 
+(* --- router domain scaling ------------------------------------------ *)
+
+(* The multicore promise: one OCaml domain per link behind the SPSC
+   rings ([Runtime.Mc_router]) lets N links drain concurrently, so
+   aggregate dequeue throughput grows with the domain count when real
+   cores are available. Measured as wall-clock throughput of draining a
+   fixed prefill through overlapped [post_dequeue]/[finish_dequeue]
+   rounds, across 1/2/4/8 links with 1 worker domain vs one domain per
+   link, plus the sequential router as reference. The committed
+   baseline's [cores] field records how many hardware cores the run
+   actually had: on a single-core host the N-domain rows measure the
+   protocol's context-switch overhead, not parallel speedup, and the
+   validator checks structure and positivity only — the scaling claim
+   is gated by a multicore host, never by this smoke. *)
+module DomainsBench = struct
+  module Mc = Runtime.Mc_router
+  module Rt = Runtime.Router
+
+  let links_axis = [ 1; 2; 4; 8 ]
+  let classes_per_link = 20
+  let burst = 64
+  let flow_of j i = (j * 1000) + i
+  let link_name j = Printf.sprintf "l%d" j
+
+  (* all class setup through the control plane, as a deployment would *)
+  let class_cmds ~links =
+    List.concat
+      (List.init links (fun j ->
+           List.init classes_per_link (fun i ->
+               Printf.sprintf
+                 "link l%d add class c%d_%d parent root flow %d rsc 1Mbit \
+                  fsc 1Mbit qlimit 1000000"
+                 j j i (flow_of j i))))
+
+  let apply_cmds exec cmds =
+    List.iter
+      (fun line ->
+        match Runtime.Command.parse line with
+        | Error e -> failwith e
+        | Ok cmd -> (
+            match exec cmd with
+            | Ok _ -> ()
+            | Error e -> failwith (Runtime.Engine.error_message e)))
+      cmds
+
+  (* interleave links and classes so every link's sub-batch fills evenly *)
+  let mk_pkts ~links ~per =
+    Array.init (links * per) (fun k ->
+        let j = k mod links in
+        let i = k / links mod classes_per_link in
+        Pkt.Packet.make ~flow:(flow_of j i) ~size:1000 ~seq:k ~arrival:0.)
+
+  (* far past every deadline, so the drain is scheduler-bound, not
+     clock-bound *)
+  let drain_now = 1e9
+
+  let mc_throughput ~domains ~links ~per =
+    let m = Mc.create ~domains () in
+    for j = 0 to links - 1 do
+      match Mc.add_link m ~name:(link_name j) ~link_rate:link with
+      | Ok _ -> ()
+      | Error e -> failwith (Runtime.Engine.error_message e)
+    done;
+    apply_cmds (fun c -> Mc.exec m ~now:0. c) (class_cmds ~links);
+    let accepted = Mc.enqueue_flow_batch m ~now:0. (mk_pkts ~links ~per) in
+    let names = Mc.link_names m in
+    let total = ref 0 in
+    let t0 = Unix.gettimeofday () in
+    let stuck = ref false in
+    while (not !stuck) && !total < accepted do
+      List.iter
+        (fun l -> ignore (Mc.post_dequeue m ~link:l ~now:drain_now ~max:burst))
+        names;
+      let round = ref 0 in
+      List.iter
+        (fun l ->
+          round :=
+            !round
+            + Mc.finish_dequeue m ~link:l ~f:(fun ~pkt:_ ~cls:_ ~rt:_ -> ()))
+        names;
+      if !round = 0 then stuck := true else total := !total + !round
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    ignore (Mc.stop m);
+    float_of_int !total /. Float.max dt 1e-9
+
+  let seq_throughput ~links ~per =
+    let r = Rt.create () in
+    for j = 0 to links - 1 do
+      match Rt.add_link r ~name:(link_name j) ~link_rate:link with
+      | Ok _ -> ()
+      | Error e -> failwith (Runtime.Engine.error_message e)
+    done;
+    apply_cmds (fun c -> Rt.exec r ~now:0. c) (class_cmds ~links);
+    let accepted = Rt.enqueue_flow_batch r ~now:0. (mk_pkts ~links ~per) in
+    let engines = List.map snd (Rt.links r) in
+    let b = Hfsc.batch ~capacity:burst () in
+    let total = ref 0 in
+    let t0 = Unix.gettimeofday () in
+    let stuck = ref false in
+    while (not !stuck) && !total < accepted do
+      let round = ref 0 in
+      List.iter
+        (fun eng ->
+          round := !round + Runtime.Engine.dequeue_batch eng ~now:drain_now b)
+        engines;
+      if !round = 0 then stuck := true else total := !total + !round
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    float_of_int !total /. Float.max dt 1e-9
+
+  let json ~quota =
+    let per = if quota >= 0.5 then 20_000 else 2_000 in
+    let entry ~links ~domains v =
+      Json_lite.Obj
+        [
+          ("links", Json_lite.Num (float_of_int links));
+          ("domains", Json_lite.Num (float_of_int domains));
+          ("pkts_per_s", Json_lite.Num v);
+        ]
+    in
+    let results =
+      List.concat_map
+        (fun l ->
+          let one = mc_throughput ~domains:1 ~links:l ~per in
+          if l = 1 then [ entry ~links:1 ~domains:1 one ]
+          else
+            [
+              entry ~links:l ~domains:1 one;
+              entry ~links:l ~domains:l
+                (mc_throughput ~domains:l ~links:l ~per);
+            ])
+        links_axis
+    in
+    let seq =
+      List.map
+        (fun l ->
+          Json_lite.Obj
+            [
+              ("links", Json_lite.Num (float_of_int l));
+              ("pkts_per_s", Json_lite.Num (seq_throughput ~links:l ~per));
+            ])
+        links_axis
+    in
+    Json_lite.Obj
+      [
+        ( "cores",
+          Json_lite.Num (float_of_int (Domain.recommended_domain_count ())) );
+        ("classes_per_link", Json_lite.Num (float_of_int classes_per_link));
+        ("burst", Json_lite.Num (float_of_int burst));
+        ("pkts_per_link", Json_lite.Num (float_of_int per));
+        ("sequential", Json_lite.List seq);
+        ("results", Json_lite.List results);
+      ]
+end
+
 (* --- the machine-readable baseline --------------------------------- *)
 
 let measure_all ~quota scens =
@@ -593,7 +749,7 @@ let bench_doc ~quota scens =
   let results = measure_all ~quota scens in
   Json_lite.Obj
     [
-      ("schema", Json_lite.Str "hfsc-bench/4");
+      ("schema", Json_lite.Str "hfsc-bench/5");
       ("quota_s", Json_lite.Num quota);
       ("link_rate_Bps", Json_lite.Num link);
       ("dequeue_result_words", Json_lite.Num 6.);
@@ -601,9 +757,10 @@ let bench_doc ~quota scens =
       ("telemetry", Tele.json ~quota);
       ("router", RouterBench.json ~quota);
       ("batch", BatchBench.json ~quota);
+      ("router_domains", DomainsBench.json ~quota);
     ]
 
-(* Schema validation for hfsc-bench/4 — used by the smoke target on
+(* Schema validation for hfsc-bench/5 — used by the smoke target on
    both its own output and the committed baseline. *)
 let validate_bench (j : Json_lite.t) : (unit, string) result =
   let ( let* ) = Result.bind in
@@ -624,7 +781,7 @@ let validate_bench (j : Json_lite.t) : (unit, string) result =
   in
   let* schema = req_str j "schema" in
   let* () =
-    if schema = "hfsc-bench/4" then Ok ()
+    if schema = "hfsc-bench/5" then Ok ()
     else Error (Printf.sprintf "unknown schema %S" schema)
   in
   let* _ = req_num j "quota_s" in
@@ -748,6 +905,71 @@ let validate_bench (j : Json_lite.t) : (unit, string) result =
       Error
         (Printf.sprintf "batched dequeue allocates %g minor words/op" dw)
   in
+  (* the hfsc-bench/5 router-domains block. Structure and positivity
+     only: whether N domains actually beat 1 depends on the hardware
+     the baseline was generated on ([cores] records it), so a timing
+     ratio here would make the smoke host-dependent. *)
+  let* rd =
+    match Json_lite.member "router_domains" j with
+    | Some (Json_lite.Obj _ as o) -> Ok o
+    | _ -> Error "missing router_domains object"
+  in
+  let* cores = req_num rd "cores" in
+  let* () = if cores >= 1. then Ok () else Error "cores must be >= 1" in
+  let* _ = req_num rd "classes_per_link" in
+  let* b = req_num rd "burst" in
+  let* () = if b >= 1. then Ok () else Error "router_domains burst < 1" in
+  let* _ = req_num rd "pkts_per_link" in
+  let* seq_rows =
+    match Json_lite.(Option.bind (member "sequential" rd) to_list_opt) with
+    | Some (_ :: _ as l) -> Ok l
+    | _ -> Error "missing sequential throughput rows"
+  in
+  let* () =
+    List.fold_left
+      (fun acc r ->
+        let* () = acc in
+        let* l = req_num r "links" in
+        let* () = if l >= 1. then Ok () else Error "bad links count" in
+        let* v = req_num r "pkts_per_s" in
+        if v > 0. then Ok ()
+        else Error "sequential pkts_per_s not positive")
+      (Ok ()) seq_rows
+  in
+  let* rows =
+    match Json_lite.(Option.bind (member "results" rd) to_list_opt) with
+    | Some (_ :: _ as l) -> Ok l
+    | _ -> Error "missing router_domains results"
+  in
+  let* () =
+    List.fold_left
+      (fun acc r ->
+        let* () = acc in
+        let* l = req_num r "links" in
+        let* d = req_num r "domains" in
+        let* () =
+          if l >= 1. && d >= 1. && d <= l then Ok ()
+          else Error "bad links/domains pair"
+        in
+        let* v = req_num r "pkts_per_s" in
+        if v > 0. then Ok () else Error "pkts_per_s not positive")
+      (Ok ()) rows
+  in
+  let* () =
+    (* the scaling axis must actually be present: a single-domain row
+       and a one-domain-per-link row at >= 4 links *)
+    let has p = List.exists (fun r ->
+        match (Json_lite.(Option.bind (member "links" r) to_num_opt),
+               Json_lite.(Option.bind (member "domains" r) to_num_opt))
+        with
+        | Some l, Some d -> p l d
+        | _ -> false)
+        rows
+    in
+    if has (fun l d -> l >= 4. && d = 1.) && has (fun l d -> l >= 4. && d = l)
+    then Ok ()
+    else Error "router_domains axis missing 1-vs-N rows at >= 4 links"
+  in
   Ok ()
 
 let write_file path s =
@@ -842,6 +1064,25 @@ let run_bench_json out =
             (num "unbatched_ns_per_op")
             (num "batch_speedup")
             (num "batched_dequeue_minor_words_per_op")
+      | None -> ());
+      (match Json_lite.member "router_domains" doc with
+      | Some rd ->
+          let num o k =
+            match Json_lite.(Option.bind (member k o) to_num_opt) with
+            | Some v -> v
+            | None -> nan
+          in
+          Printf.printf "router domains (on %.0f core%s):\n" (num rd "cores")
+            (if num rd "cores" = 1. then "" else "s");
+          (match Json_lite.(Option.bind (member "results" rd) to_list_opt) with
+          | Some rows ->
+              List.iter
+                (fun r ->
+                  Printf.printf
+                    "  links %.0f domains %.0f: %.0f pkts/s aggregate dequeue\n"
+                    (num r "links") (num r "domains") (num r "pkts_per_s"))
+                rows
+          | None -> ())
       | None -> ())
   | None -> ()
 

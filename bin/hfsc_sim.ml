@@ -331,10 +331,14 @@ let router_cmd =
      statements (one H-FSC engine per link, strict per-link ownership), \
      drive all links concurrently, and optionally replay a timed command \
      script against the router control plane — link-scoped commands, \
-     device-wide stats, and the link add/delete/list verbs. A link created \
-     mid-run by 'link add' accepts classes and filters but has no \
-     transmitter in this simulation (it drains only if commands dequeue \
-     it); configure links in the file to give them wires. See \
+     device-wide stats, and the link add/delete/list verbs. With \
+     --domains N (N >= 2) every link's engine runs on one of N worker \
+     domains behind lock-free SPSC rings (the multicore router); the \
+     simulator stays on the main domain and posts enqueue/dequeue batches \
+     and commands through the rings, with identical per-link schedules. A \
+     link created mid-run by 'link add' accepts classes and filters but \
+     has no transmitter in this simulation (it drains only if commands \
+     dequeue it); configure links in the file to give them wires. See \
      examples/router.hfsc and examples/router.ctl."
   in
   let file =
@@ -353,7 +357,79 @@ let router_cmd =
              ~doc:"Write final per-link stats (hfsc-router-stats/1) to \
                    $(docv).")
   in
-  let run file script seconds stats_json =
+  let domains =
+    Arg.(value & opt int 1
+         & info [ "domains" ] ~docv:"N"
+             ~doc:"Worker domains for the links. 1 (default) runs the \
+                   sequential router; N >= 2 runs every link's engine on \
+                   one of $(docv) OCaml domains behind lock-free SPSC \
+                   rings. Per-link schedules are identical either way.")
+  in
+  (* The command/source/reporting harness, shared by the sequential and
+     multicore paths: everything it needs from a router is behind this
+     record, so the two flavours cannot drift apart in the CLI. *)
+  let drive ~cfg ~cmds ~seconds ~stats_json ~links ~exec ~link_of_flow
+      ~stats_text ~stats_doc ~finish =
+    let index = Hashtbl.create 8 in
+    List.iteri (fun i (name, _, _) -> Hashtbl.replace index name i) links;
+    let sim =
+      Netsim.Sim.create_multi ~links
+        ~route:(fun pkt ->
+          (* the live flow directory, so flows added or deleted mid-run
+             re-route immediately *)
+          match link_of_flow pkt.Pkt.Packet.flow with
+          | Some name -> Hashtbl.find_opt index name
+          | None -> None)
+        ()
+    in
+    List.iter
+      (fun (at, cmd) ->
+        Netsim.Sim.at sim at (fun ~now ->
+            let cs = Format.asprintf "%a" Runtime.Command.pp cmd in
+            match exec ~now cmd with
+            | Ok resp ->
+                Printf.printf "[%8.3f] ok: %s\n%s" now cs
+                  (match cmd.Runtime.Command.op with
+                  | Runtime.Command.Stats _
+                  | Runtime.Command.Trace Runtime.Command.Trace_dump
+                  | Runtime.Command.Link_list ->
+                      resp ^ "\n"
+                  | _ -> "")
+            | Error e ->
+                Printf.printf "[%8.3f] rejected (%s): %s\n           %s\n"
+                  now
+                  (Runtime.Engine.error_code_name
+                     (Runtime.Engine.error_code e))
+                  cs
+                  (Runtime.Engine.error_message e)))
+      cmds;
+    List.iter (Netsim.Sim.add_source sim) (cfg.Config.sources ~until:seconds);
+    Netsim.Sim.run sim ~until:seconds;
+    Printf.printf "\n%.1fs simulated, %d links\n" seconds
+      (Netsim.Sim.n_links sim);
+    List.iteri
+      (fun i (name, _, _) ->
+        Printf.printf
+          "  %-12s %8.2f Mb/s wire, utilization %5.1f%%, %.0f bytes sent\n"
+          name
+          (Netsim.Sim.link_rate ~link:i sim *. 8. /. 1e6)
+          (Netsim.Sim.link_utilization sim i *. 100.)
+          (Netsim.Sim.link_transmitted_bytes sim i))
+      links;
+    print_newline ();
+    print_string (stats_text ());
+    (match stats_json with
+    | Some path ->
+        let oc = open_out_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () -> output_string oc (Json_lite.to_string (stats_doc ())));
+        Printf.printf "\nwrote stats to %s\n" path
+    | None -> ());
+    finish ();
+    0
+  in
+  let run file script seconds stats_json domains =
     match Config.load file with
     | Error e ->
         Printf.eprintf "%s: %s\n" file e;
@@ -375,84 +451,51 @@ let router_cmd =
         match cmds with
         | Error () -> 1
         | Ok cmds ->
-            let router = Runtime.Router.of_config cfg in
-            (* wire every configured link to its own transmitter; the
-               route consults the router's live flow directory, so
-               flows added or deleted mid-run re-route immediately *)
-            let links = Runtime.Router.links router in
-            let index = Hashtbl.create 8 in
-            List.iteri
-              (fun i (name, _) -> Hashtbl.replace index name i)
-              links;
-            let sim =
-              Netsim.Sim.create_multi
+            if domains < 1 then begin
+              prerr_endline "router: --domains must be >= 1";
+              1
+            end
+            else if domains = 1 then
+              let router = Runtime.Router.of_config cfg in
+              drive ~cfg ~cmds ~seconds ~stats_json
                 ~links:
                   (List.map
                      (fun (name, eng) ->
                        ( name,
                          Runtime.Engine.link_rate eng,
                          Runtime.Engine.adapter eng ))
-                     links)
-                ~route:(fun pkt ->
-                  match
-                    Runtime.Router.link_of_flow router pkt.Pkt.Packet.flow
-                  with
-                  | Some name -> Hashtbl.find_opt index name
-                  | None -> None)
-                ()
-            in
-            List.iter
-              (fun (at, cmd) ->
-                Netsim.Sim.at sim at (fun ~now ->
-                    let cs = Format.asprintf "%a" Runtime.Command.pp cmd in
-                    match Runtime.Router.exec router ~now cmd with
-                    | Ok resp ->
-                        Printf.printf "[%8.3f] ok: %s\n%s" now cs
-                          (match cmd.Runtime.Command.op with
-                          | Runtime.Command.Stats _
-                          | Runtime.Command.Trace Runtime.Command.Trace_dump
-                          | Runtime.Command.Link_list ->
-                              resp ^ "\n"
-                          | _ -> "")
-                    | Error e ->
-                        Printf.printf
-                          "[%8.3f] rejected (%s): %s\n           %s\n" now
-                          (Runtime.Engine.error_code_name
-                             (Runtime.Engine.error_code e))
-                          cs
-                          (Runtime.Engine.error_message e)))
-              cmds;
-            List.iter (Netsim.Sim.add_source sim)
-              (cfg.Config.sources ~until:seconds);
-            Netsim.Sim.run sim ~until:seconds;
-            Printf.printf "\n%.1fs simulated, %d links\n" seconds
-              (Netsim.Sim.n_links sim);
-            List.iteri
-              (fun i (name, _) ->
-                Printf.printf
-                  "  %-12s %8.2f Mb/s wire, utilization %5.1f%%, %.0f bytes \
-                   sent\n"
-                  name
-                  (Netsim.Sim.link_rate ~link:i sim *. 8. /. 1e6)
-                  (Netsim.Sim.link_utilization sim i *. 100.)
-                  (Netsim.Sim.link_transmitted_bytes sim i))
-              links;
-            print_newline ();
-            print_string (Runtime.Router.stats_text router);
-            (match stats_json with
-            | Some path ->
-                let oc = open_out_bin path in
-                Fun.protect
-                  ~finally:(fun () -> close_out_noerr oc)
-                  (fun () ->
-                    output_string oc
-                      (Json_lite.to_string (Runtime.Router.stats_json router)));
-                Printf.printf "\nwrote stats to %s\n" path
-            | None -> ());
-            0)
+                     (Runtime.Router.links router))
+                ~exec:(fun ~now cmd -> Runtime.Router.exec router ~now cmd)
+                ~link_of_flow:(Runtime.Router.link_of_flow router)
+                ~stats_text:(fun () -> Runtime.Router.stats_text router)
+                ~stats_doc:(fun () -> Runtime.Router.stats_json router)
+                ~finish:(fun () -> ())
+            else
+              let m = Runtime.Mc_router.of_config ~domains cfg in
+              Printf.printf "multicore router: %d links on %d worker domains\n"
+                (Runtime.Mc_router.link_count m)
+                (Runtime.Mc_router.domains m);
+              drive ~cfg ~cmds ~seconds ~stats_json
+                ~links:
+                  (List.map
+                     (fun (l : Config.link) ->
+                       let adapter =
+                         match
+                           Runtime.Mc_router.adapter m ~link:l.Config.lname
+                         with
+                         | Some a -> a
+                         | None -> assert false (* of_config just made it *)
+                       in
+                       (l.Config.lname, l.Config.lrate, adapter))
+                     cfg.Config.links)
+                ~exec:(fun ~now cmd -> Runtime.Mc_router.exec m ~now cmd)
+                ~link_of_flow:(Runtime.Mc_router.link_of_flow m)
+                ~stats_text:(fun () -> Runtime.Mc_router.stats_text m)
+                ~stats_doc:(fun () -> Runtime.Mc_router.stats_json m)
+                ~finish:(fun () -> ignore (Runtime.Mc_router.stop m)))
   in
   Cmd.v (Cmd.info "router" ~doc)
-    Term.(const run $ file $ script $ seconds $ stats_json)
+    Term.(const run $ file $ script $ seconds $ stats_json $ domains)
 
 let () =
   let doc =

@@ -24,7 +24,17 @@ at 0.6  add class extra parent cmu fsc 1Mbit
 # Relax voice2's deadline (it is passive — flow 5 has no source — so
 # the scheduler accepts a live curve change), then look at it.
 at 0.8  modify class voice2 rsc umax 160 dmax 10ms rate 64Kbit
+
+# Live queue-limit surgery on the BACKLOGGED data class: a leaf's
+# qlimit may shrink while it holds packets (the overflow is dropped on
+# the spot and counted) and grow back later. Experiment E14 measures
+# the audio class's delay across exactly this kind of squeeze.
+at 0.9  modify class data qlimit 48
+
 at 1.0  stats voice2
+
+# Undo the squeeze.
+at 1.1  modify class data qlimit 1000000
 
 # Tear it back down mid-run.
 at 1.2  detach filter flow 5

@@ -1,0 +1,119 @@
+(* Lamport SPSC ring with monotonic indices and cached peer counters.
+   See the .mli for the ownership contract and the memory-model
+   argument; everything here is a direct transcription of it. *)
+
+type 'a t = {
+  buf : 'a array;
+  mask : int; (* physical size - 1; physical size is a power of two *)
+  cap : int; (* logical capacity *)
+  dummy : 'a;
+  (* --- producer-owned words ---------------------------------------- *)
+  tail : int Atomic.t; (* next index to write; producer advances *)
+  mutable head_cache : int; (* producer's stale copy of [head] *)
+  (* spacer fields: keep the producer's hot words ([tail] pointer,
+     [head_cache]) and the consumer's ([head] pointer, [tail_cache])
+     on different cache lines within this record. 7 words ~ 56 bytes,
+     one line on every machine this runs on. *)
+  mutable _p0 : int;
+  mutable _p1 : int;
+  mutable _p2 : int;
+  mutable _p3 : int;
+  mutable _p4 : int;
+  mutable _p5 : int;
+  mutable _p6 : int;
+  (* --- consumer-owned words ---------------------------------------- *)
+  head : int Atomic.t; (* next index to read; consumer advances *)
+  mutable tail_cache : int; (* consumer's stale copy of [tail] *)
+}
+
+let next_pow2 n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 1
+
+(* The two counters live in their own heap blocks; allocate a spacer
+   block between them so they do not share a line when the minor heap
+   lays them out back to back. [Sys.opaque_identity] keeps flambda-less
+   ocamlopt from dropping the allocation; the array is reachable from
+   nothing, which is fine — its only job is to occupy address space at
+   allocation time. *)
+let padded_pair () =
+  let a = Atomic.make 0 in
+  ignore (Sys.opaque_identity (Array.make 8 0));
+  let b = Atomic.make 0 in
+  ignore (Sys.opaque_identity (Array.make 8 0));
+  (a, b)
+
+let create ~capacity ~dummy =
+  if capacity < 1 then invalid_arg "Spsc_ring.create: capacity must be >= 1";
+  let phys = next_pow2 capacity in
+  let tail, head = padded_pair () in
+  {
+    buf = Array.make phys dummy;
+    mask = phys - 1;
+    cap = capacity;
+    dummy;
+    tail;
+    head_cache = 0;
+    _p0 = 0;
+    _p1 = 0;
+    _p2 = 0;
+    _p3 = 0;
+    _p4 = 0;
+    _p5 = 0;
+    _p6 = 0;
+    head;
+    tail_cache = 0;
+  }
+
+let capacity t = t.cap
+
+let try_push t v =
+  let tl = Atomic.get t.tail in
+  (* [tail] is only written by us (the producer); the get is for the
+     current value, not for synchronization. *)
+  if tl - t.head_cache >= t.cap then begin
+    t.head_cache <- Atomic.get t.head;
+    if tl - t.head_cache >= t.cap then false
+    else begin
+      t.buf.(tl land t.mask) <- v;
+      Atomic.set t.tail (tl + 1);
+      true
+    end
+  end
+  else begin
+    t.buf.(tl land t.mask) <- v;
+    Atomic.set t.tail (tl + 1);
+    true
+  end
+
+let try_pop t =
+  let hd = Atomic.get t.head in
+  if hd >= t.tail_cache then begin
+    t.tail_cache <- Atomic.get t.tail;
+    if hd >= t.tail_cache then None
+    else begin
+      let i = hd land t.mask in
+      let v = t.buf.(i) in
+      t.buf.(i) <- t.dummy;
+      Atomic.set t.head (hd + 1);
+      Some v
+    end
+  end
+  else begin
+    let i = hd land t.mask in
+    let v = t.buf.(i) in
+    t.buf.(i) <- t.dummy;
+    Atomic.set t.head (hd + 1);
+    Some v
+  end
+
+let peek t =
+  let hd = Atomic.get t.head in
+  if hd >= t.tail_cache then begin
+    t.tail_cache <- Atomic.get t.tail;
+    if hd >= t.tail_cache then None else Some t.buf.(hd land t.mask)
+  end
+  else Some t.buf.(hd land t.mask)
+
+let is_empty t = Atomic.get t.head >= Atomic.get t.tail
+let length t = max 0 (Atomic.get t.tail - Atomic.get t.head)

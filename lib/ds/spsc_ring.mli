@@ -1,0 +1,64 @@
+(** Bounded lock-free single-producer / single-consumer ring.
+
+    The multicore router's domain boundary: exactly one producer domain
+    calls {!try_push} and exactly one consumer domain calls {!try_pop}
+    (and {!peek}); any other concurrent use is undefined. Under that
+    contract every operation is wait-free — no locks, no retries, no
+    allocation beyond the pushed element itself.
+
+    The implementation is the classic two-counter ring (Lamport), with
+    the two refinements production SPSC queues use:
+
+    - {b monotonic 63-bit indices} — the head and tail counters only
+      ever increase; the slot for index [i] is [i land mask] over a
+      power-of-two physical buffer, so full/empty tests are plain
+      subtraction and wraparound needs no special case;
+    - {b cached peer index} — the producer keeps a stale copy of the
+      consumer's head (and vice versa) and only reads the shared atomic
+      when the cached value says the ring {e looks} full (empty). In
+      steady state each side touches the other's cache line once per
+      ring revolution, not once per operation.
+
+    Publication safety comes from the OCaml 5 memory model: the
+    producer writes the slot, {e then} releases it by [Atomic.set] on
+    the tail; the consumer acquires the tail by [Atomic.get] before
+    reading the slot (and symmetrically for the head when a slot is
+    recycled). OCaml's atomics are sequentially consistent, which is
+    stronger than the acquire/release pairing this protocol needs.
+
+    Cache padding is best-effort: OCaml 5.1 has no
+    [Atomic.make_contended], so the producer-side and consumer-side
+    words are separated by dummy fields inside the descriptor record
+    and the two atomics are allocated with spacer blocks between them —
+    enough to keep the hot counters off one shared line in practice,
+    without unsafe tricks. *)
+
+type 'a t
+
+val create : capacity:int -> dummy:'a -> 'a t
+(** A ring holding at most [capacity] elements ([capacity >= 1]; the
+    physical buffer is the next power of two). [dummy] fills empty
+    slots — popped slots are overwritten with it so the ring never
+    retains the last reference to a consumed element.
+
+    @raise Invalid_argument if [capacity < 1]. *)
+
+val capacity : 'a t -> int
+(** The logical capacity the ring was created with. *)
+
+val try_push : 'a t -> 'a -> bool
+(** Producer side. [false] iff the ring is full; never blocks. *)
+
+val try_pop : 'a t -> 'a option
+(** Consumer side. [None] iff the ring is empty; never blocks. *)
+
+val peek : 'a t -> 'a option
+(** Consumer side: the element {!try_pop} would return, not removed. *)
+
+val is_empty : 'a t -> bool
+(** Consumer-accurate emptiness (reads the shared tail). From the
+    producer it is a lower bound that may go stale immediately. *)
+
+val length : 'a t -> int
+(** Snapshot of [tail - head]. Exact when only one side is active;
+    otherwise a value that was true at some instant during the call. *)

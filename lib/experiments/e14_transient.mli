@@ -1,0 +1,39 @@
+(** E14 — reconfiguration transients (extension): does a real-time
+    class keep its delay bound {e while the hierarchy is reconfigured
+    around it}?
+
+    The paper's Section IV admission conditions are stated for a static
+    hierarchy; the runtime control plane re-evaluates them on every
+    command and applies accepted commands transactionally, so a
+    mid-run [modify]/[add]/[delete] of a {e sibling} should be
+    invisible to a guaranteed class — no transient deadline misses
+    while the scheduler's internal state is being edited under load.
+
+    The scenario is the examples/control.hfsc shape (45 Mb/s, CMU /
+    U.Pitt, a 64 kb/s audio leaf with a concave 5 ms rsc beside a
+    saturated data leaf), built and then reshaped entirely through
+    {!Runtime.Engine.exec}: the backlogged data sibling's queue limit
+    is squeezed and restored live (forcing real drops), and a new
+    voice sibling is admitted and later deleted, all while audio
+    packets are in flight.
+
+    Measured: audio's maximum packet delay before, during and after
+    the reconfiguration burst, against the Theorem 1 bound (dmax plus
+    one max-size packet of non-preemption). All three windows must sit
+    under the bound — the "during" one is the point of the experiment
+    — and the drop counter must show the reconfiguration actually bit
+    the sibling. Asserted in test/test_examples.ml. *)
+
+type result = {
+  before_max : float;  (** audio max delay before the first command *)
+  during_max : float;  (** ... between the first and last command *)
+  after_max : float;  (** ... after the last command *)
+  bound : float;  (** dmax + one data packet of non-preemption (s) *)
+  commands_ok : int;  (** mid-run commands accepted (all must be) *)
+  data_drops_during : int;
+      (** sibling packets dropped by the live qlimit squeeze — evidence
+          the reconfiguration really happened under load *)
+}
+
+val run : unit -> result
+val print : result -> unit

@@ -26,6 +26,8 @@ let all =
       run_and_print = (fun () -> E12_tandem.print (E12_tandem.run ())) };
     { id = "E13"; title = "adaptive application vs punishment (Section III-B)";
       run_and_print = (fun () -> E13_adaptive.print (E13_adaptive.run ())) };
+    { id = "E14"; title = "real-time bound across mid-run reconfiguration (extension)";
+      run_and_print = (fun () -> E14_transient.print (E14_transient.run ())) };
   ]
 
 let find id =

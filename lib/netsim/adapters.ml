@@ -6,8 +6,30 @@ let of_hfsc t ~flow_map =
         invalid_arg "Adapters.of_hfsc: flow mapped to interior class";
       Hashtbl.replace tbl flow cls)
     flow_map;
+  (* native batched poll, mirroring the singles [dequeue] below; the
+     batch is reused and only reallocated when the burst size changes *)
+  let cache = ref (Hfsc.batch ~capacity:1 ()) in
+  let dequeue_many ~now ~max =
+    if max <= 0 then []
+    else begin
+      if Hfsc.batch_capacity !cache <> max then
+        cache := Hfsc.batch ~capacity:max ();
+      let b = !cache in
+      let n = Hfsc.dequeue_batch t ~now b in
+      List.init n (fun i ->
+          {
+            Sched.Scheduler.pkt = Hfsc.batch_pkt b i;
+            cls = Hfsc.name (Hfsc.batch_cls b i);
+            criterion =
+              (match Hfsc.batch_crit b i with
+              | Hfsc.Realtime -> "rt"
+              | Hfsc.Linkshare -> "ls");
+          })
+    end
+  in
   {
     Sched.Scheduler.name = "hfsc";
+    dequeue_many = Some dequeue_many;
     enqueue =
       (fun ~now p ->
         match Hashtbl.find_opt tbl p.Pkt.Packet.flow with

@@ -19,7 +19,16 @@
     Non-work-conserving schedulers (H-FSC with upper-limit curves) are
     supported through {!Sched.Scheduler.next_ready}: a poll event is
     scheduled per link for the instant its scheduler says it can next
-    emit. *)
+    emit.
+
+    {b Domain ownership.} The simulator is single-domain: the event
+    queue, per-link transmitters and statistics are owned by the domain
+    that calls {!run}, and every scheduler closure is invoked from that
+    domain. Driving a scheduler whose state lives on another domain is
+    the {e closure's} job, not the simulator's — [Mc_router.adapter]
+    returns a {!Sched.Scheduler.t} whose enqueue/dequeue marshal
+    through SPSC rings and block for the reply, so the simulator stays
+    oblivious and the schedule stays deterministic. *)
 
 type t
 

@@ -617,9 +617,32 @@ let dequeue_batch t ~now b =
   n
 
 let adapter t =
+  (* native batched poll for transmit-ring fills: one audit tick and
+     one clock conversion per burst. The batch is reused across calls
+     and only reallocated when the requested burst size changes. *)
+  let cache = ref (Hfsc.batch ~capacity:1 ()) in
+  let dequeue_many ~now ~max =
+    if max <= 0 then []
+    else begin
+      if Hfsc.batch_capacity !cache <> max then
+        cache := Hfsc.batch ~capacity:max ();
+      let b = !cache in
+      let n = dequeue_batch t ~now b in
+      List.init n (fun i ->
+          {
+            Sched.Scheduler.pkt = Hfsc.batch_pkt b i;
+            cls = Hfsc.name (Hfsc.batch_cls b i);
+            criterion =
+              (match Hfsc.batch_crit b i with
+              | Hfsc.Realtime -> "rt"
+              | Hfsc.Linkshare -> "ls");
+          })
+    end
+  in
   {
     Sched.Scheduler.name = "hfsc-runtime";
     enqueue = (fun ~now p -> enqueue_flow t ~now p);
+    dequeue_many = Some dequeue_many;
     dequeue =
       (fun ~now ->
         match dequeue t ~now with

@@ -22,7 +22,19 @@
     with the scheduler's own reason. {b Every command is transactional}:
     it either applies in full or leaves the scheduler bit-identical to
     before — partial [set_curves] failures are rolled back from a
-    snapshot. *)
+    snapshot.
+
+    {b Domain ownership.} An [Engine.t] — and everything reachable from
+    it: the {!Hfsc.t}, its intrusive ED/VT trees, the flow map, the
+    filter list, the telemetry counters and trace ring — carries no
+    internal synchronisation and must be confined to one domain at a
+    time. The sequential {!Router} keeps every engine on the caller's
+    domain; {!Mc_router} transfers each engine to its worker domain at
+    attach (before any operation runs) and back to the caller at
+    {!Mc_router.stop}, with every intervening access made {e by} the
+    owning worker on behalf of ring messages. The only values designed
+    to cross domains are immutable results: {!Telemetry.snapshot},
+    response strings, and {!error}. *)
 
 type t
 

@@ -1,0 +1,163 @@
+(** The multicore router: the same device as {!Router} — same command
+    grammar, same typed errors, same reply strings, same directory and
+    sharded classifier — with every link's engine running on one of [N]
+    OCaml domains instead of the caller's.
+
+    {b Architecture.} PR 5's link-ownership rule is cashed in as a
+    domain boundary. Each link gets a pair of lock-free SPSC rings
+    ({!Ds.Spsc_ring}): an input ring carrying enqueue batches, dequeue
+    requests and control operations from the producer (caller) domain
+    to the owning worker, and an output ring carrying dequeued packets
+    back. Classification and the O(1) read-mostly flow→link directory
+    stay on the producer side; the worker drains its ring through the
+    existing {!Engine.enqueue_flow_batch}/{!Engine.dequeue_batch} path,
+    so per-link scheduling state never crosses domains. Workers spin
+    briefly when idle, then park on a condition variable; the producer
+    wakes a parked worker after posting.
+
+    {b Control plane.} {!Command} operations are posted into the owning
+    domain's ring with a completion handshake (a mutex/condvar cell):
+    the call blocks until the worker has executed
+    {!Engine.exec_op} and replies. Transactional semantics and typed
+    error codes therefore survive the domain hop unchanged — the
+    control logic itself is {!Router_core}, shared with the sequential
+    router, so replies are bit-identical by construction.
+    {!Engine.snapshot} becomes a snapshot-request operation: the worker
+    copies its telemetry between packets and ships the immutable
+    snapshot back, giving a consistent cross-domain read without a
+    seqlock on the hot path.
+
+    {b Ordering and determinism.} Each link's ring is FIFO and each
+    link has exactly one owning worker, so a link observes enqueues,
+    dequeues and commands in exactly the order the producer issued
+    them — the same order the sequential router would have applied
+    them. Under the single-producer discipline below, every per-link
+    packet trace and every reply string is bit-identical to
+    {!Router}'s; the [@domains] differential fuzz pins this.
+
+    {b Caller discipline.} A value of this type is {e not} thread-safe:
+    all calls must come from the domain that created it (the single
+    producer of every ring). At most one dequeue may be outstanding per
+    link between {!post_dequeue} and {!finish_dequeue}. *)
+
+type t
+
+val create :
+  ?trace_capacity:int ->
+  ?tracing:bool ->
+  ?audit_every:int ->
+  ?ring_capacity:int ->
+  ?out_capacity:int ->
+  domains:int ->
+  unit ->
+  t
+(** An empty router whose [domains] worker domains ([>= 1]) are spawned
+    immediately; links are assigned to workers round-robin at creation.
+    [ring_capacity] (default 1024) bounds each link's input ring;
+    [out_capacity] (default 512) bounds its output ring and therefore
+    the largest single dequeue batch. The engine knobs are those of
+    {!Router.create}.
+
+    @raise Invalid_argument if [domains < 1]. *)
+
+val of_config :
+  ?trace_capacity:int ->
+  ?tracing:bool ->
+  ?audit_every:int ->
+  ?ring_capacity:int ->
+  ?out_capacity:int ->
+  domains:int ->
+  Config.t ->
+  t
+(** One link per [link] statement, in file order, as
+    {!Router.of_config}. *)
+
+val domains : t -> int
+val add_link : t -> name:string -> link_rate:float -> (string, Engine.error) result
+val link_names : t -> string list
+(** Links in creation order. *)
+
+val link_count : t -> int
+val link_of_flow : t -> int -> string option
+
+val exec : t -> now:float -> Command.t -> (string, Engine.error) result
+(** Same routing rules and reply strings as {!Router.exec}; the engine
+    hop is a ring handshake. *)
+
+val exec_script :
+  ?lenient:bool ->
+  t ->
+  (float * Command.t) list ->
+  (float * Command.t * (string, Engine.error) result) list
+
+val audit : t -> string list
+val snapshot : t -> link:string -> Telemetry.snapshot option
+(** The cross-domain consistent read: the owning worker copies its
+    telemetry between operations and ships the immutable snapshot. *)
+
+(** {2 The data path} *)
+
+val enqueue_flow : t -> now:float -> Pkt.Packet.t -> bool
+(** Directory lookup on the producer side, then a one-packet batch
+    through the owning link's ring, waiting for the admission outcome.
+    Per-packet handshakes are the simulator's price for exact drop
+    accounting; throughput paths should batch. *)
+
+val enqueue_flow_batch : t -> now:float -> Pkt.Packet.t array -> int
+(** Split the batch by owning link (preserving per-link order), post
+    one sub-batch per link, wait for all outcomes; the accepted count
+    equals {!Router.enqueue_flow_batch}'s exactly. Unmapped flows count
+    as refused, as in the sequential router. *)
+
+val post_enqueue_batch : t -> now:float -> Pkt.Packet.t array -> unit
+(** Fire-and-forget form: same split, no handshake, outcomes only
+    visible in telemetry. *)
+
+val dequeue_batch :
+  t ->
+  link:string ->
+  now:float ->
+  max:int ->
+  f:(pkt:Pkt.Packet.t -> cls:string -> rt:bool -> unit) ->
+  int
+(** Ask the owning worker for up to [max] packets (clamped to the
+    output ring's capacity), block for its {!Engine.dequeue_batch}, and
+    hand each result to [f] in service order. Returns the fill count. *)
+
+val post_dequeue : t -> link:string -> now:float -> max:int -> bool
+(** Overlapped form: post the request without waiting, so several
+    links' workers dequeue concurrently; [false] if the link is
+    unknown.
+
+    @raise Invalid_argument if a dequeue is already outstanding on the
+    link. *)
+
+val finish_dequeue :
+  t -> link:string -> f:(pkt:Pkt.Packet.t -> cls:string -> rt:bool -> unit) -> int
+(** Complete the outstanding {!post_dequeue} on [link]: wait for the
+    worker's reply, drain the results to [f], return the count.
+
+    @raise Invalid_argument if no dequeue is outstanding. *)
+
+val next_ready : t -> link:string -> now:float -> float option
+val backlog : t -> link:string -> (int * int) option
+(** [(pkts, bytes)] of one link's scheduler, via the owning worker. *)
+
+val adapter : t -> link:string -> Sched.Scheduler.t option
+(** Package one link for {!Netsim.Sim}: the returned closures post into
+    the owning domain's rings (with [dequeue_many] set, so a
+    transmit-ring fill is one round trip). The simulator itself stays
+    on the producer domain; only the scheduling work moves. *)
+
+(** {2 Exporters} *)
+
+val stats_json : t -> Json_lite.t
+val stats_text : t -> string
+
+val stop : t -> (string * Engine.t) list
+(** Stop every worker (draining its rings first), join the domains,
+    and return each link's engine — now owned by the caller again, safe
+    to inspect directly (the differential tests fingerprint them
+    against the sequential router's). Idempotent. If a worker died of
+    an asynchronous exception (e.g. {!Engine.Audit_failure} from a
+    fire-and-forget batch), that exception is re-raised here. *)

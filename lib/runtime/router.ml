@@ -1,83 +1,41 @@
-type t = {
-  mutable links : (string * Engine.t) list; (* creation = shard order *)
-  (* device-wide flow directory; the engine handle rides along so the
-     per-packet path is one hash lookup, no assoc over [links] *)
-  flow_links : (int, string * Engine.t) Hashtbl.t;
-  mutable shard : string Classify.Shard.t;
-  (* engine knobs, reused for links added at runtime *)
-  trace_capacity : int option;
-  tracing : bool option;
-  audit_every : int option;
-}
+(* The sequential router: {!Router_core} instantiated with the port
+   being a bare [Engine.t] — every control operation is a direct call
+   on the owning engine, every data-path operation a direct call after
+   one directory lookup. The multicore router ({!Mc_router}) reuses the
+   same core with ring-backed ports; this file only supplies the direct
+   port and the allocation-free data path. *)
 
-let errf code fmt =
-  Printf.ksprintf (fun message -> Error { Engine.code; message }) fmt
+type t = Engine.t Router_core.t
 
-let ( let* ) = Result.bind
-
-let create ?trace_capacity ?tracing ?audit_every () =
+let seq_ops : Engine.t Router_core.ops =
   {
-    links = [];
-    flow_links = Hashtbl.create 16;
-    shard = Classify.Shard.create [];
-    trace_capacity;
-    tracing;
-    audit_every;
+    Router_core.op_exec = Engine.exec_op;
+    op_flows = Engine.flows;
+    op_rules = Engine.rules;
+    op_has_filter = Engine.has_filter;
+    op_info =
+      (fun eng ->
+        let sched = Engine.scheduler eng in
+        {
+          Router_core.i_rate = Engine.link_rate eng;
+          i_classes = List.length (Hfsc.classes sched);
+          i_flows = List.length (Engine.flows eng);
+          i_backlog_pkts = Hfsc.backlog_pkts sched;
+          i_backlog_bytes = Hfsc.backlog_bytes sched;
+        });
+    op_audit = Engine.audit;
+    op_stats_json = Engine.stats_json;
+    op_stats_text = (fun eng -> Engine.stats_text eng ());
+    op_retire = (fun _ -> ());
   }
 
-let links t = t.links
-let find_link t name = List.assoc_opt name t.links
-let link_count t = List.length t.links
-
-let link_of_flow t flow =
-  Option.map fst (Hashtbl.find_opt t.flow_links flow)
-
-let flow_class t flow =
-  match Hashtbl.find_opt t.flow_links flow with
-  | None -> None
-  | Some (name, eng) ->
-      Option.map (fun cls -> (name, cls)) (Engine.flow_class eng flow)
-
-let rebuild_shard t =
-  t.shard <-
-    Classify.Shard.create
-      (List.map (fun (name, eng) -> (name, Engine.rules eng)) t.links)
-
-(* Re-derive the directory entries of one link from its engine's flow
-   map (the engine is the owner; the directory is a cache). *)
-let resync_flows t name eng =
-  let stale =
-    Hashtbl.fold
-      (fun f (_, e) acc -> if e == eng then f :: acc else acc)
-      t.flow_links []
+let create ?trace_capacity ?tracing ?audit_every () =
+  let make_port ~name:_ ~link_rate =
+    let sched = Hfsc.create ~link_rate () in
+    Engine.create ?trace_capacity ?tracing ?audit_every ~link_rate sched
+      ~flow_map:[] ()
   in
-  List.iter (Hashtbl.remove t.flow_links) stale;
-  List.iter
-    (fun f -> Hashtbl.replace t.flow_links f (name, eng))
-    (Engine.flows eng)
-
-let add_link t ~name ~link_rate =
-  let* () =
-    match find_link t name with
-    | Some _ -> errf Engine.Duplicate_link "link %S already exists" name
-    | None -> Ok ()
-  in
-  let* () =
-    if link_rate <= 0. then
-      errf Engine.Bad_value "link rate must be positive, got %g" link_rate
-    else Ok ()
-  in
-  let sched = Hfsc.create ~link_rate () in
-  let eng =
-    Engine.create ?trace_capacity:t.trace_capacity ?tracing:t.tracing
-      ?audit_every:t.audit_every ~link_rate sched ~flow_map:[] ()
-  in
-  t.links <- t.links @ [ (name, eng) ];
-  rebuild_shard t;
-  Ok
-    (Printf.sprintf "added link %S (rate %.0f B/s, %d link%s)" name link_rate
-       (link_count t)
-       (if link_count t > 1 then "s" else ""))
+  Router_core.create ~ops:seq_ops ~make_port ()
 
 let of_config ?trace_capacity ?tracing ?audit_every (cfg : Config.t) =
   let t = create ?trace_capacity ?tracing ?audit_every () in
@@ -88,19 +46,31 @@ let of_config ?trace_capacity ?tracing ?audit_every (cfg : Config.t) =
           ~link_rate:l.Config.lrate l.Config.lscheduler
           ~flow_map:l.Config.lflow_map ()
       in
-      t.links <- t.links @ [ (l.Config.lname, eng) ];
-      resync_flows t l.Config.lname eng)
+      t.Router_core.links <- t.Router_core.links @ [ (l.Config.lname, eng) ];
+      Router_core.resync_flows t l.Config.lname eng)
     cfg.Config.links;
-  rebuild_shard t;
+  Router_core.rebuild_shard t;
   t
+
+let add_link t ~name ~link_rate = Router_core.add_link t ~name ~link_rate
+let links = Router_core.links
+let find_link = Router_core.find_link
+let link_count = Router_core.link_count
+let link_of_flow = Router_core.link_of_flow
+
+let flow_class t flow =
+  match Hashtbl.find_opt t.Router_core.flow_links flow with
+  | None -> None
+  | Some (name, eng) ->
+      Option.map (fun cls -> (name, cls)) (Engine.flow_class eng flow)
 
 (* --- the data path -------------------------------------------------- *)
 
 let classify t h =
-  match Classify.Shard.classify t.shard h with
+  match Classify.Shard.classify t.Router_core.shard h with
   | None -> None
   | Some (name, flow) -> (
-      match Hashtbl.find_opt t.flow_links flow with
+      match Hashtbl.find_opt t.Router_core.flow_links flow with
       | Some (owner, eng) when owner = name ->
           Option.map (fun cls -> (name, cls)) (Engine.flow_class eng flow)
       | _ -> None)
@@ -108,7 +78,7 @@ let classify t h =
 (* [Hashtbl.find], not [find_opt]: the hit path of the per-packet
    routing lookup must not allocate an option *)
 let enqueue_flow t ~now pkt =
-  match Hashtbl.find t.flow_links pkt.Pkt.Packet.flow with
+  match Hashtbl.find t.Router_core.flow_links pkt.Pkt.Packet.flow with
   | _, eng -> Engine.enqueue_flow eng ~now pkt
   | exception Not_found -> false
 
@@ -119,244 +89,10 @@ let enqueue_flow_batch t ~now pkts =
   done;
   !accepted
 
-(* --- command routing ------------------------------------------------ *)
+(* --- command routing, auditor, exporters: all shared ----------------- *)
 
-let delete_link t name =
-  match find_link t name with
-  | None -> errf Engine.Unknown_link "unknown link %S" name
-  | Some eng ->
-      let orphans =
-        Hashtbl.fold
-          (fun f (_, e) acc -> if e == eng then f :: acc else acc)
-          t.flow_links []
-        |> List.sort compare
-      in
-      List.iter (Hashtbl.remove t.flow_links) orphans;
-      t.links <- List.filter (fun (n, _) -> n <> name) t.links;
-      rebuild_shard t;
-      Ok
-        (Printf.sprintf "deleted link %S%s (%d link%s left)" name
-           (match orphans with
-           | [] -> ""
-           | fs ->
-               Printf.sprintf " (unmapped flow%s %s)"
-                 (if List.length fs > 1 then "s" else "")
-                 (String.concat ", " (List.map string_of_int fs)))
-           (link_count t)
-           (if link_count t = 1 then "" else "s"))
-
-let link_list t =
-  match t.links with
-  | [] -> Ok "no links"
-  | ls ->
-      Ok
-        (String.concat "\n"
-           (List.map
-              (fun (name, eng) ->
-                let sched = Engine.scheduler eng in
-                Printf.sprintf
-                  "%-12s rate %.0f B/s  classes %d  flows %d  backlog %d/%d"
-                  name (Engine.link_rate eng)
-                  (List.length (Hfsc.classes sched))
-                  (List.length (Engine.flows eng))
-                  (Hfsc.backlog_pkts sched) (Hfsc.backlog_bytes sched))
-              ls))
-
-(* The device-wide uniqueness and ownership checks a bare engine cannot
-   make, applied before the op reaches the owning engine. *)
-let precheck t name eng (op : Command.op) =
-  match op with
-  | Command.Add_class { flow = Some f; _ } -> (
-      match Hashtbl.find_opt t.flow_links f with
-      | Some (owner, e) when e != eng ->
-          errf Engine.Duplicate_flow "flow %d is already mapped on link %S" f
-            owner
-      | _ -> Ok ())
-  | Command.Attach_filter { fflow; _ } -> (
-      match Hashtbl.find_opt t.flow_links fflow with
-      | Some (owner, e) when e != eng ->
-          errf Engine.Cross_link_filter
-            "flow %d belongs to link %S, not %S: a filter must live on the \
-             link that owns its flow"
-            fflow owner name
-      | _ -> Ok ())
-  | _ -> Ok ()
-
-(* After a successful structural op the engine's flow map may have
-   changed (class added with a flow, class deleted unmapping flows);
-   refresh the directory and, on filter changes, the shard. *)
-let postsync t name eng (op : Command.op) =
-  match op with
-  | Command.Add_class _ | Command.Modify_class _ | Command.Delete_class _ ->
-      resync_flows t name eng
-  | Command.Attach_filter _ | Command.Detach_filter _ -> rebuild_shard t
-  | _ -> ()
-
-let exec_on t ~now name eng op =
-  let* () = precheck t name eng op in
-  let* reply = Engine.exec_op eng ~now op in
-  postsync t name eng op;
-  Ok reply
-
-(* Unscoped aggregate forms over several links. *)
-let all_links_stats t ~now cls =
-  let bodies =
-    List.filter_map
-      (fun (name, eng) ->
-        match Engine.exec_op eng ~now (Command.Stats cls) with
-        | Ok s -> Some (Printf.sprintf "== link %S ==\n%s" name s)
-        | Error _ -> None)
-      t.links
-  in
-  match bodies with
-  | [] -> (
-      match cls with
-      | Some c -> errf Engine.Unknown_class "unknown class %S on any link" c
-      | None -> Ok "")
-  | _ -> Ok (String.concat "" bodies)
-
-let all_links_trace t ~now (tr : Command.trace_op) =
-  match tr with
-  | Command.Trace_dump ->
-      Ok
-        (String.concat ""
-           (List.map
-              (fun (name, eng) ->
-                match Engine.exec_op eng ~now (Command.Trace Command.Trace_dump) with
-                | Ok s -> Printf.sprintf "== link %S ==\n%s" name s
-                | Error _ -> "")
-              t.links))
-  | Command.Trace_on | Command.Trace_off ->
-      List.iter
-        (fun (_, eng) ->
-          ignore (Engine.exec_op eng ~now (Command.Trace tr)))
-        t.links;
-      Ok
-        (Printf.sprintf "trace %s (%d links)"
-           (match tr with Command.Trace_on -> "on" | _ -> "off")
-           (link_count t))
-
-let exec t ~now { Command.target; op } =
-  match op with
-  | Command.Link_add { link; rate } -> add_link t ~name:link ~link_rate:rate
-  | Command.Link_delete name -> delete_link t name
-  | Command.Link_list -> link_list t
-  | _ -> (
-      match target with
-      | Command.On_link name -> (
-          match find_link t name with
-          | None -> errf Engine.Unknown_link "unknown link %S" name
-          | Some eng -> exec_on t ~now name eng op)
-      | Command.Default_link -> (
-          match t.links with
-          | [] -> errf Engine.Unknown_link "router has no links"
-          | [ (name, eng) ] -> exec_on t ~now name eng op
-          | _ -> (
-              (* several links: aggregate what aggregates, route what
-                 routes, reject what is ambiguous *)
-              match op with
-              | Command.Stats cls -> all_links_stats t ~now cls
-              | Command.Trace tr -> all_links_trace t ~now tr
-              | Command.Attach_filter { fflow; _ } -> (
-                  match Hashtbl.find_opt t.flow_links fflow with
-                  | Some (name, eng) -> exec_on t ~now name eng op
-                  | None ->
-                      errf Engine.Unknown_flow
-                        "filter flow %d is not mapped on any link" fflow)
-              | Command.Detach_filter flow -> (
-                  match Hashtbl.find_opt t.flow_links flow with
-                  | Some (name, eng) -> exec_on t ~now name eng op
-                  | None -> (
-                      match
-                        List.find_opt
-                          (fun (_, eng) -> Engine.has_filter eng flow)
-                          t.links
-                      with
-                      | Some (name, eng) -> exec_on t ~now name eng op
-                      | None ->
-                          errf Engine.Unknown_flow
-                            "no filter attached to flow %d on any link" flow))
-              | _ ->
-                  errf Engine.Unknown_link
-                    "router has %d links; scope the command with 'link NAME'"
-                    (link_count t))))
-
-let exec_script ?(lenient = false) t cmds =
-  let rec go acc = function
-    | [] -> List.rev acc
-    | (at, cmd) :: rest -> (
-        let r = exec t ~now:at cmd in
-        let acc = (at, cmd, r) :: acc in
-        match r with
-        | Error _ when not lenient -> List.rev acc
-        | _ -> go acc rest)
-  in
-  go [] cmds
-
-(* --- auditor -------------------------------------------------------- *)
-
-let audit t =
-  let errs = ref [] in
-  let add fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
-  (* per-engine invariants, attributed to their link *)
-  List.iter
-    (fun (name, eng) ->
-      List.iter (fun e -> add "link %S: %s" name e) (Engine.audit eng))
-    t.links;
-  (* directory -> engine: every entry names a live link and a flow the
-     engine actually maps *)
-  Hashtbl.iter
-    (fun flow (name, eng) ->
-      (match find_link t name with
-      | Some e when e == eng -> ()
-      | _ -> add "flow %d maps to dead or renamed link %S" flow name);
-      if Engine.flow_class eng flow = None then
-        add "flow %d in directory but not in link %S's flow map" flow name)
-    t.flow_links;
-  (* engine -> directory: every engine-mapped flow is in the directory,
-     owned by that very link *)
-  List.iter
-    (fun (name, eng) ->
-      List.iter
-        (fun flow ->
-          match Hashtbl.find_opt t.flow_links flow with
-          | Some (owner, e) when e == eng && owner = name -> ()
-          | Some (owner, _) ->
-              add "flow %d mapped on link %S but directory says %S" flow name
-                owner
-          | None ->
-              add "flow %d mapped on link %S but missing from the directory"
-                flow name)
-        (Engine.flows eng))
-    t.links;
-  List.rev !errs
-
-(* --- exporters ------------------------------------------------------ *)
-
-let stats_json t =
-  Json_lite.Obj
-    [
-      ("schema", Json_lite.Str "hfsc-router-stats/1");
-      ("links", Json_lite.Num (float_of_int (link_count t)));
-      ( "link_stats",
-        Json_lite.List
-          (List.map
-             (fun (name, eng) ->
-               Json_lite.Obj
-                 [
-                   ("name", Json_lite.Str name);
-                   ("stats", Engine.stats_json eng);
-                 ])
-             t.links) );
-    ]
-
-let stats_text t =
-  String.concat ""
-    (List.map
-       (fun (name, eng) ->
-         let body =
-           match Engine.stats_text eng () with Ok s -> s | Error e -> e.message
-         in
-         Printf.sprintf "== link %S (rate %.0f B/s) ==\n%s" name
-           (Engine.link_rate eng) body)
-       t.links)
+let exec = Router_core.exec
+let exec_script = Router_core.exec_script
+let audit = Router_core.audit
+let stats_json = Router_core.stats_json
+let stats_text = Router_core.stats_text

@@ -31,7 +31,15 @@
     The [link add]/[link delete]/[link list] verbs address the router
     itself. Errors reuse {!Engine.error} verbatim — one shared enum,
     extended (not forked) with the link-addressing codes
-    [Unknown_link], [Duplicate_link] and [Cross_link_filter]. *)
+    [Unknown_link], [Duplicate_link] and [Cross_link_filter].
+
+    {b Domain ownership.} This router is single-domain: the [t], its
+    directory, its classifier shard and all of its engines live on the
+    calling domain, and nothing here synchronises. It is the default
+    and the semantic reference. {!Mc_router} is the same control plane
+    (both are instances of [Router_core]) with each engine owned by a
+    worker domain behind SPSC rings; its replies are bit-identical to
+    this router's by construction. *)
 
 type t
 

@@ -17,7 +17,17 @@
     [cls.(i)] the {!Hfsc.id} of the class; then [flow], [size] (bytes)
     and [seq] of the packet. When the ring wraps, the oldest events are
     overwritten; {!recorded_total} keeps counting so the decoder can
-    report how many were lost. *)
+    report how many were lost.
+
+    {b Domain ownership.} The counters and the trace ring are mutable
+    state owned by the domain that owns the engine recording into them
+    — a worker domain in the multicore router — and must not be read
+    concurrently. A {!snapshot}, by contrast, is immutable pure data
+    (no mutable fields, no closures): once built it may be sent across
+    domains and compared structurally, which is exactly how
+    [Mc_router.snapshot] implements its cross-domain consistent read
+    (the owning worker builds the snapshot between operations and ships
+    the finished value back). *)
 
 type counters = {
   mutable enq_pkts : int;

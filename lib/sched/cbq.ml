@@ -242,6 +242,7 @@ let to_scheduler t =
     Scheduler.name = "cbq";
     enqueue = (fun ~now p -> enqueue t ~now p);
     dequeue = (fun ~now -> dequeue t ~now);
+    dequeue_many = None;
     next_ready = (fun ~now -> next_ready t ~now);
     backlog_pkts = (fun () -> t.pkts);
     backlog_bytes = (fun () -> t.bytes);

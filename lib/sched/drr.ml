@@ -75,6 +75,7 @@ let create ?(qlimit = 10_000) ~quanta () =
     Scheduler.name = "drr";
     enqueue;
     dequeue;
+    dequeue_many = None;
     next_ready =
       (fun ~now ->
         Scheduler.work_conserving_next_ready ~backlog:(fun () -> !pkts) ~now);

@@ -10,6 +10,7 @@ let create ?qlimit () =
         | Some pkt ->
             Some { Scheduler.pkt; cls = string_of_int pkt.Pkt.Packet.flow;
                    criterion = "fifo" });
+    dequeue_many = None;
     next_ready =
       (fun ~now ->
         Scheduler.work_conserving_next_ready

@@ -181,6 +181,7 @@ let to_scheduler t =
     Scheduler.name = "hpfq-wf2q+";
     enqueue = (fun ~now p -> enqueue t ~now p);
     dequeue = (fun ~now -> dequeue t ~now);
+    dequeue_many = None;
     next_ready =
       (fun ~now ->
         Scheduler.work_conserving_next_ready ~backlog:(fun () -> t.pkts) ~now);

@@ -76,6 +76,7 @@ let create ?(qlimit = 100_000) ~curves () =
     Scheduler.name = "sced";
     enqueue;
     dequeue;
+    dequeue_many = None;
     next_ready =
       (fun ~now ->
         Scheduler.work_conserving_next_ready ~backlog:(fun () -> !pkts) ~now);

@@ -4,6 +4,7 @@ type t = {
   name : string;
   enqueue : now:float -> Pkt.Packet.t -> bool;
   dequeue : now:float -> served option;
+  dequeue_many : (now:float -> max:int -> served list) option;
   next_ready : now:float -> float option;
   backlog_pkts : unit -> int;
   backlog_bytes : unit -> int;
@@ -13,11 +14,14 @@ let work_conserving_next_ready ~backlog ~now =
   if backlog () > 0 then Some now else None
 
 let dequeue_burst t ~now ~max =
-  let rec go i acc =
-    if i >= max then List.rev acc
-    else
-      match t.dequeue ~now with
-      | None -> List.rev acc
-      | Some s -> go (i + 1) (s :: acc)
-  in
-  go 0 []
+  match t.dequeue_many with
+  | Some f -> f ~now ~max
+  | None ->
+      let rec go i acc =
+        if i >= max then List.rev acc
+        else
+          match t.dequeue ~now with
+          | None -> List.rev acc
+          | Some s -> go (i + 1) (s :: acc)
+      in
+      go 0 []

@@ -5,7 +5,14 @@
     so the simulator, benches and experiments can drive them
     interchangeably. Packets carry their flow id; how flows map to
     internal sessions/classes is fixed when the concrete scheduler is
-    constructed. *)
+    constructed.
+
+    {b Domain ownership.} The record itself carries no synchronisation:
+    all closures of one [t] must be called from a single domain at a
+    time. A closure may internally cross domains — [Mc_router.adapter]
+    builds a [t] whose operations post to a worker's ring and await the
+    reply — but that is the implementation's contract, invisible here:
+    callers always treat a [t] as a plain single-domain value. *)
 
 type served = {
   pkt : Pkt.Packet.t;
@@ -18,6 +25,14 @@ type t = {
   enqueue : now:float -> Pkt.Packet.t -> bool;
       (** [false] = dropped (queue limit or unknown flow). *)
   dequeue : now:float -> served option;
+  dequeue_many : (now:float -> max:int -> served list) option;
+      (** Native batched poll, when the discipline has one: must return
+          exactly what [max] consecutive {!dequeue} calls at the same
+          [now] would (batch-equals-singles). [None] means
+          {!dequeue_burst} falls back to the singles loop. Adapters
+          whose [dequeue] crosses a domain boundary (the multicore
+          router) set this so a transmit-ring fill is one round trip,
+          not [max]. *)
   next_ready : now:float -> float option;
       (** [None] iff idle; [Some ts] = earliest instant a dequeue can
           succeed (equals [now] for work-conserving disciplines with

@@ -53,6 +53,7 @@ let create ?(qlimit = 100_000) ~weights () =
     Scheduler.name = "sfq";
     enqueue;
     dequeue;
+    dequeue_many = None;
     next_ready =
       (fun ~now ->
         Scheduler.work_conserving_next_ready

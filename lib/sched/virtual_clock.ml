@@ -52,6 +52,7 @@ let create ?(qlimit = 100_000) ~rates () =
     Scheduler.name = "virtual-clock";
     enqueue;
     dequeue;
+    dequeue_many = None;
     next_ready =
       (fun ~now ->
         Scheduler.work_conserving_next_ready

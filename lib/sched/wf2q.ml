@@ -90,6 +90,7 @@ let create ?(qlimit = 100_000) ~link_rate ~rates () =
     Scheduler.name = "wf2q+";
     enqueue;
     dequeue;
+    dequeue_many = None;
     next_ready =
       (fun ~now ->
         Scheduler.work_conserving_next_ready ~backlog:(fun () -> !pkts) ~now);

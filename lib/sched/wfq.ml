@@ -102,6 +102,7 @@ let create ?(qlimit = 100_000) ~link_rate ~rates () =
     Scheduler.name = "wfq";
     enqueue;
     dequeue;
+    dequeue_many = None;
     next_ready =
       (fun ~now ->
         Scheduler.work_conserving_next_ready ~backlog:(fun () -> !pkts) ~now);

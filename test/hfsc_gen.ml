@@ -319,3 +319,83 @@ module Drive (H : module type of Hfsc) = struct
       (H.classes t);
     Buffer.contents buf
 end
+
+(* --- device-level op streams and fingerprints ------------------------ *)
+(* Shared by the engine/router fuzz (test_fuzz) and the sequential-vs-
+   multicore differential (test_domains): one generator, so the two
+   harnesses throw identical traffic/control interleavings at a device. *)
+
+type eng_act = Cmd of string | Pkt of int * int (* flow, size *) | Drain of int
+type eng_op = { edt : float; eact : eng_act }
+
+(* Op streams are materialized before the run so any failure can print
+   them; [Drain]'s argument is resolved mod the live target count at
+   replay time (link count, burst size). *)
+let gen_eng_ops ~rng ~pool ~flows ~nops =
+  List.init nops (fun _ ->
+      let edt = Random.State.float rng 0.002 in
+      let eact =
+        match Random.State.int rng 10 with
+        | 0 | 1 -> Cmd pool.(Random.State.int rng (Array.length pool))
+        | 2 | 3 | 4 | 5 | 6 ->
+            Pkt
+              ( flows.(Random.State.int rng (Array.length flows)),
+                40 + Random.State.int rng 1460 )
+        | _ -> Drain (Random.State.int rng 1000)
+      in
+      { edt; eact })
+
+let eng_dump ~what ~seed ops =
+  let b = Buffer.create 4096 in
+  Printf.bprintf b "%s seed %d op stream (dt act):\n" what seed;
+  List.iter
+    (fun { edt; eact } ->
+      match eact with
+      | Cmd line -> Printf.bprintf b "  %h cmd %s\n" edt line
+      | Pkt (flow, size) ->
+          Printf.bprintf b "  %h enq flow=%d size=%d\n" edt flow size
+      | Drain r -> Printf.bprintf b "  %h deq %d\n" edt r)
+    ops;
+  Buffer.contents b
+
+(* Full observable state of one engine: hierarchy, per-class scheduler
+   internals, limits, policy, backlog, filter count. Two engines fed
+   the same op stream must fingerprint identically. *)
+let engine_fingerprint eng =
+  let sched = Runtime.Engine.scheduler eng in
+  let b = Buffer.create 512 in
+  Buffer.add_string b (Format.asprintf "%a" Hfsc.pp_hierarchy sched);
+  List.iter
+    (fun c ->
+      Buffer.add_string b (Hfsc.debug_state c);
+      if Hfsc.is_leaf c then
+        Buffer.add_string b
+          (Printf.sprintf "|%d/%d" (Hfsc.queue_limit_pkts c)
+             (Hfsc.queue_limit_bytes c)))
+    (Hfsc.classes sched);
+  Buffer.add_string b
+    (Printf.sprintf "|%d/%d/%b/%d/%d/%d"
+       (Hfsc.aggregate_limit_pkts sched)
+       (Hfsc.aggregate_limit_bytes sched)
+       (Hfsc.drop_policy sched = Hfsc.Drop_longest)
+       (Hfsc.backlog_pkts sched) (Hfsc.backlog_bytes sched)
+       (Runtime.Engine.filter_count eng));
+  Buffer.contents b
+
+(* Device-wide fingerprint over named engines plus a flow directory
+   probe, parameterized so it applies to any router flavour. *)
+let device_fingerprint ~links ~link_of_flow =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun (name, eng) ->
+      Buffer.add_string b name;
+      Buffer.add_char b '=';
+      Buffer.add_string b (engine_fingerprint eng);
+      Buffer.add_char b '\n')
+    links;
+  for flow = 0 to 30 do
+    match link_of_flow flow with
+    | Some l -> Buffer.add_string b (Printf.sprintf "f%d->%s;" flow l)
+    | None -> ()
+  done;
+  Buffer.contents b

@@ -1,0 +1,294 @@
+(* Sequential-vs-multicore differential fuzz: the same fuzzed
+   command/packet interleaving (shared generator in [Hfsc_gen]) drives
+   a [Runtime.Router] and a [Runtime.Mc_router] in lockstep, and every
+   observable must match bit-identically per link:
+
+   - every command reply (success string or typed error) — the control
+     plane is [Router_core] on both sides, but this pins the ring
+     handshake's transactional semantics too;
+   - every enqueue admission outcome and every dequeued packet
+     (identity, class, rt/ls criterion, order) under identical batch
+     cadence, so engine audit ticks line up;
+   - periodic cross-domain [snapshot]s against the sequential engine's;
+   - the final auditor reports, stats exporters, and — after [stop]
+     hands the engines back — the full per-engine state fingerprint.
+
+   Link add/delete churn is part of the stream, so worker attach/detach
+   and directory rebuilds are exercised under load.
+
+   Plain executable so op counts scale:
+   [test_domains.exe [OPS] [SEEDS] [DOMAINS]], defaulting to 400 1 2 —
+   the short deterministic run wired into [dune runtest]. The
+   [@domains] alias runs longer streams with 2 and 4 domains. *)
+
+open Hfsc_gen
+
+let fail fmt =
+  Printf.ksprintf
+    (fun s ->
+      prerr_endline ("domains: " ^ s);
+      exit 1)
+    fmt
+
+let audit_every = 64
+
+module E = Runtime.Engine
+module R = Runtime.Router
+module M = Runtime.Mc_router
+
+(* Same command pool as the router-level fuzz in test_fuzz: scoped
+   reconfiguration, link churn, cross-link violations, ambiguous
+   unscoped ops, and the hostile pool. *)
+let router_command_pool =
+  Array.append
+    [|
+      "link l0 add class tmp parent root flow 10 fsc 0.5Mbit qlimit 16";
+      "link l0 delete class tmp";
+      "link l1 modify class b qlimit 20 qbytes 32768";
+      "link l1 attach filter flow 2 proto udp";
+      "link l1 detach filter flow 2";
+      "link l2 stats";
+      "link l2 limit pkts 100 policy longest";
+      "stats";
+      "stats c";
+      "trace on";
+      "trace dump";
+      "link add extra rate 2Mbit";
+      "link extra add class x parent root flow 20 fsc 1Mbit";
+      "link delete extra";
+      "link list";
+      "link nowhere stats";
+      "link l0 add class dup parent root flow 2 fsc 0.1Mbit";
+      "link l2 attach filter flow 1 proto tcp";
+      "add class amb parent root fsc 1Mbit";
+      "link add l0 rate 1Mbit";
+      "attach filter flow 3 dst 10.9.0.0/16";
+      "detach filter flow 3";
+    |]
+    Netsim.Faults.bad_commands
+
+let show_res = function
+  | Ok s -> "ok: " ^ s
+  | Error e ->
+      Printf.sprintf "error[%s]: %s"
+        (E.error_code_name (E.error_code e))
+        (E.error_message e)
+
+(* one dequeued packet, fully observable *)
+type deq = { flow : int; seq : int; size : int; cls : string; rt : bool }
+
+let show_deq d =
+  Printf.sprintf "flow=%d seq=%d size=%d cls=%s %s" d.flow d.seq d.size d.cls
+    (if d.rt then "rt" else "ls")
+
+let run_differential ~domains ~seed ~nops =
+  let r = R.create ~audit_every ~trace_capacity:256 () in
+  let m = M.create ~audit_every ~trace_capacity:256 ~domains () in
+  let ctx = ref "setup" in
+  let check_res what a b =
+    if show_res a <> show_res b then
+      fail "seed %d (%s, %s): %s:\n  sequential: %s\n  multicore:  %s" seed
+        !ctx what what (show_res a) (show_res b)
+  in
+  List.iter
+    (fun name ->
+      check_res
+        (Printf.sprintf "add_link %s" name)
+        (R.add_link r ~name ~link_rate:1e6)
+        (M.add_link m ~name ~link_rate:1e6))
+    [ "l0"; "l1"; "l2" ];
+  let exec_both ~now line =
+    match Runtime.Command.parse line with
+    | Error _ -> None (* garbage stops at the parser, both sides *)
+    | Ok cmd ->
+        let a = R.exec r ~now cmd in
+        let b = M.exec m ~now cmd in
+        check_res (Printf.sprintf "exec %S" line) a b;
+        Some cmd
+  in
+  List.iter
+    (fun line -> ignore (exec_both ~now:0. line))
+    [
+      "link l0 add class a parent root flow 1 fsc 2Mbit qlimit 64";
+      "link l1 add class b parent root flow 2 fsc 2Mbit rsc 1Mbit";
+      "link l2 add class c parent root flow 3 fsc 2Mbit qbytes 65536";
+    ];
+  let rng = Random.State.make [| 0x5eed; seed; 3 |] in
+  let ops =
+    gen_eng_ops ~rng ~pool:router_command_pool ~flows:[| 1; 2; 3; 10; 20; 77 |]
+      ~nops
+  in
+  let dump = lazy (eng_dump ~what:"domains" ~seed ops) in
+  let now = ref 0. in
+  let pseq = ref 0 in
+  let nop = ref 0 in
+  (* the sequential side mirrors the worker's per-port batch cache:
+     one reusable batch per link, reallocated when the burst size
+     changes, reset on link deletion — identical audit-tick cadence *)
+  let caches : (string, Hfsc.batch ref) Hashtbl.t = Hashtbl.create 8 in
+  let cache_for name =
+    match Hashtbl.find_opt caches name with
+    | Some b -> b
+    | None ->
+        let b = ref (Hfsc.batch ~capacity:1 ()) in
+        Hashtbl.replace caches name b;
+        b
+  in
+  let drain pick =
+    match R.links r with
+    | [] ->
+        if M.link_count m <> 0 then
+          fail "seed %d (op %d): link counts diverge: 0 vs %d" seed !nop
+            (M.link_count m)
+    | links ->
+        let name, eng = List.nth links (pick mod List.length links) in
+        let max = 1 + (pick mod 8) in
+        let bc = cache_for name in
+        if Hfsc.batch_capacity !bc <> max then
+          bc := Hfsc.batch ~capacity:max ();
+        let b = !bc in
+        let n_seq = E.dequeue_batch eng ~now:!now b in
+        let seq_pkts =
+          List.init n_seq (fun i ->
+              let pkt = Hfsc.batch_pkt b i in
+              {
+                flow = pkt.Pkt.Packet.flow;
+                seq = pkt.Pkt.Packet.seq;
+                size = pkt.Pkt.Packet.size;
+                cls = Hfsc.name (Hfsc.batch_cls b i);
+                rt =
+                  (match Hfsc.batch_crit b i with
+                  | Hfsc.Realtime -> true
+                  | Hfsc.Linkshare -> false);
+              })
+        in
+        let mc_pkts = ref [] in
+        let n_mc =
+          M.dequeue_batch m ~link:name ~now:!now ~max ~f:(fun ~pkt ~cls ~rt ->
+              mc_pkts :=
+                {
+                  flow = pkt.Pkt.Packet.flow;
+                  seq = pkt.Pkt.Packet.seq;
+                  size = pkt.Pkt.Packet.size;
+                  cls;
+                  rt;
+                }
+                :: !mc_pkts)
+        in
+        let mc_pkts = List.rev !mc_pkts in
+        if n_seq <> n_mc || seq_pkts <> mc_pkts then
+          fail
+            "seed %d (op %d): dequeue_batch diverges on link %S (max %d):\n\
+            \  sequential (%d): %s\n\
+            \  multicore  (%d): %s\n\
+             %s"
+            seed !nop name max n_seq
+            (String.concat "; " (List.map show_deq seq_pkts))
+            n_mc
+            (String.concat "; " (List.map show_deq mc_pkts))
+            (Lazy.force dump)
+  in
+  let compare_snapshots () =
+    List.iter
+      (fun (name, eng) ->
+        let a = E.snapshot eng in
+        match M.snapshot m ~link:name with
+        | None ->
+            fail "seed %d (op %d): link %S missing on the multicore side" seed
+              !nop name
+        | Some b ->
+            if a <> b then
+              fail "seed %d (op %d): snapshot of link %S diverges\n%s" seed
+                !nop name (Lazy.force dump))
+      (R.links r)
+  in
+  (try
+     List.iter
+       (fun { edt; eact } ->
+         incr nop;
+         ctx := Printf.sprintf "op %d" !nop;
+         now := !now +. edt;
+         (match eact with
+         | Cmd line -> (
+             match exec_both ~now:!now line with
+             | Some { Runtime.Command.op = Runtime.Command.Link_delete l; _ } ->
+                 Hashtbl.remove caches l
+             | _ -> ())
+         | Pkt (flow, size) ->
+             incr pseq;
+             let pkt =
+               Pkt.Packet.make ~flow ~size ~seq:!pseq ~arrival:!now
+             in
+             let a = R.enqueue_flow r ~now:!now pkt in
+             let b = M.enqueue_flow m ~now:!now pkt in
+             if a <> b then
+               fail
+                 "seed %d (op %d): admission diverges for flow %d: %b vs %b\n%s"
+                 seed !nop flow a b (Lazy.force dump)
+         | Drain pick -> drain pick);
+         if !nop mod 97 = 0 then compare_snapshots ();
+         if !nop mod 151 = 0 then begin
+           let a = R.audit r and b = M.audit m in
+           if a <> b then
+             fail "seed %d (op %d): auditor reports diverge:\n%s\nvs\n%s" seed
+               !nop (String.concat "\n" a) (String.concat "\n" b)
+         end)
+       ops
+   with E.Audit_failure errs ->
+     fail "seed %d (%s): audit failed:\n  %s\n%s" seed !ctx
+       (String.concat "\n  " errs)
+       (Lazy.force dump));
+  (* final: auditor, exporters, then stop the workers and fingerprint
+     the engines they hand back against the sequential ones *)
+  ctx := "final";
+  (match (R.audit r, M.audit m) with
+  | [], [] -> ()
+  | a, b ->
+      fail "seed %d: final audits: %s vs %s" seed (String.concat "; " a)
+        (String.concat "; " b));
+  if R.stats_text r <> M.stats_text m then
+    fail "seed %d: stats_text diverges\n%s" seed (Lazy.force dump);
+  if
+    Json_lite.to_string (R.stats_json r)
+    <> Json_lite.to_string (M.stats_json m)
+  then fail "seed %d: stats_json diverges\n%s" seed (Lazy.force dump);
+  compare_snapshots ();
+  let mc_links = M.stop m in
+  let seq_links = R.links r in
+  if List.map fst mc_links <> List.map fst seq_links then
+    fail "seed %d: link sets diverge after stop: [%s] vs [%s]" seed
+      (String.concat "; " (List.map fst seq_links))
+      (String.concat "; " (List.map fst mc_links));
+  List.iter2
+    (fun (name, a) (_, b) ->
+      if engine_fingerprint a <> engine_fingerprint b then
+        fail "seed %d: engine fingerprints diverge on link %S\n%s" seed name
+          (Lazy.force dump))
+    seq_links mc_links;
+  let fp_seq =
+    device_fingerprint ~links:seq_links ~link_of_flow:(R.link_of_flow r)
+  in
+  let fp_mc =
+    device_fingerprint ~links:mc_links ~link_of_flow:(M.link_of_flow m)
+  in
+  if fp_seq <> fp_mc then
+    fail "seed %d: device fingerprints diverge\n%s" seed (Lazy.force dump)
+
+let () =
+  let arg i d =
+    if Array.length Sys.argv > i then int_of_string Sys.argv.(i) else d
+  in
+  let nops = arg 1 400 in
+  let seeds = arg 2 1 in
+  let domains = arg 3 2 in
+  for seed = 0 to seeds - 1 do
+    run_differential ~domains ~seed ~nops
+  done;
+  Printf.printf
+    "domains ok: %d seed%s x %d ops x %d domain%s: multicore router \
+     bit-identical to the sequential router (replies, admissions, dequeues, \
+     snapshots, audits, exporters, final engine fingerprints)\n"
+    seeds
+    (if seeds = 1 then "" else "s")
+    nops domains
+    (if domains = 1 then "" else "s")

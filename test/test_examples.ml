@@ -237,6 +237,27 @@ let test_script_file_attribution () =
   | Error { Runtime.Command.line; _ } ->
       Alcotest.(check int) "unreadable file reports line 0" 0 line
 
+(* E14 (reconfiguration transients) is not just a printed figure: the
+   real-time class's bound must hold in all three windows, every
+   mid-run command must be accepted, and the qlimit squeeze must have
+   produced real drops on the backlogged sibling — otherwise the
+   experiment silently measured an idle scheduler. *)
+let test_e14_transient () =
+  let r = Experiments.E14_transient.run () in
+  let open Experiments.E14_transient in
+  Alcotest.(check int) "all mid-run commands accepted" 4 r.commands_ok;
+  Alcotest.(check bool) "sibling really dropped packets" true
+    (r.data_drops_during > 0);
+  let within name d =
+    if d > r.bound then
+      Alcotest.failf "%s window: %.6f s exceeds the %.6f s bound" name d
+        r.bound;
+    if d <= 0. then Alcotest.failf "%s window saw no audio packets" name
+  in
+  within "before" r.before_max;
+  within "during" r.during_max;
+  within "after" r.after_max
+
 let () =
   Alcotest.run "examples"
     [
@@ -252,5 +273,7 @@ let () =
             test_router_pair_replays;
           Alcotest.test_case "script file attribution" `Quick
             test_script_file_attribution;
+          Alcotest.test_case "E14 reconfiguration transient" `Quick
+            test_e14_transient;
         ] );
     ]

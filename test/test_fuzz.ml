@@ -126,62 +126,15 @@ let command_pool =
     |]
     Netsim.Faults.bad_commands
 
-(* Engine/router op streams are materialized before the run so any
-   failure can print them; [arg] values are resolved mod the live
-   target count at replay time (pool size, flow table, link count). *)
-type eng_act = Cmd of string | Pkt of int * int (* flow, size *) | Drain of int
-
-type eng_op = { edt : float; eact : eng_act }
-
-let gen_eng_ops ~rng ~pool ~flows ~nops =
-  List.init nops (fun _ ->
-      let edt = Random.State.float rng 0.002 in
-      let eact =
-        match Random.State.int rng 10 with
-        | 0 | 1 -> Cmd pool.(Random.State.int rng (Array.length pool))
-        | 2 | 3 | 4 | 5 | 6 ->
-            Pkt
-              ( flows.(Random.State.int rng (Array.length flows)),
-                40 + Random.State.int rng 1460 )
-        | _ -> Drain (Random.State.int rng 1000)
-      in
-      { edt; eact })
-
-let eng_dump ~what ~seed ops =
-  let b = Buffer.create 4096 in
-  Printf.bprintf b "%s seed %d op stream (dt act):\n" what seed;
-  List.iter
-    (fun { edt; eact } ->
-      match eact with
-      | Cmd line -> Printf.bprintf b "  %h cmd %s\n" edt line
-      | Pkt (flow, size) ->
-          Printf.bprintf b "  %h enq flow=%d size=%d\n" edt flow size
-      | Drain r -> Printf.bprintf b "  %h deq %d\n" edt r)
-    ops;
-  Buffer.contents b
+(* The op-stream generator, its dump and the state fingerprints live in
+   [Hfsc_gen] (shared with the sequential-vs-multicore differential in
+   test_domains); the open brings [Cmd]/[Pkt]/[Drain] and the
+   [gen_eng_ops]/[eng_dump] helpers into scope. *)
+open Hfsc_gen
 
 module E = Runtime.Engine
 
-let fingerprint eng =
-  let sched = E.scheduler eng in
-  let b = Buffer.create 512 in
-  Buffer.add_string b (Format.asprintf "%a" Hfsc.pp_hierarchy sched);
-  List.iter
-    (fun c ->
-      Buffer.add_string b (Hfsc.debug_state c);
-      if Hfsc.is_leaf c then
-        Buffer.add_string b
-          (Printf.sprintf "|%d/%d" (Hfsc.queue_limit_pkts c)
-             (Hfsc.queue_limit_bytes c)))
-    (Hfsc.classes sched);
-  Buffer.add_string b
-    (Printf.sprintf "|%d/%d/%b/%d/%d/%d"
-       (Hfsc.aggregate_limit_pkts sched)
-       (Hfsc.aggregate_limit_bytes sched)
-       (Hfsc.drop_policy sched = Hfsc.Drop_longest)
-       (Hfsc.backlog_pkts sched) (Hfsc.backlog_bytes sched)
-       (E.filter_count eng));
-  Buffer.contents b
+let fingerprint = engine_fingerprint
 
 let engine_fuzz ~seed ~nops =
   let cfg =

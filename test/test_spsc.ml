@@ -1,0 +1,189 @@
+(* Unit, property and two-domain stress tests for the lock-free SPSC
+   ring (lib/ds/spsc_ring) that carries the multicore router's
+   messages. The single-domain tests pin the boundary behaviour
+   (capacity 1, full, empty, wraparound) and check the ring against a
+   Queue model; the two-domain tests push a known sequence through the
+   ring under real parallelism (or interleaved scheduling on one core)
+   and verify order and checksums on the other side. *)
+
+module Ring = Ds.Spsc_ring
+
+let qt ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* --- boundaries ------------------------------------------------------- *)
+
+let test_create () =
+  Alcotest.check_raises "capacity 0"
+    (Invalid_argument "Spsc_ring.create: capacity must be >= 1") (fun () ->
+      ignore (Ring.create ~capacity:0 ~dummy:0));
+  let r = Ring.create ~capacity:5 ~dummy:0 in
+  Alcotest.(check int) "capacity as asked" 5 (Ring.capacity r);
+  Alcotest.(check bool) "starts empty" true (Ring.is_empty r);
+  Alcotest.(check int) "length 0" 0 (Ring.length r)
+
+let test_capacity_one () =
+  let r = Ring.create ~capacity:1 ~dummy:(-1) in
+  Alcotest.(check bool) "push into empty" true (Ring.try_push r 7);
+  Alcotest.(check bool) "full refuses" false (Ring.try_push r 8);
+  Alcotest.(check (option int)) "peek" (Some 7) (Ring.peek r);
+  Alcotest.(check (option int)) "pop" (Some 7) (Ring.try_pop r);
+  Alcotest.(check (option int)) "empty refuses" None (Ring.try_pop r);
+  Alcotest.(check bool) "usable again" true (Ring.try_push r 9);
+  Alcotest.(check (option int)) "fifo" (Some 9) (Ring.try_pop r)
+
+let test_full_empty () =
+  let cap = 3 in
+  let r = Ring.create ~capacity:cap ~dummy:0 in
+  for i = 1 to cap do
+    Alcotest.(check bool) (Printf.sprintf "push %d" i) true (Ring.try_push r i)
+  done;
+  Alcotest.(check int) "length = capacity" cap (Ring.length r);
+  Alcotest.(check bool) "push into full" false (Ring.try_push r 99);
+  for i = 1 to cap do
+    Alcotest.(check (option int))
+      (Printf.sprintf "pop %d" i)
+      (Some i) (Ring.try_pop r)
+  done;
+  Alcotest.(check (option int)) "pop from empty" None (Ring.try_pop r)
+
+let test_wraparound () =
+  (* capacity 3 rounds up to a physical 4; push/pop far past one lap so
+     head and tail wrap the physical buffer many times *)
+  let r = Ring.create ~capacity:3 ~dummy:0 in
+  for i = 0 to 999 do
+    Alcotest.(check bool) "push" true (Ring.try_push r i);
+    Alcotest.(check bool) "push" true (Ring.try_push r (i + 1000));
+    Alcotest.(check (option int)) "pop" (Some i) (Ring.try_pop r);
+    Alcotest.(check (option int)) "pop" (Some (i + 1000)) (Ring.try_pop r)
+  done;
+  Alcotest.(check bool) "empty at the end" true (Ring.is_empty r)
+
+(* --- model check ------------------------------------------------------ *)
+
+(* drive ring and Queue with the same push/pop script; every
+   observation must match, with the Queue truncated at [cap] *)
+let model_check =
+  qt "spsc_ring: matches a bounded Queue model"
+    QCheck2.Gen.(
+      pair (int_range 1 8) (list (pair bool (int_range 0 1000))))
+    (fun (cap, script) ->
+      let r = Ring.create ~capacity:cap ~dummy:(-1) in
+      let q = Queue.create () in
+      List.for_all
+        (fun (is_push, v) ->
+          if is_push then
+            let ok = Ring.try_push r v in
+            let model_ok = Queue.length q < cap in
+            if model_ok then Queue.push v q;
+            ok = model_ok
+            && Ring.length r = Queue.length q
+            && Ring.peek r = Queue.peek_opt q
+          else
+            let got = Ring.try_pop r in
+            let want = Queue.take_opt q in
+            got = want && Ring.length r = Queue.length q)
+        script)
+
+(* --- two-domain stress ------------------------------------------------ *)
+
+(* Brief spin, then a real sleep: on a single-core host two domains
+   spinning [cpu_relax] only hand the core over at the end of an OS
+   timeslice, which turns these stress runs into minutes — the sleep
+   forces the switch. *)
+let backoff tries =
+  if tries < 64 then Domain.cpu_relax () else Unix.sleepf 0.0002
+
+(* producer pushes 0..n-1; consumer pops until it has seen n values;
+   order must be exact and the checksum must match *)
+let stress ~capacity ~n () =
+  let r = Ring.create ~capacity ~dummy:(-1) in
+  let consumer =
+    Domain.spawn (fun () ->
+        let sum = ref 0 and seen = ref 0 and ordered = ref true in
+        let tries = ref 0 in
+        while !seen < n do
+          match Ring.try_pop r with
+          | Some v ->
+              if v <> !seen then ordered := false;
+              sum := !sum + v;
+              incr seen;
+              tries := 0
+          | None ->
+              incr tries;
+              backoff !tries
+        done;
+        (!sum, !ordered))
+  in
+  let i = ref 0 in
+  let tries = ref 0 in
+  while !i < n do
+    if Ring.try_push r !i then begin
+      incr i;
+      tries := 0
+    end
+    else begin
+      incr tries;
+      backoff !tries
+    end
+  done;
+  let sum, ordered = Domain.join consumer in
+  Alcotest.(check bool) "order preserved" true ordered;
+  Alcotest.(check int) "checksum" (n * (n - 1) / 2) sum;
+  Alcotest.(check bool) "empty afterwards" true (Ring.is_empty r)
+
+let test_stress_small_ring () = stress ~capacity:1 ~n:5_000 ()
+let test_stress_wide_ring () = stress ~capacity:64 ~n:100_000 ()
+
+(* same, but the values are heap blocks: exercises publication of
+   freshly allocated objects across the domain boundary *)
+let test_stress_boxed () =
+  let n = 20_000 in
+  let r = Ring.create ~capacity:16 ~dummy:(0, 0) in
+  let consumer =
+    Domain.spawn (fun () ->
+        let ok = ref true and seen = ref 0 and tries = ref 0 in
+        while !seen < n do
+          match Ring.try_pop r with
+          | Some (a, b) ->
+              if a <> !seen || b <> 2 * !seen then ok := false;
+              incr seen;
+              tries := 0
+          | None ->
+              incr tries;
+              backoff !tries
+        done;
+        !ok)
+  in
+  let i = ref 0 in
+  let tries = ref 0 in
+  while !i < n do
+    if Ring.try_push r (!i, 2 * !i) then begin
+      incr i;
+      tries := 0
+    end
+    else begin
+      incr tries;
+      backoff !tries
+    end
+  done;
+  Alcotest.(check bool) "boxed payloads intact" true (Domain.join consumer)
+
+let () =
+  Alcotest.run "spsc_ring"
+    [
+      ( "boundaries",
+        [
+          Alcotest.test_case "create" `Quick test_create;
+          Alcotest.test_case "capacity one" `Quick test_capacity_one;
+          Alcotest.test_case "full/empty" `Quick test_full_empty;
+          Alcotest.test_case "wraparound" `Quick test_wraparound;
+        ] );
+      ("model", [ model_check ]);
+      ( "two domains",
+        [
+          Alcotest.test_case "stress capacity 1" `Quick test_stress_small_ring;
+          Alcotest.test_case "stress capacity 64" `Quick test_stress_wide_ring;
+          Alcotest.test_case "boxed payloads" `Quick test_stress_boxed;
+        ] );
+    ]
