@@ -83,8 +83,7 @@ let[@inline always] y2x c v =
   else if v <= c.y + c.dy then
     if c.dy = 0 then c.x + c.dx else c.x + seg_y2x (v - c.y) c.ism1
   else if c.sm2 > 0 then c.x + c.dx + seg_y2x (v - c.y - c.dy) c.ism2
-  else if v = c.y + c.dy then c.x + c.dx
-  else ht_infinity
+  else ht_infinity (* flat tail: v > y + dy is never reached *)
 
 (* Branch-for-branch port of Runtime_curve.min_with (Fig. 8 /
    rtsc_min), with the crossing division done as a two-step

@@ -116,18 +116,22 @@ module Make (S : SPEC) = struct
       bal root
     end
 
-  (* Out-parameter for [remove_min], to avoid allocating a result pair
-     on the per-packet path. Single-threaded by design, like the rest
-     of the scheduler. *)
-  let removed_min = ref S.nil
-
-  let rec remove_min root =
-    if S.left root == nil then begin
-      removed_min := root;
-      S.right root
-    end
+  let rec min_elt root =
+    if root == nil then nil
     else begin
-      S.set_left root (remove_min (S.left root));
+      let l = S.left root in
+      if l == nil then root else min_elt l
+    end
+
+  (* Successor extraction for removal: find the minimum ([min_elt]),
+     then detach it. Two left-spine descents, but no allocated result
+     pair and no shared scratch state — a module-level out-param ref
+     would be one cell per functor application, racing between trees
+     used on different domains. *)
+  let rec detach_min root =
+    if S.left root == nil then S.right root
+    else begin
+      S.set_left root (detach_min (S.left root));
       bal root
     end
 
@@ -153,21 +157,13 @@ module Make (S : SPEC) = struct
         clear_node root;
         if r == nil then l
         else begin
-          let r' = remove_min r in
-          let s = !removed_min in
-          removed_min := S.nil;
+          let s = min_elt r in
+          let r' = detach_min r in
           S.set_left s l;
           S.set_right s r';
           bal s
         end
       end
-    end
-
-  let rec min_elt root =
-    if root == nil then nil
-    else begin
-      let l = S.left root in
-      if l == nil then root else min_elt l
     end
 
   let rec max_elt root =

@@ -269,17 +269,23 @@ let rec ed_insert_node x root =
     ed_bal root
   end
 
-(* Out-parameter for the successor extraction in removal, so no result
-   pair is allocated on the per-packet path. *)
-let ed_removed_min = ref nil
-
-let rec ed_remove_min root =
-  if root.ed_l == nil then begin
-    ed_removed_min := root;
-    root.ed_r
-  end
+let rec ed_min_node root =
+  if root == nil then nil
   else begin
-    root.ed_l <- ed_remove_min root.ed_l;
+    let l = root.ed_l in
+    if l == nil then root else ed_min_node l
+  end
+
+(* Successor extraction for removal is two left-spine descents: find
+   the minimum ([ed_min_node]), then detach it. One combined descent
+   would need either an allocated result pair or a shared out-param;
+   the pair costs a heap word per removal on the per-packet path and a
+   module-level ref is shared mutable state across every [t] — a data
+   race once Runtime.Mc_router runs one scheduler per domain. *)
+let rec ed_detach_min root =
+  if root.ed_l == nil then root.ed_r
+  else begin
+    root.ed_l <- ed_detach_min root.ed_l;
     ed_bal root
   end
 
@@ -302,21 +308,13 @@ let rec ed_remove_node x root =
       root.ed_h <- 0;
       if r == nil then l
       else begin
-        let r' = ed_remove_min r in
-        let s = !ed_removed_min in
-        ed_removed_min := nil;
+        let s = ed_min_node r in
+        let r' = ed_detach_min r in
         s.ed_l <- l;
         s.ed_r <- r';
         ed_bal s
       end
     end
-  end
-
-let rec ed_min_node root =
-  if root == nil then nil
-  else begin
-    let l = root.ed_l in
-    if l == nil then root else ed_min_node l
   end
 
 (* Minimum-(deadline, id) among nodes with e <= now: if a node is
@@ -412,15 +410,19 @@ let rec vt_insert_node x root =
     vt_bal root
   end
 
-let vt_removed_min = ref nil
-
-let rec vt_remove_min root =
-  if root.vt_l == nil then begin
-    vt_removed_min := root;
-    root.vt_r
-  end
+let rec vt_min_node root =
+  if root == nil then nil
   else begin
-    root.vt_l <- vt_remove_min root.vt_l;
+    let l = root.vt_l in
+    if l == nil then root else vt_min_node l
+  end
+
+(* find-then-detach, for the same no-shared-state reason as
+   [ed_detach_min] *)
+let rec vt_detach_min root =
+  if root.vt_l == nil then root.vt_r
+  else begin
+    root.vt_l <- vt_detach_min root.vt_l;
     vt_bal root
   end
 
@@ -443,9 +445,8 @@ let rec vt_remove_node x root =
       root.vt_h <- 0;
       if r == nil then l
       else begin
-        let r' = vt_remove_min r in
-        let s = !vt_removed_min in
-        vt_removed_min := nil;
+        let s = vt_min_node r in
+        let r' = vt_detach_min r in
         s.vt_l <- l;
         s.vt_r <- r';
         vt_bal s
@@ -474,6 +475,8 @@ let rec vt_go_ff now n =
     end
   end
 
+let dummy_pkt = Pkt.Packet.make ~flow:0 ~size:1 ~seq:0 ~arrival:0.
+
 type t = {
   link_rate : float;
   vt_policy : vt_policy;
@@ -495,6 +498,14 @@ type t = {
      an arriving packet refused admission the class is the destination
      leaf; under {!Drop_longest} eviction it is the victim. *)
   mutable on_drop : float -> cls -> Pkt.Packet.t -> unit;
+  (* out-parameters of [dequeue_core], valid when it returned a
+     non-nil leaf: what was served and under which criterion. Fields
+     of the instance rather than module-level refs so the single and
+     batched entry points stay allocation-free without any state
+     shared between schedulers — Runtime.Mc_router dequeues on
+     several [t]s concurrently, one per worker domain. *)
+  mutable deq_pkt : Pkt.Packet.t;
+  mutable deq_crit : criterion;
 }
 
 let isc_opt = function Some s -> Fp.isc_of_sc s | None -> zero_isc
@@ -572,6 +583,8 @@ let create ?(vt_policy = Vt_mean) ?(eligible_policy = Eligible_paper)
     agg_bytes = agg_limit_bytes;
     policy = drop_policy;
     on_drop = no_drop_hook;
+    deq_pkt = dummy_pkt;
+    deq_crit = Realtime;
   }
 
 let root t = t.troot
@@ -768,8 +781,7 @@ let[@inline always] rc_inverse (c : Fp.t) v =
   else if v <= c.y + c.dy then
     if c.dy = 0 then c.x + c.dx else c.x + seg_y2x (v - c.y) c.ism1
   else if c.sm2 > 0 then c.x + c.dx + seg_y2x (v - c.y - c.dy) c.ism2
-  else if v = c.y + c.dy then c.x + c.dx
-  else ht_infinity
+  else ht_infinity (* flat tail: v > y + dy is never reached *)
 
 let imax (a : int) (b : int) = if a > b then a else b
 let imin (a : int) (b : int) = if a < b then a else b
@@ -1089,19 +1101,11 @@ let rec descend_ls c now =
     end
   end
 
-(* Out-parameters of [dequeue_core]: what was served, valid when the
-   returned leaf is not [nil]. Refs at the module top so the core and
-   both public entry points (single and batched) stay allocation-free;
-   same idiom as [ed_removed_min]. *)
-let dummy_pkt = Pkt.Packet.make ~flow:0 ~size:1 ~seq:0 ~arrival:0.
-let deq_pkt = ref dummy_pkt
-let deq_crit = ref Realtime
-
 (* One dequeue decision at tick [now]: returns the served leaf ([nil]
    for "nothing servable") and leaves the packet and criterion in the
-   out-params. Both [dequeue] and [dequeue_batch] are thin wrappers, so
-   a batch is bit-identical to the equivalent sequence of singles by
-   construction. *)
+   instance's [deq_pkt]/[deq_crit] out-params. Both [dequeue] and
+   [dequeue_batch] are thin wrappers, so a batch is bit-identical to
+   the equivalent sequence of singles by construction. *)
 let dequeue_core t now =
   if t.bl_pkts = 0 then nil
   else begin
@@ -1137,15 +1141,15 @@ let dequeue_core t now =
               | Linkshare -> update_d t leaf next.Pkt.Packet.size)
           | None -> ())
       | None -> ed_remove t leaf);
-      deq_pkt := pkt;
-      deq_crit := crit;
+      t.deq_pkt <- pkt;
+      t.deq_crit <- crit;
       leaf
     end
   end
 
 let dequeue t ~now =
   let leaf = dequeue_core t (Fp.ticks_of_seconds now) in
-  if leaf == nil then None else Some (!deq_pkt, leaf, !deq_crit)
+  if leaf == nil then None else Some (t.deq_pkt, leaf, t.deq_crit)
 
 (* --- batched entry points ------------------------------------------ *)
 
@@ -1194,9 +1198,9 @@ let rec deq_batch_loop t now b i cap =
     else begin
       (* [i < cap = Array.length b.bpkts] and all three arrays share
          that length by construction *)
-      Array.unsafe_set b.bpkts i !deq_pkt;
+      Array.unsafe_set b.bpkts i t.deq_pkt;
       Array.unsafe_set b.bcls i leaf;
-      Array.unsafe_set b.bcrit i !deq_crit;
+      Array.unsafe_set b.bcrit i t.deq_crit;
       deq_batch_loop t now b (i + 1) cap
     end
   end

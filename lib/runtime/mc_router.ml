@@ -2,8 +2,9 @@
 
    - each link is wrapped in a [port]: an input SPSC ring of [msg]
      (enqueue batches, dequeue requests, control ops, queries), an
-     output SPSC ring of dequeued packets, and a reusable completion
-     cell;
+     output SPSC ring of dequeued packets, and two reusable completion
+     cells — one for synchronous requests, one dedicated to the
+     overlappable dequeue;
    - each worker domain owns a set of ports (round-robin assignment)
      plus an admin ring for attach/detach/stop, and loops: admin ring
      first, then one message per port per scan; idle workers spin
@@ -114,7 +115,13 @@ type port = {
   p_in : msg Ring.t;
   p_out : deq Ring.t;
   p_worker : worker;
-  p_cell : cell; (* reused by every synchronous request *)
+  p_cell : cell; (* reused by every synchronous (blocking) request *)
+  (* dedicated reply cell for [M_dequeue]: a dequeue is the one request
+     the producer may leave outstanding (post_dequeue/finish_dequeue),
+     so its reply must not share [p_cell] with the synchronous ops the
+     caller may legally issue in between — a shared cell would let a
+     query's reply overwrite the pending dequeue count *)
+  p_deq_cell : cell;
   mutable p_pending : bool; (* a dequeue is outstanding *)
 }
 
@@ -420,6 +427,7 @@ let create ?trace_capacity ?tracing ?audit_every ?(ring_capacity = 1024)
         p_out = Ring.create ~capacity:out_capacity ~dummy:dummy_deq;
         p_worker = w;
         p_cell = cell ();
+        p_deq_cell = cell ();
         p_pending = false;
       }
     in
@@ -545,7 +553,7 @@ let post_dequeue_port p ~now ~max =
          p.p_name);
   raise_poison p.p_worker;
   let max = min max (Ring.capacity p.p_out) in
-  post p (M_dequeue { d_now = now; d_max = max; d_cell = p.p_cell });
+  post p (M_dequeue { d_now = now; d_max = max; d_cell = p.p_deq_cell });
   p.p_pending <- true
 
 let finish_dequeue_port p ~f =
@@ -555,7 +563,7 @@ let finish_dequeue_port p ~f =
   p.p_pending <- false;
   (* cleared before [await]: a worker-side exception must not wedge the
      port *)
-  match await p.p_cell with
+  match await p.p_deq_cell with
   | R_count n ->
       for _ = 1 to n do
         match Ring.try_pop p.p_out with

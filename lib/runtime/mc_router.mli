@@ -38,7 +38,10 @@
     {b Caller discipline.} A value of this type is {e not} thread-safe:
     all calls must come from the domain that created it (the single
     producer of every ring). At most one dequeue may be outstanding per
-    link between {!post_dequeue} and {!finish_dequeue}. *)
+    link between {!post_dequeue} and {!finish_dequeue}; other
+    operations on that link remain legal in between (the dequeue reply
+    travels on its own cell, so ring FIFO order still applies them
+    after the posted dequeue). *)
 
 type t
 

@@ -8,7 +8,10 @@
      handshake's transactional semantics too;
    - every enqueue admission outcome and every dequeued packet
      (identity, class, rt/ls criterion, order) under identical batch
-     cadence, so engine audit ticks line up;
+     cadence, so engine audit ticks line up — half the drains use the
+     overlapped [post_dequeue]/[finish_dequeue] form with a
+     synchronous query interleaved, pinning the per-port reply-cell
+     separation;
    - periodic cross-domain [snapshot]s against the sequential engine's;
    - the final auditor reports, stats exporters, and — after [stop]
      hands the engines back — the full per-engine state fingerprint.
@@ -163,18 +166,43 @@ let run_differential ~domains ~seed ~nops =
               })
         in
         let mc_pkts = ref [] in
-        let n_mc =
-          M.dequeue_batch m ~link:name ~now:!now ~max ~f:(fun ~pkt ~cls ~rt ->
-              mc_pkts :=
-                {
-                  flow = pkt.Pkt.Packet.flow;
-                  seq = pkt.Pkt.Packet.seq;
-                  size = pkt.Pkt.Packet.size;
-                  cls;
-                  rt;
-                }
-                :: !mc_pkts)
+        let record ~pkt ~cls ~rt =
+          mc_pkts :=
+            {
+              flow = pkt.Pkt.Packet.flow;
+              seq = pkt.Pkt.Packet.seq;
+              size = pkt.Pkt.Packet.size;
+              cls;
+              rt;
+            }
+            :: !mc_pkts
         in
+        (* alternate between the blocking form and the overlapped
+           post/finish form with a synchronous query interleaved while
+           the dequeue is outstanding: the query's reply rides the
+           port's sync cell, the dequeue's its dedicated cell, and
+           neither may clobber the other *)
+        let n_mc, mc_bl =
+          if pick land 1 = 0 && M.post_dequeue m ~link:name ~now:!now ~max
+          then begin
+            let bl = M.backlog m ~link:name in
+            (M.finish_dequeue m ~link:name ~f:record, bl)
+          end
+          else (M.dequeue_batch m ~link:name ~now:!now ~max ~f:record, None)
+        in
+        (match mc_bl with
+        | Some (bp, bb) ->
+            (* ring FIFO: the query ran after the posted dequeue, so it
+               must see the sequential side's post-dequeue backlog *)
+            let s = E.scheduler eng in
+            if bp <> Hfsc.backlog_pkts s || bb <> Hfsc.backlog_bytes s then
+              fail
+                "seed %d (op %d): overlapped backlog diverges on link %S: \
+                 %d/%dB vs %d/%dB\n\
+                 %s"
+                seed !nop name (Hfsc.backlog_pkts s) (Hfsc.backlog_bytes s)
+                bp bb (Lazy.force dump)
+        | None -> ());
         let mc_pkts = List.rev !mc_pkts in
         if n_seq <> n_mc || seq_pkts <> mc_pkts then
           fail
