@@ -497,13 +497,202 @@ let router_cmd =
   Cmd.v (Cmd.info "router" ~doc)
     Term.(const run $ file $ script $ seconds $ stats_json $ domains)
 
+let daemon_cmd =
+  let doc =
+    "Serve a live control plane on a Unix-domain socket: load a \
+     configuration (every link statement becomes a live H-FSC engine) and \
+     answer line-oriented requests — the full command grammar plus ping, \
+     audit, stats-json, spill start/stop/status (binary trace spill), \
+     quit and shutdown. With --domains N every link's engine runs on a \
+     worker domain (the multicore router). Talk to it with 'hfsc_sim ctl'."
+  in
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"CONFIG")
+  in
+  let socket =
+    Arg.(required & opt (some string) None
+         & info [ "socket" ] ~docv:"PATH"
+             ~doc:"Unix-domain socket path to listen on.")
+  in
+  let domains =
+    Arg.(value & opt int 1
+         & info [ "domains" ] ~docv:"N"
+             ~doc:"Worker domains (1 = sequential router).")
+  in
+  let audit_every =
+    Arg.(value & opt int 0
+         & info [ "audit-every" ] ~docv:"N"
+             ~doc:"Run the invariant auditor every $(docv) operations \
+                   (0 disables).")
+  in
+  let run file socket domains audit_every =
+    match Config.load file with
+    | Error e ->
+        Printf.eprintf "%s: %s\n" file e;
+        1
+    | Ok cfg ->
+        List.iter
+          (fun w -> Printf.eprintf "warning: %s\n" w)
+          (Config.validate cfg);
+        if domains < 1 then begin
+          prerr_endline "daemon: --domains must be >= 1";
+          1
+        end
+        else begin
+          let backend, finish =
+            if domains = 1 then
+              ( Runtime.Daemon.backend_of_router
+                  (Runtime.Router.of_config ~audit_every cfg),
+                fun () -> () )
+            else
+              let m = Runtime.Mc_router.of_config ~audit_every ~domains cfg in
+              ( Runtime.Daemon.backend_of_mc_router m,
+                fun () -> ignore (Runtime.Mc_router.stop m) )
+          in
+          let d = Runtime.Daemon.create ~socket backend in
+          Printf.printf "hfsc_sim daemon: %d domain%s, listening on %s\n%!"
+            domains
+            (if domains = 1 then "" else "s")
+            socket;
+          Fun.protect ~finally:finish (fun () -> Runtime.Daemon.serve d);
+          print_endline "daemon: shutdown";
+          0
+        end
+  in
+  Cmd.v (Cmd.info "daemon" ~doc)
+    Term.(const run $ file $ socket $ domains $ audit_every)
+
+let ctl_cmd =
+  let doc =
+    "Send request lines to a running 'hfsc_sim daemon': each LINE argument \
+     (or, with none, each line of standard input) is one request; replies \
+     print to standard output, errors as 'error CODE: message'. Exits \
+     nonzero if any request was refused."
+  in
+  let socket =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"SOCKET")
+  in
+  let lines = Arg.(value & pos_right 0 string [] & info [] ~docv:"LINE") in
+  let run socket lines =
+    match Runtime.Daemon.Client.connect socket with
+    | exception Unix.Unix_error (err, _, _) ->
+        Printf.eprintf "ctl: %s: %s\n" socket (Unix.error_message err);
+        1
+    | conn ->
+        let errors = ref 0 in
+        let send line =
+          match Runtime.Daemon.Client.request conn line with
+          | Ok body -> if body <> "" then print_endline body
+          | Error (code, msg) ->
+              incr errors;
+              Printf.printf "error %s: %s\n" code msg
+          | exception End_of_file ->
+              incr errors;
+              prerr_endline "ctl: daemon closed the connection"
+        in
+        (match lines with
+        | [] -> (
+            try
+              while true do
+                send (input_line stdin)
+              done
+            with End_of_file -> ())
+        | ls -> List.iter send ls);
+        Runtime.Daemon.Client.close conn;
+        if !errors > 0 then 1 else 0
+  in
+  Cmd.v (Cmd.info "ctl" ~doc) Term.(const run $ socket $ lines)
+
+let soak_cmd =
+  let doc =
+    "Soak the whole operational stack: a multi-link router under \
+     Poisson/on-off/CBR load and random fault timelines (rate flaps, \
+     outages, bursts, malformed commands), with the invariant auditor \
+     armed, binary trace spill running, and a churn client on a second \
+     domain driving the live daemon over its real Unix socket. Exits \
+     nonzero unless the run is healthy (zero audit failures, traffic \
+     flowed, every link spilled trace records)."
+  in
+  let links =
+    Arg.(value & opt int 4 & info [ "links" ] ~docv:"N" ~doc:"Links.")
+  in
+  let flows =
+    Arg.(value & opt int 6
+         & info [ "flows" ] ~docv:"N" ~doc:"Flows per link.")
+  in
+  let seconds =
+    Arg.(value & opt float 20. & info [ "time" ] ~docv:"S"
+           ~doc:"Simulated seconds.")
+  in
+  let seed = Arg.(value & opt int 7 & info [ "seed" ] ~docv:"N" ~doc:"Seed.") in
+  let domains =
+    Arg.(value & opt int 1
+         & info [ "domains" ] ~docv:"N"
+             ~doc:"Worker domains (1 = sequential router).")
+  in
+  let spill =
+    Arg.(value & opt (some string) None
+         & info [ "spill" ] ~docv:"PATH"
+             ~doc:"Keep the binary trace spill at $(docv) (one file per \
+                   link: $(docv).LINK) instead of a removed temp file.")
+  in
+  let run links flows seconds seed domains spill =
+    if links < 1 || flows < 1 || seconds <= 0. || domains < 1 then begin
+      prerr_endline "soak: all parameters must be positive";
+      1
+    end
+    else begin
+      let report =
+        Experiments.Soak.run ~links ~flows_per_link:flows ~seconds ~seed
+          ~domains ?spill ~log:print_endline ()
+      in
+      print_string (Experiments.Soak.report_text report);
+      match Experiments.Soak.healthy report with
+      | Ok () ->
+          print_endline "\nsoak: healthy";
+          0
+      | Error why ->
+          Printf.printf "\nsoak: UNHEALTHY: %s\n" why;
+          1
+    end
+  in
+  Cmd.v (Cmd.info "soak" ~doc)
+    Term.(const run $ links $ flows $ seconds $ seed $ domains $ spill)
+
+let trace_report_cmd =
+  let doc =
+    "Aggregate spilled binary traces (see 'spill start' in the daemon, or \
+     'hfsc_sim soak --spill') into the in-scheduler delay histogram: \
+     each dequeue paired with its enqueue by (flow, seq), bucketed on a \
+     log scale, real-time and link-sharing service counted separately."
+  in
+  let files =
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE")
+  in
+  let run files =
+    let hist = Runtime.Trace_log.Histogram.create () in
+    let errors = ref 0 in
+    List.iter
+      (fun file ->
+        match Runtime.Trace_log.Histogram.feed_file hist file with
+        | Ok () -> ()
+        | Error e ->
+            incr errors;
+            Printf.eprintf "%s: %s\n" file e)
+      files;
+    print_string (Runtime.Trace_log.Histogram.to_text hist);
+    if !errors > 0 then 1 else 0
+  in
+  Cmd.v (Cmd.info "trace-report" ~doc) Term.(const run $ files)
+
 let () =
   let doc =
-    "Reproduction of the H-FSC scheduler (Stoica, Zhang, Ng): experiments \
-     and ad-hoc simulations."
+    "Reproduction of the H-FSC scheduler (Stoica, Zhang, Ng): experiments, \
+     ad-hoc simulations, and an operable daemon."
   in
   let info = Cmd.info "hfsc_sim" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ list_cmd; run_cmd; demo_cmd; simulate_cmd; control_cmd; router_cmd ]))
+          [ list_cmd; run_cmd; demo_cmd; simulate_cmd; control_cmd;
+            router_cmd; daemon_cmd; ctl_cmd; soak_cmd; trace_report_cmd ]))

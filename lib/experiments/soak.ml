@@ -1,0 +1,385 @@
+(* The soak harness. One run = one serving domain (simulator + daemon +
+   engines) and one churn-client domain connected over the real Unix
+   socket. See soak.mli for the architecture contract. *)
+
+module Command = Runtime.Command
+module Engine = Runtime.Engine
+module Router = Runtime.Router
+module Mc_router = Runtime.Mc_router
+module Daemon = Runtime.Daemon
+module Trace_log = Runtime.Trace_log
+
+type report = {
+  sk_links : int;
+  sk_flows : int;
+  sk_domains : int;
+  sk_seconds : float;
+  sk_departures : int;
+  sk_enqueue_drops : int;
+  sk_fault_events : int;
+  sk_requests : int;
+  sk_ok : int;
+  sk_err : int;
+  sk_audit_checks : int;
+  sk_audit_failures : int;
+  sk_spilled : (string * int * int) list;
+  sk_histogram : Trace_log.Histogram.t;
+}
+
+(* 100 Mb/s per link: enough that even the runtest-sized slice pushes
+   thousands of packets through every link, and the CLI-sized run
+   reaches the millions. *)
+let link_rate = 1.25e7
+
+let link_name i = Printf.sprintf "l%d" i
+
+(* What the churn client does, on its own domain. Everything it touches
+   is local; it reports back by returning its counters through
+   Domain.join. [sim_finished] and [abort] are the only shared state. *)
+type churn_counters = {
+  mutable cc_requests : int;
+  mutable cc_ok : int;
+  mutable cc_err : int;
+  mutable cc_audit_checks : int;
+  mutable cc_audit_failures : int;
+}
+
+let count_lines s =
+  if s = "" then 0
+  else 1 + String.fold_left (fun n c -> if c = '\n' then n + 1 else n) 0 s
+
+let churn ~socket ~spill ~links ~sim_finished c =
+  let conn =
+    (* the daemon binds before the domain is spawned, but be tolerant
+       of a slow scheduler anyway *)
+    let rec go tries =
+      match Daemon.Client.connect socket with
+      | conn -> conn
+      | exception Unix.Unix_error _ when tries > 0 ->
+          Unix.sleepf 0.01;
+          go (tries - 1)
+    in
+    go 100
+  in
+  let req line =
+    c.cc_requests <- c.cc_requests + 1;
+    match Daemon.Client.request conn line with
+    | Ok body ->
+        c.cc_ok <- c.cc_ok + 1;
+        body
+    | Error (_code, msg) ->
+        c.cc_err <- c.cc_err + 1;
+        msg
+  in
+  let audit () =
+    c.cc_audit_checks <- c.cc_audit_checks + 1;
+    c.cc_requests <- c.cc_requests + 1;
+    match Daemon.Client.request conn "audit" with
+    | Ok _ -> c.cc_ok <- c.cc_ok + 1
+    | Error (_, msg) ->
+        c.cc_err <- c.cc_err + 1;
+        c.cc_audit_failures <- c.cc_audit_failures + count_lines msg
+  in
+  ignore (req "ping");
+  ignore (req ("spill start " ^ spill));
+  let round = ref 0 in
+  while not (Atomic.get sim_finished) do
+    let r = !round in
+    incr round;
+    let l = link_name (r mod links) in
+    let cls = Printf.sprintf "churn%d" (r mod links) in
+    (* one add/modify/inspect/delete cycle through the full grammar *)
+    ignore
+      (req
+         (Printf.sprintf "link %s add class %s parent root fsc 8Kbit qlimit 32"
+            l cls));
+    ignore (req (Printf.sprintf "link %s stats %s" l cls));
+    ignore (req (Printf.sprintf "link %s modify class %s fsc 16Kbit" l cls));
+    if r mod 5 = 0 then ignore (req "stats");
+    if r mod 7 = 3 then ignore (req "spill status");
+    if r mod 11 = 5 then begin
+      (* deliberate operator error: must come back as a typed err,
+         never disturb the device *)
+      ignore (req "add class oops parent nowhere fsc 1Kbit");
+      ignore (req "definitely not a command")
+    end;
+    audit ();
+    ignore (req (Printf.sprintf "link %s delete class %s" l cls))
+  done;
+  let totals = req "spill stop" in
+  audit ();
+  ignore (req "shutdown");
+  Daemon.Client.close conn;
+  totals
+
+let run ?(links = 3) ?(flows_per_link = 4) ?(seconds = 1.0) ?(seed = 7)
+    ?(domains = 1) ?socket ?spill ?(audit_every = 4096) ?(log = ignore) () =
+  if links < 1 || flows_per_link < 1 then
+    invalid_arg "Soak.run: links and flows_per_link must be >= 1";
+  let temp tag suffix =
+    let p = Filename.temp_file tag suffix in
+    Sys.remove p;
+    p
+  in
+  let socket_owned = socket = None in
+  let spill_owned = spill = None in
+  let socket =
+    match socket with Some s -> s | None -> temp "hfsc_soak" ".sock"
+  in
+  let spill = match spill with Some s -> s | None -> temp "hfsc_soak" ".trace" in
+
+  (* --- the device under test ---------------------------------------- *)
+  let seq_router, mc_router, backend, stop_device =
+    if domains <= 1 then
+      let r = Router.create ~audit_every () in
+      (Some r, None, Daemon.backend_of_router r, fun () -> ())
+    else
+      let m = Mc_router.create ~audit_every ~domains () in
+      (None, Some m, Daemon.backend_of_mc_router m, fun () -> ignore (Mc_router.stop m))
+  in
+  let exec ~now cmd =
+    match backend.Daemon.b_exec ~now cmd with
+    | Ok _ -> ()
+    | Error e ->
+        failwith
+          (Printf.sprintf "soak setup rejected: %s" (Engine.error_message e))
+  in
+  for i = 0 to links - 1 do
+    exec ~now:0.
+      { Command.target = Command.Default_link;
+        op = Command.Link_add { link = link_name i; rate = link_rate } }
+  done;
+  (* permanent leaves: 80% of each link committed to fair shares (the
+     churn classes live in the remaining 20%), every third flow also
+     under a real-time guarantee *)
+  let share = 0.8 *. link_rate /. float_of_int flows_per_link in
+  let flow_id i f = (i * flows_per_link) + f + 1 in
+  for i = 0 to links - 1 do
+    for f = 0 to flows_per_link - 1 do
+      let rsc =
+        if f mod 3 = 0 then
+          Some
+            (Curve.Service_curve.of_requirements ~umax:1500. ~dmax:0.02
+               ~rate:(0.4 *. share))
+        else None
+      in
+      exec ~now:0.
+        { Command.target = Command.On_link (link_name i);
+          op =
+            Command.Add_class
+              {
+                name = Printf.sprintf "leaf%d" f;
+                parent = "root";
+                flow = Some (flow_id i f);
+                curves =
+                  { Command.rsc; fsc = Some (Curve.Service_curve.linear share);
+                    usc = None };
+                qlimit = Some 256;
+                qbytes = None;
+              } }
+    done
+  done;
+
+  (* --- the simulation ------------------------------------------------ *)
+  let link_index = Hashtbl.create 8 in
+  for i = 0 to links - 1 do
+    Hashtbl.replace link_index (link_name i) i
+  done;
+  let link_of_flow =
+    match (seq_router, mc_router) with
+    | Some r, _ -> Router.link_of_flow r
+    | _, Some m -> Mc_router.link_of_flow m
+    | None, None -> assert false
+  in
+  let sim_links =
+    match (seq_router, mc_router) with
+    | Some r, _ ->
+        List.map
+          (fun (name, eng) -> (name, Engine.link_rate eng, Engine.adapter eng))
+          (Router.links r)
+    | _, Some m ->
+        List.map
+          (fun name ->
+            match Mc_router.adapter m ~link:name with
+            | Some a -> (name, link_rate, a)
+            | None -> assert false)
+          (Mc_router.link_names m)
+    | None, None -> assert false
+  in
+  let sim =
+    Netsim.Sim.create_multi ~links:sim_links
+      ~route:(fun pkt ->
+        match link_of_flow pkt.Pkt.Packet.flow with
+        | Some name -> Hashtbl.find_opt link_index name
+        | None -> None)
+      ()
+  in
+  let departures = ref 0 in
+  Netsim.Sim.on_departure sim (fun ~now:_ _ -> incr departures);
+  for i = 0 to links - 1 do
+    for f = 0 to flows_per_link - 1 do
+      let flow = flow_id i f in
+      let src =
+        match f mod 3 with
+        | 0 ->
+            Netsim.Source.cbr ~flow ~rate:(0.35 *. share) ~pkt_size:300
+              ~stop:seconds ()
+        | 1 ->
+            Netsim.Source.poisson ~flow ~rate:(0.9 *. share) ~pkt_size:400
+              ~seed:(seed + (97 * flow)) ~stop:seconds ()
+        | _ ->
+            Netsim.Source.on_off_exp ~flow ~peak_rate:(2.0 *. share)
+              ~pkt_size:600 ~mean_on:(seconds /. 8.)
+              ~mean_off:(seconds /. 10.) ~seed:(seed + (131 * flow))
+              ~stop:seconds ()
+      in
+      Netsim.Sim.add_source sim src
+    done
+  done;
+  (* one fault timeline per link: rate flaps, outages, bursts on that
+     link's flows, malformed control lines into the live backend *)
+  let fault_events = ref 0 in
+  for i = 0 to links - 1 do
+    let timeline =
+      Netsim.Faults.random_timeline ~seed:(seed + i) ~horizon:seconds
+        ~link_rate
+        ~flows:(List.init flows_per_link (flow_id i))
+    in
+    fault_events := !fault_events + List.length timeline;
+    Netsim.Faults.schedule ~link:i sim timeline
+      ~on_command:(fun ~now line ->
+        match Command.parse line with
+        | Error _ -> ()
+        | Ok cmd -> ignore (backend.Daemon.b_exec ~now cmd))
+  done;
+
+  (* --- daemon + churn client ----------------------------------------- *)
+  let daemon =
+    Daemon.create ~clock:(fun () -> Netsim.Sim.now sim) ~socket backend
+  in
+  let sim_finished = Atomic.make false in
+  let client_done = Atomic.make false in
+  let abort = Atomic.make false in
+  let counters =
+    {
+      cc_requests = 0;
+      cc_ok = 0;
+      cc_err = 0;
+      cc_audit_checks = 0;
+      cc_audit_failures = 0;
+    }
+  in
+  let client =
+    Domain.spawn (fun () ->
+        Fun.protect
+          ~finally:(fun () -> Atomic.set client_done true)
+          (fun () ->
+            try Some (churn ~socket ~spill ~links ~sim_finished counters)
+            with e when Atomic.get abort ->
+              (* the serving domain died first; its exception is the
+                 one worth reporting, not our broken socket *)
+              ignore e;
+              None))
+  in
+  let slice = seconds /. 100. in
+  let idle () =
+    if not (Atomic.get sim_finished) then begin
+      let next = min seconds (Netsim.Sim.now sim +. slice) in
+      Netsim.Sim.run sim ~until:next;
+      if next >= seconds then begin
+        (* horizon reached: let the queues drain, then tell the client *)
+        Netsim.Sim.run_until_idle sim ~max_time:(seconds +. 60.);
+        Atomic.set sim_finished true;
+        log
+          (Printf.sprintf "sim done: %d departures, %d enqueue drops"
+             !departures (Netsim.Sim.enqueue_drops sim))
+      end
+    end;
+    not (Atomic.get client_done)
+  in
+  let spill_totals =
+    Fun.protect
+      ~finally:(fun () ->
+        Atomic.set abort true;
+        Atomic.set sim_finished true;
+        (* serve's own protect already closed the socket, so a client
+           still in flight unblocks with EOF and bails out via [abort] *)
+        ignore (Domain.join client);
+        stop_device ())
+      (fun () ->
+        Daemon.serve ~idle daemon;
+        Daemon.spill_totals daemon)
+  in
+  log
+    (Printf.sprintf "client: %d requests (%d ok, %d err), %d audits"
+       counters.cc_requests counters.cc_ok counters.cc_err
+       counters.cc_audit_checks);
+
+  (* --- offline aggregation over the spilled binary traces ------------ *)
+  let hist = Trace_log.Histogram.create () in
+  let spill_files =
+    match spill_totals with
+    | [ _ ] -> [ spill ]
+    | many -> List.map (fun (l, _, _) -> spill ^ "." ^ l) many
+  in
+  List.iter
+    (fun file ->
+      match Trace_log.Histogram.feed_file hist file with
+      | Ok () -> ()
+      | Error e -> failwith (Printf.sprintf "soak: reading %s: %s" file e))
+    spill_files;
+  if spill_owned then List.iter (fun f -> try Sys.remove f with Sys_error _ -> ()) spill_files;
+  if socket_owned then (try Sys.remove socket with Sys_error _ -> ());
+  {
+    sk_links = links;
+    sk_flows = links * flows_per_link;
+    sk_domains = domains;
+    sk_seconds = seconds;
+    sk_departures = !departures;
+    sk_enqueue_drops = Netsim.Sim.enqueue_drops sim;
+    sk_fault_events = !fault_events;
+    sk_requests = counters.cc_requests;
+    sk_ok = counters.cc_ok;
+    sk_err = counters.cc_err;
+    sk_audit_checks = counters.cc_audit_checks;
+    sk_audit_failures = counters.cc_audit_failures;
+    sk_spilled = spill_totals;
+    sk_histogram = hist;
+  }
+
+let report_text r =
+  let b = Buffer.create 1024 in
+  Printf.bprintf b
+    "soak: %d links x %d flows, %.1fs simulated, %d domain%s\n" r.sk_links
+    (if r.sk_links = 0 then 0 else r.sk_flows / r.sk_links)
+    r.sk_seconds r.sk_domains
+    (if r.sk_domains = 1 then "" else "s");
+  Printf.bprintf b "  packets:  %d delivered, %d enqueue drops\n"
+    r.sk_departures r.sk_enqueue_drops;
+  Printf.bprintf b "  faults:   %d timeline events\n" r.sk_fault_events;
+  Printf.bprintf b
+    "  control:  %d socket requests (%d ok, %d err), %d audits, %d failures\n"
+    r.sk_requests r.sk_ok r.sk_err r.sk_audit_checks r.sk_audit_failures;
+  List.iter
+    (fun (l, written, lost) ->
+      Printf.bprintf b "  spill:    link %S %d records (%d lost)\n" l written
+        lost)
+    r.sk_spilled;
+  Printf.bprintf b "\n%s" (Trace_log.Histogram.to_text r.sk_histogram);
+  Buffer.contents b
+
+let healthy r =
+  let check cond msg = if cond then Ok () else Error msg in
+  let ( let* ) = Result.bind in
+  let* () = check (r.sk_audit_failures = 0) "audit failures > 0" in
+  let* () = check (r.sk_audit_checks > 0) "no audit ever ran" in
+  let* () = check (r.sk_departures > 0) "no packet was delivered" in
+  let* () =
+    check
+      (r.sk_spilled <> []
+      && List.for_all (fun (_, written, _) -> written > 0) r.sk_spilled)
+      "a link spilled no trace records"
+  in
+  check
+    (Trace_log.Histogram.samples r.sk_histogram > 0)
+    "histogram aggregated no delay samples"

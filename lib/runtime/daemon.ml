@@ -1,0 +1,380 @@
+(* Unix-domain-socket REPL over the runtime control plane. One domain,
+   one [select] loop: accept, buffer, cut lines, execute, reply. The
+   interesting property is what this file does *not* contain — any
+   scheduling logic: a request line goes through the same
+   [Command.parse] + [exec] path a script replay uses, so the daemon
+   cannot drift from the offline semantics. *)
+
+type backend = {
+  b_exec : now:float -> Command.t -> (string, Engine.error) result;
+  b_stats_json : unit -> Json_lite.t;
+  b_audit : unit -> string list;
+  b_link_names : unit -> string list;
+  b_snapshot : link:string -> Telemetry.snapshot option;
+}
+
+let backend_of_router r =
+  {
+    b_exec = (fun ~now cmd -> Router.exec r ~now cmd);
+    b_stats_json = (fun () -> Router.stats_json r);
+    b_audit = (fun () -> Router.audit r);
+    b_link_names = (fun () -> List.map fst (Router.links r));
+    b_snapshot =
+      (fun ~link ->
+        Option.map Engine.snapshot (Router.find_link r link));
+  }
+
+let backend_of_mc_router m =
+  {
+    b_exec = (fun ~now cmd -> Mc_router.exec m ~now cmd);
+    b_stats_json = (fun () -> Mc_router.stats_json m);
+    b_audit = (fun () -> Mc_router.audit m);
+    b_link_names = (fun () -> Mc_router.link_names m);
+    b_snapshot = (fun ~link -> Mc_router.snapshot m ~link);
+  }
+
+let backend_of_engine ~link_name eng =
+  {
+    b_exec = (fun ~now cmd -> Engine.exec eng ~now cmd);
+    b_stats_json = (fun () -> Engine.stats_json eng);
+    b_audit = (fun () -> Engine.audit eng);
+    b_link_names = (fun () -> [ link_name ]);
+    b_snapshot =
+      (fun ~link -> if link = link_name then Some (Engine.snapshot eng) else None);
+  }
+
+(* --- wire helpers ---------------------------------------------------- *)
+
+let write_all fd s =
+  let b = Bytes.unsafe_of_string s in
+  let n = Bytes.length b in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write fd b !off (n - !off)
+  done
+
+let reply_ok fd body =
+  write_all fd (Printf.sprintf "ok %d\n%s\n" (String.length body) body)
+
+let reply_err fd code message =
+  write_all fd
+    (Printf.sprintf "err %s %d\n%s\n" code (String.length message) message)
+
+(* --- the daemon ------------------------------------------------------ *)
+
+type conn = { fd : Unix.file_descr; rbuf : Buffer.t }
+
+type t = {
+  socket : string;
+  listen_fd : Unix.file_descr;
+  backend : backend;
+  clock : unit -> float;
+  mutable conns : conn list;
+  mutable running : bool;
+  mutable shutdown : bool;
+  mutable sinks : (string * Trace_log.Sink.t) list; (* active spill *)
+  mutable last_totals : (string * int * int) list;
+}
+
+let create ?clock ?(backlog = 8) ~socket backend =
+  let clock =
+    match clock with
+    | Some c -> c
+    | None ->
+        let t0 = Unix.gettimeofday () in
+        fun () -> Unix.gettimeofday () -. t0
+  in
+  (match Unix.lstat socket with
+  | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink socket
+  | _ -> ()
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listen_fd (Unix.ADDR_UNIX socket);
+  Unix.listen listen_fd backlog;
+  {
+    socket;
+    listen_fd;
+    backend;
+    clock;
+    conns = [];
+    running = false;
+    shutdown = false;
+    sinks = [];
+    last_totals = [];
+  }
+
+let socket_path t = t.socket
+let shutdown_requested t = t.shutdown
+
+(* --- spill management ------------------------------------------------ *)
+
+let spill_file path ~links link =
+  match links with [ _ ] -> path | _ -> path ^ "." ^ link
+
+let drain_sinks t =
+  List.iter
+    (fun (link, sink) ->
+      match t.backend.b_snapshot ~link with
+      | Some snap -> ignore (Trace_log.Sink.drain_snapshot sink snap)
+      | None -> ())
+    t.sinks
+
+let sink_totals t =
+  List.map
+    (fun (link, s) -> (link, Trace_log.Sink.written s, Trace_log.Sink.lost s))
+    t.sinks
+
+let close_sinks t =
+  if t.sinks <> [] then begin
+    drain_sinks t;
+    t.last_totals <- sink_totals t;
+    List.iter (fun (_, s) -> Trace_log.Sink.close s) t.sinks;
+    t.sinks <- []
+  end
+
+let spill_totals t = if t.sinks <> [] then sink_totals t else t.last_totals
+
+let totals_text totals =
+  String.concat "\n"
+    (List.map
+       (fun (link, written, lost) ->
+         Printf.sprintf "link %S: %d record%s spilled, %d lost" link written
+           (if written = 1 then "" else "s")
+           lost)
+       totals)
+
+let spill_start t path =
+  if t.sinks <> [] then Error "spill already active (spill stop first)"
+  else
+    match t.backend.b_link_names () with
+    | [] -> Error "no links to spill"
+    | links ->
+        t.sinks <-
+          List.map
+            (fun l ->
+              (l, Trace_log.Sink.create ~path:(spill_file path ~links l) ()))
+            links;
+        drain_sinks t;
+        Ok
+          (String.concat "\n"
+             (List.map
+                (fun (l, s) ->
+                  Printf.sprintf "spilling link %S to %s" l
+                    (Trace_log.Sink.path s))
+                t.sinks))
+
+(* --- request handling ------------------------------------------------ *)
+
+let first_token line =
+  let n = String.length line in
+  let rec start i = if i < n && line.[i] = ' ' then start (i + 1) else i in
+  let s = start 0 in
+  let rec stop i = if i < n && line.[i] <> ' ' then stop (i + 1) else i in
+  let e = stop s in
+  (String.sub line s (e - s), String.trim (String.sub line e (n - e)))
+
+let exec_command t fd line =
+  (* an [at TIME] prefix carries the execution time; otherwise the
+     daemon's clock supplies it — parse both through the script
+     grammar so attribution and curve syntax stay identical *)
+  match Command.parse_script line with
+  | Error { Command.reason; _ } -> reply_err fd "parse-error" reason
+  | Ok [] -> reply_ok fd "" (* blank or comment line *)
+  | Ok cmds ->
+      let has_at = fst (first_token line) = "at" in
+      List.iter
+        (fun (at, cmd) ->
+          let now = if has_at then at else t.clock () in
+          match t.backend.b_exec ~now cmd with
+          | Ok body ->
+              drain_sinks t;
+              reply_ok fd body
+          | Error e ->
+              reply_err fd
+                (Engine.error_code_name (Engine.error_code e))
+                (Engine.error_message e))
+        cmds
+
+let handle_line t conn line =
+  let fd = conn.fd in
+  let verb, rest = first_token line in
+  match verb with
+  | "ping" -> reply_ok fd "pong"
+  | "quit" ->
+      reply_ok fd "bye";
+      raise Exit (* caller closes this connection *)
+  | "shutdown" ->
+      t.shutdown <- true;
+      t.running <- false;
+      reply_ok fd "shutting down"
+  | "audit" -> (
+      match t.backend.b_audit () with
+      | [] -> reply_ok fd "audit clean"
+      | errs -> reply_err fd "structural" (String.concat "\n" errs))
+  | "stats-json" -> reply_ok fd (Json_lite.to_string (t.backend.b_stats_json ()))
+  | "spill" -> (
+      let sub, arg = first_token rest in
+      match (sub, arg) with
+      | "start", path when path <> "" -> (
+          match spill_start t path with
+          | Ok body -> reply_ok fd body
+          | Error m -> reply_err fd "bad-value" m)
+      | "stop", "" ->
+          if t.sinks = [] then reply_err fd "bad-value" "no spill active"
+          else begin
+            close_sinks t;
+            reply_ok fd (totals_text t.last_totals)
+          end
+      | "status", "" ->
+          if t.sinks = [] then reply_ok fd "no spill active"
+          else begin
+            drain_sinks t;
+            reply_ok fd (totals_text (sink_totals t))
+          end
+      | _ ->
+          reply_err fd "parse-error"
+            "usage: spill start PATH | spill stop | spill status")
+  | _ -> exec_command t fd line
+
+(* Cut complete lines out of the connection buffer; leftovers stay for
+   the next read. *)
+let process_buffer t conn =
+  let data = Buffer.contents conn.rbuf in
+  let rec go from =
+    match String.index_from_opt data from '\n' with
+    | None ->
+        Buffer.clear conn.rbuf;
+        Buffer.add_substring conn.rbuf data from (String.length data - from)
+    | Some nl ->
+        let line = String.sub data from (nl - from) in
+        let line =
+          (* tolerate CRLF clients *)
+          if line <> "" && line.[String.length line - 1] = '\r' then
+            String.sub line 0 (String.length line - 1)
+          else line
+        in
+        handle_line t conn line;
+        go (nl + 1)
+  in
+  go 0
+
+let close_conn t conn =
+  t.conns <- List.filter (fun c -> c != conn) t.conns;
+  try Unix.close conn.fd with Unix.Unix_error _ -> ()
+
+let serve ?(idle = fun () -> true) ?(idle_every = 0.05) t =
+  t.running <- true;
+  let readbuf = Bytes.create 65536 in
+  let step () =
+    let fds = t.listen_fd :: List.map (fun c -> c.fd) t.conns in
+    let ready, _, _ =
+      try Unix.select fds [] [] idle_every
+      with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+    in
+    List.iter
+      (fun fd ->
+        if fd = t.listen_fd then begin
+          let cfd, _ = Unix.accept t.listen_fd in
+          t.conns <- { fd = cfd; rbuf = Buffer.create 256 } :: t.conns
+        end
+        else
+          match List.find_opt (fun c -> c.fd = fd) t.conns with
+          | None -> ()
+          | Some conn -> (
+              match Unix.read fd readbuf 0 (Bytes.length readbuf) with
+              | 0 -> close_conn t conn
+              | n -> (
+                  Buffer.add_subbytes conn.rbuf readbuf 0 n;
+                  try process_buffer t conn with
+                  | Exit -> close_conn t conn
+                  | Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+                      close_conn t conn)
+              | exception Unix.Unix_error (Unix.ECONNRESET, _, _) ->
+                  close_conn t conn))
+      ready;
+    drain_sinks t
+  in
+  (* a dying client must not kill the daemon with SIGPIPE *)
+  let old_sigpipe =
+    try Some (Sys.signal Sys.sigpipe Sys.Signal_ignore)
+    with Invalid_argument _ -> None
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (match old_sigpipe with
+      | Some h -> ( try Sys.set_signal Sys.sigpipe h with Invalid_argument _ -> ())
+      | None -> ());
+      close_sinks t;
+      List.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ())
+        t.conns;
+      t.conns <- [];
+      (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+      try Unix.unlink t.socket with Unix.Unix_error _ -> ())
+    (fun () ->
+      while t.running do
+        step ();
+        if t.running && not (idle ()) then t.running <- false
+      done)
+
+(* --- client ---------------------------------------------------------- *)
+
+module Client = struct
+  type conn = { fd : Unix.file_descr; mutable buf : string }
+
+  let connect path =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_UNIX path);
+    { fd; buf = "" }
+
+  let refill c =
+    let b = Bytes.create 65536 in
+    match Unix.read c.fd b 0 (Bytes.length b) with
+    | 0 -> raise End_of_file
+    | n -> c.buf <- c.buf ^ Bytes.sub_string b 0 n
+
+  let rec read_line c =
+    match String.index_opt c.buf '\n' with
+    | Some i ->
+        let line = String.sub c.buf 0 i in
+        c.buf <- String.sub c.buf (i + 1) (String.length c.buf - i - 1);
+        line
+    | None ->
+        refill c;
+        read_line c
+
+  let rec read_exact c n =
+    if String.length c.buf >= n then begin
+      let s = String.sub c.buf 0 n in
+      c.buf <- String.sub c.buf n (String.length c.buf - n);
+      s
+    end
+    else begin
+      refill c;
+      read_exact c n
+    end
+
+  let request c line =
+    write_all c.fd (line ^ "\n");
+    let status = read_line c in
+    let fail () =
+      failwith (Printf.sprintf "Daemon.Client: malformed reply %S" status)
+    in
+    match String.split_on_char ' ' status with
+    | [ "ok"; len ] -> (
+        match int_of_string_opt len with
+        | Some n ->
+            let body = read_exact c n in
+            ignore (read_exact c 1);
+            Ok body
+        | None -> fail ())
+    | [ "err"; code; len ] -> (
+        match int_of_string_opt len with
+        | Some n ->
+            let msg = read_exact c n in
+            ignore (read_exact c 1);
+            Error (code, msg)
+        | None -> fail ())
+    | _ -> fail ()
+
+  let close c = try Unix.close c.fd with Unix.Unix_error _ -> ()
+end

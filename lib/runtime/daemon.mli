@@ -1,0 +1,120 @@
+(** The operable daemon: a Unix-domain-socket REPL over the runtime
+    control plane, turning [hfsc_sim] from a script replayer into a
+    long-lived process an operator (or the soak harness) reconfigures
+    and observes while it runs.
+
+    {b Wire protocol.} Line-oriented requests, length-prefixed replies.
+    A request is one ['\n']-terminated line: either a {!Command} line
+    in the exact script grammar — an optional [at TIME] prefix, then
+    [add class ...], [link NAME stats], [trace dump], ... — or one of
+    the daemon's own meta verbs:
+
+    {v
+    ping                      liveness probe
+    audit                     run the device-wide invariant auditor
+    stats-json                the JSON stats document (router schema)
+    spill start PATH          start binary trace spill (one file per
+                              link: PATH when the device has one link,
+                              PATH.<link> otherwise)
+    spill stop                close the spill files, report totals
+    spill status              written/lost counts per link
+    quit                      close this connection
+    shutdown                  stop the daemon (all connections close)
+    v}
+
+    Every request gets exactly one reply:
+
+    {v
+    ok <len>\n<len bytes of body>\n
+    err <code> <len>\n<len bytes of message>\n
+    v}
+
+    where [<code>] is {!Engine.error_code_name} of the typed error —
+    the same enum scripts see from {!Engine.exec_script}, so a socket
+    client can switch on [admission-realtime] vs [unknown-class]
+    exactly like an offline replay; the body is the {e exact} reply
+    string the control plane produced (this is what makes a socket
+    session bit-comparable to {!Engine.exec_script}, which the daemon
+    tests pin). A blank or comment-only line replies [ok 0].
+
+    {b Time.} A command with an [at TIME] prefix executes at that
+    simulated time; one without executes at [clock ()] (default: wall
+    seconds since daemon start). Deterministic replays therefore prefix
+    every line.
+
+    {b Ownership.} The daemon, its backend (router/engines) and its
+    spill sinks live on the domain that calls {!serve} — connections
+    are multiplexed with [select] on that one domain, so no engine
+    state ever crosses domains here ({!Mc_router} moves it behind its
+    own rings; its backend is driven from the serving domain like any
+    other caller). *)
+
+(** What the daemon needs from a control plane. The record mirrors
+    {!Router_core.ops} one level up: anything with these operations can
+    be served — the sequential router, the multicore router, or a bare
+    engine. *)
+type backend = {
+  b_exec : now:float -> Command.t -> (string, Engine.error) result;
+  b_stats_json : unit -> Json_lite.t;
+  b_audit : unit -> string list;
+  b_link_names : unit -> string list;
+  b_snapshot : link:string -> Telemetry.snapshot option;
+      (** per-link telemetry for the spill sinks; [None] on an unknown
+          link (e.g. deleted since {!b_link_names}) *)
+}
+
+val backend_of_router : Router.t -> backend
+val backend_of_mc_router : Mc_router.t -> backend
+
+val backend_of_engine : link_name:string -> Engine.t -> backend
+(** A single-link backend over a bare engine (no router verbs). *)
+
+type t
+
+val create : ?clock:(unit -> float) -> ?backlog:int -> socket:string -> backend -> t
+(** Bind and listen on the Unix-domain socket at path [socket] (an
+    existing socket file there is replaced; [backlog] defaults to 8).
+    [clock] supplies [now] for commands without an [at] prefix.
+
+    @raise Unix.Unix_error if the path cannot be bound (too long,
+    bad directory, ...). *)
+
+val socket_path : t -> string
+
+val serve : ?idle:(unit -> bool) -> ?idle_every:float -> t -> unit
+(** Serve until a client sends [shutdown] or [idle] returns [false].
+    [idle] (default [fun () -> true]) runs after every multiplexer
+    wake-up — at least every [idle_every] seconds (default 0.05) — on
+    the serving domain; it is the hook the soak harness advances its
+    simulation from. Spill sinks are drained after every executed
+    command and on every idle tick. On return all connections and
+    spill files are closed and the socket file is unlinked; {!serve}
+    may be called again. *)
+
+val shutdown_requested : t -> bool
+
+val spill_totals : t -> (string * int * int) list
+(** [(link, written, lost)] of the most recent spill session (live if
+    one is active) — what [spill stop] reports, kept readable after
+    {!serve} returns so harnesses can assert on it. *)
+
+(** {2 Client}
+
+    The matching line client, used by the daemon tests, the soak
+    harness and [hfsc_sim ctl]. Blocking; one outstanding request at a
+    time. *)
+
+module Client : sig
+  type conn
+
+  val connect : string -> conn
+  (** @raise Unix.Unix_error when nothing listens at the path. *)
+
+  val request : conn -> string -> (string, string * string) result
+  (** Send one request line, read one reply: [Ok body] for [ok],
+      [Error (code, message)] for [err].
+
+      @raise End_of_file if the daemon closed the connection. *)
+
+  val close : conn -> unit
+end

@@ -113,6 +113,7 @@ let of_config ?trace_capacity ?tracing ?audit_every (cfg : Config.t) =
 
 let scheduler t = t.sched
 let snapshot t = Telemetry.snapshot t.tele
+let drain_trace t sink = Trace_log.Sink.drain sink t.tele
 let link_rate t = t.link_rate
 let flow_class t flow = Hashtbl.find_opt t.flows flow
 
@@ -486,6 +487,18 @@ let class_line b cls c =
     c.Telemetry.ls_bytes c.Telemetry.drop_pkts c.Telemetry.deadline_misses
     c.Telemetry.hiwater_pkts c.Telemetry.hiwater_bytes
 
+(* Ring overflow is an operational fact, not just a JSON field: the
+   stats table an operator reads must say when the trace stopped being
+   complete and how much of it is gone. *)
+let trace_line b t =
+  let recorded = Telemetry.recorded_total t.tele in
+  let cap = Telemetry.trace_capacity t.tele in
+  let over = Telemetry.dropped_events t.tele in
+  Printf.bprintf b "trace: recorded %d, ring capacity %d, overwritten %d%s\n"
+    recorded cap over
+    (if over > 0 then " (oldest events lost; spill to disk to keep them)"
+     else "")
+
 let stats_text t ?cls () =
   let b = Buffer.create 256 in
   Printf.bprintf b
@@ -500,6 +513,7 @@ let stats_text t ?cls () =
       List.iter
         (fun c -> class_line b c (Telemetry.counters t.tele ~id:(Hfsc.id c)))
         (Hfsc.classes t.sched);
+      trace_line b t;
       Ok (Buffer.contents b)
 
 (* --- exec ---------------------------------------------------------- *)

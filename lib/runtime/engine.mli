@@ -101,6 +101,13 @@ val snapshot : t -> Telemetry.snapshot
     the engine's {e only} read surface for counters and traces; the
     live {!Telemetry.t} stays private so the hot path owns it alone. *)
 
+val drain_trace : t -> Trace_log.Sink.t -> int
+(** Spill every trace-ring event the sink has not yet written (the sink
+    keeps the cursor) to its binary log; returns the records written.
+    Allocation-free per event — safe to call from the engine-owning
+    domain between packets. This, not the live {!Telemetry.t}, is how
+    long runs keep events past the ring's capacity. *)
+
 val link_rate : t -> float
 (** The admission capacity this engine was created with (bytes/s). *)
 

@@ -210,6 +210,31 @@ let kind_of_int = function
   | 3 -> Drop
   | _ -> assert false
 
+let kind_code = function Enq -> 0 | Deq_rt -> 1 | Deq_ls -> 2 | Drop -> 3
+
+let kind_of_code = function
+  | 0 -> Some Enq
+  | 1 -> Some Deq_rt
+  | 2 -> Some Deq_ls
+  | 3 -> Some Drop
+  | _ -> None
+
+(* Raw-column replay for the binary spill sink: no event record, no
+   closure result, just six scalars per surviving event at index >=
+   [since] in recorded order. *)
+let iter_since t ~since ~f =
+  let tr = t.trace in
+  let n = min tr.total tr.cap in
+  let window_start = tr.total - n in
+  let first = max since window_start in
+  for idx = first to tr.total - 1 do
+    let i = idx mod tr.cap in
+    f ~ts:(Array.unsafe_get tr.ts i) ~kind:(Array.unsafe_get tr.kind i)
+      ~cls:(Array.unsafe_get tr.cls i) ~flow:(Array.unsafe_get tr.flow i)
+      ~size:(Array.unsafe_get tr.size i) ~seq:(Array.unsafe_get tr.seq i)
+  done;
+  tr.total
+
 let kind_name = function
   | Enq -> "enq"
   | Deq_rt -> "deq-rt"

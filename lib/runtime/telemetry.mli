@@ -127,6 +127,35 @@ val dropped_events : t -> int
 val events : t -> event list
 (** Decode the ring, oldest surviving event first. *)
 
+val kind_code : kind -> int
+(** The ring's integer encoding of a kind ([Enq] = 0, [Deq_rt] = 1,
+    [Deq_ls] = 2, [Drop] = 3) — also the on-disk encoding of
+    {!Trace_log}'s binary records. *)
+
+val kind_of_code : int -> kind option
+(** Inverse of {!kind_code}; [None] on an unknown code (a corrupt
+    record). *)
+
+val iter_since :
+  t ->
+  since:int ->
+  f:
+    (ts:float ->
+    kind:int ->
+    cls:int ->
+    flow:int ->
+    size:int ->
+    seq:int ->
+    unit) ->
+  int
+(** Replay, oldest first, every event whose global index (its position
+    in {!recorded_total} order, starting at 0) is [>= since] and still
+    survives in the ring, as raw column values — no per-event
+    allocation, the spill sink's hot path. Returns {!recorded_total},
+    the cursor for the next call; events overwritten before the call
+    (indices below [recorded_total - trace_capacity]) are gone, and the
+    caller can count them from the cursor gap. *)
+
 val event_to_string : event -> string
 
 val counters_fields : counters -> (string * Json_lite.t) list

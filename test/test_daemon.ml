@@ -1,0 +1,305 @@
+(* Tests for the daemon (lib/runtime/daemon.ml): a scripted client
+   session over the real Unix socket — add/modify/delete classes,
+   filters, stats, trace dump, deliberate rejections, spill enabled —
+   must produce reply bodies and final engine fingerprints bit-identical
+   to the same command stream replayed offline through
+   Engine.exec_script / Router.exec_script, for a bare engine, the
+   sequential router, and the multicore router (--domains N). Plus the
+   wire protocol's own corners and the runtest-sized soak slice. *)
+
+module C = Runtime.Command
+module E = Runtime.Engine
+module R = Runtime.Router
+module M = Runtime.Mc_router
+module D = Runtime.Daemon
+module L = Runtime.Trace_log
+
+let temp suffix =
+  let p = Filename.temp_file "hfsc_daemon_test" suffix in
+  Sys.remove p;
+  p
+
+(* Run one scripted session: serve [backend] on a fresh socket from this
+   domain while a client domain sends every non-comment line of
+   [script] (plus spill start/stop around it when [spill] is given) and
+   shutdown at the end. Returns the per-line replies. *)
+let run_session ?spill backend script =
+  let socket = temp ".sock" in
+  let d = D.create ~clock:(fun () -> 0.) ~socket backend in
+  let lines =
+    String.split_on_char '\n' script
+    |> List.filter (fun l ->
+           let l = String.trim l in
+           l <> "" && l.[0] <> '#')
+  in
+  let client =
+    Domain.spawn (fun () ->
+        let rec connect tries =
+          match D.Client.connect socket with
+          | conn -> conn
+          | exception Unix.Unix_error _ when tries > 0 ->
+              Unix.sleepf 0.01;
+              connect (tries - 1)
+        in
+        let conn = connect 100 in
+        (match spill with
+        | Some path -> (
+            match D.Client.request conn ("spill start " ^ path) with
+            | Ok _ -> ()
+            | Error (_, m) -> failwith ("spill start refused: " ^ m))
+        | None -> ());
+        let replies = List.map (D.Client.request conn) lines in
+        (match spill with
+        | Some _ -> ignore (D.Client.request conn "spill stop")
+        | None -> ());
+        ignore (D.Client.request conn "shutdown");
+        D.Client.close conn;
+        replies)
+  in
+  D.serve d;
+  Domain.join client
+
+(* what the daemon should answer, from an offline exec_script outcome *)
+let expected_of outcome =
+  match outcome with
+  | Ok body -> Ok body
+  | Error e -> Error (E.error_code_name (E.error_code e), E.error_message e)
+
+let check_replies ~what expected got =
+  Alcotest.(check int)
+    (what ^ ": one reply per command")
+    (List.length expected) (List.length got);
+  List.iteri
+    (fun i (e, g) ->
+      Alcotest.(check (result string (pair string string)))
+        (Printf.sprintf "%s: reply %d" what i)
+        e g)
+    (List.combine expected got)
+
+let parse_script script =
+  match C.parse_script script with
+  | Ok cmds -> cmds
+  | Error { C.line; reason } ->
+      Alcotest.failf "test script line %d: %s" line reason
+
+(* --- single link: daemon vs Engine.exec_script ----------------------- *)
+
+let engine_script =
+  {|
+# the pre-router grammar, plus deliberate rejections
+at 0.0  add class voice parent root flow 1 rsc umax 160 dmax 5ms rate 64Kbit fsc 64Kbit
+at 0.0  add class data parent root flow 2 fsc 2Mbit qlimit 64
+at 0.1  add class video parent root flow 3 rsc umax 1500 dmax 10ms rate 1Mbit fsc 1Mbit
+at 0.2  modify class data fsc 3Mbit
+at 0.2  attach filter flow 2 src 10.0.0.0/8 proto udp
+at 0.3  stats
+at 0.3  stats data
+at 0.35 trace dump
+at 0.4  add class hog parent root rsc 100Mbit
+at 0.45 modify class nosuch fsc 1Mbit
+at 0.5  detach filter flow 2
+at 0.55 delete class video
+at 0.6  stats
+|}
+
+let mk_engine () =
+  E.create ~link_rate:(1.25e6) (Hfsc.create ~link_rate:1.25e6 ()) ~flow_map:[]
+    ()
+
+let test_engine_session () =
+  let cmds = parse_script engine_script in
+  let reference = mk_engine () in
+  let expected =
+    List.map
+      (fun (_, _, outcome) -> expected_of outcome)
+      (E.exec_script ~lenient:true reference cmds)
+  in
+  let live = mk_engine () in
+  let spill = temp ".trace" in
+  let got =
+    run_session ~spill (D.backend_of_engine ~link_name:"link0" live)
+      engine_script
+  in
+  check_replies ~what:"engine" expected got;
+  Alcotest.(check string)
+    "final engine state bit-identical"
+    (Hfsc_gen.engine_fingerprint reference)
+    (Hfsc_gen.engine_fingerprint live);
+  (* spill was enabled for the whole session: the file must be a valid
+     trace (command-only sessions move no packets, so it may be empty) *)
+  (match L.read_file spill with
+  | Ok (_, _) -> ()
+  | Error e -> Alcotest.failf "spill file unreadable: %s" e);
+  Sys.remove spill
+
+(* --- multi link: daemon vs Router.exec_script, both flavours --------- *)
+
+let router_script =
+  {|
+at 0.0  link add west rate 10Mbit
+at 0.0  link add east rate 5Mbit
+at 0.0  link west add class voice parent root flow 1 rsc umax 160 dmax 5ms rate 64Kbit fsc 64Kbit
+at 0.05 link west add class data parent root flow 2 fsc 2Mbit
+at 0.1  link east add class edata parent root flow 10 fsc 3Mbit
+at 0.1  link list
+at 0.2  add class orphan parent root fsc 1Mbit
+at 0.2  link east attach filter flow 1 proto udp
+at 0.25 attach filter flow 10 proto tcp
+at 0.3  link west modify class data fsc 4Mbit
+at 0.3  stats
+at 0.4  link add north rate 2Mbit
+at 0.4  link north add class n1 parent root flow 20 fsc 1Mbit
+at 0.5  link north delete class n1
+at 0.5  link delete north
+at 0.6  link list
+at 0.6  stats
+|}
+
+let reference_router () =
+  let r = R.create () in
+  let outcomes =
+    R.exec_script ~lenient:true r (parse_script router_script)
+  in
+  (r, List.map (fun (_, _, outcome) -> expected_of outcome) outcomes)
+
+let test_router_session () =
+  let reference, expected = reference_router () in
+  let live = R.create () in
+  let got = run_session (D.backend_of_router live) router_script in
+  check_replies ~what:"router" expected got;
+  Alcotest.(check string)
+    "final device state bit-identical"
+    (Hfsc_gen.device_fingerprint ~links:(R.links reference)
+       ~link_of_flow:(R.link_of_flow reference))
+    (Hfsc_gen.device_fingerprint ~links:(R.links live)
+       ~link_of_flow:(R.link_of_flow live))
+
+let test_mc_router_session () =
+  let reference, expected = reference_router () in
+  let live = M.create ~domains:2 () in
+  let got = run_session (D.backend_of_mc_router live) router_script in
+  let mc_links = M.stop live in
+  check_replies ~what:"mc-router" expected got;
+  Alcotest.(check string)
+    "final device state bit-identical across domains"
+    (Hfsc_gen.device_fingerprint ~links:(R.links reference)
+       ~link_of_flow:(R.link_of_flow reference))
+    (Hfsc_gen.device_fingerprint ~links:mc_links
+       ~link_of_flow:(M.link_of_flow live))
+
+(* --- wire protocol corners ------------------------------------------- *)
+
+let test_meta_verbs () =
+  let live = mk_engine () in
+  let socket = temp ".sock" in
+  let d =
+    D.create ~clock:(fun () -> 0.) ~socket
+      (D.backend_of_engine ~link_name:"link0" live)
+  in
+  let client =
+    Domain.spawn (fun () ->
+        let rec connect tries =
+          match D.Client.connect socket with
+          | conn -> conn
+          | exception Unix.Unix_error _ when tries > 0 ->
+              Unix.sleepf 0.01;
+              connect (tries - 1)
+        in
+        let conn = connect 100 in
+        let r1 = D.Client.request conn "ping" in
+        let r2 = D.Client.request conn "audit" in
+        let r3 = D.Client.request conn "stats-json" in
+        let r4 = D.Client.request conn "   " in
+        let r5 = D.Client.request conn "# just a comment" in
+        let r6 = D.Client.request conn "utter garbage here" in
+        let r7 = D.Client.request conn "spill stop" in
+        let r8 = D.Client.request conn "spill nonsense" in
+        (* a reply with an embedded newline must frame correctly, and
+           the next request must still parse — the length prefix is
+           doing its job *)
+        let r9 = D.Client.request conn "stats" in
+        let r10 = D.Client.request conn "ping" in
+        ignore (D.Client.request conn "shutdown");
+        D.Client.close conn;
+        (r1, r2, r3, r4, r5, r6, r7, r8, r9, r10))
+  in
+  D.serve d;
+  let r1, r2, r3, r4, r5, r6, r7, r8, r9, r10 = Domain.join client in
+  Alcotest.(check (result string (pair string string)))
+    "ping" (Ok "pong") r1;
+  Alcotest.(check (result string (pair string string)))
+    "audit" (Ok "audit clean") r2;
+  (match r3 with
+  | Ok body ->
+      Alcotest.(check bool) "stats-json is json" true
+        (String.length body > 0 && body.[0] = '{')
+  | Error (c, m) -> Alcotest.failf "stats-json refused: %s %s" c m);
+  Alcotest.(check (result string (pair string string)))
+    "blank line" (Ok "") r4;
+  Alcotest.(check (result string (pair string string)))
+    "comment line" (Ok "") r5;
+  (match r6 with
+  | Error ("parse-error", _) -> ()
+  | Error (c, _) -> Alcotest.failf "garbage got code %s" c
+  | Ok _ -> Alcotest.fail "garbage accepted");
+  (match r7 with
+  | Error ("bad-value", _) -> ()
+  | _ -> Alcotest.fail "spill stop with no spill must be bad-value");
+  (match r8 with
+  | Error ("parse-error", _) -> ()
+  | _ -> Alcotest.fail "spill nonsense must be parse-error");
+  (match r9 with
+  | Ok body ->
+      Alcotest.(check bool) "stats body is multi-line" true
+        (String.contains body '\n')
+  | Error (c, m) -> Alcotest.failf "stats refused: %s %s" c m);
+  Alcotest.(check (result string (pair string string)))
+    "framing survives multi-line bodies" (Ok "pong") r10;
+  Alcotest.(check bool) "shutdown was requested" true (D.shutdown_requested d)
+
+(* --- the runtest-sized soak slice ------------------------------------ *)
+
+let test_soak_slice () =
+  let report =
+    Experiments.Soak.run ~links:2 ~flows_per_link:3 ~seconds:0.15 ~seed:7
+      ~domains:1 ()
+  in
+  (match Experiments.Soak.healthy report with
+  | Ok () -> ()
+  | Error why ->
+      Alcotest.failf "unhealthy soak: %s\n%s" why
+        (Experiments.Soak.report_text report));
+  Alcotest.(check int)
+    "auditor armed and clean" 0 report.Experiments.Soak.sk_audit_failures;
+  Alcotest.(check bool)
+    "trace spilled on every link" true
+    (List.for_all
+       (fun (_, w, _) -> w > 0)
+       report.Experiments.Soak.sk_spilled);
+  Alcotest.(check bool)
+    "histogram aggregated the spill" true
+    (L.Histogram.samples report.Experiments.Soak.sk_histogram > 0);
+  (* the report must render, histogram table included *)
+  let text = Experiments.Soak.report_text report in
+  Alcotest.(check bool) "report renders" true (String.length text > 100)
+
+let () =
+  Alcotest.run "daemon"
+    [
+      ( "sessions",
+        [
+          Alcotest.test_case "engine session = exec_script, bit for bit"
+            `Quick test_engine_session;
+          Alcotest.test_case "router session = exec_script, bit for bit"
+            `Quick test_router_session;
+          Alcotest.test_case
+            "mc-router session = exec_script, bit for bit" `Quick
+            test_mc_router_session;
+        ] );
+      ( "protocol",
+        [ Alcotest.test_case "meta verbs and framing" `Quick test_meta_verbs ]
+      );
+      ( "soak",
+        [ Alcotest.test_case "runtest slice is healthy" `Quick test_soak_slice ]
+      );
+    ]
