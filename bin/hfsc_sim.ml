@@ -502,12 +502,16 @@ let daemon_cmd =
     "Serve a live control plane on a Unix-domain socket: load a \
      configuration (every link statement becomes a live H-FSC engine) and \
      answer line-oriented requests — the full command grammar plus ping, \
-     audit, stats-json, spill start/stop/status (binary trace spill), \
-     quit and shutdown. With --domains N every link's engine runs on a \
-     worker domain (the multicore router). Talk to it with 'hfsc_sim ctl'."
+     audit, stats-json, fingerprint, spill start/stop/status (binary \
+     trace spill), quit and shutdown. With --domains N every link's \
+     engine runs on a worker domain (the multicore router). With \
+     --state-dir DIR the daemon is crash-safe: accepted commands are \
+     write-ahead journaled and checkpointed under DIR, and a restart \
+     recovers the configuration exactly (SIGTERM and shutdown fsync the \
+     journal first). Talk to it with 'hfsc_sim ctl'."
   in
   let file =
-    Arg.(required & pos 0 (some file) None & info [] ~docv:"CONFIG")
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"CONFIG")
   in
   let socket =
     Arg.(required & opt (some string) None
@@ -525,42 +529,100 @@ let daemon_cmd =
              ~doc:"Run the invariant auditor every $(docv) operations \
                    (0 disables).")
   in
-  let run file socket domains audit_every =
-    match Config.load file with
+  let state_dir =
+    Arg.(value & opt (some string) None
+         & info [ "state-dir" ] ~docv:"DIR"
+             ~doc:"Durable state directory (journal + checkpoints). A \
+                   directory that already holds a checkpoint wins over \
+                   CONFIG: the recovered state is served and $(docv) \
+                   keeps journaling; a fresh directory is seeded from \
+                   CONFIG (or empty without one).")
+  in
+  let run file socket domains audit_every state_dir =
+    let state_has_checkpoint =
+      match state_dir with
+      | None -> false
+      | Some d -> (
+          match Sys.readdir d with
+          | files ->
+              Array.exists
+                (fun f -> String.starts_with ~prefix:"checkpoint." f)
+                files
+          | exception Sys_error _ -> false)
+    in
+    let cfg =
+      match file with
+      | None when state_dir = None ->
+          Error "daemon: a CONFIG file or --state-dir is required"
+      | None -> Ok None
+      | Some f when state_has_checkpoint ->
+          Printf.eprintf
+            "daemon: state directory already holds a checkpoint; ignoring %s\n"
+            f;
+          Ok None
+      | Some f -> (
+          match Config.load f with
+          | Ok cfg ->
+              List.iter
+                (fun w -> Printf.eprintf "warning: %s\n" w)
+                (Config.validate cfg);
+              Ok (Some cfg)
+          | Error e -> Error (Printf.sprintf "%s: %s" f e))
+    in
+    match cfg with
     | Error e ->
-        Printf.eprintf "%s: %s\n" file e;
+        prerr_endline e;
+        1
+    | Ok _ when domains < 1 ->
+        prerr_endline "daemon: --domains must be >= 1";
         1
     | Ok cfg ->
-        List.iter
-          (fun w -> Printf.eprintf "warning: %s\n" w)
-          (Config.validate cfg);
-        if domains < 1 then begin
-          prerr_endline "daemon: --domains must be >= 1";
-          1
-        end
-        else begin
-          let backend, finish =
-            if domains = 1 then
-              ( Runtime.Daemon.backend_of_router
-                  (Runtime.Router.of_config ~audit_every cfg),
-                fun () -> () )
-            else
-              let m = Runtime.Mc_router.of_config ~audit_every ~domains cfg in
-              ( Runtime.Daemon.backend_of_mc_router m,
-                fun () -> ignore (Runtime.Mc_router.stop m) )
-          in
-          let d = Runtime.Daemon.create ~socket backend in
-          Printf.printf "hfsc_sim daemon: %d domain%s, listening on %s\n%!"
-            domains
-            (if domains = 1 then "" else "s")
-            socket;
-          Fun.protect ~finally:finish (fun () -> Runtime.Daemon.serve d);
-          print_endline "daemon: shutdown";
-          0
-        end
+        let backend, finish =
+          if domains = 1 then
+            let r =
+              match cfg with
+              | Some c -> Runtime.Router.of_config ~audit_every c
+              | None -> Runtime.Router.create ~audit_every ()
+            in
+            (Runtime.Daemon.backend_of_router r, fun () -> ())
+          else
+            let m =
+              match cfg with
+              | Some c -> Runtime.Mc_router.of_config ~audit_every ~domains c
+              | None -> Runtime.Mc_router.create ~audit_every ~domains ()
+            in
+            ( Runtime.Daemon.backend_of_mc_router m,
+              fun () -> ignore (Runtime.Mc_router.stop m) )
+        in
+        Printf.printf "hfsc_sim daemon: %d domain%s, listening on %s%s\n%!"
+          domains
+          (if domains = 1 then "" else "s")
+          socket
+          (match state_dir with
+          | Some d -> Printf.sprintf ", durable state in %s" d
+          | None -> "");
+        Fun.protect ~finally:finish (fun () ->
+            match Runtime.Daemon.run ?durable:state_dir ~socket backend with
+            | Ok info ->
+                (match info with
+                | Some i ->
+                    Printf.printf
+                      "daemon: served generation %d (%d checkpoint + %d \
+                       journal commands recovered%s)\n"
+                      i.Runtime.Daemon.ri_generation i.Runtime.Daemon.ri_checkpoint
+                      i.Runtime.Daemon.ri_tail
+                      (if i.Runtime.Daemon.ri_truncated then
+                         ", torn journal tail discarded"
+                       else "")
+                | None -> ());
+                print_endline "daemon: shutdown";
+                0
+            | Error msg ->
+                Printf.eprintf "daemon: recovery refused: %s\n" msg;
+                1)
   in
   Cmd.v (Cmd.info "daemon" ~doc)
-    Term.(const run $ file $ socket $ domains $ audit_every)
+    Term.(const run $ file $ socket $ domains $ audit_every $ state_dir)
 
 let ctl_cmd =
   let doc =
@@ -659,6 +721,59 @@ let soak_cmd =
   Cmd.v (Cmd.info "soak" ~doc)
     Term.(const run $ links $ flows $ seconds $ seed $ domains $ spill)
 
+let crash_cmd =
+  let doc =
+    "Kill/restart crash soak: run a durable daemon (--state-dir \
+     machinery) in a forked child, churn its control plane over the \
+     socket, SIGKILL it mid-churn, restart it from the state directory, \
+     and require that no acknowledged command is ever lost — the \
+     recovered configuration fingerprint must stay bit-identical to a \
+     sequential replay oracle. Exits nonzero on the first broken \
+     guarantee."
+  in
+  let links =
+    Arg.(value & opt int 2 & info [ "links" ] ~docv:"N" ~doc:"Links.")
+  in
+  let cycles =
+    Arg.(value & opt int 5
+         & info [ "cycles" ] ~docv:"N" ~doc:"Kill/restart cycles.")
+  in
+  let ops =
+    Arg.(value & opt int 40
+         & info [ "ops" ] ~docv:"N" ~doc:"Churn rounds per cycle.")
+  in
+  let domains =
+    Arg.(value & opt int 1
+         & info [ "domains" ] ~docv:"N"
+             ~doc:"Worker domains (1 = sequential router).")
+  in
+  let state_dir =
+    Arg.(value & opt (some string) None
+         & info [ "state-dir" ] ~docv:"DIR"
+             ~doc:"Keep the journal/checkpoints at $(docv) instead of a \
+                   removed temp directory.")
+  in
+  let run links cycles ops domains state_dir =
+    if links < 1 || cycles < 1 || ops < 1 || domains < 1 then begin
+      prerr_endline "crash: all parameters must be positive";
+      1
+    end
+    else
+      match
+        Experiments.Soak.run_crash ~links ~cycles ~ops_per_cycle:ops ~domains
+          ?state_dir ~log:print_endline ()
+      with
+      | Ok r ->
+          print_string (Experiments.Soak.crash_report_text r);
+          print_endline "crash soak: healthy";
+          0
+      | Error why ->
+          Printf.printf "crash soak: FAILED: %s\n" why;
+          1
+  in
+  Cmd.v (Cmd.info "crash" ~doc)
+    Term.(const run $ links $ cycles $ ops $ domains $ state_dir)
+
 let trace_report_cmd =
   let doc =
     "Aggregate spilled binary traces (see 'spill start' in the daemon, or \
@@ -695,4 +810,5 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ list_cmd; run_cmd; demo_cmd; simulate_cmd; control_cmd;
-            router_cmd; daemon_cmd; ctl_cmd; soak_cmd; trace_report_cmd ]))
+            router_cmd; daemon_cmd; ctl_cmd; soak_cmd; crash_cmd;
+            trace_report_cmd ]))

@@ -368,6 +368,253 @@ let report_text r =
   Printf.bprintf b "\n%s" (Trace_log.Histogram.to_text r.sk_histogram);
   Buffer.contents b
 
+(* --- the kill/restart crash soak -------------------------------------- *)
+
+type crash_report = {
+  cr_cycles : int;
+  cr_domains : int;
+  cr_kills : int;
+  cr_commands : int;
+  cr_fingerprint : string;
+  cr_oracle : string;
+}
+
+exception Crash_failure of string
+
+let crash_fail fmt = Printf.ksprintf (fun s -> raise (Crash_failure s)) fmt
+
+(* The daemon side of one crash cycle, in a forked child. The device is
+   built *after* the fork, so no worker domain ever crosses the fork
+   boundary (fork only duplicates the forking thread; a pre-fork
+   Mc_router would leave orphaned rings). The parent stays domain-free
+   until all children are reaped for the same reason. *)
+let crash_child ~domains ~audit_every ~state_dir ~socket () =
+  let code =
+    try
+      let backend, stop_device =
+        if domains <= 1 then
+          let r = Router.create ~audit_every () in
+          (Daemon.backend_of_router r, fun () -> ())
+        else
+          let m = Mc_router.create ~audit_every ~domains () in
+          (Daemon.backend_of_mc_router m, fun () -> ignore (Mc_router.stop m))
+      in
+      match Daemon.run ~durable:state_dir ~checkpoint_every:8 ~socket backend with
+      | Ok _ ->
+          stop_device ();
+          0
+      | Error msg ->
+          prerr_endline ("crash child: recovery refused: " ^ msg);
+          3
+    with e ->
+      prerr_endline ("crash child: " ^ Printexc.to_string e);
+      4
+  in
+  (* never run the parent's at_exit machinery from the child *)
+  Unix._exit code
+
+(* Deterministic churn for cycle [c]: every line carries an [at] stamp,
+   so the sequential replay oracle sees the exact same timeline. The
+   class population grows, shrinks and mutates so consecutive cycles
+   leave genuinely different configurations behind. *)
+let crash_lines ~links ~cycle ~ops =
+  let k = ref 0 in
+  let out = ref [] in
+  let stamp fmt =
+    Printf.ksprintf
+      (fun line ->
+        out :=
+          Printf.sprintf "at %g %s" ((float_of_int cycle *. 64.) +. (float_of_int !k *. 0.25)) line
+          :: !out;
+        incr k)
+      fmt
+  in
+  if cycle = 0 then
+    for i = 0 to links - 1 do
+      stamp "link add %s rate 100Mbit" (link_name i)
+    done;
+  for j = 0 to ops - 1 do
+    let l = link_name (j mod links) in
+    let cls = Printf.sprintf "c%d_%d" cycle j in
+    stamp "link %s add class %s parent root fsc 8Kbit qlimit 32" l cls;
+    if j mod 2 = 0 then stamp "link %s modify class %s fsc 16Kbit qlimit 64" l cls;
+    if j mod 3 = 0 then stamp "link %s delete class %s" l cls
+  done;
+  List.rev !out
+
+let run_crash ?(links = 2) ?(cycles = 3) ?(ops_per_cycle = 12) ?(domains = 1)
+    ?state_dir ?socket ?(log = ignore) () =
+  if links < 1 || cycles < 1 || ops_per_cycle < 1 || domains < 1 then
+    invalid_arg "Soak.run_crash: all parameters must be >= 1";
+  let temp tag suffix =
+    let p = Filename.temp_file tag suffix in
+    Sys.remove p;
+    p
+  in
+  let state_owned = state_dir = None in
+  let socket_owned = socket = None in
+  let state_dir =
+    match state_dir with Some d -> d | None -> temp "hfsc_crash" ".state"
+  in
+  let socket = match socket with Some s -> s | None -> temp "hfsc_crash" ".sock" in
+  let accepted = ref [] (* acked mutating lines, newest first *) in
+  let kills = ref 0 in
+  let child = ref None in
+  let spawn () =
+    (* the child inherits these buffers; anything unflushed would be
+       written twice (worker domains flush std channels on exit) *)
+    flush stdout;
+    flush stderr;
+    match Unix.fork () with
+    | 0 -> crash_child ~domains ~audit_every:512 ~state_dir ~socket ()
+    | pid ->
+        child := Some pid;
+        pid
+  in
+  let reap pid =
+    child := None;
+    snd (Unix.waitpid [] pid)
+  in
+  let request conn line =
+    match Daemon.Client.request ~timeout:10. conn line with
+    | reply -> reply
+    | exception Daemon.Client.Timeout -> crash_fail "request %S timed out" line
+    | exception End_of_file -> crash_fail "daemon hung up on %S" line
+  in
+  let fingerprint conn =
+    match request conn "fingerprint" with
+    | Ok fp -> fp
+    | Error (code, msg) -> crash_fail "fingerprint refused (%s): %s" code msg
+  in
+  let last_fp = ref None in
+  (* one daemon lifetime: start, verify recovery, churn (unless [ops] is
+     0 — the final clean-restart check), audit, remember the
+     fingerprint, then die by [how] *)
+  let cycle ~c ~ops ~how =
+    let pid = spawn () in
+    let conn = Daemon.Client.connect ~retries:400 ~backoff:0.005 socket in
+    Fun.protect
+      ~finally:(fun () -> Daemon.Client.close conn)
+      (fun () ->
+        (match !last_fp with
+        | Some expect ->
+            let got = fingerprint conn in
+            if got <> expect then
+              crash_fail
+                "cycle %d: recovery lost state: fingerprint %s, expected %s" c
+                got expect
+        | None -> ());
+        if ops > 0 then
+          List.iter
+            (fun line ->
+              match request conn line with
+              | Ok _ -> accepted := line :: !accepted
+              | Error (code, msg) ->
+                  crash_fail "cycle %d: %S refused (%s): %s" c line code msg)
+            (crash_lines ~links ~cycle:c ~ops);
+        (match request conn "audit" with
+        | Ok _ -> ()
+        | Error (_, msg) -> crash_fail "cycle %d: audit failed:\n%s" c msg);
+        last_fp := Some (fingerprint conn);
+        match how with
+        | `Kill ->
+            (* SIGKILL mid-churn: no flush, no close, a dirty journal *)
+            Unix.kill pid Sys.sigkill;
+            incr kills
+        | `Shutdown -> (
+            match request conn "shutdown" with
+            | Ok _ -> ()
+            | Error (code, msg) ->
+                crash_fail "cycle %d: shutdown refused (%s): %s" c code msg)
+        | `Sigterm -> Unix.kill pid Sys.sigterm);
+    (match (how, reap pid) with
+    | `Kill, Unix.WSIGNALED s when s = Sys.sigkill -> ()
+    | (`Shutdown | `Sigterm), Unix.WEXITED 0 -> ()
+    | _, Unix.WEXITED n -> crash_fail "cycle %d: daemon exited %d" c n
+    | _, Unix.WSIGNALED s -> crash_fail "cycle %d: daemon died on signal %d" c s
+    | _, Unix.WSTOPPED s -> crash_fail "cycle %d: daemon stopped on signal %d" c s);
+    log
+      (Printf.sprintf "cycle %d: %d commands acknowledged, %s" c
+         (List.length !accepted)
+         (match how with
+         | `Kill -> "SIGKILLed"
+         | `Shutdown -> "clean shutdown"
+         | `Sigterm -> "SIGTERM"))
+  in
+  let cleanup () =
+    (match !child with
+    | Some pid ->
+        (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+        ignore (try reap pid with Unix.Unix_error _ -> Unix.WEXITED 0)
+    | None -> ());
+    if state_owned then begin
+      (match Sys.readdir state_dir with
+      | files ->
+          Array.iter
+            (fun f ->
+              try Sys.remove (Filename.concat state_dir f) with Sys_error _ -> ())
+            files
+      | exception Sys_error _ -> ());
+      try Unix.rmdir state_dir with Unix.Unix_error _ -> ()
+    end;
+    if socket_owned then try Sys.remove socket with Sys_error _ -> ()
+  in
+  match
+    Fun.protect ~finally:cleanup (fun () ->
+        for c = 0 to cycles - 1 do
+          cycle ~c ~ops:ops_per_cycle
+            ~how:(if c < cycles - 1 then `Kill else `Shutdown)
+        done;
+        (* a clean journal must recover bit-identically too; stop this
+           one with SIGTERM so the signal-driven graceful path is the
+           one being proven *)
+        cycle ~c:cycles ~ops:0 ~how:`Sigterm;
+        let final_fp =
+          match !last_fp with Some fp -> fp | None -> assert false
+        in
+        (* the oracle: replay every acknowledged command, in order, into
+           a fresh sequential router on this process — no daemon, no
+           journal, no crash — and compare configurations *)
+        let script = String.concat "\n" (List.rev !accepted) in
+        let oracle = Router.create () in
+        (match Command.parse_script script with
+        | Error { Command.line; reason } ->
+            crash_fail "oracle: accepted line %d unparseable: %s" line reason
+        | Ok cmds ->
+            List.iter
+              (fun (at, cmd) ->
+                match Router.exec oracle ~now:at cmd with
+                | Ok _ -> ()
+                | Error e ->
+                    crash_fail "oracle refused an acknowledged command: %s"
+                      (Engine.error_message e))
+              cmds);
+        let oracle_fp = Router.config_fingerprint oracle in
+        if oracle_fp <> final_fp then
+          crash_fail
+            "recovered fingerprint %s differs from sequential replay oracle %s"
+            final_fp oracle_fp;
+        {
+          cr_cycles = cycles;
+          cr_domains = domains;
+          cr_kills = !kills;
+          cr_commands = List.length !accepted;
+          cr_fingerprint = final_fp;
+          cr_oracle = oracle_fp;
+        })
+  with
+  | report -> Ok report
+  | exception Crash_failure msg -> Error msg
+
+let crash_report_text r =
+  Printf.sprintf
+    "crash soak: %d cycles (%d SIGKILLs) on %d domain%s\n\
+    \  %d commands acknowledged and recovered\n\
+    \  fingerprint %s == sequential oracle\n"
+    r.cr_cycles r.cr_kills r.cr_domains
+    (if r.cr_domains = 1 then "" else "s")
+    r.cr_commands r.cr_fingerprint
+
 let healthy r =
   let check cond msg = if cond then Ok () else Error msg in
   let ( let* ) = Result.bind in

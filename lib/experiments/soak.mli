@@ -73,3 +73,51 @@ val healthy : report -> (unit, string) result
     failures, at least one audit actually ran, packets flowed, every
     link spilled at least one record, and the histogram aggregated at
     least one delay sample. [Error] names the first violated clause. *)
+
+(** {2 The kill/restart crash soak}
+
+    The durability counterpart to {!run}: a churn client in {e this}
+    process drives a durable daemon ({!Runtime.Daemon.run} with a state
+    directory) running in a {e forked child}, SIGKILLs it mid-churn,
+    restarts it from the state directory, and requires that recovery
+    lost nothing. Each cycle: start the daemon (the device is built
+    after the fork, so worker domains never cross a fork), check its
+    recovered fingerprint equals the one recorded just before the
+    previous kill, send a deterministic batch of [at]-stamped mutating
+    commands, run the auditor, record the fingerprint, kill. The last
+    cycle stops cleanly ([shutdown]), then one more restart proves a
+    clean journal recovers bit-identically, stopped via SIGTERM to
+    prove the signal-driven graceful path. Finally every acknowledged
+    command is replayed, in order, into a fresh sequential router — the
+    oracle — whose {!Runtime.Router.config_fingerprint} must equal the
+    daemon's. *)
+
+type crash_report = {
+  cr_cycles : int;
+  cr_domains : int;
+  cr_kills : int;  (** SIGKILLs delivered *)
+  cr_commands : int;  (** mutating commands acknowledged (and recovered) *)
+  cr_fingerprint : string;  (** the final daemon's configuration *)
+  cr_oracle : string;  (** the sequential replay oracle's (equal) *)
+}
+
+val run_crash :
+  ?links:int ->
+  ?cycles:int ->
+  ?ops_per_cycle:int ->
+  ?domains:int ->
+  ?state_dir:string ->
+  ?socket:string ->
+  ?log:(string -> unit) ->
+  unit ->
+  (crash_report, string) result
+(** Run one kill/restart soak. Defaults: 2 links, 3 cycles, 12 op
+    rounds per cycle, [domains = 1] ([> 1] runs the daemon over
+    {!Runtime.Mc_router} in the child), fresh temp state directory and
+    socket (removed afterwards when defaulted, kept when given).
+    [Error] names the first broken guarantee: a lost or phantom
+    command, a failed audit, a refused recovery, or a fingerprint
+    diverging from the oracle. Defaults are runtest-sized (the [@crash]
+    alias); [hfsc_sim crash] scales them up. *)
+
+val crash_report_text : crash_report -> string

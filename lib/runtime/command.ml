@@ -358,3 +358,10 @@ let pp ppf { target; op } =
   | Default_link -> ()
   | On_link name -> Format.fprintf ppf "link %s " name);
   pp_op ppf op
+
+let is_mutating { op; _ } =
+  match op with
+  | Add_class _ | Modify_class _ | Delete_class _ | Attach_filter _
+  | Detach_filter _ | Set_limit _ | Link_add _ | Link_delete _ ->
+      true
+  | Stats _ | Trace _ | Link_list -> false

@@ -126,3 +126,18 @@ val parse_script_file : string -> ((float * t) list, error) result
 val pp : Format.formatter -> t -> unit
 (** Prints the command in its own grammar ([link NAME] prefix
     included), so a pretty-printed command re-parses to itself. *)
+
+val pp_float : Format.formatter -> float -> unit
+(** The round-trip float printer {!pp} uses for rates and times
+    ([%.12g], falling back to [%.17g] when that loses bits):
+    [float_of_string] of the output is always the original float. The
+    journal reuses it so a replayed [at TIME] is bit-identical. *)
+
+val is_mutating : t -> bool
+(** Whether a successful execution of this command changes control-plane
+    state that recovery must reproduce: class add/modify/delete, filter
+    attach/detach, aggregate limits, link add/delete. [stats], [trace]
+    and [link list] are not mutating ([trace on/off] toggles telemetry
+    only, which is deliberately not persisted — see the durability
+    model in DESIGN.md). This is the predicate {!Journal} appends
+    are gated on. *)

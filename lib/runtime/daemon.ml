@@ -11,6 +11,8 @@ type backend = {
   b_audit : unit -> string list;
   b_link_names : unit -> string list;
   b_snapshot : link:string -> Telemetry.snapshot option;
+  b_checkpoint : unit -> (float * Command.t) list;
+  b_fingerprint : unit -> string;
 }
 
 let backend_of_router r =
@@ -22,6 +24,8 @@ let backend_of_router r =
     b_snapshot =
       (fun ~link ->
         Option.map Engine.snapshot (Router.find_link r link));
+    b_checkpoint = (fun () -> Router.checkpoint r);
+    b_fingerprint = (fun () -> Router.config_fingerprint r);
   }
 
 let backend_of_mc_router m =
@@ -31,6 +35,8 @@ let backend_of_mc_router m =
     b_audit = (fun () -> Mc_router.audit m);
     b_link_names = (fun () -> Mc_router.link_names m);
     b_snapshot = (fun ~link -> Mc_router.snapshot m ~link);
+    b_checkpoint = (fun () -> Mc_router.checkpoint m);
+    b_fingerprint = (fun () -> Mc_router.config_fingerprint m);
   }
 
 let backend_of_engine ~link_name eng =
@@ -41,16 +47,29 @@ let backend_of_engine ~link_name eng =
     b_link_names = (fun () -> [ link_name ]);
     b_snapshot =
       (fun ~link -> if link = link_name then Some (Engine.snapshot eng) else None);
+    b_checkpoint =
+      (fun () ->
+        (* no router verbs on a bare engine: the checkpoint is the
+           engine's own ops, unscoped — replayable into a fresh engine
+           of the same link rate *)
+        List.map
+          (fun op -> (0., { Command.target = Command.Default_link; op }))
+          (Engine.checkpoint_ops eng));
+    b_fingerprint = (fun () -> Engine.config_fingerprint eng);
   }
 
 (* --- wire helpers ---------------------------------------------------- *)
 
+(* Short writes and EINTR are both routine on a socket a slow (or
+   signal-happy) client is draining; loop until the reply is out. *)
 let write_all fd s =
   let b = Bytes.unsafe_of_string s in
   let n = Bytes.length b in
   let off = ref 0 in
   while !off < n do
-    off := !off + Unix.write fd b !off (n - !off)
+    match Unix.write fd b !off (n - !off) with
+    | k -> off := !off + k
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
   done
 
 let reply_ok fd body =
@@ -212,6 +231,7 @@ let handle_line t conn line =
       | [] -> reply_ok fd "audit clean"
       | errs -> reply_err fd "structural" (String.concat "\n" errs))
   | "stats-json" -> reply_ok fd (Json_lite.to_string (t.backend.b_stats_json ()))
+  | "fingerprint" -> reply_ok fd (t.backend.b_fingerprint ())
   | "spill" -> (
       let sub, arg = first_token rest in
       match (sub, arg) with
@@ -236,6 +256,11 @@ let handle_line t conn line =
             "usage: spill start PATH | spill stop | spill status")
   | _ -> exec_command t fd line
 
+(* No legitimate request line comes close to this; anything longer is a
+   confused (or hostile) client, and an unbounded [rbuf] would let it
+   hold the daemon's memory hostage one byte at a time. *)
+let max_request = 4096
+
 (* Cut complete lines out of the connection buffer; leftovers stay for
    the next read. *)
 let process_buffer t conn =
@@ -243,8 +268,15 @@ let process_buffer t conn =
   let rec go from =
     match String.index_from_opt data from '\n' with
     | None ->
+        let rest = String.length data - from in
+        if rest > max_request then begin
+          (* can't resync a lineless stream: reply and hang up *)
+          reply_err conn.fd "bad-value"
+            (Printf.sprintf "request exceeds %d bytes" max_request);
+          raise Exit
+        end;
         Buffer.clear conn.rbuf;
-        Buffer.add_substring conn.rbuf data from (String.length data - from)
+        Buffer.add_substring conn.rbuf data from rest
     | Some nl ->
         let line = String.sub data from (nl - from) in
         let line =
@@ -253,7 +285,13 @@ let process_buffer t conn =
             String.sub line 0 (String.length line - 1)
           else line
         in
-        handle_line t conn line;
+        if String.length line > max_request then
+          reply_err conn.fd "bad-value"
+            (Printf.sprintf "request exceeds %d bytes" max_request)
+        else if String.contains line '\000' then
+          (* line framing is intact, so the connection survives *)
+          reply_err conn.fd "bad-value" "request contains NUL byte"
+        else handle_line t conn line;
         go (nl + 1)
   in
   go 0
@@ -316,46 +354,198 @@ let serve ?(idle = fun () -> true) ?(idle_every = 0.05) t =
         if t.running && not (idle ()) then t.running <- false
       done)
 
+(* --- durability ------------------------------------------------------- *)
+
+type recovery_info = {
+  ri_generation : int;
+  ri_checkpoint : int;
+  ri_tail : int;
+  ri_truncated : bool;
+  ri_fingerprint : string;
+}
+
+type durable_state = {
+  d_backend : backend;
+  d_info : recovery_info;
+  d_writer : Journal.writer;
+}
+
+let ( let* ) = Result.bind
+
+(* Recovery is strict on purpose: the journal only ever holds commands
+   the engine *accepted*, so a refusal during replay means the state
+   directory and this backend disagree (wrong backend, wrong link
+   rates, a non-empty engine) — serving a half-rebuilt configuration
+   would be worse than refusing to start. *)
+let durable ?(checkpoint_every = 256) ~dir backend =
+  if checkpoint_every < 1 then invalid_arg "Daemon.durable: checkpoint_every";
+  let* r = Result.map_error Journal.corruption_text (Journal.recover ~dir) in
+  let replay label cmds =
+    let rec go n = function
+      | [] -> Ok n
+      | (at, cmd) :: rest -> (
+          match backend.b_exec ~now:at cmd with
+          | Ok _ -> go (n + 1) rest
+          | Error e ->
+              Error
+                (Printf.sprintf "%s replay refused command %d: %s" label (n + 1)
+                   (Engine.error_message e)))
+    in
+    go 0 cmds
+  in
+  let* _ = replay "checkpoint" r.Journal.r_checkpoint in
+  let* () =
+    match r.Journal.r_digest with
+    | None -> Ok ()
+    | Some d ->
+        let fp = backend.b_fingerprint () in
+        if d = fp then Ok ()
+        else
+          Error
+            (Printf.sprintf "checkpoint digest mismatch: recorded %s, rebuilt %s"
+               d fp)
+  in
+  let* tail = replay "journal" r.Journal.r_tail in
+  let generation = r.Journal.r_generation + 1 in
+  let writer =
+    (* start a fresh generation immediately: the recovered state becomes
+       a checkpoint, so the next crash replays from here, not from the
+       whole inherited history *)
+    Journal.start ~dir ~generation ~checkpoint:(backend.b_checkpoint ())
+      ~digest:(backend.b_fingerprint ())
+  in
+  let rotate () =
+    Journal.rotate writer ~checkpoint:(backend.b_checkpoint ())
+      ~digest:(backend.b_fingerprint ())
+  in
+  let b_exec ~now cmd =
+    match backend.b_exec ~now cmd with
+    | Ok _ as ok ->
+        (* write-behind of an *accepted* command: the reply is not sent
+           until [Journal.append] has handed the record to the OS *)
+        if Command.is_mutating cmd then begin
+          Journal.append writer ~now cmd;
+          if Journal.appended writer >= checkpoint_every then rotate ()
+        end;
+        ok
+    | Error _ as e -> e
+  in
+  Ok
+    {
+      d_backend = { backend with b_exec };
+      d_info =
+        {
+          ri_generation = generation;
+          ri_checkpoint = List.length r.Journal.r_checkpoint;
+          ri_tail = tail;
+          ri_truncated = r.Journal.r_truncated;
+          ri_fingerprint = backend.b_fingerprint ();
+        };
+      d_writer = writer;
+    }
+
+let run ?clock ?backlog ?(idle = fun () -> true) ?idle_every ?(sigterm = true)
+    ?checkpoint_every ?durable:state_dir ~socket backend =
+  let* d =
+    match state_dir with
+    | None -> Ok None
+    | Some dir -> Result.map Option.some (durable ?checkpoint_every ~dir backend)
+  in
+  let backend = match d with Some d -> d.d_backend | None -> backend in
+  let stop = Atomic.make false in
+  let old_term =
+    if sigterm then
+      try
+        Some
+          (Sys.signal Sys.sigterm
+             (Sys.Signal_handle (fun _ -> Atomic.set stop true)))
+      with Invalid_argument _ | Sys_error _ -> None
+    else None
+  in
+  let t = create ?clock ?backlog ~socket backend in
+  Fun.protect
+    ~finally:(fun () ->
+      (match old_term with
+      | Some h -> ( try Sys.set_signal Sys.sigterm h with Invalid_argument _ -> ())
+      | None -> ());
+      (* graceful stop: serve's own finally has already flushed and
+         closed any active trace spill; the journal barrier is ours *)
+      match d with Some d -> Journal.close d.d_writer | None -> ())
+    (fun () ->
+      serve ?idle_every ~idle:(fun () -> (not (Atomic.get stop)) && idle ()) t;
+      Ok (Option.map (fun d -> d.d_info) d))
+
 (* --- client ---------------------------------------------------------- *)
 
 module Client = struct
   type conn = { fd : Unix.file_descr; mutable buf : string }
 
-  let connect path =
-    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-    Unix.connect fd (Unix.ADDR_UNIX path);
-    { fd; buf = "" }
+  exception Timeout
 
-  let refill c =
+  let connect_once path =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () -> { fd; buf = "" }
+    | exception e ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        raise e
+
+  let connect ?(retries = 0) ?(backoff = 0.05) path =
+    let rec go attempt delay =
+      match connect_once path with
+      | c -> c
+      | exception Unix.Unix_error _ when attempt < retries ->
+          (* daemon restarting: the socket is briefly absent or not yet
+             listening — back off exponentially and try again *)
+          Unix.sleepf delay;
+          go (attempt + 1) (delay *. 2.)
+    in
+    go 0 backoff
+
+  (* Block until [c.fd] is readable, or raise [Timeout] at [deadline].
+     EINTR restarts the wait with the remaining budget. *)
+  let rec wait_readable c deadline =
+    let left = deadline -. Unix.gettimeofday () in
+    if left <= 0. then raise Timeout
+    else
+      match Unix.select [ c.fd ] [] [] left with
+      | [], _, _ -> raise Timeout
+      | _ -> ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait_readable c deadline
+
+  let refill ?deadline c =
+    (match deadline with None -> () | Some d -> wait_readable c d);
     let b = Bytes.create 65536 in
     match Unix.read c.fd b 0 (Bytes.length b) with
     | 0 -> raise End_of_file
     | n -> c.buf <- c.buf ^ Bytes.sub_string b 0 n
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
 
-  let rec read_line c =
+  let rec read_line ?deadline c =
     match String.index_opt c.buf '\n' with
     | Some i ->
         let line = String.sub c.buf 0 i in
         c.buf <- String.sub c.buf (i + 1) (String.length c.buf - i - 1);
         line
     | None ->
-        refill c;
-        read_line c
+        refill ?deadline c;
+        read_line ?deadline c
 
-  let rec read_exact c n =
+  let rec read_exact ?deadline c n =
     if String.length c.buf >= n then begin
       let s = String.sub c.buf 0 n in
       c.buf <- String.sub c.buf n (String.length c.buf - n);
       s
     end
     else begin
-      refill c;
-      read_exact c n
+      refill ?deadline c;
+      read_exact ?deadline c n
     end
 
-  let request c line =
+  let request ?timeout c line =
+    let deadline = Option.map (fun s -> Unix.gettimeofday () +. s) timeout in
     write_all c.fd (line ^ "\n");
-    let status = read_line c in
+    let status = read_line ?deadline c in
     let fail () =
       failwith (Printf.sprintf "Daemon.Client: malformed reply %S" status)
     in
@@ -363,15 +553,15 @@ module Client = struct
     | [ "ok"; len ] -> (
         match int_of_string_opt len with
         | Some n ->
-            let body = read_exact c n in
-            ignore (read_exact c 1);
+            let body = read_exact ?deadline c n in
+            ignore (read_exact ?deadline c 1);
             Ok body
         | None -> fail ())
     | [ "err"; code; len ] -> (
         match int_of_string_opt len with
         | Some n ->
-            let msg = read_exact c n in
-            ignore (read_exact c 1);
+            let msg = read_exact ?deadline c n in
+            ignore (read_exact ?deadline c 1);
             Error (code, msg)
         | None -> fail ())
     | _ -> fail ()

@@ -13,6 +13,7 @@
     ping                      liveness probe
     audit                     run the device-wide invariant auditor
     stats-json                the JSON stats document (router schema)
+    fingerprint               configuration fingerprint (hex digest)
     spill start PATH          start binary trace spill (one file per
                               link: PATH when the device has one link,
                               PATH.<link> otherwise)
@@ -21,6 +22,14 @@
     quit                      close this connection
     shutdown                  stop the daemon (all connections close)
     v}
+
+    {b Input hardening.} A request line longer than 4096 bytes is
+    answered with [err bad-value]; if the stream has no newline at all
+    within that bound the connection is also closed (there is no way to
+    resync). A line containing a NUL byte is rejected the same way but
+    the connection survives — its framing is intact. Requests arriving
+    one byte at a time are fine: lines are cut from a per-connection
+    buffer, never from a single [read].
 
     Every request gets exactly one reply:
 
@@ -61,6 +70,12 @@ type backend = {
   b_snapshot : link:string -> Telemetry.snapshot option;
       (** per-link telemetry for the spill sinks; [None] on an unknown
           link (e.g. deleted since {!b_link_names}) *)
+  b_checkpoint : unit -> (float * Command.t) list;
+      (** the control-plane state as a replayable script
+          ({!Router.checkpoint}) — what {!Journal} checkpoints persist *)
+  b_fingerprint : unit -> string;
+      (** configuration fingerprint ({!Router.config_fingerprint});
+          recorded with every checkpoint and verified on recovery *)
 }
 
 val backend_of_router : Router.t -> backend
@@ -98,6 +113,49 @@ val spill_totals : t -> (string * int * int) list
     one is active) — what [spill stop] reports, kept readable after
     {!serve} returns so harnesses can assert on it. *)
 
+(** {2 Durability}
+
+    [run ~durable:DIR] is {!create} + {!serve} with a crash-safe state
+    directory wrapped around the backend: on entry the directory is
+    recovered through {!Journal.recover} — latest intact checkpoint
+    replayed into the (empty) backend, recorded digest verified against
+    the rebuilt {!b_fingerprint}, journal tail replayed — and a fresh
+    generation is started. From then on every {e accepted} mutating
+    command is appended to the journal before its reply is sent, and
+    the journal rotates into a new checkpoint every [checkpoint_every]
+    commands. SIGKILL at any instant loses at most the command whose
+    reply was never sent; SIGTERM or a [shutdown] request stops the
+    serve loop, flushes any active trace spill, and fsyncs + closes the
+    journal. *)
+
+type recovery_info = {
+  ri_generation : int;  (** generation now being written *)
+  ri_checkpoint : int;  (** commands replayed from the checkpoint *)
+  ri_tail : int;  (** commands replayed from the journal tail *)
+  ri_truncated : bool;  (** a torn journal tail was discarded *)
+  ri_fingerprint : string;  (** {!b_fingerprint} after recovery *)
+}
+
+val run :
+  ?clock:(unit -> float) ->
+  ?backlog:int ->
+  ?idle:(unit -> bool) ->
+  ?idle_every:float ->
+  ?sigterm:bool ->
+  ?checkpoint_every:int ->
+  ?durable:string ->
+  socket:string ->
+  backend ->
+  (recovery_info option, string) result
+(** Serve [backend] on [socket] until [shutdown], [idle () = false], or
+    — when [sigterm] (default [true]) — SIGTERM. With [?durable:DIR]
+    the backend {b must be freshly created and empty}: recovery replays
+    into it strictly, and any refused command or digest mismatch
+    returns [Error] without serving (a state directory must never be
+    half-applied). [checkpoint_every] (default 256) bounds the journal
+    tail a future recovery replays. Returns [Ok (Some info)] describing
+    the recovery when durable, [Ok None] otherwise. *)
+
 (** {2 Client}
 
     The matching line client, used by the daemon tests, the soak
@@ -107,13 +165,28 @@ val spill_totals : t -> (string * int * int) list
 module Client : sig
   type conn
 
-  val connect : string -> conn
-  (** @raise Unix.Unix_error when nothing listens at the path. *)
+  exception Timeout
+  (** A deadline passed in {!request} expired mid-read. Distinct from
+      protocol errors ([Failure]) and peer shutdown ([End_of_file]): a
+      timed-out connection is in an unknown framing state and should be
+      closed, where a protocol [Error (code, msg)] reply leaves it
+      reusable. *)
 
-  val request : conn -> string -> (string, string * string) result
+  val connect : ?retries:int -> ?backoff:float -> string -> conn
+  (** Connect to the daemon socket. With [retries] (default 0) a
+      [Unix.Unix_error] — nothing listening yet, socket file briefly
+      absent while the daemon restarts — is retried up to that many
+      times, sleeping [backoff] seconds (default 0.05) doubled after
+      each attempt.
+
+      @raise Unix.Unix_error when the final attempt fails. *)
+
+  val request : ?timeout:float -> conn -> string -> (string, string * string) result
   (** Send one request line, read one reply: [Ok body] for [ok],
-      [Error (code, message)] for [err].
+      [Error (code, message)] for [err]. With [timeout] (seconds), the
+      whole reply must arrive within the deadline.
 
+      @raise Timeout if the deadline expires.
       @raise End_of_file if the daemon closed the connection. *)
 
   val close : conn -> unit

@@ -16,6 +16,7 @@ type error_code =
   | Unknown_link
   | Duplicate_link
   | Cross_link_filter
+  | Link_failed
 
 type error = { code : error_code; message : string }
 
@@ -37,6 +38,7 @@ let error_code_name = function
   | Unknown_link -> "unknown-link"
   | Duplicate_link -> "duplicate-link"
   | Cross_link_filter -> "cross-link-filter"
+  | Link_failed -> "link-failed"
 
 let parse_error message = { code = Parse_error; message }
 let errf code fmt = Printf.ksprintf (fun message -> Error { code; message }) fmt
@@ -65,7 +67,9 @@ type t = {
   link_rate : float;
   tele : Telemetry.t;
   flows : (int, Hfsc.cls) Hashtbl.t;
-  mutable filters : Classify.Rules.rule list; (* in match order *)
+  (* in match order; the spec is retained alongside the compiled rule
+     so a checkpoint can re-emit the exact [attach filter] command *)
+  mutable filters : (Command.filter_spec * Classify.Rules.rule) list;
   mutable table : Classify.Rules.t;
   audit_every : int; (* <= 0 disables the periodic invariant audit *)
   mutable ops : int; (* ops since the last audit *)
@@ -123,7 +127,7 @@ let flows t =
 let rules t = t.table
 
 let has_filter t flow =
-  List.exists (fun r -> Classify.Rules.flow_of r = flow) t.filters
+  List.exists (fun (_, r) -> Classify.Rules.flow_of r = flow) t.filters
 
 let classify t h =
   match Classify.Rules.classify t.table h with
@@ -366,7 +370,8 @@ let exec_delete t ~name =
              (if List.length fs > 1 then "s" else "")
              (String.concat ", " (List.map string_of_int fs))))
 
-let rebuild_table t = t.table <- Classify.Rules.create t.filters
+let rebuild_table t =
+  t.table <- Classify.Rules.create (List.map snd t.filters)
 
 let exec_attach t (f : Command.filter_spec) =
   let* () =
@@ -380,7 +385,7 @@ let exec_attach t (f : Command.filter_spec) =
            ?sport:f.fsport ?dport:f.fdport ~flow:f.fflow ())
     with Invalid_argument e -> Error { code = Bad_value; message = e }
   in
-  t.filters <- t.filters @ [ rule ];
+  t.filters <- t.filters @ [ (f, rule) ];
   rebuild_table t;
   Ok
     (Printf.sprintf "attached filter -> flow %d (%d filter%s)" f.fflow
@@ -389,7 +394,7 @@ let exec_attach t (f : Command.filter_spec) =
 
 let exec_detach t flow =
   let keep, dropped =
-    List.partition (fun r -> Classify.Rules.flow_of r <> flow) t.filters
+    List.partition (fun (_, r) -> Classify.Rules.flow_of r <> flow) t.filters
   in
   match dropped with
   | [] -> errf Unknown_flow "no filter attached to flow %d" flow
@@ -567,6 +572,118 @@ let exec_script ?(lenient = false) t cmds =
         | _ -> go acc rest)
   in
   go [] cmds
+
+(* --- checkpoint & config fingerprint ------------------------------- *)
+
+(* Smallest flow id mapped to [cls], if any. A class grown through the
+   command grammar has at most one flow; config-built multi-flow classes
+   lose the extras in a checkpoint, which {!config_fingerprint} (hashing
+   the full map) makes visible rather than silent. *)
+let flow_for t cls =
+  Hashtbl.fold
+    (fun f c acc ->
+      if c != cls then acc
+      else match acc with Some g when g < f -> acc | _ -> Some f)
+    t.flows None
+
+(* Replaying these ops into a fresh engine over the same link rate
+   rebuilds the control plane exactly: classes in creation order
+   (parents always precede children), both rsc and fsc emitted
+   explicitly (neutralising add_class's fsc-defaults-to-rsc), leaf
+   queue limits always spelled out, the aggregate limit and policy
+   re-asserted, filters re-attached in match order. Dynamic scheduler
+   state (virtual times, backlog, telemetry) is deliberately absent —
+   recovery does not resurrect in-flight packets. *)
+let checkpoint_ops t =
+  let class_ops =
+    List.filter_map
+      (fun cls ->
+        match Hfsc.parent cls with
+        | None -> None (* the root comes with the link *)
+        | Some parent ->
+            let leaf = Hfsc.is_leaf cls in
+            Some
+              (Command.Add_class
+                 {
+                   name = Hfsc.name cls;
+                   parent = Hfsc.name parent;
+                   flow = (if leaf then flow_for t cls else None);
+                   curves =
+                     {
+                       Command.rsc = Hfsc.rsc cls;
+                       fsc = Hfsc.fsc cls;
+                       usc = Hfsc.usc cls;
+                     };
+                   qlimit = (if leaf then Some (Hfsc.queue_limit_pkts cls) else None);
+                   qbytes =
+                     (if leaf && Hfsc.queue_limit_bytes cls < max_int then
+                        Some (Hfsc.queue_limit_bytes cls)
+                      else None);
+                 }))
+      (Hfsc.classes t.sched)
+  in
+  let lim n = if n = max_int then Command.Unlimited else Command.At n in
+  let limit_op =
+    Command.Set_limit
+      {
+        lpkts = Some (lim (Hfsc.aggregate_limit_pkts t.sched));
+        lbytes = Some (lim (Hfsc.aggregate_limit_bytes t.sched));
+        lpolicy =
+          Some
+            (match Hfsc.drop_policy t.sched with
+            | Hfsc.Tail_drop -> Command.Policy_tail
+            | Hfsc.Drop_longest -> Command.Policy_longest);
+      }
+  in
+  let filter_ops =
+    List.map (fun (f, _) -> Command.Attach_filter f) t.filters
+  in
+  class_ops @ (limit_op :: filter_ops)
+
+(* Digest of the control-plane configuration only — everything a
+   checkpoint persists and nothing it doesn't. Must NOT fold in
+   virtual times, backlog or telemetry: recovery drops in-flight
+   packets by design, and "recovered state == replay oracle" is
+   judged by this digest. Floats are rendered with %h (exact). *)
+let config_fingerprint t =
+  let b = Buffer.create 512 in
+  let pf fmt = Printf.bprintf b fmt in
+  pf "rate %h\n" t.link_rate;
+  List.iter
+    (fun cls ->
+      pf "class %S parent %s leaf %b" (Hfsc.name cls)
+        (match Hfsc.parent cls with
+        | Some p -> Printf.sprintf "%S" (Hfsc.name p)
+        | None -> "-")
+        (Hfsc.is_leaf cls);
+      let curve tag = function
+        | None -> pf " %s -" tag
+        | Some (s : Sc.t) -> pf " %s %h/%h/%h" tag s.Sc.m1 s.Sc.d s.Sc.m2
+      in
+      curve "rsc" (Hfsc.rsc cls);
+      curve "fsc" (Hfsc.fsc cls);
+      curve "usc" (Hfsc.usc cls);
+      if Hfsc.is_leaf cls then
+        pf " qlimit %d qbytes %d" (Hfsc.queue_limit_pkts cls)
+          (Hfsc.queue_limit_bytes cls);
+      pf "\n")
+    (Hfsc.classes t.sched);
+  pf "agg %d %d %s\n"
+    (Hfsc.aggregate_limit_pkts t.sched)
+    (Hfsc.aggregate_limit_bytes t.sched)
+    (match Hfsc.drop_policy t.sched with
+    | Hfsc.Tail_drop -> "tail"
+    | Hfsc.Drop_longest -> "longest");
+  List.iter
+    (fun f -> pf "flow %d -> %S\n" f (Hfsc.name (Hashtbl.find t.flows f)))
+    (flows t);
+  List.iter
+    (fun (f, _) ->
+      pf "filter %s\n"
+        (Format.asprintf "%a" Command.pp
+           { Command.target = Command.Default_link; op = Command.Attach_filter f }))
+    t.filters;
+  Digest.to_hex (Digest.string (Buffer.contents b))
 
 (* --- the data path -------------------------------------------------- *)
 

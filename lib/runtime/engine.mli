@@ -56,6 +56,10 @@ type error_code =
   | Duplicate_link  (** [link add] of a name already in use *)
   | Cross_link_filter
       (** a filter scoped to one link targets a flow owned by another *)
+  | Link_failed
+      (** the link's worker domain is poisoned; the link is marked down
+          and refuses commands while the rest of the router keeps
+          serving (see {!Mc_router}) *)
 
 type error = { code : error_code; message : string }
 
@@ -130,6 +134,26 @@ val classify : t -> Pkt.Header.t -> Hfsc.cls option
     unmapped. *)
 
 val filter_count : t -> int
+
+val checkpoint_ops : t -> Command.op list
+(** The control plane as a replayable script: executing these ops, in
+    order, against a fresh engine with the same link rate rebuilds the
+    hierarchy, curves, queue limits, flow map, aggregate limit/policy
+    and filters exactly. Classes come in creation order (parents before
+    children) with rsc {e and} fsc spelled out (so [add_class]'s
+    fsc-defaults-to-rsc cannot skew a replay), leaves always carry
+    their [qlimit]; one [Set_limit] re-asserts the aggregate bound;
+    filters re-attach in match order. Dynamic state — backlog, virtual
+    times, telemetry, trace ring — is deliberately not captured: a
+    checkpoint restores configuration, not packets in flight. *)
+
+val config_fingerprint : t -> string
+(** Hex digest of exactly the state {!checkpoint_ops} captures (floats
+    rendered exactly). Two engines agree on this digest iff their
+    control planes are identical; it deliberately excludes virtual
+    times, backlog and telemetry so a recovered engine can be compared
+    against a replay oracle even though neither holds the pre-crash
+    packets. *)
 
 val exec_op : t -> now:float -> Command.op -> (string, error) result
 (** Execute one operation at time [now], ignoring link addressing —

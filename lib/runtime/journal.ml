@@ -1,0 +1,377 @@
+(* Write-ahead command journal + generation-numbered checkpoints. See
+   the .mli for the on-disk format; everything here is little-endian.
+   Payloads are text lines in the Command grammar, so the whole
+   durability story leans on one already-pinned invariant: parse∘pp
+   round-trips every command. *)
+
+let magic_journal = "HFSCJRNL"
+let magic_checkpoint = "HFSCCKPT"
+let schema_version = 1
+let header_size = 16 (* 8 magic + u32 version + u32 reserved *)
+let frame_size = 8 (* u32 payload length + u32 CRC *)
+
+(* A command line is bounded by class/link name lengths; anything past
+   this is a mangled length field, not a long command. *)
+let max_payload = 65536
+
+(* --- CRC-32 (IEEE 802.3, reflected; stdlib has none) ----------------- *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           c :=
+             if Int32.logand !c 1l <> 0l then
+               Int32.logxor (Int32.shift_right_logical !c 1) 0xEDB88320l
+             else Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let crc32 s =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFFl in
+  String.iter
+    (fun ch ->
+      let i =
+        Int32.to_int
+          (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code ch))) 0xFFl)
+      in
+      c := Int32.logxor table.(i) (Int32.shift_right_logical !c 8))
+    s;
+  Int32.logxor !c 0xFFFFFFFFl
+
+(* --- reading --------------------------------------------------------- *)
+
+type corruption =
+  | Bad_magic
+  | Bad_version of int
+  | Bad_length of { index : int; length : int }
+  | Bad_crc of int
+  | Bad_payload of { index : int; reason : string }
+
+let corruption_text = function
+  | Bad_magic -> "bad magic (not a journal or checkpoint)"
+  | Bad_version v ->
+      Printf.sprintf "unsupported version %d (this reader: %d)" v
+        schema_version
+  | Bad_length { index; length } ->
+      Printf.sprintf "record %d: absurd payload length %d" index length
+  | Bad_crc i -> Printf.sprintf "record %d: payload fails its CRC" i
+  | Bad_payload { index; reason } ->
+      Printf.sprintf "record %d: %s" index reason
+
+type read = {
+  j_commands : (float * Command.t) list;
+  j_records : int;
+  j_truncated : bool;
+}
+
+let u32 s off = Int32.to_int (String.get_int32_le s off) land 0xFFFFFFFF
+
+let digest_prefix = "#digest "
+
+(* Parse a whole file image. Damage strictly before the final record is
+   typed corruption; an incomplete final record — down to a truncated
+   file header — is a torn tail: everything before it is returned and
+   [j_truncated] is set. *)
+let parse_blob blob =
+  let n = String.length blob in
+  let truncated acc digest =
+    Ok
+      ( {
+          j_commands = List.rev acc;
+          j_records = List.length acc;
+          j_truncated = true;
+        },
+        digest )
+  in
+  let header_prefix s =
+    let is_prefix m = String.length s <= 8 && String.sub m 0 (String.length s) = s in
+    is_prefix magic_journal || is_prefix magic_checkpoint
+  in
+  if n < 8 then
+    if header_prefix blob then truncated [] None else Error Bad_magic
+  else if
+    let m = String.sub blob 0 8 in
+    m <> magic_journal && m <> magic_checkpoint
+  then Error Bad_magic
+  else if n < header_size then truncated [] None
+  else if u32 blob 8 <> schema_version then Error (Bad_version (u32 blob 8))
+  else
+    let rec go acc digest idx off =
+      let remaining = n - off in
+      if remaining = 0 then
+        Ok
+          ( {
+              j_commands = List.rev acc;
+              j_records = List.length acc;
+              j_truncated = false;
+            },
+            digest )
+      else if remaining < frame_size then truncated acc digest
+      else
+        let len = u32 blob off in
+        if len > max_payload then Error (Bad_length { index = idx; length = len })
+        else if remaining - frame_size < len then truncated acc digest
+        else
+          let payload = String.sub blob (off + frame_size) len in
+          if String.get_int32_le blob (off + 4) <> crc32 payload then
+            Error (Bad_crc idx)
+          else
+            let next = off + frame_size + len in
+            if String.length payload > 0 && payload.[0] = '#' then
+              (* comment record; the first one may carry the digest *)
+              let digest =
+                if
+                  idx = 0 && digest = None
+                  && String.length payload > String.length digest_prefix
+                  && String.sub payload 0 (String.length digest_prefix)
+                     = digest_prefix
+                then
+                  Some
+                    (String.trim
+                       (String.sub payload
+                          (String.length digest_prefix)
+                          (String.length payload - String.length digest_prefix)))
+                else digest
+              in
+              go acc digest (idx + 1) next
+            else
+              match Command.parse_script payload with
+              | Error e ->
+                  Error (Bad_payload { index = idx; reason = e.Command.reason })
+              | Ok cmds -> go (List.rev_append cmds acc) digest (idx + 1) next
+    in
+    go [] None 0 header_size
+
+let read_blob path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let read_file path =
+  match parse_blob (read_blob path) with
+  | Error _ as e -> e
+  | Ok (r, _) -> Ok r
+
+let read_digest path =
+  match parse_blob (read_blob path) with
+  | Error _ -> None
+  | Ok (_, digest) -> digest
+
+(* --- recovery -------------------------------------------------------- *)
+
+type recovery = {
+  r_generation : int;
+  r_checkpoint : (float * Command.t) list;
+  r_digest : string option;
+  r_tail : (float * Command.t) list;
+  r_truncated : bool;
+}
+
+let empty_recovery =
+  {
+    r_generation = -1;
+    r_checkpoint = [];
+    r_digest = None;
+    r_tail = [];
+    r_truncated = false;
+  }
+
+let checkpoint_path dir gen = Filename.concat dir (Printf.sprintf "checkpoint.%d" gen)
+let journal_path dir gen = Filename.concat dir (Printf.sprintf "journal.%d" gen)
+
+let gen_of_name ~prefix name =
+  let pl = String.length prefix in
+  if String.length name > pl && String.sub name 0 pl = prefix then
+    int_of_string_opt (String.sub name pl (String.length name - pl))
+  else None
+
+(* checkpoint generations present, newest first *)
+let generations dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter_map (gen_of_name ~prefix:"checkpoint.")
+  |> List.sort (fun a b -> compare b a)
+
+let recover ~dir =
+  if not (Sys.file_exists dir) then Ok empty_recovery
+  else
+    (* Fall back generation by generation on a corrupt (or torn —
+       impossible under the atomic rename, but we don't trust the disk)
+       checkpoint; if every generation is bad, report the newest's
+       corruption. Journal damage is NOT a fallback: the checkpoint it
+       extends is older state, and silently serving it would drop
+       acknowledged commands. *)
+    let rec pick first_err = function
+      | [] -> (
+          match first_err with
+          | Some e -> Error e
+          | None -> Ok empty_recovery)
+      | gen :: older -> (
+          let keep_err e =
+            Some (match first_err with Some e0 -> e0 | None -> e)
+          in
+          match parse_blob (read_blob (checkpoint_path dir gen)) with
+          | exception Sys_error _ -> pick first_err older
+          | Error e -> pick (keep_err e) older
+          | Ok (ck, _) when ck.j_truncated ->
+              pick
+                (keep_err
+                   (Bad_payload
+                      { index = ck.j_records; reason = "checkpoint truncated" }))
+                older
+          | Ok (ck, digest) -> (
+              let jp = journal_path dir gen in
+              if not (Sys.file_exists jp) then
+                (* crashed between checkpoint rename and journal open *)
+                Ok
+                  {
+                    r_generation = gen;
+                    r_checkpoint = ck.j_commands;
+                    r_digest = digest;
+                    r_tail = [];
+                    r_truncated = false;
+                  }
+              else
+                match read_file jp with
+                | Error _ as e -> e
+                | Ok jr ->
+                    Ok
+                      {
+                        r_generation = gen;
+                        r_checkpoint = ck.j_commands;
+                        r_digest = digest;
+                        r_tail = jr.j_commands;
+                        r_truncated = jr.j_truncated;
+                      }))
+    in
+    pick None (generations dir)
+
+(* --- writing --------------------------------------------------------- *)
+
+let rec write_all fd b off len =
+  if len > 0 then
+    let n =
+      try Unix.write fd b off len
+      with Unix.Unix_error (Unix.EINTR, _, _) -> 0
+    in
+    write_all fd b (off + n) (len - n)
+
+let header_bytes magic =
+  let b = Bytes.create header_size in
+  Bytes.blit_string magic 0 b 0 8;
+  Bytes.set_int32_le b 8 (Int32.of_int schema_version);
+  Bytes.set_int32_le b 12 0l;
+  b
+
+let frame payload =
+  let len = String.length payload in
+  if len > max_payload then invalid_arg "Journal: payload too long";
+  let b = Bytes.create (frame_size + len) in
+  Bytes.set_int32_le b 0 (Int32.of_int len);
+  Bytes.set_int32_le b 4 (crc32 payload);
+  Bytes.blit_string payload 0 b frame_size len;
+  b
+
+let render ~now cmd =
+  Format.asprintf "at %a %a" Command.pp_float now Command.pp cmd
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdir_p parent;
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+(* Directory-entry durability for the rename: without this, a power cut
+   can forget checkpoint.<gen> exists while journal.<gen> survives. *)
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+      Fun.protect
+        ~finally:(fun () -> Unix.close fd)
+        (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())
+
+let write_checkpoint ~dir ~gen ~checkpoint ~digest =
+  let tmp = Filename.concat dir (Printf.sprintf ".checkpoint.%d.tmp" gen) in
+  let fd =
+    Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC; Unix.O_CLOEXEC ] 0o644
+  in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      let put b = write_all fd b 0 (Bytes.length b) in
+      put (header_bytes magic_checkpoint);
+      put (frame (digest_prefix ^ digest));
+      List.iter (fun (now, cmd) -> put (frame (render ~now cmd))) checkpoint;
+      Unix.fsync fd);
+  Sys.rename tmp (checkpoint_path dir gen);
+  fsync_dir dir
+
+let open_journal ~dir ~gen =
+  let fd =
+    Unix.openfile (journal_path dir gen)
+      [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC; Unix.O_CLOEXEC ]
+      0o644
+  in
+  let h = header_bytes magic_journal in
+  write_all fd h 0 (Bytes.length h);
+  fd
+
+let delete_older ~dir ~gen =
+  Array.iter
+    (fun name ->
+      let old prefix =
+        match gen_of_name ~prefix name with
+        | Some g when g < gen -> true
+        | _ -> false
+      in
+      if old "checkpoint." || old "journal." then
+        try Sys.remove (Filename.concat dir name) with Sys_error _ -> ())
+    (Sys.readdir dir)
+
+type writer = {
+  w_dir : string;
+  mutable w_gen : int;
+  mutable w_fd : Unix.file_descr;
+  mutable w_count : int;
+  mutable w_closed : bool;
+}
+
+let start ~dir ~generation ~checkpoint ~digest =
+  mkdir_p dir;
+  write_checkpoint ~dir ~gen:generation ~checkpoint ~digest;
+  let fd = open_journal ~dir ~gen:generation in
+  delete_older ~dir ~gen:generation;
+  { w_dir = dir; w_gen = generation; w_fd = fd; w_count = 0; w_closed = false }
+
+let append w ~now cmd =
+  let b = frame (render ~now cmd) in
+  write_all w.w_fd b 0 (Bytes.length b);
+  w.w_count <- w.w_count + 1
+
+let appended w = w.w_count
+let generation w = w.w_gen
+
+let rotate w ~checkpoint ~digest =
+  let gen = w.w_gen + 1 in
+  write_checkpoint ~dir:w.w_dir ~gen ~checkpoint ~digest;
+  let fd = open_journal ~dir:w.w_dir ~gen in
+  Unix.close w.w_fd;
+  w.w_fd <- fd;
+  w.w_gen <- gen;
+  w.w_count <- 0;
+  delete_older ~dir:w.w_dir ~gen
+
+let sync w = Unix.fsync w.w_fd
+
+let close w =
+  if not w.w_closed then begin
+    w.w_closed <- true;
+    sync w;
+    Unix.close w.w_fd
+  end

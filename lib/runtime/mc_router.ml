@@ -44,6 +44,8 @@ type reply =
   | R_json of Json_lite.t
   | R_next_ready of float option
   | R_backlog of int * int
+  | R_ops of Command.op list
+  | R_string of string
   | R_unit
   | R_raise of exn
 
@@ -74,6 +76,8 @@ let await c =
 
 (* --- messages ----------------------------------------------------------- *)
 
+exception Injected_failure
+
 type query =
   | Q_flows
   | Q_rules
@@ -85,6 +89,9 @@ type query =
   | Q_has_filter of int
   | Q_next_ready of float
   | Q_backlog
+  | Q_checkpoint
+  | Q_config_fp
+  | Q_fail (* served by raising: the fault-injection hook for tests *)
 
 type msg =
   | M_nop (* ring dummy; never delivered *)
@@ -111,6 +118,7 @@ let dummy_deq =
 
 type port = {
   p_name : string;
+  p_rate : float; (* remembered so a downed link can still report it *)
   p_eng : Engine.t; (* worker-owned between attach and stop *)
   p_in : msg Ring.t;
   p_out : deq Ring.t;
@@ -123,6 +131,14 @@ type port = {
      query's reply overwrite the pending dequeue count *)
   p_deq_cell : cell;
   mutable p_pending : bool; (* a dequeue is outstanding *)
+  (* failure of a fire-and-forget message, set by the worker (first
+     wins), observed by the producer on its next touch of this port *)
+  p_fail : exn option Atomic.t;
+  (* producer-side latch: once a failure is observed the link is down —
+     every subsequent operation short-circuits to a degraded reply
+     (typed [Link_failed], empty lists, zero counts) instead of raising
+     into — and tearing down — whoever drives the router *)
+  mutable p_down : exn option;
 }
 
 and worker = {
@@ -192,11 +208,14 @@ let serve_query eng q =
   | Q_backlog ->
       let s = Engine.scheduler eng in
       R_backlog (Hfsc.backlog_pkts s, Hfsc.backlog_bytes s)
+  | Q_checkpoint -> R_ops (Engine.checkpoint_ops eng)
+  | Q_config_fp -> R_string (Engine.config_fingerprint eng)
+  | Q_fail -> raise Injected_failure
 
 (* serve one message on one port; [bcache] is the port's reusable
    dequeue batch, reallocated only when the burst size changes (same
    cadence as the sequential adapter, so audit ticks line up) *)
-let serve_msg w (p, bcache) msg =
+let serve_msg (p, bcache) msg =
   match msg with
   | M_nop -> ()
   | M_enqueue { e_now; e_pkts; e_cell } -> (
@@ -205,7 +224,11 @@ let serve_msg w (p, bcache) msg =
       | exception e -> (
           match e_cell with
           | Some c -> fill c (R_raise e)
-          | None -> poison w e))
+          | None ->
+              (* fire-and-forget: park the failure on the port; the
+                 producer latches it into [p_down] on its next touch *)
+              if Atomic.get p.p_fail = None then
+                Atomic.set p.p_fail (Some e)))
   | M_dequeue { d_now; d_max; d_cell } -> (
       match
         if d_max <= 0 then 0
@@ -239,14 +262,14 @@ let serve_msg w (p, bcache) msg =
       | r -> fill q_cell r
       | exception e -> fill q_cell (R_raise e))
 
-let worker_run w =
+let worker_body w =
   let ports = ref [] in
   let running = ref true in
   let drain_port ((p, _) as pb) =
     let rec go () =
       match Ring.try_pop p.p_in with
       | Some m ->
-          serve_msg w pb m;
+          serve_msg pb m;
           go ()
       | None -> ()
     in
@@ -281,7 +304,7 @@ let worker_run w =
           match Ring.try_pop p.p_in with
           | Some m ->
               did := true;
-              serve_msg w pb m
+              serve_msg pb m
           | None -> ())
         !ports;
     !did
@@ -314,6 +337,15 @@ let worker_run w =
       end
     end
   done
+
+(* [serve_msg] and [handle_admin] contain every engine call behind a
+   per-message catch, so this outer net only fires on something
+   catastrophic (OOM, a broken ring invariant). It must not let the
+   domain die silently: a dead worker's rings never drain, so every
+   port it owned is marked unreachable via [w_poison] and the producer
+   degrades those links instead of blocking forever. *)
+let worker_run w =
+  try worker_body w with e -> poison w e
 
 (* --- the producer side -------------------------------------------------- *)
 
@@ -352,13 +384,57 @@ let rec push_admin w a =
     push_admin w a
   end
 
+(* Has this link failed? Checks the producer-side latch first, then
+   failures parked by the worker ([p_fail]) and worker death
+   ([w_poison], which downs every port that worker owned — its rings
+   will never drain again), latching what it finds into [p_down] so
+   the verdict is sticky. *)
+let port_failure p =
+  match p.p_down with
+  | Some _ as e -> e
+  | None -> (
+      let e =
+        match Atomic.get p.p_fail with
+        | Some _ as e -> e
+        | None -> Atomic.get p.p_worker.w_poison
+      in
+      match e with
+      | Some _ ->
+          p.p_down <- e;
+          e
+      | None -> None)
+
+(* Run one port operation with graceful degradation: a downed link
+   answers [failed] without touching its ring, and a failure raised by
+   the operation itself (the worker replying [R_raise]) downs the link
+   and answers [failed] — never raising into the caller, so one
+   poisoned link cannot tear down the daemon serving the others.
+   Producer-side usage errors (the outstanding-dequeue checks) stay
+   outside this net: they are bugs in the driving code, not link
+   failures. *)
+let guard p ~failed f =
+  match port_failure p with
+  | Some e -> failed e
+  | None -> (
+      try f ()
+      with e ->
+        p.p_down <- Some e;
+        failed e)
+
 let request p m =
-  raise_poison p.p_worker;
   post p m;
   await p.p_cell
 
 let query p q =
   request p (M_query { q; q_cell = p.p_cell })
+
+let down_error p e =
+  Error
+    {
+      Engine.code = Engine.Link_failed;
+      message =
+        Printf.sprintf "link %S is down: %s" p.p_name (Printexc.to_string e);
+    }
 
 (* --- Router_core over ring ports ---------------------------------------- *)
 
@@ -366,42 +442,108 @@ let mc_ops : port Router_core.ops =
   {
     Router_core.op_exec =
       (fun p ~now op ->
-        match request p (M_exec { x_now = now; x_op = op; x_cell = p.p_cell }) with
-        | R_exec r -> r
-        | _ -> assert false);
+        guard p
+          ~failed:(fun e -> down_error p e)
+          (fun () ->
+            match
+              request p (M_exec { x_now = now; x_op = op; x_cell = p.p_cell })
+            with
+            | R_exec r -> r
+            | _ -> assert false));
     op_flows =
-      (fun p -> match query p Q_flows with R_flows l -> l | _ -> assert false);
+      (fun p ->
+        guard p
+          ~failed:(fun _ -> [])
+          (fun () ->
+            match query p Q_flows with R_flows l -> l | _ -> assert false));
     op_rules =
-      (fun p -> match query p Q_rules with R_rules r -> r | _ -> assert false);
+      (fun p ->
+        guard p
+          ~failed:(fun _ -> Classify.Rules.create [])
+          (fun () ->
+            match query p Q_rules with R_rules r -> r | _ -> assert false));
     op_has_filter =
       (fun p f ->
-        match query p (Q_has_filter f) with
-        | R_bool b -> b
-        | _ -> assert false);
+        guard p
+          ~failed:(fun _ -> false)
+          (fun () ->
+            match query p (Q_has_filter f) with
+            | R_bool b -> b
+            | _ -> assert false));
     op_info =
-      (fun p -> match query p Q_info with R_info i -> i | _ -> assert false);
+      (fun p ->
+        guard p
+          ~failed:(fun _ ->
+            {
+              Router_core.i_rate = p.p_rate;
+              i_classes = 0;
+              i_flows = 0;
+              i_backlog_pkts = 0;
+              i_backlog_bytes = 0;
+            })
+          (fun () ->
+            match query p Q_info with R_info i -> i | _ -> assert false));
     op_audit =
       (fun p ->
-        match query p Q_audit with R_strings l -> l | _ -> assert false);
+        guard p
+          ~failed:(fun e ->
+            [
+              Printf.sprintf "worker failed (%s); link marked down"
+                (Printexc.to_string e);
+            ])
+          (fun () ->
+            match query p Q_audit with R_strings l -> l | _ -> assert false));
     op_stats_json =
-      (fun p -> match query p Q_stats_json with R_json j -> j | _ -> assert false);
+      (fun p ->
+        guard p
+          ~failed:(fun e ->
+            Json_lite.Obj [ ("down", Json_lite.Str (Printexc.to_string e)) ])
+          (fun () ->
+            match query p Q_stats_json with
+            | R_json j -> j
+            | _ -> assert false));
     op_stats_text =
-      (fun p -> match query p Q_stats_text with R_exec r -> r | _ -> assert false);
+      (fun p ->
+        guard p
+          ~failed:(fun e -> down_error p e)
+          (fun () ->
+            match query p Q_stats_text with
+            | R_exec r -> r
+            | _ -> assert false));
+    op_checkpoint =
+      (fun p ->
+        (* a downed link's configuration is unreadable: the checkpoint
+           keeps the link itself (its [link add]) and nothing below it *)
+        guard p
+          ~failed:(fun _ -> [])
+          (fun () ->
+            match query p Q_checkpoint with R_ops l -> l | _ -> assert false));
+    op_config_fp =
+      (fun p ->
+        guard p
+          ~failed:(fun e -> "down(" ^ Printexc.to_string e ^ ")")
+          (fun () ->
+            match query p Q_config_fp with
+            | R_string s -> s
+            | _ -> assert false));
     op_retire =
       (fun p ->
         (* through the admin ring so the worker drains the port's input
-           ring before letting go of it *)
-        let c = cell () in
-        push_admin p.p_worker (A_detach { dt_port = p; dt_cell = c });
-        worker_notify p.p_worker;
-        match await c with R_unit -> () | _ -> assert false);
+           ring before letting go of it — unless the worker itself is
+           dead, in which case the handshake would hang forever *)
+        if Atomic.get p.p_worker.w_poison = None then begin
+          let c = cell () in
+          push_admin p.p_worker (A_detach { dt_port = p; dt_cell = c });
+          worker_notify p.p_worker;
+          match await c with R_unit -> () | _ -> assert false
+        end);
   }
 
 type t = {
   core : port Router_core.t;
   workers : worker array;
   mutable running : bool;
-  attach : string -> Engine.t -> port; (* round-robin worker pick *)
+  attach : string -> float -> Engine.t -> port; (* round-robin worker pick *)
 }
 
 let create ?trace_capacity ?tracing ?audit_every ?(ring_capacity = 1024)
@@ -416,12 +558,13 @@ let create ?trace_capacity ?tracing ?audit_every ?(ring_capacity = 1024)
     (fun w -> w.w_domain <- Some (Domain.spawn (fun () -> worker_run w)))
     workers;
   let next = ref 0 in
-  let attach name eng =
+  let attach name link_rate eng =
     let w = workers.(!next mod domains) in
     incr next;
     let p =
       {
         p_name = name;
+        p_rate = link_rate;
         p_eng = eng;
         p_in = Ring.create ~capacity:ring_capacity ~dummy:M_nop;
         p_out = Ring.create ~capacity:out_capacity ~dummy:dummy_deq;
@@ -429,6 +572,8 @@ let create ?trace_capacity ?tracing ?audit_every ?(ring_capacity = 1024)
         p_cell = cell ();
         p_deq_cell = cell ();
         p_pending = false;
+        p_fail = Atomic.make None;
+        p_down = None;
       }
     in
     push_admin w (A_attach p);
@@ -441,7 +586,7 @@ let create ?trace_capacity ?tracing ?audit_every ?(ring_capacity = 1024)
       Engine.create ?trace_capacity ?tracing ?audit_every ~link_rate sched
         ~flow_map:[] ()
     in
-    attach name eng
+    attach name link_rate eng
   in
   let core = Router_core.create ~ops:mc_ops ~make_port () in
   { core; workers; running = true; attach }
@@ -461,7 +606,7 @@ let of_config ?trace_capacity ?tracing ?audit_every ?ring_capacity ?out_capacity
       in
       (* built on this domain, handed to the worker through the admin
          ring's release/acquire publication before any use *)
-      let p = t.attach l.Config.lname eng in
+      let p = t.attach l.Config.lname l.Config.lrate eng in
       t.core.Router_core.links <- t.core.Router_core.links @ [ (l.Config.lname, p) ];
       Router_core.resync_flows t.core l.Config.lname p)
     cfg.Config.links;
@@ -480,23 +625,46 @@ let audit t = Router_core.audit t.core
 let snapshot t ~link =
   match Router_core.find_link t.core link with
   | None -> None
-  | Some p -> (
-      match query p Q_snapshot with
-      | R_snapshot s -> Some s
-      | _ -> assert false)
+  | Some p ->
+      guard p
+        ~failed:(fun _ -> None)
+        (fun () ->
+          match query p Q_snapshot with
+          | R_snapshot s -> Some s
+          | _ -> assert false)
+
+(* --- fault injection & health ------------------------------------------- *)
+
+let link_down t ~link =
+  match Router_core.find_link t.core link with
+  | None -> None
+  | Some p -> Option.map Printexc.to_string (port_failure p)
+
+let inject_failure t ~link =
+  match Router_core.find_link t.core link with
+  | None -> false
+  | Some p ->
+      (* the worker serves [Q_fail] by raising, so the ordinary failure
+         path — R_raise reply, producer latch — is what downs the link *)
+      guard p ~failed:(fun _ -> ()) (fun () -> ignore (query p Q_fail));
+      true
 
 (* --- the data path ------------------------------------------------------ *)
 
 let enqueue_flow t ~now pkt =
   match Hashtbl.find_opt t.core.Router_core.flow_links pkt.Pkt.Packet.flow with
   | None -> false
-  | Some (_, p) -> (
-      match
-        request p
-          (M_enqueue { e_now = now; e_pkts = [| pkt |]; e_cell = Some p.p_cell })
-      with
-      | R_count n -> n > 0
-      | _ -> assert false)
+  | Some (_, p) ->
+      guard p
+        ~failed:(fun _ -> false)
+        (fun () ->
+          match
+            request p
+              (M_enqueue
+                 { e_now = now; e_pkts = [| pkt |]; e_cell = Some p.p_cell })
+          with
+          | R_count n -> n > 0
+          | _ -> assert false)
 
 (* split a batch into per-port sub-batches, preserving per-link order;
    buckets keep first-seen order so the await phase below is
@@ -525,36 +693,52 @@ let split_by_port t pkts =
 let enqueue_flow_batch t ~now pkts =
   if Array.length pkts = 0 then 0
   else begin
-    let buckets = split_by_port t pkts in
+    (* downed links contribute zero accepted packets — their sub-batch
+       is dropped here, exactly as if every class queue refused it *)
+    let buckets =
+      List.filter
+        (fun (p, _) -> Option.is_none (port_failure p))
+        (split_by_port t pkts)
+    in
     (* post every sub-batch first (the workers run concurrently), then
        collect every outcome *)
     List.iter
       (fun (p, arr) ->
-        raise_poison p.p_worker;
         post p (M_enqueue { e_now = now; e_pkts = arr; e_cell = Some p.p_cell }))
       buckets;
     List.fold_left
       (fun acc (p, _) ->
-        match await p.p_cell with R_count n -> acc + n | _ -> assert false)
+        match await p.p_cell with
+        | R_count n -> acc + n
+        | exception e ->
+            p.p_down <- Some e;
+            acc
+        | _ -> assert false)
       0 buckets
   end
 
 let post_enqueue_batch t ~now pkts =
   List.iter
     (fun (p, arr) ->
-      raise_poison p.p_worker;
-      post p (M_enqueue { e_now = now; e_pkts = arr; e_cell = None }))
+      if Option.is_none (port_failure p) then
+        post p (M_enqueue { e_now = now; e_pkts = arr; e_cell = None }))
     (split_by_port t pkts)
 
+(* [false] when the link is down (nothing was posted). The
+   outstanding-dequeue check stays a hard [Invalid_argument]: it is a
+   producer-side usage error, not a link failure. *)
 let post_dequeue_port p ~now ~max =
   if p.p_pending then
     invalid_arg
       (Printf.sprintf "Mc_router: dequeue already outstanding on link %S"
          p.p_name);
-  raise_poison p.p_worker;
-  let max = min max (Ring.capacity p.p_out) in
-  post p (M_dequeue { d_now = now; d_max = max; d_cell = p.p_deq_cell });
-  p.p_pending <- true
+  match port_failure p with
+  | Some _ -> false
+  | None ->
+      let max = min max (Ring.capacity p.p_out) in
+      post p (M_dequeue { d_now = now; d_max = max; d_cell = p.p_deq_cell });
+      p.p_pending <- true;
+      true
 
 let finish_dequeue_port p ~f =
   if not p.p_pending then
@@ -571,14 +755,15 @@ let finish_dequeue_port p ~f =
         | None -> assert false (* pushed before the cell was filled *)
       done;
       n
+  | exception e ->
+      p.p_down <- Some e;
+      0
   | _ -> assert false
 
 let post_dequeue t ~link ~now ~max =
   match Router_core.find_link t.core link with
   | None -> false
-  | Some p ->
-      post_dequeue_port p ~now ~max;
-      true
+  | Some p -> post_dequeue_port p ~now ~max
 
 let finish_dequeue t ~link ~f =
   match Router_core.find_link t.core link with
@@ -591,18 +776,24 @@ let dequeue_batch t ~link ~now ~max ~f =
 let next_ready t ~link ~now =
   match Router_core.find_link t.core link with
   | None -> None
-  | Some p -> (
-      match query p (Q_next_ready now) with
-      | R_next_ready r -> r
-      | _ -> assert false)
+  | Some p ->
+      guard p
+        ~failed:(fun _ -> None)
+        (fun () ->
+          match query p (Q_next_ready now) with
+          | R_next_ready r -> r
+          | _ -> assert false)
 
 let backlog t ~link =
   match Router_core.find_link t.core link with
   | None -> None
-  | Some p -> (
-      match query p Q_backlog with
-      | R_backlog (n, b) -> Some (n, b)
-      | _ -> assert false)
+  | Some p ->
+      guard p
+        ~failed:(fun _ -> None)
+        (fun () ->
+          match query p Q_backlog with
+          | R_backlog (n, b) -> Some (n, b)
+          | _ -> assert false)
 
 let adapter t ~link =
   match Router_core.find_link t.core link with
@@ -610,13 +801,15 @@ let adapter t ~link =
   | Some p ->
       let crit rt = if rt then "rt" else "ls" in
       let dequeue_many ~now ~max =
-        post_dequeue_port p ~now ~max;
-        let acc = ref [] in
-        let _n =
-          finish_dequeue_port p ~f:(fun ~pkt ~cls ~rt ->
-              acc := { Sched.Scheduler.pkt; cls; criterion = crit rt } :: !acc)
-        in
-        List.rev !acc
+        if post_dequeue_port p ~now ~max then begin
+          let acc = ref [] in
+          let _n =
+            finish_dequeue_port p ~f:(fun ~pkt ~cls ~rt ->
+                acc := { Sched.Scheduler.pkt; cls; criterion = crit rt } :: !acc)
+          in
+          List.rev !acc
+        end
+        else []
       in
       Some
         {
@@ -624,43 +817,64 @@ let adapter t ~link =
           dequeue_many = Some dequeue_many;
           enqueue =
             (fun ~now pkt ->
-              match
-                request p
-                  (M_enqueue
-                     { e_now = now; e_pkts = [| pkt |]; e_cell = Some p.p_cell })
-              with
-              | R_count n -> n > 0
-              | _ -> assert false);
+              guard p
+                ~failed:(fun _ -> false)
+                (fun () ->
+                  match
+                    request p
+                      (M_enqueue
+                         {
+                           e_now = now;
+                           e_pkts = [| pkt |];
+                           e_cell = Some p.p_cell;
+                         })
+                  with
+                  | R_count n -> n > 0
+                  | _ -> assert false));
           dequeue =
             (fun ~now ->
-              post_dequeue_port p ~now ~max:1;
-              let res = ref None in
-              let _n =
-                finish_dequeue_port p ~f:(fun ~pkt ~cls ~rt ->
-                    res := Some { Sched.Scheduler.pkt; cls; criterion = crit rt })
-              in
-              !res);
+              if post_dequeue_port p ~now ~max:1 then begin
+                let res = ref None in
+                let _n =
+                  finish_dequeue_port p ~f:(fun ~pkt ~cls ~rt ->
+                      res :=
+                        Some { Sched.Scheduler.pkt; cls; criterion = crit rt })
+                in
+                !res
+              end
+              else None);
           next_ready =
             (fun ~now ->
-              match query p (Q_next_ready now) with
-              | R_next_ready r -> r
-              | _ -> assert false);
+              guard p
+                ~failed:(fun _ -> None)
+                (fun () ->
+                  match query p (Q_next_ready now) with
+                  | R_next_ready r -> r
+                  | _ -> assert false));
           backlog_pkts =
             (fun () ->
-              match query p Q_backlog with
-              | R_backlog (n, _) -> n
-              | _ -> assert false);
+              guard p
+                ~failed:(fun _ -> 0)
+                (fun () ->
+                  match query p Q_backlog with
+                  | R_backlog (n, _) -> n
+                  | _ -> assert false));
           backlog_bytes =
             (fun () ->
-              match query p Q_backlog with
-              | R_backlog (_, b) -> b
-              | _ -> assert false);
+              guard p
+                ~failed:(fun _ -> 0)
+                (fun () ->
+                  match query p Q_backlog with
+                  | R_backlog (_, b) -> b
+                  | _ -> assert false));
         }
 
 (* --- exporters ---------------------------------------------------------- *)
 
 let stats_json t = Router_core.stats_json t.core
 let stats_text t = Router_core.stats_text t.core
+let checkpoint t = Router_core.checkpoint t.core
+let config_fingerprint t = Router_core.config_fingerprint t.core
 
 let stop t =
   if t.running then begin
@@ -678,7 +892,15 @@ let stop t =
             w.w_domain <- None
         | None -> ())
       t.workers;
-    (* a worker that died of an asynchronous exception reports it now *)
-    Array.iter raise_poison t.workers
+    (* a worker that died catastrophically reports it now; so does a
+       fire-and-forget failure the producer never observed (one it DID
+       observe was already surfaced as a typed [Link_failed] reply and
+       must not resurface as an exception at teardown) *)
+    Array.iter raise_poison t.workers;
+    List.iter
+      (fun (_, p) ->
+        if Option.is_none p.p_down then
+          match Atomic.get p.p_fail with Some e -> raise e | None -> ())
+      t.core.Router_core.links
   end;
   List.map (fun (name, p) -> (name, p.p_eng)) t.core.Router_core.links

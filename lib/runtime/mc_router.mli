@@ -96,7 +96,39 @@ val exec_script :
 val audit : t -> string list
 val snapshot : t -> link:string -> Telemetry.snapshot option
 (** The cross-domain consistent read: the owning worker copies its
-    telemetry between operations and ships the immutable snapshot. *)
+    telemetry between operations and ships the immutable snapshot.
+    [None] for an unknown or downed link. *)
+
+(** {2 Graceful degradation}
+
+    A failure inside one link's worker-side service — an engine
+    exception under a command, a poisoned fire-and-forget batch, even
+    the worker domain dying — must not tear down whoever drives the
+    router (PR 9's daemon serves many links from one process). Instead
+    the producer {e latches the link down} on first observation: every
+    subsequent command on it answers a typed {!Engine.Link_failed}
+    error, its data path refuses packets ([false]/0/[None]/empty), its
+    queries degrade ([audit] reports the failure, [stats] shows a
+    [down] marker, a checkpoint keeps the [link add] but nothing
+    below), and {e every other link keeps serving}. The latch is
+    sticky: a downed link never comes back within this process —
+    recovery is a restart from the journal (see {!Daemon.run}'s
+    [durable]). *)
+
+val link_down : t -> link:string -> string option
+(** Why this link is down ([Printexc.to_string] of the latched
+    failure), or [None] if it is healthy or unknown. Observing a parked
+    failure through any operation — including this one — latches it. *)
+
+exception Injected_failure
+(** What {!inject_failure} makes the worker raise. *)
+
+val inject_failure : t -> link:string -> bool
+(** Test hook: make the owning worker fail serving this link (it raises
+    {!Injected_failure} in its service loop), then observe and latch the
+    failure, leaving the link down exactly as a real engine fault
+    would. [false] if the link is unknown. The worker itself survives —
+    its other links are untouched. *)
 
 (** {2 The data path} *)
 
@@ -157,10 +189,22 @@ val adapter : t -> link:string -> Sched.Scheduler.t option
 val stats_json : t -> Json_lite.t
 val stats_text : t -> string
 
+val checkpoint : t -> (float * Command.t) list
+(** As {!Router.checkpoint} (same {!Router_core} code): the device as a
+    replayable script, via one query per link. A downed link
+    contributes its [link add] only. *)
+
+val config_fingerprint : t -> string
+(** As {!Router.config_fingerprint} — bit-identical to the sequential
+    router's for the same configuration, which is exactly what the
+    crash-recovery differential tests compare. *)
+
 val stop : t -> (string * Engine.t) list
 (** Stop every worker (draining its rings first), join the domains,
     and return each link's engine — now owned by the caller again, safe
     to inspect directly (the differential tests fingerprint them
-    against the sequential router's). Idempotent. If a worker died of
-    an asynchronous exception (e.g. {!Engine.Audit_failure} from a
-    fire-and-forget batch), that exception is re-raised here. *)
+    against the sequential router's). Idempotent. A failure the
+    producer never got to observe — a worker death, a poisoned
+    fire-and-forget batch on a link never touched again — is re-raised
+    here so it cannot vanish; one already surfaced as a
+    {!Engine.Link_failed} reply is not raised twice. *)

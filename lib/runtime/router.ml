@@ -26,6 +26,8 @@ let seq_ops : Engine.t Router_core.ops =
     op_audit = Engine.audit;
     op_stats_json = Engine.stats_json;
     op_stats_text = (fun eng -> Engine.stats_text eng ());
+    op_checkpoint = Engine.checkpoint_ops;
+    op_config_fp = Engine.config_fingerprint;
     op_retire = (fun _ -> ());
   }
 
@@ -96,3 +98,5 @@ let exec_script = Router_core.exec_script
 let audit = Router_core.audit
 let stats_json = Router_core.stats_json
 let stats_text = Router_core.stats_text
+let checkpoint = Router_core.checkpoint
+let config_fingerprint = Router_core.config_fingerprint

@@ -96,6 +96,21 @@ val audit : t -> string list
     flow maps agree in both directions, and every directory entry
     names a live link. Empty means healthy. *)
 
+val checkpoint : t -> (float * Command.t) list
+(** The whole device as a replayable script: each link's [link add]
+    followed by that link's {!Engine.checkpoint_ops} scoped to it, in
+    link-creation order. Replaying it into a fresh (empty) router
+    rebuilds this configuration exactly; dynamic state (backlog,
+    virtual times, telemetry) is deliberately absent. This is what
+    {!Journal} checkpoints persist. *)
+
+val config_fingerprint : t -> string
+(** Hex digest over every link's {!Engine.config_fingerprint}, keyed
+    by link name (sorted, so it is insensitive to link-creation
+    history but sensitive to any configuration difference). The
+    recovery acceptance check compares this between a restarted daemon
+    and a sequential replay oracle. *)
+
 (** {2 The data path} *)
 
 val enqueue_flow : t -> now:float -> Pkt.Packet.t -> bool

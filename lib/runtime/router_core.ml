@@ -33,6 +33,11 @@ type 'p ops = {
   op_audit : 'p -> string list;
   op_stats_json : 'p -> Json_lite.t;
   op_stats_text : 'p -> (string, Engine.error) result;
+  op_checkpoint : 'p -> Command.op list;
+      (* the link's control plane as a replayable op list
+         (Engine.checkpoint_ops); a downed port reports [] *)
+  op_config_fp : 'p -> string;
+      (* the link's configuration digest (Engine.config_fingerprint) *)
   op_retire : 'p -> unit;
       (* the link was removed from the device: release whatever the
          port holds (no-op for a direct engine; for a ring port, drain
@@ -276,6 +281,35 @@ let exec_script ?(lenient = false) t cmds =
         | _ -> go acc rest)
   in
   go [] cmds
+
+(* --- checkpoint & config fingerprint ---------------------------------- *)
+
+(* The whole device as a replayable script: each link's [link add]
+   followed by its engine ops scoped to that link, in link-creation
+   order — exactly what a fresh router replays to reach this
+   configuration. Times are all 0: a checkpoint is a state, not a
+   history. *)
+let checkpoint t =
+  List.concat_map
+    (fun (name, p) ->
+      let scoped op = (0., { Command.target = Command.On_link name; op }) in
+      ( 0.,
+        {
+          Command.target = Command.Default_link;
+          op =
+            Command.Link_add { link = name; rate = (t.ops.op_info p).i_rate };
+        } )
+      :: List.map scoped (t.ops.op_checkpoint p))
+    t.links
+
+(* One digest over every link's configuration digest, keyed by name and
+   order-independent across link-creation history (sorted), so a
+   recovered device and its replay oracle compare equal iff every
+   link's control plane does. *)
+let config_fingerprint t =
+  List.map (fun (name, p) -> name ^ "=" ^ t.ops.op_config_fp p ^ "\n") t.links
+  |> List.sort compare |> String.concat ""
+  |> fun s -> Digest.to_hex (Digest.string s)
 
 (* --- auditor ---------------------------------------------------------- *)
 

@@ -257,6 +257,170 @@ let test_meta_verbs () =
     "framing survives multi-line bodies" (Ok "pong") r10;
   Alcotest.(check bool) "shutdown was requested" true (D.shutdown_requested d)
 
+(* --- input hardening -------------------------------------------------- *)
+
+(* A raw byte-level client — no [Client] framing — so requests can be
+   dribbled one byte at a time and malformed at will. *)
+let raw_connect socket =
+  let rec go tries =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX socket) with
+    | () -> fd
+    | exception Unix.Unix_error _ when tries > 0 ->
+        Unix.close fd;
+        Unix.sleepf 0.01;
+        go (tries - 1)
+  in
+  go 100
+
+(* Both reply shapes ([ok LEN\nBODY\n], [err CODE LEN\nMSG\n]) are two
+   newline-terminated lines for the bodies used here. *)
+let recv_reply fd =
+  let b = Bytes.create 4096 in
+  let buf = Buffer.create 64 in
+  let deadline = Unix.gettimeofday () +. 5. in
+  let newlines s =
+    String.fold_left (fun n c -> if c = '\n' then n + 1 else n) 0 s
+  in
+  let rec go () =
+    if newlines (Buffer.contents buf) >= 2 then Buffer.contents buf
+    else begin
+      let remaining = deadline -. Unix.gettimeofday () in
+      if remaining <= 0. then failwith "raw reply timed out";
+      match Unix.select [ fd ] [] [] remaining with
+      | [], _, _ -> failwith "raw reply timed out"
+      | _ -> (
+          match Unix.read fd b 0 4096 with
+          | 0 -> Buffer.contents buf
+          | n ->
+              Buffer.add_subbytes buf b 0 n;
+              go ())
+    end
+  in
+  go ()
+
+let test_hardening () =
+  let live = mk_engine () in
+  let socket = temp ".sock" in
+  let d =
+    D.create ~clock:(fun () -> 0.) ~socket
+      (D.backend_of_engine ~link_name:"link0" live)
+  in
+  let client =
+    Domain.spawn (fun () ->
+        let conn = D.Client.connect ~retries:100 ~backoff:0.01 socket in
+        (* an oversized but newline-framed line: rejected, connection
+           survives *)
+        let r1 = D.Client.request conn (String.make 5000 'x') in
+        let r2 = D.Client.request conn "ping" in
+        (* an embedded NUL: rejected, connection survives *)
+        let r3 = D.Client.request conn "pi\000ng" in
+        let r4 = D.Client.request ~timeout:5. conn "ping" in
+        let r5 = D.Client.request conn "fingerprint" in
+        (* the same request dribbled one byte at a time must read whole *)
+        let fd = raw_connect socket in
+        String.iter
+          (fun ch ->
+            ignore (Unix.write fd (Bytes.make 1 ch) 0 1);
+            Unix.sleepf 0.002)
+          "ping\n";
+        let dribble = recv_reply fd in
+        (* a lineless flood past the request bound: one error reply,
+           then the daemon hangs up *)
+        let flood = Bytes.make 6000 'y' in
+        let rec send off =
+          if off < Bytes.length flood then
+            send (off + Unix.write fd flood off (Bytes.length flood - off))
+        in
+        send 0;
+        let floodr = recv_reply fd in
+        let eof =
+          (try Unix.read fd (Bytes.create 1) 0 1
+           with Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> 0)
+          = 0
+        in
+        Unix.close fd;
+        ignore (D.Client.request conn "shutdown");
+        D.Client.close conn;
+        (r1, r2, r3, r4, r5, dribble, floodr, eof))
+  in
+  D.serve d;
+  let r1, r2, r3, r4, r5, dribble, floodr, eof = Domain.join client in
+  (match r1 with
+  | Error ("bad-value", m) ->
+      Alcotest.(check bool) "oversize names the bound" true
+        (String.length m > 0)
+  | _ -> Alcotest.fail "oversized line must be bad-value");
+  Alcotest.(check (result string (pair string string)))
+    "connection survives the oversized line" (Ok "pong") r2;
+  (match r3 with
+  | Error ("bad-value", m) ->
+      Alcotest.(check bool) "NUL rejection says so" true
+        (String.length m > 0)
+  | _ -> Alcotest.fail "NUL byte must be bad-value");
+  Alcotest.(check (result string (pair string string)))
+    "connection survives the NUL line" (Ok "pong") r4;
+  (match r5 with
+  | Ok fp ->
+      Alcotest.(check bool) "fingerprint is hex" true
+        (String.length fp = 32
+        && String.for_all
+             (function 'a' .. 'f' | '0' .. '9' -> true | _ -> false)
+             fp)
+  | Error (c, m) -> Alcotest.failf "fingerprint refused: %s %s" c m);
+  Alcotest.(check string) "byte-dribbled ping reads whole" "ok 4\npong\n"
+    dribble;
+  Alcotest.(check bool) "lineless flood answers an error" true
+    (String.length floodr > 4 && String.sub floodr 0 3 = "err");
+  Alcotest.(check bool) "lineless flood hangs up" true eof
+
+(* --- the client's own robustness ------------------------------------- *)
+
+let test_client_timeout () =
+  (* a listener that accepts the connection into its backlog but never
+     serves: the deadline, not the daemon, must end the request *)
+  let socket = temp ".sock" in
+  let lfd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind lfd (Unix.ADDR_UNIX socket);
+  Unix.listen lfd 1;
+  let conn = D.Client.connect socket in
+  let t0 = Unix.gettimeofday () in
+  (match D.Client.request ~timeout:0.15 conn "ping" with
+  | exception D.Client.Timeout -> ()
+  | Ok _ | Error _ ->
+      Alcotest.fail "request against a mute server must raise Timeout");
+  let dt = Unix.gettimeofday () -. t0 in
+  Alcotest.(check bool) "timeout fires promptly" true (dt >= 0.1 && dt < 2.);
+  D.Client.close conn;
+  Unix.close lfd;
+  Sys.remove socket
+
+let test_connect_retry () =
+  let socket = temp ".sock" in
+  (* retry-less connect to a socket nobody serves fails at once *)
+  (match D.Client.connect socket with
+  | conn ->
+      D.Client.close conn;
+      Alcotest.fail "connect to nothing succeeded"
+  | exception Unix.Unix_error _ -> ());
+  let server =
+    Domain.spawn (fun () ->
+        Unix.sleepf 0.1;
+        let d =
+          D.create ~clock:(fun () -> 0.) ~socket
+            (D.backend_of_engine ~link_name:"link0" (mk_engine ()))
+        in
+        D.serve d)
+  in
+  (* bounded exponential backoff rides out the late bind *)
+  let conn = D.Client.connect ~retries:12 ~backoff:0.02 socket in
+  let r = D.Client.request ~timeout:5. conn "ping" in
+  ignore (D.Client.request conn "shutdown");
+  D.Client.close conn;
+  Domain.join server;
+  Alcotest.(check (result string (pair string string)))
+    "ping after retried connect" (Ok "pong") r
+
 (* --- the runtest-sized soak slice ------------------------------------ *)
 
 let test_soak_slice () =
@@ -297,8 +461,14 @@ let () =
             test_mc_router_session;
         ] );
       ( "protocol",
-        [ Alcotest.test_case "meta verbs and framing" `Quick test_meta_verbs ]
-      );
+        [
+          Alcotest.test_case "meta verbs and framing" `Quick test_meta_verbs;
+          Alcotest.test_case "input hardening and fingerprint" `Quick
+            test_hardening;
+          Alcotest.test_case "client request timeout" `Quick
+            test_client_timeout;
+          Alcotest.test_case "client connect retry" `Quick test_connect_retry;
+        ] );
       ( "soak",
         [ Alcotest.test_case "runtest slice is healthy" `Quick test_soak_slice ]
       );

@@ -302,6 +302,99 @@ let run_differential ~domains ~seed ~nops =
   if fp_seq <> fp_mc then
     fail "seed %d: device fingerprints diverge\n%s" seed (Lazy.force dump)
 
+(* Graceful degradation: poison one link's worker-side service and
+   check the producer latches it — typed [Link_failed] replies, a dead
+   data path, degraded queries, a checkpoint that keeps the [link add]
+   but nothing below — while every other link (including those sharing
+   the poisoned link's worker domain) keeps serving, and [stop] does
+   not re-raise a failure that was already surfaced as a reply. *)
+let contains s sub =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let run_degradation ~domains =
+  let m = M.create ~audit_every ~domains () in
+  let check what b =
+    if not b then fail "degradation (domains %d): %s" domains what
+  in
+  List.iter
+    (fun name ->
+      match M.add_link m ~name ~link_rate:1e6 with
+      | Ok _ -> ()
+      | Error e ->
+          fail "degradation: add_link %s: %s" name (E.error_message e))
+    [ "l0"; "l1"; "l2" ];
+  let exec_line line =
+    match Runtime.Command.parse line with
+    | Error e -> fail "degradation: parse %S: %s" line e
+    | Ok cmd -> M.exec m ~now:0. cmd
+  in
+  let ok_line line =
+    match exec_line line with
+    | Ok _ -> ()
+    | Error e ->
+        fail "degradation (domains %d): %S: %s" domains line
+          (E.error_message e)
+  in
+  ok_line "link l0 add class a parent root flow 1 fsc 2Mbit qlimit 64";
+  ok_line "link l1 add class b parent root flow 2 fsc 2Mbit qlimit 64";
+  ok_line "link l2 add class c parent root flow 3 fsc 2Mbit qlimit 64";
+  let enq flow seq =
+    M.enqueue_flow m ~now:0. (Pkt.Packet.make ~flow ~size:1000 ~seq ~arrival:0.)
+  in
+  check "pre-failure admission on l0" (enq 1 1);
+  check "pre-failure admission on l1" (enq 2 2);
+  check "unknown link refuses injection"
+    (not (M.inject_failure m ~link:"nowhere"));
+  check "injection reaches l1" (M.inject_failure m ~link:"l1");
+  (match M.link_down m ~link:"l1" with
+  | Some why ->
+      check "latched reason names the injection" (contains why "Injected_failure")
+  | None -> fail "degradation (domains %d): l1 not latched down" domains);
+  check "l0 stays healthy" (M.link_down m ~link:"l0" = None);
+  (match exec_line "link l1 stats" with
+  | Error e ->
+      check "typed Link_failed code" (E.error_code e = E.Link_failed);
+      check "error message says down" (contains (E.error_message e) "down")
+  | Ok r ->
+      fail "degradation (domains %d): command on downed l1 answered ok: %s"
+        domains r);
+  check "downed data path refuses packets" (not (enq 2 3));
+  check "downed dequeue yields nothing"
+    (M.dequeue_batch m ~link:"l1" ~now:0. ~max:4
+       ~f:(fun ~pkt:_ ~cls:_ ~rt:_ -> ())
+    = 0);
+  check "downed snapshot is None" (M.snapshot m ~link:"l1" = None);
+  check "downed backlog is None" (M.backlog m ~link:"l1" = None);
+  check "audit reports the downed link"
+    (List.exists (fun l -> contains l "marked down") (M.audit m));
+  check "stats shows the down marker" (contains (M.stats_text m) "down");
+  let ck =
+    List.map
+      (fun (_, c) -> Format.asprintf "%a" Runtime.Command.pp c)
+      (M.checkpoint m)
+  in
+  check "checkpoint keeps the downed link add"
+    (List.exists (fun l -> contains l "add l1") ck);
+  check "checkpoint drops the downed link's classes"
+    (not (List.exists (fun l -> contains l "l1 add class") ck));
+  check "checkpoint keeps the healthy link's classes"
+    (List.exists (fun l -> contains l "l0 add class a") ck);
+  (* survivors keep serving — even on the same worker domain as l1 *)
+  ok_line "link l0 modify class a qlimit 32";
+  ok_line "link l2 add class d parent root flow 4 fsc 1Mbit";
+  check "healthy admission survives" (enq 1 4);
+  let drained = ref 0 in
+  ignore
+    (M.dequeue_batch m ~link:"l0" ~now:0.01 ~max:8
+       ~f:(fun ~pkt:_ ~cls:_ ~rt:_ -> incr drained));
+  check "healthy dequeue still delivers" (!drained > 0);
+  ignore (M.config_fingerprint m);
+  (* must not raise: the failure was already surfaced as a reply *)
+  let links = M.stop m in
+  check "stop hands back every engine" (List.length links = 3)
+
 let () =
   let arg i d =
     if Array.length Sys.argv > i then int_of_string Sys.argv.(i) else d
@@ -309,9 +402,13 @@ let () =
   let nops = arg 1 400 in
   let seeds = arg 2 1 in
   let domains = arg 3 2 in
+  List.iter (fun domains -> run_degradation ~domains) [ 1; 2 ];
   for seed = 0 to seeds - 1 do
     run_differential ~domains ~seed ~nops
   done;
+  Printf.printf
+    "domains ok: worker poison degrades one link (typed link-failed, \
+     checkpoint keeps its add) while the others keep serving\n";
   Printf.printf
     "domains ok: %d seed%s x %d ops x %d domain%s: multicore router \
      bit-identical to the sequential router (replies, admissions, dequeues, \
