@@ -12,6 +12,8 @@
      dune exec bench/main.exe -- bench-json [out.json]
                                            # intrusive-vs-persistent
                                            # baseline, written as JSON
+     dune exec bench/main.exe -- scale     # hfsc-vs-rr backend head-to-
+                                           # head at 10k/100k/1M classes
      dune exec bench/main.exe -- smoke committed.json
                                            # 0.1 s-quota run; validates
                                            # the schema of its own
@@ -216,7 +218,7 @@ module Tele = struct
     let t, leaves = M_intrusive.build ~n ~deep:false in
     let flow_map = List.init n (fun i -> (i, leaves.(i))) in
     ( Runtime.Engine.create ~link_rate:link t ~flow_map ~tracing:true (),
-      leaves )
+      Array.map Hfsc.id leaves )
 
   let bare_cycle_test () = M_intrusive.cycle_test (false, n)
 
@@ -662,7 +664,7 @@ module DomainsBench = struct
     apply_cmds (fun c -> Rt.exec r ~now:0. c) (class_cmds ~links);
     let accepted = Rt.enqueue_flow_batch r ~now:0. (mk_pkts ~links ~per) in
     let engines = List.map snd (Rt.links r) in
-    let b = Hfsc.batch ~capacity:burst () in
+    let b = Runtime.Engine.make_batch ~capacity:burst () in
     let total = ref 0 in
     let t0 = Unix.gettimeofday () in
     let stuck = ref false in
@@ -722,6 +724,192 @@ module DomainsBench = struct
       ]
 end
 
+(* --- backend scaling: hfsc vs rr at large leaf counts --------------- *)
+
+(* The second backend's reason to exist: leaf counts where H-FSC's
+   per-packet O(log n) tree work dominates. Both backends are built as
+   the same two-level hierarchy (interior fanout 1000) and driven by
+   the same steady-state enqueue-one/dequeue-one walk as the main
+   table; each size gets its own [ols_ns] run so a million-class
+   instance is garbage before the next one builds. The batched-dequeue
+   column is a hard gate in [validate_bench]: zero minor words per
+   packet at every size, for both backends. *)
+module ScaleBench = struct
+  module Hls = Sched.Hls
+
+  let fanout = 1000
+  let burst = 64
+
+  let rr_sizes ~quota =
+    if quota >= 0.5 then [ 10_000; 100_000; 1_000_000 ] else [ 10_000 ]
+
+  (* the head-to-head stops at 100k classes: the committed baseline
+     records the trend either side of the crossover, while the
+     million-class row is rr's alone — H-FSC's build and measurement
+     there would dominate the whole bench run to demonstrate a cost
+     DESIGN.md already concedes *)
+  let hfsc_sizes ~quota =
+    if quota >= 0.5 then [ 10_000; 100_000 ] else [ 10_000 ]
+
+  let interior_name k = Printf.sprintf "agg%d" k
+  let leaf_name i = Printf.sprintf "leaf%d" i
+
+  let build_rr n =
+    let t = Hls.create () in
+    let leaves = Array.make n (Hls.root t) in
+    let agg = ref (Hls.root t) in
+    for i = 0 to n - 1 do
+      if i mod fanout = 0 then
+        agg :=
+          Hls.add_class t ~parent:(Hls.root t)
+            ~name:(interior_name (i / fanout))
+            ();
+      leaves.(i) <-
+        Hls.add_class t ~parent:!agg ~name:(leaf_name i)
+          ~qlimit_pkts:1_000_000 ()
+    done;
+    (t, leaves)
+
+  (* fsc-only classes: the link-sharing hierarchy is the service both
+     backends offer; adding rsc would bill H-FSC for real-time
+     guarantees the rr backend does not sell *)
+  let build_hfsc n =
+    let t = Hfsc.create ~link_rate:link () in
+    let leaf_sc = Curve.Service_curve.linear (link /. float_of_int n) in
+    let groups = (n + fanout - 1) / fanout in
+    let agg_sc = Curve.Service_curve.linear (link /. float_of_int groups) in
+    let leaves = Array.make n (Hfsc.root t) in
+    let agg = ref (Hfsc.root t) in
+    for i = 0 to n - 1 do
+      if i mod fanout = 0 then
+        agg :=
+          Hfsc.add_class t ~parent:(Hfsc.root t)
+            ~name:(interior_name (i / fanout))
+            ~fsc:agg_sc ();
+      leaves.(i) <-
+        Hfsc.add_class t ~parent:!agg ~name:(leaf_name i) ~fsc:leaf_sc
+          ~qlimit:1_000_000 ()
+    done;
+    (t, leaves)
+
+  (* standing backlog on the first [hot n] leaves; the measured walk
+     visits every leaf in turn, so at large n most cycles activate an
+     idle class and drain another — the activation path is the part
+     that separates the backends *)
+  let hot n = min n 4096
+
+  let prefill ~enq ~per n =
+    for i = 0 to hot n - 1 do
+      for s = 0 to per - 1 do
+        enq i (Pkt.Packet.make ~flow:i ~size:1000 ~seq:s ~arrival:0.)
+      done
+    done
+
+  let measure ~quota test =
+    match ols_ns ~quota [ test ] with (_, ns) :: _ -> ns | [] -> -1.
+
+  let cycle ~name ~quota ~enq ~deq n =
+    prefill ~enq ~per:2 n;
+    let i = ref 0 in
+    let seq = ref 2 in
+    let now = ref 0. in
+    let tx = 1000. /. link in
+    measure ~quota
+      (Test.make ~name
+         (Staged.stage (fun () ->
+              i := (!i + 1) mod n;
+              incr seq;
+              now := !now +. tx;
+              enq !i
+                (Pkt.Packet.make ~flow:!i ~size:1000 ~seq:!seq ~arrival:!now);
+              deq !now)))
+
+  let rr_ns ~quota n =
+    let t, leaves = build_rr n in
+    cycle
+      ~name:(Printf.sprintf "rr-%d" n)
+      ~quota
+      ~enq:(fun i p -> ignore (Hls.enqueue t ~now:0. leaves.(i) p))
+      ~deq:(fun now -> ignore (Hls.dequeue t ~now))
+      n
+
+  let hfsc_ns ~quota n =
+    let t, leaves = build_hfsc n in
+    cycle
+      ~name:(Printf.sprintf "hfsc-%d" n)
+      ~quota
+      ~enq:(fun i p -> ignore (Hfsc.enqueue t ~now:0. leaves.(i) p))
+      ~deq:(fun now -> ignore (Hfsc.dequeue t ~now))
+      n
+
+  (* minor words per packet of a batched drain, boxed-now trick as in
+     [Meas.dequeue_words]; the clock never has to advance — the builds
+     above are fsc-only, so every dequeue rides the virtual-time
+     link-sharing path *)
+  let k_batches = 128
+  let warm_batches = 8
+
+  let fill_for_drain ~enq n =
+    let total = (k_batches + warm_batches) * burst in
+    prefill ~enq ~per:((total / hot n) + 2) n
+
+  let drain_words ~warm ~timed =
+    for _ = 1 to warm_batches do
+      warm ()
+    done;
+    match Sys.opaque_identity [ 0. ] with
+    | [ boxed_now ] ->
+        let w0 = Gc.minor_words () in
+        for _ = 1 to k_batches do
+          timed boxed_now
+        done;
+        (Gc.minor_words () -. w0) /. float_of_int (k_batches * burst)
+    | _ -> assert false
+
+  let rr_dequeue_words n =
+    let t, leaves = build_rr n in
+    fill_for_drain n ~enq:(fun i p ->
+        ignore (Hls.enqueue t ~now:0. leaves.(i) p));
+    let b = Hls.batch ~capacity:burst () in
+    drain_words
+      ~warm:(fun () -> ignore (Hls.dequeue_batch t ~now:0. b))
+      ~timed:(fun now -> ignore (Hls.dequeue_batch t ~now b))
+
+  let hfsc_dequeue_words n =
+    let t, leaves = build_hfsc n in
+    fill_for_drain n ~enq:(fun i p ->
+        ignore (Hfsc.enqueue t ~now:0. leaves.(i) p));
+    let b = Hfsc.batch ~capacity:burst () in
+    drain_words
+      ~warm:(fun () -> ignore (Hfsc.dequeue_batch t ~now:0. b))
+      ~timed:(fun now -> ignore (Hfsc.dequeue_batch t ~now b))
+
+  let json ~quota =
+    let row backend ns_of dw_of n =
+      let ns = ns_of ~quota n in
+      let dw = dw_of n in
+      (* hand the collector each instance before the next size builds *)
+      Gc.compact ();
+      Json_lite.Obj
+        [
+          ("backend", Json_lite.Str backend);
+          ("classes", Json_lite.Num (float_of_int n));
+          ("ns_per_op", Json_lite.Num ns);
+          ("batched_dequeue_minor_words_per_op", Json_lite.Num dw);
+        ]
+    in
+    let rows =
+      List.map (row "rr" rr_ns rr_dequeue_words) (rr_sizes ~quota)
+      @ List.map (row "hfsc" hfsc_ns hfsc_dequeue_words) (hfsc_sizes ~quota)
+    in
+    Json_lite.Obj
+      [
+        ("fanout", Json_lite.Num (float_of_int fanout));
+        ("burst", Json_lite.Num (float_of_int burst));
+        ("rows", Json_lite.List rows);
+      ]
+end
+
 (* --- the machine-readable baseline --------------------------------- *)
 
 let measure_all ~quota scens =
@@ -750,7 +938,7 @@ let bench_doc ~quota scens =
   let results = measure_all ~quota scens in
   Json_lite.Obj
     [
-      ("schema", Json_lite.Str "hfsc-bench/5");
+      ("schema", Json_lite.Str "hfsc-bench/6");
       ("quota_s", Json_lite.Num quota);
       ("link_rate_Bps", Json_lite.Num link);
       ("dequeue_result_words", Json_lite.Num 6.);
@@ -759,9 +947,10 @@ let bench_doc ~quota scens =
       ("router", RouterBench.json ~quota);
       ("batch", BatchBench.json ~quota);
       ("router_domains", DomainsBench.json ~quota);
+      ("rr_scale", ScaleBench.json ~quota);
     ]
 
-(* Schema validation for hfsc-bench/5 — used by the smoke target on
+(* Schema validation for hfsc-bench/6 — used by the smoke target on
    both its own output and the committed baseline. *)
 let validate_bench (j : Json_lite.t) : (unit, string) result =
   let ( let* ) = Result.bind in
@@ -782,10 +971,10 @@ let validate_bench (j : Json_lite.t) : (unit, string) result =
   in
   let* schema = req_str j "schema" in
   let* () =
-    if schema = "hfsc-bench/5" then Ok ()
+    if schema = "hfsc-bench/6" then Ok ()
     else Error (Printf.sprintf "unknown schema %S" schema)
   in
-  let* _ = req_num j "quota_s" in
+  let* quota_s = req_num j "quota_s" in
   let* _ = req_num j "dequeue_result_words" in
   let* results =
     match Json_lite.(Option.bind (member "results" j) to_list_opt) with
@@ -1019,6 +1208,76 @@ let validate_bench (j : Json_lite.t) : (unit, string) result =
                 %.2fx < 1.10x despite %.0f cores"
                best cores)
   in
+  (* the hfsc-bench/6 backend-scaling block. Every row: a known
+     backend, a real class count, positive timing, and the hard
+     allocation promise — a batched dequeue allocates not one minor
+     word per packet at ANY size, for EITHER backend. A full-quota
+     document (the committed baseline) must additionally carry the
+     whole axis: rr at 10k/100k/1M classes and hfsc at 10k/100k, so
+     the million-class claim stays pinned while the 0.1 s smoke run
+     keeps to sizes it can build in a blink. *)
+  let* rs =
+    match Json_lite.member "rr_scale" j with
+    | Some (Json_lite.Obj _ as o) -> Ok o
+    | _ -> Error "missing rr_scale object"
+  in
+  let* f = req_num rs "fanout" in
+  let* () = if f >= 2. then Ok () else Error "rr_scale fanout < 2" in
+  let* b = req_num rs "burst" in
+  let* () = if b >= 2. then Ok () else Error "rr_scale burst < 2" in
+  let* rows =
+    match Json_lite.(Option.bind (member "rows" rs) to_list_opt) with
+    | Some (_ :: _ as l) -> Ok l
+    | _ -> Error "missing rr_scale rows"
+  in
+  let* () =
+    List.fold_left
+      (fun acc r ->
+        let* () = acc in
+        let* backend = req_str r "backend" in
+        let* () =
+          if backend = "hfsc" || backend = "rr" then Ok ()
+          else Error (Printf.sprintf "rr_scale: unknown backend %S" backend)
+        in
+        let* n = req_num r "classes" in
+        let* () = if n >= 1. then Ok () else Error "rr_scale classes < 1" in
+        let* ns = req_num r "ns_per_op" in
+        let* () =
+          if ns > 0. then Ok () else Error "rr_scale ns_per_op not positive"
+        in
+        let* dw = req_num r "batched_dequeue_minor_words_per_op" in
+        if dw = 0. then Ok ()
+        else
+          Error
+            (Printf.sprintf
+               "rr_scale: %s at %.0f classes allocates %g minor words per \
+                batched dequeue"
+               backend n dw))
+      (Ok ()) rows
+  in
+  let* () =
+    if quota_s < 0.5 then Ok ()
+    else
+      let has backend n =
+        List.exists
+          (fun r ->
+            match
+              ( Json_lite.(Option.bind (member "backend" r) to_str_opt),
+                Json_lite.(Option.bind (member "classes" r) to_num_opt) )
+            with
+            | Some b, Some c -> b = backend && c = n
+            | _ -> false)
+          rows
+      in
+      if
+        has "rr" 1e4 && has "rr" 1e5 && has "rr" 1e6 && has "hfsc" 1e4
+        && has "hfsc" 1e5
+      then Ok ()
+      else
+        Error
+          "rr_scale axis incomplete: a full-quota baseline needs rr rows at \
+           10k/100k/1M classes and hfsc rows at 10k/100k"
+  in
   Ok ()
 
 let write_file path s =
@@ -1132,8 +1391,68 @@ let run_bench_json out =
                     (num r "links") (num r "domains") (num r "pkts_per_s"))
                 rows
           | None -> ())
+      | None -> ());
+      (match Json_lite.member "rr_scale" doc with
+      | Some rs ->
+          let num o k =
+            match Json_lite.(Option.bind (member k o) to_num_opt) with
+            | Some v -> v
+            | None -> nan
+          in
+          Printf.printf "backend scaling (fanout %.0f, burst %.0f):\n"
+            (num rs "fanout") (num rs "burst");
+          (match Json_lite.(Option.bind (member "rows" rs) to_list_opt) with
+          | Some rows ->
+              List.iter
+                (fun r ->
+                  Printf.printf
+                    "  %-4s %8.0f classes: %6.0f ns/op, %g minor \
+                     words/batched dequeue\n"
+                    (match
+                       Json_lite.(
+                         Option.bind (member "backend" r) to_str_opt)
+                     with
+                    | Some b -> b
+                    | None -> "?")
+                    (num r "classes") (num r "ns_per_op")
+                    (num r "batched_dequeue_minor_words_per_op"))
+                rows
+          | None -> ())
       | None -> ())
   | None -> ()
+
+(* standalone hfsc-vs-rr head-to-head at full quota, without
+   re-measuring the rest of the baseline *)
+let run_scale () =
+  Experiments.Common.section
+    "scale: hfsc vs rr backends, two-level hierarchy, full-quota sizes";
+  match
+    Json_lite.(Option.bind (member "rows" (ScaleBench.json ~quota:0.5))
+                 to_list_opt)
+  with
+  | None -> prerr_endline "internal error: no rows"
+  | Some rows ->
+      Experiments.Common.table
+        ~header:[ "backend"; "classes"; "enq+deq"; "batched deq words" ]
+        (List.map
+           (fun r ->
+             let num k =
+               match Json_lite.(Option.bind (member k r) to_num_opt) with
+               | Some v -> v
+               | None -> nan
+             in
+             [
+               (match
+                  Json_lite.(Option.bind (member "backend" r) to_str_opt)
+                with
+               | Some b -> b
+               | None -> "?");
+               Printf.sprintf "%.0f" (num "classes");
+               Printf.sprintf "%.0f ns" (num "ns_per_op");
+               Printf.sprintf "%g"
+                 (num "batched_dequeue_minor_words_per_op");
+             ])
+           rows)
 
 let run_smoke committed =
   let doc = bench_doc ~quota:0.1 scenarios_smoke in
@@ -1177,6 +1496,7 @@ let () =
   | "bench-json" :: rest ->
       run_bench_json
         (match rest with p :: _ -> p | [] -> "BENCH_hfsc.json")
+  | "scale" :: _ -> run_scale ()
   | "smoke" :: committed :: _ -> run_smoke committed
   | [ "smoke" ] ->
       prerr_endline "usage: main.exe smoke <committed.json>";

@@ -158,6 +158,18 @@ let simulate_cmd =
     | Error e ->
         Printf.eprintf "%s: %s\n" file e;
         1
+    | Ok cfg
+      when Config.link_backend (List.hd cfg.Config.links)
+           <> Config.Hfsc_backend ->
+        (* this report is H-FSC vocabulary (rt-bytes, curves); the
+           engine-backed subcommands drive any backend *)
+        Printf.eprintf
+          "%s: the first link runs the %s backend; 'simulate' reports H-FSC \
+           per-class statistics — use 'control' or 'route' instead\n"
+          file
+          (Config.backend_name
+             (Config.link_backend (List.hd cfg.Config.links)));
+        1
     | Ok cfg ->
         List.iter
           (fun w -> Printf.eprintf "warning: %s\n" w)

@@ -1,9 +1,15 @@
-type link = {
-  lname : string;
-  lrate : float;
-  lscheduler : Hfsc.t;
-  lflow_map : (int * Hfsc.cls) list;
-}
+type backend = Hfsc_backend | Rr_backend
+
+let backend_name = function Hfsc_backend -> "hfsc" | Rr_backend -> "rr"
+
+type built =
+  | Built_hfsc of Hfsc.t * (int * Hfsc.cls) list
+  | Built_rr of Sched.Hls.t * (int * Sched.Hls.cls) list
+
+type link = { lname : string; lrate : float; lbuilt : built }
+
+let link_backend l =
+  match l.lbuilt with Built_hfsc _ -> Hfsc_backend | Built_rr _ -> Rr_backend
 
 type t = {
   scheduler : Hfsc.t;
@@ -133,6 +139,7 @@ type class_spec = {
   cusc : Curve.Service_curve.t option;
   cqlimit : int option;
   cqbytes : int option;
+  cquantum : int option; (* rr backend only *)
 }
 
 type limit_spec = {
@@ -156,7 +163,8 @@ type source_spec = {
 }
 
 type stmt =
-  | Link of string option * float (* optional name; None = sole link *)
+  | Link of string option * float * backend
+    (* optional name; None = sole link *)
   | Class of class_spec
   | Source of source_spec
   | Limit of limit_spec
@@ -168,6 +176,7 @@ let parse_class st =
   let flow = ref None in
   let rsc = ref None and fsc = ref None and usc = ref None in
   let qlimit = ref None and qbytes = ref None in
+  let quantum = ref None in
   let continue_ = ref true in
   while !continue_ do
     match peek st with
@@ -178,6 +187,7 @@ let parse_class st =
         | "flow" -> flow := Some (int_of_token (next st))
         | "qlimit" -> qlimit := Some (int_of_token (next st))
         | "qbytes" -> qbytes := Some (int_of_token (next st))
+        | "quantum" -> quantum := Some (int_of_token (next st))
         | "rsc" -> rsc := Some (parse_curve st)
         | "fsc" -> fsc := Some (parse_curve st)
         | "ulimit" -> usc := Some (parse_curve st)
@@ -185,7 +195,7 @@ let parse_class st =
   done;
   Class
     { cname; cparent; cflow = !flow; crsc = !rsc; cfsc = !fsc; cusc = !usc;
-      cqlimit = !qlimit; cqbytes = !qbytes }
+      cqlimit = !qlimit; cqbytes = !qbytes; cquantum = !quantum }
 
 (* "limit [pkts N|none] [bytes N|none] [policy tail|longest]" — the
    scheduler-wide backlog bound and overflow policy. *)
@@ -282,12 +292,22 @@ let parse_line line =
             | Some n ->
                 ignore (next st);
                 Some n
-            | None -> fail "link: expected [NAME] rate RATE"
+            | None -> fail "link: expected [NAME] rate RATE [backend hfsc|rr]"
           in
           expect st "rate";
           let r = parse_rate_exn (next st) in
-          if peek st <> None then fail "trailing tokens after link rate";
-          Some (Link (name, r))
+          let backend =
+            match peek st with
+            | Some "backend" -> (
+                ignore (next st);
+                match next st with
+                | "hfsc" -> Hfsc_backend
+                | "rr" -> Rr_backend
+                | other -> fail "unknown backend %S (hfsc|rr)" other)
+            | _ -> Hfsc_backend
+          in
+          if peek st <> None then fail "trailing tokens after link statement";
+          Some (Link (name, r, backend))
       | "class" -> Some (parse_class st)
       | "source" -> Some (parse_source st)
       | "limit" -> Some (parse_limit st)
@@ -297,56 +317,109 @@ let parse_line line =
 
 (* One link under construction. Schedulers are created bare and limits
    applied through the setters so the one-link and N-link paths share
-   the same code. *)
+   the same code. The sched side is backend-discriminated; flow lists
+   are kept reversed. *)
+type bsched =
+  | Bs_hfsc of
+      Hfsc.t * (string, Hfsc.cls) Hashtbl.t * (int * Hfsc.cls) list ref
+  | Bs_rr of
+      Sched.Hls.t
+      * (string, Sched.Hls.cls) Hashtbl.t
+      * (int * Sched.Hls.cls) list ref
+
 type builder = {
   bname : string;
   brate : float;
-  bsched : Hfsc.t;
-  bclasses : (string, Hfsc.cls) Hashtbl.t;
-  mutable bflow : (int * Hfsc.cls) list; (* reversed *)
+  bs : bsched;
   mutable blimit : bool;
 }
 
 let reserved_link_names = [ "add"; "delete"; "list" ]
 
-let new_builder ~name ~rate =
+let new_builder ~name ~rate ~backend =
   if rate <= 0. then fail "link rate must be positive";
   if List.mem name reserved_link_names then
     fail "link name %S is reserved (a control-command verb)" name;
-  let bsched = Hfsc.create ~link_rate:rate () in
-  let bclasses = Hashtbl.create 16 in
-  Hashtbl.replace bclasses "root" (Hfsc.root bsched);
-  { bname = name; brate = rate; bsched; bclasses; bflow = []; blimit = false }
+  let bs =
+    match backend with
+    | Hfsc_backend ->
+        let sched = Hfsc.create ~link_rate:rate () in
+        let classes = Hashtbl.create 16 in
+        Hashtbl.replace classes "root" (Hfsc.root sched);
+        Bs_hfsc (sched, classes, ref [])
+    | Rr_backend ->
+        let sched = Sched.Hls.create () in
+        let classes = Hashtbl.create 16 in
+        Hashtbl.replace classes "root" (Sched.Hls.root sched);
+        Bs_rr (sched, classes, ref [])
+  in
+  { bname = name; brate = rate; bs; blimit = false }
 
 (* [flows_global]: flow ids are device-wide, one leaf anywhere. *)
 let apply_class b ~flows_global (c : class_spec) =
-  if Hashtbl.mem b.bclasses c.cname then fail "duplicate class %S" c.cname;
-  let parent =
-    match Hashtbl.find_opt b.bclasses c.cparent with
-    | Some p -> p
-    | None -> fail "class %S: unknown parent %S" c.cname c.cparent
+  let note_flow add =
+    match c.cflow with
+    | Some flow ->
+        if Hashtbl.mem flows_global flow then fail "flow %d mapped twice" flow;
+        Hashtbl.replace flows_global flow ();
+        add flow
+    | None -> ()
   in
-  let cls =
-    try
-      Hfsc.add_class b.bsched ~parent ~name:c.cname ?rsc:c.crsc ?fsc:c.cfsc
-        ?usc:c.cusc ?qlimit:c.cqlimit ?qlimit_bytes:c.cqbytes ()
-    with Invalid_argument e -> fail "class %S: %s" c.cname e
-  in
-  Hashtbl.replace b.bclasses c.cname cls;
-  match c.cflow with
-  | Some flow ->
-      if Hashtbl.mem flows_global flow then fail "flow %d mapped twice" flow;
-      Hashtbl.replace flows_global flow ();
-      b.bflow <- (flow, cls) :: b.bflow
-  | None -> ()
+  match b.bs with
+  | Bs_hfsc (sched, classes, flows) ->
+      if c.cquantum <> None then
+        fail "class %S: quantum applies to rr-backend links" c.cname;
+      if Hashtbl.mem classes c.cname then fail "duplicate class %S" c.cname;
+      let parent =
+        match Hashtbl.find_opt classes c.cparent with
+        | Some p -> p
+        | None -> fail "class %S: unknown parent %S" c.cname c.cparent
+      in
+      let cls =
+        try
+          Hfsc.add_class sched ~parent ~name:c.cname ?rsc:c.crsc ?fsc:c.cfsc
+            ?usc:c.cusc ?qlimit:c.cqlimit ?qlimit_bytes:c.cqbytes ()
+        with Invalid_argument e -> fail "class %S: %s" c.cname e
+      in
+      Hashtbl.replace classes c.cname cls;
+      note_flow (fun flow -> flows := (flow, cls) :: !flows)
+  | Bs_rr (sched, classes, flows) ->
+      if c.crsc <> None || c.cfsc <> None || c.cusc <> None then
+        fail
+          "class %S: service curves apply to hfsc-backend links (rr classes \
+           take quantum)"
+          c.cname;
+      if Hashtbl.mem classes c.cname then fail "duplicate class %S" c.cname;
+      let parent =
+        match Hashtbl.find_opt classes c.cparent with
+        | Some p -> p
+        | None -> fail "class %S: unknown parent %S" c.cname c.cparent
+      in
+      let cls =
+        try
+          Sched.Hls.add_class sched ~parent ~name:c.cname ?quantum:c.cquantum
+            ?qlimit_pkts:c.cqlimit ?qlimit_bytes:c.cqbytes ()
+        with Invalid_argument e -> fail "class %S: %s" c.cname e
+      in
+      Hashtbl.replace classes c.cname cls;
+      note_flow (fun flow -> flows := (flow, cls) :: !flows)
 
 let apply_limit b (l : limit_spec) =
   if b.blimit then fail "duplicate 'limit' statement";
   b.blimit <- true;
-  Hfsc.set_aggregate_limit b.bsched ?pkts:l.lpkts ?bytes:l.lbytes ();
-  match l.lpolicy with
-  | Some p -> Hfsc.set_drop_policy b.bsched p
-  | None -> ()
+  match b.bs with
+  | Bs_hfsc (sched, _, _) -> (
+      Hfsc.set_aggregate_limit sched ?pkts:l.lpkts ?bytes:l.lbytes ();
+      match l.lpolicy with
+      | Some p -> Hfsc.set_drop_policy sched p
+      | None -> ())
+  | Bs_rr (sched, _, _) -> (
+      Sched.Hls.set_aggregate_limit sched ?pkts:l.lpkts ?bytes:l.lbytes ();
+      match l.lpolicy with
+      | Some Hfsc.Tail_drop -> Sched.Hls.set_drop_policy sched Sched.Hls.Tail_drop
+      | Some Hfsc.Drop_longest ->
+          Sched.Hls.set_drop_policy sched Sched.Hls.Drop_longest
+      | None -> ())
 
 let build stmts =
   let n_links =
@@ -358,15 +431,16 @@ let build stmts =
     else if n_links = 1 then begin
       (* sole link: keep the historical order-insensitive semantics —
          classes may precede the link statement *)
-      let name, rate =
+      let name, rate, backend =
         match
-          List.filter_map (function Link (n, r) -> Some (n, r) | _ -> None)
+          List.filter_map
+            (function Link (n, r, bk) -> Some (n, r, bk) | _ -> None)
             stmts
         with
-        | [ (n, r) ] -> (Option.value n ~default:"link0", r)
+        | [ (n, r, bk) ] -> (Option.value n ~default:"link0", r, bk)
         | _ -> assert false
       in
-      let b = new_builder ~name ~rate in
+      let b = new_builder ~name ~rate ~backend in
       List.iter
         (function
           | Class c -> apply_class b ~flows_global c
@@ -382,7 +456,7 @@ let build stmts =
       let current = ref None and acc = ref [] in
       List.iter
         (function
-          | Link (name, rate) ->
+          | Link (name, rate, backend) ->
               let name =
                 match name with
                 | Some n -> n
@@ -396,7 +470,7 @@ let build stmts =
               if Hashtbl.mem names name then
                 fail "duplicate link name %S" name;
               Hashtbl.replace names name ();
-              let b = new_builder ~name ~rate in
+              let b = new_builder ~name ~rate ~backend in
               current := Some b;
               acc := b :: !acc
           | Class c -> (
@@ -412,9 +486,12 @@ let build stmts =
       List.rev !acc
     end
   in
-  let union_flow_map =
-    List.concat_map (fun b -> List.rev b.bflow) builders
+  let builder_flows b =
+    match b.bs with
+    | Bs_hfsc (_, _, flows) -> List.rev_map fst !flows
+    | Bs_rr (_, _, flows) -> List.rev_map fst !flows
   in
+  let union_flow_ids = List.concat_map builder_flows builders in
   let source_specs =
     List.filter_map (function Source s -> Some s | _ -> None) stmts
   in
@@ -422,7 +499,7 @@ let build stmts =
      device-wide and may feed a flow on any link *)
   List.iter
     (fun s ->
-      if not (List.mem_assoc s.sflow union_flow_map) then
+      if not (List.mem s.sflow union_flow_ids) then
         fail "source refers to unmapped flow %d" s.sflow;
       match s.skind with
       | "cbr" | "greedy" ->
@@ -471,22 +548,24 @@ let build stmts =
   let links =
     List.map
       (fun b ->
-        {
-          lname = b.bname;
-          lrate = b.brate;
-          lscheduler = b.bsched;
-          lflow_map = List.rev b.bflow;
-        })
+        let lbuilt =
+          match b.bs with
+          | Bs_hfsc (sched, _, flows) -> Built_hfsc (sched, List.rev !flows)
+          | Bs_rr (sched, _, flows) -> Built_rr (sched, List.rev !flows)
+        in
+        { lname = b.bname; lrate = b.brate; lbuilt })
       builders
   in
   let first = List.hd links in
-  {
-    scheduler = first.lscheduler;
-    flow_map = first.lflow_map;
-    sources;
-    link_rate = first.lrate;
-    links;
-  }
+  (* [scheduler]/[flow_map] keep the historical hfsc view of the first
+     link; an rr-first configuration gets an empty placeholder — its
+     consumers go through [links]/[lbuilt] instead. *)
+  let scheduler, flow_map =
+    match first.lbuilt with
+    | Built_hfsc (sched, flows) -> (sched, flows)
+    | Built_rr _ -> (Hfsc.create ~link_rate:first.lrate (), [])
+  in
+  { scheduler; flow_map; sources; link_rate = first.lrate; links }
 
 let validate t =
   let warnings = ref [] in
@@ -501,50 +580,72 @@ let validate t =
               :: !warnings)
           fmt
       in
-      let classes = Hfsc.classes l.lscheduler in
-      let leaf_rscs =
-        List.filter_map
-          (fun c -> if Hfsc.is_leaf c then Hfsc.rsc c else None)
-          classes
-      in
-      if
-        leaf_rscs <> []
-        && not (Analysis.Admission.admissible ~link_rate:l.lrate leaf_rscs)
-      then
-        warn
-          "real-time curves are not admissible on the link (oversubscribed \
-           by %.0f bytes worst-case): guarantees will not hold"
-          (Analysis.Admission.excess ~link_rate:l.lrate leaf_rscs);
-      List.iter
-        (fun c ->
-          match (Hfsc.fsc c, Hfsc.children c) with
-          | Some parent_fsc, (_ :: _ as children) ->
-              let child_fscs = List.filter_map Hfsc.fsc children in
+      match l.lbuilt with
+      | Built_rr (sched, _) ->
+          (* no admission math to check — warn only when a round of
+             service outgrows the control-plane bound *)
+          List.iter
+            (fun c ->
               if
-                List.length child_fscs = List.length children
-                && not
-                     (Analysis.Admission.hierarchy_consistent
-                        ~parent:parent_fsc child_fscs)
+                (not (Sched.Hls.is_leaf c))
+                && Sched.Hls.quantum_sum_under c > Sched.Hls.max_round_bytes
               then
-                warn "children of class %S outgrow its fair service curve"
-                  (Hfsc.name c)
-          | _ -> ())
-        classes)
+                warn "children of class %S exceed the per-round service bound"
+                  (Sched.Hls.name c))
+            (Sched.Hls.classes sched)
+      | Built_hfsc (sched, _) ->
+          let classes = Hfsc.classes sched in
+          let leaf_rscs =
+            List.filter_map
+              (fun c -> if Hfsc.is_leaf c then Hfsc.rsc c else None)
+              classes
+          in
+          if
+            leaf_rscs <> []
+            && not (Analysis.Admission.admissible ~link_rate:l.lrate leaf_rscs)
+          then
+            warn
+              "real-time curves are not admissible on the link \
+               (oversubscribed by %.0f bytes worst-case): guarantees will \
+               not hold"
+              (Analysis.Admission.excess ~link_rate:l.lrate leaf_rscs);
+          List.iter
+            (fun c ->
+              match (Hfsc.fsc c, Hfsc.children c) with
+              | Some parent_fsc, (_ :: _ as children) ->
+                  let child_fscs = List.filter_map Hfsc.fsc children in
+                  if
+                    List.length child_fscs = List.length children
+                    && not
+                         (Analysis.Admission.hierarchy_consistent
+                            ~parent:parent_fsc child_fscs)
+                  then
+                    warn "children of class %S outgrow its fair service curve"
+                      (Hfsc.name c)
+              | _ -> ())
+            classes)
     t.links;
   let sourced_flows =
     List.map (fun s -> Netsim.Source.flow s) (t.sources ~until:1.)
   in
   List.iter
     (fun l ->
+      let flows =
+        match l.lbuilt with
+        | Built_hfsc (_, fm) ->
+            List.map (fun (f, c) -> (f, Hfsc.name c)) fm
+        | Built_rr (_, fm) ->
+            List.map (fun (f, c) -> (f, Sched.Hls.name c)) fm
+      in
       List.iter
-        (fun (flow, cls) ->
+        (fun (flow, cname) ->
           if not (List.mem flow sourced_flows) then
             warnings :=
               Printf.sprintf "%sclass %S (flow %d) has no traffic source"
                 (if multi then Printf.sprintf "link %S: " l.lname else "")
-                (Hfsc.name cls) flow
+                cname flow
               :: !warnings)
-        l.lflow_map)
+        flows)
     t.links;
   List.rev !warnings
 

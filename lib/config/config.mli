@@ -38,6 +38,13 @@
     - [ulimit RATE] or [ulimit m1 RATE d TIME m2 RATE] — upper limit.
     A class with a [flow] is a leaf fed by that flow id.
 
+    A link statement may end with [backend hfsc|rr] (default [hfsc]).
+    On an [rr] link classes take no curves; instead an optional
+    [quantum BYTES] sets the deficit-round-robin share (default
+    {!Sched.Hls.default_quantum}). [qlimit]/[qbytes] work on both
+    backends; curve clauses on an rr link (or [quantum] on an hfsc
+    link) are parse errors.
+
     Source syntax: [source KIND flow N rate RATE pkt BYTES ...] with
     KIND one of [cbr], [poisson] (needs [seed]), [onoff] (needs
     [on]/[off]/[seed]), [greedy] (alias of cbr), [burst] (needs
@@ -49,11 +56,24 @@
     an arrival would exceed it ([tail] refuses the arrival, [longest]
     evicts from the longest leaf queue). *)
 
+type backend = Hfsc_backend | Rr_backend
+(** Which engine a link runs: the paper's H-FSC (default) or the
+    O(1) hierarchical round-robin scale tier ({!Sched.Hls}). Selected
+    per link with [link NAME rate RATE backend rr]. *)
+
+val backend_name : backend -> string
+(** ["hfsc"] / ["rr"] — the grammar's spelling. *)
+
+type built =
+  | Built_hfsc of Hfsc.t * (int * Hfsc.cls) list
+  | Built_rr of Sched.Hls.t * (int * Sched.Hls.cls) list
+      (** A link's scheduler plus its flow→leaf map, discriminated by
+          backend. *)
+
 type link = {
   lname : string;  (** "link0" when the sole link is anonymous *)
   lrate : float;  (** bytes/second *)
-  lscheduler : Hfsc.t;
-  lflow_map : (int * Hfsc.cls) list;
+  lbuilt : built;
 }
 (** One configured link: its own scheduler, its own flow map.
 
@@ -68,6 +88,8 @@ type link = {
     order-insensitive semantics (classes may precede the link
     statement). *)
 
+val link_backend : link -> backend
+
 type t = {
   scheduler : Hfsc.t;  (** the first link's scheduler *)
   flow_map : (int * Hfsc.cls) list;  (** the first link's flow map *)
@@ -78,7 +100,10 @@ type t = {
   links : link list;  (** all links, in file order *)
 }
 (** [scheduler]/[flow_map]/[link_rate] mirror [List.hd links] so every
-    single-link consumer keeps working unchanged. *)
+    single-link consumer keeps working unchanged — when that link runs
+    the hfsc backend. An rr-first configuration leaves [scheduler] as
+    an empty placeholder and [flow_map] empty; such consumers must go
+    through [links]/[lbuilt]. *)
 
 val parse : string -> (t, string) result
 (** Parse configuration text; errors carry a line number. *)

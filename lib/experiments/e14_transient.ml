@@ -74,7 +74,7 @@ let run () =
     ];
   let data_id =
     match Runtime.Engine.flow_class eng 3 with
-    | Some c -> Hfsc.id c
+    | Some id -> id
     | None -> failwith "E14: data class missing"
   in
   let drops_now () =

@@ -33,6 +33,11 @@ let link_rate = 1.25e7
 
 let link_name i = Printf.sprintf "l%d" i
 
+(* Multi-link runs make their last link an rr backend, so the soak and
+   crash harnesses drive a heterogeneous device — hfsc and round-robin
+   links behind one daemon, one journal, one replay oracle. *)
+let rr_link ~links i = links > 1 && i = links - 1
+
 (* What the churn client does, on its own domain. Everything it touches
    is local; it reports back by returning its counters through
    Domain.join. [sim_finished] and [abort] are the only shared state. *)
@@ -86,15 +91,25 @@ let churn ~socket ~spill ~links ~sim_finished c =
   while not (Atomic.get sim_finished) do
     let r = !round in
     incr round;
-    let l = link_name (r mod links) in
-    let cls = Printf.sprintf "churn%d" (r mod links) in
-    (* one add/modify/inspect/delete cycle through the full grammar *)
+    let li = r mod links in
+    let l = link_name li in
+    let cls = Printf.sprintf "churn%d" li in
+    (* one add/modify/inspect/delete cycle through the full grammar —
+       curves on hfsc links, a quantum on the rr link *)
     ignore
       (req
-         (Printf.sprintf "link %s add class %s parent root fsc 8Kbit qlimit 32"
-            l cls));
+         (if rr_link ~links li then
+            Printf.sprintf
+              "link %s add class %s parent root quantum 3000 qlimit 32" l cls
+          else
+            Printf.sprintf
+              "link %s add class %s parent root fsc 8Kbit qlimit 32" l cls));
     ignore (req (Printf.sprintf "link %s stats %s" l cls));
-    ignore (req (Printf.sprintf "link %s modify class %s fsc 16Kbit" l cls));
+    ignore
+      (req
+         (if rr_link ~links li then
+            Printf.sprintf "link %s modify class %s quantum 6000" l cls
+          else Printf.sprintf "link %s modify class %s fsc 16Kbit" l cls));
     if r mod 5 = 0 then ignore (req "stats");
     if r mod 7 = 3 then ignore (req "spill status");
     if r mod 11 = 5 then begin
@@ -147,7 +162,15 @@ let run ?(links = 3) ?(flows_per_link = 4) ?(seconds = 1.0) ?(seed = 7)
   for i = 0 to links - 1 do
     exec ~now:0.
       { Command.target = Command.Default_link;
-        op = Command.Link_add { link = link_name i; rate = link_rate } }
+        op =
+          Command.Link_add
+            {
+              link = link_name i;
+              rate = link_rate;
+              backend =
+                (if rr_link ~links i then Config.Rr_backend
+                 else Config.Hfsc_backend);
+            } }
   done;
   (* permanent leaves: 80% of each link committed to fair shares (the
      churn classes live in the remaining 20%), every third flow also
@@ -156,12 +179,22 @@ let run ?(links = 3) ?(flows_per_link = 4) ?(seconds = 1.0) ?(seed = 7)
   let flow_id i f = (i * flows_per_link) + f + 1 in
   for i = 0 to links - 1 do
     for f = 0 to flows_per_link - 1 do
-      let rsc =
-        if f mod 3 = 0 then
-          Some
-            (Curve.Service_curve.of_requirements ~umax:1500. ~dmax:0.02
-               ~rate:(0.4 *. share))
-        else None
+      let curves, quantum =
+        if rr_link ~links i then
+          (* an rr leaf's share is its quantum, not a curve *)
+          ({ Command.rsc = None; fsc = None; usc = None }, Some 1500)
+        else
+          let rsc =
+            if f mod 3 = 0 then
+              Some
+                (Curve.Service_curve.of_requirements ~umax:1500. ~dmax:0.02
+                   ~rate:(0.4 *. share))
+            else None
+          in
+          ( { Command.rsc;
+              fsc = Some (Curve.Service_curve.linear share);
+              usc = None },
+            None )
       in
       exec ~now:0.
         { Command.target = Command.On_link (link_name i);
@@ -171,9 +204,8 @@ let run ?(links = 3) ?(flows_per_link = 4) ?(seconds = 1.0) ?(seed = 7)
                 name = Printf.sprintf "leaf%d" f;
                 parent = "root";
                 flow = Some (flow_id i f);
-                curves =
-                  { Command.rsc; fsc = Some (Curve.Service_curve.linear share);
-                    usc = None };
+                curves;
+                quantum;
                 qlimit = Some 256;
                 qbytes = None;
               } }
@@ -431,13 +463,24 @@ let crash_lines ~links ~cycle ~ops =
   in
   if cycle = 0 then
     for i = 0 to links - 1 do
-      stamp "link add %s rate 100Mbit" (link_name i)
+      if rr_link ~links i then
+        stamp "link add %s rate 100Mbit backend rr" (link_name i)
+      else stamp "link add %s rate 100Mbit" (link_name i)
     done;
   for j = 0 to ops - 1 do
-    let l = link_name (j mod links) in
+    let li = j mod links in
+    let l = link_name li in
     let cls = Printf.sprintf "c%d_%d" cycle j in
-    stamp "link %s add class %s parent root fsc 8Kbit qlimit 32" l cls;
-    if j mod 2 = 0 then stamp "link %s modify class %s fsc 16Kbit qlimit 64" l cls;
+    if rr_link ~links li then begin
+      stamp "link %s add class %s parent root quantum 2000 qlimit 32" l cls;
+      if j mod 2 = 0 then
+        stamp "link %s modify class %s quantum 4000 qlimit 64" l cls
+    end
+    else begin
+      stamp "link %s add class %s parent root fsc 8Kbit qlimit 32" l cls;
+      if j mod 2 = 0 then
+        stamp "link %s modify class %s fsc 16Kbit qlimit 64" l cls
+    end;
     if j mod 3 = 0 then stamp "link %s delete class %s" l cls
   done;
   List.rev !out

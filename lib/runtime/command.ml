@@ -24,12 +24,14 @@ type op =
       parent : string;
       flow : int option;
       curves : curve_updates;
+      quantum : int option;
       qlimit : int option;
       qbytes : int option;
     }
   | Modify_class of {
       name : string;
       curves : curve_updates;
+      quantum : int option;
       qlimit : int option;
       qbytes : int option;
     }
@@ -43,7 +45,7 @@ type op =
       lbytes : limit_val option;
       lpolicy : limit_policy option;
     }
-  | Link_add of { link : string; rate : float }
+  | Link_add of { link : string; rate : float; backend : Config.backend }
   | Link_delete of string
   | Link_list
 
@@ -71,30 +73,42 @@ let no_curves = { rsc = None; fsc = None; usc = None }
 
 (* Attribute loop shared by add/modify: [allow_flow] admits the flow
    mapping, which only makes sense at class creation; queue limits
-   (qlimit/qbytes) are live-settable and allowed in both. *)
-let rec class_attrs ~allow_flow (curves, flow, qlimit, qbytes) = function
-  | [] -> (curves, flow, qlimit, qbytes)
+   (qlimit/qbytes) are live-settable and allowed in both. [quantum] is
+   the rr-backend share (the engine rejects it on an hfsc link). *)
+let rec class_attrs ~allow_flow (curves, flow, quantum, qlimit, qbytes) =
+  function
+  | [] -> (curves, flow, quantum, qlimit, qbytes)
   | "rsc" :: rest ->
       let c, rest = curve rest in
       class_attrs ~allow_flow
-        ({ curves with rsc = Some c }, flow, qlimit, qbytes)
+        ({ curves with rsc = Some c }, flow, quantum, qlimit, qbytes)
         rest
   | "fsc" :: rest ->
       let c, rest = curve rest in
       class_attrs ~allow_flow
-        ({ curves with fsc = Some c }, flow, qlimit, qbytes)
+        ({ curves with fsc = Some c }, flow, quantum, qlimit, qbytes)
         rest
   | "ulimit" :: rest ->
       let c, rest = curve rest in
       class_attrs ~allow_flow
-        ({ curves with usc = Some c }, flow, qlimit, qbytes)
+        ({ curves with usc = Some c }, flow, quantum, qlimit, qbytes)
         rest
   | "flow" :: n :: rest when allow_flow ->
-      class_attrs ~allow_flow (curves, Some (int_tok n), qlimit, qbytes) rest
+      class_attrs ~allow_flow
+        (curves, Some (int_tok n), quantum, qlimit, qbytes)
+        rest
+  | "quantum" :: n :: rest ->
+      class_attrs ~allow_flow
+        (curves, flow, Some (int_tok n), qlimit, qbytes)
+        rest
   | "qlimit" :: n :: rest ->
-      class_attrs ~allow_flow (curves, flow, Some (int_tok n), qbytes) rest
+      class_attrs ~allow_flow
+        (curves, flow, quantum, Some (int_tok n), qbytes)
+        rest
   | "qbytes" :: n :: rest ->
-      class_attrs ~allow_flow (curves, flow, qlimit, Some (int_tok n)) rest
+      class_attrs ~allow_flow
+        (curves, flow, quantum, qlimit, Some (int_tok n))
+        rest
   | kw :: _ -> fail "unknown class attribute %S" kw
 
 let limit_tok = function
@@ -133,20 +147,20 @@ let rec filter_attrs f = function
 (* An operation with no [link ...] addressing in front of it. *)
 let parse_op_tokens = function
   | "add" :: "class" :: name :: "parent" :: parent :: rest ->
-      let curves, flow, qlimit, qbytes =
-        class_attrs ~allow_flow:true (no_curves, None, None, None) rest
+      let curves, flow, quantum, qlimit, qbytes =
+        class_attrs ~allow_flow:true (no_curves, None, None, None, None) rest
       in
-      if curves.rsc = None && curves.fsc = None then
+      if curves.rsc = None && curves.fsc = None && quantum = None then
         fail "class %S needs an rsc or an fsc" name;
-      Add_class { name; parent; flow; curves; qlimit; qbytes }
+      Add_class { name; parent; flow; curves; quantum; qlimit; qbytes }
   | "add" :: "class" :: _ -> fail "add class: expected NAME parent PARENT"
   | "modify" :: "class" :: name :: rest ->
-      let curves, _, qlimit, qbytes =
-        class_attrs ~allow_flow:false (no_curves, None, None, None) rest
+      let curves, _, quantum, qlimit, qbytes =
+        class_attrs ~allow_flow:false (no_curves, None, None, None, None) rest
       in
-      if curves = no_curves && qlimit = None && qbytes = None then
-        fail "modify class %S: nothing to change" name;
-      Modify_class { name; curves; qlimit; qbytes }
+      if curves = no_curves && quantum = None && qlimit = None && qbytes = None
+      then fail "modify class %S: nothing to change" name;
+      Modify_class { name; curves; quantum; qlimit; qbytes }
   | [ "delete"; "class"; name ] -> Delete_class name
   | "delete" :: "class" :: _ -> fail "delete class: expected exactly one NAME"
   | "attach" :: "filter" :: "flow" :: n :: rest ->
@@ -187,8 +201,24 @@ let parse_tokens = function
   | "link" :: "add" :: rest -> (
       match rest with
       | [ name; "rate"; r ] ->
-          { target = Default_link; op = Link_add { link = name; rate = rate_tok r } }
-      | _ -> fail "link add: expected NAME rate RATE")
+          {
+            target = Default_link;
+            op =
+              Link_add
+                { link = name; rate = rate_tok r; backend = Config.Hfsc_backend };
+          }
+      | [ name; "rate"; r; "backend"; b ] ->
+          let backend =
+            match b with
+            | "hfsc" -> Config.Hfsc_backend
+            | "rr" -> Config.Rr_backend
+            | other -> fail "unknown backend %S (hfsc|rr)" other
+          in
+          {
+            target = Default_link;
+            op = Link_add { link = name; rate = rate_tok r; backend };
+          }
+      | _ -> fail "link add: expected NAME rate RATE [backend hfsc|rr]")
   | "link" :: "delete" :: rest -> (
       match rest with
       | [ name ] -> { target = Default_link; op = Link_delete name }
@@ -303,15 +333,21 @@ let pp_limit_val ppf = function
   | Unlimited -> Format.pp_print_string ppf "none"
   | At n -> Format.pp_print_int ppf n
 
+let pp_quantum ppf = function
+  | Some q -> Format.fprintf ppf " quantum %d" q
+  | None -> ()
+
 let pp_op ppf = function
-  | Add_class { name; parent; flow; curves; qlimit; qbytes } ->
+  | Add_class { name; parent; flow; curves; quantum; qlimit; qbytes } ->
       Format.fprintf ppf "add class %s parent %s" name parent;
       (match flow with Some f -> Format.fprintf ppf " flow %d" f | None -> ());
       pp_curves ppf curves;
+      pp_quantum ppf quantum;
       pp_qlimits ppf (qlimit, qbytes)
-  | Modify_class { name; curves; qlimit; qbytes } ->
+  | Modify_class { name; curves; quantum; qlimit; qbytes } ->
       Format.fprintf ppf "modify class %s" name;
       pp_curves ppf curves;
+      pp_quantum ppf quantum;
       pp_qlimits ppf (qlimit, qbytes)
   | Delete_class name -> Format.fprintf ppf "delete class %s" name
   | Attach_filter f ->
@@ -348,8 +384,11 @@ let pp_op ppf = function
       | Some Policy_tail -> Format.fprintf ppf " policy tail"
       | Some Policy_longest -> Format.fprintf ppf " policy longest"
       | None -> ())
-  | Link_add { link; rate } ->
-      Format.fprintf ppf "link add %s rate %a" link pp_rate rate
+  | Link_add { link; rate; backend } ->
+      Format.fprintf ppf "link add %s rate %a" link pp_rate rate;
+      (match backend with
+      | Config.Hfsc_backend -> ()
+      | Config.Rr_backend -> Format.fprintf ppf " backend rr")
   | Link_delete name -> Format.fprintf ppf "link delete %s" name
   | Link_list -> Format.fprintf ppf "link list"
 

@@ -17,9 +17,10 @@
 
     {v
     [link NAME] add class NAME parent PARENT [flow N] [rsc CURVE]
-                          [fsc CURVE] [ulimit CURVE] [qlimit N] [qbytes N]
-    [link NAME] modify class NAME [rsc CURVE] [fsc CURVE] [ulimit CURVE]
+                          [fsc CURVE] [ulimit CURVE] [quantum N]
                           [qlimit N] [qbytes N]
+    [link NAME] modify class NAME [rsc CURVE] [fsc CURVE] [ulimit CURVE]
+                          [quantum N] [qlimit N] [qbytes N]
     [link NAME] delete class NAME
     [link NAME] attach filter flow N [src CIDR] [dst CIDR]
                           [proto tcp|udp|icmp|NUM] [sport LO HI] [dport LO HI]
@@ -28,10 +29,15 @@
     [link NAME] trace on|off|dump
     [link NAME] limit [pkts N|none] [bytes N|none] [policy tail|longest]
 
-    link add NAME rate RATE       # create a link (RATE as in config files)
+    link add NAME rate RATE [backend hfsc|rr]
+                                  # create a link (RATE as in config files)
     link delete NAME              # remove a link and its whole hierarchy
     link list                     # one line per link
     v}
+
+    A class on an [rr]-backend link takes a [quantum BYTES] share
+    instead of curves (the engine rejects curves there, and [quantum]
+    on an hfsc link); [add class] needs an rsc, an fsc or a quantum.
 
     The words [add], [delete] and [list] are reserved as the router
     verbs and therefore cannot name a link in a scoped command; pick
@@ -79,12 +85,14 @@ type op =
       parent : string;
       flow : int option;
       curves : curve_updates;
+      quantum : int option;  (** rr backend only *)
       qlimit : int option;
       qbytes : int option;
     }
   | Modify_class of {
       name : string;
       curves : curve_updates;
+      quantum : int option;  (** rr backend only *)
       qlimit : int option;
       qbytes : int option;
     }
@@ -98,8 +106,10 @@ type op =
       lbytes : limit_val option;
       lpolicy : limit_policy option;
     }
-  | Link_add of { link : string; rate : float }
-      (** [link add NAME rate RATE]; [rate] in bytes/second *)
+  | Link_add of { link : string; rate : float; backend : Config.backend }
+      (** [link add NAME rate RATE [backend hfsc|rr]]; [rate] in
+          bytes/second; the backend defaults to hfsc and is fixed for
+          the link's lifetime *)
   | Link_delete of string  (** [link delete NAME] *)
   | Link_list  (** [link list] *)
 

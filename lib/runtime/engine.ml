@@ -1,7 +1,10 @@
 module Sc = Curve.Service_curve
-module Pw = Curve.Piecewise
 
-type error_code =
+(* The typed errors live in {!Backend} now (every backend speaks the
+   same refusal language); re-exported here so existing consumers keep
+   compiling and matching. *)
+
+type error_code = Backend.error_code =
   | Parse_error
   | Unknown_class
   | Duplicate_class
@@ -18,55 +21,21 @@ type error_code =
   | Cross_link_filter
   | Link_failed
 
-type error = { code : error_code; message : string }
+type error = Backend.error = { code : error_code; message : string }
 
-let error_code e = e.code
-let error_message e = e.message
-
-let error_code_name = function
-  | Parse_error -> "parse-error"
-  | Unknown_class -> "unknown-class"
-  | Duplicate_class -> "duplicate-class"
-  | Unknown_flow -> "unknown-flow"
-  | Duplicate_flow -> "duplicate-flow"
-  | Admission_realtime -> "admission-realtime"
-  | Admission_linkshare -> "admission-linkshare"
-  | Admission_ulimit -> "admission-ulimit"
-  | Class_active -> "class-active"
-  | Structural -> "structural"
-  | Bad_value -> "bad-value"
-  | Unknown_link -> "unknown-link"
-  | Duplicate_link -> "duplicate-link"
-  | Cross_link_filter -> "cross-link-filter"
-  | Link_failed -> "link-failed"
-
-let parse_error message = { code = Parse_error; message }
-let errf code fmt = Printf.ksprintf (fun message -> Error { code; message }) fmt
-
-let contains s sub =
-  let n = String.length sub and m = String.length s in
-  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
-  n = 0 || go 0
-
-(* Classify an [Invalid_argument] raised by the scheduler: refusals
-   about live/backlogged classes are transient (retry once the class
-   drains), bad numeric arguments are the caller's fault, the rest are
-   structural (wrong place in the hierarchy). *)
-let of_invalid message =
-  let code =
-    if contains message "active" || contains message "queued" then Class_active
-    else if contains message "positive" then Bad_value
-    else Structural
-  in
-  Error { code; message }
+let error_code = Backend.error_code
+let error_message = Backend.error_message
+let error_code_name = Backend.error_code_name
+let parse_error = Backend.parse_error
+let errf = Backend.errf
 
 exception Audit_failure of string list
 
 type t = {
-  sched : Hfsc.t;
+  be : Backend.t;
   link_rate : float;
   tele : Telemetry.t;
-  flows : (int, Hfsc.cls) Hashtbl.t;
+  flows : (int, int) Hashtbl.t; (* flow id -> class id *)
   (* in match order; the spec is retained alongside the compiled rule
      so a checkpoint can re-emit the exact [attach filter] command *)
   mutable filters : (Command.filter_spec * Classify.Rules.rule) list;
@@ -75,16 +44,16 @@ type t = {
   mutable ops : int; (* ops since the last audit *)
 }
 
-let announce t cls =
-  Telemetry.ensure_class t.tele ~id:(Hfsc.id cls);
-  Telemetry.set_rsc t.tele ~id:(Hfsc.id cls) (Hfsc.rsc cls)
+let announce t id =
+  Telemetry.ensure_class t.tele ~id;
+  Telemetry.set_rsc t.tele ~id (t.be.Backend.rsc id)
 
-let create ?trace_capacity ?tracing ?(audit_every = 0) ~link_rate sched
-    ~flow_map () =
+let create_backend ?trace_capacity ?tracing ?(audit_every = 0)
+    (be : Backend.t) ~flow_map () =
   let t =
     {
-      sched;
-      link_rate;
+      be;
+      link_rate = be.Backend.link_rate;
       tele = Telemetry.create ?trace_capacity ?tracing ();
       flows = Hashtbl.create 16;
       filters = [];
@@ -93,29 +62,57 @@ let create ?trace_capacity ?tracing ?(audit_every = 0) ~link_rate sched
       ops = 0;
     }
   in
-  List.iter (announce t) (Hfsc.classes sched);
+  List.iter (announce t) (be.Backend.class_ids ());
   List.iter
-    (fun (flow, cls) ->
-      if not (Hfsc.is_leaf cls) then
+    (fun (flow, id) ->
+      if not (be.Backend.is_leaf id) then
         invalid_arg "Engine.create: flow mapped to interior class";
       if Hashtbl.mem t.flows flow then
         invalid_arg "Engine.create: duplicate flow id";
-      Hashtbl.replace t.flows flow cls)
+      Hashtbl.replace t.flows flow id)
     flow_map;
   (* every drop — refused arrival or eviction — lands in telemetry,
      charged to the queue that lost the packet *)
-  Hfsc.set_drop_hook sched (fun now cls pkt ->
-      Telemetry.ensure_class t.tele ~id:(Hfsc.id cls);
-      Telemetry.note_drop t.tele ~id:(Hfsc.id cls) ~now
-        ~size:pkt.Pkt.Packet.size ~flow:pkt.Pkt.Packet.flow
-        ~seq:pkt.Pkt.Packet.seq);
+  be.Backend.set_drop_hook (fun now id pkt ->
+      Telemetry.ensure_class t.tele ~id;
+      Telemetry.note_drop t.tele ~id ~now ~size:pkt.Pkt.Packet.size
+        ~flow:pkt.Pkt.Packet.flow ~seq:pkt.Pkt.Packet.seq);
   t
 
-let of_config ?trace_capacity ?tracing ?audit_every (cfg : Config.t) =
-  create ?trace_capacity ?tracing ?audit_every ~link_rate:cfg.Config.link_rate
-    cfg.Config.scheduler ~flow_map:cfg.Config.flow_map ()
+let create ?trace_capacity ?tracing ?audit_every ~link_rate sched ~flow_map ()
+    =
+  let be = Backend.of_hfsc ~link_rate sched in
+  let flow_map = List.map (fun (f, cls) -> (f, Hfsc.id cls)) flow_map in
+  create_backend ?trace_capacity ?tracing ?audit_every be ~flow_map ()
 
-let scheduler t = t.sched
+let create_rr ?trace_capacity ?tracing ?audit_every ~link_rate sched ~flow_map
+    () =
+  let be = Backend.of_hls ~link_rate sched in
+  let flow_map = List.map (fun (f, cls) -> (f, Sched.Hls.id cls)) flow_map in
+  create_backend ?trace_capacity ?tracing ?audit_every be ~flow_map ()
+
+let of_built ?trace_capacity ?tracing ?audit_every ~link_rate built =
+  match (built : Config.built) with
+  | Config.Built_hfsc (sched, flow_map) ->
+      create ?trace_capacity ?tracing ?audit_every ~link_rate sched ~flow_map
+        ()
+  | Config.Built_rr (sched, flow_map) ->
+      create_rr ?trace_capacity ?tracing ?audit_every ~link_rate sched
+        ~flow_map ()
+
+let of_config ?trace_capacity ?tracing ?audit_every (cfg : Config.t) =
+  let first = List.hd cfg.Config.links in
+  of_built ?trace_capacity ?tracing ?audit_every
+    ~link_rate:first.Config.lrate first.Config.lbuilt
+
+let backend t = t.be
+let backend_kind t = t.be.Backend.kind
+
+let scheduler t =
+  match t.be.Backend.raw_hfsc with
+  | Some s -> s
+  | None -> invalid_arg "Engine.scheduler: not an hfsc-backend engine"
+
 let snapshot t = Telemetry.snapshot t.tele
 let drain_trace t sink = Trace_log.Sink.drain sink t.tele
 let link_rate t = t.link_rate
@@ -136,25 +133,33 @@ let classify t h =
 
 let filter_count t = List.length t.filters
 
+(* --- generic class views (any backend) ------------------------------ *)
+
+let class_ids t = t.be.Backend.class_ids ()
+let class_name t id = t.be.Backend.cls_name id
+let class_queue_length t id = t.be.Backend.queue_length id
+let class_queue_bytes t id = t.be.Backend.queue_bytes id
+let find_class_id t name = t.be.Backend.find_id name
+let next_ready_time t ~now = t.be.Backend.next_ready ~now
+let backlog_pkts t = t.be.Backend.backlog_pkts ()
+let backlog_bytes t = t.be.Backend.backlog_bytes ()
+
 (* --- invariant auditor --------------------------------------------- *)
 
 let audit t =
   let errs = ref [] in
-  let live = Hfsc.classes t.sched in
+  let live = t.be.Backend.class_ids () in
   Hashtbl.iter
-    (fun flow cls ->
-      if not (List.memq cls live) then
-        errs :=
-          Printf.sprintf "flow %d maps to removed class %S" flow
-            (Hfsc.name cls)
-          :: !errs
-      else if not (Hfsc.is_leaf cls) then
+    (fun flow id ->
+      if not (List.mem id live) then
+        errs := Printf.sprintf "flow %d maps to removed class %d" flow id :: !errs
+      else if not (t.be.Backend.is_leaf id) then
         errs :=
           Printf.sprintf "flow %d maps to interior class %S" flow
-            (Hfsc.name cls)
+            (t.be.Backend.cls_name id)
           :: !errs)
     t.flows;
-  Hfsc.audit t.sched @ List.rev !errs
+  t.be.Backend.audit () @ List.rev !errs
 
 let maybe_audit t =
   if t.audit_every > 0 then begin
@@ -165,200 +170,58 @@ let maybe_audit t =
     end
   end
 
-(* --- admission ----------------------------------------------------- *)
-
-let pp_violation ~what (at, demand, capacity) =
-  if Float.is_finite at then
-    Printf.sprintf
-      "%s infeasible at breakpoint t=%.6gs: demand %.0f B > capacity %.0f B"
-      what at demand capacity
-  else
-    Printf.sprintf
-      "%s infeasible asymptotically: demand rate %.0f B/s > capacity %.0f B/s"
-      what demand capacity
-
-(* Sum of all leaves' rsc with [replace] swapped in for [target] (or
-   appended when [target] is None) must fit under the link curve. *)
-let check_rsc t ~target ~replace =
-  let curves =
-    List.filter_map
-      (fun c ->
-        match target with
-        | Some tc when tc == c -> replace
-        | _ -> if Hfsc.is_leaf c then Hfsc.rsc c else None)
-      (Hfsc.classes t.sched)
-  in
-  let curves =
-    match target with None -> Option.to_list replace @ curves | Some _ -> curves
-  in
-  match
-    Analysis.Admission.violating_breakpoint
-      ~capacity:(Pw.linear ~slope:t.link_rate) curves
-  with
-  | None -> Ok ()
-  | Some v ->
-      errf Admission_realtime "%s"
-        (pp_violation ~what:"real-time guarantees" v)
-
-(* Children's fsc under [parent] — with [replace] for [target], or
-   appended as a prospective new child — must fit under the parent's
-   own fsc. A parent with no fsc of its own constrains nothing. *)
-let check_fsc_under t ~parent ~target ~replace =
-  match Hfsc.fsc parent with
-  | None -> Ok ()
-  | Some pfsc -> (
-      let curves =
-        List.filter_map
-          (fun c ->
-            match target with
-            | Some tc when tc == c -> replace
-            | _ -> Hfsc.fsc c)
-          (Hfsc.children parent)
-      in
-      let curves =
-        match target with
-        | None -> Option.to_list replace @ curves
-        | Some _ -> curves
-      in
-      ignore t;
-      match
-        Analysis.Admission.violating_breakpoint
-          ~capacity:(Pw.of_service_curve pfsc) curves
-      with
-      | None -> Ok ()
-      | Some v ->
-          errf Admission_linkshare "%s"
-            (pp_violation
-               ~what:
-                 (Printf.sprintf "link-sharing under class %S"
-                    (Hfsc.name parent))
-               v))
-
-(* An upper-limit curve below the class's own rsc would let the
-   real-time criterion promise service the ulimit then forbids. *)
-let check_usc ~name ~rsc ~usc =
-  match (rsc, usc) with
-  | Some rsc, Some usc -> (
-      match Analysis.Admission.usc_violating_breakpoint ~rsc ~usc with
-      | None -> Ok ()
-      | Some v ->
-          errf Admission_ulimit "%s"
-            (pp_violation
-               ~what:
-                 (Printf.sprintf "upper limit of class %S against its rsc"
-                    name)
-               v))
-  | _ -> Ok ()
-
 (* --- command execution --------------------------------------------- *)
 
 let ( let* ) = Result.bind
 
 let find t name =
-  match Hfsc.find_class t.sched name with
-  | Some c -> Ok c
+  match t.be.Backend.find_id name with
+  | Some id -> Ok id
   | None -> errf Unknown_class "unknown class %S" name
 
-let exec_add t (a : Command.curve_updates) ~name ~parent ~flow ~qlimit ~qbytes
-    =
+let params_of (a : Command.curve_updates) quantum =
+  { Backend.rsc = a.rsc; fsc = a.fsc; usc = a.usc; quantum }
+
+let exec_add t (a : Command.curve_updates) ~name ~parent ~flow ~quantum
+    ~qlimit ~qbytes =
   let* () =
-    match Hfsc.find_class t.sched name with
+    match t.be.Backend.find_id name with
     | Some _ -> errf Duplicate_class "class %S already exists" name
     | None -> Ok ()
   in
-  let* parent_cls = find t parent in
+  let* parent_id = find t parent in
   let* () =
     match flow with
     | Some f when Hashtbl.mem t.flows f ->
         errf Duplicate_flow "flow %d is already mapped" f
     | _ -> Ok ()
   in
-  let* () =
-    match a.rsc with
-    | Some _ -> check_rsc t ~target:None ~replace:a.rsc
-    | None -> Ok ()
-  in
-  (* Hfsc.add_class defaults a missing fsc to the rsc; admission must
-     judge the same effective curve *)
-  let eff_fsc = match a.fsc with Some _ as f -> f | None -> a.rsc in
-  let* () = check_fsc_under t ~parent:parent_cls ~target:None ~replace:eff_fsc in
-  let* () = check_usc ~name ~rsc:a.rsc ~usc:a.usc in
-  let* cls =
-    try
-      Ok
-        (Hfsc.add_class t.sched ~parent:parent_cls ~name ?rsc:a.rsc ?fsc:a.fsc
-           ?usc:a.usc ?qlimit ?qlimit_bytes:qbytes ())
-    with Invalid_argument e -> of_invalid e
-  in
-  announce t cls;
-  (match flow with Some f -> Hashtbl.replace t.flows f cls | None -> ());
+  let p = params_of a quantum in
+  let* () = t.be.Backend.admit_add ~parent:parent_id ~name p in
+  let* id = t.be.Backend.add_class ~parent:parent_id ~name p ~qlimit ~qbytes in
+  announce t id;
+  (match flow with Some f -> Hashtbl.replace t.flows f id | None -> ());
   Ok
-    (Printf.sprintf "added class %S (id %d) under %S%s" name (Hfsc.id cls)
-       parent
+    (Printf.sprintf "added class %S (id %d) under %S%s" name id parent
        (match flow with
        | Some f -> Printf.sprintf ", flow %d" f
        | None -> ""))
 
-let exec_modify t (a : Command.curve_updates) ~name ~qlimit ~qbytes =
-  let* cls = find t name in
-  let* () =
-    match a.rsc with
-    | Some _ -> check_rsc t ~target:(Some cls) ~replace:a.rsc
-    | None -> Ok ()
-  in
-  let* () =
-    match (a.fsc, Hfsc.parent cls) with
-    | Some _, Some p -> check_fsc_under t ~parent:p ~target:(Some cls) ~replace:a.fsc
-    | _ -> Ok ()
-  in
-  (* an interior class's new fsc must still cover its own children *)
-  let* () =
-    match a.fsc with
-    | Some nfsc when not (Hfsc.is_leaf cls) -> (
-        match
-          Analysis.Admission.violating_breakpoint
-            ~capacity:(Pw.of_service_curve nfsc)
-            (List.filter_map Hfsc.fsc (Hfsc.children cls))
-        with
-        | None -> Ok ()
-        | Some v ->
-            errf Admission_linkshare "%s"
-              (pp_violation
-                 ~what:
-                   (Printf.sprintf "children of class %S against its new fsc"
-                      name)
-                 v))
-    | _ -> Ok ()
-  in
-  let eff_rsc = match a.rsc with Some _ as r -> r | None -> Hfsc.rsc cls in
-  let eff_usc = match a.usc with Some _ as u -> u | None -> Hfsc.usc cls in
-  let* () = check_usc ~name ~rsc:eff_rsc ~usc:eff_usc in
-  (* apply transactionally: set_curves validates part-way through its
-     mutations (e.g. the class going curveless), so roll the class back
-     to the snapshot on any refusal *)
-  let snap = Hfsc.snapshot_class cls in
-  try
-    if a.rsc <> None || a.fsc <> None || a.usc <> None then
-      Hfsc.set_curves t.sched cls ?rsc:a.rsc ?fsc:a.fsc ?usc:a.usc ();
-    (match (qlimit, qbytes) with
-    | None, None -> ()
-    | _ -> Hfsc.set_class_limits t.sched cls ?pkts:qlimit ?bytes:qbytes ());
-    (match a.rsc with
-    | Some _ -> Telemetry.set_rsc t.tele ~id:(Hfsc.id cls) (Hfsc.rsc cls)
-    | None -> ());
-    Ok (Printf.sprintf "modified class %S" name)
-  with Invalid_argument e ->
-    Hfsc.restore_class cls snap;
-    of_invalid e
+let exec_modify t (a : Command.curve_updates) ~name ~quantum ~qlimit ~qbytes =
+  let* id = find t name in
+  let p = params_of a quantum in
+  let* () = t.be.Backend.admit_modify ~id ~name p in
+  let* () = t.be.Backend.modify_class ~id p ~qlimit ~qbytes in
+  (match a.rsc with
+  | Some _ -> Telemetry.set_rsc t.tele ~id (t.be.Backend.rsc id)
+  | None -> ());
+  Ok (Printf.sprintf "modified class %S" name)
 
 let exec_delete t ~name =
-  let* cls = find t name in
-  let* () =
-    try Ok (Hfsc.remove_class t.sched cls)
-    with Invalid_argument e -> of_invalid e
-  in
+  let* id = find t name in
+  let* () = t.be.Backend.remove_class ~id in
   let dead =
-    Hashtbl.fold (fun f c acc -> if c == cls then f :: acc else acc) t.flows []
+    Hashtbl.fold (fun f c acc -> if c = id then f :: acc else acc) t.flows []
   in
   List.iter (Hashtbl.remove t.flows) dead;
   Ok
@@ -419,18 +282,17 @@ let exec_limit t ~lpkts ~lbytes ~lpolicy =
      applies atomically or not at all *)
   let* pkts = conv lpkts in
   let* bytes = conv lbytes in
-  Hfsc.set_aggregate_limit t.sched ?pkts ?bytes ();
+  t.be.Backend.set_aggregate ~pkts ~bytes;
   (match lpolicy with
-  | Some Command.Policy_tail -> Hfsc.set_drop_policy t.sched Hfsc.Tail_drop
-  | Some Command.Policy_longest ->
-      Hfsc.set_drop_policy t.sched Hfsc.Drop_longest
+  | Some Command.Policy_tail -> t.be.Backend.set_policy Hfsc.Tail_drop
+  | Some Command.Policy_longest -> t.be.Backend.set_policy Hfsc.Drop_longest
   | None -> ());
   let show n = if n = max_int then "none" else string_of_int n in
   Ok
     (Printf.sprintf "limit pkts=%s bytes=%s policy=%s"
-       (show (Hfsc.aggregate_limit_pkts t.sched))
-       (show (Hfsc.aggregate_limit_bytes t.sched))
-       (match Hfsc.drop_policy t.sched with
+       (show (t.be.Backend.aggregate_pkts ()))
+       (show (t.be.Backend.aggregate_bytes ()))
+       (match t.be.Backend.policy () with
        | Hfsc.Tail_drop -> "tail"
        | Hfsc.Drop_longest -> "longest"))
 
@@ -446,48 +308,63 @@ let curve_json = function
           ("m2", Json_lite.Num s.Sc.m2);
         ]
 
-let class_json t cls =
-  let c = Telemetry.counters t.tele ~id:(Hfsc.id cls) in
+let class_json t id =
+  let c = Telemetry.counters t.tele ~id in
+  let be = t.be in
   Json_lite.Obj
     ([
-       ("name", Json_lite.Str (Hfsc.name cls));
-       ("id", Json_lite.Num (float_of_int (Hfsc.id cls)));
+       ("name", Json_lite.Str (be.Backend.cls_name id));
+       ("id", Json_lite.Num (float_of_int id));
        ( "parent",
-         match Hfsc.parent cls with
-         | Some p -> Json_lite.Str (Hfsc.name p)
+         match be.Backend.parent_id id with
+         | Some p -> Json_lite.Str (be.Backend.cls_name p)
          | None -> Json_lite.Null );
-       ("leaf", Json_lite.Bool (Hfsc.is_leaf cls));
-       ("rsc", curve_json (Hfsc.rsc cls));
-       ("fsc", curve_json (Hfsc.fsc cls));
-       ("usc", curve_json (Hfsc.usc cls));
-       ("queue_pkts", Json_lite.Num (float_of_int (Hfsc.queue_length cls)));
-       ("queue_bytes", Json_lite.Num (float_of_int (Hfsc.queue_bytes cls)));
+       ("leaf", Json_lite.Bool (be.Backend.is_leaf id));
+       ("rsc", curve_json (be.Backend.rsc id));
+       ("fsc", curve_json (be.Backend.fsc id));
+       ("usc", curve_json (be.Backend.usc id));
      ]
+    (* the quantum field appears only on rr backends, so hfsc output
+       stays byte-identical to the pre-interface engine *)
+    @ (match be.Backend.quantum id with
+      | Some q -> [ ("quantum", Json_lite.Num (float_of_int q)) ]
+      | None -> [])
+    @ [
+        ("queue_pkts", Json_lite.Num (float_of_int (be.Backend.queue_length id)));
+        ("queue_bytes", Json_lite.Num (float_of_int (be.Backend.queue_bytes id)));
+      ]
     @ Telemetry.counters_fields c)
 
 let stats_json t =
   Json_lite.Obj
-    [
-      ("schema", Json_lite.Str "hfsc-runtime-stats/1");
-      ("link_rate_Bps", Json_lite.Num t.link_rate);
-      ( "classes",
-        Json_lite.List (List.map (class_json t) (Hfsc.classes t.sched)) );
-      ( "trace",
-        Json_lite.Obj
-          [
-            ( "capacity",
-              Json_lite.Num (float_of_int (Telemetry.trace_capacity t.tele)) );
-            ( "recorded",
-              Json_lite.Num (float_of_int (Telemetry.recorded_total t.tele)) );
-            ( "dropped_events",
-              Json_lite.Num (float_of_int (Telemetry.dropped_events t.tele)) );
-          ] );
-    ]
+    ([ ("schema", Json_lite.Str "hfsc-runtime-stats/1") ]
+    @ (match t.be.Backend.kind with
+      | Backend.Hfsc_kind -> []
+      | Backend.Rr_kind -> [ ("backend", Json_lite.Str "rr") ])
+    @ [
+        ("link_rate_Bps", Json_lite.Num t.link_rate);
+        ( "classes",
+          Json_lite.List (List.map (class_json t) (t.be.Backend.class_ids ()))
+        );
+        ( "trace",
+          Json_lite.Obj
+            [
+              ( "capacity",
+                Json_lite.Num (float_of_int (Telemetry.trace_capacity t.tele))
+              );
+              ( "recorded",
+                Json_lite.Num (float_of_int (Telemetry.recorded_total t.tele))
+              );
+              ( "dropped_events",
+                Json_lite.Num (float_of_int (Telemetry.dropped_events t.tele))
+              );
+            ] );
+      ])
 
-let class_line b cls c =
+let class_line b t id c =
   Printf.bprintf b
     "%-12s %5d/%-10d rt %7d/%-11d ls %7d/%-11d drop %-5d miss %-5d hiw %d/%d\n"
-    (Hfsc.name cls) c.Telemetry.enq_pkts c.Telemetry.enq_bytes
+    (t.be.Backend.cls_name id) c.Telemetry.enq_pkts c.Telemetry.enq_bytes
     c.Telemetry.rt_pkts c.Telemetry.rt_bytes c.Telemetry.ls_pkts
     c.Telemetry.ls_bytes c.Telemetry.drop_pkts c.Telemetry.deadline_misses
     c.Telemetry.hiwater_pkts c.Telemetry.hiwater_bytes
@@ -511,13 +388,13 @@ let stats_text t ?cls () =
     "ls p/B" "drops" "misses" "hiwater p/B";
   match cls with
   | Some name ->
-      let* c = find t name in
-      class_line b c (Telemetry.counters t.tele ~id:(Hfsc.id c));
+      let* id = find t name in
+      class_line b t id (Telemetry.counters t.tele ~id);
       Ok (Buffer.contents b)
   | None ->
       List.iter
-        (fun c -> class_line b c (Telemetry.counters t.tele ~id:(Hfsc.id c)))
-        (Hfsc.classes t.sched);
+        (fun id -> class_line b t id (Telemetry.counters t.tele ~id))
+        (t.be.Backend.class_ids ());
       trace_line b t;
       Ok (Buffer.contents b)
 
@@ -527,10 +404,10 @@ let exec_op t ~now op =
   ignore now;
   let r =
     match (op : Command.op) with
-    | Add_class { name; parent; flow; curves; qlimit; qbytes } ->
-        exec_add t curves ~name ~parent ~flow ~qlimit ~qbytes
-    | Modify_class { name; curves; qlimit; qbytes } ->
-        exec_modify t curves ~name ~qlimit ~qbytes
+    | Add_class { name; parent; flow; curves; quantum; qlimit; qbytes } ->
+        exec_add t curves ~name ~parent ~flow ~quantum ~qlimit ~qbytes
+    | Modify_class { name; curves; quantum; qlimit; qbytes } ->
+        exec_modify t curves ~name ~quantum ~qlimit ~qbytes
     | Delete_class name -> exec_delete t ~name
     | Attach_filter f -> exec_attach t f
     | Detach_filter flow -> exec_detach t flow
@@ -575,62 +452,67 @@ let exec_script ?(lenient = false) t cmds =
 
 (* --- checkpoint & config fingerprint ------------------------------- *)
 
-(* Smallest flow id mapped to [cls], if any. A class grown through the
+(* Smallest flow id mapped to [id], if any. A class grown through the
    command grammar has at most one flow; config-built multi-flow classes
    lose the extras in a checkpoint, which {!config_fingerprint} (hashing
    the full map) makes visible rather than silent. *)
-let flow_for t cls =
+let flow_for t id =
   Hashtbl.fold
     (fun f c acc ->
-      if c != cls then acc
+      if c <> id then acc
       else match acc with Some g when g < f -> acc | _ -> Some f)
     t.flows None
 
-(* Replaying these ops into a fresh engine over the same link rate
-   rebuilds the control plane exactly: classes in creation order
-   (parents always precede children), both rsc and fsc emitted
-   explicitly (neutralising add_class's fsc-defaults-to-rsc), leaf
-   queue limits always spelled out, the aggregate limit and policy
-   re-asserted, filters re-attached in match order. Dynamic scheduler
-   state (virtual times, backlog, telemetry) is deliberately absent —
-   recovery does not resurrect in-flight packets. *)
+(* Replaying these ops into a fresh engine over the same link rate and
+   backend rebuilds the control plane exactly: classes in creation
+   order (parents always precede children), both rsc and fsc emitted
+   explicitly (neutralising add_class's fsc-defaults-to-rsc) — or the
+   quantum on an rr backend — leaf queue limits always spelled out,
+   the aggregate limit and policy re-asserted, filters re-attached in
+   match order. Dynamic scheduler state (virtual times, deficits,
+   backlog, telemetry) is deliberately absent — recovery does not
+   resurrect in-flight packets. *)
 let checkpoint_ops t =
+  let be = t.be in
   let class_ops =
     List.filter_map
-      (fun cls ->
-        match Hfsc.parent cls with
+      (fun id ->
+        match be.Backend.parent_id id with
         | None -> None (* the root comes with the link *)
         | Some parent ->
-            let leaf = Hfsc.is_leaf cls in
+            let leaf = be.Backend.is_leaf id in
             Some
               (Command.Add_class
                  {
-                   name = Hfsc.name cls;
-                   parent = Hfsc.name parent;
-                   flow = (if leaf then flow_for t cls else None);
+                   name = be.Backend.cls_name id;
+                   parent = be.Backend.cls_name parent;
+                   flow = (if leaf then flow_for t id else None);
                    curves =
                      {
-                       Command.rsc = Hfsc.rsc cls;
-                       fsc = Hfsc.fsc cls;
-                       usc = Hfsc.usc cls;
+                       Command.rsc = be.Backend.rsc id;
+                       fsc = be.Backend.fsc id;
+                       usc = be.Backend.usc id;
                      };
-                   qlimit = (if leaf then Some (Hfsc.queue_limit_pkts cls) else None);
+                   quantum = be.Backend.quantum id;
+                   qlimit =
+                     (if leaf then Some (be.Backend.queue_limit_pkts id)
+                      else None);
                    qbytes =
-                     (if leaf && Hfsc.queue_limit_bytes cls < max_int then
-                        Some (Hfsc.queue_limit_bytes cls)
+                     (if leaf && be.Backend.queue_limit_bytes id < max_int
+                      then Some (be.Backend.queue_limit_bytes id)
                       else None);
                  }))
-      (Hfsc.classes t.sched)
+      (be.Backend.class_ids ())
   in
   let lim n = if n = max_int then Command.Unlimited else Command.At n in
   let limit_op =
     Command.Set_limit
       {
-        lpkts = Some (lim (Hfsc.aggregate_limit_pkts t.sched));
-        lbytes = Some (lim (Hfsc.aggregate_limit_bytes t.sched));
+        lpkts = Some (lim (be.Backend.aggregate_pkts ()));
+        lbytes = Some (lim (be.Backend.aggregate_bytes ()));
         lpolicy =
           Some
-            (match Hfsc.drop_policy t.sched with
+            (match be.Backend.policy () with
             | Hfsc.Tail_drop -> Command.Policy_tail
             | Hfsc.Drop_longest -> Command.Policy_longest);
       }
@@ -644,38 +526,51 @@ let checkpoint_ops t =
    checkpoint persists and nothing it doesn't. Must NOT fold in
    virtual times, backlog or telemetry: recovery drops in-flight
    packets by design, and "recovered state == replay oracle" is
-   judged by this digest. Floats are rendered with %h (exact). *)
+   judged by this digest. Floats are rendered with %h (exact). The
+   hfsc text is byte-identical to the pre-interface engine; rr links
+   stamp their backend on the rate line and a quantum per class. *)
 let config_fingerprint t =
+  let be = t.be in
   let b = Buffer.create 512 in
   let pf fmt = Printf.bprintf b fmt in
-  pf "rate %h\n" t.link_rate;
+  (match be.Backend.kind with
+  | Backend.Hfsc_kind -> pf "rate %h\n" t.link_rate
+  | Backend.Rr_kind -> pf "rate %h backend rr\n" t.link_rate);
   List.iter
-    (fun cls ->
-      pf "class %S parent %s leaf %b" (Hfsc.name cls)
-        (match Hfsc.parent cls with
-        | Some p -> Printf.sprintf "%S" (Hfsc.name p)
+    (fun id ->
+      pf "class %S parent %s leaf %b" (be.Backend.cls_name id)
+        (match be.Backend.parent_id id with
+        | Some p -> Printf.sprintf "%S" (be.Backend.cls_name p)
         | None -> "-")
-        (Hfsc.is_leaf cls);
-      let curve tag = function
-        | None -> pf " %s -" tag
-        | Some (s : Sc.t) -> pf " %s %h/%h/%h" tag s.Sc.m1 s.Sc.d s.Sc.m2
-      in
-      curve "rsc" (Hfsc.rsc cls);
-      curve "fsc" (Hfsc.fsc cls);
-      curve "usc" (Hfsc.usc cls);
-      if Hfsc.is_leaf cls then
-        pf " qlimit %d qbytes %d" (Hfsc.queue_limit_pkts cls)
-          (Hfsc.queue_limit_bytes cls);
+        (be.Backend.is_leaf id);
+      (match be.Backend.kind with
+      | Backend.Hfsc_kind ->
+          let curve tag = function
+            | None -> pf " %s -" tag
+            | Some (s : Sc.t) -> pf " %s %h/%h/%h" tag s.Sc.m1 s.Sc.d s.Sc.m2
+          in
+          curve "rsc" (be.Backend.rsc id);
+          curve "fsc" (be.Backend.fsc id);
+          curve "usc" (be.Backend.usc id)
+      | Backend.Rr_kind -> (
+          match be.Backend.quantum id with
+          | Some q -> pf " quantum %d" q
+          | None -> ()));
+      if be.Backend.is_leaf id then
+        pf " qlimit %d qbytes %d"
+          (be.Backend.queue_limit_pkts id)
+          (be.Backend.queue_limit_bytes id);
       pf "\n")
-    (Hfsc.classes t.sched);
+    (be.Backend.class_ids ());
   pf "agg %d %d %s\n"
-    (Hfsc.aggregate_limit_pkts t.sched)
-    (Hfsc.aggregate_limit_bytes t.sched)
-    (match Hfsc.drop_policy t.sched with
+    (be.Backend.aggregate_pkts ())
+    (be.Backend.aggregate_bytes ())
+    (match be.Backend.policy () with
     | Hfsc.Tail_drop -> "tail"
     | Hfsc.Drop_longest -> "longest");
   List.iter
-    (fun f -> pf "flow %d -> %S\n" f (Hfsc.name (Hashtbl.find t.flows f)))
+    (fun f ->
+      pf "flow %d -> %S\n" f (be.Backend.cls_name (Hashtbl.find t.flows f)))
     (flows t);
   List.iter
     (fun (f, _) ->
@@ -687,15 +582,15 @@ let config_fingerprint t =
 
 (* --- the data path -------------------------------------------------- *)
 
-let enqueue t ~now cls pkt =
-  let admitted = Hfsc.enqueue t.sched ~now cls pkt in
+let enqueue t ~now id pkt =
+  let admitted = t.be.Backend.enqueue ~now id pkt in
   (* drops (refusals and evictions alike) reach telemetry through the
      scheduler's drop hook, charged to the queue that lost the packet *)
   if admitted then
-    Telemetry.note_enqueue t.tele ~id:(Hfsc.id cls) ~now
-      ~size:pkt.Pkt.Packet.size ~flow:pkt.Pkt.Packet.flow
-      ~seq:pkt.Pkt.Packet.seq ~qlen:(Hfsc.queue_length cls)
-      ~qbytes:(Hfsc.queue_bytes cls);
+    Telemetry.note_enqueue t.tele ~id ~now ~size:pkt.Pkt.Packet.size
+      ~flow:pkt.Pkt.Packet.flow ~seq:pkt.Pkt.Packet.seq
+      ~qlen:(t.be.Backend.queue_length id)
+      ~qbytes:(t.be.Backend.queue_bytes id);
   maybe_audit t;
   admitted
 
@@ -703,20 +598,24 @@ let enqueue t ~now cls pkt =
    flow lookup must not allocate an option *)
 let enqueue_flow t ~now pkt =
   match Hashtbl.find t.flows pkt.Pkt.Packet.flow with
-  | cls -> enqueue t ~now cls pkt
+  | id -> enqueue t ~now id pkt
   | exception Not_found -> false
 
 let dequeue t ~now =
-  let r = Hfsc.dequeue t.sched ~now in
-  (match r with
-  | Some (pkt, cls, crit) ->
-      Telemetry.note_dequeue t.tele ~id:(Hfsc.id cls) ~now
-        ~size:pkt.Pkt.Packet.size ~flow:pkt.Pkt.Packet.flow
-        ~seq:pkt.Pkt.Packet.seq ~arrival:pkt.Pkt.Packet.arrival
-        ~realtime:(match crit with Hfsc.Realtime -> true | Hfsc.Linkshare -> false)
-  | None -> ());
-  maybe_audit t;
-  r
+  if t.be.Backend.dequeue ~now then begin
+    let o = t.be.Backend.out in
+    let pkt = o.Backend.o_pkt and id = o.Backend.o_id in
+    let rt = o.Backend.o_rt in
+    Telemetry.note_dequeue t.tele ~id ~now ~size:pkt.Pkt.Packet.size
+      ~flow:pkt.Pkt.Packet.flow ~seq:pkt.Pkt.Packet.seq
+      ~arrival:pkt.Pkt.Packet.arrival ~realtime:rt;
+    maybe_audit t;
+    Some (pkt, id, if rt then Hfsc.Realtime else Hfsc.Linkshare)
+  end
+  else begin
+    maybe_audit t;
+    None
+  end
 
 (* The enqueue side stays a plain loop over the single-packet path:
    admission is a per-packet outcome (telemetry needs to know which
@@ -731,62 +630,59 @@ let enqueue_flow_batch t ~now pkts =
   done;
   !accepted
 
+let make_batch ?capacity () = Backend.batch ?capacity ()
+
 let dequeue_batch t ~now b =
-  let n = Hfsc.dequeue_batch t.sched ~now b in
+  let n = t.be.Backend.deq_fill ~now b in
   for i = 0 to n - 1 do
-    let pkt = Hfsc.batch_pkt b i in
-    let cls = Hfsc.batch_cls b i in
-    Telemetry.note_dequeue t.tele ~id:(Hfsc.id cls) ~now
+    let pkt = Backend.batch_pkt b i in
+    Telemetry.note_dequeue t.tele ~id:(Backend.batch_id b i) ~now
       ~size:pkt.Pkt.Packet.size ~flow:pkt.Pkt.Packet.flow
       ~seq:pkt.Pkt.Packet.seq ~arrival:pkt.Pkt.Packet.arrival
-      ~realtime:
-        (match Hfsc.batch_crit b i with
-        | Hfsc.Realtime -> true
-        | Hfsc.Linkshare -> false)
+      ~realtime:(Backend.batch_realtime b i)
   done;
   maybe_audit t;
   n
 
-let adapter t =
+let to_scheduler t =
   (* native batched poll for transmit-ring fills: one audit tick and
      one clock conversion per burst. The batch is reused across calls
      and only reallocated when the requested burst size changes. *)
-  let cache = ref (Hfsc.batch ~capacity:1 ()) in
+  let cache = ref (Backend.batch ~capacity:1 ()) in
   let dequeue_many ~now ~max =
     if max <= 0 then []
     else begin
-      if Hfsc.batch_capacity !cache <> max then
-        cache := Hfsc.batch ~capacity:max ();
+      if Backend.batch_capacity !cache <> max then
+        cache := Backend.batch ~capacity:max ();
       let b = !cache in
       let n = dequeue_batch t ~now b in
       List.init n (fun i ->
           {
-            Sched.Scheduler.pkt = Hfsc.batch_pkt b i;
-            cls = Hfsc.name (Hfsc.batch_cls b i);
-            criterion =
-              (match Hfsc.batch_crit b i with
-              | Hfsc.Realtime -> "rt"
-              | Hfsc.Linkshare -> "ls");
+            Sched.Scheduler.pkt = Backend.batch_pkt b i;
+            cls = t.be.Backend.cls_name (Backend.batch_id b i);
+            criterion = (if Backend.batch_realtime b i then "rt" else "ls");
           })
     end
   in
   {
-    Sched.Scheduler.name = "hfsc-runtime";
+    Sched.Scheduler.name = Backend.kind_name t.be.Backend.kind ^ "-runtime";
     enqueue = (fun ~now p -> enqueue_flow t ~now p);
     dequeue_many = Some dequeue_many;
     dequeue =
       (fun ~now ->
         match dequeue t ~now with
         | None -> None
-        | Some (pkt, cls, crit) ->
+        | Some (pkt, id, crit) ->
             Some
               {
                 Sched.Scheduler.pkt;
-                cls = Hfsc.name cls;
+                cls = t.be.Backend.cls_name id;
                 criterion =
                   (match crit with Hfsc.Realtime -> "rt" | Linkshare -> "ls");
               });
-    next_ready = (fun ~now -> Hfsc.next_ready_time t.sched ~now);
-    backlog_pkts = (fun () -> Hfsc.backlog_pkts t.sched);
-    backlog_bytes = (fun () -> Hfsc.backlog_bytes t.sched);
+    next_ready = (fun ~now -> t.be.Backend.next_ready ~now);
+    backlog_pkts = (fun () -> t.be.Backend.backlog_pkts ());
+    backlog_bytes = (fun () -> t.be.Backend.backlog_bytes ());
   }
+
+let adapter = to_scheduler

@@ -1,10 +1,19 @@
 (** The control-plane engine: executes {!Command}s against a {e live}
-    {!Hfsc.t} — one that may hold backlog while the hierarchy changes —
-    with admission control in front and {!Telemetry} behind.
+    scheduler backend — one that may hold backlog while the hierarchy
+    changes — with admission control in front and {!Telemetry} behind.
 
-    {b Admission rule} (the fluid-flow SCED feasibility condition,
-    Section II, applied at every two-piece breakpoint): a command that
-    adds or changes curves is rejected unless
+    The engine is written against {!Backend.t}, the record-of-operations
+    interface every per-link scheduler implements. The default backend
+    is the paper's H-FSC ({!Backend.of_hfsc}); the scale tier is the
+    O(1) hierarchical round-robin ({!Backend.of_hls}). Everything below
+    — command execution, telemetry, checkpointing, the data path — is
+    backend-agnostic, and classes are addressed by the backend's dense
+    [int] ids rather than by scheduler-specific class values.
+
+    {b Admission rule} (per backend, checked before every add/modify).
+    For H-FSC, the fluid-flow SCED feasibility condition (Section II,
+    applied at every two-piece breakpoint): a command that adds or
+    changes curves is rejected unless
 
     - the real-time curves of all leaves (with the change applied) sum
       to at most the link's service curve [R·t], and
@@ -17,37 +26,46 @@
     limits: a class's ulimit curve must dominate its own rsc, else the
     real-time criterion would promise service the ulimit forbids.
 
+    For round-robin, the analogue is O(1) arithmetic: a quantum must be
+    positive and at most {!Sched.Hls.max_quantum}, and the quanta of
+    the children under any one parent must sum to at most
+    {!Sched.Hls.max_round_bytes}.
+
     Commands that would violate the scheduler's structural invariants
     (modifying an active class, deleting a backlogged one) are rejected
     with the scheduler's own reason. {b Every command is transactional}:
     it either applies in full or leaves the scheduler bit-identical to
-    before — partial [set_curves] failures are rolled back from a
-    snapshot.
+    before — partial failures are rolled back from a snapshot.
 
     {b Domain ownership.} An [Engine.t] — and everything reachable from
-    it: the {!Hfsc.t}, its intrusive ED/VT trees, the flow map, the
-    filter list, the telemetry counters and trace ring — carries no
-    internal synchronisation and must be confined to one domain at a
-    time. The sequential {!Router} keeps every engine on the caller's
-    domain; {!Mc_router} transfers each engine to its worker domain at
-    attach (before any operation runs) and back to the caller at
-    {!Mc_router.stop}, with every intervening access made {e by} the
-    owning worker on behalf of ring messages. The only values designed
-    to cross domains are immutable results: {!Telemetry.snapshot},
-    response strings, and {!error}. *)
+    it: the backend's scheduler, its intrusive trees or rings, the flow
+    map, the filter list, the telemetry counters and trace ring —
+    carries no internal synchronisation and must be confined to one
+    domain at a time. The sequential {!Router} keeps every engine on
+    the caller's domain; {!Mc_router} transfers each engine to its
+    worker domain at attach (before any operation runs) and back to the
+    caller at {!Mc_router.stop}, with every intervening access made
+    {e by} the owning worker on behalf of ring messages. The only
+    values designed to cross domains are immutable results:
+    {!Telemetry.snapshot}, response strings, and {!error}. *)
 
 type t
 
 (** Rejections are typed so scripts and tests can distinguish operator
-    error from admission pressure from structural refusals. *)
-type error_code =
+    error from admission pressure from structural refusals. The type
+    lives in {!Backend} (it is shared by every backend) and is
+    re-exported here by equation, so matching through either module
+    works. *)
+type error_code = Backend.error_code =
   | Parse_error  (** the line never reached the engine *)
   | Unknown_class
   | Duplicate_class
   | Unknown_flow
   | Duplicate_flow
   | Admission_realtime  (** leaves' rsc sum exceeds the link *)
-  | Admission_linkshare  (** children's fsc sum exceeds the parent *)
+  | Admission_linkshare
+      (** children's fsc sum exceeds the parent (hfsc), or children's
+          quanta overflow the per-round bound (rr) *)
   | Admission_ulimit  (** a class's ulimit dips below its rsc *)
   | Class_active  (** refused because the class holds state right now *)
   | Structural  (** wrong place in the hierarchy (root, interior, ...) *)
@@ -61,7 +79,7 @@ type error_code =
           and refuses commands while the rest of the router keeps
           serving (see {!Mc_router}) *)
 
-type error = { code : error_code; message : string }
+type error = Backend.error = { code : error_code; message : string }
 
 val error_code : error -> error_code
 val error_message : error -> string
@@ -71,6 +89,8 @@ val error_code_name : error_code -> string
 
 val parse_error : string -> error
 (** Wrap a {!Command.parse} failure in the same error type. *)
+
+val errf : error_code -> ('a, unit, string, ('b, error) result) format4 -> 'a
 
 exception Audit_failure of string list
 (** Raised by the periodic debug audit (see [audit_every]) — each
@@ -85,19 +105,56 @@ val create :
   flow_map:(int * Hfsc.cls) list ->
   unit ->
   t
-(** Wrap an existing scheduler. [link_rate] is in bytes/second (the
-    admission capacity); [flow_map] seeds the flow-to-leaf routing that
-    [add class ... flow N] extends at runtime. [audit_every n] (with
-    [n > 0]) runs {!audit} after every [n]-th operation — command,
-    enqueue or dequeue — raising {!Audit_failure} on the first
+(** Wrap an existing H-FSC scheduler. [link_rate] is in bytes/second
+    (the admission capacity); [flow_map] seeds the flow-to-leaf routing
+    that [add class ... flow N] extends at runtime. [audit_every n]
+    (with [n > 0]) runs {!audit} after every [n]-th operation —
+    command, enqueue or dequeue — raising {!Audit_failure} on the first
     violation; the default [0] disables it and costs one branch per
     operation. Installs the scheduler's drop hook, so every drop is
     counted in {!Telemetry} against the class that lost the packet. *)
 
+val create_rr :
+  ?trace_capacity:int ->
+  ?tracing:bool ->
+  ?audit_every:int ->
+  link_rate:float ->
+  Sched.Hls.t ->
+  flow_map:(int * Sched.Hls.cls) list ->
+  unit ->
+  t
+(** {!create} for the round-robin backend. *)
+
+val create_backend :
+  ?trace_capacity:int ->
+  ?tracing:bool ->
+  ?audit_every:int ->
+  Backend.t ->
+  flow_map:(int * int) list ->
+  unit ->
+  t
+(** The general form both of the above reduce to: wrap any backend,
+    with the flow map given in dense class ids. *)
+
+val of_built :
+  ?trace_capacity:int ->
+  ?tracing:bool ->
+  ?audit_every:int ->
+  link_rate:float ->
+  Config.built ->
+  t
+(** Wrap one parsed link's scheduler, whichever backend it runs. *)
+
 val of_config :
   ?trace_capacity:int -> ?tracing:bool -> ?audit_every:int -> Config.t -> t
+(** {!of_built} on the config's first link. *)
+
+val backend : t -> Backend.t
+val backend_kind : t -> Backend.kind
 
 val scheduler : t -> Hfsc.t
+(** The wrapped {!Hfsc.t} — the escape hatch for hfsc-only consumers.
+    @raise Invalid_argument on a non-hfsc backend. *)
 
 val snapshot : t -> Telemetry.snapshot
 (** An immutable copy of everything telemetry knows right now —
@@ -115,8 +172,8 @@ val drain_trace : t -> Trace_log.Sink.t -> int
 val link_rate : t -> float
 (** The admission capacity this engine was created with (bytes/s). *)
 
-val flow_class : t -> int -> Hfsc.cls option
-(** Current leaf for a flow id (changes as commands run). *)
+val flow_class : t -> int -> int option
+(** Current leaf class id for a flow id (changes as commands run). *)
 
 val flows : t -> int list
 (** All currently mapped flow ids, ascending. *)
@@ -128,28 +185,45 @@ val rules : t -> Classify.Rules.t
 val has_filter : t -> int -> bool
 (** Whether any attached filter targets flow [flow]. *)
 
-val classify : t -> Pkt.Header.t -> Hfsc.cls option
+val classify : t -> Pkt.Header.t -> int option
 (** Route a header through the attached filters (first match wins) to
-    its leaf class; [None] if no filter matches or the matched flow is
-    unmapped. *)
+    its leaf class id; [None] if no filter matches or the matched flow
+    is unmapped. *)
 
 val filter_count : t -> int
 
+(** {2 Class views} — generic over the backend, by dense class id. *)
+
+val class_ids : t -> int list
+(** Creation order, root first. *)
+
+val class_name : t -> int -> string
+val class_queue_length : t -> int -> int
+val class_queue_bytes : t -> int -> int
+val find_class_id : t -> string -> int option
+val next_ready_time : t -> now:float -> float option
+val backlog_pkts : t -> int
+val backlog_bytes : t -> int
+
 val checkpoint_ops : t -> Command.op list
 (** The control plane as a replayable script: executing these ops, in
-    order, against a fresh engine with the same link rate rebuilds the
-    hierarchy, curves, queue limits, flow map, aggregate limit/policy
-    and filters exactly. Classes come in creation order (parents before
-    children) with rsc {e and} fsc spelled out (so [add_class]'s
-    fsc-defaults-to-rsc cannot skew a replay), leaves always carry
-    their [qlimit]; one [Set_limit] re-asserts the aggregate bound;
-    filters re-attach in match order. Dynamic state — backlog, virtual
-    times, telemetry, trace ring — is deliberately not captured: a
-    checkpoint restores configuration, not packets in flight. *)
+    order, against a fresh engine with the same link rate and backend
+    rebuilds the hierarchy, curves or quanta, queue limits, flow map,
+    aggregate limit/policy and filters exactly. Classes come in
+    creation order (parents before children); on an hfsc backend rsc
+    {e and} fsc are spelled out (so [add_class]'s fsc-defaults-to-rsc
+    cannot skew a replay) while an rr backend emits each class's
+    quantum; leaves always carry their [qlimit]; one [Set_limit]
+    re-asserts the aggregate bound; filters re-attach in match order.
+    Dynamic state — backlog, virtual times, deficits, telemetry, trace
+    ring — is deliberately not captured: a checkpoint restores
+    configuration, not packets in flight. *)
 
 val config_fingerprint : t -> string
 (** Hex digest of exactly the state {!checkpoint_ops} captures (floats
-    rendered exactly). Two engines agree on this digest iff their
+    rendered exactly; an rr backend stamps its kind and quanta into the
+    digested text, an hfsc backend's text is unchanged from the
+    pre-interface engine). Two engines agree on this digest iff their
     control planes are identical; it deliberately excludes virtual
     times, backlog and telemetry so a recovered engine can be compared
     against a replay oracle even though neither holds the pre-crash
@@ -185,24 +259,27 @@ val exec_script :
     instead. *)
 
 val audit : t -> string list
-(** {!Hfsc.audit} on the wrapped scheduler plus the engine's own
+(** The backend's own audit (e.g. {!Hfsc.audit}) plus the engine's
     invariants (every mapped flow points at a live leaf). Empty means
     healthy. *)
 
-(** {2 The data path} — thin allocation-free wrappers over {!Hfsc}
+(** {2 The data path} — thin allocation-free wrappers over the backend
     that keep telemetry. *)
 
-val enqueue : t -> now:float -> Hfsc.cls -> Pkt.Packet.t -> bool
+val enqueue : t -> now:float -> int -> Pkt.Packet.t -> bool
+(** Enqueue to a leaf by class id; [false] when refused (counted as a
+    drop against that class). *)
+
 val enqueue_flow : t -> now:float -> Pkt.Packet.t -> bool
 (** Route by the packet's flow id; [false] if the flow is unmapped or
     the class queue is full (counted as a drop when mapped). *)
 
-val dequeue :
-  t -> now:float -> (Pkt.Packet.t * Hfsc.cls * Hfsc.criterion) option
-(** Exactly {!Hfsc.dequeue} (the returned value is the scheduler's own,
-    not a copy) plus counter and trace updates — zero additional
-    allocation; the bench's telemetry-overhead comparison measures this
-    function against the bare scheduler. *)
+val dequeue : t -> now:float -> (Pkt.Packet.t * int * Hfsc.criterion) option
+(** Exactly the backend's dequeue (the returned packet is the
+    scheduler's own, not a copy) plus counter and trace updates — the
+    returned class is its dense id; an rr backend always reports
+    {!Hfsc.Linkshare}. The bench's telemetry-overhead comparison
+    measures this function against the bare scheduler. *)
 
 val enqueue_flow_batch : t -> now:float -> Pkt.Packet.t array -> int
 (** Route and enqueue each packet in order, exactly as repeated
@@ -210,22 +287,33 @@ val enqueue_flow_batch : t -> now:float -> Pkt.Packet.t array -> int
     outcomes, so there is nothing to amortize); returns how many were
     accepted. *)
 
-val dequeue_batch : t -> now:float -> Hfsc.batch -> int
-(** The native batched poll: {!Hfsc.dequeue_batch} — bit-identical in
-    scheduling outcome to that many single {!dequeue} calls — plus
+val make_batch : ?capacity:int -> unit -> Backend.batch
+(** A reusable result ring for {!dequeue_batch} (capacity defaults
+    to 64). *)
+
+val dequeue_batch : t -> now:float -> Backend.batch -> int
+(** The native batched poll: the backend's [deq_fill] — bit-identical
+    in scheduling outcome to that many single {!dequeue} calls — plus
     per-packet telemetry, at the cost of one time conversion and one
     periodic-audit tick for the whole batch. Returns the fill count. *)
 
+val to_scheduler : t -> Sched.Scheduler.t
+(** Package the engine for {!Netsim.Sim} — the one scheduler adapter
+    over the backend interface, replacing the per-scheduler ad-hoc
+    wrappers. Batched polls go through the backend's native
+    [deq_fill]. *)
+
 val adapter : t -> Sched.Scheduler.t
-(** Package the engine for {!Netsim.Sim}, replacing
-    [Netsim.Adapters.of_hfsc] when telemetry is wanted. *)
+(** Alias of {!to_scheduler} (the historical name). *)
 
 (** {2 Exporters} *)
 
 val stats_json : t -> Json_lite.t
 (** Schema [hfsc-runtime-stats/1]: link rate, one record per class
-    (identity, curves, queue depth, all telemetry counters), and the
-    trace ring's occupancy. *)
+    (identity, curves — plus the quantum, and a top-level
+    ["backend": "rr"] marker, on a round-robin backend — queue depth,
+    all telemetry counters), and the trace ring's occupancy. The hfsc
+    output is unchanged from the pre-interface engine. *)
 
 val stats_text : t -> ?cls:string -> unit -> (string, error) result
 (** The [stats] command body: a table over all classes, or one class's

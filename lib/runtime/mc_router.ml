@@ -119,6 +119,7 @@ let dummy_deq =
 type port = {
   p_name : string;
   p_rate : float; (* remembered so a downed link can still report it *)
+  p_backend : Config.backend; (* likewise *)
   p_eng : Engine.t; (* worker-owned between attach and stop *)
   p_in : msg Ring.t;
   p_out : deq Ring.t;
@@ -189,25 +190,25 @@ let serve_query eng q =
   | Q_flows -> R_flows (Engine.flows eng)
   | Q_rules -> R_rules (Engine.rules eng)
   | Q_info ->
-      let sched = Engine.scheduler eng in
       R_info
         {
           Router_core.i_rate = Engine.link_rate eng;
-          i_classes = List.length (Hfsc.classes sched);
+          i_backend =
+            (match Engine.backend_kind eng with
+            | Backend.Hfsc_kind -> Config.Hfsc_backend
+            | Backend.Rr_kind -> Config.Rr_backend);
+          i_classes = List.length (Engine.class_ids eng);
           i_flows = List.length (Engine.flows eng);
-          i_backlog_pkts = Hfsc.backlog_pkts sched;
-          i_backlog_bytes = Hfsc.backlog_bytes sched;
+          i_backlog_pkts = Engine.backlog_pkts eng;
+          i_backlog_bytes = Engine.backlog_bytes eng;
         }
   | Q_audit -> R_strings (Engine.audit eng)
   | Q_snapshot -> R_snapshot (Engine.snapshot eng)
   | Q_stats_text -> R_exec (Engine.stats_text eng ())
   | Q_stats_json -> R_json (Engine.stats_json eng)
   | Q_has_filter f -> R_bool (Engine.has_filter eng f)
-  | Q_next_ready now ->
-      R_next_ready (Hfsc.next_ready_time (Engine.scheduler eng) ~now)
-  | Q_backlog ->
-      let s = Engine.scheduler eng in
-      R_backlog (Hfsc.backlog_pkts s, Hfsc.backlog_bytes s)
+  | Q_next_ready now -> R_next_ready (Engine.next_ready_time eng ~now)
+  | Q_backlog -> R_backlog (Engine.backlog_pkts eng, Engine.backlog_bytes eng)
   | Q_checkpoint -> R_ops (Engine.checkpoint_ops eng)
   | Q_config_fp -> R_string (Engine.config_fingerprint eng)
   | Q_fail -> raise Injected_failure
@@ -233,19 +234,16 @@ let serve_msg (p, bcache) msg =
       match
         if d_max <= 0 then 0
         else begin
-          if Hfsc.batch_capacity !bcache <> d_max then
-            bcache := Hfsc.batch ~capacity:d_max ();
+          if Backend.batch_capacity !bcache <> d_max then
+            bcache := Backend.batch ~capacity:d_max ();
           let b = !bcache in
           let n = Engine.dequeue_batch p.p_eng ~now:d_now b in
           for i = 0 to n - 1 do
             push_out p
               {
-                dq_pkt = Hfsc.batch_pkt b i;
-                dq_cls = Hfsc.name (Hfsc.batch_cls b i);
-                dq_rt =
-                  (match Hfsc.batch_crit b i with
-                  | Hfsc.Realtime -> true
-                  | Hfsc.Linkshare -> false);
+                dq_pkt = Backend.batch_pkt b i;
+                dq_cls = Engine.class_name p.p_eng (Backend.batch_id b i);
+                dq_rt = Backend.batch_realtime b i;
               }
           done;
           n
@@ -277,7 +275,8 @@ let worker_body w =
   in
   let handle_admin = function
     | A_nop -> ()
-    | A_attach p -> ports := !ports @ [ (p, ref (Hfsc.batch ~capacity:1 ())) ]
+    | A_attach p ->
+        ports := !ports @ [ (p, ref (Backend.batch ~capacity:1 ())) ]
     | A_detach { dt_port; dt_cell } ->
         (match List.find_opt (fun (p, _) -> p == dt_port) !ports with
         | Some pb ->
@@ -476,6 +475,7 @@ let mc_ops : port Router_core.ops =
           ~failed:(fun _ ->
             {
               Router_core.i_rate = p.p_rate;
+              i_backend = p.p_backend;
               i_classes = 0;
               i_flows = 0;
               i_backlog_pkts = 0;
@@ -543,7 +543,8 @@ type t = {
   core : port Router_core.t;
   workers : worker array;
   mutable running : bool;
-  attach : string -> float -> Engine.t -> port; (* round-robin worker pick *)
+  attach : string -> float -> Config.backend -> Engine.t -> port;
+      (* round-robin worker pick *)
 }
 
 let create ?trace_capacity ?tracing ?audit_every ?(ring_capacity = 1024)
@@ -558,13 +559,14 @@ let create ?trace_capacity ?tracing ?audit_every ?(ring_capacity = 1024)
     (fun w -> w.w_domain <- Some (Domain.spawn (fun () -> worker_run w)))
     workers;
   let next = ref 0 in
-  let attach name link_rate eng =
+  let attach name link_rate backend eng =
     let w = workers.(!next mod domains) in
     incr next;
     let p =
       {
         p_name = name;
         p_rate = link_rate;
+        p_backend = backend;
         p_eng = eng;
         p_in = Ring.create ~capacity:ring_capacity ~dummy:M_nop;
         p_out = Ring.create ~capacity:out_capacity ~dummy:dummy_deq;
@@ -580,13 +582,19 @@ let create ?trace_capacity ?tracing ?audit_every ?(ring_capacity = 1024)
     worker_notify w;
     p
   in
-  let make_port ~name ~link_rate =
-    let sched = Hfsc.create ~link_rate () in
+  let make_port ~name ~link_rate ~backend =
     let eng =
-      Engine.create ?trace_capacity ?tracing ?audit_every ~link_rate sched
-        ~flow_map:[] ()
+      match backend with
+      | Config.Hfsc_backend ->
+          let sched = Hfsc.create ~link_rate () in
+          Engine.create ?trace_capacity ?tracing ?audit_every ~link_rate sched
+            ~flow_map:[] ()
+      | Config.Rr_backend ->
+          let sched = Sched.Hls.create () in
+          Engine.create_rr ?trace_capacity ?tracing ?audit_every ~link_rate
+            sched ~flow_map:[] ()
     in
-    attach name link_rate eng
+    attach name link_rate backend eng
   in
   let core = Router_core.create ~ops:mc_ops ~make_port () in
   { core; workers; running = true; attach }
@@ -600,13 +608,12 @@ let of_config ?trace_capacity ?tracing ?audit_every ?ring_capacity ?out_capacity
   List.iter
     (fun (l : Config.link) ->
       let eng =
-        Engine.create ?trace_capacity ?tracing ?audit_every
-          ~link_rate:l.Config.lrate l.Config.lscheduler
-          ~flow_map:l.Config.lflow_map ()
+        Engine.of_built ?trace_capacity ?tracing ?audit_every
+          ~link_rate:l.Config.lrate l.Config.lbuilt
       in
       (* built on this domain, handed to the worker through the admin
          ring's release/acquire publication before any use *)
-      let p = t.attach l.Config.lname l.Config.lrate eng in
+      let p = t.attach l.Config.lname l.Config.lrate (Config.link_backend l) eng in
       t.core.Router_core.links <- t.core.Router_core.links @ [ (l.Config.lname, p) ];
       Router_core.resync_flows t.core l.Config.lname p)
     cfg.Config.links;
@@ -614,7 +621,8 @@ let of_config ?trace_capacity ?tracing ?audit_every ?ring_capacity ?out_capacity
   t
 
 let domains t = Array.length t.workers
-let add_link t ~name ~link_rate = Router_core.add_link t.core ~name ~link_rate
+let add_link ?(backend = Config.Hfsc_backend) t ~name ~link_rate =
+  Router_core.add_link t.core ~name ~link_rate ~backend
 let link_names t = List.map fst t.core.Router_core.links
 let link_count t = Router_core.link_count t.core
 let link_of_flow t flow = Router_core.link_of_flow t.core flow
@@ -813,7 +821,7 @@ let adapter t ~link =
       in
       Some
         {
-          Sched.Scheduler.name = "hfsc";
+          Sched.Scheduler.name = Config.backend_name p.p_backend;
           dequeue_many = Some dequeue_many;
           enqueue =
             (fun ~now pkt ->

@@ -76,7 +76,15 @@ val of_config :
     {!Router.of_config}. *)
 
 val domains : t -> int
-val add_link : t -> name:string -> link_rate:float -> (string, Engine.error) result
+val add_link :
+  ?backend:Config.backend ->
+  t ->
+  name:string ->
+  link_rate:float ->
+  (string, Engine.error) result
+(** As {!Router.add_link}: create a link running [backend] (default
+    hfsc), attached round-robin to a worker domain. *)
+
 val link_names : t -> string list
 (** Links in creation order. *)
 

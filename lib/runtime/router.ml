@@ -15,13 +15,16 @@ let seq_ops : Engine.t Router_core.ops =
     op_has_filter = Engine.has_filter;
     op_info =
       (fun eng ->
-        let sched = Engine.scheduler eng in
         {
           Router_core.i_rate = Engine.link_rate eng;
-          i_classes = List.length (Hfsc.classes sched);
+          i_backend =
+            (match Engine.backend_kind eng with
+            | Backend.Hfsc_kind -> Config.Hfsc_backend
+            | Backend.Rr_kind -> Config.Rr_backend);
+          i_classes = List.length (Engine.class_ids eng);
           i_flows = List.length (Engine.flows eng);
-          i_backlog_pkts = Hfsc.backlog_pkts sched;
-          i_backlog_bytes = Hfsc.backlog_bytes sched;
+          i_backlog_pkts = Engine.backlog_pkts eng;
+          i_backlog_bytes = Engine.backlog_bytes eng;
         });
     op_audit = Engine.audit;
     op_stats_json = Engine.stats_json;
@@ -32,10 +35,16 @@ let seq_ops : Engine.t Router_core.ops =
   }
 
 let create ?trace_capacity ?tracing ?audit_every () =
-  let make_port ~name:_ ~link_rate =
-    let sched = Hfsc.create ~link_rate () in
-    Engine.create ?trace_capacity ?tracing ?audit_every ~link_rate sched
-      ~flow_map:[] ()
+  let make_port ~name:_ ~link_rate ~backend =
+    match backend with
+    | Config.Hfsc_backend ->
+        let sched = Hfsc.create ~link_rate () in
+        Engine.create ?trace_capacity ?tracing ?audit_every ~link_rate sched
+          ~flow_map:[] ()
+    | Config.Rr_backend ->
+        let sched = Sched.Hls.create () in
+        Engine.create_rr ?trace_capacity ?tracing ?audit_every ~link_rate
+          sched ~flow_map:[] ()
   in
   Router_core.create ~ops:seq_ops ~make_port ()
 
@@ -44,9 +53,8 @@ let of_config ?trace_capacity ?tracing ?audit_every (cfg : Config.t) =
   List.iter
     (fun (l : Config.link) ->
       let eng =
-        Engine.create ?trace_capacity ?tracing ?audit_every
-          ~link_rate:l.Config.lrate l.Config.lscheduler
-          ~flow_map:l.Config.lflow_map ()
+        Engine.of_built ?trace_capacity ?tracing ?audit_every
+          ~link_rate:l.Config.lrate l.Config.lbuilt
       in
       t.Router_core.links <- t.Router_core.links @ [ (l.Config.lname, eng) ];
       Router_core.resync_flows t l.Config.lname eng)
@@ -54,7 +62,8 @@ let of_config ?trace_capacity ?tracing ?audit_every (cfg : Config.t) =
   Router_core.rebuild_shard t;
   t
 
-let add_link t ~name ~link_rate = Router_core.add_link t ~name ~link_rate
+let add_link ?(backend = Config.Hfsc_backend) t ~name ~link_rate =
+  Router_core.add_link t ~name ~link_rate ~backend
 let links = Router_core.links
 let find_link = Router_core.find_link
 let link_count = Router_core.link_count

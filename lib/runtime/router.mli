@@ -54,11 +54,18 @@ val of_config :
 (** One link per [link] statement of the configuration, in file
     order. *)
 
-val add_link : t -> name:string -> link_rate:float -> (string, Engine.error) result
+val add_link :
+  ?backend:Config.backend ->
+  t ->
+  name:string ->
+  link_rate:float ->
+  (string, Engine.error) result
 (** Create a link (a fresh scheduler + engine) named [name] with the
-    given rate in bytes/second. Fails with {!Engine.Duplicate_link} on
-    a name collision and {!Engine.Bad_value} on a non-positive rate.
-    This is what the [link add] command calls. *)
+    given rate in bytes/second, running [backend] (default hfsc; the
+    backend is fixed for the link's lifetime). Fails with
+    {!Engine.Duplicate_link} on a name collision and {!Engine.Bad_value}
+    on a non-positive rate. This is what the [link add] command
+    calls. *)
 
 val links : t -> (string * Engine.t) list
 (** Links in creation order — also the classifier's shard order. *)
@@ -69,10 +76,10 @@ val link_count : t -> int
 val link_of_flow : t -> int -> string option
 (** The link owning a flow id, if any (device-wide directory). *)
 
-val flow_class : t -> int -> (string * Hfsc.cls) option
-(** Owning link and current leaf for a flow id. *)
+val flow_class : t -> int -> (string * int) option
+(** Owning link and current leaf class id for a flow id. *)
 
-val classify : t -> Pkt.Header.t -> (string * Hfsc.cls) option
+val classify : t -> Pkt.Header.t -> (string * int) option
 (** Route a header through the sharded classifier: first matching
     filter across links in creation order names the owning link; the
     matched flow's leaf class comes from that link's engine. *)

@@ -16,6 +16,7 @@
 (* What [link list] needs to print about one link. *)
 type info = {
   i_rate : float;
+  i_backend : Config.backend;
   i_classes : int;
   i_flows : int;
   i_backlog_pkts : int;
@@ -51,7 +52,7 @@ type 'p t = {
   flow_links : (int, string * 'p) Hashtbl.t;
   mutable shard : string Classify.Shard.t;
   ops : 'p ops;
-  make_port : name:string -> link_rate:float -> 'p;
+  make_port : name:string -> link_rate:float -> backend:Config.backend -> 'p;
 }
 
 let errf code fmt =
@@ -91,7 +92,7 @@ let resync_flows t name port =
     (fun f -> Hashtbl.replace t.flow_links f (name, port))
     (t.ops.op_flows port)
 
-let add_link t ~name ~link_rate =
+let add_link t ~name ~link_rate ~backend =
   let* () =
     match find_link t name with
     | Some _ -> errf Engine.Duplicate_link "link %S already exists" name
@@ -102,11 +103,14 @@ let add_link t ~name ~link_rate =
       errf Engine.Bad_value "link rate must be positive, got %g" link_rate
     else Ok ()
   in
-  let port = t.make_port ~name ~link_rate in
+  let port = t.make_port ~name ~link_rate ~backend in
   t.links <- t.links @ [ (name, port) ];
   rebuild_shard t;
   Ok
-    (Printf.sprintf "added link %S (rate %.0f B/s, %d link%s)" name link_rate
+    (Printf.sprintf "added link %S (rate %.0f B/s%s, %d link%s)" name link_rate
+       (match backend with
+       | Config.Hfsc_backend -> ""
+       | Config.Rr_backend -> " backend rr")
        (link_count t)
        (if link_count t > 1 then "s" else ""))
 
@@ -145,9 +149,12 @@ let link_list t =
               (fun (name, p) ->
                 let i = t.ops.op_info p in
                 Printf.sprintf
-                  "%-12s rate %.0f B/s  classes %d  flows %d  backlog %d/%d"
-                  name i.i_rate i.i_classes i.i_flows i.i_backlog_pkts
-                  i.i_backlog_bytes)
+                  "%-12s rate %.0f B/s%s  classes %d  flows %d  backlog %d/%d"
+                  name i.i_rate
+                  (match i.i_backend with
+                  | Config.Hfsc_backend -> ""
+                  | Config.Rr_backend -> " backend rr")
+                  i.i_classes i.i_flows i.i_backlog_pkts i.i_backlog_bytes)
               ls))
 
 (* The device-wide uniqueness and ownership checks a bare engine cannot
@@ -227,7 +234,8 @@ let all_links_trace t ~now (tr : Command.trace_op) =
 
 let exec t ~now { Command.target; op } =
   match op with
-  | Command.Link_add { link; rate } -> add_link t ~name:link ~link_rate:rate
+  | Command.Link_add { link; rate; backend } ->
+      add_link t ~name:link ~link_rate:rate ~backend
   | Command.Link_delete name -> delete_link t name
   | Command.Link_list -> link_list t
   | _ -> (
@@ -297,7 +305,9 @@ let checkpoint t =
         {
           Command.target = Command.Default_link;
           op =
-            Command.Link_add { link = name; rate = (t.ops.op_info p).i_rate };
+            (let i = t.ops.op_info p in
+             Command.Link_add
+               { link = name; rate = i.i_rate; backend = i.i_backend });
         } )
       :: List.map scoped (t.ops.op_checkpoint p))
     t.links

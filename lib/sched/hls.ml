@@ -1,0 +1,602 @@
+(* Hierarchical surplus round-robin (after "A Round-Robin Packet
+   Scheduler for Hierarchical Max-Min Fairness", arXiv:2108.09864): a
+   class tree where every interior node runs deficit round-robin over
+   an intrusive circular ring of its *active* children, and a dequeue
+   walks the rotor chain root-to-leaf, serves the head packet, then
+   charges its size up the path — serve-then-charge ("surplus" DRR),
+   so no head-size peek is ever needed before choosing a child.
+
+   Costs: O(depth) strict per dequeue with no tree reshuffling, no
+   per-packet allocation and no arithmetic beyond integer adds — the
+   price is giving up H-FSC's service-curve guarantees for plain
+   quantum-proportional max-min shares. That trade is the point: this
+   engine holds 10^6 classes where the H-FSC trees stop being cheap.
+
+   Invariants (audited):
+   - a class is in its parent's active ring iff its subtree holds at
+     least one packet; [rotor] is nil iff the ring is empty;
+   - [deficit] only changes by [+= quantum] when the rotor arrives at
+     the class and [-= size] when a packet is served through it, and
+     is reset to 0 on deactivation — so it stays in
+     (-max_packet_size, quantum];
+   - subtree packet/byte counters agree with the leaf queues below.
+
+   Like [Hfsc], the structure is a single-domain mutable object: no
+   internal synchronisation, one owner at a time. *)
+
+module Fq = Ds.Fifo_queue
+
+type drop_policy = Tail_drop | Drop_longest
+
+type cls = {
+  id : int; (* dense: 0 = root, then creation order; never reused *)
+  cname : string;
+  cparent : cls; (* physical self-loop marks the root *)
+  mutable quantum : int; (* bytes granted per rotor visit *)
+  mutable deficit : int; (* surplus counter while active *)
+  mutable children_rev : cls list;
+  mutable qsum : int; (* sum of children's quanta (admission view) *)
+  (* intrusive ring of this node's active children *)
+  mutable rotor : cls; (* currently served child; self-loop = none *)
+  mutable anext : cls; (* ring links, valid while [active] *)
+  mutable aprev : cls;
+  mutable active : bool; (* member of the parent's ring *)
+  mutable sub_pkts : int; (* backlog in this subtree *)
+  mutable sub_bytes : int;
+  mutable served : int; (* bytes ever served from this subtree *)
+  mutable nperiods : int; (* backlogged-period (activation) count *)
+  queue : Fq.t; (* leaves only; interiors keep an empty one *)
+}
+
+type t = {
+  troot : cls;
+  mutable all_rev : cls list; (* every class, newest first *)
+  byname : (string, cls) Hashtbl.t;
+  mutable next_id : int;
+  mutable bl_pkts : int;
+  mutable bl_bytes : int;
+  mutable agg_pkts : int;
+  mutable agg_bytes : int;
+  mutable policy : drop_policy;
+  mutable on_drop : float -> cls -> Pkt.Packet.t -> unit;
+  (* out-params of [dequeue_core], so the batched path allocates
+     nothing (mirrors [Hfsc]) *)
+  mutable deq_pkt : Pkt.Packet.t;
+}
+
+let default_quantum = 1500
+
+let dummy_pkt = Pkt.Packet.make ~flow:0 ~size:1 ~seq:0 ~arrival:0.
+
+let rec nil =
+  {
+    id = -1;
+    cname = "<nil>";
+    cparent = nil;
+    quantum = 0;
+    deficit = 0;
+    children_rev = [];
+    qsum = 0;
+    rotor = nil;
+    anext = nil;
+    aprev = nil;
+    active = false;
+    sub_pkts = 0;
+    sub_bytes = 0;
+    served = 0;
+    nperiods = 0;
+    queue = Fq.create ();
+  }
+
+let mk_cls ~id ~name ~parent ~quantum ?qlimit_pkts ?qlimit_bytes () =
+  let rec c =
+    {
+      id;
+      cname = name;
+      cparent = (if parent == nil then c else parent);
+      quantum;
+      deficit = 0;
+      children_rev = [];
+      qsum = 0;
+      rotor = nil;
+      anext = nil;
+      aprev = nil;
+      active = false;
+      sub_pkts = 0;
+      sub_bytes = 0;
+      served = 0;
+      nperiods = 0;
+      queue = Fq.create ?limit_pkts:qlimit_pkts ?limit_bytes:qlimit_bytes ();
+    }
+  in
+  c
+
+let create ?(aggregate_pkts = max_int) ?(aggregate_bytes = max_int) () =
+  if aggregate_pkts <= 0 then
+    invalid_arg "Hls.create: aggregate packet limit must be positive";
+  if aggregate_bytes <= 0 then
+    invalid_arg "Hls.create: aggregate byte limit must be positive";
+  let troot = mk_cls ~id:0 ~name:"root" ~parent:nil ~quantum:0 () in
+  let byname = Hashtbl.create 64 in
+  Hashtbl.replace byname "root" troot;
+  {
+    troot;
+    all_rev = [ troot ];
+    byname;
+    next_id = 1;
+    bl_pkts = 0;
+    bl_bytes = 0;
+    agg_pkts = aggregate_pkts;
+    agg_bytes = aggregate_bytes;
+    policy = Tail_drop;
+    on_drop = (fun _ _ _ -> ());
+    deq_pkt = dummy_pkt;
+  }
+
+let root t = t.troot
+let is_leaf_cls c = c.children_rev = []
+let is_root c = c.cparent == c
+
+(* The admission bound the control plane checks against: the per-round
+   service a node hands out is the sum of its children's quanta, and a
+   newly backlogged class waits at most one full round. Capping that
+   sum keeps the worst-case round (and the integer arithmetic) bounded
+   even at 10^6 classes. *)
+let max_quantum = 1 lsl 30
+let max_round_bytes = 1 lsl 40
+
+let quantum_sum_under parent = parent.qsum
+
+let add_class t ~parent ~name ?(quantum = default_quantum) ?qlimit_pkts
+    ?qlimit_bytes () =
+  if Hashtbl.mem t.byname name then
+    invalid_arg (Printf.sprintf "Hls.add_class: class %S already exists" name);
+  if Fq.length parent.queue > 0 then
+    invalid_arg "Hls.add_class: parent has queued packets";
+  if is_leaf_cls parent && (not (is_root parent)) && parent.served > 0 then
+    invalid_arg "Hls.add_class: parent already served packets as a leaf";
+  if quantum <= 0 then invalid_arg "Hls.add_class: quantum must be positive";
+  if quantum > max_quantum then
+    invalid_arg "Hls.add_class: quantum must be at most 2^30";
+  let c =
+    mk_cls ~id:t.next_id ~name ~parent ~quantum ?qlimit_pkts ?qlimit_bytes ()
+  in
+  t.next_id <- t.next_id + 1;
+  parent.children_rev <- c :: parent.children_rev;
+  parent.qsum <- parent.qsum + quantum;
+  t.all_rev <- c :: t.all_rev;
+  Hashtbl.replace t.byname name c;
+  c
+
+let remove_class t cl =
+  if is_root cl then invalid_arg "Hls.remove_class: cannot remove the root";
+  if not (is_leaf_cls cl) then
+    invalid_arg "Hls.remove_class: class still has children";
+  if Fq.length cl.queue > 0 then
+    invalid_arg "Hls.remove_class: class has queued packets";
+  if cl.active then invalid_arg "Hls.remove_class: class is active";
+  let p = cl.cparent in
+  p.children_rev <- List.filter (fun c -> c != cl) p.children_rev;
+  p.qsum <- p.qsum - cl.quantum;
+  t.all_rev <- List.filter (fun c -> c != cl) t.all_rev;
+  (* earliest surviving duplicate would rebind, but names are unique *)
+  Hashtbl.remove t.byname cl.cname
+
+let set_quantum t cl q =
+  ignore t;
+  if is_root cl then invalid_arg "Hls.set_quantum: the root has no quantum";
+  if q <= 0 then invalid_arg "Hls.set_quantum: quantum must be positive";
+  if q > max_quantum then
+    invalid_arg "Hls.set_quantum: quantum must be at most 2^30";
+  let p = cl.cparent in
+  p.qsum <- p.qsum - cl.quantum + q;
+  cl.quantum <- q
+
+let set_class_limits t cl ?pkts ?bytes () =
+  ignore t;
+  if is_root cl || not (is_leaf_cls cl) then
+    invalid_arg "Hls.set_class_limits: class is not a leaf";
+  (match pkts with
+  | Some n when n <= 0 ->
+      invalid_arg "Hls.set_class_limits: limit must be positive"
+  | _ -> ());
+  (match bytes with
+  | Some n when n <= 0 ->
+      invalid_arg "Hls.set_class_limits: byte limit must be positive"
+  | _ -> ());
+  Fq.set_limits ?pkts ?bytes cl.queue
+
+let queue_limit_pkts c = Fq.limit_pkts c.queue
+let queue_limit_bytes c = Fq.limit_bytes c.queue
+
+let set_aggregate_limit t ?pkts ?bytes () =
+  (match pkts with
+  | Some n ->
+      if n <= 0 then
+        invalid_arg "Hls.set_aggregate_limit: limit must be positive";
+      t.agg_pkts <- n
+  | None -> ());
+  match bytes with
+  | Some n ->
+      if n <= 0 then
+        invalid_arg "Hls.set_aggregate_limit: byte limit must be positive";
+      t.agg_bytes <- n
+  | None -> ()
+
+let aggregate_limit_pkts t = t.agg_pkts
+let aggregate_limit_bytes t = t.agg_bytes
+let set_drop_policy t p = t.policy <- p
+let drop_policy t = t.policy
+let set_drop_hook t f = t.on_drop <- f
+
+(* --- class snapshot (transactional rollback) ------------------------ *)
+
+type class_snapshot = {
+  s_quantum : int;
+  s_limit_pkts : int;
+  s_limit_bytes : int;
+}
+
+let snapshot_class cl =
+  {
+    s_quantum = cl.quantum;
+    s_limit_pkts = Fq.limit_pkts cl.queue;
+    s_limit_bytes = Fq.limit_bytes cl.queue;
+  }
+
+let restore_class cl s =
+  if not (is_root cl) then begin
+    let p = cl.cparent in
+    p.qsum <- p.qsum - cl.quantum + s.s_quantum;
+    cl.quantum <- s.s_quantum
+  end;
+  Fq.set_limits ~pkts:s.s_limit_pkts ~bytes:s.s_limit_bytes cl.queue
+
+(* --- the active-children ring --------------------------------------- *)
+
+(* Insert [c] at the tail of the current round: just before the rotor,
+   so it is served after every already-active sibling. When the ring
+   was empty the arrival grant fires immediately — the rotor has
+   "arrived" at the sole member. *)
+let ring_insert p c =
+  if p.rotor == nil then begin
+    c.anext <- c;
+    c.aprev <- c;
+    p.rotor <- c;
+    c.deficit <- c.deficit + c.quantum
+  end
+  else begin
+    let head = p.rotor in
+    let tail = head.aprev in
+    tail.anext <- c;
+    c.aprev <- tail;
+    c.anext <- head;
+    head.aprev <- c
+  end;
+  c.active <- true;
+  c.nperiods <- c.nperiods + 1
+
+(* Advance the rotor off [p.rotor]; the next member's round starts, so
+   it collects its arrival grant. A single-member ring advances to
+   itself — the grant then tops its (<= 0) leftover back up, keeping
+   the deficit in (-max_pkt, quantum]. *)
+let ring_advance p =
+  let c = p.rotor.anext in
+  p.rotor <- c;
+  c.deficit <- c.deficit + c.quantum
+
+let ring_remove p c =
+  if c.anext == c then p.rotor <- nil
+  else begin
+    c.aprev.anext <- c.anext;
+    c.anext.aprev <- c.aprev;
+    if p.rotor == c then begin
+      p.rotor <- c.anext;
+      (* the removed member's round is over; its successor starts *)
+      p.rotor.deficit <- p.rotor.deficit + p.rotor.quantum
+    end
+  end;
+  c.anext <- nil;
+  c.aprev <- nil;
+  c.active <- false;
+  c.deficit <- 0
+
+(* --- enqueue --------------------------------------------------------- *)
+
+(* Activation walk: charge the subtree counters up the path and link
+   every newly backlogged node into its parent's ring. Top-level and
+   tail-recursive so the hot path builds no closure. *)
+let rec activate_up c size =
+  let was_empty = c.sub_pkts = 0 in
+  c.sub_pkts <- c.sub_pkts + 1;
+  c.sub_bytes <- c.sub_bytes + size;
+  if not (is_root c) then begin
+    if was_empty then ring_insert c.cparent c;
+    activate_up c.cparent size
+  end
+
+let find_victim t =
+  let best = ref nil in
+  List.iter
+    (fun c ->
+      if is_leaf_cls c && (not (is_root c)) && Fq.length c.queue >= 2 then begin
+        let b = !best in
+        if b == nil then best := c
+        else begin
+          let qb = Fq.bytes c.queue and bb = Fq.bytes b.queue in
+          if qb > bb || (qb = bb && c.id < b.id) then best := c
+        end
+      end)
+    t.all_rev;
+  !best
+
+(* Tail drops never empty a queue (victims hold >= 2 packets), so the
+   uncharge walk adjusts counters without any ring surgery. *)
+let rec uncharge_up c size =
+  c.sub_pkts <- c.sub_pkts - 1;
+  c.sub_bytes <- c.sub_bytes - size;
+  if not (is_root c) then uncharge_up c.cparent size
+
+let rec make_room t ~now size =
+  if t.bl_pkts < t.agg_pkts && t.bl_bytes + size <= t.agg_bytes then true
+  else begin
+    let v = find_victim t in
+    if v == nil then false
+    else begin
+      (match Fq.drop_tail v.queue with
+      | Some dropped ->
+          t.bl_pkts <- t.bl_pkts - 1;
+          t.bl_bytes <- t.bl_bytes - dropped.Pkt.Packet.size;
+          uncharge_up v dropped.Pkt.Packet.size;
+          t.on_drop now v dropped
+      | None -> assert false);
+      make_room t ~now size
+    end
+  end
+
+let enqueue t ~now cl pkt =
+  if is_root cl || not (is_leaf_cls cl) then
+    invalid_arg "Hls.enqueue: class is not a leaf";
+  let size = pkt.Pkt.Packet.size in
+  let admitted =
+    Fq.can_accept cl.queue size
+    && (t.bl_pkts < t.agg_pkts && t.bl_bytes + size <= t.agg_bytes
+       ||
+       match t.policy with
+       | Tail_drop -> false
+       | Drop_longest -> make_room t ~now size)
+  in
+  if not admitted then begin
+    Fq.count_drop cl.queue;
+    t.on_drop now cl pkt;
+    false
+  end
+  else begin
+    if not (Fq.push cl.queue pkt) then assert false;
+    t.bl_pkts <- t.bl_pkts + 1;
+    t.bl_bytes <- t.bl_bytes + size;
+    activate_up cl size;
+    true
+  end
+
+(* --- dequeue --------------------------------------------------------- *)
+
+(* Descend the rotor chain: every backlogged interior has a non-nil
+   rotor, so this terminates at a leaf with a non-empty queue. *)
+let rec descend c = if is_leaf_cls c then c else descend c.rotor
+
+(* Serve-then-charge, bottom-up: [c] is the ring member the packet
+   went through at its parent's level. Deactivate an emptied subtree
+   (resetting its deficit), else rotate away once the deficit is
+   spent. *)
+let rec charge_up c size =
+  c.sub_pkts <- c.sub_pkts - 1;
+  c.sub_bytes <- c.sub_bytes - size;
+  c.served <- c.served + size;
+  if not (is_root c) then begin
+    let p = c.cparent in
+    c.deficit <- c.deficit - size;
+    if c.sub_pkts = 0 then ring_remove p c
+    else if c.deficit <= 0 then ring_advance p;
+    charge_up p size
+  end
+
+let dequeue_core t =
+  if t.bl_pkts = 0 then nil
+  else begin
+    let leaf = descend t.troot in
+    let pkt =
+      match Fq.pop leaf.queue with Some p -> p | None -> assert false
+    in
+    t.bl_pkts <- t.bl_pkts - 1;
+    t.bl_bytes <- t.bl_bytes - pkt.Pkt.Packet.size;
+    charge_up leaf pkt.Pkt.Packet.size;
+    t.deq_pkt <- pkt;
+    leaf
+  end
+
+let dequeue t ~now =
+  ignore now;
+  let leaf = dequeue_core t in
+  if leaf == nil then None else Some (t.deq_pkt, leaf)
+
+(* --- batched entry points (mirrors [Hfsc]) --------------------------- *)
+
+type batch = {
+  bpkts : Pkt.Packet.t array;
+  bcls : cls array;
+  mutable bcount : int;
+}
+
+let batch ?(capacity = 64) () =
+  if capacity <= 0 then invalid_arg "Hls.batch: capacity must be positive";
+  { bpkts = Array.make capacity dummy_pkt; bcls = Array.make capacity nil;
+    bcount = 0 }
+
+let batch_capacity b = Array.length b.bpkts
+let batch_count b = b.bcount
+
+let[@inline] batch_check b i =
+  if i < 0 || i >= b.bcount then invalid_arg "Hls.batch: index out of bounds"
+
+let batch_pkt b i =
+  batch_check b i;
+  b.bpkts.(i)
+
+let batch_cls b i =
+  batch_check b i;
+  b.bcls.(i)
+
+let rec deq_batch_loop t b i cap =
+  if i >= cap then i
+  else begin
+    let leaf = dequeue_core t in
+    if leaf == nil then i
+    else begin
+      (* [i < cap = Array.length b.bpkts], both arrays share it *)
+      Array.unsafe_set b.bpkts i t.deq_pkt;
+      Array.unsafe_set b.bcls i leaf;
+      deq_batch_loop t b (i + 1) cap
+    end
+  end
+
+let dequeue_batch t ~now b =
+  ignore now;
+  let n = deq_batch_loop t b 0 (Array.length b.bpkts) in
+  b.bcount <- n;
+  n
+
+let rec enq_batch_loop t now cls pkts i n acc =
+  if i >= n then acc
+  else
+    let ok =
+      enqueue t ~now (Array.unsafe_get cls i) (Array.unsafe_get pkts i)
+    in
+    enq_batch_loop t now cls pkts (i + 1) n (if ok then acc + 1 else acc)
+
+let enqueue_batch t ~now cls pkts =
+  let n = Array.length pkts in
+  if Array.length cls <> n then
+    invalid_arg "Hls.enqueue_batch: class and packet arrays differ in length";
+  enq_batch_loop t now cls pkts 0 n 0
+
+(* Work-conserving with no rate caps: backlogged means servable now. *)
+let next_ready_time t ~now = if t.bl_pkts = 0 then None else Some now
+
+let backlog_pkts t = t.bl_pkts
+let backlog_bytes t = t.bl_bytes
+
+(* --- introspection --------------------------------------------------- *)
+
+let name c = c.cname
+let id c = c.id
+let is_leaf c = is_leaf_cls c
+let parent c = if is_root c then None else Some c.cparent
+let children c = List.rev c.children_rev
+let classes t = List.rev t.all_rev
+let find_class t n = Hashtbl.find_opt t.byname n
+let queue_length c = Fq.length c.queue
+let queue_bytes c = Fq.bytes c.queue
+let quantum c = c.quantum
+let deficit c = c.deficit
+let served_bytes c = float_of_int c.served
+let drops c = Fq.drops c.queue
+let periods c = c.nperiods
+
+let debug_state c =
+  Printf.sprintf "q=%d/%dB def=%d quantum=%d act=%b sub=%d/%dB srv=%d per=%d"
+    (Fq.length c.queue) (Fq.bytes c.queue) c.deficit c.quantum c.active
+    c.sub_pkts c.sub_bytes c.served c.nperiods
+
+let pp_hierarchy ppf t =
+  let rec go indent c =
+    Format.fprintf ppf "%s%s (id %d): %s@." indent c.cname c.id
+      (debug_state c);
+    List.iter (go (indent ^ "  ")) (List.rev c.children_rev)
+  in
+  go "" t.troot
+
+(* --- invariant auditor ----------------------------------------------- *)
+
+let audit t =
+  let errs = ref [] in
+  let err fmt = Format.kasprintf (fun s -> errs := s :: !errs) fmt in
+  let rec check c =
+    let kids = List.rev c.children_rev in
+    (* subtree counters agree with what is below *)
+    let sp, sb =
+      if is_leaf_cls c then (Fq.length c.queue, Fq.bytes c.queue)
+      else
+        List.fold_left
+          (fun (p, b) k -> (p + k.sub_pkts, b + k.sub_bytes))
+          (0, 0) kids
+    in
+    if c.sub_pkts <> sp then
+      err "class %S: sub_pkts %d but children/queue hold %d" c.cname
+        c.sub_pkts sp;
+    if c.sub_bytes <> sb then
+      err "class %S: sub_bytes %d but children/queue hold %d" c.cname
+        c.sub_bytes sb;
+    if (not (is_leaf_cls c)) && Fq.length c.queue > 0 then
+      err "interior class %S holds queued packets" c.cname;
+    (* quantum bookkeeping *)
+    let qs = List.fold_left (fun a k -> a + k.quantum) 0 kids in
+    if c.qsum <> qs then
+      err "class %S: qsum %d but children sum to %d" c.cname c.qsum qs;
+    (* ring membership: active iff backlogged below *)
+    List.iter
+      (fun k ->
+        if k.active <> (k.sub_pkts > 0) then
+          err "class %S: active=%b with subtree backlog %d" k.cname k.active
+            k.sub_pkts;
+        if (not k.active) && k.deficit <> 0 then
+          err "inactive class %S carries deficit %d" k.cname k.deficit;
+        if k.deficit > k.quantum then
+          err "class %S: deficit %d exceeds quantum %d" k.cname k.deficit
+            k.quantum)
+      kids;
+    let nactive = List.length (List.filter (fun k -> k.active) kids) in
+    if c.rotor == nil then begin
+      if nactive > 0 then
+        err "class %S: nil rotor with %d active children" c.cname nactive
+    end
+    else begin
+      (* walk the ring: every member active, parent right, count right *)
+      let seen = ref 0 in
+      let x = ref c.rotor in
+      let ok = ref true in
+      while !ok do
+        incr seen;
+        if !seen > nactive then begin
+          err "class %S: active ring longer than its %d active children"
+            c.cname nactive;
+          ok := false
+        end
+        else begin
+          if not !x.active then
+            err "class %S: ring member %S is not active" c.cname !x.cname;
+          if !x.cparent != c then
+            err "class %S: ring member %S has another parent" c.cname
+              !x.cname;
+          if !x.anext.aprev != !x then
+            err "class %S: ring links broken at %S" c.cname !x.cname;
+          x := !x.anext;
+          if !x == c.rotor then ok := false
+        end
+      done;
+      if !seen <> nactive && !seen <= nactive then
+        err "class %S: ring holds %d of %d active children" c.cname !seen
+          nactive
+    end;
+    List.iter check kids
+  in
+  check t.troot;
+  if t.bl_pkts <> t.troot.sub_pkts then
+    err "aggregate backlog %d but root subtree holds %d" t.bl_pkts
+      t.troot.sub_pkts;
+  if t.bl_bytes <> t.troot.sub_bytes then
+    err "aggregate bytes %d but root subtree holds %d" t.bl_bytes
+      t.troot.sub_bytes;
+  if t.bl_pkts > t.agg_pkts then
+    err "backlog %d exceeds aggregate limit %d" t.bl_pkts t.agg_pkts;
+  List.rev !errs

@@ -1,0 +1,178 @@
+(** Hierarchical surplus round-robin — the million-class scale tier.
+
+    After "A Round-Robin Packet Scheduler for Hierarchical Max-Min
+    Fairness" (arXiv:2108.09864): every interior class runs deficit
+    round-robin over an intrusive circular ring of its {e active}
+    children (subtree holds at least one packet), and a dequeue walks
+    the rotor chain root to leaf, serves the head packet, then charges
+    its size back up the path — serve-then-charge ("surplus" DRR), so
+    no head-size peek is needed before committing to a child. Per
+    dequeue the cost is O(depth) integer adds: no trees to rebalance,
+    no curve arithmetic, no per-packet allocation. Long-run throughput
+    among persistently backlogged siblings converges to the ratio of
+    their quanta (hierarchical max-min); what H-FSC adds on top —
+    real-time deadline guarantees, decoupled delay/rate — is exactly
+    what this engine trades away for scale.
+
+    The surface deliberately mirrors {!Hfsc} (dense ids, queue and
+    aggregate limits with the same eviction policies, a drop hook,
+    class snapshots, batched entry points with instance-held
+    out-params), so {!Runtime.Backend} can drive either through one
+    record.
+
+    {b Domain ownership.} A [t] is a single-domain mutable object —
+    no internal synchronisation, one owning domain at a time, exactly
+    like {!Hfsc}. *)
+
+type t
+type cls
+
+type drop_policy =
+  | Tail_drop  (** refuse the arriving packet *)
+  | Drop_longest
+      (** evict from the longest (by bytes) leaf queue holding at
+          least 2 packets — never a queue head *)
+
+val create : ?aggregate_pkts:int -> ?aggregate_bytes:int -> unit -> t
+(** A scheduler holding only its root (named ["root"], id 0).
+
+    @raise Invalid_argument on a non-positive aggregate limit. *)
+
+val root : t -> cls
+
+val default_quantum : int
+(** 1500 bytes — one MTU per round when no quantum is given. *)
+
+val max_quantum : int
+(** Per-class quantum ceiling ([2{^30}] bytes). *)
+
+val max_round_bytes : int
+(** Admission bound on {!quantum_sum_under} ([2{^40}] bytes): the
+    per-round service a node hands out, and therefore the worst-case
+    wait of a newly backlogged child. The scheduler itself does not
+    enforce it — the control plane's admission hook does. *)
+
+val quantum_sum_under : cls -> int
+(** Sum of the children's quanta — maintained incrementally, O(1). *)
+
+val add_class :
+  t ->
+  parent:cls ->
+  name:string ->
+  ?quantum:int ->
+  ?qlimit_pkts:int ->
+  ?qlimit_bytes:int ->
+  unit ->
+  cls
+(** Ids are dense (creation order, starting after the root's 0) and
+    never reused.
+
+    @raise Invalid_argument on a duplicate name, a non-positive or
+    over-{!max_quantum} quantum, a parent with queued packets, or a
+    parent that already served packets as a leaf. *)
+
+val remove_class : t -> cls -> unit
+(** @raise Invalid_argument on the root, a class with children, or a
+    class with queued packets. *)
+
+val set_quantum : t -> cls -> int -> unit
+(** Live quantum change; takes effect at the class's next arrival
+    grant. @raise Invalid_argument on the root or an out-of-range
+    quantum. *)
+
+val set_class_limits : t -> cls -> ?pkts:int -> ?bytes:int -> unit -> unit
+(** @raise Invalid_argument on a non-leaf or non-positive limit. *)
+
+val queue_limit_pkts : cls -> int
+val queue_limit_bytes : cls -> int
+
+val set_aggregate_limit : t -> ?pkts:int -> ?bytes:int -> unit -> unit
+(** [max_int] means unlimited. @raise Invalid_argument on non-positive
+    values. *)
+
+val aggregate_limit_pkts : t -> int
+val aggregate_limit_bytes : t -> int
+val set_drop_policy : t -> drop_policy -> unit
+val drop_policy : t -> drop_policy
+
+val set_drop_hook : t -> (float -> cls -> Pkt.Packet.t -> unit) -> unit
+(** Called for every lost packet — refused arrival or eviction — with
+    the drop time, the losing class and the packet. *)
+
+type class_snapshot
+(** Control-plane state of one class (quantum, queue limits) for
+    transactional rollback; runtime state (backlog, deficit) is not
+    captured — a failed reconfiguration never touched it. *)
+
+val snapshot_class : cls -> class_snapshot
+val restore_class : cls -> class_snapshot -> unit
+
+(** {2 The data path} — allocation-free in steady state *)
+
+val enqueue : t -> now:float -> cls -> Pkt.Packet.t -> bool
+(** [false] when the class queue or the aggregate bound refuses the
+    packet (counted, reported to the drop hook). [now] only timestamps
+    drop-hook callbacks — round-robin state is time-free.
+
+    @raise Invalid_argument on a non-leaf class. *)
+
+val dequeue : t -> now:float -> (Pkt.Packet.t * cls) option
+(** Serve one packet by the rotor chain; [None] iff idle (the
+    scheduler is work-conserving: backlogged means servable). *)
+
+type batch
+(** Parallel result arrays filled in place — a drained packet costs
+    zero words of allocation (mirrors {!Hfsc.batch}). *)
+
+val batch : ?capacity:int -> unit -> batch
+val batch_capacity : batch -> int
+val batch_count : batch -> int
+
+val batch_pkt : batch -> int -> Pkt.Packet.t
+(** @raise Invalid_argument outside [0 .. batch_count - 1]. *)
+
+val batch_cls : batch -> int -> cls
+
+val dequeue_batch : t -> now:float -> batch -> int
+(** Fill up to [batch_capacity] slots; bit-identical in service order
+    to that many single {!dequeue} calls. Returns the fill count. *)
+
+val enqueue_batch : t -> now:float -> cls array -> Pkt.Packet.t array -> int
+(** Per-packet admission preserved exactly; returns accepted count.
+    @raise Invalid_argument when the arrays differ in length. *)
+
+val next_ready_time : t -> now:float -> float option
+(** [Some now] when backlogged, [None] when idle — no rate caps. *)
+
+val backlog_pkts : t -> int
+val backlog_bytes : t -> int
+
+(** {2 Introspection} *)
+
+val name : cls -> string
+val id : cls -> int
+val is_leaf : cls -> bool
+val parent : cls -> cls option
+val children : cls -> cls list
+val classes : t -> cls list
+(** Creation order, root first. *)
+
+val find_class : t -> string -> cls option
+val queue_length : cls -> int
+val queue_bytes : cls -> int
+val quantum : cls -> int
+val deficit : cls -> int
+val served_bytes : cls -> float
+(** Bytes ever served from this subtree (exact: far below 2{^53}). *)
+
+val drops : cls -> int
+val periods : cls -> int
+(** Backlogged periods: how often the class activated. *)
+
+val debug_state : cls -> string
+val pp_hierarchy : Format.formatter -> t -> unit
+
+val audit : t -> string list
+(** Structural invariants (subtree counters vs queues, ring
+    consistency, active iff backlogged, deficit bounds, quantum sums);
+    empty means healthy. *)

@@ -179,6 +179,11 @@ source cbr flow 1 rate 1Mbit pkt 500
 source cbr flow 3 rate 1Mbit pkt 500
 |}
 
+let hfsc_of (l : Config.link) =
+  match l.Config.lbuilt with
+  | Config.Built_hfsc (s, fm) -> (s, fm)
+  | Config.Built_rr _ -> Alcotest.fail "expected an hfsc-backend link"
+
 let test_multi_link_sections () =
   let cfg = ok (Config.parse multi_text) in
   Alcotest.(check int) "two links" 2 (List.length cfg.Config.links);
@@ -190,20 +195,20 @@ let test_multi_link_sections () =
   Alcotest.(check (float 1e-9)) "east rate" 5e5 east.Config.lrate;
   (* classes bind to the section they follow *)
   Alcotest.(check int) "west classes (incl. root)" 4
-    (List.length (Hfsc.classes west.Config.lscheduler));
+    (List.length (Hfsc.classes (fst (hfsc_of west))));
   Alcotest.(check int) "east classes (incl. root)" 2
-    (List.length (Hfsc.classes east.Config.lscheduler));
+    (List.length (Hfsc.classes (fst (hfsc_of east))));
   (* limit binds to its section too *)
   Alcotest.(check int) "west aggregate limit" 100
-    (Hfsc.aggregate_limit_pkts west.Config.lscheduler);
+    (Hfsc.aggregate_limit_pkts (fst (hfsc_of west)));
   (* flow maps are per link, flow ids device-wide unique *)
   Alcotest.(check (list int)) "west flows" [ 1; 2 ]
-    (List.sort compare (List.map fst west.Config.lflow_map));
+    (List.sort compare (List.map fst (snd (hfsc_of west))));
   Alcotest.(check (list int)) "east flows" [ 3 ]
-    (List.map fst east.Config.lflow_map);
+    (List.map fst (snd (hfsc_of east)));
   (* the single-link mirror fields point at the first link *)
   Alcotest.(check bool) "scheduler mirrors head link" true
-    (cfg.Config.scheduler == west.Config.lscheduler);
+    (cfg.Config.scheduler == fst (hfsc_of west));
   (* validation prefixes per-link warnings with the link name *)
   let sourceless =
     ok

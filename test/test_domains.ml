@@ -128,12 +128,14 @@ let run_differential ~domains ~seed ~nops =
   (* the sequential side mirrors the worker's per-port batch cache:
      one reusable batch per link, reallocated when the burst size
      changes, reset on link deletion — identical audit-tick cadence *)
-  let caches : (string, Hfsc.batch ref) Hashtbl.t = Hashtbl.create 8 in
+  let caches : (string, Runtime.Backend.batch ref) Hashtbl.t =
+    Hashtbl.create 8
+  in
   let cache_for name =
     match Hashtbl.find_opt caches name with
     | Some b -> b
     | None ->
-        let b = ref (Hfsc.batch ~capacity:1 ()) in
+        let b = ref (E.make_batch ~capacity:1 ()) in
         Hashtbl.replace caches name b;
         b
   in
@@ -147,22 +149,19 @@ let run_differential ~domains ~seed ~nops =
         let name, eng = List.nth links (pick mod List.length links) in
         let max = 1 + (pick mod 8) in
         let bc = cache_for name in
-        if Hfsc.batch_capacity !bc <> max then
-          bc := Hfsc.batch ~capacity:max ();
+        if Runtime.Backend.batch_capacity !bc <> max then
+          bc := E.make_batch ~capacity:max ();
         let b = !bc in
         let n_seq = E.dequeue_batch eng ~now:!now b in
         let seq_pkts =
           List.init n_seq (fun i ->
-              let pkt = Hfsc.batch_pkt b i in
+              let pkt = Runtime.Backend.batch_pkt b i in
               {
                 flow = pkt.Pkt.Packet.flow;
                 seq = pkt.Pkt.Packet.seq;
                 size = pkt.Pkt.Packet.size;
-                cls = Hfsc.name (Hfsc.batch_cls b i);
-                rt =
-                  (match Hfsc.batch_crit b i with
-                  | Hfsc.Realtime -> true
-                  | Hfsc.Linkshare -> false);
+                cls = E.class_name eng (Runtime.Backend.batch_id b i);
+                rt = Runtime.Backend.batch_realtime b i;
               })
         in
         let mc_pkts = ref [] in

@@ -141,7 +141,7 @@ let test_overload_degrades () =
   (match Runtime.Engine.flow_class eng 2 with
   | Some web ->
       Alcotest.(check bool) "web within its tightened qlimit" true
-        (Hfsc.queue_length web <= 25)
+        (Runtime.Engine.class_queue_length eng web <= 25)
   | None -> Alcotest.fail "flow 2 unmapped");
   (* the shed load is visible as telemetry drops *)
   let snap = Runtime.Engine.snapshot eng in

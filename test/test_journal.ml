@@ -449,6 +449,64 @@ let test_replay_mc_router () =
     "mc fingerprint equals the sequential router's" mc_fp
     (R.config_fingerprint (build_router ()))
 
+(* a heterogeneous device — one hfsc link, one rr link — checkpoints
+   and recovers like any other: the rr link's backend choice and
+   quanta survive the round trip, through memory and through disk *)
+let mixed_device_script =
+  {|
+link add west rate 10Mbit
+link add fast rate 1Gbit backend rr
+link west add class voice parent root flow 1 rsc umax 160 dmax 5ms rate 64Kbit fsc 64Kbit qlimit 16
+link west add class data parent root flow 2 fsc 4Mbit
+link fast add class agg parent root quantum 9000
+link fast add class a parent agg flow 20 quantum 6000 qlimit 256
+link fast add class b parent agg flow 21 quantum 3000 qbytes 500000
+link fast attach filter flow 20 proto udp
+link fast limit pkts 10000 policy tail
+|}
+
+let test_replay_mixed_backends () =
+  let a = R.create () in
+  exec_strict ~what:"mixed setup" (R.exec a) (parse_script mixed_device_script);
+  let fp = R.config_fingerprint a in
+  (* the digest covers the rr link's quanta: a live quantum change
+     moves the fingerprint, restoring it moves it back *)
+  exec_strict ~what:"quantum wiggle" (R.exec a)
+    (parse_script "link fast modify class a quantum 7000");
+  Alcotest.(check bool) "quantum feeds the fingerprint" false
+    (R.config_fingerprint a = fp);
+  exec_strict ~what:"quantum restore" (R.exec a)
+    (parse_script "link fast modify class a quantum 6000");
+  Alcotest.(check string) "restoring the quantum restores it" fp
+    (R.config_fingerprint a);
+  let fresh = R.create () in
+  exec_strict ~what:"mixed replay" (R.exec fresh) (R.checkpoint a);
+  Alcotest.(check string) "mixed checkpoint replays bit-identically" fp
+    (R.config_fingerprint fresh);
+  (* and through journal files on disk *)
+  let dir = temp ".state" in
+  let w = J.start ~dir ~generation:0 ~checkpoint:(R.checkpoint a) ~digest:fp in
+  let extra =
+    parse_script
+      "at 4 link fast modify class b quantum 4500\n\
+       at 5 link west delete class data"
+  in
+  exec_strict ~what:"mixed tail" (R.exec a) extra;
+  List.iter (fun (now, cmd) -> J.append w ~now cmd) extra;
+  J.close w;
+  (match J.recover ~dir with
+  | Error c -> Alcotest.failf "recover: %s" (J.corruption_text c)
+  | Ok r ->
+      let rec2 = R.create () in
+      exec_strict ~what:"mixed disk checkpoint" (R.exec rec2) r.J.r_checkpoint;
+      Alcotest.(check (option string)) "digest verifies" (Some fp)
+        (Option.map (fun _ -> R.config_fingerprint rec2) r.J.r_digest);
+      exec_strict ~what:"mixed disk tail" (R.exec rec2) r.J.r_tail;
+      Alcotest.(check string)
+        "mixed checkpoint + tail lands on the live state"
+        (R.config_fingerprint a) (R.config_fingerprint rec2));
+  rm_dir dir
+
 (* through the disk: checkpoint → Journal files → recover → replay →
    the recorded digest verifies *)
 let test_replay_through_disk () =
@@ -514,5 +572,7 @@ let () =
             `Quick test_replay_mc_router;
           Alcotest.test_case "checkpoint+journal through the disk" `Quick
             test_replay_through_disk;
+          Alcotest.test_case "mixed hfsc+rr device round-trips" `Quick
+            test_replay_mixed_backends;
         ] );
     ]

@@ -140,16 +140,17 @@ let test_one_link_identity () =
           (E.enqueue_flow eng ~now:!now (mk ()))
           (R.enqueue_flow router ~now:!now (mk ()))
     | _ ->
-        let show = function
+        let show eng = function
           | None -> "-"
-          | Some (p, c, _) ->
+          | Some (p, id, _) ->
               Printf.sprintf "%d:%d:%s" p.Pkt.Packet.flow p.Pkt.Packet.seq
-                (Hfsc.name c)
+                (E.class_name eng id)
         in
         Alcotest.(check string)
           (Printf.sprintf "op %d: same dequeue" nth)
-          (show (E.dequeue eng ~now:!now))
-          (show (E.dequeue (sole_engine router) ~now:!now)));
+          (show eng (E.dequeue eng ~now:!now))
+          (show (sole_engine router)
+             (E.dequeue (sole_engine router) ~now:!now)));
     if nth mod 50 = 0 then
       Alcotest.(check string)
         (Printf.sprintf "op %d: fingerprints agree" nth)
@@ -379,15 +380,18 @@ let test_shard_classify () =
     Pkt.Header.make ~src ~dst:"192.168.0.1" ~proto ()
   in
   (* each filter claims its own traffic, naming the owning link *)
+  let leaf_name link id =
+    E.class_name (Option.get (R.find_link r link)) id
+  in
   (match R.classify r (hdr ~src:"10.1.2.3" ~proto:Pkt.Header.Tcp) with
   | Some (link, cls) ->
       Alcotest.(check string) "west's prefix" "west" link;
-      Alcotest.(check string) "west's leaf" "w" (Hfsc.name cls)
+      Alcotest.(check string) "west's leaf" "w" (leaf_name link cls)
   | None -> Alcotest.fail "10.1/16 tcp unmatched");
   (match R.classify r (hdr ~src:"172.16.0.9" ~proto:Pkt.Header.Udp) with
   | Some (link, cls) ->
       Alcotest.(check string) "east's proto" "east" link;
-      Alcotest.(check string) "east's leaf" "e" (Hfsc.name cls)
+      Alcotest.(check string) "east's leaf" "e" (leaf_name link cls)
   | None -> Alcotest.fail "udp unmatched");
   (* both filters match -> first link in creation order wins *)
   (match R.classify r (hdr ~src:"10.1.2.3" ~proto:Pkt.Header.Udp) with

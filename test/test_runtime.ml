@@ -132,10 +132,35 @@ let test_parse_link_grammar () =
   | Ok { C.target = C.On_link "east"; op = C.Stats None } -> ()
   | _ -> Alcotest.fail "scoped stats");
   (match C.parse "link add north rate 5Mbit" with
-  | Ok { C.target = C.Default_link; op = C.Link_add { link = "north"; rate } }
-    ->
+  | Ok
+      {
+        C.target = C.Default_link;
+        op = C.Link_add { link = "north"; rate; backend = Config.Hfsc_backend };
+      } ->
       Alcotest.(check (float 1e-9)) "rate in B/s" 625_000. rate
   | _ -> Alcotest.fail "link add");
+  (match C.parse "link add south rate 5Mbit backend rr" with
+  | Ok
+      {
+        C.target = C.Default_link;
+        op = C.Link_add { link = "south"; backend = Config.Rr_backend; _ };
+      } ->
+      ()
+  | _ -> Alcotest.fail "link add backend rr");
+  check_contains "unknown backend"
+    (err (C.parse "link add south rate 5Mbit backend fifo"))
+    "backend";
+  (match
+     op_of (C.parse "add class q parent root flow 6 quantum 3000 qlimit 16")
+   with
+  | Ok (C.Add_class { quantum = Some 3000; curves; _ }) ->
+      (* a quantum alone satisfies the rsc-or-fsc-or-quantum rule *)
+      Alcotest.(check bool) "no curves" true
+        (curves = { C.rsc = None; fsc = None; usc = None })
+  | _ -> Alcotest.fail "quantum add");
+  (match op_of (C.parse "modify class q quantum 4000") with
+  | Ok (C.Modify_class { quantum = Some 4000; _ }) -> ()
+  | _ -> Alcotest.fail "quantum modify");
   (match C.parse "link delete north" with
   | Ok { C.target = C.Default_link; op = C.Link_delete "north" } -> ()
   | _ -> Alcotest.fail "link delete");
@@ -165,8 +190,11 @@ let test_parse_link_grammar () =
         (Format.asprintf "%a" C.pp reparsed = printed))
     [
       "link west add class x parent root flow 4 fsc 1Mbit qlimit 9";
+      "link west add class y parent root flow 5 quantum 1500 qlimit 9";
+      "link west modify class y quantum 3000";
       "link east detach filter flow 3";
       "link add north rate 5Mbit";
+      "link add south rate 5Mbit backend rr";
       "link delete north";
       "link list";
       "link west trace dump";
@@ -386,8 +414,8 @@ let test_drops_counted () =
       incr accepted
   done;
   Alcotest.(check int) "qlimit enforced" 2 !accepted;
-  let cls = Option.get (E.flow_class eng 5) in
-  let c = counters eng ~id:(Hfsc.id cls) in
+  let id = Option.get (E.flow_class eng 5) in
+  let c = counters eng ~id in
   Alcotest.(check int) "drops" 3 c.T.drop_pkts;
   Alcotest.(check int) "enq" 2 c.T.enq_pkts;
   Alcotest.(check int) "hiwater pkts" 2 c.T.hiwater_pkts;
@@ -490,7 +518,7 @@ let test_attach_detach () =
           "attach filter flow 1 src 10.0.0.0/8 proto udp dport 5004 5005"));
   Alcotest.(check int) "one filter" 1 (E.filter_count eng);
   (match E.classify eng (h ()) with
-  | Some cls -> Alcotest.(check string) "routed to a" "a" (Hfsc.name cls)
+  | Some id -> Alcotest.(check string) "routed to a" "a" (E.class_name eng id)
   | None -> Alcotest.fail "udp/5004 should match");
   Alcotest.(check bool) "tcp does not match" true
     (E.classify eng (h ~proto:Pkt.Header.Tcp ()) = None);
@@ -551,10 +579,11 @@ let test_traced_dequeue_allocates_nothing_extra () =
     let eng =
       E.create ~link_rate:1e6 t ~flow_map:[ (1, leaf) ] ~tracing:true ()
     in
+    let leaf_id = Hfsc.id leaf in
     words_per_dequeue
       ~prefill:(fun n ->
         for s = 0 to n - 1 do
-          ignore (E.enqueue eng ~now:0. leaf (pkt ~flow:1 ~seq:s ~now:0.))
+          ignore (E.enqueue eng ~now:0. leaf_id (pkt ~flow:1 ~seq:s ~now:0.))
         done)
       ~deq:(fun ~now -> E.dequeue eng ~now)
   in
@@ -847,25 +876,29 @@ let op_gen =
           name_gen >>= fun parent ->
           opt (int_range 0 999) >>= fun flow ->
           curves_gen ~ensure:true >>= fun curves ->
+          opt (int_range 1 100_000) >>= fun quantum ->
           opt (int_range 1 500) >>= fun qlimit ->
           opt (int_range 1 2_000_000) >>= fun qbytes ->
-          return (C.Add_class { name; parent; flow; curves; qlimit; qbytes })
+          return
+            (C.Add_class { name; parent; flow; curves; quantum; qlimit; qbytes })
         );
         ( 3,
           name_gen >>= fun name ->
           curves_gen ~ensure:false >>= fun curves ->
+          opt (int_range 1 100_000) >>= fun quantum ->
           opt (int_range 1 500) >>= fun qlimit ->
           opt (int_range 1 2_000_000) >>= fun qbytes ->
           (* the parser rejects a modify with nothing to change *)
           if
             curves = { C.rsc = None; fsc = None; usc = None }
-            && qlimit = None && qbytes = None
+            && quantum = None && qlimit = None && qbytes = None
           then
             map
               (fun q ->
-                C.Modify_class { name; curves; qlimit = Some q; qbytes })
+                C.Modify_class { name; curves; quantum; qlimit = Some q; qbytes })
               (int_range 1 500)
-          else return (C.Modify_class { name; curves; qlimit; qbytes }) );
+          else return (C.Modify_class { name; curves; quantum; qlimit; qbytes })
+        );
         (2, map (fun n -> C.Delete_class n) name_gen);
         (3, map (fun f -> C.Attach_filter f) filter_gen);
         (1, map (fun n -> C.Detach_filter n) (int_range 0 999));
@@ -885,9 +918,10 @@ let op_gen =
               limit_val_gen
           else return (C.Set_limit { lpkts; lbytes; lpolicy }) );
         ( 1,
-          map2
-            (fun link rate -> C.Link_add { link; rate })
-            link_name_gen rate_gen );
+          map3
+            (fun link rate backend -> C.Link_add { link; rate; backend })
+            link_name_gen rate_gen
+            (oneofl [ Config.Hfsc_backend; Config.Rr_backend ]) );
         (1, map (fun l -> C.Link_delete l) link_name_gen);
         (1, return C.Link_list);
       ])
